@@ -1,0 +1,106 @@
+// Command lggexp runs the reproduction experiments (one per theorem,
+// property, figure and conjecture of the paper) and prints their tables.
+//
+// Usage:
+//
+//	lggexp -list
+//	lggexp -run E4 [-seeds 8] [-horizon 3000] [-seed 1] [-csv]
+//	lggexp -all [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiments and exit")
+		run     = flag.String("run", "", "experiment id to run (e.g. E4)")
+		all     = flag.Bool("all", false, "run every experiment")
+		quick   = flag.Bool("quick", false, "reduced workloads (CI sizes)")
+		seed    = flag.Uint64("seed", 1, "root seed")
+		seeds   = flag.Int("seeds", 8, "independent runs per cell")
+		horizon = flag.Int64("horizon", 3000, "steps per run")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		outdir  = flag.String("outdir", "", "also write <ID>.txt and <ID>.csv per experiment into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %-55s [%s]\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Seed: *seed, Seeds: *seeds, Horizon: *horizon, Quick: *quick}
+	if *quick {
+		q := experiments.QuickConfig()
+		q.Seed = *seed
+		cfg = q
+	}
+
+	emit := func(t *experiments.Table) {
+		var err error
+		if *csv {
+			err = t.CSV(os.Stdout)
+		} else {
+			err = t.Render(os.Stdout)
+			fmt.Println()
+		}
+		if err == nil && *outdir != "" {
+			err = writeOut(*outdir, t)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lggexp: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "lggexp: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	switch {
+	case *all:
+		for _, e := range experiments.All() {
+			emit(e.Run(cfg))
+		}
+	case *run != "":
+		e, ok := experiments.ByID(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "lggexp: unknown experiment %q (try -list)\n", *run)
+			os.Exit(2)
+		}
+		emit(e.Run(cfg))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// writeOut persists one experiment's table as <ID>.txt and <ID>.csv.
+func writeOut(dir string, t *experiments.Table) error {
+	txt, err := os.Create(filepath.Join(dir, t.ID+".txt"))
+	if err != nil {
+		return err
+	}
+	defer txt.Close()
+	if err := t.Render(txt); err != nil {
+		return err
+	}
+	csvFile, err := os.Create(filepath.Join(dir, t.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer csvFile.Close()
+	return t.CSV(csvFile)
+}

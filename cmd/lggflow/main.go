@@ -1,0 +1,224 @@
+// Command lggflow analyzes the feasibility of an S-D-network (Section
+// II-B): it builds the extended graph G*, computes the maximum flow and
+// f*, classifies the network (infeasible / saturated / unsaturated),
+// prints the minimum cuts and the flow's path decomposition, and can
+// compute the Lemma 1 constants.
+//
+// The graph is read from a file in the text codec of internal/graph
+// (`nodes N` then `edge U V [count]` lines) or generated with -topo.
+//
+// Examples:
+//
+//	lgggen -topo random -n 20 -m 40 > net.g
+//	lggflow -graph net.g -src 0=2 -sink 19=3 -paths -bounds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cutsplit"
+	"repro/internal/flow"
+	"repro/internal/graph"
+)
+
+type roleFlags map[graph.NodeID]int64
+
+func (r roleFlags) String() string { return fmt.Sprintf("%v", map[graph.NodeID]int64(r)) }
+
+func (r roleFlags) Set(s string) error {
+	parts := strings.SplitN(s, "=", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("want node=capacity, got %q", s)
+	}
+	v, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return fmt.Errorf("bad node %q", parts[0])
+	}
+	c, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil || c <= 0 {
+		return fmt.Errorf("bad capacity %q", parts[1])
+	}
+	r[graph.NodeID(v)] = c
+	return nil
+}
+
+func main() {
+	srcs := roleFlags{}
+	sinks := roleFlags{}
+	var (
+		graphFile = flag.String("graph", "", "graph file (text codec); '-' for stdin; roles via -src/-sink")
+		specFile  = flag.String("spec", "", "full spec file (graph + source/sink/retain directives)")
+		showPaths = flag.Bool("paths", false, "print the flow path decomposition")
+		showCuts  = flag.Bool("cuts", false, "print minimum cut node sets")
+		allCuts   = flag.Bool("allcuts", false, "enumerate every minimum cut (Picard–Queyranne)")
+		bounds    = flag.Bool("bounds", false, "print Lemma 1 constants (unsaturated only)")
+		bottle    = flag.Bool("bottlenecks", false, "print the weakest node pairs (Gomory–Hu all-pairs min cuts)")
+		split     = flag.Bool("split", false, "decompose at an interior min cut (Section V-C)")
+		dot       = flag.String("dot", "", "write Graphviz DOT with roles to this file")
+	)
+	flag.Var(srcs, "src", "source as node=in(s); repeatable")
+	flag.Var(sinks, "sink", "sink as node=out(d); repeatable")
+	flag.Parse()
+
+	var spec *core.Spec
+	switch {
+	case *specFile != "":
+		f, err := openArg(*specFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		spec, err = core.DecodeSpec(f)
+		if err != nil {
+			fatal(err)
+		}
+	case *graphFile != "":
+		f, err := openArg(*graphFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		g, err := graph.Decode(f)
+		if err != nil {
+			fatal(err)
+		}
+		spec = core.NewSpec(g)
+		for v, c := range srcs {
+			spec.SetSource(v, c)
+		}
+		for v, c := range sinks {
+			spec.SetSink(v, c)
+		}
+		if err := spec.Validate(); err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "lggflow: -graph or -spec is required (use lgggen to make one)")
+		os.Exit(2)
+	}
+	g := spec.G
+
+	a := spec.Analyze(flow.NewPushRelabel())
+	fmt.Printf("network:  %s\n", spec)
+	fmt.Printf("class:    %v\n", a.Feasibility)
+	fmt.Printf("rate:     %d\n", a.ArrivalRate)
+	fmt.Printf("maxflow:  %d\n", a.MaxFlow.Value)
+	fmt.Printf("f*:       %d\n", a.FStar)
+	kase, exhaustive := cutsplit.InductionCaseExact(a, 256)
+	note := ""
+	if !exhaustive {
+		note = " (enumeration capped; case 2 not certain)"
+	}
+	fmt.Printf("case:     %d (Section V induction case)%s\n", kase, note)
+
+	if *showCuts {
+		fmt.Printf("min cut (minimal side): %s\n", cutNodes(a.MinimalCut, spec.N()))
+		fmt.Printf("min cut (maximal side): %s\n", cutNodes(a.MaximalCut, spec.N()))
+	}
+	if *allCuts {
+		for i, mask := range flow.EnumerateMinCuts(a.MaxFlow, 256) {
+			fmt.Printf("min cut %d: %s\n", i, cutNodes(mask, spec.N()))
+		}
+	}
+	if *showPaths {
+		for i, p := range a.Ext.SDPaths(a.MaxFlow) {
+			fmt.Printf("path %d (×%d): %v\n", i, p.Amount, p.Nodes)
+		}
+	}
+	if *bottle {
+		tree := flow.GomoryHu(g, flow.NewPushRelabel())
+		for _, p := range tree.WeakestPairs(8) {
+			fmt.Printf("bottleneck: %d–%d cut=%d\n", p.U, p.V, p.Cut)
+		}
+	}
+	if *bounds {
+		b, err := core.ComputeBounds(spec, flow.NewPushRelabel())
+		if err != nil {
+			fmt.Printf("bounds:   %v\n", err)
+		} else {
+			fmt.Printf("ε:        %.4f\n", b.Eps)
+			fmt.Printf("5nΔ²:     %.0f\n", b.GrowthBound)
+			fmt.Printf("Y:        %.4g\n", b.Y)
+			fmt.Printf("nY²+5nΔ²: %.4g\n", b.StateBound)
+		}
+	}
+	if *split {
+		s, err := splitAnywhere(spec, a)
+		if err != nil {
+			fmt.Printf("split:    %v\n", err)
+		} else {
+			_, _, err := s.Check(flow.NewPushRelabel())
+			ok := "parts feasible"
+			if err != nil {
+				ok = err.Error()
+			}
+			fmt.Printf("split:    |A'|=%d |B'|=%d cut-edges=%d (%s)\n",
+				s.A.Spec.N(), s.B.Spec.N(), len(s.CutEdges), ok)
+		}
+	}
+	if *dot != "" {
+		df, err := os.Create(*dot)
+		if err != nil {
+			fatal(err)
+		}
+		defer df.Close()
+		err = graph.DOT(df, g, func(v graph.NodeID) string {
+			switch {
+			case spec.In[v] > 0 && spec.Out[v] > 0:
+				return fmt.Sprintf("%d src/snk", v)
+			case spec.In[v] > 0:
+				return fmt.Sprintf("%d src(%d)", v, spec.In[v])
+			case spec.Out[v] > 0:
+				return fmt.Sprintf("%d snk(%d)", v, spec.Out[v])
+			}
+			return ""
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("dot:      %s\n", *dot)
+	}
+}
+
+// splitAnywhere splits at the maximal min cut when it is interior,
+// falling back to any enumerated interior minimum cut.
+func splitAnywhere(spec *core.Spec, a *flow.Analysis) (*cutsplit.Split, error) {
+	if s, err := cutsplit.FromAnalysis(spec, a, 0); err == nil {
+		return s, nil
+	}
+	mask, ok := cutsplit.FindInteriorCut(a, 256)
+	if !ok {
+		return nil, fmt.Errorf("no interior minimum cut (induction base case)")
+	}
+	return cutsplit.At(spec, mask, 0)
+}
+
+func openArg(path string) (*os.File, error) {
+	if path == "-" {
+		return os.Stdin, nil
+	}
+	return os.Open(path)
+}
+
+func cutNodes(side []bool, n int) string {
+	var parts []string
+	for v := 0; v < n; v++ {
+		if side[v] {
+			parts = append(parts, strconv.Itoa(v))
+		}
+	}
+	if len(parts) == 0 {
+		return "{s* only}"
+	}
+	return "{s*, " + strings.Join(parts, ", ") + "}"
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "lggflow: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Command lgggen generates multigraphs in the text codec consumed by
+// lggflow (`nodes N` / `edge U V` lines).
+//
+// Examples:
+//
+//	lgggen -topo random -n 20 -m 40 -seed 7 > net.g
+//	lgggen -topo theta -paths 4 -len 3
+//	lgggen -topo grid -rows 5 -cols 5 -thicken 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func main() {
+	var (
+		topo    = flag.String("topo", "random", "topology: random|gnp|line|cycle|grid|torus|complete|star|theta|barbell|layered|geometric")
+		n       = flag.Int("n", 16, "node count (random/gnp/line/cycle/complete/star/geometric)")
+		m       = flag.Int("m", 32, "edge count (random)")
+		p       = flag.Float64("p", 0.3, "edge probability (gnp/layered)")
+		rows    = flag.Int("rows", 4, "grid/torus rows")
+		cols    = flag.Int("cols", 4, "grid/torus cols")
+		paths   = flag.Int("paths", 3, "theta paths")
+		length  = flag.Int("len", 2, "theta path length")
+		k       = flag.Int("k", 3, "barbell clique size")
+		bridge  = flag.Int("bridge", 2, "barbell bridge length")
+		layers  = flag.Int("layers", 4, "layered layer count")
+		width   = flag.Int("width", 3, "layered width")
+		radius  = flag.Float64("radius", 0.35, "geometric connection radius")
+		thicken = flag.Int("thicken", 0, "add this many parallel copies of random edges")
+		seed    = flag.Uint64("seed", 1, "seed for random topologies")
+	)
+	flag.Parse()
+
+	r := rng.New(*seed)
+	var g *graph.Multigraph
+	switch *topo {
+	case "random":
+		g = graph.RandomMultigraph(*n, *m, r)
+	case "gnp":
+		g = graph.ConnectedGNP(*n, *p, r)
+	case "line":
+		g = graph.Line(*n)
+	case "cycle":
+		g = graph.Cycle(*n)
+	case "grid":
+		g = graph.Grid(*rows, *cols)
+	case "torus":
+		g = graph.Torus(*rows, *cols)
+	case "complete":
+		g = graph.Complete(*n)
+	case "star":
+		g = graph.Star(*n)
+	case "theta":
+		g = graph.ThetaGraph(*paths, *length)
+	case "barbell":
+		g = graph.Barbell(*k, *bridge)
+	case "layered":
+		g = graph.Layered(*layers, *width, *p, r)
+	case "geometric":
+		g, _ = graph.RandomGeometric(*n, *radius, r)
+	default:
+		fmt.Fprintf(os.Stderr, "lgggen: unknown topology %q\n", *topo)
+		os.Exit(2)
+	}
+	if *thicken > 0 {
+		g = graph.Thicken(g, *thicken, r)
+	}
+	if err := graph.Encode(os.Stdout, g); err != nil {
+		fmt.Fprintf(os.Stderr, "lgggen: %v\n", err)
+		os.Exit(1)
+	}
+}

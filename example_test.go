@@ -1,0 +1,65 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// The quickstart flow: build a network, classify it, run LGG.
+func Example() {
+	g := repro.Theta(3, 2) // 3 disjoint 2-hop paths between nodes 0 and 1
+	spec := repro.NewSpec(g).SetSource(0, 2).SetSink(1, 3)
+
+	fmt.Println(repro.Classify(spec))
+
+	eng := repro.NewEngine(spec, repro.NewLGG())
+	res := repro.Run(eng, repro.Options{Horizon: 2000})
+	fmt.Println(res.Diagnosis.Verdict)
+	// Output:
+	// unsaturated
+	// stable
+}
+
+// Feasibility analysis exposes the quantities of Section II-B.
+func ExampleAnalyze() {
+	spec := repro.NewSpec(repro.Theta(3, 2)).SetSource(0, 2).SetSink(1, 3)
+	a := repro.Analyze(spec)
+	fmt.Println("rate:", a.ArrivalRate)
+	fmt.Println("f*:", a.FStar)
+	fmt.Println("class:", a.Feasibility)
+	// Output:
+	// rate: 2
+	// f*: 3
+	// class: unsaturated
+}
+
+// Overloading past f* diverges for every protocol (Theorem 1's converse).
+func ExampleWithLoad() {
+	spec := repro.NewSpec(repro.Theta(3, 2)).SetSource(0, 2).SetSink(1, 3)
+	eng := repro.NewEngine(spec, repro.NewLGG())
+	repro.WithLoad(eng, 3, 1) // 3× the nominal rate = 2·f*
+	res := repro.Run(eng, repro.Options{Horizon: 2000})
+	fmt.Println(res.Diagnosis.Verdict)
+	// Output:
+	// diverging
+}
+
+// Lemma 1's explicit constants for an unsaturated network.
+func ExampleStabilityBounds() {
+	spec := repro.NewSpec(repro.Theta(3, 2)).SetSource(0, 2).SetSink(1, 3)
+	b, _ := repro.StabilityBounds(spec)
+	fmt.Printf("ε=%.0f 5nΔ²=%.0f Y=%.0f\n", b.Eps, b.GrowthBound, b.Y)
+	// Output:
+	// ε=1 5nΔ²=225 Y=810
+}
+
+// The packet-identity engine measures latency the count model cannot.
+func ExampleNewPacketEngine() {
+	spec := repro.NewSpec(repro.Line(4)).SetSource(0, 1).SetSink(3, 1)
+	pe := repro.NewPacketEngine(spec, repro.NewLGG())
+	pe.Run(5000)
+	fmt.Printf("hops: %.1f\n", pe.MeanHops())
+	// Output:
+	// hops: 3.0
+}

@@ -1,0 +1,66 @@
+// Distributed: the paper's protocol is "distributed … and localized
+// since nodes only need information about their neighborhood". This
+// example runs LGG twice on the same network — once in the central
+// simulator, once as real message-passing goroutines (one per node,
+// queue lengths learned only from announcement messages) — and shows the
+// two executions agree on every queue at every round.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/distsim"
+)
+
+func main() {
+	// NOTE: this example reaches one level below the public facade
+	// (internal/distsim) because it demonstrates an implementation
+	// equivalence; everyday users stay with package repro.
+	g := repro.Grid(4, 5)
+	spec := repro.NewSpec(g)
+	spec.SetSource(0, 1)
+	spec.SetSource(5, 1)
+	for r := 0; r < 4; r++ {
+		spec.SetSink(repro.NodeID(r*5+4), 2)
+	}
+	fmt.Printf("network %s — %v\n", spec, repro.Classify(spec))
+
+	const rounds = 2000
+	lossModel := distsim.HashLoss{P: 0.1, Seed: 42}
+
+	// Central simulation.
+	central := repro.NewEngine(spec, repro.NewLGG())
+	central.Loss = lossModel
+
+	// Message-passing execution: 20 goroutines, channels, barriers.
+	dist := distsim.New(spec, lossModel)
+	defer dist.Close()
+
+	mismatches := 0
+	for round := 0; round < rounds; round++ {
+		dq := dist.Step()
+		central.Step()
+		for v := range dq {
+			if dq[v] != central.Q[v] {
+				mismatches++
+				if mismatches <= 3 {
+					fmt.Printf("  round %d node %d: distributed=%d central=%d\n",
+						round, v, dq[v], central.Q[v])
+				}
+			}
+		}
+	}
+	st := dist.Statistics()
+	fmt.Printf("rounds:     %d (× %d nodes as goroutines)\n", rounds, spec.N())
+	fmt.Printf("injected:   %d   delivered: %d   lost: %d\n",
+		st.Injected, st.Extracted, st.Lost)
+	fmt.Printf("mismatches: %d\n", mismatches)
+	if mismatches > 0 {
+		fmt.Println("!!! the distributed execution departed from the model")
+		os.Exit(1)
+	}
+	fmt.Println("The message-passing execution matched the central simulation")
+	fmt.Println("queue-for-queue at every round: LGG really is a local protocol.")
+}

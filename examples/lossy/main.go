@@ -1,0 +1,66 @@
+// Lossy: Conjecture 1 in action. The paper proves stability of saturated
+// networks only when sources inject exactly in(s) and nothing is lost;
+// Conjecture 1 claims that injecting *less* and losing packets can only
+// help. This example couples the proved reference run with progressively
+// dominated runs and compares their backlogs.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	// A saturated network: a 6-hop line whose single path is exactly as
+	// fast as the source (in = 1 = every interior cut).
+	g := repro.Line(7)
+	spec := repro.NewSpec(g).SetSource(0, 1).SetSink(6, 1)
+	fmt.Printf("network %s — classification: %v\n", spec, repro.Classify(spec))
+	fmt.Println("reference = exact arrivals, no loss (the case Section V-B proves)")
+	fmt.Println()
+
+	const horizon = 20000
+	type variant struct {
+		name  string
+		build func() *repro.Engine
+	}
+	variants := []variant{
+		{"reference (exact, lossless)", func() *repro.Engine {
+			return repro.NewEngine(spec, repro.NewLGG())
+		}},
+		{"thinned arrivals p=0.8", func() *repro.Engine {
+			return repro.WithThinnedArrivals(repro.NewEngine(spec, repro.NewLGG()), 0.8, 11)
+		}},
+		{"bernoulli loss p=0.2", func() *repro.Engine {
+			return repro.WithBernoulliLoss(repro.NewEngine(spec, repro.NewLGG()), 0.2, 12)
+		}},
+		{"thinned p=0.7 + loss p=0.3", func() *repro.Engine {
+			e := repro.NewEngine(spec, repro.NewLGG())
+			repro.WithThinnedArrivals(e, 0.7, 13)
+			return repro.WithBernoulliLoss(e, 0.3, 14)
+		}},
+	}
+
+	fmt.Printf("%-30s %-12s %-10s %-10s %-10s\n", "variant", "verdict", "peak-P", "stored", "delivered")
+	var refPeak int64
+	for i, v := range variants {
+		res := repro.Run(v.build(), repro.Options{Horizon: horizon})
+		if i == 0 {
+			refPeak = res.Totals.PeakPotential
+		}
+		fmt.Printf("%-30s %-12v %-10d %-10d %-10d\n", v.name,
+			res.Diagnosis.Verdict, res.Totals.PeakPotential,
+			res.Totals.FinalQueued, res.Totals.Extracted)
+		if i > 0 && res.Diagnosis.Verdict == repro.DivergingVerdict {
+			fmt.Println("!!! counterexample to Conjecture 1 — a dominated run diverged")
+		}
+	}
+	fmt.Println()
+	fmt.Printf("Conjecture 1 survived: every dominated run stayed bounded (reference peak P = %d).\n", refPeak)
+	fmt.Println()
+	fmt.Println("Side observation: stability ≠ delivery. Under heavy thinning the queues are")
+	fmt.Println("so sparse that isolated packets wander on flat gradients (deterministic ties")
+	fmt.Println("even walk them backwards) and losses reap them before they reach the sink —")
+	fmt.Println("the backlog stays bounded, exactly and only what Definition 2 promises.")
+}

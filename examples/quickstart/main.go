@@ -1,0 +1,54 @@
+// Quickstart: build a small S-D-network, classify it, compute the
+// Lemma 1 constants, run the LGG protocol and report stability.
+//
+// This is Figure 1 of the paper brought to life: a multigraph with a
+// source injecting packets, interior nodes running the local greedy
+// gradient rule, and a sink draining the flow.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// Three disjoint 2-hop paths between a source (node 0) and a sink
+	// (node 1): capacity f* = 3.
+	g := repro.Theta(3, 2)
+	spec := repro.NewSpec(g).
+		SetSource(0, 2). // in(s) = 2 packets per step
+		SetSink(1, 3)    // out(d) = 3 packets per step
+
+	// Feasibility analysis (Section II-B): with rate 2 < f* = 3 and slack
+	// in every cut, the network is unsaturated — the regime where the
+	// paper proves stability unconditionally (Lemma 1).
+	a := repro.Analyze(spec)
+	fmt.Printf("network %s\n", spec)
+	fmt.Printf("classification: %v (arrival rate %d, max flow %d, f* %d)\n",
+		a.Feasibility, a.ArrivalRate, a.MaxFlow.Value, a.FStar)
+
+	b, err := repro.StabilityBounds(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Lemma 1 constants: ε=%.3f, 5nΔ²=%.0f, Y=%.3g, state bound=%.3g\n",
+		b.Eps, b.GrowthBound, b.Y, b.StateBound)
+
+	// Run LGG for 10000 synchronous steps.
+	eng := repro.NewEngine(spec, repro.NewLGG())
+	res := repro.Run(eng, repro.Options{Horizon: 10000})
+
+	fmt.Printf("after %d steps: injected=%d delivered=%d stored=%d\n",
+		res.Totals.Steps, res.Totals.Injected, res.Totals.Extracted,
+		res.Totals.FinalQueued)
+	fmt.Printf("peak network state P_t = %d (bound %.3g)\n",
+		res.Totals.PeakPotential, b.StateBound)
+	fmt.Printf("verdict: %v\n", res.Diagnosis.Verdict)
+
+	if float64(res.Totals.PeakPotential) > b.StateBound {
+		log.Fatal("Lemma 1 bound violated — this should be impossible")
+	}
+	fmt.Println("Lemma 1 holds: the network state stayed bounded. ✓")
+}

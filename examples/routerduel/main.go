@@ -1,0 +1,64 @@
+// Routerduel: the paper motivates LGG as a *localized* protocol — every
+// node decides from its neighbours' queue lengths alone — yet Theorem 1
+// says its stability region matches that of the clairvoyant optimum (a
+// centralized router that knows a maximum flow). This example sweeps the
+// load and races LGG against the flow-path router, a hot-potato
+// shortest-path router, and blind random forwarding.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A theta network with a decoy: 3 disjoint 3-hop paths (capacity 3),
+	// demand dialed from 30% to 100% of f*.
+	g := repro.Theta(3, 3)
+	spec := repro.NewSpec(g).SetSource(0, 3).SetSink(1, 3)
+	a := repro.Analyze(spec)
+	fmt.Printf("network %s — f* = %d\n\n", spec, a.FStar)
+
+	flowRouter, err := repro.FlowRouter(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	routers := []struct {
+		name string
+		mk   func() repro.Router
+	}{
+		{"lgg (localized)", func() repro.Router { return repro.NewLGG() }},
+		{"flow-paths (clairvoyant)", func() repro.Router { return flowRouter }},
+		{"shortest-path", func() repro.Router { return repro.ShortestPathRouter(spec) }},
+		{"random-forward", func() repro.Router { return repro.RandomRouter(77) }},
+	}
+	loads := []struct {
+		name     string
+		num, den int64
+	}{{"0.33", 1, 3}, {"0.67", 2, 3}, {"1.00", 1, 1}}
+
+	const horizon = 10000
+	fmt.Printf("%-26s %-6s %-12s %-12s %-10s\n", "router", "load", "verdict", "mean-N", "peak-N")
+	for _, rc := range routers {
+		for _, ld := range loads {
+			e := repro.NewEngine(spec, rc.mk())
+			repro.WithLoad(e, ld.num, ld.den)
+			res := repro.Run(e, repro.Options{Horizon: horizon})
+			meanN := float64(0)
+			for _, q := range res.Series.Queued[len(res.Series.Queued)/2:] {
+				meanN += q
+			}
+			meanN /= float64(len(res.Series.Queued) - len(res.Series.Queued)/2)
+			fmt.Printf("%-26s %-6s %-12v %-12.1f %-10d\n", rc.name, ld.name,
+				res.Diagnosis.Verdict, meanN, res.Totals.PeakQueued)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Shape to look for: the localized LGG is stable across the entire feasible")
+	fmt.Println("region, matching the clairvoyant flow router's verdict with only a modest")
+	fmt.Println("constant-factor backlog; random forwarding pays a growing backlog as load")
+	fmt.Println("rises (on larger asymmetric networks — see experiment E16 — it diverges")
+	fmt.Println("well before f*, while LGG does not).")
+}

@@ -1,0 +1,55 @@
+// Wireless: Conjecture 5. Under node-exclusive spectrum sharing (two
+// links sharing an endpoint cannot transmit together — the model of the
+// paper's reference [2]), each step's transmission set must be a
+// matching. This example runs LGG on a grid under a greedy-maximal and a
+// gradient-weighted ("oracle") scheduler at increasing load, showing the
+// interference-constrained stability region.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	// 4×6 grid: two sources on the left edge, sinks on the right column.
+	g := repro.Grid(4, 6)
+	spec := repro.NewSpec(g)
+	spec.SetSource(0, 1)     // row 0, col 0
+	spec.SetSource(6, 1)     // row 1, col 0
+	for r := 0; r < 4; r++ { // right column drains
+		spec.SetSink(repro.NodeID(r*6+5), 3)
+	}
+	fmt.Printf("network %s — classification without interference: %v\n",
+		spec, repro.Classify(spec))
+	fmt.Println()
+
+	const horizon = 8000
+	loads := []struct {
+		name     string
+		num, den int64
+	}{{"load 1/3", 1, 3}, {"load 2/3", 2, 3}, {"load 1", 1, 1}}
+
+	fmt.Printf("%-10s %-22s %-12s %-10s %-10s\n", "load", "scheduler", "verdict", "peak-N", "delivered")
+	for _, ld := range loads {
+		for _, oracle := range []struct {
+			name string
+			set  func(e *repro.Engine)
+		}{
+			{"none (no interference)", func(e *repro.Engine) {}},
+			{"greedy matching", func(e *repro.Engine) { repro.WithNodeExclusiveInterference(e, false) }},
+			{"oracle matching", func(e *repro.Engine) { repro.WithNodeExclusiveInterference(e, true) }},
+		} {
+			e := repro.NewEngine(spec, repro.NewLGG())
+			repro.WithLoad(e, ld.num, ld.den)
+			oracle.set(e)
+			res := repro.Run(e, repro.Options{Horizon: horizon})
+			fmt.Printf("%-10s %-22s %-12v %-10d %-10d\n", ld.name, oracle.name,
+				res.Diagnosis.Verdict, res.Totals.PeakQueued, res.Totals.Extracted)
+		}
+	}
+	fmt.Println()
+	fmt.Println("With a compatible E_t scheduled every step, LGG stays stable at")
+	fmt.Println("matching-feasible loads — the behaviour Conjecture 5 postulates.")
+}

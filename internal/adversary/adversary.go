@@ -1,0 +1,158 @@
+// Package adversary implements arrival adversaries in the spirit of
+// adversarial queueing theory (the paper's references [4] and [5]): an
+// adversary injects packets under a window budget — at most budget
+// packets in any window of W consecutive steps — but is otherwise free to
+// concentrate its injections as maliciously as it likes.
+//
+// It also implements the compensation condition of Conjecture 2: whenever
+// the injections of some interval exceed the interval's capacity dt·f*,
+// a later instant must exist by which the cumulative excess has been
+// repaid. Compensated decides that condition for a concrete schedule.
+package adversary
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// Mode selects how a window adversary spends its budget.
+type Mode int
+
+const (
+	// FrontLoad dumps the whole window budget on the window's first step.
+	FrontLoad Mode = iota
+	// BackLoad dumps it on the window's last step.
+	BackLoad
+	// RandomSplit spreads it over uniformly chosen steps of the window.
+	RandomSplit
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case FrontLoad:
+		return "front-load"
+	case BackLoad:
+		return "back-load"
+	case RandomSplit:
+		return "random-split"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// WindowBudget is a (W, budget) adversary on the network's sources: in
+// every aligned window of W steps it injects exactly Budget packets in
+// total, distributed over the window according to Mode and over the
+// sources round-robin. With Budget ≤ W·f* the long-run rate is feasible
+// no matter how vicious the within-window pattern is.
+type WindowBudget struct {
+	W      int64
+	Budget int64
+	Mode   Mode
+	R      *rng.Source // required for RandomSplit
+
+	plan     []int64 // per-step totals for the current window
+	planBase int64   // first step covered by plan
+}
+
+// Name implements core.ArrivalProcess.
+func (a *WindowBudget) Name() string {
+	return fmt.Sprintf("adversary(W=%d,B=%d,%s)", a.W, a.Budget, a.Mode)
+}
+
+// Injections implements core.ArrivalProcess.
+func (a *WindowBudget) Injections(t int64, spec *core.Spec, inj []int64) {
+	if a.W <= 0 || a.Budget < 0 {
+		panic("adversary: inconsistent WindowBudget parameters")
+	}
+	base := t - t%a.W
+	if a.plan == nil || base != a.planBase {
+		a.replan(base)
+	}
+	total := a.plan[t-base]
+	if total == 0 {
+		return
+	}
+	// Distribute the step total round-robin over the sources.
+	srcs := spec.Sources()
+	if len(srcs) == 0 {
+		return
+	}
+	each := total / int64(len(srcs))
+	rem := total % int64(len(srcs))
+	for i, s := range srcs {
+		inj[s] = each
+		if int64(i) < rem {
+			inj[s]++
+		}
+	}
+}
+
+func (a *WindowBudget) replan(base int64) {
+	if a.plan == nil {
+		a.plan = make([]int64, a.W)
+	}
+	for i := range a.plan {
+		a.plan[i] = 0
+	}
+	a.planBase = base
+	switch a.Mode {
+	case FrontLoad:
+		a.plan[0] = a.Budget
+	case BackLoad:
+		a.plan[a.W-1] = a.Budget
+	case RandomSplit:
+		if a.R == nil {
+			panic("adversary: RandomSplit needs a rng source")
+		}
+		for k := int64(0); k < a.Budget; k++ {
+			a.plan[a.R.Int64N(a.W)]++
+		}
+	}
+}
+
+// Compensated analyses a per-step total-injection schedule against a
+// capacity of fstar packets per step (the Conjecture 2 premise). It
+// tracks the running excess E(t) = Σ_{k≤t} sched(k) − (t+1)·fstar clamped
+// at 0 (packets cannot be "pre-drained") and returns:
+//
+//   - peak: the largest excess ever outstanding — the least backlog any
+//     algorithm must tolerate;
+//   - repaid: whether the excess returns to zero after its last positive
+//     stretch, i.e. every overload interval is eventually compensated.
+func Compensated(sched []int64, fstar int64) (peak int64, repaid bool) {
+	var excess int64
+	for _, x := range sched {
+		excess += x - fstar
+		if excess < 0 {
+			excess = 0
+		}
+		if excess > peak {
+			peak = excess
+		}
+	}
+	return peak, excess == 0
+}
+
+// ScheduleOf materializes the per-step total injections an arrival
+// process would produce on spec over the given horizon. Useful to audit a
+// stochastic process against the Conjecture 2 condition before running
+// it. The process is consumed (stateful processes advance).
+func ScheduleOf(p core.ArrivalProcess, spec *core.Spec, horizon int64) []int64 {
+	inj := make([]int64, spec.N())
+	out := make([]int64, horizon)
+	for t := int64(0); t < horizon; t++ {
+		for i := range inj {
+			inj[i] = 0
+		}
+		p.Injections(t, spec, inj)
+		var total int64
+		for _, x := range inj {
+			total += x
+		}
+		out[t] = total
+	}
+	return out
+}

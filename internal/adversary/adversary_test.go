@@ -1,0 +1,183 @@
+package adversary
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arrivals"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func spec2src() *core.Spec {
+	g := graph.ThetaGraph(4, 2)
+	s := core.NewSpec(g).SetSource(0, 1).SetSink(1, 4)
+	// a second source in the middle of path 1 (node 2)
+	s.SetSource(2, 1)
+	return s
+}
+
+func TestFrontLoadPattern(t *testing.T) {
+	a := &WindowBudget{W: 5, Budget: 10, Mode: FrontLoad}
+	spec := spec2src()
+	sched := ScheduleOf(a, spec, 15)
+	want := []int64{10, 0, 0, 0, 0, 10, 0, 0, 0, 0, 10, 0, 0, 0, 0}
+	for i := range want {
+		if sched[i] != want[i] {
+			t.Fatalf("sched[%d] = %d, want %d (%v)", i, sched[i], want[i], sched)
+		}
+	}
+}
+
+func TestBackLoadPattern(t *testing.T) {
+	a := &WindowBudget{W: 4, Budget: 6, Mode: BackLoad}
+	sched := ScheduleOf(a, spec2src(), 8)
+	want := []int64{0, 0, 0, 6, 0, 0, 0, 6}
+	for i := range want {
+		if sched[i] != want[i] {
+			t.Fatalf("sched = %v", sched)
+		}
+	}
+}
+
+func TestRandomSplitConservesBudget(t *testing.T) {
+	a := &WindowBudget{W: 7, Budget: 13, Mode: RandomSplit, R: rng.New(3)}
+	sched := ScheduleOf(a, spec2src(), 70)
+	for w := 0; w < 10; w++ {
+		var sum int64
+		for i := 0; i < 7; i++ {
+			sum += sched[w*7+i]
+		}
+		if sum != 13 {
+			t.Fatalf("window %d spent %d, want 13", w, sum)
+		}
+	}
+}
+
+func TestRoundRobinAcrossSources(t *testing.T) {
+	a := &WindowBudget{W: 1, Budget: 3, Mode: FrontLoad}
+	spec := spec2src()
+	inj := make([]int64, spec.N())
+	a.Injections(0, spec, inj)
+	// two sources: 3 packets split 2/1
+	if inj[0]+inj[2] != 3 || inj[0] != 2 || inj[2] != 1 {
+		t.Fatalf("inj = %v", inj)
+	}
+}
+
+func TestWindowBudgetPanics(t *testing.T) {
+	spec := spec2src()
+	inj := make([]int64, spec.N())
+	for i, a := range []*WindowBudget{
+		{W: 0, Budget: 1},
+		{W: 2, Budget: -1},
+		{W: 2, Budget: 1, Mode: RandomSplit}, // nil rng
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			a.Injections(0, spec, inj)
+		}()
+	}
+}
+
+func TestCompensated(t *testing.T) {
+	// capacity 2/step
+	peak, repaid := Compensated([]int64{5, 0, 0, 2, 2}, 2)
+	if peak != 3 || !repaid {
+		t.Fatalf("peak=%d repaid=%v, want 3/true", peak, repaid)
+	}
+	peak, repaid = Compensated([]int64{5, 5, 5}, 2)
+	if repaid {
+		t.Fatal("sustained overload reported repaid")
+	}
+	if peak != 9 {
+		t.Fatalf("peak = %d, want 9", peak)
+	}
+	if p, r := Compensated(nil, 1); p != 0 || !r {
+		t.Fatal("empty schedule")
+	}
+}
+
+func TestCompensatedMatchesBursty(t *testing.T) {
+	// A compensating bursty process passes the condition; a sustained
+	// overload fails it.
+	spec := core.NewSpec(graph.ThetaGraph(3, 2)).SetSource(0, 2).SetSink(1, 3)
+	ok := &arrivals.Bursty{Period: 10, BurstLen: 2, BurstFactor: 3, QuietFactor: 0}
+	sched := ScheduleOf(ok, spec, 100)
+	if _, repaid := Compensated(sched, 3); !repaid {
+		t.Fatal("compensating bursts failed the condition")
+	}
+	bad := &arrivals.Bursty{Period: 10, BurstLen: 10, BurstFactor: 2, QuietFactor: 0}
+	sched = ScheduleOf(bad, spec, 100)
+	if _, repaid := Compensated(sched, 3); repaid {
+		t.Fatal("sustained overload passed the condition")
+	}
+}
+
+func TestAdversaryStabilityUnderBudget(t *testing.T) {
+	// Budget = W·f*·(3/4): within the conjectured stability region; all
+	// three modes should keep LGG stable on the theta network.
+	spec := core.NewSpec(graph.ThetaGraph(4, 2)).SetSource(0, 2).SetSink(1, 4)
+	for _, mode := range []Mode{FrontLoad, BackLoad, RandomSplit} {
+		rs := sim.RunSeeds(func(seed uint64) *core.Engine {
+			e := core.NewEngine(spec, core.NewLGG())
+			e.Arrivals = &WindowBudget{W: 8, Budget: 24, Mode: mode, R: rng.New(seed)}
+			return e
+		}, sim.Seeds(1, 3), sim.Options{Horizon: 1500})
+		if !sim.AllVerdict(rs, sim.Stable) {
+			t.Fatalf("mode %v destabilized a feasible-budget adversary", mode)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if FrontLoad.String() != "front-load" || BackLoad.String() != "back-load" ||
+		RandomSplit.String() != "random-split" {
+		t.Fatal("mode strings")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode")
+	}
+	if (&WindowBudget{W: 2, Budget: 1}).Name() == "" {
+		t.Fatal("name")
+	}
+}
+
+// Property: any WindowBudget schedule satisfies its own window bound and,
+// when Budget ≤ W·f*, passes the compensation condition.
+func TestQuickWindowBudgetSound(t *testing.T) {
+	f := func(seed uint64, wRaw, bRaw uint8, modeRaw uint8) bool {
+		w := int64(wRaw%10) + 1
+		fstar := int64(4)
+		budget := int64(bRaw) % (w*fstar + 1) // ≤ W·f*
+		mode := Mode(modeRaw % 3)
+		a := &WindowBudget{W: w, Budget: budget, Mode: mode, R: rng.New(seed)}
+		spec := core.NewSpec(graph.ThetaGraph(4, 2)).SetSource(0, 2).SetSink(1, 4)
+		sched := ScheduleOf(a, spec, 20*w)
+		// window sums exact
+		for base := int64(0); base+w <= int64(len(sched)); base += w {
+			var sum int64
+			for i := int64(0); i < w; i++ {
+				sum += sched[base+i]
+			}
+			if sum != budget {
+				return false
+			}
+		}
+		// A back-loaded final window leaves its excess outstanding at the
+		// horizon; a drain tail of one window is always enough to repay it
+		// when Budget ≤ W·f*.
+		sched = append(sched, make([]int64, w)...)
+		_, repaid := Compensated(sched, fstar)
+		return repaid
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

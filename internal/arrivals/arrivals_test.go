@@ -1,0 +1,206 @@
+package arrivals
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func spec2() *core.Spec {
+	return core.NewSpec(graph.Line(3)).SetSource(0, 4).SetSink(2, 4)
+}
+
+func inject(t *testing.T, a core.ArrivalProcess, spec *core.Spec, tm int64) []int64 {
+	t.Helper()
+	inj := make([]int64, spec.N())
+	a.Injections(tm, spec, inj)
+	return inj
+}
+
+func TestThinnedBounds(t *testing.T) {
+	a := &Thinned{P: 0.5, R: rng.New(1)}
+	spec := spec2()
+	var sum int64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		inj := inject(t, a, spec, int64(i))
+		if inj[0] < 0 || inj[0] > 4 {
+			t.Fatalf("thinned injection %d out of [0,4]", inj[0])
+		}
+		if inj[1] != 0 || inj[2] != 0 {
+			t.Fatal("non-source received packets")
+		}
+		sum += inj[0]
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-2.0) > 0.15 {
+		t.Fatalf("thinned mean %v, want ~2", mean)
+	}
+}
+
+func TestThinnedExtremes(t *testing.T) {
+	spec := spec2()
+	a := &Thinned{P: 0, R: rng.New(1)}
+	if inject(t, a, spec, 0)[0] != 0 {
+		t.Fatal("p=0 injected")
+	}
+	a = &Thinned{P: 1, R: rng.New(1)}
+	if inject(t, a, spec, 0)[0] != 4 {
+		t.Fatal("p=1 did not inject in(v)")
+	}
+}
+
+func TestUniformDefaultRange(t *testing.T) {
+	a := &Uniform{R: rng.New(2)}
+	spec := spec2()
+	seen := map[int64]bool{}
+	var sum int64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		x := inject(t, a, spec, int64(i))[0]
+		if x < 0 || x > 8 {
+			t.Fatalf("uniform injection %d out of [0,8]", x)
+		}
+		seen[x] = true
+		sum += x
+	}
+	if len(seen) != 9 {
+		t.Fatalf("uniform hit %d/9 values", len(seen))
+	}
+	if mean := float64(sum) / n; math.Abs(mean-4.0) > 0.3 {
+		t.Fatalf("uniform mean %v, want ~4 (= in)", mean)
+	}
+}
+
+func TestUniformCustomHi(t *testing.T) {
+	spec := spec2()
+	a := &Uniform{Hi: []int64{2, 0, 0}, R: rng.New(3)}
+	for i := 0; i < 200; i++ {
+		if x := inject(t, a, spec, int64(i))[0]; x < 0 || x > 2 {
+			t.Fatalf("custom-hi injection %d", x)
+		}
+	}
+}
+
+func TestBurstySchedule(t *testing.T) {
+	a := &Bursty{Period: 10, BurstLen: 2, BurstFactor: 3, QuietFactor: 0}
+	spec := spec2()
+	for tm := int64(0); tm < 30; tm++ {
+		x := inject(t, a, spec, tm)[0]
+		want := int64(0)
+		if tm%10 < 2 {
+			want = 12 // 3×in
+		}
+		if x != want {
+			t.Fatalf("t=%d: injected %d, want %d", tm, x, want)
+		}
+	}
+	if f := a.AverageFactor(); math.Abs(f-0.6) > 1e-12 {
+		t.Fatalf("average factor %v, want 0.6", f)
+	}
+}
+
+func TestBurstyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad Bursty accepted")
+		}
+	}()
+	inject(t, &Bursty{Period: 0}, spec2(), 0)
+}
+
+func TestReplayCycles(t *testing.T) {
+	a := &Replay{Steps: [][]int64{{1, 0, 0}, {5, 0, 0}}}
+	spec := spec2()
+	if inject(t, a, spec, 0)[0] != 1 || inject(t, a, spec, 1)[0] != 5 || inject(t, a, spec, 2)[0] != 1 {
+		t.Fatal("replay did not cycle")
+	}
+	empty := &Replay{}
+	if inject(t, empty, spec, 0)[0] != 0 {
+		t.Fatal("empty replay injected")
+	}
+}
+
+func TestReplayLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched replay row accepted")
+		}
+	}()
+	inject(t, &Replay{Steps: [][]int64{{1}}}, spec2(), 0)
+}
+
+func TestOnOffAlternates(t *testing.T) {
+	a := &OnOff{POnToOff: 0.5, POffToOn: 0.5, R: rng.New(7)}
+	spec := spec2()
+	on, off := 0, 0
+	for i := 0; i < 2000; i++ {
+		if inject(t, a, spec, int64(i))[0] > 0 {
+			on++
+		} else {
+			off++
+		}
+	}
+	if on < 700 || off < 700 {
+		t.Fatalf("on/off imbalance: %d/%d", on, off)
+	}
+}
+
+func TestScaledLongRunAverage(t *testing.T) {
+	// Scale exact arrivals by 3/4: in=4 → average 3/step with exact
+	// accumulator behaviour.
+	a := &Scaled{Inner: core.ExactArrivals{}, Num: 3, Den: 4}
+	spec := spec2()
+	var sum int64
+	const n = 400
+	for i := 0; i < n; i++ {
+		sum += inject(t, a, spec, int64(i))[0]
+	}
+	if sum != 3*n { // 4·3/4 per step, exactly
+		t.Fatalf("scaled sum = %d, want %d", sum, 3*n)
+	}
+}
+
+func TestScaledFractionalCarry(t *testing.T) {
+	// in=1 scaled by 1/3 → exactly one packet every 3 steps.
+	spec := core.NewSpec(graph.Line(2)).SetSource(0, 1).SetSink(1, 1)
+	a := &Scaled{Inner: core.ExactArrivals{}, Num: 1, Den: 3}
+	got := []int64{}
+	for i := 0; i < 9; i++ {
+		got = append(got, inject(t, a, spec, int64(i))[0])
+	}
+	var sum int64
+	for _, x := range got {
+		sum += x
+	}
+	if sum != 3 {
+		t.Fatalf("carry total = %d over 9 steps, want 3 (%v)", sum, got)
+	}
+}
+
+func TestScaledPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad Scaled accepted")
+		}
+	}()
+	inject(t, &Scaled{Inner: core.ExactArrivals{}, Num: 1, Den: 0}, spec2(), 0)
+}
+
+func TestNames(t *testing.T) {
+	for _, a := range []core.ArrivalProcess{
+		&Thinned{P: 0.5, R: rng.New(1)},
+		&Uniform{R: rng.New(1)},
+		&Bursty{Period: 4, BurstLen: 1, BurstFactor: 2},
+		&Replay{},
+		&OnOff{R: rng.New(1)},
+		&Scaled{Inner: core.ExactArrivals{}, Num: 1, Den: 2},
+	} {
+		if a.Name() == "" {
+			t.Fatalf("%T has empty name", a)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package baseline implements the routing policies LGG is compared
+// against in the experiments:
+//
+//   - FlowRouter: the paper's "optimal algorithm consisting in sending
+//     the packets through the links of a maximum flow" (Section II-B).
+//     It is centralized and clairvoyant: it precomputes a maximum-flow
+//     path system and shuttles packets along it.
+//   - FullGradient: a backpressure-style variant in the spirit of
+//     Tassiulas–Ephremides [3]: it transmits on every strictly downhill
+//     link, allocating the node budget to the steepest gradients first
+//     (LGG allocates to the smallest queues first).
+//   - ShortestPath: hot-potato forwarding toward the nearest sink,
+//     ignoring queue gradients entirely.
+//   - RandomForward: forwards on uniformly chosen incident links.
+//   - Null: never transmits (divergence control).
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// hop is one directed link of the flow path system.
+type hop struct {
+	edge graph.EdgeID
+	from graph.NodeID
+}
+
+// FlowRouter routes along a fixed maximum-flow path decomposition. Queues
+// are anonymous counts, so the router moves *some* packet along every hop
+// whose tail has one available; because the path system carries the full
+// arrival rate of a feasible network, the pipeline drains everything the
+// sources inject.
+type FlowRouter struct {
+	hops []hop
+}
+
+// NewFlowRouter decomposes a maximum flow of value f* (source links
+// unbounded, Section II-B) into S-D paths and returns the router, whose
+// path system can therefore carry any feasible arrival rate. It fails
+// when sources cannot reach sinks at all (f* = 0).
+func NewFlowRouter(spec *core.Spec, solver flow.Solver) (*FlowRouter, error) {
+	ext := flow.Extend(spec.G, spec.In, spec.Out, func(graph.NodeID, int64) int64 {
+		return flow.CapInf
+	})
+	res := solver.MaxFlow(ext.P)
+	if res.Value == 0 {
+		return nil, fmt.Errorf("baseline: flow router needs source-sink connectivity (f* = 0)")
+	}
+	paths := ext.SDPaths(res)
+	fr := &FlowRouter{}
+	for _, p := range paths {
+		for i, ai := range p.Arcs {
+			tag := ext.P.Arcs[ai].Tag
+			if tag.Kind != flow.TagEdge {
+				return nil, fmt.Errorf("baseline: unexpected non-edge arc inside an S-D path")
+			}
+			fr.hops = append(fr.hops, hop{
+				edge: graph.EdgeID(tag.ID),
+				from: graph.NodeID(p.Nodes[i]),
+			})
+		}
+	}
+	return fr, nil
+}
+
+// Name implements core.Router.
+func (*FlowRouter) Name() string { return "flow-paths" }
+
+// Plan implements core.Router.
+func (f *FlowRouter) Plan(sn *core.Snapshot, buf []core.Send) []core.Send {
+	// budget per node and per edge, recomputed each step
+	n := sn.Spec.N()
+	budget := make([]int64, n)
+	copy(budget, sn.Q)
+	used := make(map[graph.EdgeID]bool, len(f.hops))
+	for _, h := range f.hops {
+		if !sn.EdgeAlive(h.edge) || used[h.edge] || budget[h.from] <= 0 {
+			continue
+		}
+		used[h.edge] = true
+		budget[h.from]--
+		buf = append(buf, core.Send{Edge: h.edge, From: h.from})
+	}
+	return buf
+}
+
+// Hops returns the number of directed hops in the path system (for
+// inspection and tests).
+func (f *FlowRouter) Hops() int { return len(f.hops) }
+
+// FullGradient transmits one packet on every incident strictly-downhill
+// link, spending each node's budget on the largest gradient first.
+type FullGradient struct {
+	cand []gradCand
+}
+
+type gradCand struct {
+	edge graph.EdgeID
+	peer graph.NodeID
+	grad int64
+}
+
+// NewFullGradient returns the backpressure-style router.
+func NewFullGradient() *FullGradient { return &FullGradient{} }
+
+// Name implements core.Router.
+func (*FullGradient) Name() string { return "full-gradient" }
+
+// Plan implements core.Router.
+func (fg *FullGradient) Plan(sn *core.Snapshot, buf []core.Send) []core.Send {
+	g := sn.Spec.G
+	for v := 0; v < g.NumNodes(); v++ {
+		u := graph.NodeID(v)
+		budget := sn.Q[u]
+		if budget <= 0 {
+			continue
+		}
+		fg.cand = fg.cand[:0]
+		for _, in := range g.Incident(u) {
+			if !sn.EdgeAlive(in.Edge) {
+				continue
+			}
+			if d := sn.Q[u] - sn.Declared[in.Peer]; d > 0 {
+				fg.cand = append(fg.cand, gradCand{edge: in.Edge, peer: in.Peer, grad: d})
+			}
+		}
+		sort.Slice(fg.cand, func(i, j int) bool {
+			if fg.cand[i].grad != fg.cand[j].grad {
+				return fg.cand[i].grad > fg.cand[j].grad
+			}
+			return fg.cand[i].edge < fg.cand[j].edge
+		})
+		for _, c := range fg.cand {
+			if budget == 0 {
+				break
+			}
+			buf = append(buf, core.Send{Edge: c.edge, From: u})
+			budget--
+		}
+	}
+	return buf
+}
+
+// ShortestPath forwards toward the nearest destination: node u sends up
+// to q(u) packets over links whose far end is strictly closer to a sink,
+// nearest neighbours first. It never looks at queues, so congestion can
+// pile up arbitrarily behind a popular corridor.
+type ShortestPath struct {
+	dist []int
+}
+
+// NewShortestPath precomputes hop distances to the nearest sink of spec.
+func NewShortestPath(spec *core.Spec) *ShortestPath {
+	return &ShortestPath{dist: spec.G.MultiBFS(spec.Sinks())}
+}
+
+// Name implements core.Router.
+func (*ShortestPath) Name() string { return "shortest-path" }
+
+// Plan implements core.Router.
+func (sp *ShortestPath) Plan(sn *core.Snapshot, buf []core.Send) []core.Send {
+	g := sn.Spec.G
+	type cand struct {
+		edge graph.EdgeID
+		d    int
+	}
+	var cs []cand
+	for v := 0; v < g.NumNodes(); v++ {
+		u := graph.NodeID(v)
+		budget := sn.Q[u]
+		if budget <= 0 || sp.dist[u] <= 0 {
+			continue // sinks (dist 0) and disconnected nodes keep packets
+		}
+		cs = cs[:0]
+		for _, in := range g.Incident(u) {
+			if !sn.EdgeAlive(in.Edge) {
+				continue
+			}
+			if d := sp.dist[in.Peer]; d >= 0 && d < sp.dist[u] {
+				cs = append(cs, cand{edge: in.Edge, d: d})
+			}
+		}
+		sort.Slice(cs, func(i, j int) bool {
+			if cs[i].d != cs[j].d {
+				return cs[i].d < cs[j].d
+			}
+			return cs[i].edge < cs[j].edge
+		})
+		for _, c := range cs {
+			if budget == 0 {
+				break
+			}
+			buf = append(buf, core.Send{Edge: c.edge, From: u})
+			budget--
+		}
+	}
+	return buf
+}
+
+// RandomForward sends each node's packets over uniformly random distinct
+// incident links (up to one per link), with no notion of direction. It is
+// the weakest baseline: stable only at very light load.
+type RandomForward struct {
+	R *rng.Source
+
+	perm []int
+}
+
+// NewRandomForward returns a random-walk router driven by r.
+func NewRandomForward(r *rng.Source) *RandomForward { return &RandomForward{R: r} }
+
+// Name implements core.Router.
+func (*RandomForward) Name() string { return "random-forward" }
+
+// Plan implements core.Router.
+func (rf *RandomForward) Plan(sn *core.Snapshot, buf []core.Send) []core.Send {
+	g := sn.Spec.G
+	for v := 0; v < g.NumNodes(); v++ {
+		u := graph.NodeID(v)
+		budget := sn.Q[u]
+		if budget <= 0 {
+			continue
+		}
+		inc := g.Incident(u)
+		if len(inc) == 0 {
+			continue
+		}
+		if cap(rf.perm) < len(inc) {
+			rf.perm = make([]int, len(inc))
+		}
+		perm := rf.perm[:len(inc)]
+		for i := range perm {
+			perm[i] = i
+		}
+		rf.R.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		for _, i := range perm {
+			if budget == 0 {
+				break
+			}
+			if !sn.EdgeAlive(inc[i].Edge) {
+				continue
+			}
+			buf = append(buf, core.Send{Edge: inc[i].Edge, From: u})
+			budget--
+		}
+	}
+	return buf
+}
+
+// Null never transmits; with sources active it demonstrates unbounded
+// growth of P_t even on feasible networks (no protocol, no stability).
+type Null struct{}
+
+// Name implements core.Router.
+func (Null) Name() string { return "null" }
+
+// Plan implements core.Router.
+func (Null) Plan(_ *core.Snapshot, buf []core.Send) []core.Send { return buf }

@@ -1,0 +1,199 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func thetaSpec(paths, length int, in, out int64) *core.Spec {
+	g := graph.ThetaGraph(paths, length)
+	return core.NewSpec(g).SetSource(0, in).SetSink(1, out)
+}
+
+func TestFlowRouterStableOnTheta(t *testing.T) {
+	s := thetaSpec(3, 3, 3, 3)
+	fr, err := NewFlowRouter(s, flow.NewPushRelabel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Hops() != 9 { // 3 paths × 3 edges
+		t.Fatalf("hops = %d, want 9", fr.Hops())
+	}
+	e := core.NewEngine(s, fr)
+	tot := e.Run(500)
+	if tot.Violations != 0 {
+		t.Fatalf("violations = %d", tot.Violations)
+	}
+	// The pipeline holds at most one packet per hop plus the fresh
+	// injection: bounded far below divergence.
+	if tot.PeakQueued > 30 {
+		t.Fatalf("flow router queued %d on a feasible network", tot.PeakQueued)
+	}
+	if tot.Extracted == 0 {
+		t.Fatal("flow router delivered nothing")
+	}
+}
+
+func TestFlowRouterCarriesFStarOnOverload(t *testing.T) {
+	// Infeasible demand: the router is still built and its path system
+	// carries f* (here 1), the best any algorithm can do.
+	s := core.NewSpec(graph.Line(3)).SetSource(0, 5).SetSink(2, 5)
+	fr, err := NewFlowRouter(s, flow.NewPushRelabel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Hops() != 2 { // one unit path over two edges
+		t.Fatalf("hops = %d, want 2", fr.Hops())
+	}
+}
+
+func TestFlowRouterRejectsDisconnected(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	s := core.NewSpec(g).SetSource(0, 1).SetSink(3, 1)
+	if _, err := NewFlowRouter(s, flow.NewPushRelabel()); err == nil {
+		t.Fatal("disconnected source/sink accepted")
+	}
+}
+
+func TestFlowRouterSaturatedStillDrains(t *testing.T) {
+	// Saturated line: in == capacity of the unique path. The flow router
+	// keeps the pipeline full but bounded.
+	s := core.NewSpec(graph.Line(5)).SetSource(0, 1).SetSink(4, 1)
+	fr, err := NewFlowRouter(s, flow.NewPushRelabel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.NewEngine(s, fr)
+	tot := e.Run(400)
+	if tot.PeakQueued > 10 {
+		t.Fatalf("saturated line queued %d under the flow router", tot.PeakQueued)
+	}
+	if tot.Extracted < 300 {
+		t.Fatalf("throughput too low: %d/400", tot.Extracted)
+	}
+}
+
+func TestFullGradientStable(t *testing.T) {
+	s := thetaSpec(3, 2, 2, 3)
+	e := core.NewEngine(s, NewFullGradient())
+	tot := e.Run(500)
+	if tot.Violations != 0 {
+		t.Fatalf("violations = %d", tot.Violations)
+	}
+	if tot.PeakQueued > 100 {
+		t.Fatalf("full-gradient queued %d on an unsaturated network", tot.PeakQueued)
+	}
+}
+
+func TestFullGradientPrefersSteepest(t *testing.T) {
+	// Hub q=1 with leaves 0 and 3: budget 1 must go to the leaf with
+	// queue 0 (gradient 5) not 3 (gradient 2).
+	g := graph.Star(3)
+	s := core.NewSpec(g).SetSource(0, 1).SetSink(1, 1).SetSink(2, 1)
+	sn := &core.Snapshot{Spec: s, Q: []int64{5, 3, 0}, Declared: []int64{5, 3, 0}}
+	sends := NewFullGradient().Plan(sn, nil)
+	// node 0 budget 5 → sends on both downhill edges; node 1 (q=3) also
+	// downhill toward leaf 2? they are not adjacent in a star. Check the
+	// steepest-first order: first send from node 0 goes to leaf 2.
+	if len(sends) == 0 || sends[0].To(g) != 2 {
+		t.Fatalf("steepest-first violated: %+v", sends)
+	}
+}
+
+func TestShortestPathDeliversOnLine(t *testing.T) {
+	s := core.NewSpec(graph.Line(5)).SetSource(0, 1).SetSink(4, 1)
+	e := core.NewEngine(s, NewShortestPath(s))
+	tot := e.Run(300)
+	if tot.Extracted < 250 {
+		t.Fatalf("shortest-path delivered %d/300", tot.Extracted)
+	}
+	if tot.PeakQueued > 10 {
+		t.Fatalf("shortest-path queued %d on a line", tot.PeakQueued)
+	}
+}
+
+func TestShortestPathIgnoresGradient(t *testing.T) {
+	// Node 1 on a line toward sink 2, with a huge queue at 2's... the
+	// router must still push toward the sink even if the next hop has a
+	// larger queue (that's its defining flaw).
+	s := core.NewSpec(graph.Line(3)).SetSource(0, 1).SetSink(2, 1)
+	sp := NewShortestPath(s)
+	sn := &core.Snapshot{Spec: s, Q: []int64{1, 50, 0}, Declared: []int64{1, 50, 0}}
+	sends := sp.Plan(sn, nil)
+	fromZero := false
+	for _, send := range sends {
+		if send.From == 0 {
+			fromZero = true
+		}
+	}
+	if !fromZero {
+		t.Fatalf("shortest-path should push uphill into congestion: %+v", sends)
+	}
+}
+
+func TestRandomForwardMoves(t *testing.T) {
+	s := thetaSpec(2, 2, 1, 2)
+	e := core.NewEngine(s, NewRandomForward(rng.New(5)))
+	tot := e.Run(300)
+	if tot.Sent == 0 {
+		t.Fatal("random forward never sent")
+	}
+	// Random walks still find the sink on a small graph.
+	if tot.Extracted == 0 {
+		t.Fatal("random forward never delivered")
+	}
+}
+
+func TestNullRouterHoardsEverything(t *testing.T) {
+	s := thetaSpec(2, 2, 1, 2)
+	e := core.NewEngine(s, Null{})
+	tot := e.Run(100)
+	if tot.Sent != 0 || tot.Extracted != 0 {
+		t.Fatalf("null router acted: %+v", tot)
+	}
+	if tot.FinalQueued != 100 {
+		t.Fatalf("stored = %d, want 100", tot.FinalQueued)
+	}
+}
+
+func TestRouterNames(t *testing.T) {
+	s := thetaSpec(2, 2, 1, 2)
+	fr, _ := NewFlowRouter(s, flow.NewPushRelabel())
+	for _, r := range []core.Router{fr, NewFullGradient(), NewShortestPath(s), NewRandomForward(rng.New(1)), Null{}} {
+		if r.Name() == "" {
+			t.Fatalf("%T has empty name", r)
+		}
+	}
+}
+
+func TestAllRoutersPhysical(t *testing.T) {
+	// Every router must produce only engine-acceptable sends on a busy
+	// multigraph (collisions are allowed for random/gradient routers; hard
+	// violations are not).
+	r := rng.New(11)
+	g := graph.RandomMultigraph(12, 30, r)
+	s := core.NewSpec(g).SetSource(0, 2).SetSink(11, 3)
+	fr, err := NewFlowRouter(s, flow.NewPushRelabel())
+	routers := []core.Router{NewFullGradient(), NewShortestPath(s), NewRandomForward(r.Split(1)), Null{}}
+	if err == nil {
+		routers = append(routers, fr)
+	}
+	for _, rt := range routers {
+		e := core.NewEngine(s, rt)
+		tot := e.Run(100)
+		if tot.Violations != 0 {
+			t.Errorf("%s: %d violations", rt.Name(), tot.Violations)
+		}
+		for v, q := range e.Q {
+			if q < 0 {
+				t.Errorf("%s: negative queue at %d", rt.Name(), v)
+			}
+		}
+	}
+}

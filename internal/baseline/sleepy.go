@@ -1,0 +1,50 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Sleepy makes any router asynchronous: at each step every node is awake
+// independently with probability P (decided by a pure hash of (Seed, t,
+// node), so runs are reproducible and engine-independent), and sends
+// planned by sleeping nodes are dropped. It models duty-cycled radios and
+// probes how much synchrony LGG's stability actually needs — the
+// asynchronous relaxation the paper leaves open alongside Conjecture 4.
+type Sleepy struct {
+	Inner core.Router
+	P     float64
+	Seed  uint64
+}
+
+// Name implements core.Router.
+func (s *Sleepy) Name() string {
+	return fmt.Sprintf("sleepy(%s, p=%g)", s.Inner.Name(), s.P)
+}
+
+// Awake reports whether node v participates at step t.
+func (s *Sleepy) Awake(t int64, v graph.NodeID) bool {
+	if s.P >= 1 {
+		return true
+	}
+	if s.P <= 0 {
+		return false
+	}
+	return rng.New(s.Seed).Split(uint64(t)).Split(uint64(v)).Float64() < s.P
+}
+
+// Plan implements core.Router.
+func (s *Sleepy) Plan(sn *core.Snapshot, buf []core.Send) []core.Send {
+	base := len(buf)
+	buf = s.Inner.Plan(sn, buf)
+	kept := buf[:base]
+	for _, send := range buf[base:] {
+		if s.Awake(sn.T, send.From) {
+			kept = append(kept, send)
+		}
+	}
+	return kept
+}

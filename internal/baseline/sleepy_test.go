@@ -1,0 +1,97 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestSleepyFullyAwakeIsTransparent(t *testing.T) {
+	s := thetaSpec(3, 2, 2, 3)
+	awake := &Sleepy{Inner: core.NewLGG(), P: 1, Seed: 1}
+	plain := core.NewLGG()
+	q := []int64{5, 0, 1, 2, 3}
+	sn := &core.Snapshot{Spec: s, Q: q, Declared: q}
+	a := awake.Plan(sn, nil)
+	b := plain.Plan(sn, nil)
+	if len(a) != len(b) {
+		t.Fatalf("p=1 filtered sends: %d vs %d", len(a), len(b))
+	}
+}
+
+func TestSleepyFullyAsleepSendsNothing(t *testing.T) {
+	s := thetaSpec(3, 2, 2, 3)
+	asleep := &Sleepy{Inner: core.NewLGG(), P: 0, Seed: 1}
+	q := []int64{5, 0, 1, 2, 3}
+	sn := &core.Snapshot{Spec: s, Q: q, Declared: q}
+	if got := asleep.Plan(sn, nil); len(got) != 0 {
+		t.Fatalf("p=0 planned %d sends", len(got))
+	}
+}
+
+func TestSleepyAwakeRate(t *testing.T) {
+	s := &Sleepy{Inner: core.NewLGG(), P: 0.3, Seed: 5}
+	awake := 0
+	const n = 20000
+	for tm := int64(0); tm < n; tm++ {
+		if s.Awake(tm, 3) {
+			awake++
+		}
+	}
+	if frac := float64(awake) / n; math.Abs(frac-0.3) > 0.02 {
+		t.Fatalf("awake rate %v, want ~0.3", frac)
+	}
+}
+
+func TestSleepyDeterministic(t *testing.T) {
+	a := &Sleepy{Inner: core.NewLGG(), P: 0.5, Seed: 9}
+	b := &Sleepy{Inner: core.NewLGG(), P: 0.5, Seed: 9}
+	for tm := int64(0); tm < 200; tm++ {
+		for v := graph.NodeID(0); v < 5; v++ {
+			if a.Awake(tm, v) != b.Awake(tm, v) {
+				t.Fatal("Awake is not deterministic in (seed, t, v)")
+			}
+		}
+	}
+}
+
+func TestSleepyOnlyDropsSleepers(t *testing.T) {
+	s := thetaSpec(3, 2, 2, 3)
+	sl := &Sleepy{Inner: core.NewLGG(), P: 0.5, Seed: 2}
+	q := []int64{5, 0, 1, 2, 3}
+	sn := &core.Snapshot{Spec: s, Q: q, Declared: q, T: 7}
+	kept := sl.Plan(sn, nil)
+	for _, send := range kept {
+		if !sl.Awake(7, send.From) {
+			t.Fatalf("sleeping node %d sent", send.From)
+		}
+	}
+	// And every awake node's sends survive: compare with plain LGG.
+	plain := core.NewLGG().Plan(sn, nil)
+	want := 0
+	for _, send := range plain {
+		if sl.Awake(7, send.From) {
+			want++
+		}
+	}
+	if len(kept) != want {
+		t.Fatalf("kept %d sends, want %d", len(kept), want)
+	}
+}
+
+func TestSleepyEngineRun(t *testing.T) {
+	s := thetaSpec(3, 2, 1, 3)
+	e := core.NewEngine(s, &Sleepy{Inner: core.NewLGG(), P: 0.6, Seed: 4})
+	tot := e.Run(400)
+	if tot.Violations != 0 {
+		t.Fatalf("violations = %d", tot.Violations)
+	}
+	if tot.Extracted == 0 {
+		t.Fatal("nothing delivered at p=0.6")
+	}
+	if (&Sleepy{Inner: core.NewLGG(), P: 0.6}).Name() == "" {
+		t.Fatal("name")
+	}
+}

@@ -1,0 +1,312 @@
+// Package chain performs exact Markov-chain analysis of small
+// S-D-networks under LGG. The queue vector q_t is a Markov chain when
+// arrivals are i.i.d. across steps (the protocol itself is deterministic
+// given the injections); for networks whose reachable state space is
+// small, the package enumerates it exactly, builds the transition kernel,
+// and computes the stationary distribution by power iteration.
+//
+// This closes the loop on the stability experiments from the other side:
+// instead of observing a long simulated run, one obtains the *exact*
+// steady-state backlog and potential, and a proof (by exhaustion) that
+// the reachable state space is finite — the strongest possible form of
+// Definition 2's "remains bounded" for a given instance. The test suite
+// and experiment E24 cross-validate simulated long-run averages against
+// the exact values.
+package chain
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Outcome is one possible injection vector with its probability.
+type Outcome struct {
+	Inj []int64
+	P   float64
+}
+
+// IIDArrivals describes an arrival process that draws one Outcome
+// independently each step.
+type IIDArrivals []Outcome
+
+// Validate checks the distribution sums to 1 and is non-negative.
+func (a IIDArrivals) Validate(n int) error {
+	var sum float64
+	for i, o := range a {
+		if len(o.Inj) != n {
+			return fmt.Errorf("chain: outcome %d has %d entries, want %d", i, len(o.Inj), n)
+		}
+		if o.P < 0 {
+			return fmt.Errorf("chain: outcome %d has negative probability", i)
+		}
+		for _, x := range o.Inj {
+			if x < 0 {
+				return fmt.Errorf("chain: outcome %d has negative injection", i)
+			}
+		}
+		sum += o.P
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("chain: probabilities sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// Exact arrivals: always inject spec.In.
+func Exact(spec *core.Spec) IIDArrivals {
+	return IIDArrivals{{Inj: append([]int64(nil), spec.In...), P: 1}}
+}
+
+// ThinnedBinomial returns the distribution of independent per-packet
+// thinning with probability p at every source (the product of binomials,
+// enumerated exactly). Sources with large in(v) explode combinatorially;
+// intended for the small instances this package targets.
+func ThinnedBinomial(spec *core.Spec, p float64) IIDArrivals {
+	outcomes := IIDArrivals{{Inj: make([]int64, spec.N()), P: 1}}
+	for v := 0; v < spec.N(); v++ {
+		in := spec.In[v]
+		if in == 0 {
+			continue
+		}
+		var next IIDArrivals
+		for k := int64(0); k <= in; k++ {
+			pk := binomPMF(in, k, p)
+			for _, o := range outcomes {
+				inj := append([]int64(nil), o.Inj...)
+				inj[v] = k
+				next = append(next, Outcome{Inj: inj, P: o.P * pk})
+			}
+		}
+		outcomes = next
+	}
+	return outcomes
+}
+
+func binomPMF(n, k int64, p float64) float64 {
+	c := 1.0
+	for i := int64(0); i < k; i++ {
+		c = c * float64(n-i) / float64(i+1)
+	}
+	return c * math.Pow(p, float64(k)) * math.Pow(1-p, float64(n-k))
+}
+
+// Chain is the enumerated Markov chain.
+type Chain struct {
+	Spec   *core.Spec
+	States [][]int64 // reachable queue vectors, index = state id
+	// Trans[s] lists (state, probability) successors of state s.
+	Trans [][]Succ
+
+	index map[string]int
+}
+
+// Succ is one weighted transition.
+type Succ struct {
+	To int
+	P  float64
+}
+
+// Options bounds the enumeration.
+type Options struct {
+	// MaxStates aborts enumeration beyond this many reachable states
+	// (default 200000).
+	MaxStates int
+	// CapPerNode aborts if any reachable queue exceeds it (default 1<<30;
+	// set it to certify boundedness: enumeration completing under a cap
+	// proves every reachable state respects it).
+	CapPerNode int64
+}
+
+// Build enumerates the reachable state space of LGG under the given
+// arrival distribution, starting from the all-empty state. The router is
+// the canonical LGG (deterministic edge-order ties), so given the
+// injections each transition is deterministic; stochasticity comes only
+// from arrivals.
+func Build(spec *core.Spec, arrivals IIDArrivals, opts Options) (*Chain, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := arrivals.Validate(spec.N()); err != nil {
+		return nil, err
+	}
+	if opts.MaxStates <= 0 {
+		opts.MaxStates = 200000
+	}
+	if opts.CapPerNode <= 0 {
+		opts.CapPerNode = 1 << 30
+	}
+
+	eng := core.NewEngine(spec, core.NewLGG())
+	fixed := &fixedArrivals{}
+	eng.Arrivals = fixed
+
+	c := &Chain{Spec: spec, index: map[string]int{}}
+	add := func(q []int64) (int, error) {
+		k := key(q)
+		if id, ok := c.index[k]; ok {
+			return id, nil
+		}
+		for _, x := range q {
+			if x > opts.CapPerNode {
+				return 0, fmt.Errorf("chain: queue %d exceeds cap %d — instance looks unbounded", x, opts.CapPerNode)
+			}
+		}
+		id := len(c.States)
+		if id >= opts.MaxStates {
+			return 0, fmt.Errorf("chain: more than %d reachable states", opts.MaxStates)
+		}
+		c.States = append(c.States, append([]int64(nil), q...))
+		c.Trans = append(c.Trans, nil)
+		c.index[k] = id
+		return id, nil
+	}
+
+	zero := make([]int64, spec.N())
+	if _, err := add(zero); err != nil {
+		return nil, err
+	}
+	for frontier := 0; frontier < len(c.States); frontier++ {
+		from := c.States[frontier]
+		// merge duplicate successors
+		probs := map[int]float64{}
+		for _, o := range arrivals {
+			eng.SetQueues(from)
+			fixed.inj = o.Inj
+			eng.Step()
+			to, err := add(eng.Q)
+			if err != nil {
+				return nil, err
+			}
+			probs[to] += o.P
+		}
+		succ := make([]Succ, 0, len(probs))
+		for to, p := range probs {
+			succ = append(succ, Succ{To: to, P: p})
+		}
+		sort.Slice(succ, func(i, j int) bool { return succ[i].To < succ[j].To })
+		c.Trans[frontier] = succ
+	}
+	return c, nil
+}
+
+type fixedArrivals struct{ inj []int64 }
+
+func (f *fixedArrivals) Name() string { return "fixed" }
+func (f *fixedArrivals) Injections(_ int64, _ *core.Spec, inj []int64) {
+	copy(inj, f.inj)
+}
+
+func key(q []int64) string {
+	b := make([]byte, 0, len(q)*3)
+	for _, x := range q {
+		for x >= 0x80 {
+			b = append(b, byte(x)|0x80)
+			x >>= 7
+		}
+		b = append(b, byte(x))
+	}
+	return string(b)
+}
+
+// NumStates returns the size of the reachable state space.
+func (c *Chain) NumStates() int { return len(c.States) }
+
+// MaxBacklog returns the largest total backlog over reachable states —
+// an exact upper bound certificate for Definition 2.
+func (c *Chain) MaxBacklog() int64 {
+	var m int64
+	for _, q := range c.States {
+		if b := core.TotalQueued(q); b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// Stationary computes the stationary distribution by power iteration on
+// the lazy kernel (P+I)/2, which has the same stationary distribution as
+// P but is aperiodic, so the iteration converges geometrically even for
+// the periodic chains deterministic arrivals produce. Convergence is the
+// L1 distance between successive iterates falling below tol.
+func (c *Chain) Stationary(maxIters int, tol float64) ([]float64, error) {
+	n := len(c.States)
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	cur[0] = 1
+	for it := 1; it <= maxIters; it++ {
+		for i := range next {
+			next[i] = cur[i] / 2 // lazy self-loop
+		}
+		for s, succ := range c.Trans {
+			if cur[s] == 0 {
+				continue
+			}
+			half := cur[s] / 2
+			for _, t := range succ {
+				next[t.To] += half * t.P
+			}
+		}
+		var d float64
+		for i := range next {
+			d += math.Abs(next[i] - cur[i])
+		}
+		cur, next = next, cur
+		if d < tol {
+			return normalize(cur), nil
+		}
+	}
+	return normalize(cur), fmt.Errorf("chain: stationary iteration did not reach tol %v in %d sweeps", tol, maxIters)
+}
+
+func normalize(pi []float64) []float64 {
+	var sum float64
+	for _, p := range pi {
+		sum += p
+	}
+	out := make([]float64, len(pi))
+	if sum > 0 {
+		for i, p := range pi {
+			out[i] = p / sum
+		}
+	}
+	return out
+}
+
+// ExpectedBacklog returns E_π[N] under the distribution pi.
+func (c *Chain) ExpectedBacklog(pi []float64) float64 {
+	var e float64
+	for s, p := range pi {
+		e += p * float64(core.TotalQueued(c.States[s]))
+	}
+	return e
+}
+
+// ExpectedPotential returns E_π[P] under the distribution pi.
+func (c *Chain) ExpectedPotential(pi []float64) float64 {
+	var e float64
+	for s, p := range pi {
+		e += p * float64(core.Potential(c.States[s]))
+	}
+	return e
+}
+
+// BacklogTail returns the exact stationary tail P[N ≥ k] for
+// k = 0 … MaxBacklog(). Stability proofs bound E[N]; the tail shows the
+// full distribution (typically geometric away from capacity).
+func (c *Chain) BacklogTail(pi []float64) []float64 {
+	maxN := c.MaxBacklog()
+	pmf := make([]float64, maxN+1)
+	for s, p := range pi {
+		pmf[core.TotalQueued(c.States[s])] += p
+	}
+	tail := make([]float64, maxN+1)
+	acc := 0.0
+	for k := maxN; k >= 0; k-- {
+		acc += pmf[k]
+		tail[k] = acc
+	}
+	return tail
+}

@@ -1,0 +1,229 @@
+package chain
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arrivals"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func line2Spec() *core.Spec {
+	return core.NewSpec(graph.Line(2)).SetSource(0, 1).SetSink(1, 1)
+}
+
+func thetaSpec() *core.Spec {
+	return core.NewSpec(graph.ThetaGraph(2, 2)).SetSource(0, 2).SetSink(1, 2)
+}
+
+func TestBuildDeterministicLine(t *testing.T) {
+	// Exact arrivals on the 2-node line: the chain settles into a cycle;
+	// the reachable space is tiny.
+	c, err := Build(line2Spec(), Exact(line2Spec()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumStates() > 6 {
+		t.Fatalf("line(2) reachable states = %d, expected a handful", c.NumStates())
+	}
+	// Every state's transitions sum to 1.
+	for s, succ := range c.Trans {
+		var sum float64
+		for _, x := range succ {
+			sum += x.P
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("state %d transitions sum to %v", s, sum)
+		}
+	}
+	if c.MaxBacklog() > 3 {
+		t.Fatalf("max backlog = %d", c.MaxBacklog())
+	}
+}
+
+func TestBoundednessCertificate(t *testing.T) {
+	// Enumeration completing under a cap is a PROOF that every reachable
+	// state respects it — Definition 2 by exhaustion.
+	spec := thetaSpec()
+	c, err := Build(spec, Exact(spec), Options{CapPerNode: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MaxBacklog() == 0 {
+		t.Fatal("degenerate chain")
+	}
+	t.Logf("theta(2,2) exact: %d reachable states, max backlog %d", c.NumStates(), c.MaxBacklog())
+}
+
+func TestUnboundedDetection(t *testing.T) {
+	// Infeasible line: the enumeration must hit the cap.
+	spec := core.NewSpec(graph.Line(3)).SetSource(0, 2).SetSink(2, 2)
+	if _, err := Build(spec, Exact(spec), Options{CapPerNode: 30, MaxStates: 5000}); err == nil {
+		t.Fatal("infeasible instance enumerated a finite space")
+	}
+}
+
+func TestThinnedBinomialDistribution(t *testing.T) {
+	spec := line2Spec() // in = 1: outcomes 0 and 1
+	d := ThinnedBinomial(spec, 0.25)
+	if err := d.Validate(spec.N()); err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 2 {
+		t.Fatalf("outcomes = %d", len(d))
+	}
+	var p1 float64
+	for _, o := range d {
+		if o.Inj[0] == 1 {
+			p1 = o.P
+		}
+	}
+	if math.Abs(p1-0.25) > 1e-12 {
+		t.Fatalf("P[inj=1] = %v", p1)
+	}
+	// in = 2: three outcomes with binomial(2, p) masses
+	ts := thetaSpec()
+	d2 := ThinnedBinomial(ts, 0.5)
+	if len(d2) != 3 {
+		t.Fatalf("binomial(2) outcomes = %d", len(d2))
+	}
+	if err := d2.Validate(ts.N()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadDistributions(t *testing.T) {
+	spec := line2Spec()
+	bad := IIDArrivals{{Inj: []int64{1, 0}, P: 0.7}}
+	if bad.Validate(spec.N()) == nil {
+		t.Fatal("non-normalized distribution accepted")
+	}
+	neg := IIDArrivals{{Inj: []int64{-1, 0}, P: 1}}
+	if neg.Validate(spec.N()) == nil {
+		t.Fatal("negative injection accepted")
+	}
+	short := IIDArrivals{{Inj: []int64{1}, P: 1}}
+	if short.Validate(spec.N()) == nil {
+		t.Fatal("short vector accepted")
+	}
+}
+
+func TestStationaryMatchesSimulationThinned(t *testing.T) {
+	// The headline cross-validation: exact stationary backlog vs a long
+	// simulated average under the same thinned arrivals.
+	spec := thetaSpec()
+	p := 0.6
+	c, err := Build(spec, ThinnedBinomial(spec, p), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := c.Stationary(100000, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactN := c.ExpectedBacklog(pi)
+
+	// simulate
+	e := core.NewEngine(spec, core.NewLGG())
+	e.Arrivals = &arrivals.Thinned{P: p, R: rng.New(42)}
+	r := sim.Run(e, sim.Options{Horizon: 200000})
+	tail := r.Series.Queued[len(r.Series.Queued)/4:]
+	var simN float64
+	for _, x := range tail {
+		simN += x
+	}
+	simN /= float64(len(tail))
+
+	if math.Abs(simN-exactN) > 0.05*math.Max(1, exactN) {
+		t.Fatalf("simulated backlog %.4f vs exact %.4f", simN, exactN)
+	}
+	t.Logf("theta(2,2) thinned p=%.1f: exact E[N]=%.4f simulated=%.4f (%d states)",
+		p, exactN, simN, c.NumStates())
+}
+
+func TestStationaryDeterministicCycle(t *testing.T) {
+	// Deterministic arrivals on a 3-node line: the steady cycle holds a
+	// packet in transit at every step boundary; the lazy power iteration
+	// must converge despite the underlying periodicity.
+	spec := core.NewSpec(graph.Line(3)).SetSource(0, 1).SetSink(2, 1)
+	c, err := Build(spec, Exact(spec), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := c.Stationary(20000, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range pi {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("stationary mass = %v", sum)
+	}
+	if c.ExpectedBacklog(pi) <= 0 {
+		t.Fatal("steady cycle should hold packets at step boundaries")
+	}
+}
+
+func TestLine2EmptiesEveryStep(t *testing.T) {
+	// The 2-node line drains within each step: its only recurrent state
+	// is the empty vector — a nice exact fact in itself.
+	spec := line2Spec()
+	c, err := Build(spec, Exact(spec), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumStates() != 1 || core.TotalQueued(c.States[0]) != 0 {
+		t.Fatalf("line(2) states = %v", c.States)
+	}
+}
+
+func TestExpectedPotential(t *testing.T) {
+	spec := line2Spec()
+	c, _ := Build(spec, Exact(spec), Options{})
+	pi, _ := c.Stationary(5000, 1e-10)
+	if c.ExpectedPotential(pi) < c.ExpectedBacklog(pi) {
+		// P = Σq² ≥ Σq when queues are integers ≥ 0 with at least one ≥1
+		t.Fatal("E[P] < E[N] is impossible for integer queues")
+	}
+}
+
+func TestBacklogTail(t *testing.T) {
+	spec := thetaSpec()
+	c, err := Build(spec, ThinnedBinomial(spec, 0.6), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := c.Stationary(100000, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := c.BacklogTail(pi)
+	if math.Abs(tail[0]-1) > 1e-9 {
+		t.Fatalf("P[N≥0] = %v, want 1", tail[0])
+	}
+	for k := 1; k < len(tail); k++ {
+		if tail[k] > tail[k-1]+1e-12 {
+			t.Fatalf("tail not monotone at %d: %v > %v", k, tail[k], tail[k-1])
+		}
+	}
+	// E[N] = Σ_{k≥1} P[N≥k] must agree with ExpectedBacklog.
+	var e float64
+	for k := 1; k < len(tail); k++ {
+		e += tail[k]
+	}
+	if math.Abs(e-c.ExpectedBacklog(pi)) > 1e-9 {
+		t.Fatalf("tail-sum E[N] %v vs direct %v", e, c.ExpectedBacklog(pi))
+	}
+}
+
+func TestMaxStatesGuard(t *testing.T) {
+	spec := thetaSpec()
+	if _, err := Build(spec, ThinnedBinomial(spec, 0.5), Options{MaxStates: 2}); err == nil {
+		t.Fatal("state cap ignored")
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/flow"
+)
+
+// This file computes the explicit constants of the paper's stability
+// proofs so experiments can compare measured behaviour against them:
+//
+//   Property 1:  P_{t+1} − P_t ≤ 5nΔ²
+//   Property 2:  P_t > nY² ⇒ P_{t+1} − P_t < −5nΔ², Y = (5nf*/ε + 3n)Δ²
+//   Lemma 1:     P_t ≤ nY² + 5nΔ²
+//   Property 3:  P_{t+1} − P_t ≤ 2k(R+out_max)out_max + Δ²(3n−2k) + 4kΔR
+//                with k = |S ∪ D| (R-generalized, unsaturated)
+//
+// and the slack ε = min_s (Φ(s*,s) − in(s)) certified by a maximum
+// uniform scaling of the source capacities.
+
+// Slack returns the largest rational λ = Num/Den such that the scaled
+// demands (1+λ)·in(v) are still feasible in G*, certified by an exact
+// integer max-flow on capacities multiplied by Den. Den is the arrival
+// rate (the natural denominator: for integer capacities the critical λ of
+// Definition 4 is at least 1/rate whenever it is positive). A saturated
+// network returns 0/rate; an infeasible one returns a negative numerator.
+func Slack(spec *Spec, solver flow.Solver) (num, den int64) {
+	rate := spec.ArrivalRate()
+	if rate == 0 {
+		panic("core: Slack on a network with no arrivals")
+	}
+	den = rate
+	feasibleAt := func(p int64) bool { return scaledFeasible(spec, den, p, solver) }
+	if !feasibleAt(0) {
+		return -1, den
+	}
+	// Exponential + binary search for the largest feasible p.
+	lo, hi := int64(0), int64(1)
+	for feasibleAt(hi) {
+		lo = hi
+		hi *= 2
+		if hi > den*flow.CapInf/den/4 || hi > (int64(1)<<40) {
+			break // effectively unbounded slack; cap the report
+		}
+	}
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		if feasibleAt(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, den
+}
+
+// scaledFeasible checks whether demands in(v)·(den+p)/den are feasible by
+// scaling every capacity by den (graph edges den, sink links out·den,
+// source links in·(den+p)) and asking for saturation of the source links.
+func scaledFeasible(spec *Spec, den, p int64, solver flow.Solver) bool {
+	n := spec.N()
+	b := flow.NewBuilder(n + 2)
+	sStar, dStar := n, n+1
+	for e, edge := range spec.G.Edges() {
+		b.AddUndirected(int(edge.U), int(edge.V), den, flow.Tag{Kind: flow.TagEdge, ID: int32(e)})
+	}
+	var want int64
+	for v := 0; v < n; v++ {
+		if spec.In[v] > 0 {
+			c := spec.In[v] * (den + p)
+			want += c
+			b.AddArc(sStar, v, c, flow.Tag{Kind: flow.TagSourceLink, ID: int32(v)})
+		}
+		if spec.Out[v] > 0 {
+			b.AddArc(v, dStar, spec.Out[v]*den, flow.Tag{Kind: flow.TagSinkLink, ID: int32(v)})
+		}
+	}
+	res := solver.MaxFlow(b.Build(sStar, dStar))
+	return res.Value == want
+}
+
+// Eps returns the paper's ε = min_s (Φ(s*,s) − in(s)) certified by the
+// maximal uniform scaling: ε = λ*·min_s in(s). It is positive exactly for
+// unsaturated networks.
+func Eps(spec *Spec, solver flow.Solver) float64 {
+	num, den := Slack(spec, solver)
+	if num <= 0 {
+		return 0
+	}
+	inMin := int64(0)
+	for _, x := range spec.In {
+		if x > 0 && (inMin == 0 || x < inMin) {
+			inMin = x
+		}
+	}
+	return float64(num) / float64(den) * float64(inMin)
+}
+
+// Bounds bundles the explicit constants of Lemma 1 for an unsaturated
+// network.
+type Bounds struct {
+	N     int
+	Delta int
+	FStar int64
+	Eps   float64
+	// GrowthBound is Property 1's 5nΔ².
+	GrowthBound float64
+	// Y is Property 2's threshold constant (5nf*/ε + 3n)Δ².
+	Y float64
+	// StateBound is Lemma 1's nY² + 5nΔ².
+	StateBound float64
+}
+
+// ComputeBounds evaluates the Lemma 1 constants. It fails unless the
+// network is unsaturated (the regime where the constants are defined).
+func ComputeBounds(spec *Spec, solver flow.Solver) (Bounds, error) {
+	a := spec.Analyze(solver)
+	if a.Feasibility != flow.Unsaturated {
+		return Bounds{}, fmt.Errorf("core: bounds require an unsaturated network, have %v", a.Feasibility)
+	}
+	eps := Eps(spec, solver)
+	if eps <= 0 {
+		return Bounds{}, fmt.Errorf("core: unsaturated network reported zero slack")
+	}
+	n := float64(spec.N())
+	d := float64(spec.Delta())
+	fstar := float64(a.FStar)
+	y := (5*n*fstar/eps + 3*n) * d * d
+	return Bounds{
+		N:           spec.N(),
+		Delta:       spec.Delta(),
+		FStar:       a.FStar,
+		Eps:         eps,
+		GrowthBound: 5 * n * d * d,
+		Y:           y,
+		StateBound:  n*y*y + 5*n*d*d,
+	}, nil
+}
+
+// GeneralizedGrowthBound evaluates Property 3's bound on P_{t+1} − P_t
+// for an unsaturated R-generalized network:
+//
+//	2k(R+out_max)out_max + Δ²(3n − 2k) + 4kΔR, k = |S ∪ D|.
+func GeneralizedGrowthBound(spec *Spec) float64 {
+	n := float64(spec.N())
+	d := float64(spec.Delta())
+	k := float64(spec.Terminals())
+	r := float64(spec.MaxRetention())
+	outMax := float64(spec.MaxOut())
+	return 2*k*(r+outMax)*outMax + d*d*(3*n-2*k) + 4*k*d*r
+}
+
+// GeneralizedThreshold evaluates the terminal-queue threshold of
+// Property 6's first case: once some generalized node x holds
+//
+//	q_t(x) > (Δ²(3n − 2k) + 7kRΔ)/ε + k(R + out_max)·out_max
+//
+// packets, the negative drift of δ_t kicks in (k = |S ∪ D|). eps must be
+// the positive slack of an unsaturated network (see Eps).
+func GeneralizedThreshold(spec *Spec, eps float64) float64 {
+	if eps <= 0 {
+		panic("core: GeneralizedThreshold needs positive slack")
+	}
+	n := float64(spec.N())
+	d := float64(spec.Delta())
+	k := float64(spec.Terminals())
+	r := float64(spec.MaxRetention())
+	outMax := float64(spec.MaxOut())
+	return (d*d*(3*n-2*k)+7*k*r*d)/eps + k*(r+outMax)*outMax
+}

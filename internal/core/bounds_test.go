@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/graph"
+)
+
+func thetaSpec(paths, length int, in, out int64) *Spec {
+	g := graph.ThetaGraph(paths, length)
+	return NewSpec(g).SetSource(0, in).SetSink(1, out)
+}
+
+func TestSlackTheta(t *testing.T) {
+	// 3 disjoint length-2 paths, demand 2, sink 3: every non-trivial cut
+	// has value ≥ 3, so the maximal uniform scaling is λ = 1/2.
+	s := thetaSpec(3, 2, 2, 3)
+	num, den := Slack(s, flow.NewPushRelabel())
+	if den != 2 {
+		t.Fatalf("den = %d, want arrival rate 2", den)
+	}
+	if num != 1 {
+		t.Fatalf("num = %d, want 1 (λ = 1/2)", num)
+	}
+}
+
+func TestSlackSaturated(t *testing.T) {
+	s := lineSpec(4, 1, 1) // interior edges pin the flow at the rate
+	num, _ := Slack(s, flow.NewPushRelabel())
+	if num != 0 {
+		t.Fatalf("saturated slack num = %d, want 0", num)
+	}
+}
+
+func TestSlackInfeasible(t *testing.T) {
+	s := lineSpec(4, 2, 2)
+	num, _ := Slack(s, flow.NewPushRelabel())
+	if num >= 0 {
+		t.Fatalf("infeasible slack num = %d, want negative", num)
+	}
+}
+
+func TestEps(t *testing.T) {
+	s := thetaSpec(3, 2, 2, 3)
+	eps := Eps(s, flow.NewPushRelabel())
+	if math.Abs(eps-1.0) > 1e-9 { // λ·in_min = 0.5·2
+		t.Fatalf("eps = %v, want 1.0", eps)
+	}
+	if Eps(lineSpec(4, 1, 1), flow.NewPushRelabel()) != 0 {
+		t.Fatal("saturated eps should be 0")
+	}
+}
+
+func TestComputeBounds(t *testing.T) {
+	s := thetaSpec(3, 2, 2, 3) // n=5, Δ=3, f*=3, ε=1
+	b, err := ComputeBounds(s, flow.NewPushRelabel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N != 5 || b.Delta != 3 || b.FStar != 3 {
+		t.Fatalf("bounds = %+v", b)
+	}
+	if b.GrowthBound != 5*5*9 {
+		t.Fatalf("growth bound = %v, want 225", b.GrowthBound)
+	}
+	wantY := (5*5*3/1.0 + 3*5) * 9
+	if math.Abs(b.Y-wantY) > 1e-9 {
+		t.Fatalf("Y = %v, want %v", b.Y, wantY)
+	}
+	wantState := 5*wantY*wantY + 225
+	if math.Abs(b.StateBound-wantState) > 1e-6 {
+		t.Fatalf("state bound = %v, want %v", b.StateBound, wantState)
+	}
+}
+
+func TestComputeBoundsRejectsSaturated(t *testing.T) {
+	if _, err := ComputeBounds(lineSpec(4, 1, 1), flow.NewPushRelabel()); err == nil {
+		t.Fatal("saturated network accepted")
+	}
+	if _, err := ComputeBounds(lineSpec(4, 2, 2), flow.NewPushRelabel()); err == nil {
+		t.Fatal("infeasible network accepted")
+	}
+}
+
+func TestGeneralizedGrowthBound(t *testing.T) {
+	s := thetaSpec(3, 2, 2, 3)
+	s.SetRetention(1, 4)
+	// n=5, Δ=3, k=|S∪D|=2, R=4, out_max=3:
+	// 2·2·(4+3)·3 + 9·(15−4) + 4·2·3·4 = 84 + 99 + 96 = 279
+	if got := GeneralizedGrowthBound(s); got != 279 {
+		t.Fatalf("generalized growth bound = %v, want 279", got)
+	}
+	// With R=0 and distinct terminals it should still dominate 0.
+	if GeneralizedGrowthBound(lineSpec(3, 1, 1)) <= 0 {
+		t.Fatal("bound must be positive")
+	}
+}
+
+func TestGeneralizedThreshold(t *testing.T) {
+	s := thetaSpec(3, 2, 2, 3)
+	s.SetRetention(1, 4)
+	// n=5, Δ=3, k=2, R=4, out_max=3, ε=1:
+	// (9·(15−4) + 7·2·4·3)/1 + 2·(4+3)·3 = (99+168) + 42 = 309
+	if got := GeneralizedThreshold(s, 1); got != 309 {
+		t.Fatalf("generalized threshold = %v, want 309", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero slack accepted")
+		}
+	}()
+	GeneralizedThreshold(s, 0)
+}
+
+func TestGeneralizedBoundsObservedInRuns(t *testing.T) {
+	// Run the lying R-generalized network and check Property 6's
+	// threshold is an upper bound on any terminal queue observed in the
+	// stable regime (the contrapositive of the decrease property: if
+	// terminals exceeded it persistently, the state would be draining).
+	s := thetaSpec(3, 2, 2, 3)
+	for v := range s.R {
+		if s.In[v] > 0 || s.Out[v] > 0 {
+			s.R[v] = 4
+		}
+	}
+	eps := Eps(s, flow.NewPushRelabel())
+	if eps <= 0 {
+		t.Fatal("expected slack")
+	}
+	threshold := GeneralizedThreshold(s, eps)
+	e := NewEngine(s, NewLGG())
+	e.Declare = DeclareZero{}
+	e.Extract = ExtractMin{}
+	var maxTerminal int64
+	for i := 0; i < 3000; i++ {
+		e.Step()
+		for v := range s.In {
+			if (s.In[v] > 0 || s.Out[v] > 0) && e.Q[v] > maxTerminal {
+				maxTerminal = e.Q[v]
+			}
+		}
+	}
+	if float64(maxTerminal) > threshold {
+		t.Fatalf("terminal queue %d exceeded the Property 6 threshold %v", maxTerminal, threshold)
+	}
+}
+
+func TestSlackPanicsWithoutArrivals(t *testing.T) {
+	s := NewSpec(graph.Line(2))
+	s.SetSink(1, 1)
+	s.In[0] = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Slack accepted a rate-0 network")
+		}
+	}()
+	Slack(s, flow.NewPushRelabel())
+}
+
+func TestBoundsAreRunUpperBounds(t *testing.T) {
+	// Lemma 1 in action: run LGG on the unsaturated theta network and
+	// check the measured state stays below the theoretical bound (which
+	// is astronomically loose — the point is the direction).
+	s := thetaSpec(3, 2, 2, 3)
+	b, err := ComputeBounds(s, flow.NewPushRelabel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(s, NewLGG())
+	tot := e.Run(2000)
+	if float64(tot.PeakPotential) > b.StateBound {
+		t.Fatalf("P_t peak %d exceeded Lemma 1 bound %v", tot.PeakPotential, b.StateBound)
+	}
+	if tot.PeakPotential == 0 {
+		t.Fatal("network never held a packet — degenerate run")
+	}
+}

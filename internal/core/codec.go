@@ -1,0 +1,175 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// This file implements a text codec for whole network specs, extending
+// the graph format of internal/graph with role directives:
+//
+//	# comment
+//	nodes <n>
+//	edge <u> <v> [count]
+//	source <v> <in>
+//	sink <v> <out>
+//	retain <v> <R>
+//
+// cmd/lggflow and cmd/lggsim accept files in this format.
+//
+// The decoder enforces sanity limits (≤ 4M nodes, ≤ 1M copies per edge
+// line) so hostile inputs cannot trigger unbounded allocation.
+
+const (
+	maxDecodeNodes = 1 << 22
+	maxDecodeMulti = 1 << 20
+)
+
+// EncodeSpec writes s in the text format.
+func EncodeSpec(w io.Writer, s *Spec) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "nodes %d\n", s.N())
+	for _, e := range s.G.Edges() {
+		fmt.Fprintf(bw, "edge %d %d\n", e.U, e.V)
+	}
+	for v := 0; v < s.N(); v++ {
+		if s.In[v] > 0 {
+			fmt.Fprintf(bw, "source %d %d\n", v, s.In[v])
+		}
+		if s.Out[v] > 0 {
+			fmt.Fprintf(bw, "sink %d %d\n", v, s.Out[v])
+		}
+		if s.R[v] > 0 {
+			fmt.Fprintf(bw, "retain %d %d\n", v, s.R[v])
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeSpec parses the text format produced by EncodeSpec. The result is
+// validated before being returned.
+func DecodeSpec(r io.Reader) (*Spec, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var g *graph.Multigraph
+	var spec *Spec
+	line := 0
+	need := func(fields []string, want int) error {
+		if len(fields) != want {
+			return fmt.Errorf("core: line %d: %s wants %d arguments", line, fields[0], want-1)
+		}
+		return nil
+	}
+	parseInt := func(s string) (int64, error) {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("core: line %d: bad number %q", line, s)
+		}
+		return v, nil
+	}
+	nodeOf := func(s string) (graph.NodeID, error) {
+		v, err := parseInt(s)
+		if err != nil {
+			return 0, err
+		}
+		if g == nil {
+			return 0, fmt.Errorf("core: line %d: directive before nodes", line)
+		}
+		if v < 0 || v >= int64(g.NumNodes()) {
+			return 0, fmt.Errorf("core: line %d: node %d out of range", line, v)
+		}
+		return graph.NodeID(v), nil
+	}
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "nodes":
+			if g != nil {
+				return nil, fmt.Errorf("core: line %d: duplicate nodes directive", line)
+			}
+			if err := need(fields, 2); err != nil {
+				return nil, err
+			}
+			n, err := parseInt(fields[1])
+			if err != nil || n < 0 || n > maxDecodeNodes {
+				return nil, fmt.Errorf("core: line %d: bad node count %q", line, fields[1])
+			}
+			g = graph.New(int(n))
+			spec = NewSpec(g)
+		case "edge":
+			if len(fields) != 3 && len(fields) != 4 {
+				return nil, fmt.Errorf("core: line %d: edge wants 2 or 3 arguments", line)
+			}
+			u, err := nodeOf(fields[1])
+			if err != nil {
+				return nil, err
+			}
+			v, err := nodeOf(fields[2])
+			if err != nil {
+				return nil, err
+			}
+			if u == v {
+				return nil, fmt.Errorf("core: line %d: self-loop at %d", line, u)
+			}
+			count := int64(1)
+			if len(fields) == 4 {
+				count, err = parseInt(fields[3])
+				if err != nil || count < 1 || count > maxDecodeMulti {
+					return nil, fmt.Errorf("core: line %d: bad count %q", line, fields[3])
+				}
+			}
+			g.AddEdges(u, v, int(count))
+		case "source", "sink", "retain":
+			if err := need(fields, 3); err != nil {
+				return nil, err
+			}
+			v, err := nodeOf(fields[1])
+			if err != nil {
+				return nil, err
+			}
+			x, err := parseInt(fields[2])
+			if err != nil {
+				return nil, err
+			}
+			switch fields[0] {
+			case "source":
+				if x <= 0 {
+					return nil, fmt.Errorf("core: line %d: source capacity must be positive", line)
+				}
+				spec.In[v] = x
+			case "sink":
+				if x <= 0 {
+					return nil, fmt.Errorf("core: line %d: sink capacity must be positive", line)
+				}
+				spec.Out[v] = x
+			case "retain":
+				if x < 0 {
+					return nil, fmt.Errorf("core: line %d: retention must be non-negative", line)
+				}
+				spec.R[v] = x
+			}
+		default:
+			return nil, fmt.Errorf("core: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if spec == nil {
+		return nil, fmt.Errorf("core: missing nodes directive")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestSpecCodecRoundTrip(t *testing.T) {
+	g := graph.ThetaGraph(3, 2)
+	s := NewSpec(g).SetSource(0, 2).SetSink(1, 3).SetRetention(1, 5)
+	var buf bytes.Buffer
+	if err := EncodeSpec(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeSpec(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != s.N() || back.G.NumEdges() != s.G.NumEdges() {
+		t.Fatal("graph changed in round trip")
+	}
+	for v := 0; v < s.N(); v++ {
+		if back.In[v] != s.In[v] || back.Out[v] != s.Out[v] || back.R[v] != s.R[v] {
+			t.Fatalf("roles changed at node %d", v)
+		}
+	}
+}
+
+func TestDecodeSpecFull(t *testing.T) {
+	in := `# a network
+nodes 3
+edge 0 1 2
+edge 1 2
+source 0 4
+sink 2 1
+retain 2 7
+`
+	s, err := DecodeSpec(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.G.Multiplicity(0, 1) != 2 {
+		t.Fatal("edge count lost")
+	}
+	if s.In[0] != 4 || s.Out[2] != 1 || s.R[2] != 7 {
+		t.Fatalf("roles = in:%v out:%v r:%v", s.In, s.Out, s.R)
+	}
+}
+
+func TestDecodeSpecErrors(t *testing.T) {
+	cases := []string{
+		"",                              // empty
+		"nodes 2\nnodes 2",              // duplicate
+		"edge 0 1",                      // before nodes
+		"source 0 1",                    // before nodes
+		"nodes x",                       // bad count
+		"nodes 2\nedge 0 0",             // self loop
+		"nodes 2\nedge 0 9",             // out of range
+		"nodes 2\nedge 0 1 0",           // bad multiplicity
+		"nodes 2\nsource 0 0",           // zero source
+		"nodes 2\nsink 1 -2",            // negative sink
+		"nodes 2\nretain 0 -1",          // negative retention
+		"nodes 2\nbogus 0 1",            // unknown directive
+		"nodes 2\nsource 0",             // arity
+		"nodes 2\nedge 0 1\nsource 0 1", // validates: no sink
+		"nodes 2\nedge 0 1\nsink 1 1",   // validates: no source
+		"nodes 2\nsource 0 q",           // bad number
+	}
+	for _, in := range cases {
+		if _, err := DecodeSpec(strings.NewReader(in)); err == nil {
+			t.Errorf("DecodeSpec(%q) succeeded, want error", in)
+		}
+	}
+}
+
+// Property: random specs round-trip exactly.
+func TestQuickSpecCodecRoundTrip(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		r := rng.New(seed)
+		n := int(nRaw%10) + 2
+		g := graph.RandomMultigraph(n, n+r.IntN(n), r)
+		s := NewSpec(g)
+		s.SetSource(0, 1+r.Int64N(5))
+		s.SetSink(graph.NodeID(n-1), 1+r.Int64N(5))
+		if r.Bool(0.5) {
+			s.SetRetention(graph.NodeID(n-1), r.Int64N(10)+1)
+		}
+		var buf bytes.Buffer
+		if err := EncodeSpec(&buf, s); err != nil {
+			return false
+		}
+		back, err := DecodeSpec(&buf)
+		if err != nil {
+			return false
+		}
+		if back.N() != s.N() || back.G.NumEdges() != s.G.NumEdges() {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if back.In[v] != s.In[v] || back.Out[v] != s.Out[v] || back.R[v] != s.R[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

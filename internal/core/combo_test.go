@@ -1,0 +1,182 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Combination tests: the engine's optional hooks composed together.
+
+// maskTopology kills a fixed edge set.
+type maskTopology struct{ dead map[graph.EdgeID]bool }
+
+func (m maskTopology) Name() string                           { return "mask" }
+func (m maskTopology) EdgeAlive(_ int64, e graph.EdgeID) bool { return !m.dead[e] }
+
+// firstK keeps at most k sends.
+type firstK struct{ k int }
+
+func (f firstK) Name() string { return "first-k" }
+func (f firstK) Filter(_ *Snapshot, sends []Send) []Send {
+	if len(sends) > f.k {
+		return sends[:f.k]
+	}
+	return sends
+}
+
+func TestTopologyPlusInterference(t *testing.T) {
+	// Both hooks active: sends must respect the dead-edge mask AND the
+	// interference cap simultaneously.
+	g := graph.Star(5)
+	s := NewSpec(g).SetSource(0, 4)
+	for i := 1; i < 5; i++ {
+		s.SetSink(graph.NodeID(i), 1)
+	}
+	e := NewEngine(s, NewLGG())
+	e.Topology = maskTopology{dead: map[graph.EdgeID]bool{0: true}}
+	e.Interference = firstK{k: 2}
+	st := e.Step()
+	if st.Sent > 2 {
+		t.Fatalf("interference cap ignored: sent %d", st.Sent)
+	}
+	if st.Violations != 0 {
+		t.Fatalf("LGG should never plan dead edges: %d violations", st.Violations)
+	}
+	// Edge 0 dead: all sends on edges 1..3.
+	// run longer to make sure the combination stays consistent
+	tot := e.Run(200)
+	if tot.Violations != 0 {
+		t.Fatalf("violations over run: %d", tot.Violations)
+	}
+}
+
+func TestLyingPlusLossesPlusRetention(t *testing.T) {
+	// The full generalized stack at once: lying declarations, retention,
+	// lazy extraction, random losses — invariants must hold throughout.
+	r := rng.New(3)
+	g := graph.RandomMultigraph(8, 16, r)
+	s := NewSpec(g).SetSource(0, 2).SetSink(7, 3)
+	s.SetRetention(7, 5)
+	e := NewEngine(s, NewLGG())
+	e.Declare = DeclareZero{}
+	e.Extract = ExtractMin{}
+	e.Loss = comboLoss{r: r.Split(1)}
+	var tot Totals
+	for i := 0; i < 500; i++ {
+		st := e.Step()
+		tot.Add(st)
+		for v, q := range e.Q {
+			if q < 0 {
+				t.Fatalf("negative queue at %d", v)
+			}
+		}
+		if st.Violations != 0 {
+			t.Fatalf("step %d: %d violations", i, st.Violations)
+		}
+	}
+	if tot.Injected != tot.Extracted+tot.FinalQueued+tot.Lost {
+		t.Fatal("conservation broken under the combined stack")
+	}
+	// Retention semantics: the sink's queue above R+out must be impossible
+	// at a step boundary (Definition 7(i) forces extraction down to R
+	// whenever q-R ≤ out... here out=3, so post-extraction q ≤ max(R, q-out)).
+	if e.Q[7] > 5+3 {
+		t.Fatalf("sink queue %d exceeds R+out", e.Q[7])
+	}
+}
+
+type comboLoss struct{ r *rng.Source }
+
+func (c comboLoss) Name() string                                { return "combo" }
+func (c comboLoss) Lost(int64, graph.EdgeID, graph.NodeID) bool { return c.r.Bool(0.15) }
+
+func TestRetentionNeverForcedBelowR(t *testing.T) {
+	// Definition 7(i) lower bound never forces the queue under R.
+	g := graph.Line(2)
+	s := NewSpec(g).SetSource(0, 1).SetSink(1, 4).SetRetention(1, 3)
+	e := NewEngine(s, nullRouter{})
+	e.Arrivals = noArrivals{}
+	e.Extract = ExtractMin{}
+	for _, q0 := range []int64{0, 1, 3, 4, 7, 20} {
+		e.SetQueues([]int64{0, q0})
+		e.Step()
+		got := e.Q[1]
+		// forced extraction: min(out, q−R) when q > R
+		want := q0
+		if q0 > 3 {
+			forced := q0 - 3
+			if forced > 4 {
+				forced = 4
+			}
+			want = q0 - forced
+		}
+		if got != want {
+			t.Fatalf("q0=%d: post-extraction %d, want %d", q0, got, want)
+		}
+		if q0 >= 3 && got < 3 {
+			t.Fatalf("q0=%d: forced below R (%d)", q0, got)
+		}
+	}
+}
+
+func TestDeclareClampedToLegalRange(t *testing.T) {
+	// A policy returning out-of-range values is clamped to [0, R].
+	g := graph.Line(2)
+	s := NewSpec(g).SetSource(0, 1).SetSink(1, 1).SetRetention(1, 4)
+	e := NewEngine(s, NewLGG())
+	e.Arrivals = noArrivals{}
+	e.Declare = wildDeclare{}
+	e.SetQueues([]int64{0, 2})
+	e.Step()
+	d := e.Snapshot().Declared[1]
+	if d < 0 || d > 4 {
+		t.Fatalf("declared %d escaped [0, R]", d)
+	}
+}
+
+func TestDualRoleNodeInjectsAndExtracts(t *testing.T) {
+	// A Fig. 4 node with in = out = 1 self-serves: injected at the start
+	// of the step, extracted at its end, queue empty at every boundary.
+	g := graph.Line(2)
+	s := NewSpec(g).SetSource(0, 1).SetSink(0, 1).SetSink(1, 1)
+	e := NewEngine(s, NewLGG())
+	tot := e.Run(100)
+	if tot.Injected != 100 || tot.Extracted != 100 {
+		t.Fatalf("self-serving node: injected %d extracted %d", tot.Injected, tot.Extracted)
+	}
+	if tot.PeakQueued > 1 {
+		t.Fatalf("peak backlog %d, want ≤ 1", tot.PeakQueued)
+	}
+}
+
+func TestDualRoleRelayPassesThrough(t *testing.T) {
+	// A relay (in=1, out=1) in the middle of a line with a pure source
+	// upstream: the relay must extract at most out(v)=1 per step, so the
+	// upstream's packets still flow past it to the far sink.
+	g := graph.Line(3)
+	s := NewSpec(g).SetSource(0, 1).SetSource(1, 1).SetSink(1, 1).SetSink(2, 2)
+	e := NewEngine(s, NewLGG())
+	tot := e.Run(2000)
+	if tot.Violations != 0 {
+		t.Fatal("violations")
+	}
+	// total service keeps up with total arrivals (rate 2, capacity 2)
+	if tot.FinalQueued > 20 {
+		t.Fatalf("relay chain accumulated %d packets", tot.FinalQueued)
+	}
+	if tot.Extracted < tot.Injected-20 {
+		t.Fatalf("throughput gap: injected %d extracted %d", tot.Injected, tot.Extracted)
+	}
+}
+
+type wildDeclare struct{}
+
+func (wildDeclare) Name() string { return "wild" }
+func (wildDeclare) Declare(t int64, _ graph.NodeID, _, _ int64) int64 {
+	if t%2 == 0 {
+		return -99
+	}
+	return 1 << 40
+}

@@ -1,0 +1,376 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// ArrivalProcess decides how many packets each source injects at each
+// step. Classical sources inject exactly in(v) ("each source s ∈ S
+// injects in(s) packets"); generalized sources inject *at most* in(v)
+// (Definition 5), which also models losses at injection. The conjecture
+// experiments use processes that occasionally exceed in(v) (bursts); the
+// engine places no cap — feasibility analysis is a separate concern.
+type ArrivalProcess interface {
+	Name() string
+	// Injections writes the number of packets injected at step t into
+	// inj[v] for every node (the engine pre-zeroes inj). Entries must be
+	// non-negative.
+	Injections(t int64, spec *Spec, inj []int64)
+}
+
+// LossModel decides, per attempted transmission, whether the packet is
+// lost in flight ("this packet can be lost without any notification").
+type LossModel interface {
+	Name() string
+	Lost(t int64, e graph.EdgeID, from graph.NodeID) bool
+}
+
+// DeclarePolicy chooses the queue length an R-generalized node reveals to
+// its neighbours when its true queue is at most R (Definition 6(ii): it
+// may declare any value ≤ R). The engine only consults it in that case;
+// above R nodes always tell the truth.
+type DeclarePolicy interface {
+	Name() string
+	// Declare returns the revealed queue for node v with true queue q ≤ r.
+	// The engine clamps the result to [0, r].
+	Declare(t int64, v graph.NodeID, q, r int64) int64
+}
+
+// ExtractPolicy chooses how many packets a destination removes at the end
+// of a step, within the legal window [lo, hi] derived from Definition 7:
+// hi = min(out(v), q) and lo = min(out(v), q−R) when q > R (0 otherwise).
+type ExtractPolicy interface {
+	Name() string
+	Extract(t int64, v graph.NodeID, lo, hi int64) int64
+}
+
+// Interference restricts a planned transmission set to a subset that is
+// simultaneously schedulable under a wireless interference model
+// (Conjecture 5). The returned slice may share storage with sends.
+type Interference interface {
+	Name() string
+	Filter(sn *Snapshot, sends []Send) []Send
+}
+
+// TopologyProcess animates a dynamic network (Conjecture 4): edge e may
+// transmit at step t only when EdgeAlive(t, e) is true.
+type TopologyProcess interface {
+	Name() string
+	EdgeAlive(t int64, e graph.EdgeID) bool
+}
+
+// StepStats summarizes one engine step.
+type StepStats struct {
+	T         int64 // the step that was executed
+	Injected  int64 // packets added by sources
+	Planned   int64 // sends requested by the router
+	Filtered  int64 // sends removed by interference/topology/validation
+	Sent      int64 // packets that left their queue
+	Lost      int64 // sent packets destroyed in flight
+	Arrived   int64 // sent packets that reached the far queue
+	Extracted int64 // packets removed by destinations
+	// Collisions counts sends dropped because their edge was already used
+	// this step. Two endpoints can legitimately claim the same link when
+	// declared queues disagree with true queues (lying R-generalized
+	// nodes); the engine keeps the first planned send, modelling a busy
+	// link. Truthful networks always have 0 collisions.
+	Collisions int64
+	// Violations counts router outputs the engine had to reject as
+	// unphysical: overdrawn queues and sends on dead edges. A correct
+	// policy keeps this at 0; tests assert it.
+	Violations int64
+	Potential  int64 // P_{t+1}: network state after the step
+	Queued     int64 // total packets stored after the step
+	MaxQueue   int64
+}
+
+// Totals accumulates StepStats over a run.
+type Totals struct {
+	Steps                               int64
+	Injected, Sent, Lost, Arrived       int64
+	Extracted, Collisions, Violations   int64
+	PeakPotential, PeakQueued, PeakMaxQ int64
+	FinalPotential, FinalQueued         int64
+}
+
+// Add folds one step into the totals.
+func (t *Totals) Add(s StepStats) {
+	t.Steps++
+	t.Injected += s.Injected
+	t.Sent += s.Sent
+	t.Lost += s.Lost
+	t.Arrived += s.Arrived
+	t.Extracted += s.Extracted
+	t.Collisions += s.Collisions
+	t.Violations += s.Violations
+	if s.Potential > t.PeakPotential {
+		t.PeakPotential = s.Potential
+	}
+	if s.Queued > t.PeakQueued {
+		t.PeakQueued = s.Queued
+	}
+	if s.MaxQueue > t.PeakMaxQ {
+		t.PeakMaxQ = s.MaxQueue
+	}
+	t.FinalPotential = s.Potential
+	t.FinalQueued = s.Queued
+}
+
+// StepTrace exposes everything that happened during one step, for
+// instruments that audit the dynamics (e.g. the Lyapunov decomposition of
+// Equations 1–3). Enable with Engine.EnableTrace; the engine then refills
+// the same buffers every step.
+type StepTrace struct {
+	// Sends are the validated transmissions actually applied; Lost[i]
+	// reports whether Sends[i] was destroyed in flight.
+	Sends []Send
+	Lost  []bool
+	// Injected and Extracted are per-node packet counts for this step.
+	Injected  []int64
+	Extracted []int64
+}
+
+// Engine executes the synchronous network semantics of Section II:
+// inject → plan (on a common snapshot) → transmit with losses → extract.
+// The zero value is not usable; construct with NewEngine and then
+// optionally override the pluggable behaviours before the first Step.
+type Engine struct {
+	Spec     *Spec
+	Router   Router
+	Arrivals ArrivalProcess
+	Loss     LossModel
+	Declare  DeclarePolicy
+	Extract  ExtractPolicy
+	// Optional extensions; nil disables them.
+	Interference Interference
+	Topology     TopologyProcess
+
+	// Q is the live queue vector; read it freely between steps.
+	Q []int64
+	// T is the next step to execute.
+	T int64
+
+	// scratch
+	inj      []int64
+	declared []int64
+	snapQ    []int64
+	alive    []bool
+	sends    []Send
+	edgeUsed []int64 // last step each edge transmitted, as T+1 marker
+	sentBy   []int64
+	lastSnap Snapshot
+	trace    *StepTrace
+}
+
+// EnableTrace switches on per-step tracing and returns the trace buffer,
+// which the engine refills on every Step.
+func (e *Engine) EnableTrace() *StepTrace {
+	if e.trace == nil {
+		n := e.Spec.N()
+		e.trace = &StepTrace{
+			Injected:  make([]int64, n),
+			Extracted: make([]int64, n),
+		}
+	}
+	return e.trace
+}
+
+// NewEngine builds an engine for spec running router, with classical
+// defaults: exact arrivals (sources inject exactly in(v)), no losses,
+// truthful declarations and maximal extraction. spec must validate.
+func NewEngine(spec *Spec, router Router) *Engine {
+	if err := spec.Validate(); err != nil {
+		panic(fmt.Sprintf("core: invalid spec: %v", err))
+	}
+	n := spec.N()
+	return &Engine{
+		Spec:     spec,
+		Router:   router,
+		Arrivals: ExactArrivals{},
+		Loss:     NoLoss{},
+		Declare:  DeclareTruth{},
+		Extract:  ExtractMax{},
+		Q:        make([]int64, n),
+		inj:      make([]int64, n),
+		declared: make([]int64, n),
+		snapQ:    make([]int64, n),
+		sentBy:   make([]int64, n),
+		edgeUsed: make([]int64, spec.G.NumEdges()),
+	}
+}
+
+// SetQueues overwrites the current queue vector (for experiments that
+// start from a prepared state, e.g. Property 2 probes).
+func (e *Engine) SetQueues(q []int64) {
+	if len(q) != len(e.Q) {
+		panic("core: queue vector length mismatch")
+	}
+	copy(e.Q, q)
+}
+
+// Snapshot returns the snapshot the router saw at the most recent step.
+// Valid only after at least one Step; the backing arrays are reused.
+func (e *Engine) Snapshot() *Snapshot { return &e.lastSnap }
+
+// Step executes one synchronous time step and returns its statistics.
+func (e *Engine) Step() StepStats {
+	spec := e.Spec
+	g := spec.G
+	n := spec.N()
+	st := StepStats{T: e.T}
+
+	// Phase 1: injection.
+	for v := range e.inj {
+		e.inj[v] = 0
+	}
+	e.Arrivals.Injections(e.T, spec, e.inj)
+	for v := 0; v < n; v++ {
+		if e.inj[v] < 0 {
+			panic(fmt.Sprintf("core: arrival process injected %d < 0 at node %d", e.inj[v], v))
+		}
+		e.Q[v] += e.inj[v]
+		st.Injected += e.inj[v]
+	}
+
+	// Phase 2: snapshot and declared queues.
+	copy(e.snapQ, e.Q)
+	for v := 0; v < n; v++ {
+		q, r := e.snapQ[v], spec.R[v]
+		if r > 0 && q <= r {
+			d := e.Declare.Declare(e.T, graph.NodeID(v), q, r)
+			if d < 0 {
+				d = 0
+			}
+			if d > r {
+				d = r
+			}
+			e.declared[v] = d
+		} else {
+			e.declared[v] = q
+		}
+	}
+	var alive []bool
+	if e.Topology != nil {
+		if e.alive == nil {
+			e.alive = make([]bool, g.NumEdges())
+		}
+		alive = e.alive
+		for ed := range alive {
+			alive[ed] = e.Topology.EdgeAlive(e.T, graph.EdgeID(ed))
+		}
+	}
+	e.lastSnap = Snapshot{Spec: spec, T: e.T, Q: e.snapQ, Declared: e.declared, Alive: alive}
+
+	// Phase 3: plan.
+	e.sends = e.Router.Plan(&e.lastSnap, e.sends[:0])
+	st.Planned = int64(len(e.sends))
+
+	// Phase 3b: interference filtering.
+	if e.Interference != nil {
+		kept := e.Interference.Filter(&e.lastSnap, e.sends)
+		st.Filtered += int64(len(e.sends) - len(kept))
+		e.sends = kept
+	}
+
+	// Phase 3c: physical validation. marker: edgeUsed[e] == T+1 means
+	// edge e already transmits this step.
+	marker := e.T + 1
+	for v := range e.sentBy {
+		e.sentBy[v] = 0
+	}
+	valid := e.sends[:0]
+	for _, s := range e.sends {
+		if alive != nil && !alive[s.Edge] {
+			st.Violations++
+			continue
+		}
+		if e.edgeUsed[s.Edge] == marker {
+			st.Collisions++
+			continue
+		}
+		if e.sentBy[s.From]+1 > e.snapQ[s.From] {
+			st.Violations++
+			continue
+		}
+		e.edgeUsed[s.Edge] = marker
+		e.sentBy[s.From]++
+		valid = append(valid, s)
+	}
+	e.sends = valid
+
+	if e.trace != nil {
+		e.trace.Sends = append(e.trace.Sends[:0], e.sends...)
+		e.trace.Lost = e.trace.Lost[:0]
+		copy(e.trace.Injected, e.inj)
+		for v := range e.trace.Extracted {
+			e.trace.Extracted[v] = 0
+		}
+	}
+
+	// Phase 4: transmit.
+	for _, s := range e.sends {
+		to := s.To(g)
+		e.Q[s.From]--
+		st.Sent++
+		lost := e.Loss.Lost(e.T, s.Edge, s.From)
+		if lost {
+			st.Lost++
+		} else {
+			e.Q[to]++
+			st.Arrived++
+		}
+		if e.trace != nil {
+			e.trace.Lost = append(e.trace.Lost, lost)
+		}
+	}
+
+	// Phase 5: extraction (Definition 7(i)).
+	for v := 0; v < n; v++ {
+		out := spec.Out[v]
+		if out == 0 {
+			continue
+		}
+		q := e.Q[v]
+		hi := min64(out, q)
+		var lo int64
+		if r := spec.R[v]; q > r {
+			lo = min64(out, q-r)
+		}
+		amt := e.Extract.Extract(e.T, graph.NodeID(v), lo, hi)
+		if amt < lo {
+			amt = lo
+		}
+		if amt > hi {
+			amt = hi
+		}
+		e.Q[v] -= amt
+		st.Extracted += amt
+		if e.trace != nil {
+			e.trace.Extracted[v] = amt
+		}
+	}
+
+	e.T++
+	st.Potential = Potential(e.Q)
+	st.Queued = TotalQueued(e.Q)
+	st.MaxQueue = MaxQueue(e.Q)
+	return st
+}
+
+// Run executes steps time steps, folding stats into a Totals.
+func (e *Engine) Run(steps int64) Totals {
+	var t Totals
+	for i := int64(0); i < steps; i++ {
+		t.Add(e.Step())
+	}
+	return t
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestEngineClassicalLineDrains(t *testing.T) {
+	// line(2): source 0 injects 1, sink 1 extracts 1. LGG forwards along
+	// the single edge; queues must stay tiny forever.
+	s := lineSpec(2, 1, 1)
+	e := NewEngine(s, NewLGG())
+	tot := e.Run(500)
+	if tot.Violations != 0 {
+		t.Fatalf("violations = %d", tot.Violations)
+	}
+	if tot.PeakMaxQ > 3 {
+		t.Fatalf("peak queue %d on a trivially stable line", tot.PeakMaxQ)
+	}
+	if tot.Injected != 500 {
+		t.Fatalf("injected = %d", tot.Injected)
+	}
+	// Conservation: injected = extracted + stored + lost.
+	if tot.Injected != tot.Extracted+tot.FinalQueued+tot.Lost {
+		t.Fatalf("packet conservation: inj=%d extr=%d stored=%d lost=%d",
+			tot.Injected, tot.Extracted, tot.FinalQueued, tot.Lost)
+	}
+}
+
+func TestEngineInfeasibleDiverges(t *testing.T) {
+	// line(4) with in=3: only 1 packet/step can leave the source's edge;
+	// the source queue must grow without bound.
+	s := lineSpec(4, 3, 3)
+	e := NewEngine(s, NewLGG())
+	tot := e.Run(300)
+	if tot.FinalQueued < 300 { // at least 2 surplus packets/step stay behind
+		t.Fatalf("overloaded network stored only %d packets", tot.FinalQueued)
+	}
+}
+
+func TestEngineStepPhasesOrder(t *testing.T) {
+	// One step on line(2): inject 1 at node 0; LGG sends it to node 1
+	// (0 has q=1 > q=0); sink extracts it. Net state: empty.
+	s := lineSpec(2, 1, 1)
+	e := NewEngine(s, NewLGG())
+	st := e.Step()
+	if st.Injected != 1 || st.Sent != 1 || st.Arrived != 1 || st.Extracted != 1 {
+		t.Fatalf("step = %+v", st)
+	}
+	if st.Queued != 0 || st.Potential != 0 {
+		t.Fatalf("state after step = %+v", st)
+	}
+	if e.T != 1 {
+		t.Fatalf("T = %d", e.T)
+	}
+}
+
+func TestEngineExtractionWindow(t *testing.T) {
+	// Generalized destination with R=2, out=3, queue loaded to 6:
+	// lo = min(3, 6-2) = 3, hi = min(3,6) = 3 → must extract exactly 3
+	// regardless of policy. With queue 4: lo = min(3,2)=2, hi=3.
+	g := graph.Line(2)
+	s := NewSpec(g).SetSource(0, 1).SetSink(1, 3).SetRetention(1, 2)
+	e := NewEngine(s, nullRouter{})
+	e.Arrivals = noArrivals{}
+	e.Extract = ExtractMin{}
+	e.SetQueues([]int64{0, 6})
+	e.Step()
+	if e.Q[1] != 3 {
+		t.Fatalf("q=6,R=2,out=3: extracted to %d, want 3", e.Q[1])
+	}
+	e.SetQueues([]int64{0, 4})
+	e.Step()
+	if e.Q[1] != 2 {
+		t.Fatalf("q=4,R=2,out=3 with min policy: extracted to %d, want 2", e.Q[1])
+	}
+	e.Extract = ExtractMax{}
+	e.SetQueues([]int64{0, 4})
+	e.Step()
+	if e.Q[1] != 1 {
+		t.Fatalf("q=4,out=3 with max policy: extracted to %d, want 1", e.Q[1])
+	}
+	// Below R, the min policy may hold everything.
+	e.Extract = ExtractMin{}
+	e.SetQueues([]int64{0, 2})
+	e.Step()
+	if e.Q[1] != 2 {
+		t.Fatalf("q=2,R=2 with min policy: extracted to %d, want 2", e.Q[1])
+	}
+}
+
+func TestEngineClassicalSinkExtractsExactly(t *testing.T) {
+	// R=0 sink: both policies must extract min(out, q).
+	for _, pol := range []ExtractPolicy{ExtractMax{}, ExtractMin{}} {
+		g := graph.Line(2)
+		s := NewSpec(g).SetSource(0, 1).SetSink(1, 2)
+		e := NewEngine(s, nullRouter{})
+		e.Arrivals = noArrivals{}
+		e.Extract = pol
+		e.SetQueues([]int64{0, 5})
+		e.Step()
+		if e.Q[1] != 3 {
+			t.Fatalf("%s: classical sink extracted to %d, want 3", pol.Name(), e.Q[1])
+		}
+	}
+}
+
+func TestEngineDeclarePolicies(t *testing.T) {
+	// Node 1 has R=4, queue 0 ≤ R (and no budget of its own). Under
+	// DeclareZero node 0 (q=2) sees 0 and sends; under DeclareR it sees 4
+	// and stays quiet.
+	build := func(d DeclarePolicy) *Engine {
+		g := graph.Line(2)
+		s := NewSpec(g).SetSource(0, 1).SetSink(1, 1).SetRetention(1, 4)
+		e := NewEngine(s, NewLGG())
+		e.Arrivals = noArrivals{}
+		e.Declare = d
+		e.Extract = ExtractMin{}
+		e.SetQueues([]int64{2, 0})
+		return e
+	}
+	e := build(DeclareZero{})
+	st := e.Step()
+	if st.Sent != 1 {
+		t.Fatalf("DeclareZero: sent = %d, want 1", st.Sent)
+	}
+	e = build(DeclareR{})
+	st = e.Step()
+	if st.Sent != 0 {
+		t.Fatalf("DeclareR: sent = %d, want 0", st.Sent)
+	}
+	// Above R the node must tell the truth no matter the policy.
+	e = build(DeclareZero{})
+	e.SetQueues([]int64{2, 9})
+	e.Step()
+	if e.Snapshot().Declared[1] != 9 {
+		t.Fatalf("above R, declared = %d, want truth 9", e.Snapshot().Declared[1])
+	}
+}
+
+func TestEngineValidationRejectsBadSends(t *testing.T) {
+	// A malicious router that duplicates an edge and overdraws a queue.
+	g := graph.New(2)
+	g.AddEdges(0, 1, 2) // two parallel edges
+	s := NewSpec(g).SetSource(0, 1).SetSink(1, 2)
+	e := NewEngine(s, badRouter{})
+	e.Arrivals = noArrivals{}
+	e.SetQueues([]int64{1, 0})
+	st := e.Step()
+	if st.Sent != 1 {
+		t.Fatalf("sent = %d, want exactly 1 (edge used once, budget 1)", st.Sent)
+	}
+	if st.Collisions != 1 {
+		t.Fatalf("collisions = %d, want 1 (duplicate edge use)", st.Collisions)
+	}
+	if st.Violations != 1 {
+		t.Fatalf("violations = %d, want 1 (overdraw on the parallel edge)", st.Violations)
+	}
+	if e.Q[0] != 0 || e.Q[1] != 0 { // arrived then extracted
+		t.Fatalf("queues = %v", e.Q)
+	}
+}
+
+func TestEngineLossModel(t *testing.T) {
+	g := graph.Line(2)
+	s := NewSpec(g).SetSource(0, 1).SetSink(1, 1)
+	e := NewEngine(s, NewLGG())
+	e.Loss = alwaysLose{}
+	tot := e.Run(50)
+	if tot.Arrived != 0 || tot.Lost != tot.Sent {
+		t.Fatalf("always-lose: %+v", tot)
+	}
+	if tot.Extracted != 0 {
+		t.Fatalf("nothing should reach the sink, extracted = %d", tot.Extracted)
+	}
+}
+
+func TestEngineTopologyMask(t *testing.T) {
+	g := graph.Line(2)
+	s := NewSpec(g).SetSource(0, 1).SetSink(1, 1)
+	e := NewEngine(s, NewLGG())
+	e.Topology = deadTopology{}
+	tot := e.Run(20)
+	if tot.Sent != 0 {
+		t.Fatalf("sends on dead edge: %+v", tot)
+	}
+	if tot.FinalQueued != 20 {
+		t.Fatalf("stored = %d, want 20", tot.FinalQueued)
+	}
+}
+
+func TestEngineInterferenceFilter(t *testing.T) {
+	g := graph.Star(4)
+	s := NewSpec(g).SetSource(0, 3)
+	for i := 1; i < 4; i++ {
+		s.SetSink(graph.NodeID(i), 1)
+	}
+	e := NewEngine(s, NewLGG())
+	e.Interference = keepFirst{}
+	st := e.Step()
+	if st.Sent != 1 {
+		t.Fatalf("interference filter ignored: sent = %d", st.Sent)
+	}
+	if st.Filtered != st.Planned-1 {
+		t.Fatalf("filtered = %d, planned = %d", st.Filtered, st.Planned)
+	}
+}
+
+func TestEnginePanicsOnInvalidSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewEngine accepted an invalid spec")
+		}
+	}()
+	NewEngine(NewSpec(graph.Line(2)), NewLGG())
+}
+
+func TestEngineSetQueuesPanics(t *testing.T) {
+	e := NewEngine(lineSpec(3, 1, 1), NewLGG())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetQueues accepted a wrong-length vector")
+		}
+	}()
+	e.SetQueues([]int64{1})
+}
+
+func TestEngineNegativeArrivalPanics(t *testing.T) {
+	e := NewEngine(lineSpec(2, 1, 1), NewLGG())
+	e.Arrivals = negativeArrivals{}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative injection accepted")
+		}
+	}()
+	e.Step()
+}
+
+// Property: queues never go negative and packets are conserved under any
+// random feasible-or-not spec, loss probability, and horizon.
+func TestQuickEngineConservation(t *testing.T) {
+	f := func(seed uint64, nRaw, inRaw uint8, steps uint8) bool {
+		r := rng.New(seed)
+		n := int(nRaw%8) + 2
+		g := graph.RandomMultigraph(n, n+r.IntN(n), r)
+		s := NewSpec(g)
+		s.SetSource(0, 1+int64(inRaw%3))
+		s.SetSink(graph.NodeID(n-1), 1+r.Int64N(3))
+		e := NewEngine(s, NewLGG())
+		e.Loss = coinLoss{r: r.Split(1), p: 0.2}
+		var tot Totals
+		for i := 0; i < int(steps%60)+5; i++ {
+			st := e.Step()
+			tot.Add(st)
+			for v, q := range e.Q {
+				if q < 0 {
+					t.Logf("negative queue at node %d", v)
+					return false
+				}
+			}
+			if st.Violations != 0 {
+				return false
+			}
+		}
+		return tot.Injected == tot.Extracted+tot.FinalQueued+tot.Lost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- test doubles ---
+
+type nullRouter struct{}
+
+func (nullRouter) Name() string                      { return "null" }
+func (nullRouter) Plan(_ *Snapshot, b []Send) []Send { return b }
+
+type noArrivals struct{}
+
+func (noArrivals) Name() string                     { return "none" }
+func (noArrivals) Injections(int64, *Spec, []int64) {}
+
+type negativeArrivals struct{}
+
+func (negativeArrivals) Name() string { return "negative" }
+func (negativeArrivals) Injections(_ int64, _ *Spec, inj []int64) {
+	inj[0] = -1
+}
+
+type badRouter struct{}
+
+func (badRouter) Name() string { return "bad" }
+func (badRouter) Plan(sn *Snapshot, b []Send) []Send {
+	// edge 0 twice (second is a collision) and edge 1 once (with q(0)=1
+	// the budget is already spent: overdraw violation).
+	return append(b, Send{Edge: 0, From: 0}, Send{Edge: 0, From: 0}, Send{Edge: 1, From: 0})
+}
+
+type alwaysLose struct{}
+
+func (alwaysLose) Name() string                                { return "always" }
+func (alwaysLose) Lost(int64, graph.EdgeID, graph.NodeID) bool { return true }
+
+type coinLoss struct {
+	r *rng.Source
+	p float64
+}
+
+func (c coinLoss) Name() string                                { return "coin" }
+func (c coinLoss) Lost(int64, graph.EdgeID, graph.NodeID) bool { return c.r.Bool(c.p) }
+
+type deadTopology struct{}
+
+func (deadTopology) Name() string                       { return "dead" }
+func (deadTopology) EdgeAlive(int64, graph.EdgeID) bool { return false }
+
+type keepFirst struct{}
+
+func (keepFirst) Name() string { return "keep-first" }
+func (keepFirst) Filter(_ *Snapshot, sends []Send) []Send {
+	if len(sends) > 1 {
+		return sends[:1]
+	}
+	return sends
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// TieBreak selects how LGG orders incident edges whose far endpoints
+// declare equal queue lengths. Algorithm 1 leaves the choice open and the
+// paper remarks it "has no impact on the system stability"; experiment E3
+// verifies that claim empirically.
+type TieBreak int
+
+const (
+	// TieEdgeOrder breaks ties by ascending edge id (deterministic).
+	TieEdgeOrder TieBreak = iota
+	// TiePeerOrder breaks ties by ascending neighbour id, then edge id.
+	TiePeerOrder
+	// TieRandom shuffles tied candidates with a seeded stream.
+	TieRandom
+)
+
+// String implements fmt.Stringer.
+func (tb TieBreak) String() string {
+	switch tb {
+	case TieEdgeOrder:
+		return "edge-order"
+	case TiePeerOrder:
+		return "peer-order"
+	case TieRandom:
+		return "random"
+	}
+	return "tie?"
+}
+
+// LGG is the Local Greedy Gradient protocol (Algorithm 1). At each step
+// every node u orders its incident links by the neighbour's declared
+// queue length, then transmits one packet over each link whose far end
+// declares a strictly smaller queue than q_t(u), stopping after q_t(u)
+// transmissions. The protocol is localized (each decision uses only the
+// neighbours' declared queues) and greedy (no history).
+//
+// An LGG value is not safe for concurrent use; give each goroutine its
+// own instance (they are cheap).
+type LGG struct {
+	Tie TieBreak
+	// MinGradient is the smallest queue difference that triggers a send
+	// (Algorithm 1's strict inequality is MinGradient = 1, the default;
+	// 0 is normalized to 1). Larger thresholds are an ablation of the
+	// paper's design choice: they damp the last-packet ping-pong between
+	// near-equal queues at the cost of retaining MinGradient−1 packets
+	// per downhill link (experiment E26).
+	MinGradient int64
+
+	rnd *rng.Source
+	// scratch, reused across steps to avoid per-step allocation
+	cand []candidate
+}
+
+type candidate struct {
+	edge graph.EdgeID
+	peer graph.NodeID
+	q    int64
+	key  uint64 // random tie key when TieRandom
+}
+
+// NewLGG returns the canonical protocol with deterministic edge-order tie
+// breaking.
+func NewLGG() *LGG { return &LGG{Tie: TieEdgeOrder} }
+
+// NewLGGRandomTies returns an LGG whose tie-breaking is randomized with
+// the given stream.
+func NewLGGRandomTies(r *rng.Source) *LGG { return &LGG{Tie: TieRandom, rnd: r} }
+
+// Name implements Router.
+func (l *LGG) Name() string {
+	name := "lgg"
+	if l.Tie != TieEdgeOrder {
+		name += "/" + l.Tie.String()
+	}
+	if l.MinGradient > 1 {
+		name += fmt.Sprintf("/θ=%d", l.MinGradient)
+	}
+	return name
+}
+
+// Plan implements Router. It is a faithful transcription of Algorithm 1
+// run at every node on the common snapshot.
+func (l *LGG) Plan(sn *Snapshot, buf []Send) []Send {
+	g := sn.Spec.G
+	for v := 0; v < g.NumNodes(); v++ {
+		u := graph.NodeID(v)
+		budget := sn.Q[u] // u knows its own true queue
+		if budget <= 0 {
+			continue
+		}
+		theta := l.MinGradient
+		if theta < 1 {
+			theta = 1
+		}
+		// list(u): incident edges ordered by the neighbour's declared
+		// queue, filtered to downhill candidates (gradient ≥ θ).
+		l.cand = l.cand[:0]
+		for _, in := range g.Incident(u) {
+			if !sn.EdgeAlive(in.Edge) {
+				continue
+			}
+			dq := sn.Declared[in.Peer]
+			if sn.Q[u]-dq >= theta {
+				c := candidate{edge: in.Edge, peer: in.Peer, q: dq}
+				if l.Tie == TieRandom {
+					c.key = l.rnd.Uint64()
+				}
+				l.cand = append(l.cand, c)
+			}
+		}
+		if len(l.cand) == 0 {
+			continue
+		}
+		cand := l.cand
+		switch l.Tie {
+		case TieEdgeOrder:
+			sort.Slice(cand, func(i, j int) bool {
+				if cand[i].q != cand[j].q {
+					return cand[i].q < cand[j].q
+				}
+				return cand[i].edge < cand[j].edge
+			})
+		case TiePeerOrder:
+			sort.Slice(cand, func(i, j int) bool {
+				if cand[i].q != cand[j].q {
+					return cand[i].q < cand[j].q
+				}
+				if cand[i].peer != cand[j].peer {
+					return cand[i].peer < cand[j].peer
+				}
+				return cand[i].edge < cand[j].edge
+			})
+		case TieRandom:
+			sort.Slice(cand, func(i, j int) bool {
+				if cand[i].q != cand[j].q {
+					return cand[i].q < cand[j].q
+				}
+				return cand[i].key < cand[j].key
+			})
+		}
+		for _, c := range cand {
+			if budget == 0 {
+				break
+			}
+			buf = append(buf, Send{Edge: c.edge, From: u})
+			budget--
+		}
+	}
+	return buf
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// planOn builds a snapshot with the given queues over g (all truthful,
+// all edges alive) and runs LGG on it.
+func planOn(g *graph.Multigraph, q []int64, l *LGG) []Send {
+	spec := NewSpec(g)
+	// roles are irrelevant for planning; keep the spec valid anyway
+	spec.In[0] = 1
+	spec.Out[len(q)-1] = 1
+	sn := &Snapshot{Spec: spec, Q: q, Declared: q}
+	return l.Plan(sn, nil)
+}
+
+func TestLGGSendsDownhillOnly(t *testing.T) {
+	g := graph.Line(3) // 0-1-2
+	q := []int64{5, 3, 7}
+	sends := planOn(g, q, NewLGG())
+	// node 0 (q=5) sends to 1 (q=3); node 2 (q=7) sends to 1.
+	if len(sends) != 2 {
+		t.Fatalf("sends = %v", sends)
+	}
+	for _, s := range sends {
+		to := s.To(g)
+		if q[s.From] <= q[to] {
+			t.Fatalf("uphill send %v (q=%d → q=%d)", s, q[s.From], q[to])
+		}
+	}
+}
+
+func TestLGGRespectsBudget(t *testing.T) {
+	// Hub with queue 2 and 4 empty leaves: only 2 sends allowed.
+	g := graph.Star(5)
+	q := []int64{2, 0, 0, 0, 0}
+	sends := planOn(g, q, NewLGG())
+	if len(sends) != 2 {
+		t.Fatalf("budget violated: %d sends", len(sends))
+	}
+	for _, s := range sends {
+		if s.From != 0 {
+			t.Fatalf("unexpected sender %d", s.From)
+		}
+	}
+}
+
+func TestLGGPrefersSmallestQueues(t *testing.T) {
+	// Hub q=2; leaves with queues 1, 0, 1, 0: must pick the two zeros.
+	g := graph.Star(5)
+	q := []int64{2, 1, 0, 1, 0}
+	sends := planOn(g, q, NewLGG())
+	if len(sends) != 2 {
+		t.Fatalf("sends = %v", sends)
+	}
+	for _, s := range sends {
+		if to := s.To(g); q[to] != 0 {
+			t.Fatalf("picked neighbour with q=%d instead of 0", q[to])
+		}
+	}
+}
+
+func TestLGGNoSendOnEqual(t *testing.T) {
+	g := graph.Line(2)
+	sends := planOn(g, []int64{4, 4}, NewLGG())
+	if len(sends) != 0 {
+		t.Fatalf("equal queues must not transmit: %v", sends)
+	}
+}
+
+func TestLGGParallelEdges(t *testing.T) {
+	// Two parallel edges and enough budget: both carry one packet.
+	g := graph.New(2)
+	g.AddEdges(0, 1, 2)
+	sends := planOn(g, []int64{5, 0}, NewLGG())
+	if len(sends) != 2 {
+		t.Fatalf("parallel edges should both transmit: %v", sends)
+	}
+	if sends[0].Edge == sends[1].Edge {
+		t.Fatal("same edge used twice")
+	}
+}
+
+func TestLGGUsesDeclaredQueues(t *testing.T) {
+	g := graph.Line(2)
+	spec := NewSpec(g)
+	spec.In[0] = 1
+	spec.Out[1] = 1
+	// True queue of node 1 is 3 (< 5, downhill), but it declares 6: node 0
+	// must stay quiet if it honours the declaration; node 1 itself sees
+	// declared[0] = 5 > 3 so it stays quiet too.
+	sn := &Snapshot{Spec: spec, Q: []int64{5, 3}, Declared: []int64{5, 6}}
+	sends := NewLGG().Plan(sn, nil)
+	if len(sends) != 0 {
+		t.Fatalf("declared queue ignored: %v", sends)
+	}
+	// Conversely, an under-declaration attracts traffic.
+	sn = &Snapshot{Spec: spec, Q: []int64{5, 7}, Declared: []int64{5, 2}}
+	sends = NewLGG().Plan(sn, nil)
+	var from0 bool
+	for _, s := range sends {
+		if s.From == 0 {
+			from0 = true
+		}
+	}
+	if !from0 {
+		t.Fatalf("under-declaration did not attract a send: %v", sends)
+	}
+}
+
+func TestLGGRespectsDeadEdges(t *testing.T) {
+	g := graph.Line(3)
+	spec := NewSpec(g)
+	spec.In[0] = 1
+	spec.Out[2] = 1
+	q := []int64{5, 0, 0}
+	sn := &Snapshot{Spec: spec, Q: q, Declared: q, Alive: []bool{false, true}}
+	sends := NewLGG().Plan(sn, nil)
+	if len(sends) != 0 {
+		t.Fatalf("dead edge used: %v", sends)
+	}
+}
+
+func TestLGGTieBreakVariantsAgreeOnCount(t *testing.T) {
+	g := graph.Star(6)
+	q := []int64{3, 0, 0, 0, 0, 0}
+	a := planOn(g, q, NewLGG())
+	b := planOn(g, q, &LGG{Tie: TiePeerOrder})
+	c := planOn(g, q, NewLGGRandomTies(rng.New(1)))
+	if len(a) != 3 || len(b) != 3 || len(c) != 3 {
+		t.Fatalf("tie variants disagree on count: %d %d %d", len(a), len(b), len(c))
+	}
+}
+
+func TestLGGNames(t *testing.T) {
+	if NewLGG().Name() != "lgg" {
+		t.Fatal("name")
+	}
+	if (&LGG{Tie: TiePeerOrder}).Name() != "lgg/peer-order" {
+		t.Fatal("variant name")
+	}
+	if TieBreak(42).String() != "tie?" {
+		t.Fatal("unknown tiebreak stringer")
+	}
+}
+
+// Property: LGG plans are always physical and greedy-consistent —
+// per-edge uniqueness, per-node budget, strictly downhill on declared
+// queues, and the chosen neighbour set is a smallest-declared-queue set.
+func TestQuickLGGInvariants(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		r := rng.New(seed)
+		n := int(nRaw%10) + 2
+		g := graph.RandomMultigraph(n, n+r.IntN(2*n), r)
+		q := make([]int64, n)
+		for i := range q {
+			q[i] = r.Int64N(8)
+		}
+		spec := NewSpec(g)
+		spec.In[0] = 1
+		spec.Out[n-1] = 1
+		sn := &Snapshot{Spec: spec, Q: q, Declared: q}
+		sends := NewLGG().Plan(sn, nil)
+
+		edgeUsed := map[graph.EdgeID]bool{}
+		sentBy := make([]int64, n)
+		for _, s := range sends {
+			if edgeUsed[s.Edge] {
+				return false
+			}
+			edgeUsed[s.Edge] = true
+			sentBy[s.From]++
+			if q[s.From] <= q[s.To(g)] {
+				return false
+			}
+		}
+		for v := 0; v < n; v++ {
+			if sentBy[v] > q[v] {
+				return false
+			}
+			// Greedy completeness: if v sent fewer packets than its
+			// budget, every unused downhill edge must not exist.
+			if sentBy[v] < q[v] {
+				for _, in := range g.Incident(graph.NodeID(v)) {
+					if !edgeUsed[in.Edge] && q[in.Peer] < q[v] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

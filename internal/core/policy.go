@@ -1,0 +1,52 @@
+package core
+
+import (
+	"repro/internal/graph"
+)
+
+// Send is one planned transmission: 1 packet travels over Edge away from
+// From (toward the opposite endpoint). Links are undirected; the
+// orientation is given by From. At most one Send per edge per step is
+// physical ("each link can transmit at most 1 packet", Section II).
+type Send struct {
+	Edge graph.EdgeID
+	From graph.NodeID
+}
+
+// To returns the receiving endpoint of the send in g.
+func (s Send) To(g *graph.Multigraph) graph.NodeID {
+	return g.EdgeByID(s.Edge).Other(s.From)
+}
+
+// Snapshot is the observable network state at the planning point of a
+// step: queues after injection, before any transmission. Routing policies
+// read Declared (what nodes reveal, Definition 6(ii)); the engine and the
+// metrics read Q (ground truth). Alive, when non-nil, masks edges removed
+// by a dynamic-topology process (Conjecture 4 experiments).
+type Snapshot struct {
+	Spec     *Spec
+	T        int64
+	Q        []int64
+	Declared []int64
+	Alive    []bool // nil means every edge is alive
+}
+
+// EdgeAlive reports whether edge e may transmit at this step.
+func (sn *Snapshot) EdgeAlive(e graph.EdgeID) bool {
+	return sn.Alive == nil || sn.Alive[e]
+}
+
+// Router plans the transmission set E_t of a step. Implementations append
+// to buf and return the extended slice (allowing the engine to reuse the
+// allocation).
+//
+// Localized protocols (LGG and its variants) must base each node's
+// decision only on that node's true queue and its neighbours' *declared*
+// queues; centralized baselines (e.g. the max-flow router) may read
+// anything in the snapshot. The engine enforces the physical constraints
+// regardless of what a Router returns: at most one packet per edge, at
+// most q_t(u) packets leaving u, no sends on dead edges.
+type Router interface {
+	Name() string
+	Plan(sn *Snapshot, buf []Send) []Send
+}

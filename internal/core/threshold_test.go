@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Tests for the MinGradient (θ) ablation of Algorithm 1.
+
+func TestThresholdFiltersShallowGradients(t *testing.T) {
+	g := graph.Line(2)
+	q := []int64{2, 1} // gradient 1
+	strict := planOn(g, q, NewLGG())
+	if len(strict) != 1 {
+		t.Fatalf("θ=1 should send on gradient 1: %v", strict)
+	}
+	damped := planOn(g, q, &LGG{MinGradient: 2})
+	if len(damped) != 0 {
+		t.Fatalf("θ=2 must not send on gradient 1: %v", damped)
+	}
+	q = []int64{3, 1} // gradient 2
+	damped = planOn(g, q, &LGG{MinGradient: 2})
+	if len(damped) != 1 {
+		t.Fatalf("θ=2 should send on gradient 2: %v", damped)
+	}
+}
+
+func TestThresholdZeroNormalizedToOne(t *testing.T) {
+	g := graph.Line(2)
+	q := []int64{1, 1}
+	if got := planOn(g, q, &LGG{MinGradient: 0}); len(got) != 0 {
+		t.Fatalf("θ=0 must not send on equal queues: %v", got)
+	}
+	q = []int64{2, 1}
+	if got := planOn(g, q, &LGG{MinGradient: 0}); len(got) != 1 {
+		t.Fatal("θ=0 should behave like θ=1")
+	}
+}
+
+func TestThresholdKillsPingPong(t *testing.T) {
+	// A lone packet between two non-sink nodes ping-pongs forever under
+	// θ=1 (E20's stranding) but freezes under θ=2: P_t constant, zero
+	// sends after the first check.
+	g := graph.Line(3)
+	s := NewSpec(g).SetSource(0, 1).SetSink(2, 1)
+	e := NewEngine(s, &LGG{MinGradient: 2})
+	e.Arrivals = noArrivals{}
+	e.SetQueues([]int64{1, 0, 0})
+	tot := e.Run(50)
+	if tot.Sent != 0 {
+		t.Fatalf("θ=2 moved a lone packet on gradient 1: %d sends", tot.Sent)
+	}
+	if e.Q[0] != 1 {
+		t.Fatal("packet should be frozen at its node")
+	}
+}
+
+func TestThresholdStillStableWithHeadroom(t *testing.T) {
+	// θ=2 retains up to one packet per downhill link but must still be
+	// stable when the load leaves enough headroom.
+	s := NewSpec(graph.ThetaGraph(3, 2)).SetSource(0, 1).SetSink(1, 3)
+	e := NewEngine(s, &LGG{MinGradient: 2})
+	tot := e.Run(2000)
+	if tot.Violations != 0 {
+		t.Fatal("violations")
+	}
+	if tot.PeakQueued > 60 {
+		t.Fatalf("θ=2 at light load queued %d", tot.PeakQueued)
+	}
+	if tot.Extracted == 0 {
+		t.Fatal("θ=2 delivered nothing at light load")
+	}
+}
+
+func TestThresholdName(t *testing.T) {
+	if (&LGG{MinGradient: 3}).Name() != "lgg/θ=3" {
+		t.Fatal((&LGG{MinGradient: 3}).Name())
+	}
+	if (&LGG{Tie: TiePeerOrder, MinGradient: 2}).Name() != "lgg/peer-order/θ=2" {
+		t.Fatal("combined name")
+	}
+	if NewLGG().Name() != "lgg" {
+		t.Fatal("default name changed")
+	}
+}

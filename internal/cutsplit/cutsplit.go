@@ -1,0 +1,259 @@
+// Package cutsplit implements the decomposition at the heart of the
+// paper's induction (Section V-C): given a feasible R-generalized
+// S-D-network and a minimum cut (A, B) of G* that crosses the interior of
+// G, it constructs
+//
+//   - B′: the sink-side part viewed as an R-generalized S′-D′-network in
+//     which every border node (the set X of nodes of B adjacent to A)
+//     becomes an R-generalized source injecting at most
+//     in(v) + |Γ|A(v)| packets per step, and
+//   - A′: the source-side part viewed as an R_B-generalized
+//     S″-D″-network in which every border node (the set Y of nodes of A
+//     adjacent to B) becomes an R_B-generalized destination extracting at
+//     most out(v) + |Γ|B(v)| packets per step,
+//
+// where R_B bounds the number of packets stored in B. The paper's
+// induction applies the stability hypothesis to both parts; experiment
+// E10 verifies empirically that both parts are feasible (as the proof
+// shows) and stay bounded under LGG.
+package cutsplit
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/graph"
+)
+
+// Part is one side of the decomposition, rebuilt as a standalone network.
+type Part struct {
+	// Spec is the derived (generalized) network on the part's nodes.
+	Spec *core.Spec
+	// ToOriginal maps the part's node ids back to nodes of the original
+	// network.
+	ToOriginal []graph.NodeID
+	// Border lists the part-local ids of the cut-border nodes (the set X
+	// for B′, Y for A′).
+	Border []graph.NodeID
+	// BorderDegree[i] is |Γ_otherSide(Border[i])|: the number of cut
+	// edges at that border node.
+	BorderDegree []int64
+}
+
+// Split is the full decomposition of a network at a cut.
+type Split struct {
+	// SourceSide[v] reports whether original node v lies in A.
+	SourceSide []bool
+	// CutEdges are the original edges crossing the cut.
+	CutEdges []graph.EdgeID
+	// A is the source-side part (an R_B-generalized S″-D″-network);
+	// B is the sink-side part (an R-generalized S′-D′-network).
+	A, B *Part
+}
+
+// At decomposes spec at the given cut mask over the *original graph's*
+// nodes (true = source side A). retentionB is the constant R_B granted to
+// A′'s border destinations (the bound on B's backlog from the induction
+// step). The mask must put at least one node on each side.
+func At(spec *core.Spec, sourceSide []bool, retentionB int64) (*Split, error) {
+	g := spec.G
+	n := g.NumNodes()
+	if len(sourceSide) != n {
+		return nil, fmt.Errorf("cutsplit: mask length %d, want %d", len(sourceSide), n)
+	}
+	nA := 0
+	for _, a := range sourceSide {
+		if a {
+			nA++
+		}
+	}
+	if nA == 0 || nA == n {
+		return nil, fmt.Errorf("cutsplit: cut does not split the graph interior (|A|=%d of %d)", nA, n)
+	}
+	if retentionB < 0 {
+		return nil, fmt.Errorf("cutsplit: negative retention")
+	}
+
+	s := &Split{SourceSide: append([]bool(nil), sourceSide...)}
+	for e, edge := range g.Edges() {
+		if sourceSide[edge.U] != sourceSide[edge.V] {
+			s.CutEdges = append(s.CutEdges, graph.EdgeID(e))
+		}
+	}
+
+	// crossDeg[v] = number of cut edges incident to v.
+	crossDeg := make([]int64, n)
+	for _, e := range s.CutEdges {
+		edge := g.EdgeByID(e)
+		crossDeg[edge.U]++
+		crossDeg[edge.V]++
+	}
+
+	var err error
+	// B′: keep the non-A side; border sources gain |Γ|A(v)| injection.
+	s.B, err = buildPart(spec, sourceSide, false, crossDeg, func(p *core.Spec, pv graph.NodeID, ov graph.NodeID) {
+		p.In[pv] = spec.In[ov] + crossDeg[ov]
+		p.Out[pv] = spec.Out[ov]
+		p.R[pv] = spec.R[ov]
+	})
+	if err != nil {
+		return nil, err
+	}
+	// A′: keep the A side; border destinations gain |Γ|B(v)| extraction
+	// and the retention constant R_B.
+	s.A, err = buildPart(spec, sourceSide, true, crossDeg, func(p *core.Spec, pv graph.NodeID, ov graph.NodeID) {
+		p.In[pv] = spec.In[ov]
+		p.Out[pv] = spec.Out[ov] + crossDeg[ov]
+		r := spec.R[ov]
+		if retentionB > r {
+			r = retentionB
+		}
+		p.R[pv] = r
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// buildPart extracts the subgraph on one side and applies the border
+// transformation.
+func buildPart(spec *core.Spec, sourceSide []bool, keepA bool, crossDeg []int64,
+	transformBorder func(p *core.Spec, pv, ov graph.NodeID)) (*Part, error) {
+
+	g := spec.G
+	n := g.NumNodes()
+	keep := make([]bool, n)
+	for v := 0; v < n; v++ {
+		keep[v] = sourceSide[v] == keepA
+	}
+	sub, remap := g.InducedSubgraph(keep)
+	part := &Part{Spec: core.NewSpec(sub), ToOriginal: make([]graph.NodeID, sub.NumNodes())}
+	for v := 0; v < n; v++ {
+		if !keep[v] {
+			continue
+		}
+		pv := remap[v]
+		part.ToOriginal[pv] = graph.NodeID(v)
+		if crossDeg[v] > 0 {
+			part.Border = append(part.Border, pv)
+			part.BorderDegree = append(part.BorderDegree, crossDeg[v])
+			transformBorder(part.Spec, pv, graph.NodeID(v))
+		} else {
+			part.Spec.In[pv] = spec.In[v]
+			part.Spec.Out[pv] = spec.Out[v]
+			part.Spec.R[pv] = spec.R[v]
+		}
+	}
+	return part, nil
+}
+
+// FromAnalysis decomposes spec at the maximal minimum cut of its
+// feasibility analysis. It fails when the cut does not cross the interior
+// (cases 1 and 2 of Section V — the induction's base cases).
+func FromAnalysis(spec *core.Spec, a *flow.Analysis, retentionB int64) (*Split, error) {
+	if a.Feasibility == flow.Infeasible {
+		return nil, fmt.Errorf("cutsplit: network is infeasible")
+	}
+	if !a.CutInterior() {
+		return nil, fmt.Errorf("cutsplit: the maximal minimum cut is a base case (no interior crossing)")
+	}
+	mask := make([]bool, spec.N())
+	for v := 0; v < spec.N(); v++ {
+		mask[v] = a.MaximalCut[v]
+	}
+	return At(spec, mask, retentionB)
+}
+
+// Check verifies the structural claims the induction relies on:
+// both parts validate, B′ is feasible (the proof's flow Φ_B′ restriction
+// argument), A′ is feasible, and D″ ≠ ∅ (Remark 2: A′ has at least one
+// destination). It returns the two feasibility analyses.
+func (s *Split) Check(solver flow.Solver) (aAnalysis, bAnalysis *flow.Analysis, err error) {
+	if err := s.B.Spec.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("cutsplit: B′ invalid: %w", err)
+	}
+	if err := s.A.Spec.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("cutsplit: A′ invalid: %w", err)
+	}
+	bAnalysis = s.B.Spec.Analyze(solver)
+	if bAnalysis.Feasibility == flow.Infeasible {
+		return nil, nil, fmt.Errorf("cutsplit: B′ is infeasible (rate %d > flow %d)",
+			bAnalysis.ArrivalRate, bAnalysis.MaxFlow.Value)
+	}
+	aAnalysis = s.A.Spec.Analyze(solver)
+	if aAnalysis.Feasibility == flow.Infeasible {
+		return nil, nil, fmt.Errorf("cutsplit: A′ is infeasible (rate %d > flow %d)",
+			aAnalysis.ArrivalRate, aAnalysis.MaxFlow.Value)
+	}
+	if len(s.A.Spec.Sinks()) == 0 {
+		return nil, nil, fmt.Errorf("cutsplit: D″ is empty, contradicting Remark 2")
+	}
+	return aAnalysis, bAnalysis, nil
+}
+
+// InductionCase classifies a feasibility analysis into the three cases of
+// Section V: 1 = unsaturated (unique trivial min cut), 2 = saturated only
+// at d*, 3 = saturated with an interior cut. It inspects only the two
+// extreme minimum cuts; an interior cut hiding between trivial extremes
+// is missed — use InductionCaseExact when that matters.
+func InductionCase(a *flow.Analysis) int {
+	switch {
+	case a.Feasibility == flow.Unsaturated:
+		return 1
+	case a.CutInterior():
+		return 3
+	default:
+		return 2
+	}
+}
+
+// InductionCaseExact classifies using full minimum-cut enumeration
+// (Picard–Queyranne): case 3 is reported whenever ANY minimum cut crosses
+// the interior, even if both extreme cuts are trivial. The limit caps the
+// enumeration; exhaustive reports whether the answer is certain.
+func InductionCaseExact(a *flow.Analysis, limit int) (kase int, exhaustive bool) {
+	if a.Feasibility == flow.Unsaturated {
+		return 1, true
+	}
+	found, exhaustive := a.Ext.HasInteriorMinCut(a.MaxFlow, limit)
+	if found {
+		return 3, true
+	}
+	return 2, exhaustive
+}
+
+// FindInteriorCut returns the node mask (over G's real nodes, true =
+// source side) of some interior minimum cut, preferring the one with the
+// most balanced split. It returns ok=false when no enumerated minimum cut
+// crosses the interior.
+func FindInteriorCut(a *flow.Analysis, limit int) (mask []bool, ok bool) {
+	cuts := flow.EnumerateMinCuts(a.MaxFlow, limit)
+	n := a.Ext.G.NumNodes()
+	bestBalance := -1
+	for _, cut := range cuts {
+		real := 0
+		for v := 0; v < n; v++ {
+			if cut[v] {
+				real++
+			}
+		}
+		if real == 0 || real == n {
+			continue
+		}
+		balance := real
+		if n-real < balance {
+			balance = n - real
+		}
+		if balance > bestBalance {
+			bestBalance = balance
+			mask = make([]bool, n)
+			for v := 0; v < n; v++ {
+				mask[v] = cut[v]
+			}
+			ok = true
+		}
+	}
+	return mask, ok
+}

@@ -1,0 +1,157 @@
+package cutsplit
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// TestExactCaseCatchesHiddenInteriorCut: on a saturated line the minimal
+// cut is {s*} and the maximal is everything-but-d*, so the extreme-cut
+// classifier says case 2 — but every interior edge is also a minimum cut,
+// so the exact classifier must say case 3.
+func TestExactCaseCatchesHiddenInteriorCut(t *testing.T) {
+	spec := core.NewSpec(graph.Line(4)).SetSource(0, 1).SetSink(3, 1)
+	a := spec.Analyze(flow.NewPushRelabel())
+	if got := InductionCase(a); got != 2 {
+		t.Fatalf("extreme-cut classifier = %d (expected the blind spot: 2)", got)
+	}
+	kase, exhaustive := InductionCaseExact(a, 64)
+	if kase != 3 || !exhaustive {
+		t.Fatalf("exact classifier = %d (exhaustive=%v), want 3/true", kase, exhaustive)
+	}
+}
+
+func TestExactCaseAgreementElsewhere(t *testing.T) {
+	// Unsaturated: both classifiers say 1.
+	s1 := core.NewSpec(graph.ThetaGraph(3, 2)).SetSource(0, 2).SetSink(1, 3)
+	a1 := s1.Analyze(flow.NewPushRelabel())
+	if k, _ := InductionCaseExact(a1, 64); k != 1 || InductionCase(a1) != 1 {
+		t.Fatal("unsaturated classification mismatch")
+	}
+	// True case 2: saturated only at the sink with no interior min cut —
+	// theta(3,2) with in=2, out=2: interior cuts have value 3 > 2; the
+	// sink link cut has value 2.
+	s2 := core.NewSpec(graph.ThetaGraph(3, 2)).SetSource(0, 2).SetSink(1, 2)
+	a2 := s2.Analyze(flow.NewPushRelabel())
+	if k, ex := InductionCaseExact(a2, 64); k != 2 || !ex {
+		t.Fatalf("theta sink-saturated: exact case = %d", k)
+	}
+}
+
+func TestFindInteriorCutOnLine(t *testing.T) {
+	spec := core.NewSpec(graph.Line(5)).SetSource(0, 1).SetSink(4, 1)
+	a := spec.Analyze(flow.NewPushRelabel())
+	mask, ok := FindInteriorCut(a, 64)
+	if !ok {
+		t.Fatal("no interior cut found on a saturated line")
+	}
+	// balanced preference: the middle edge cut puts 2-3 nodes per side
+	real := 0
+	for _, b := range mask {
+		if b {
+			real++
+		}
+	}
+	if real < 2 || real > 3 {
+		t.Fatalf("expected the balanced middle cut, source side has %d real nodes", real)
+	}
+	// and the split built from it must be feasible
+	s, err := At(spec, mask, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Check(flow.NewPushRelabel()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindInteriorCutNone(t *testing.T) {
+	spec := core.NewSpec(graph.ThetaGraph(3, 2)).SetSource(0, 2).SetSink(1, 3)
+	a := spec.Analyze(flow.NewPushRelabel())
+	if _, ok := FindInteriorCut(a, 64); ok {
+		t.Fatal("unsaturated network yielded an interior min cut")
+	}
+}
+
+// TestFullInductionWalk performs the paper's recursion end to end on a
+// saturated line: classify, split at an interior cut, check feasibility
+// of the parts, and recurse until only base cases remain.
+func TestFullInductionWalk(t *testing.T) {
+	var walk func(spec *core.Spec, depth int)
+	walk = func(spec *core.Spec, depth int) {
+		if depth > 6 {
+			t.Fatal("induction recursion too deep")
+		}
+		if spec.N() == 1 {
+			return // |V| = 1: trivially stable, paper's base
+		}
+		a := spec.Analyze(flow.NewPushRelabel())
+		if a.Feasibility == flow.Infeasible {
+			t.Fatalf("depth %d: infeasible part", depth)
+		}
+		kase, _ := InductionCaseExact(a, 64)
+		switch kase {
+		case 1, 2:
+			return // analytic base cases (Sections V-A, V-B)
+		case 3:
+			mask, ok := FindInteriorCut(a, 64)
+			if !ok {
+				t.Fatalf("depth %d: case 3 without an interior cut", depth)
+			}
+			s, err := At(spec, mask, 16)
+			if err != nil {
+				t.Fatalf("depth %d: %v", depth, err)
+			}
+			if _, _, err := s.Check(flow.NewPushRelabel()); err != nil {
+				t.Fatalf("depth %d: %v", depth, err)
+			}
+			walk(s.A.Spec, depth+1)
+			walk(s.B.Spec, depth+1)
+		}
+	}
+	walk(core.NewSpec(graph.Line(6)).SetSource(0, 1).SetSink(5, 1), 0)
+	walk(barbellSpecFor(t), 0)
+}
+
+func barbellSpecFor(t *testing.T) *core.Spec {
+	t.Helper()
+	g := graph.Barbell(3, 3)
+	return core.NewSpec(g).SetSource(0, 1).SetSink(graph.NodeID(g.NumNodes()-1), 2)
+}
+
+// Property-ish: on random saturated networks, whenever the exact
+// classifier says case 3, FindInteriorCut succeeds and the split checks.
+func TestExactCaseAndSplitConsistency(t *testing.T) {
+	for seed := uint64(0); seed < 25; seed++ {
+		r := rng.New(seed)
+		n := 8
+		g := graph.RandomMultigraph(n, n+r.IntN(6), r)
+		spec := core.NewSpec(g).SetSource(0, 1+r.Int64N(2)).SetSink(graph.NodeID(n-1), 1+r.Int64N(3))
+		a := spec.Analyze(flow.NewPushRelabel())
+		if a.Feasibility == flow.Infeasible {
+			continue
+		}
+		kase, exhaustive := InductionCaseExact(a, 128)
+		if !exhaustive {
+			continue
+		}
+		if kase != 3 {
+			continue
+		}
+		mask, ok := FindInteriorCut(a, 128)
+		if !ok {
+			t.Fatalf("seed %d: case 3 but no interior cut found", seed)
+		}
+		s, err := At(spec, mask, 8)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, _, err := s.Check(flow.NewPushRelabel()); err != nil {
+			t.Fatalf("seed %d: split check: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+// Package distsim executes LGG as a genuinely distributed protocol: one
+// goroutine per node, no shared queue state, neighbour queue lengths
+// learned only through announcement messages, packets moved only through
+// per-edge channels. It makes the paper's opening claim — the protocol is
+// "localized since nodes only need information about their neighborhood"
+// — literal: a node's goroutine closes over nothing but its own queue,
+// its incident edge endpoints, and its mailbox.
+//
+// The synchronous network of Section II is realized as barrier-separated
+// phases per round:
+//
+//	announce → plan+transmit → deliver → extract/inject
+//
+// Each phase ends at a barrier (sync.WaitGroup) so every node sees the
+// same global time t, mirroring the paper's synchronous model. A
+// cross-validation test runs this engine in lockstep with core.Engine and
+// asserts identical queue vectors at every round — the distributed
+// implementation and the centrally-simulated semantics coincide.
+//
+// Loss models must be pure functions of (t, edge) here (e.g. HashLoss):
+// node goroutines evaluate them concurrently, and determinism across the
+// two engines requires state-free decisions.
+package distsim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// HashLoss is a stateless Bernoulli loss model: a packet on edge e at
+// time t is lost iff a hash of (Seed, t, e) falls below P. Being pure, it
+// is safe for concurrent use and produces identical outcomes in distsim
+// and core engines.
+type HashLoss struct {
+	P    float64
+	Seed uint64
+}
+
+// Name implements core.LossModel.
+func (h HashLoss) Name() string { return fmt.Sprintf("hashloss(p=%g)", h.P) }
+
+// Lost implements core.LossModel.
+func (h HashLoss) Lost(t int64, e graph.EdgeID, _ graph.NodeID) bool {
+	if h.P <= 0 {
+		return false
+	}
+	if h.P >= 1 {
+		return true
+	}
+	x := rng.New(h.Seed).Split(uint64(t)).Split(uint64(e)).Float64()
+	return x < h.P
+}
+
+// message types exchanged between node goroutines.
+type announce struct {
+	from graph.NodeID
+	q    int64
+}
+
+type packet struct {
+	edge graph.EdgeID
+}
+
+// node is the per-goroutine state. Everything a node knows is local.
+type node struct {
+	id       graph.NodeID
+	queue    int64
+	in, out  int64
+	incident []graph.Incidence // ids + peer ids only (addressing, not state)
+
+	announceBox chan announce
+	packetBox   chan packet
+
+	// snapshot of neighbour declarations for the current round
+	declared map[graph.NodeID]int64
+}
+
+// Engine runs the distributed protocol. It is created with New and driven
+// round by round from the caller's goroutine; node goroutines live for
+// the Engine's lifetime and are shut down by Close.
+type Engine struct {
+	Spec *core.Spec
+	Loss core.LossModel
+
+	T     int64
+	nodes []*node
+
+	start   []chan phase
+	done    *sync.WaitGroup
+	lastQ   []int64
+	stats   Stats
+	statsMu sync.Mutex
+	closed  bool
+}
+
+// Stats aggregates counters across rounds.
+type Stats struct {
+	Injected, Sent, Lost, Arrived, Extracted int64
+}
+
+type phase int
+
+const (
+	phaseAnnounce phase = iota
+	phaseTransmit
+	phaseDeliver
+	phaseExtractInject
+	phaseReport
+	phaseShutdown
+)
+
+// New builds the distributed engine. Only classical semantics are
+// supported (truthful declarations, exact arrivals, maximal extraction):
+// the point of this engine is fidelity of the *distribution*, not the
+// policy zoo — those are exercised on core.Engine.
+func New(spec *core.Spec, lossModel core.LossModel) *Engine {
+	if err := spec.Validate(); err != nil {
+		panic(fmt.Sprintf("distsim: invalid spec: %v", err))
+	}
+	if lossModel == nil {
+		lossModel = core.NoLoss{}
+	}
+	n := spec.N()
+	e := &Engine{
+		Spec:  spec,
+		Loss:  lossModel,
+		nodes: make([]*node, n),
+		start: make([]chan phase, n),
+		done:  &sync.WaitGroup{},
+		lastQ: make([]int64, n),
+	}
+	for v := 0; v < n; v++ {
+		inc := spec.G.Incident(graph.NodeID(v))
+		e.nodes[v] = &node{
+			id:          graph.NodeID(v),
+			in:          spec.In[v],
+			out:         spec.Out[v],
+			incident:    inc,
+			announceBox: make(chan announce, len(inc)),
+			packetBox:   make(chan packet, len(inc)),
+			declared:    make(map[graph.NodeID]int64, len(inc)),
+		}
+		e.start[v] = make(chan phase)
+	}
+	for v := 0; v < n; v++ {
+		go e.run(e.nodes[v], e.start[v])
+	}
+	return e
+}
+
+// barrier runs one phase on every node goroutine and waits for all.
+func (e *Engine) barrier(p phase) {
+	e.done.Add(len(e.nodes))
+	for _, ch := range e.start {
+		ch <- p
+	}
+	e.done.Wait()
+}
+
+// Step executes one synchronous round and returns the queue vector after
+// it (a fresh copy).
+func (e *Engine) Step() []int64 {
+	if e.closed {
+		panic("distsim: Step after Close")
+	}
+	e.barrier(phaseAnnounce)
+	e.barrier(phaseTransmit)
+	e.barrier(phaseDeliver)
+	e.barrier(phaseExtractInject)
+	e.barrier(phaseReport)
+	e.T++
+	out := make([]int64, len(e.lastQ))
+	copy(out, e.lastQ)
+	return out
+}
+
+// Run executes steps rounds and returns the final queue vector.
+func (e *Engine) Run(steps int64) []int64 {
+	var q []int64
+	for i := int64(0); i < steps; i++ {
+		q = e.Step()
+	}
+	return q
+}
+
+// Stats returns a snapshot of the aggregate counters.
+func (e *Engine) Statistics() Stats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.stats
+}
+
+// Close terminates all node goroutines. The engine is unusable afterwards.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	e.done.Add(len(e.nodes))
+	for _, ch := range e.start {
+		ch <- phaseShutdown
+	}
+	e.done.Wait()
+}
+
+// run is the node goroutine: a state machine over barrier-separated
+// phases. All decisions use only nd's fields — no global state.
+func (e *Engine) run(nd *node, start <-chan phase) {
+	var planned []graph.Incidence // sends decided in phaseTransmit
+	for p := range start {
+		switch p {
+		case phaseAnnounce:
+			// Injection opens the step ("each source s injects in(s)
+			// packets in its queue", §II), then the post-injection queue
+			// is announced to every neighbour — the snapshot q_t.
+			if nd.in > 0 {
+				nd.queue += nd.in
+				e.addStats(func(s *Stats) { s.Injected += nd.in })
+			}
+			for _, in := range nd.incident {
+				e.nodes[in.Peer].announceBox <- announce{from: nd.id, q: nd.queue}
+			}
+		case phaseTransmit:
+			// Drain announcements (exactly deg many).
+			for range nd.incident {
+				a := <-nd.announceBox
+				nd.declared[a.from] = a.q
+			}
+			// Algorithm 1, locally.
+			planned = planned[:0]
+			cands := make([]graph.Incidence, 0, len(nd.incident))
+			for _, in := range nd.incident {
+				if nd.declared[in.Peer] < nd.queue {
+					cands = append(cands, in)
+				}
+			}
+			sort.Slice(cands, func(i, j int) bool {
+				qi, qj := nd.declared[cands[i].Peer], nd.declared[cands[j].Peer]
+				if qi != qj {
+					return qi < qj
+				}
+				return cands[i].Edge < cands[j].Edge
+			})
+			budget := nd.queue
+			for _, c := range cands {
+				if budget == 0 {
+					break
+				}
+				planned = append(planned, c)
+				budget--
+			}
+			// Transmit: packets leave now; losses decided on the wire.
+			for _, c := range planned {
+				nd.queue--
+				e.addStats(func(s *Stats) { s.Sent++ })
+				if e.Loss.Lost(e.T, c.Edge, nd.id) {
+					e.addStats(func(s *Stats) { s.Lost++ })
+					continue
+				}
+				e.nodes[c.Peer].packetBox <- packet{edge: c.Edge}
+			}
+		case phaseDeliver:
+			// Receive whatever arrived (channel is buffered ≥ deg).
+			for {
+				select {
+				case <-nd.packetBox:
+					nd.queue++
+					e.addStats(func(s *Stats) { s.Arrived++ })
+					continue
+				default:
+				}
+				break
+			}
+		case phaseExtractInject:
+			if nd.out > 0 {
+				amt := nd.out
+				if nd.queue < amt {
+					amt = nd.queue
+				}
+				nd.queue -= amt
+				e.addStats(func(s *Stats) { s.Extracted += amt })
+			}
+		case phaseReport:
+			e.lastQ[nd.id] = nd.queue
+		case phaseShutdown:
+			e.done.Done()
+			return
+		}
+		e.done.Done()
+	}
+}
+
+func (e *Engine) addStats(f func(*Stats)) {
+	e.statsMu.Lock()
+	f(&e.stats)
+	e.statsMu.Unlock()
+}
+
+// _ ensures HashLoss satisfies the core interface.
+var _ core.LossModel = HashLoss{}

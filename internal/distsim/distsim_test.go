@@ -1,0 +1,172 @@
+package distsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func thetaSpec() *core.Spec {
+	return core.NewSpec(graph.ThetaGraph(3, 2)).SetSource(0, 2).SetSink(1, 3)
+}
+
+// TestLockstepWithCoreEngine is the package's raison d'être: the
+// message-passing implementation and the centrally simulated semantics
+// must produce identical queue vectors at every round.
+func TestLockstepWithCoreEngine(t *testing.T) {
+	spec := thetaSpec()
+	de := New(spec, nil)
+	defer de.Close()
+	ce := core.NewEngine(spec, core.NewLGG())
+	for round := 0; round < 300; round++ {
+		dq := de.Step()
+		ce.Step()
+		for v := range dq {
+			if dq[v] != ce.Q[v] {
+				t.Fatalf("round %d node %d: distributed %d vs central %d",
+					round, v, dq[v], ce.Q[v])
+			}
+		}
+	}
+}
+
+func TestLockstepWithLosses(t *testing.T) {
+	spec := thetaSpec()
+	lossModel := HashLoss{P: 0.3, Seed: 7}
+	de := New(spec, lossModel)
+	defer de.Close()
+	ce := core.NewEngine(spec, core.NewLGG())
+	ce.Loss = lossModel
+	for round := 0; round < 300; round++ {
+		dq := de.Step()
+		ce.Step()
+		for v := range dq {
+			if dq[v] != ce.Q[v] {
+				t.Fatalf("round %d node %d: distributed %d vs central %d",
+					round, v, dq[v], ce.Q[v])
+			}
+		}
+	}
+}
+
+// Property: lockstep equality holds on random connected multigraphs with
+// random roles and hash losses.
+func TestQuickLockstepUniversal(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, lossPct uint8) bool {
+		r := rng.New(seed)
+		n := int(nRaw%8) + 3
+		g := graph.RandomMultigraph(n, n+r.IntN(2*n), r)
+		spec := core.NewSpec(g).SetSource(0, 1+r.Int64N(3)).SetSink(graph.NodeID(n-1), 1+r.Int64N(3))
+		lossModel := HashLoss{P: float64(lossPct%60) / 100, Seed: seed}
+		de := New(spec, lossModel)
+		defer de.Close()
+		ce := core.NewEngine(spec, core.NewLGG())
+		ce.Loss = lossModel
+		for round := 0; round < 50; round++ {
+			dq := de.Step()
+			ce.Step()
+			for v := range dq {
+				if dq[v] != ce.Q[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatisticsConsistency(t *testing.T) {
+	spec := thetaSpec()
+	de := New(spec, nil)
+	defer de.Close()
+	q := de.Run(200)
+	st := de.Statistics()
+	if st.Injected != 400 {
+		t.Fatalf("injected = %d", st.Injected)
+	}
+	var stored int64
+	for _, x := range q {
+		stored += x
+	}
+	if st.Injected != st.Extracted+st.Lost+stored {
+		t.Fatalf("conservation: %+v stored=%d", st, stored)
+	}
+	if st.Sent != st.Arrived+st.Lost {
+		t.Fatalf("transmission accounting: %+v", st)
+	}
+}
+
+func TestHashLossDeterministicAndPure(t *testing.T) {
+	h := HashLoss{P: 0.5, Seed: 3}
+	a := h.Lost(10, 2, 0)
+	for i := 0; i < 10; i++ {
+		if h.Lost(10, 2, 0) != a {
+			t.Fatal("HashLoss is not pure")
+		}
+	}
+	if (HashLoss{P: 0, Seed: 1}).Lost(0, 0, 0) {
+		t.Fatal("p=0 lost")
+	}
+	if !(HashLoss{P: 1, Seed: 1}).Lost(0, 0, 0) {
+		t.Fatal("p=1 delivered")
+	}
+	// rate sanity
+	lost := 0
+	for t2 := int64(0); t2 < 2000; t2++ {
+		if (HashLoss{P: 0.25, Seed: 9}).Lost(t2, 1, 0) {
+			lost++
+		}
+	}
+	if lost < 380 || lost > 620 {
+		t.Fatalf("hash loss rate %d/2000, want ~500", lost)
+	}
+}
+
+func TestCloseIsIdempotentAndStepPanicsAfter(t *testing.T) {
+	de := New(thetaSpec(), nil)
+	de.Step()
+	de.Close()
+	de.Close() // second close is a no-op
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Step after Close did not panic")
+		}
+	}()
+	de.Step()
+}
+
+func TestInvalidSpecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid spec accepted")
+		}
+	}()
+	New(core.NewSpec(graph.Line(2)), nil)
+}
+
+func TestParallelEdgesDistributed(t *testing.T) {
+	// Parallel edges each carry one packet per round, distributed too.
+	g := graph.New(2)
+	g.AddEdges(0, 1, 3)
+	spec := core.NewSpec(g).SetSource(0, 3).SetSink(1, 3)
+	de := New(spec, nil)
+	defer de.Close()
+	ce := core.NewEngine(spec, core.NewLGG())
+	for round := 0; round < 50; round++ {
+		dq := de.Step()
+		ce.Step()
+		if dq[0] != ce.Q[0] || dq[1] != ce.Q[1] {
+			t.Fatalf("round %d: %v vs %v", round, dq, ce.Q)
+		}
+	}
+	st := de.Statistics()
+	if st.Extracted == 0 {
+		t.Fatal("nothing delivered over parallel edges")
+	}
+}

@@ -1,0 +1,128 @@
+// Package dynamic implements time-varying topologies for the Conjecture 4
+// experiments ("the case of a dynamic network in which the topology
+// changes among time"). A TopologyProcess masks edges step by step; the
+// engine hides dead edges from the routing policy and rejects
+// transmissions over them.
+package dynamic
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Interval is a half-open time range [From, To).
+type Interval struct {
+	From, To int64
+}
+
+// Contains reports whether t lies in the interval.
+func (iv Interval) Contains(t int64) bool { return t >= iv.From && t < iv.To }
+
+// Schedule takes edges down during explicit intervals: edge e is dead at
+// time t iff some interval in Down[e] contains t. Deterministic and
+// scriptable — the adversarial topology process.
+type Schedule struct {
+	Down map[graph.EdgeID][]Interval
+}
+
+// Name implements core.TopologyProcess.
+func (s *Schedule) Name() string { return fmt.Sprintf("schedule(%d edges)", len(s.Down)) }
+
+// EdgeAlive implements core.TopologyProcess.
+func (s *Schedule) EdgeAlive(t int64, e graph.EdgeID) bool {
+	for _, iv := range s.Down[e] {
+		if iv.Contains(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// RoundRobinBlink takes down one victim edge at a time, rotating through
+// the Victims list every Period steps (each victim is dead for Period
+// consecutive steps, then the next takes over). Edges outside Victims are
+// always alive, so protecting a feasible backbone is easy: leave its
+// edges out of Victims.
+type RoundRobinBlink struct {
+	Victims []graph.EdgeID
+	Period  int64
+}
+
+// Name implements core.TopologyProcess.
+func (r *RoundRobinBlink) Name() string {
+	return fmt.Sprintf("round-robin-blink(%d victims, period %d)", len(r.Victims), r.Period)
+}
+
+// EdgeAlive implements core.TopologyProcess.
+func (r *RoundRobinBlink) EdgeAlive(t int64, e graph.EdgeID) bool {
+	if len(r.Victims) == 0 {
+		return true
+	}
+	if r.Period <= 0 {
+		panic("dynamic: RoundRobinBlink needs a positive period")
+	}
+	idx := (t / r.Period) % int64(len(r.Victims))
+	return r.Victims[idx] != e
+}
+
+// Flaky keeps every non-protected edge alive independently with
+// probability PUp at each step (memoryless). Protected edges are always
+// alive — set them to a spanning feasible subnetwork to keep the
+// conjecture's premise ("the number of injected packets ensures the
+// existence of a feasible S-D-flow") true at every step.
+type Flaky struct {
+	PUp       float64
+	Protected map[graph.EdgeID]bool
+	R         *rng.Source
+
+	// cache: per-step decisions so all queries at the same t agree
+	t     int64
+	alive map[graph.EdgeID]bool
+}
+
+// Name implements core.TopologyProcess.
+func (f *Flaky) Name() string {
+	return fmt.Sprintf("flaky(p=%g, %d protected)", f.PUp, len(f.Protected))
+}
+
+// EdgeAlive implements core.TopologyProcess.
+func (f *Flaky) EdgeAlive(t int64, e graph.EdgeID) bool {
+	if f.Protected[e] {
+		return true
+	}
+	if f.alive == nil || t != f.t {
+		f.t = t
+		f.alive = map[graph.EdgeID]bool{}
+	}
+	a, ok := f.alive[e]
+	if !ok {
+		a = f.R.Bool(f.PUp)
+		f.alive[e] = a
+	}
+	return a
+}
+
+// Churn alternates between two whole topologies (edge masks) every Period
+// steps — the "network reconfiguration" shape of dynamic networks. Both
+// masks should be feasible for the spec if the experiment wants to stay
+// inside Conjecture 4's premise.
+type Churn struct {
+	MaskA, MaskB []bool
+	Period       int64
+}
+
+// Name implements core.TopologyProcess.
+func (c *Churn) Name() string { return fmt.Sprintf("churn(period %d)", c.Period) }
+
+// EdgeAlive implements core.TopologyProcess.
+func (c *Churn) EdgeAlive(t int64, e graph.EdgeID) bool {
+	if c.Period <= 0 {
+		panic("dynamic: Churn needs a positive period")
+	}
+	if (t/c.Period)%2 == 0 {
+		return c.MaskA[e]
+	}
+	return c.MaskB[e]
+}

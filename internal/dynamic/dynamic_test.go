@@ -1,0 +1,117 @@
+package dynamic
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestInterval(t *testing.T) {
+	iv := Interval{From: 3, To: 7}
+	for _, c := range []struct {
+		t    int64
+		want bool
+	}{{2, false}, {3, true}, {6, true}, {7, false}} {
+		if iv.Contains(c.t) != c.want {
+			t.Fatalf("Contains(%d) = %v", c.t, !c.want)
+		}
+	}
+}
+
+func TestSchedule(t *testing.T) {
+	s := &Schedule{Down: map[graph.EdgeID][]Interval{
+		1: {{From: 10, To: 20}, {From: 30, To: 31}},
+	}}
+	if !s.EdgeAlive(5, 1) || !s.EdgeAlive(20, 1) {
+		t.Fatal("edge dead outside its windows")
+	}
+	if s.EdgeAlive(10, 1) || s.EdgeAlive(19, 1) || s.EdgeAlive(30, 1) {
+		t.Fatal("edge alive inside its windows")
+	}
+	if !s.EdgeAlive(15, 0) {
+		t.Fatal("unscheduled edge affected")
+	}
+	if s.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestRoundRobinBlink(t *testing.T) {
+	r := &RoundRobinBlink{Victims: []graph.EdgeID{2, 5}, Period: 3}
+	// t in [0,3): victim 2 down; t in [3,6): victim 5 down; then repeat.
+	for tm := int64(0); tm < 12; tm++ {
+		victim := r.Victims[(tm/3)%2]
+		for _, e := range []graph.EdgeID{0, 2, 5} {
+			want := e != victim
+			if r.EdgeAlive(tm, e) != want {
+				t.Fatalf("t=%d edge=%d alive=%v, want %v", tm, e, !want, want)
+			}
+		}
+	}
+	empty := &RoundRobinBlink{Period: 3}
+	if !empty.EdgeAlive(0, 0) {
+		t.Fatal("no victims should mean all alive")
+	}
+}
+
+func TestRoundRobinBlinkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad period accepted")
+		}
+	}()
+	(&RoundRobinBlink{Victims: []graph.EdgeID{0}}).EdgeAlive(0, 0)
+}
+
+func TestFlakyProtectedAndConsistent(t *testing.T) {
+	f := &Flaky{PUp: 0.5, Protected: map[graph.EdgeID]bool{0: true}, R: rng.New(1)}
+	for tm := int64(0); tm < 100; tm++ {
+		if !f.EdgeAlive(tm, 0) {
+			t.Fatal("protected edge died")
+		}
+		// Same (t, e) must answer consistently within a step.
+		a := f.EdgeAlive(tm, 1)
+		if f.EdgeAlive(tm, 1) != a {
+			t.Fatal("per-step decision not cached")
+		}
+	}
+	// Unprotected edges should be down sometimes and up sometimes.
+	up, down := 0, 0
+	for tm := int64(0); tm < 400; tm++ {
+		if f.EdgeAlive(tm, 2) {
+			up++
+		} else {
+			down++
+		}
+	}
+	if up < 100 || down < 100 {
+		t.Fatalf("flaky imbalance up=%d down=%d", up, down)
+	}
+}
+
+func TestChurn(t *testing.T) {
+	c := &Churn{
+		MaskA:  []bool{true, false},
+		MaskB:  []bool{false, true},
+		Period: 5,
+	}
+	if !c.EdgeAlive(0, 0) || c.EdgeAlive(0, 1) {
+		t.Fatal("phase A mask wrong")
+	}
+	if c.EdgeAlive(5, 0) || !c.EdgeAlive(5, 1) {
+		t.Fatal("phase B mask wrong")
+	}
+	if !c.EdgeAlive(10, 0) {
+		t.Fatal("phase did not cycle back")
+	}
+}
+
+func TestChurnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad period accepted")
+		}
+	}()
+	(&Churn{MaskA: []bool{true}, MaskB: []bool{true}}).EdgeAlive(0, 0)
+}

@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/arrivals"
+	"repro/internal/core"
+	"repro/internal/dynamic"
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/interference"
+	"repro/internal/loss"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{ID: "E11", Title: "Domination: fewer packets never destabilize (Conjecture 1)",
+		Paper: "Conjecture 1", Run: runE11})
+	register(Experiment{ID: "E12", Title: "Bursts with compensation (Conjecture 2)",
+		Paper: "Conjecture 2", Run: runE12})
+	register(Experiment{ID: "E13", Title: "Uniform random arrivals below the min cut (Conjecture 3)",
+		Paper: "Conjecture 3", Run: runE13})
+	register(Experiment{ID: "E14", Title: "Dynamic topologies preserving feasibility (Conjecture 4)",
+		Paper: "Conjecture 4", Run: runE14})
+	register(Experiment{ID: "E15", Title: "Interference with compatible-set scheduling (Conjecture 5)",
+		Paper: "Conjecture 5", Run: runE15})
+}
+
+// runE11 is the counterexample search for Conjecture 1: on saturated
+// networks where the full-injection/no-loss run is stable, every
+// dominated variant (thinned arrivals and/or random losses) must remain
+// stable. A dominated run that diverges while its reference is stable
+// would refute the conjecture — the paper's missing lemma.
+func runE11(cfg Config) *Table {
+	t := &Table{
+		ID:      "E11",
+		Title:   "domination search (coupled runs)",
+		Claim:   "if the exact/no-loss run is stable, every dominated run is stable",
+		Columns: []string{"network", "variant", "ref-verdict", "dom-verdict", "peak-ratio", "counterexample"},
+	}
+	type variant struct {
+		name  string
+		build func(seed uint64, e *core.Engine)
+	}
+	variants := []variant{
+		{"thinned p=0.9", func(seed uint64, e *core.Engine) {
+			e.Arrivals = &arrivals.Thinned{P: 0.9, R: rng.New(seed).Split(11)}
+		}},
+		{"thinned p=0.5", func(seed uint64, e *core.Engine) {
+			e.Arrivals = &arrivals.Thinned{P: 0.5, R: rng.New(seed).Split(12)}
+		}},
+		{"loss p=0.1", func(seed uint64, e *core.Engine) {
+			e.Loss = &loss.Bernoulli{P: 0.1, R: rng.New(seed).Split(13)}
+		}},
+		{"loss p=0.3", func(seed uint64, e *core.Engine) {
+			e.Loss = &loss.Bernoulli{P: 0.3, R: rng.New(seed).Split(14)}
+		}},
+		{"thinned+loss", func(seed uint64, e *core.Engine) {
+			e.Arrivals = &arrivals.Thinned{P: 0.8, R: rng.New(seed).Split(15)}
+			e.Loss = &loss.Bernoulli{P: 0.2, R: rng.New(seed).Split(16)}
+		}},
+	}
+	counterexamples := 0
+	ws := saturatedSuite(cfg)
+	for _, w := range ws {
+		ref := sim.RunSeeds(func(seed uint64) *core.Engine {
+			return core.NewEngine(w.spec, core.NewLGG())
+		}, sim.Seeds(cfg.Seed, 1), sim.Options{Horizon: cfg.horizon()})[0]
+		refPeak := float64(ref.Totals.PeakPotential)
+		for _, v := range variants {
+			rs := sim.RunSeeds(func(seed uint64) *core.Engine {
+				e := core.NewEngine(w.spec, core.NewLGG())
+				v.build(seed, e)
+				return e
+			}, sim.Seeds(cfg.Seed, cfg.seeds()), sim.Options{Horizon: cfg.horizon()})
+			worst := sim.Stable
+			var peak float64
+			for _, r := range rs {
+				if r.Diagnosis.Verdict == sim.Diverging {
+					worst = sim.Diverging
+				} else if r.Diagnosis.Verdict == sim.Inconclusive && worst == sim.Stable {
+					worst = sim.Inconclusive
+				}
+				if p := float64(r.Totals.PeakPotential); p > peak {
+					peak = p
+				}
+			}
+			ce := ref.Diagnosis.Verdict == sim.Stable && worst == sim.Diverging
+			if ce {
+				counterexamples++
+			}
+			ratio := 0.0
+			if refPeak > 0 {
+				ratio = peak / refPeak
+			}
+			t.AddRow(w.name, v.name, ref.Diagnosis.Verdict.String(), worst.String(),
+				fmtF(ratio), fmt.Sprintf("%v", ce))
+		}
+	}
+	t.Note("counterexamples found: %d (the conjecture survives this search iff 0)", counterexamples)
+	return t
+}
+
+// runE12 exercises Conjecture 2: arrival bursts that exceed f* are
+// harmless when quiet periods compensate, and fatal when they do not.
+func runE12(cfg Config) *Table {
+	t := &Table{
+		ID:      "E12",
+		Title:   "bursty arrivals with and without compensation",
+		Claim:   "average rate ≤ f* ⇒ stable even when bursts exceed f*; average > f* ⇒ diverging",
+		Columns: []string{"network", "burst", "avg/f*", "burst-rate>f*", "stable-share", "verdict"},
+	}
+	spec := thetaSpec(3, 2, 2, 3) // rate 2, f* = 3
+	a := spec.Analyze(flow.NewPushRelabel())
+	bursts := []*arrivals.Bursty{
+		{Period: 20, BurstLen: 5, BurstFactor: 3, QuietFactor: 0},  // avg 0.75×in (1.5/step < f*)
+		{Period: 20, BurstLen: 10, BurstFactor: 2, QuietFactor: 0}, // avg 1.0×in (2/step < f*)
+		{Period: 4, BurstLen: 1, BurstFactor: 4, QuietFactor: 0},   // avg 1.0×in, tight cadence
+		{Period: 20, BurstLen: 10, BurstFactor: 3, QuietFactor: 0}, // avg 1.5×in (3/step = f*: frontier)
+		{Period: 20, BurstLen: 10, BurstFactor: 4, QuietFactor: 0}, // avg 2.0×in (4/step > f*: diverges)
+	}
+	for _, b := range bursts {
+		burstRate := spec.ArrivalRate() * b.BurstFactor
+		rs := sim.RunSeeds(func(seed uint64) *core.Engine {
+			e := core.NewEngine(spec, core.NewLGG())
+			e.Arrivals = b
+			return e
+		}, sim.Seeds(cfg.Seed, cfg.seeds()), sim.Options{Horizon: cfg.horizon()})
+		share := sim.StableShare(rs)
+		verdict := rs[0].Diagnosis.Verdict.String()
+		avgPerStep := b.AverageFactor() * float64(spec.ArrivalRate())
+		t.AddRow(spec.String(), b.Name(), fmtF(avgPerStep/float64(a.FStar)),
+			fmt.Sprintf("%v", burstRate > a.FStar), fmtF(share), verdict)
+	}
+	return t
+}
+
+// runE13 exercises Conjecture 3: per-step injections uniform on [0, Hi]
+// with mean Hi/2 relative to the min S-D-cut (= f* here).
+func runE13(cfg Config) *Table {
+	t := &Table{
+		ID:      "E13",
+		Title:   "uniform random arrivals vs the minimum cut",
+		Claim:   "mean < min-cut ⇒ stable w.h.p.; mean > min-cut ⇒ diverging",
+		Columns: []string{"network", "mean/cut", "stable-share", "mean-backlog"},
+	}
+	spec := thetaSpec(3, 2, 1, 3) // f* = 3; In=1 marks node 0 a source
+	a := spec.Analyze(flow.NewPushRelabel())
+	cut := float64(a.FStar)
+	for _, hi := range []int64{3, 5, 7} { // means 1.5, 2.5, 3.5
+		mean := float64(hi) / 2
+		rs := sim.RunSeeds(func(seed uint64) *core.Engine {
+			e := core.NewEngine(spec, core.NewLGG())
+			his := make([]int64, spec.N())
+			his[0] = hi
+			e.Arrivals = &arrivals.Uniform{Hi: his, R: rng.New(seed).Split(21)}
+			return e
+		}, sim.Seeds(cfg.Seed, cfg.seeds()), sim.Options{Horizon: cfg.horizon()})
+		t.AddRow(spec.String(), fmtF(mean/cut), fmtF(sim.StableShare(rs)),
+			fmtF(stats.Mean(sim.MeanBacklogs(rs))))
+	}
+	return t
+}
+
+// runE14 exercises Conjecture 4 on dynamic topologies: as long as the
+// live sub-network stays feasible at every step, LGG stays stable;
+// when churn destroys feasibility on average, it diverges.
+func runE14(cfg Config) *Table {
+	t := &Table{
+		ID:      "E14",
+		Title:   "dynamic topologies",
+		Claim:   "feasibility of the live subgraph at every step ⇒ stable",
+		Columns: []string{"network", "dynamics", "live-feasible", "stable-share", "verdict"},
+	}
+	// theta(4,3) rate 2, f* = 4: with one path blinking dead at a time,
+	// the live network always carries 3 ≥ 2.
+	spec := thetaSpec(4, 3, 2, 4)
+	lastPath := []graph.EdgeID{9, 10, 11} // edges of path 4 (ids 3·3…)
+	cases := []struct {
+		name     string
+		mk       func(seed uint64) core.TopologyProcess // fresh per run: processes are stateful
+		feasible string
+	}{
+		{"blink one path", func(uint64) core.TopologyProcess {
+			return &dynamic.RoundRobinBlink{Victims: lastPath, Period: 7}
+		}, "yes"},
+		{"flaky p=0.7 (3 paths protected)", func(seed uint64) core.TopologyProcess {
+			prot := map[graph.EdgeID]bool{}
+			for e := 0; e < 9; e++ { // paths 1–3 always alive
+				prot[graph.EdgeID(e)] = true
+			}
+			return &dynamic.Flaky{PUp: 0.7, Protected: prot, R: rng.New(seed).Split(31)}
+		}, "yes"},
+	}
+	for _, c := range cases {
+		rs := sim.RunSeeds(func(seed uint64) *core.Engine {
+			e := core.NewEngine(spec, core.NewLGG())
+			e.Topology = c.mk(seed)
+			return e
+		}, sim.Seeds(cfg.Seed, cfg.seeds()), sim.Options{Horizon: cfg.horizon()})
+		t.AddRow(spec.String(), c.mk(0).Name(), c.feasible,
+			fmtF(sim.StableShare(rs)), rs[0].Diagnosis.Verdict.String())
+	}
+	// control: a saturated line whose only edge blinks dead every other
+	// period — average capacity ½ < rate ⇒ divergence.
+	line := core.NewSpec(graph.Line(2)).SetSource(0, 1).SetSink(1, 1)
+	maskOn := []bool{true}
+	maskOff := []bool{false}
+	churn := &dynamic.Churn{MaskA: maskOn, MaskB: maskOff, Period: 1}
+	rs := sim.RunSeeds(func(seed uint64) *core.Engine {
+		e := core.NewEngine(line, core.NewLGG())
+		e.Topology = churn
+		return e
+	}, sim.Seeds(cfg.Seed, cfg.seeds()), sim.Options{Horizon: cfg.horizon()})
+	t.AddRow(line.String(), churn.Name(), "no (½ capacity)",
+		fmtF(sim.StableShare(rs)), rs[0].Diagnosis.Verdict.String())
+	return t
+}
+
+// runE15 exercises Conjecture 5: under node-exclusive interference with a
+// compatible-set scheduler, LGG remains stable once the load respects the
+// scheduler's capacity. Greedy-maximal and gradient-weighted ("oracle")
+// schedulers are compared.
+func runE15(cfg Config) *Table {
+	t := &Table{
+		ID:      "E15",
+		Title:   "interference-constrained LGG",
+		Claim:   "with a compatible E_t each step, LGG stays stable at scheduler-feasible load",
+		Columns: []string{"network", "scheduler", "load(×in)", "stable-share", "mean-backlog"},
+	}
+	spec := gridSpec(3, 4, 2, 1, 3)
+	if !cfg.Quick {
+		spec = gridSpec(4, 6, 3, 1, 3)
+	}
+	schedulers := []struct {
+		name string
+		mk   func() core.Interference
+	}{
+		{"none", func() core.Interference { return nil }},
+		{"greedy", func() core.Interference { return interference.NewGreedy(interference.NodeExclusive) }},
+		{"oracle", func() core.Interference { return interference.NewOracle(interference.NodeExclusive) }},
+	}
+	loads := []struct {
+		name     string
+		num, den int64
+	}{{"1/3", 1, 3}, {"2/3", 2, 3}}
+	for _, sch := range schedulers {
+		for _, ld := range loads {
+			rs := sim.RunSeeds(func(seed uint64) *core.Engine {
+				e := core.NewEngine(spec, core.NewLGG())
+				e.Arrivals = &arrivals.Scaled{Inner: core.ExactArrivals{}, Num: ld.num, Den: ld.den}
+				e.Interference = sch.mk()
+				return e
+			}, sim.Seeds(cfg.Seed, cfg.seeds()), sim.Options{Horizon: cfg.horizon()})
+			t.AddRow(spec.String(), sch.name, ld.name,
+				fmtF(sim.StableShare(rs)), fmtF(stats.Mean(sim.MeanBacklogs(rs))))
+		}
+	}
+	return t
+}

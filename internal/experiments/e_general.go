@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cutsplit"
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func init() {
+	register(Experiment{ID: "E8", Title: "R-generalized networks: lying and retention",
+		Paper: "Section IV, Defs 5–8, Properties 3–6", Run: runE8})
+	register(Experiment{ID: "E9", Title: "Saturated networks with exact arrivals (proved sub-case)",
+		Paper: "Section V-B", Run: runE9})
+	register(Experiment{ID: "E10", Title: "Induction decomposition at an interior minimum cut",
+		Paper: "Section V-C, Remark 2", Run: runE10})
+}
+
+// runE8 runs unsaturated workloads as R-generalized networks across
+// retention constants, declaration (lying) policies and extraction
+// policies; Theorem 2 (under Conjecture 1) predicts stability for all of
+// them, and Property 3's growth bound must hold throughout.
+func runE8(cfg Config) *Table {
+	t := &Table{
+		ID:      "E8",
+		Title:   "R-generalized stability across lying/extraction policies",
+		Claim:   "LGG is stable for every R, declaration and extraction policy; ΔP ≤ Property-3 bound",
+		Columns: []string{"network", "R", "declare", "extract", "stable-share", "peak-P", "growth≤P3-bound"},
+	}
+	type variant struct {
+		r       int64
+		declare core.DeclarePolicy
+		extract core.ExtractPolicy
+	}
+	variants := []variant{
+		{0, core.DeclareTruth{}, core.ExtractMax{}},
+		{4, core.DeclareTruth{}, core.ExtractMax{}},
+		{4, core.DeclareZero{}, core.ExtractMax{}},
+		{4, core.DeclareR{}, core.ExtractMin{}},
+		{16, core.DeclareZero{}, core.ExtractMin{}},
+	}
+	if !cfg.Quick {
+		variants = append(variants,
+			variant{16, core.DeclareR{}, core.ExtractMax{}},
+			variant{64, core.DeclareZero{}, core.ExtractMin{}},
+		)
+	}
+	ws := unsaturatedSuite(cfg)
+	type job struct {
+		w workload
+		v variant
+	}
+	var jobs []job
+	for _, w := range ws {
+		for _, v := range variants {
+			jobs = append(jobs, job{w, v})
+		}
+	}
+	rows := make([][]string, len(jobs))
+	sim.ForEach(len(jobs), func(i int) {
+		j := jobs[i]
+		// retention applies to all terminals (the paper's R is global)
+		spec := core.NewSpec(j.w.spec.G)
+		copy(spec.In, j.w.spec.In)
+		copy(spec.Out, j.w.spec.Out)
+		for v := range spec.R {
+			if spec.In[v] > 0 || spec.Out[v] > 0 {
+				spec.R[v] = j.v.r
+			}
+		}
+		bound := core.GeneralizedGrowthBound(spec)
+		okBound := true
+		rs := sim.RunSeeds(func(seed uint64) *core.Engine {
+			e := core.NewEngine(spec, core.NewLGG())
+			e.Declare = j.v.declare
+			e.Extract = j.v.extract
+			return e
+		}, sim.Seeds(cfg.Seed, cfg.seeds()), sim.Options{Horizon: cfg.horizon(), RecordDeltas: true})
+		var peak float64
+		for _, r := range rs {
+			if p := float64(r.Totals.PeakPotential); p > peak {
+				peak = p
+			}
+			for _, d := range r.Series.Deltas {
+				if d > bound {
+					okBound = false
+				}
+			}
+		}
+		rows[i] = []string{j.w.name, fmtI(j.v.r), j.v.declare.Name(), j.v.extract.Name(),
+			fmtF(sim.StableShare(rs)), fmtF(peak), fmt.Sprintf("%v", okBound)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// runE9 exercises the sub-case the paper actually proves in Section V-B:
+// saturated networks, exact arrivals (in_t(v) = in(v)), no packet losses.
+// The backlog must stay bounded.
+func runE9(cfg Config) *Table {
+	t := &Table{
+		ID:      "E9",
+		Title:   "saturated networks, exact arrivals, no loss",
+		Claim:   "the number of stored packets remains bounded (Section V-B, proved)",
+		Columns: []string{"network", "class", "rate=f(Φ)", "stable-share", "peak-backlog", "final-backlog"},
+	}
+	ws := saturatedSuite(cfg)
+	rows := make([][]string, len(ws))
+	sim.ForEach(len(ws), func(i int) {
+		w := ws[i]
+		a := w.spec.Analyze(flow.NewPushRelabel())
+		rs := sim.RunSeeds(func(seed uint64) *core.Engine {
+			return core.NewEngine(w.spec, core.NewLGG())
+		}, sim.Seeds(cfg.Seed, cfg.seeds()), sim.Options{Horizon: cfg.horizon()})
+		var peak, final int64
+		for _, r := range rs {
+			if r.Totals.PeakQueued > peak {
+				peak = r.Totals.PeakQueued
+			}
+			if r.Totals.FinalQueued > final {
+				final = r.Totals.FinalQueued
+			}
+		}
+		rows[i] = []string{w.name, a.Feasibility.String(), fmtI(a.MaxFlow.Value),
+			fmtF(sim.StableShare(rs)), fmtI(peak), fmtI(final)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// runE10 verifies the Section V-C machinery: on networks with an interior
+// minimum cut, the decomposition yields feasible parts (with D″ ≠ ∅,
+// Remark 2), both of which remain stable under LGG; and it reports the
+// induction-case census over random feasible networks.
+func runE10(cfg Config) *Table {
+	t := &Table{
+		ID:      "E10",
+		Title:   "cut-split decomposition of saturated networks",
+		Claim:   "both parts of the split are feasible and stable; D″ is never empty",
+		Columns: []string{"network", "case", "|A|", "|B|", "cut-edges", "parts-feasible", "A'-verdict", "B'-verdict"},
+	}
+	ws := []workload{
+		{"barbell(3,2)", barbellSpec(3, 2)},
+		{"barbell(4,3)", barbellSpec(4, 3)},
+	}
+	if !cfg.Quick {
+		ws = append(ws, workload{"2-bridge", twoBridgeSpec()})
+	}
+	for _, w := range ws {
+		a := w.spec.Analyze(flow.NewPushRelabel())
+		cse := cutsplit.InductionCase(a)
+		if cse != 3 {
+			t.AddRow(w.name, fmtI(int64(cse)), "-", "-", "-", "base case", "-", "-")
+			continue
+		}
+		s, err := cutsplit.FromAnalysis(w.spec, a, 32)
+		if err != nil {
+			t.AddRow(w.name, fmtI(int64(cse)), "-", "-", "-", err.Error(), "-", "-")
+			continue
+		}
+		_, _, err = s.Check(flow.NewPushRelabel())
+		feas := "yes"
+		if err != nil {
+			feas = err.Error()
+		}
+		verdict := func(spec *core.Spec) string {
+			e := core.NewEngine(spec, core.NewLGG())
+			r := sim.Run(e, sim.Options{Horizon: cfg.horizon()})
+			return r.Diagnosis.Verdict.String()
+		}
+		t.AddRow(w.name, fmtI(int64(cse)), fmtI(int64(s.A.Spec.N())), fmtI(int64(s.B.Spec.N())),
+			fmtI(int64(len(s.CutEdges))), feas, verdict(s.A.Spec), verdict(s.B.Spec))
+	}
+	// census of induction cases over random feasible networks, classified
+	// both by the two extreme cuts and by exhaustive min-cut enumeration
+	// (the latter catches interior cuts hiding between trivial extremes)
+	var extreme, exact [4]int
+	instances := 30
+	if cfg.Quick {
+		instances = 8
+	}
+	feasibleSeen := 0
+	for i := 0; i < instances; i++ {
+		r := rng.New(cfg.Seed).Split(uint64(9000 + i))
+		spec := randomSpec(10, 14, 1+r.Int64N(2), 1+r.Int64N(3), r)
+		a := spec.Analyze(flow.NewPushRelabel())
+		if a.Feasibility == flow.Infeasible {
+			continue
+		}
+		feasibleSeen++
+		extreme[cutsplit.InductionCase(a)]++
+		k, _ := cutsplit.InductionCaseExact(a, 256)
+		exact[k]++
+	}
+	t.Note("induction-case census over %d random feasible networks (extreme cuts): case1=%d case2=%d case3=%d",
+		feasibleSeen, extreme[1], extreme[2], extreme[3])
+	t.Note("same census with exhaustive min-cut enumeration:               case1=%d case2=%d case3=%d",
+		exact[1], exact[2], exact[3])
+	return t
+}
+
+// twoBridgeSpec: two cliques joined by two parallel bridge paths — an
+// interior min cut of capacity 2.
+func twoBridgeSpec() *core.Spec {
+	g := graph.New(0)
+	// left clique 0..3
+	g.AddNodes(8)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			g.AddEdge(graph.NodeID(i), graph.NodeID(j))
+		}
+	}
+	// right clique 4..7
+	for i := 4; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			g.AddEdge(graph.NodeID(i), graph.NodeID(j))
+		}
+	}
+	// two bridges
+	g.AddEdge(2, 4)
+	g.AddEdge(3, 5)
+	return core.NewSpec(g).SetSource(0, 2).SetSink(7, 3)
+}

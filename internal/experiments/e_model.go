@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func init() {
+	register(Experiment{ID: "E1", Title: "S-D-network model invariants",
+		Paper: "Fig. 1, Section II", Run: runE1})
+	register(Experiment{ID: "E2", Title: "Extended graph G* and feasibility classification",
+		Paper: "Fig. 2, Defs 3–4", Run: runE2})
+	register(Experiment{ID: "E3", Title: "LGG tie-breaking is stability-neutral",
+		Paper: "Algorithm 1 remark", Run: runE3})
+}
+
+// runE1 exercises the model semantics on every topology family: LGG runs
+// must keep queues non-negative, respect the one-packet-per-link rule
+// (zero violations/collisions under truthful declarations) and conserve
+// packets exactly.
+func runE1(cfg Config) *Table {
+	t := &Table{
+		ID:    "E1",
+		Title: "model construction and step invariants",
+		Claim: "the synchronous semantics of Section II hold on every topology family",
+		Columns: []string{"network", "n", "m", "Δ", "rate", "class",
+			"violations", "collisions", "conserved"},
+	}
+	ws := append(unsaturatedSuite(cfg), saturatedSuite(cfg)...)
+	ws = append(ws, workload{"random(12)", randomSpec(12, 20, 2, 3, rng.New(cfg.Seed))})
+	rows := make([][]string, len(ws))
+	sim.ForEach(len(ws), func(i int) {
+		w := ws[i]
+		a := w.spec.Analyze(flow.NewPushRelabel())
+		e := core.NewEngine(w.spec, core.NewLGG())
+		r := sim.Run(e, sim.Options{Horizon: cfg.horizon()})
+		conserved := r.Totals.Injected == r.Totals.Extracted+r.Totals.FinalQueued+r.Totals.Lost
+		rows[i] = []string{
+			w.name, fmtI(int64(w.spec.N())), fmtI(int64(w.spec.G.NumEdges())),
+			fmtI(int64(w.spec.Delta())), fmtI(w.spec.ArrivalRate()),
+			a.Feasibility.String(),
+			fmtI(r.Totals.Violations), fmtI(r.Totals.Collisions),
+			fmt.Sprintf("%v", conserved),
+		}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// runE2 sweeps random networks, classifies each with all three max-flow
+// solvers and reports agreement plus the class census — the G*
+// construction of Fig. 2 exercised end to end.
+func runE2(cfg Config) *Table {
+	t := &Table{
+		ID:      "E2",
+		Title:   "feasibility classification across solvers",
+		Claim:   "push-relabel, Dinic and Edmonds–Karp agree on value, f* and class",
+		Columns: []string{"family", "instances", "agree", "infeasible", "saturated", "unsaturated"},
+	}
+	families := []struct {
+		name string
+		gen  func(r *rng.Source) *core.Spec
+	}{
+		{"random(10,n+6)", func(r *rng.Source) *core.Spec {
+			return randomSpec(10, 16, 1+r.Int64N(3), 1+r.Int64N(4), r)
+		}},
+		{"random(16,2n)", func(r *rng.Source) *core.Spec {
+			return randomSpec(16, 32, 1+r.Int64N(4), 1+r.Int64N(4), r)
+		}},
+		{"thick-star", func(r *rng.Source) *core.Spec {
+			g := graph.Thicken(graph.Star(6), 5, r)
+			s := core.NewSpec(g).SetSink(0, 2+r.Int64N(4))
+			for i := 1; i < 6; i++ {
+				s.SetSource(graph.NodeID(i), 1)
+			}
+			return s
+		}},
+	}
+	instances := 20
+	if cfg.Quick {
+		instances = 6
+	}
+	for fi, f := range families {
+		agree := 0
+		census := map[flow.Feasibility]int{}
+		for i := 0; i < instances; i++ {
+			r := rng.New(cfg.Seed).Split(uint64(fi*1000 + i))
+			spec := f.gen(r)
+			var first *flow.Analysis
+			ok := true
+			for _, s := range flow.Solvers() {
+				a := spec.Analyze(s)
+				if first == nil {
+					first = a
+				} else if a.Feasibility != first.Feasibility ||
+					a.MaxFlow.Value != first.MaxFlow.Value || a.FStar != first.FStar {
+					ok = false
+				}
+			}
+			if ok {
+				agree++
+			}
+			census[first.Feasibility]++
+		}
+		t.AddRow(f.name, fmtI(int64(instances)), fmtI(int64(agree)),
+			fmtI(int64(census[flow.Infeasible])), fmtI(int64(census[flow.Saturated])),
+			fmtI(int64(census[flow.Unsaturated])))
+	}
+	return t
+}
+
+// runE3 runs the same unsaturated workloads under the three tie-breaking
+// rules; the paper says the choice "has no impact on the system
+// stability".
+func runE3(cfg Config) *Table {
+	t := &Table{
+		ID:      "E3",
+		Title:   "tie-breaking variants of Algorithm 1",
+		Claim:   "every tie-breaking rule keeps LGG stable with comparable backlog",
+		Columns: []string{"network", "tie-rule", "stable-share", "peak-P", "mean-backlog"},
+	}
+	type cell struct{ w, rule string }
+	type out struct {
+		share, peak, backlog float64
+	}
+	ws := unsaturatedSuite(cfg)
+	rules := []core.TieBreak{core.TieEdgeOrder, core.TiePeerOrder, core.TieRandom}
+	results := make(map[cell]out)
+	type job struct {
+		w    workload
+		rule core.TieBreak
+	}
+	var jobs []job
+	for _, w := range ws {
+		for _, rule := range rules {
+			jobs = append(jobs, job{w, rule})
+		}
+	}
+	mu := make([]out, len(jobs))
+	sim.ForEach(len(jobs), func(i int) {
+		j := jobs[i]
+		rs := sim.RunSeeds(func(seed uint64) *core.Engine {
+			var l *core.LGG
+			if j.rule == core.TieRandom {
+				l = core.NewLGGRandomTies(rng.New(seed).Split(7))
+			} else {
+				l = &core.LGG{Tie: j.rule}
+			}
+			return core.NewEngine(j.w.spec, l)
+		}, sim.Seeds(cfg.Seed, cfg.seeds()), sim.Options{Horizon: cfg.horizon()})
+		var peak float64
+		for _, p := range sim.PeakPotentials(rs) {
+			if p > peak {
+				peak = p
+			}
+		}
+		var back float64
+		for _, b := range sim.MeanBacklogs(rs) {
+			back += b
+		}
+		mu[i] = out{share: sim.StableShare(rs), peak: peak, backlog: back / float64(len(rs))}
+	})
+	for i, j := range jobs {
+		results[cell{j.w.name, j.rule.String()}] = mu[i]
+	}
+	for _, w := range ws {
+		for _, rule := range rules {
+			o := results[cell{w.name, rule.String()}]
+			t.AddRow(w.name, rule.String(), fmtF(o.share), fmtF(o.peak), fmtF(o.backlog))
+		}
+	}
+	return t
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/arrivals"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{ID: "E16", Title: "Router duel: LGG vs baselines",
+		Paper: "Section I framing (localized vs optimal)", Run: runE16})
+	register(Experiment{ID: "P1", Title: "Simulator scaling (steps/s vs n)",
+		Paper: "—", Run: runP1})
+	register(Experiment{ID: "P2", Title: "Max-flow solver throughput",
+		Paper: "—", Run: runP2})
+}
+
+// runE16 pits LGG against all baselines over a load grid. The expected
+// shape: LGG matches the clairvoyant flow router's stability region (the
+// whole feasible region) while knowing nothing but neighbour queues;
+// shortest-path survives moderate load; random forwarding collapses early.
+func runE16(cfg Config) *Table {
+	t := &Table{
+		ID:      "E16",
+		Title:   "who wins: stability region and backlog per router",
+		Claim:   "LGG is stable wherever the max-flow router is; oblivious baselines are not",
+		Columns: []string{"network", "router", "load(×f*)", "stable-share", "mean-backlog"},
+	}
+	ws := []workload{
+		{"theta(3,2)", thetaSpec(3, 2, 2, 3)},
+		{"grid(3x4)", gridSpec(3, 4, 2, 1, 3)},
+	}
+	if !cfg.Quick {
+		ws = append(ws, workload{"theta(4,3)", thetaSpec(4, 3, 2, 4)})
+	}
+	loads := []struct {
+		name     string
+		num, den int64
+	}{{"0.60", 3, 5}, {"0.90", 9, 10}}
+	type routerCase struct {
+		name string
+		mk   func(spec *core.Spec, seed uint64) core.Router
+	}
+	routers := []routerCase{
+		{"lgg", func(*core.Spec, uint64) core.Router { return core.NewLGG() }},
+		{"flow-paths", func(spec *core.Spec, _ uint64) core.Router {
+			fr, err := baseline.NewFlowRouter(spec, flow.NewPushRelabel())
+			if err != nil {
+				return baseline.Null{}
+			}
+			return fr
+		}},
+		{"full-gradient", func(*core.Spec, uint64) core.Router { return baseline.NewFullGradient() }},
+		{"shortest-path", func(spec *core.Spec, _ uint64) core.Router { return baseline.NewShortestPath(spec) }},
+		{"random-forward", func(_ *core.Spec, seed uint64) core.Router {
+			return baseline.NewRandomForward(rng.New(seed).Split(41))
+		}},
+	}
+	for _, w := range ws {
+		a := w.spec.Analyze(flow.NewPushRelabel())
+		rate := w.spec.ArrivalRate()
+		for _, rc := range routers {
+			for _, ld := range loads {
+				num := a.FStar * ld.num
+				den := rate * ld.den
+				rs := sim.RunSeeds(func(seed uint64) *core.Engine {
+					e := core.NewEngine(w.spec, rc.mk(w.spec, seed))
+					e.Arrivals = &arrivals.Scaled{Inner: core.ExactArrivals{}, Num: num, Den: den}
+					return e
+				}, sim.Seeds(cfg.Seed, cfg.seeds()), sim.Options{Horizon: cfg.horizon()})
+				t.AddRow(w.name, rc.name, ld.name,
+					fmtF(sim.StableShare(rs)), fmtF(stats.Mean(sim.MeanBacklogs(rs))))
+			}
+		}
+	}
+	return t
+}
+
+// runP1 measures raw simulator throughput (LGG steps per second) as the
+// network grows.
+func runP1(cfg Config) *Table {
+	t := &Table{
+		ID:      "P1",
+		Title:   "simulator scaling",
+		Claim:   "step cost grows near-linearly in network size",
+		Columns: []string{"network", "n", "m", "steps", "wall", "steps/s", "node-steps/s"},
+	}
+	sizes := [][2]int{{5, 5}, {10, 10}, {20, 20}}
+	if cfg.Quick {
+		sizes = [][2]int{{5, 5}, {10, 10}}
+	}
+	for _, sz := range sizes {
+		spec := gridSpec(sz[0], sz[1], sz[0], 1, 2)
+		e := core.NewEngine(spec, core.NewLGG())
+		steps := cfg.horizon()
+		start := time.Now()
+		for i := int64(0); i < steps; i++ {
+			e.Step()
+		}
+		wall := time.Since(start)
+		sps := float64(steps) / wall.Seconds()
+		t.AddRow(spec.String(), fmtI(int64(spec.N())), fmtI(int64(spec.G.NumEdges())),
+			fmtI(steps), wall.Round(time.Microsecond).String(), fmtF(sps),
+			fmtF(sps*float64(spec.N())))
+	}
+	return t
+}
+
+// runP2 measures max-flow solver throughput on G* instances.
+func runP2(cfg Config) *Table {
+	t := &Table{
+		ID:      "P2",
+		Title:   "max-flow solver throughput",
+		Claim:   "push-relabel and Dinic dominate Edmonds–Karp as instances grow",
+		Columns: []string{"instance", "solver", "flow", "solves", "wall", "solves/s"},
+	}
+	r := rng.New(cfg.Seed).Split(99)
+	sizes := []struct {
+		name string
+		n, m int
+	}{{"random(40,120)", 40, 120}, {"random(120,400)", 120, 400}}
+	if cfg.Quick {
+		sizes = sizes[:1]
+	}
+	for _, sz := range sizes {
+		g := graph.RandomMultigraph(sz.n, sz.m, r.Split(uint64(sz.n)))
+		in := make([]int64, sz.n)
+		out := make([]int64, sz.n)
+		in[0] = 4
+		out[sz.n-1] = 4
+		ext := flow.Extend(g, in, out, nil)
+		reps := 50
+		if cfg.Quick {
+			reps = 10
+		}
+		for _, s := range flow.Solvers() {
+			start := time.Now()
+			var value int64
+			for i := 0; i < reps; i++ {
+				value = s.MaxFlow(ext.P).Value
+			}
+			wall := time.Since(start)
+			t.AddRow(sz.name, s.Name(), fmtI(value), fmtI(int64(reps)),
+				wall.Round(time.Microsecond).String(),
+				fmtF(float64(reps)/wall.Seconds()))
+		}
+	}
+	return t
+}

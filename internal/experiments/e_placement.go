@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"repro/internal/arrivals"
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+func init() {
+	register(Experiment{ID: "E25", Title: "Source/sink placement vs capacity (Gomory–Hu)",
+		Paper: "Section II-B applied: f* is the placement's min cut", Run: runE25})
+}
+
+// runE25 fixes one topology (a 4×6 grid) and varies only the source/sink
+// placement: the Gomory–Hu tree predicts each placement's capacity (the
+// pairwise min cut), the extended-graph analysis confirms it as f*, and
+// LGG is stable at 90% of whatever that capacity is — the feasibility
+// theory localizes the "how much can I inject" question to a single
+// all-pairs min-cut lookup.
+func runE25(cfg Config) *Table {
+	t := &Table{
+		ID:      "E25",
+		Title:   "placement determines capacity",
+		Claim:   "f* equals the placement's pairwise min cut; LGG is stable at 0.9·f* everywhere",
+		Columns: []string{"placement", "gomory-hu cut", "f*", "agree", "stable@0.9f*", "mean-backlog"},
+	}
+	rows, cols := 4, 6
+	g := graph.Grid(rows, cols)
+	tree := flow.GomoryHu(g, flow.NewPushRelabel())
+	id := func(r, c int) graph.NodeID { return graph.NodeID(r*cols + c) }
+	placements := []struct {
+		name     string
+		src, dst graph.NodeID
+	}{
+		{"corner→far corner", id(0, 0), id(rows-1, cols-1)},
+		{"corner→centre", id(0, 0), id(1, 2)},
+		{"centre→centre", id(1, 1), id(2, 4)},
+		{"edge→edge (same row)", id(0, 2), id(0, 4)},
+	}
+	for _, p := range placements {
+		cut := tree.MinCut(p.src, p.dst)
+		spec := core.NewSpec(g).SetSource(p.src, 1).SetSink(p.dst, int64(g.Degree(p.dst)))
+		a := spec.Analyze(flow.NewPushRelabel())
+		agree := a.FStar == cut
+		// load 0.9·f*: scale the unit source by 9·f*/10.
+		rs := sim.RunSeeds(func(seed uint64) *core.Engine {
+			e := core.NewEngine(spec, core.NewLGG())
+			e.Arrivals = &arrivals.Scaled{Inner: core.ExactArrivals{}, Num: 9 * a.FStar, Den: 10}
+			return e
+		}, sim.Seeds(cfg.Seed, cfg.seeds()), sim.Options{Horizon: cfg.horizon()})
+		var back float64
+		for _, b := range sim.MeanBacklogs(rs) {
+			back += b
+		}
+		t.AddRow(p.name, fmtI(cut), fmtI(a.FStar), boolCell(agree),
+			fmtF(sim.StableShare(rs)), fmtF(back/float64(len(rs))))
+	}
+	t.Note("sink capacity set to its degree so the graph, not the virtual sink link, is the binding constraint")
+	return t
+}
+
+func boolCell(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}

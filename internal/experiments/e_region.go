@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/region"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func init() {
+	register(Experiment{ID: "E23", Title: "Critical load ρ* per router (bisection)",
+		Paper: "Theorem 1 quantified: ρ*(LGG) = 1", Run: runE23})
+}
+
+// runE23 bisects each router's stability frontier as a fraction of f*.
+// Theorem 1 predicts LGG's frontier sits exactly at 1; the clairvoyant
+// flow router matches it by construction; queue-oblivious heuristics fall
+// short on asymmetric topologies; duty-cycled LGG loses capacity roughly
+// proportional to its sleep fraction.
+func runE23(cfg Config) *Table {
+	t := &Table{
+		ID:      "E23",
+		Title:   "empirical stability frontier",
+		Claim:   "ρ*(LGG) = ρ*(flow-paths) = 1·f*; oblivious and sleepy routers sit lower",
+		Columns: []string{"network", "router", "stable-up-to(×f*)", "unstable-from(×f*)"},
+	}
+	ws := []workload{
+		{"theta(3,2)", thetaSpec(3, 2, 3, 3)},
+		{"grid(3x4)", gridSpec(3, 4, 2, 1, 3)},
+	}
+	if !cfg.Quick {
+		ws = append(ws, workload{"grid(4x6)", gridSpec(4, 6, 2, 1, 3)})
+	}
+	routers := []struct {
+		name string
+		mk   func(spec *core.Spec) func(seed uint64) core.Router
+	}{
+		{"lgg", func(*core.Spec) func(uint64) core.Router {
+			return func(uint64) core.Router { return core.NewLGG() }
+		}},
+		{"flow-paths", func(spec *core.Spec) func(uint64) core.Router {
+			return func(uint64) core.Router {
+				fr, err := baseline.NewFlowRouter(spec, flow.NewPushRelabel())
+				if err != nil {
+					return baseline.Null{}
+				}
+				return fr
+			}
+		}},
+		{"shortest-path", func(spec *core.Spec) func(uint64) core.Router {
+			return func(uint64) core.Router { return baseline.NewShortestPath(spec) }
+		}},
+		{"random-forward", func(*core.Spec) func(uint64) core.Router {
+			return func(seed uint64) core.Router {
+				return baseline.NewRandomForward(rng.New(seed).Split(81))
+			}
+		}},
+		{"sleepy-lgg p=0.5", func(*core.Spec) func(uint64) core.Router {
+			return func(seed uint64) core.Router {
+				return &baseline.Sleepy{Inner: core.NewLGG(), P: 0.5, Seed: seed}
+			}
+		}},
+	}
+	resolution := int64(16)
+	if cfg.Quick {
+		resolution = 8
+	}
+	type job struct {
+		w  workload
+		ri int
+	}
+	var jobs []job
+	for _, w := range ws {
+		for ri := range routers {
+			jobs = append(jobs, job{w, ri})
+		}
+	}
+	rows := make([][]string, len(jobs))
+	// Probers run their own seed pools; parallelize across (network,
+	// router) cells only to keep engine counts sane.
+	sim.ForEach(len(jobs), func(i int) {
+		j := jobs[i]
+		p := &region.Prober{
+			Spec:       j.w.spec,
+			Router:     routers[j.ri].mk(j.w.spec),
+			Seeds:      sim.Seeds(cfg.Seed, min(cfg.seeds(), 4)),
+			Horizon:    cfg.horizon(),
+			Resolution: resolution,
+		}
+		lo, hi := p.Critical()
+		rows[i] = []string{j.w.name, routers[j.ri].name, fmtF(lo), fmtF(hi)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
+	t.Note("bisection at resolution 1/%d of f*, %d seeds per probe; frontier = [stable-up-to, unstable-from)", resolution, min(cfg.seeds(), 4))
+	return t
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

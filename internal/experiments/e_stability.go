@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/arrivals"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{ID: "E4", Title: "Stability region of LGG (Theorem 1, feasible side)",
+		Paper: "Theorem 1, Lemma 1", Run: runE4})
+	register(Experiment{ID: "E5", Title: "Divergence beyond f* for every router (Theorem 1, infeasible side)",
+		Paper: "Theorem 1, min-cut argument", Run: runE5})
+	register(Experiment{ID: "E6", Title: "One-step growth bound (Property 1)",
+		Paper: "Property 1: P_{t+1}−P_t ≤ 5nΔ²", Run: runE6})
+	register(Experiment{ID: "E7", Title: "High-state decrease and Lemma 1 state bound",
+		Paper: "Property 2, Lemma 1", Run: runE7})
+}
+
+// scaledEngine builds an LGG engine whose arrivals are the nominal rates
+// scaled by num/den.
+func scaledEngine(spec *core.Spec, num, den int64) *core.Engine {
+	e := core.NewEngine(spec, core.NewLGG())
+	e.Arrivals = &arrivals.Scaled{Inner: core.ExactArrivals{}, Num: num, Den: den}
+	return e
+}
+
+// runE4 sweeps the injected load as a fraction of f* on the unsaturated
+// suite: LGG must be stable through the entire feasible region (ρ ≤ 1)
+// and diverge beyond it.
+func runE4(cfg Config) *Table {
+	t := &Table{
+		ID:      "E4",
+		Title:   "stability region sweep",
+		Claim:   "stable for every load ρ ≤ 1 (×f*), diverging for ρ > 1",
+		Columns: []string{"network", "ρ(×f*)", "rate", "f*", "stable-share", "mean-backlog", "verdict"},
+	}
+	fracs := []struct {
+		name     string
+		num, den int64
+	}{{"0.50", 1, 2}, {"0.80", 4, 5}, {"1.00", 1, 1}, {"1.25", 5, 4}}
+	for _, w := range unsaturatedSuite(cfg) {
+		a := w.spec.Analyze(flow.NewPushRelabel())
+		rate := w.spec.ArrivalRate()
+		for _, f := range fracs {
+			// target per-step total = ρ·f*: scale nominal rate by
+			// (f*·num)/(rate·den).
+			num := a.FStar * f.num
+			den := rate * f.den
+			rs := sim.RunSeeds(func(seed uint64) *core.Engine {
+				return scaledEngine(w.spec, num, den)
+			}, sim.Seeds(cfg.Seed, cfg.seeds()), sim.Options{Horizon: cfg.horizon()})
+			share := sim.StableShare(rs)
+			verdict := "stable"
+			if share < 0.5 {
+				verdict = rs[0].Diagnosis.Verdict.String()
+			}
+			t.AddRow(w.name, f.name, fmtI(rate*num/den), fmtI(a.FStar),
+				fmtF(share), fmtF(stats.Mean(sim.MeanBacklogs(rs))), verdict)
+		}
+	}
+	t.Note("ρ=1.00 loads the network exactly at f* (the saturated frontier); Theorem 1 still predicts stability there")
+	return t
+}
+
+// runE5 overloads networks past f* and runs every router: the min-cut
+// argument says no algorithm can drain the excess, and the backlog slope
+// must be at least rate − f*.
+func runE5(cfg Config) *Table {
+	t := &Table{
+		ID:      "E5",
+		Title:   "universal divergence beyond capacity",
+		Claim:   "Σin > f* ⇒ backlog grows ≥ (rate − f*) per step for every algorithm",
+		Columns: []string{"network", "router", "rate", "f*", "verdict", "slope", "slope≥rate−f*"},
+	}
+	spec := thetaSpec(3, 2, 2, 3)
+	if !cfg.Quick {
+		spec = thetaSpec(4, 3, 2, 4)
+	}
+	a := spec.Analyze(flow.NewPushRelabel())
+	rate := spec.ArrivalRate()
+	// overload to exactly 2·f* per step: strictly beyond capacity no
+	// matter how much slack the nominal rate had.
+	num, den := 2*a.FStar, rate
+	actual := 2 * a.FStar
+	mkRouters := func(seed uint64) []core.Router {
+		fr, err := baseline.NewFlowRouter(spec, flow.NewPushRelabel())
+		routers := []core.Router{
+			core.NewLGG(),
+			baseline.NewFullGradient(),
+			baseline.NewShortestPath(spec),
+			baseline.NewRandomForward(rng.New(seed).Split(3)),
+		}
+		if err == nil {
+			routers = append(routers, fr)
+		}
+		return routers
+	}
+	names := []string{}
+	for _, r := range mkRouters(0) {
+		names = append(names, r.Name())
+	}
+	rows := make([][]string, len(names))
+	sim.ForEach(len(names), func(i int) {
+		e := core.NewEngine(spec, mkRouters(cfg.Seed)[i])
+		e.Arrivals = &arrivals.Scaled{Inner: core.ExactArrivals{}, Num: num, Den: den}
+		r := sim.Run(e, sim.Options{Horizon: cfg.horizon()})
+		margin := float64(actual - a.FStar)
+		ok := r.Diagnosis.Slope >= margin*0.9 // tolerance for warmup
+		rows[i] = []string{spec.String(), names[i], fmtI(actual), fmtI(a.FStar),
+			r.Diagnosis.Verdict.String(), fmtF(r.Diagnosis.Slope), fmt.Sprintf("%v", ok)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// runE6 records every one-step potential change on the unsaturated suite
+// and compares the worst observed growth with Property 1's 5nΔ² bound.
+func runE6(cfg Config) *Table {
+	t := &Table{
+		ID:      "E6",
+		Title:   "one-step growth of the network state",
+		Claim:   "max_t (P_{t+1} − P_t) ≤ 5nΔ² on unsaturated networks",
+		Columns: []string{"network", "n", "Δ", "bound 5nΔ²", "max-observed", "ratio", "holds"},
+	}
+	ws := unsaturatedSuite(cfg)
+	rows := make([][]string, len(ws))
+	sim.ForEach(len(ws), func(i int) {
+		w := ws[i]
+		e := core.NewEngine(w.spec, core.NewLGG())
+		r := sim.Run(e, sim.Options{Horizon: cfg.horizon(), RecordDeltas: true})
+		maxD := stats.Max(r.Series.Deltas)
+		bound := 5 * float64(w.spec.N()) * float64(w.spec.Delta()) * float64(w.spec.Delta())
+		rows[i] = []string{w.name, fmtI(int64(w.spec.N())), fmtI(int64(w.spec.Delta())),
+			fmtF(bound), fmtF(maxD), fmtF(maxD / bound), fmt.Sprintf("%v", maxD <= bound)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
+	t.Note("the bound is intentionally loose (worst-case over all reachable states); small ratios are expected")
+	return t
+}
+
+// runE7 verifies the two halves of Lemma 1's mechanism: (a) long-run
+// peaks stay far below the explicit state bound nY² + 5nΔ², and (b) from
+// an artificially inflated state with arrivals switched off, the network
+// state drains monotonically (Property 2's negative drift).
+func runE7(cfg Config) *Table {
+	t := &Table{
+		ID:      "E7",
+		Title:   "state bound and high-state drift",
+		Claim:   "P_t stays below nY²+5nΔ²; large states strictly decrease",
+		Columns: []string{"network", "ε", "state-bound", "peak-P", "drain-start-P", "drain-final-P", "decreasing-steps"},
+	}
+	for _, w := range unsaturatedSuite(cfg) {
+		b, err := core.ComputeBounds(w.spec, flow.NewPushRelabel())
+		if err != nil {
+			t.AddRow(w.name, "-", "-", "-", "-", "-", err.Error())
+			continue
+		}
+		// (a) long run under nominal arrivals.
+		e := core.NewEngine(w.spec, core.NewLGG())
+		r := sim.Run(e, sim.Options{Horizon: cfg.horizon()})
+		// (b) drain: preload every node, stop arrivals.
+		e2 := core.NewEngine(w.spec, core.NewLGG())
+		preload := make([]int64, w.spec.N())
+		for v := range preload {
+			preload[v] = 40
+		}
+		e2.SetQueues(preload)
+		e2.Arrivals = zeroArrivals{}
+		startP := core.Potential(e2.Q)
+		dec, total := 0, 0
+		prev := startP
+		for i := int64(0); i < cfg.horizon(); i++ {
+			st := e2.Step()
+			if st.Potential < prev {
+				dec++
+			}
+			if prev > 0 {
+				total++
+			}
+			prev = st.Potential
+			if st.Potential == 0 {
+				break
+			}
+		}
+		frac := 0.0
+		if total > 0 {
+			frac = float64(dec) / float64(total)
+		}
+		t.AddRow(w.name, fmtF(b.Eps), fmtF(b.StateBound),
+			fmtF(float64(r.Totals.PeakPotential)), fmtF(float64(startP)),
+			fmtF(float64(prev)), fmtF(frac))
+	}
+	return t
+}
+
+// zeroArrivals injects nothing (the drain phase of E7).
+type zeroArrivals struct{}
+
+func (zeroArrivals) Name() string                          { return "zero" }
+func (zeroArrivals) Injections(int64, *core.Spec, []int64) {}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"repro/internal/arrivals"
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{ID: "E26", Title: "Gradient-threshold ablation of Algorithm 1",
+		Paper: "design choice: strict inequality q(u) > q(v)", Run: runE26})
+}
+
+// runE26 ablates the protocol's comparison threshold θ (send iff
+// q(u) − q'(v) ≥ θ; the paper's Algorithm 1 is θ = 1). Larger thresholds
+// freeze the last-packet ping-pong (E20) but retain ≈(θ−1) packets per
+// link and raise the steady backlog; at high load the retention eats the
+// stability margin.
+func runE26(cfg Config) *Table {
+	t := &Table{
+		ID:      "E26",
+		Title:   "LGG gradient threshold θ",
+		Claim:   "θ=1 (the paper's choice) maximizes the stability region; θ>1 trades capacity for quietness",
+		Columns: []string{"network", "θ", "load(×f*)", "stable-share", "mean-backlog", "sends/step"},
+	}
+	ws := []workload{
+		{"theta(3,2)", thetaSpec(3, 2, 2, 3)},
+		{"grid(3x4)", gridSpec(3, 4, 2, 1, 3)},
+	}
+	loads := []struct {
+		name     string
+		num, den int64
+	}{{"0.50", 1, 2}, {"0.90", 9, 10}}
+	type job struct {
+		w     workload
+		theta int64
+		li    int
+	}
+	var jobs []job
+	for _, w := range ws {
+		for _, theta := range []int64{1, 2, 4} {
+			for li := range loads {
+				jobs = append(jobs, job{w, theta, li})
+			}
+		}
+	}
+	rows := make([][]string, len(jobs))
+	sim.ForEach(len(jobs), func(i int) {
+		j := jobs[i]
+		a := j.w.spec.Analyze(flow.NewPushRelabel())
+		ld := loads[j.li]
+		num := a.FStar * ld.num
+		den := j.w.spec.ArrivalRate() * ld.den
+		var sends int64
+		rs := sim.RunSeeds(func(seed uint64) *core.Engine {
+			e := core.NewEngine(j.w.spec, &core.LGG{MinGradient: j.theta})
+			e.Arrivals = &arrivals.Scaled{Inner: core.ExactArrivals{}, Num: num, Den: den}
+			return e
+		}, sim.Seeds(cfg.Seed, cfg.seeds()), sim.Options{Horizon: cfg.horizon()})
+		for _, r := range rs {
+			sends += r.Totals.Sent
+		}
+		perStep := float64(sends) / float64(int64(len(rs))*cfg.horizon())
+		rows[i] = []string{j.w.name, fmtI(j.theta), ld.name,
+			fmtF(sim.StableShare(rs)), fmtF(stats.Mean(sim.MeanBacklogs(rs))), fmtF(perStep)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
+	return t
+}

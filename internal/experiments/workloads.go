@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// workload is a named S-D-network used across experiments.
+type workload struct {
+	name string
+	spec *core.Spec
+}
+
+// thetaSpec builds the disjoint-paths network: source node 0, sink node 1.
+func thetaSpec(paths, length int, in, out int64) *core.Spec {
+	g := graph.ThetaGraph(paths, length)
+	return core.NewSpec(g).SetSource(0, in).SetSink(1, out)
+}
+
+// gridSpec builds a rows×cols grid with sources on the left ends of the
+// first srcRows rows and sinks on the whole right column. With srcRows <
+// rows the horizontal cut into the sink column (capacity `rows`) has
+// slack over the arrival rate, keeping the network unsaturated; with
+// srcRows == rows and in == 1 that cut is tight (saturated).
+func gridSpec(rows, cols, srcRows int, in, out int64) *core.Spec {
+	g := graph.Grid(rows, cols)
+	s := core.NewSpec(g)
+	for r := 0; r < srcRows; r++ {
+		s.SetSource(graph.NodeID(r*cols), in)
+	}
+	for r := 0; r < rows; r++ {
+		s.SetSink(graph.NodeID(r*cols+cols-1), out)
+	}
+	return s
+}
+
+// barbellSpec: source at the left end, generous sink at the right; the
+// unit bridge is the bottleneck.
+func barbellSpec(k, bridge int) *core.Spec {
+	g := graph.Barbell(k, bridge)
+	return core.NewSpec(g).SetSource(0, 1).SetSink(graph.NodeID(g.NumNodes()-1), 2)
+}
+
+// randomSpec: connected random multigraph with corner roles; in is the
+// per-source rate. Verified feasible by construction? No — callers that
+// need a class must check.
+func randomSpec(n, m int, in, out int64, r *rng.Source) *core.Spec {
+	g := graph.RandomMultigraph(n, m, r)
+	return core.NewSpec(g).SetSource(0, in).SetSink(graph.NodeID(n-1), out)
+}
+
+// unsaturatedSuite returns the standard unsaturated workloads (slack in
+// every cut) used by the stability experiments.
+func unsaturatedSuite(cfg Config) []workload {
+	if cfg.Quick {
+		return []workload{
+			{"theta(3,2)", thetaSpec(3, 2, 2, 3)},
+			{"grid(3x4)", gridSpec(3, 4, 2, 1, 3)},
+		}
+	}
+	return []workload{
+		{"theta(4,3)", thetaSpec(4, 3, 2, 4)},
+		{"theta(3,2)", thetaSpec(3, 2, 2, 3)},
+		{"grid(4x6)", gridSpec(4, 6, 2, 1, 3)},
+		{"grid(5x5)", gridSpec(5, 5, 3, 1, 3)},
+	}
+}
+
+// saturatedSuite returns workloads whose arrival rate equals a non-trivial
+// minimum cut (the Section V-B/V-C regimes).
+func saturatedSuite(cfg Config) []workload {
+	ws := []workload{
+		{"line(5)", core.NewSpec(graph.Line(5)).SetSource(0, 1).SetSink(4, 1)},
+		{"theta(3,2)@cap", thetaSpec(3, 2, 3, 3)},
+		{"barbell(3,2)", barbellSpec(3, 2)},
+	}
+	if !cfg.Quick {
+		ws = append(ws,
+			workload{"theta(4,3)@cap", thetaSpec(4, 3, 4, 4)},
+			workload{"line(9)", core.NewSpec(graph.Line(9)).SetSource(0, 1).SetSink(8, 1)},
+		)
+	}
+	return ws
+}

@@ -1,0 +1,98 @@
+package flow
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Edge cases around "infinite" capacities and degenerate networks.
+
+func TestCutValueWithInfiniteArc(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddArc(0, 1, CapInf, Tag{})
+	b.AddArc(1, 2, 3, Tag{})
+	p := b.Build(0, 2)
+	// A cut crossing the infinite arc reports MaxInt64.
+	if got := p.CutValue([]bool{true, false, false}); got != math.MaxInt64 {
+		t.Fatalf("infinite cut = %d", got)
+	}
+	// The finite cut is still exact.
+	if got := p.CutValue([]bool{true, true, false}); got != 3 {
+		t.Fatalf("finite cut = %d", got)
+	}
+}
+
+func TestFStarWithUnboundedSources(t *testing.T) {
+	// f* must be limited by the graph, never by the CapInf source links.
+	g := graph.ThetaGraph(5, 2)
+	in := make([]int64, g.NumNodes())
+	out := make([]int64, g.NumNodes())
+	in[0] = 1
+	out[1] = 100
+	a := Analyze(g, in, out, NewPushRelabel())
+	if a.FStar != 5 {
+		t.Fatalf("f* = %d, want 5 (the disjoint paths)", a.FStar)
+	}
+	if a.MaxFlow.Value != 1 {
+		t.Fatalf("nominal flow = %d, want 1", a.MaxFlow.Value)
+	}
+	if a.Feasibility != Unsaturated {
+		t.Fatalf("class = %v", a.Feasibility)
+	}
+}
+
+func TestAnalyzeIsolatedSource(t *testing.T) {
+	// Source disconnected from the sink: infeasible, f* = 0.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	in := []int64{1, 0, 0, 0}
+	out := []int64{0, 0, 0, 1}
+	a := Analyze(g, in, out, NewPushRelabel())
+	if a.Feasibility != Infeasible || a.FStar != 0 {
+		t.Fatalf("disconnected: %v f*=%d", a.Feasibility, a.FStar)
+	}
+}
+
+func TestAnalyzeSourceAdjacentSink(t *testing.T) {
+	// Source and sink adjacent with a thick bundle.
+	g := graph.New(2)
+	g.AddEdges(0, 1, 4)
+	in := []int64{3, 0}
+	out := []int64{0, 4}
+	a := Analyze(g, in, out, NewPushRelabel())
+	if a.Feasibility != Unsaturated {
+		t.Fatalf("thick pair: %v", a.Feasibility)
+	}
+	if a.FStar != 4 {
+		t.Fatalf("f* = %d", a.FStar)
+	}
+}
+
+func TestEnumerateMinCutsOnStar(t *testing.T) {
+	// Star with hub sink: each leaf-source's link is an independent
+	// bottleneck; the number of min cuts is the product over leaves of
+	// (positions per leaf) = 2^leaves for unit links... here 2 leaves.
+	g := graph.Star(3)
+	in := []int64{0, 1, 1}
+	out := []int64{2, 0, 0}
+	ext := Extend(g, in, out, nil)
+	r := NewPushRelabel().MaxFlow(ext.P)
+	if r.Value != 2 {
+		t.Fatalf("flow = %d", r.Value)
+	}
+	cuts := EnumerateMinCuts(r, 100)
+	// Each leaf independently: cut at its source link or at its edge; the
+	// hub side fixed ⇒ 4 combinations, but the sink link (cap 2) is also
+	// tight... enumerate and sanity check values only.
+	if len(cuts) < 2 {
+		t.Fatalf("star should have multiple min cuts, got %d", len(cuts))
+	}
+	for _, mask := range cuts {
+		if ext.P.CutValue(mask) != 2 {
+			t.Fatalf("cut value %d", ext.P.CutValue(mask))
+		}
+	}
+}

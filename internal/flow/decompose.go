@@ -1,0 +1,122 @@
+package flow
+
+// Path is one path of a flow decomposition, from Problem.S to Problem.T,
+// carrying Amount units of flow. Nodes includes both terminals; Arcs[i]
+// is the arc from Nodes[i] to Nodes[i+1].
+type Path struct {
+	Nodes  []int32
+	Arcs   []int32
+	Amount int64
+}
+
+// Decompose splits the net flow of r into source-to-sink paths. Flow on
+// cycles (which can appear in net flows without affecting the value) is
+// cancelled and discarded. The sum of path amounts equals r.Value.
+//
+// The decomposition is deterministic: at every node the lowest-index
+// positive-flow arc is followed first.
+func Decompose(r *Result) []Path {
+	p := r.P
+	// Positive net flow per arc (only one direction of each pair).
+	f := make([]int64, len(p.Arcs))
+	for i := range p.Arcs {
+		nf := r.NetFlow(int32(i))
+		if nf > 0 {
+			f[i] = nf
+		}
+	}
+	cur := make([]int, p.N) // current-arc pointer: arcs below it are drained
+	var paths []Path
+
+	// onPath[v] is the position of v in the current walk, or -1.
+	onPath := make([]int, p.N)
+	for i := range onPath {
+		onPath[i] = -1
+	}
+
+	for {
+		// Start a new walk if S still has outgoing flow.
+		var nodes []int32
+		var arcs []int32
+		v := p.S
+		nodes = append(nodes, v)
+		onPath[v] = 0
+		reachedT := false
+		for {
+			if v == p.T {
+				reachedT = true
+				break
+			}
+			// Advance the current-arc pointer past drained arcs.
+			found := int32(-1)
+			for cur[v] < len(p.Head[v]) {
+				ai := p.Head[v][cur[v]]
+				if f[ai] > 0 {
+					found = ai
+					break
+				}
+				cur[v]++
+			}
+			if found == -1 {
+				break // no outgoing flow: walk is stuck (S exhausted)
+			}
+			to := p.Arcs[found].To
+			if onPath[to] >= 0 {
+				// Cycle detected: cancel it by its bottleneck and retract
+				// the walk to `to`.
+				start := onPath[to]
+				bottleneck := f[found]
+				for i := start; i < len(arcs); i++ {
+					if f[arcs[i]] < bottleneck {
+						bottleneck = f[arcs[i]]
+					}
+				}
+				f[found] -= bottleneck
+				for i := start; i < len(arcs); i++ {
+					f[arcs[i]] -= bottleneck
+				}
+				for i := start + 1; i < len(nodes); i++ {
+					onPath[nodes[i]] = -1
+					// Reset pointers: arcs may have become drained or not.
+					cur[nodes[i]] = 0
+				}
+				cur[to] = 0
+				nodes = nodes[:start+1]
+				arcs = arcs[:start]
+				v = to
+				continue
+			}
+			arcs = append(arcs, found)
+			nodes = append(nodes, to)
+			onPath[to] = len(nodes) - 1
+			v = to
+		}
+		// Clear path markers.
+		for _, u := range nodes {
+			onPath[u] = -1
+		}
+		if !reachedT {
+			break // no more S→T flow
+		}
+		bottleneck := f[arcs[0]]
+		for _, ai := range arcs[1:] {
+			if f[ai] < bottleneck {
+				bottleneck = f[ai]
+			}
+		}
+		for _, ai := range arcs {
+			f[ai] -= bottleneck
+		}
+		paths = append(paths, Path{
+			Nodes:  append([]int32(nil), nodes...),
+			Arcs:   append([]int32(nil), arcs...),
+			Amount: bottleneck,
+		})
+		// Pointers may point at arcs we just drained partially; reset the
+		// ones on this path so residual flow is still discoverable.
+		for _, u := range nodes {
+			cur[u] = 0
+		}
+	}
+	return paths
+}

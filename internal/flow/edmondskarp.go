@@ -1,0 +1,72 @@
+package flow
+
+// EdmondsKarp implements the Edmonds–Karp algorithm (BFS shortest
+// augmenting paths). It is the slowest solver here, kept as an oracle:
+// its simplicity makes it the easiest to audit, and the test suite
+// cross-checks the two fast solvers against it.
+type EdmondsKarp struct{}
+
+// NewEdmondsKarp returns an Edmonds–Karp solver.
+func NewEdmondsKarp() *EdmondsKarp { return &EdmondsKarp{} }
+
+// Name implements Solver.
+func (*EdmondsKarp) Name() string { return "edmonds-karp" }
+
+// MaxFlow implements Solver.
+func (*EdmondsKarp) MaxFlow(p *Problem) *Result {
+	res := make([]int64, len(p.Arcs))
+	for i, a := range p.Arcs {
+		res[i] = a.Cap
+	}
+	parentArc := make([]int32, p.N)
+	queue := make([]int32, 0, p.N)
+
+	var value int64
+	for {
+		// BFS for an augmenting path.
+		for i := range parentArc {
+			parentArc[i] = -1
+		}
+		parentArc[p.S] = -2
+		queue = queue[:0]
+		queue = append(queue, p.S)
+		found := false
+	bfs:
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, ai := range p.Head[v] {
+				to := p.Arcs[ai].To
+				if res[ai] > 0 && parentArc[to] == -1 {
+					parentArc[to] = ai
+					if to == p.T {
+						found = true
+						break bfs
+					}
+					queue = append(queue, to)
+				}
+			}
+		}
+		if !found {
+			break
+		}
+		// Bottleneck along the path.
+		bottleneck := CapInf * 4
+		for v := p.T; v != p.S; {
+			ai := parentArc[v]
+			if res[ai] < bottleneck {
+				bottleneck = res[ai]
+			}
+			v = p.Arcs[ai].From
+		}
+		// Augment.
+		for v := p.T; v != p.S; {
+			ai := parentArc[v]
+			res[ai] -= bottleneck
+			res[p.Rev(ai)] += bottleneck
+			v = p.Arcs[ai].From
+		}
+		value += bottleneck
+	}
+	return &Result{P: p, Value: value, Res: res, Solver: "edmonds-karp"}
+}

@@ -1,0 +1,265 @@
+// Package flow implements the max-flow / min-cut machinery the paper's
+// stability analysis is built on (Section II-B): the extended graph G*
+// with a virtual source s* and sink d*, maximum s*-d*-flows, minimum cuts
+// and their uniqueness (which decides saturated vs unsaturated networks,
+// Definitions 3 and 4), and flow path decompositions (the packet routes of
+// the "optimal method" LGG is compared against).
+//
+// Three solvers are provided: Goldberg–Tarjan push-relabel (the algorithm
+// the paper cites as [6]), Dinic, and Edmonds–Karp. They are
+// interchangeable behind the Solver interface and cross-checked in tests.
+package flow
+
+import (
+	"fmt"
+	"math"
+)
+
+// CapInf is the "infinite" capacity used for unbounded virtual links
+// (e.g. when computing f*, the maximum flow with unbounded source links).
+// It is large enough that no realistic network saturates it but small
+// enough that sums of a few thousand of them do not overflow int64.
+const CapInf = int64(1) << 48
+
+// TagKind classifies an arc of an extended network.
+type TagKind uint8
+
+const (
+	// TagNone marks arcs with no external meaning.
+	TagNone TagKind = iota
+	// TagEdge marks the arc pair representing a (multigraph) edge of G;
+	// Tag.ID is the graph.EdgeID.
+	TagEdge
+	// TagSourceLink marks a virtual arc (s*, v); Tag.ID is the node v.
+	TagSourceLink
+	// TagSinkLink marks a virtual arc (v, d*); Tag.ID is the node v.
+	TagSinkLink
+)
+
+// Tag attaches external identity to an arc so flows can be read back in
+// terms of the original network.
+type Tag struct {
+	Kind TagKind
+	ID   int32
+}
+
+// Arc is one directed arc of a flow problem. Arcs always come in pairs:
+// arcs[i] and arcs[i^1] are mutual reverses (an undirected edge is a pair
+// with equal capacities; a directed arc is a pair whose reverse has
+// capacity 0).
+type Arc struct {
+	From, To int32
+	Cap      int64
+	Tag      Tag
+}
+
+// Problem is an s-t max-flow instance. Build one with a Builder; solve it
+// with any Solver. A Problem is immutable after Build and may be solved
+// concurrently by different solvers.
+type Problem struct {
+	N    int
+	S, T int32
+	Arcs []Arc
+	Head [][]int32 // per node, indexes into Arcs
+}
+
+// Rev returns the index of the reverse arc of arc i.
+func (p *Problem) Rev(i int32) int32 { return i ^ 1 }
+
+// Builder accumulates arcs for a Problem.
+type Builder struct {
+	n    int
+	arcs []Arc
+}
+
+// NewBuilder returns a builder for a flow network on n nodes.
+func NewBuilder(n int) *Builder {
+	if n < 2 {
+		panic("flow: a problem needs at least 2 nodes")
+	}
+	return &Builder{n: n}
+}
+
+// NumNodes returns the node count of the network under construction.
+func (b *Builder) NumNodes() int { return b.n }
+
+// AddArc adds a directed arc u→v with the given capacity (its implicit
+// reverse has capacity 0).
+func (b *Builder) AddArc(u, v int, cap int64, tag Tag) {
+	b.checkPair(u, v, cap)
+	b.arcs = append(b.arcs,
+		Arc{From: int32(u), To: int32(v), Cap: cap, Tag: tag},
+		Arc{From: int32(v), To: int32(u), Cap: 0, Tag: tag},
+	)
+}
+
+// AddUndirected adds an undirected edge {u, v} of the given capacity,
+// modelled as a mutual-reverse arc pair each with capacity cap (pushing f
+// one way yields residual cap+f the other way, which is exactly undirected
+// behaviour).
+func (b *Builder) AddUndirected(u, v int, cap int64, tag Tag) {
+	b.checkPair(u, v, cap)
+	b.arcs = append(b.arcs,
+		Arc{From: int32(u), To: int32(v), Cap: cap, Tag: tag},
+		Arc{From: int32(v), To: int32(u), Cap: cap, Tag: tag},
+	)
+}
+
+func (b *Builder) checkPair(u, v int, cap int64) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("flow: arc endpoint out of range: %d-%d (n=%d)", u, v, b.n))
+	}
+	if u == v {
+		panic("flow: self-loop arc")
+	}
+	if cap < 0 {
+		panic("flow: negative capacity")
+	}
+}
+
+// Build freezes the arcs into a Problem with source s and sink t.
+func (b *Builder) Build(s, t int) *Problem {
+	if s < 0 || s >= b.n || t < 0 || t >= b.n || s == t {
+		panic(fmt.Sprintf("flow: bad terminals s=%d t=%d (n=%d)", s, t, b.n))
+	}
+	p := &Problem{
+		N:    b.n,
+		S:    int32(s),
+		T:    int32(t),
+		Arcs: append([]Arc(nil), b.arcs...),
+		Head: make([][]int32, b.n),
+	}
+	for i, a := range p.Arcs {
+		p.Head[a.From] = append(p.Head[a.From], int32(i))
+	}
+	return p
+}
+
+// Result is a solved max flow: the value and the residual capacities.
+type Result struct {
+	P      *Problem
+	Value  int64
+	Res    []int64 // residual capacity per arc, len == len(P.Arcs)
+	Solver string
+}
+
+// ArcFlow returns Cap − Res for arc i (the raw amount pushed; can be
+// negative on reverse arcs).
+func (r *Result) ArcFlow(i int32) int64 { return r.P.Arcs[i].Cap - r.Res[i] }
+
+// NetFlow returns the net flow along arc i, symmetric under reversal:
+// NetFlow(i) == −NetFlow(rev i). For a directed arc it equals the pushed
+// flow; for an undirected pair it is the signed net transfer.
+func (r *Result) NetFlow(i int32) int64 {
+	return (r.ArcFlow(i) - r.ArcFlow(r.P.Rev(i))) / 2
+}
+
+// CheckConservation verifies capacity and conservation constraints; it
+// returns nil for a valid flow. Used by tests and by the classifier's
+// paranoia mode.
+func (r *Result) CheckConservation() error {
+	p := r.P
+	excess := make([]int64, p.N)
+	for i := range p.Arcs {
+		a := int32(i)
+		if r.Res[a] < 0 {
+			return fmt.Errorf("flow: arc %d residual %d < 0", a, r.Res[a])
+		}
+		f := r.NetFlow(a)
+		if f > 0 {
+			if f > p.Arcs[a].Cap {
+				return fmt.Errorf("flow: arc %d net flow %d exceeds cap %d", a, f, p.Arcs[a].Cap)
+			}
+			excess[p.Arcs[a].To] += f
+			excess[p.Arcs[a].From] -= f
+		}
+	}
+	for v := 0; v < p.N; v++ {
+		if int32(v) == p.S || int32(v) == p.T {
+			continue
+		}
+		if excess[v] != 0 {
+			return fmt.Errorf("flow: node %d violates conservation by %d", v, excess[v])
+		}
+	}
+	if excess[p.T] != r.Value {
+		return fmt.Errorf("flow: sink receives %d, value says %d", excess[p.T], r.Value)
+	}
+	return nil
+}
+
+// ReachableFromS returns the set of nodes reachable from S in the residual
+// graph. This is the source side of the *minimal* minimum cut.
+func (r *Result) ReachableFromS() []bool {
+	p := r.P
+	seen := make([]bool, p.N)
+	stack := []int32{p.S}
+	seen[p.S] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ai := range p.Head[v] {
+			if r.Res[ai] > 0 && !seen[p.Arcs[ai].To] {
+				seen[p.Arcs[ai].To] = true
+				stack = append(stack, p.Arcs[ai].To)
+			}
+		}
+	}
+	return seen
+}
+
+// ReachesT returns the set of nodes that can reach T in the residual
+// graph. The complement is the source side of the *maximal* minimum cut.
+func (r *Result) ReachesT() []bool {
+	p := r.P
+	// Walk backwards: v reaches T iff some residual arc v→w with w reaching T.
+	// Equivalently forward-search from T over arcs whose *reverse* has
+	// residual capacity.
+	seen := make([]bool, p.N)
+	stack := []int32{p.T}
+	seen[p.T] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ai := range p.Head[v] {
+			// arc ai: v→w. Its reverse w→v has residual Res[rev]. If
+			// Res[rev] > 0 then w can step to v, so w reaches T.
+			w := p.Arcs[ai].To
+			if r.Res[p.Rev(ai)] > 0 && !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return seen
+}
+
+// CutValue returns the capacity of the cut whose source side is
+// sourceSide: the sum of Cap over arcs leaving the set. For a valid flow
+// result whose cut this is, CutValue equals Value.
+func (p *Problem) CutValue(sourceSide []bool) int64 {
+	var total int64
+	for _, a := range p.Arcs {
+		if sourceSide[a.From] && !sourceSide[a.To] {
+			if a.Cap >= CapInf {
+				return math.MaxInt64
+			}
+			total += a.Cap
+		}
+	}
+	return total
+}
+
+// Solver is a max-flow algorithm.
+type Solver interface {
+	Name() string
+	// MaxFlow solves p and returns the result. The problem is not
+	// modified; concurrent calls with distinct Results are safe.
+	MaxFlow(p *Problem) *Result
+}
+
+// Solvers returns one instance of every implemented solver, in a fixed
+// order (push-relabel first: it is the reference implementation).
+func Solvers() []Solver {
+	return []Solver{NewPushRelabel(), NewDinic(), NewEdmondsKarp(), NewISAP()}
+}

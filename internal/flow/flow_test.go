@@ -1,0 +1,248 @@
+package flow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// diamond builds the classic 4-node diamond with a cross edge:
+// s→a (3), s→b (2), a→b (1), a→t (2), b→t (3); max flow = 5.
+func diamond() *Problem {
+	b := NewBuilder(4)
+	b.AddArc(0, 1, 3, Tag{})
+	b.AddArc(0, 2, 2, Tag{})
+	b.AddArc(1, 2, 1, Tag{})
+	b.AddArc(1, 3, 2, Tag{})
+	b.AddArc(2, 3, 3, Tag{})
+	return b.Build(0, 3)
+}
+
+func TestSolversOnDiamond(t *testing.T) {
+	for _, s := range Solvers() {
+		r := s.MaxFlow(diamond())
+		if r.Value != 5 {
+			t.Errorf("%s: value = %d, want 5", s.Name(), r.Value)
+		}
+		if err := r.CheckConservation(); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestSolverOnDisconnected(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddArc(0, 1, 5, Tag{})
+	b.AddArc(2, 3, 5, Tag{})
+	p := b.Build(0, 3)
+	for _, s := range Solvers() {
+		if r := s.MaxFlow(p); r.Value != 0 {
+			t.Errorf("%s: disconnected flow = %d", s.Name(), r.Value)
+		}
+	}
+}
+
+func TestSolverDirectChain(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddArc(0, 1, 7, Tag{})
+	b.AddArc(1, 2, 4, Tag{})
+	p := b.Build(0, 2)
+	for _, s := range Solvers() {
+		if r := s.MaxFlow(p); r.Value != 4 {
+			t.Errorf("%s: chain flow = %d, want 4", s.Name(), r.Value)
+		}
+	}
+}
+
+func TestUndirectedEdgeBothWays(t *testing.T) {
+	// s—a—t with undirected middle: flow must traverse a.
+	b := NewBuilder(3)
+	b.AddUndirected(0, 1, 2, Tag{})
+	b.AddUndirected(1, 2, 2, Tag{})
+	p := b.Build(0, 2)
+	for _, s := range Solvers() {
+		r := s.MaxFlow(p)
+		if r.Value != 2 {
+			t.Errorf("%s: undirected chain flow = %d, want 2", s.Name(), r.Value)
+		}
+		if err := r.CheckConservation(); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestNetFlowAntisymmetric(t *testing.T) {
+	p := diamond()
+	r := NewPushRelabel().MaxFlow(p)
+	for i := range p.Arcs {
+		a := int32(i)
+		if r.NetFlow(a) != -r.NetFlow(p.Rev(a)) {
+			t.Fatalf("NetFlow not antisymmetric at arc %d", a)
+		}
+	}
+}
+
+func TestParallelArcs(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddArc(0, 1, 1, Tag{})
+	b.AddArc(0, 1, 1, Tag{})
+	b.AddArc(0, 1, 1, Tag{})
+	p := b.Build(0, 1)
+	for _, s := range Solvers() {
+		if r := s.MaxFlow(p); r.Value != 3 {
+			t.Errorf("%s: parallel arcs flow = %d, want 3", s.Name(), r.Value)
+		}
+	}
+}
+
+func TestMinCutOnDiamond(t *testing.T) {
+	p := diamond()
+	r := NewPushRelabel().MaxFlow(p)
+	min := r.ReachableFromS()
+	if !min[0] {
+		t.Fatal("S not in its own cut side")
+	}
+	if got := p.CutValue(min); got != r.Value {
+		t.Fatalf("minimal cut value = %d, want %d", got, r.Value)
+	}
+	reaches := r.ReachesT()
+	maxSide := make([]bool, p.N)
+	for v := range maxSide {
+		maxSide[v] = !reaches[v]
+	}
+	if got := p.CutValue(maxSide); got != r.Value {
+		t.Fatalf("maximal cut value = %d, want %d", got, r.Value)
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewBuilder(1) },
+		func() { NewBuilder(3).AddArc(0, 0, 1, Tag{}) },
+		func() { NewBuilder(3).AddArc(0, 5, 1, Tag{}) },
+		func() { NewBuilder(3).AddArc(0, 1, -1, Tag{}) },
+		func() { NewBuilder(3).Build(0, 0) },
+		func() { NewBuilder(3).Build(-1, 2) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// randomProblem builds a random directed flow instance.
+func randomProblem(r *rng.Source, n, m int, maxCap int64) *Problem {
+	b := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u := r.IntN(n)
+		v := r.IntN(n)
+		for v == u {
+			v = r.IntN(n)
+		}
+		if r.Bool(0.5) {
+			b.AddArc(u, v, 1+r.Int64N(maxCap), Tag{})
+		} else {
+			b.AddUndirected(u, v, 1+r.Int64N(maxCap), Tag{})
+		}
+	}
+	return b.Build(0, n-1)
+}
+
+// Property: all three solvers agree, satisfy conservation, and match the
+// min-cut value, on random mixed directed/undirected instances.
+func TestQuickSolversAgree(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint8) bool {
+		r := rng.New(seed)
+		n := int(nRaw%12) + 2
+		m := int(mRaw%40) + 1
+		p := randomProblem(r, n, m, 5)
+		solvers := Solvers()
+		results := make([]*Result, len(solvers))
+		for i, s := range solvers {
+			results[i] = s.MaxFlow(p)
+			if err := results[i].CheckConservation(); err != nil {
+				t.Logf("%s: %v", s.Name(), err)
+				return false
+			}
+		}
+		for i := 1; i < len(results); i++ {
+			if results[i].Value != results[0].Value {
+				t.Logf("disagreement: %s=%d %s=%d", solvers[0].Name(),
+					results[0].Value, solvers[i].Name(), results[i].Value)
+				return false
+			}
+		}
+		// max-flow = min-cut on the minimal cut
+		if cv := p.CutValue(results[0].ReachableFromS()); cv != results[0].Value {
+			t.Logf("cut %d != flow %d", cv, results[0].Value)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: flow value never exceeds total capacity out of S nor into T.
+func TestQuickValueBounds(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint8) bool {
+		r := rng.New(seed)
+		n := int(nRaw%10) + 2
+		m := int(mRaw%30) + 1
+		p := randomProblem(r, n, m, 4)
+		res := NewDinic().MaxFlow(p)
+		var outS, inT int64
+		for _, a := range p.Arcs {
+			if a.From == p.S {
+				outS += a.Cap
+			}
+			if a.To == p.T {
+				inT += a.Cap
+			}
+		}
+		return res.Value >= 0 && res.Value <= outS && res.Value <= inT
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeUnitNetworkAgreement(t *testing.T) {
+	// A denser sanity case closer to G* instances: unit capacities.
+	r := rng.New(99)
+	g := graph.RandomMultigraph(40, 120, r)
+	b := NewBuilder(40)
+	for _, e := range g.Edges() {
+		b.AddUndirected(int(e.U), int(e.V), 1, Tag{})
+	}
+	p := b.Build(0, 39)
+	v0 := NewPushRelabel().MaxFlow(p).Value
+	v1 := NewDinic().MaxFlow(p).Value
+	v2 := NewEdmondsKarp().MaxFlow(p).Value
+	if v0 != v1 || v1 != v2 {
+		t.Fatalf("solver disagreement: %d %d %d", v0, v1, v2)
+	}
+	if v0 <= 0 {
+		t.Fatalf("expected positive flow in a connected multigraph, got %d", v0)
+	}
+}
+
+func TestFeasibilityString(t *testing.T) {
+	if Infeasible.String() != "infeasible" || Saturated.String() != "saturated" ||
+		Unsaturated.String() != "unsaturated" {
+		t.Fatal("Feasibility.String wrong")
+	}
+	if Feasibility(9).String() == "" {
+		t.Fatal("unknown feasibility stringer empty")
+	}
+}

@@ -1,0 +1,53 @@
+package flow
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestISAPOnDiamond(t *testing.T) {
+	r := NewISAP().MaxFlow(diamond())
+	if r.Value != 5 {
+		t.Fatalf("isap diamond = %d, want 5", r.Value)
+	}
+	if err := r.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Solver != "isap" || NewISAP().Name() != "isap" {
+		t.Fatal("solver label")
+	}
+}
+
+func TestISAPDisconnected(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddArc(0, 1, 3, Tag{})
+	b.AddArc(2, 3, 3, Tag{})
+	if r := NewISAP().MaxFlow(b.Build(0, 3)); r.Value != 0 {
+		t.Fatalf("disconnected isap = %d", r.Value)
+	}
+}
+
+func TestISAPZeroCapacitySource(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddArc(0, 1, 0, Tag{})
+	b.AddArc(1, 2, 5, Tag{})
+	if r := NewISAP().MaxFlow(b.Build(0, 2)); r.Value != 0 {
+		t.Fatalf("zero-cap isap = %d", r.Value)
+	}
+}
+
+func TestISAPLargeUnitNetwork(t *testing.T) {
+	g := graph.RandomMultigraph(80, 300, rng.New(17))
+	b := NewBuilder(80)
+	for _, e := range g.Edges() {
+		b.AddUndirected(int(e.U), int(e.V), 1, Tag{})
+	}
+	p := b.Build(0, 79)
+	want := NewPushRelabel().MaxFlow(p).Value
+	got := NewISAP().MaxFlow(p).Value
+	if got != want {
+		t.Fatalf("isap = %d, push-relabel = %d", got, want)
+	}
+}

@@ -1,0 +1,227 @@
+package flow
+
+// This file enumerates ALL minimum s-t cuts of a solved flow problem
+// using the Picard–Queyranne correspondence: the source sides of minimum
+// cuts are exactly the closed sets (no outgoing residual arcs) of the
+// residual graph that contain S and exclude T — equivalently, the closed
+// sets of the DAG obtained by condensing the residual graph's strongly
+// connected components.
+//
+// The paper's induction (Section V) needs more than the two extreme cuts:
+// case 2 vs case 3 depends on whether *some* minimum cut crosses the
+// interior of G, and the extreme cuts can both be trivial while an
+// interior one exists. EnumerateMinCuts provides the ground truth (with a
+// configurable cap, since the number of min cuts can be exponential).
+
+// sccCondense returns, for the subgraph of residual-positive arcs, the
+// SCC id of every node (ids in reverse topological order of the
+// condensation: Tarjan numbering) and the number of SCCs.
+func sccCondense(p *Problem, res []int64) (comp []int32, ncomp int32) {
+	n := p.N
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int32
+	var next int32
+	// iterative Tarjan
+	type frame struct {
+		v  int32
+		ai int // position in Head[v]
+	}
+	var call []frame
+	for s := 0; s < n; s++ {
+		if index[s] != -1 {
+			continue
+		}
+		call = append(call[:0], frame{v: int32(s)})
+		index[s] = next
+		low[s] = next
+		next++
+		stack = append(stack, int32(s))
+		onStack[s] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			advanced := false
+			for ; f.ai < len(p.Head[f.v]); f.ai++ {
+				arc := p.Head[f.v][f.ai]
+				if res[arc] <= 0 {
+					continue
+				}
+				w := p.Arcs[arc].To
+				if index[w] == -1 {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					f.ai++
+					call = append(call, frame{v: w})
+					advanced = true
+					break
+				} else if onStack[w] && low[f.v] > index[w] {
+					low[f.v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// finish v
+			v := f.v
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				parent := call[len(call)-1].v
+				if low[parent] > low[v] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = ncomp
+					if w == v {
+						break
+					}
+				}
+				ncomp++
+			}
+		}
+	}
+	return comp, ncomp
+}
+
+// EnumerateMinCuts returns the source sides (as node masks over p's
+// nodes) of up to limit distinct minimum cuts of the solved result r. The
+// first entry is always the minimal cut (reachable-from-S); enumeration
+// explores closed supersets. For a result of a *maximum* flow every
+// returned mask is a minimum cut; the count is capped, not sampled, so a
+// short list is exhaustive.
+func EnumerateMinCuts(r *Result, limit int) [][]bool {
+	if limit <= 0 {
+		limit = 64
+	}
+	p := r.P
+	comp, ncomp := sccCondense(p, r.Res)
+
+	// Condensation adjacency: compEdges[c] = set of SCCs reachable from c
+	// by one residual arc.
+	succ := make([]map[int32]bool, ncomp)
+	for i := range succ {
+		succ[i] = map[int32]bool{}
+	}
+	for ai, a := range p.Arcs {
+		if r.Res[ai] > 0 && comp[a.From] != comp[a.To] {
+			succ[comp[a.From]][comp[a.To]] = true
+		}
+	}
+	cs, ct := comp[p.S], comp[p.T]
+	if cs == ct {
+		return nil // S and T residually connected: not a max flow
+	}
+
+	// A source side is a closed set of SCCs (contains all residual
+	// successors of its members) containing cs, excluding ct. Start from
+	// the closure of {cs} and grow by adding one admissible SCC at a
+	// time (DFS over antichains with dedup).
+	closure := func(base map[int32]bool) (map[int32]bool, bool) {
+		work := make([]int32, 0, len(base))
+		set := map[int32]bool{}
+		for c := range base {
+			set[c] = true
+			work = append(work, c)
+		}
+		for len(work) > 0 {
+			c := work[len(work)-1]
+			work = work[:len(work)-1]
+			for d := range succ[c] {
+				if d == ct {
+					return nil, false
+				}
+				if !set[d] {
+					set[d] = true
+					work = append(work, d)
+				}
+			}
+		}
+		return set, true
+	}
+
+	seen := map[string]bool{}
+	var out [][]bool
+	key := func(set map[int32]bool) string {
+		b := make([]byte, ncomp)
+		for c := range set {
+			b[c] = 1
+		}
+		return string(b)
+	}
+	toMask := func(set map[int32]bool) []bool {
+		mask := make([]bool, p.N)
+		for v := 0; v < p.N; v++ {
+			mask[v] = set[comp[v]]
+		}
+		return mask
+	}
+
+	base, ok := closure(map[int32]bool{cs: true})
+	if !ok {
+		return nil
+	}
+	type state struct{ set map[int32]bool }
+	queue := []state{{base}}
+	seen[key(base)] = true
+	for len(queue) > 0 && len(out) < limit {
+		cur := queue[0]
+		queue = queue[1:]
+		out = append(out, toMask(cur.set))
+		// grow: try adding each absent SCC
+		for c := int32(0); c < ncomp; c++ {
+			if cur.set[c] || c == ct {
+				continue
+			}
+			grown := map[int32]bool{c: true}
+			for d := range cur.set {
+				grown[d] = true
+			}
+			closed, ok := closure(grown)
+			if !ok {
+				continue
+			}
+			k := key(closed)
+			if !seen[k] {
+				seen[k] = true
+				queue = append(queue, state{closed})
+			}
+		}
+	}
+	return out
+}
+
+// HasInteriorMinCut reports whether some minimum cut of the extended
+// network puts at least one real node on each side (the Section V case-3
+// condition), searching up to limit cuts. It is exact whenever the
+// enumeration did not hit the cap (second return value true).
+func (e *Extended) HasInteriorMinCut(r *Result, limit int) (found, exhaustive bool) {
+	cuts := EnumerateMinCuts(r, limit)
+	n := e.G.NumNodes()
+	for _, mask := range cuts {
+		real := 0
+		for v := 0; v < n; v++ {
+			if mask[v] {
+				real++
+			}
+		}
+		if real > 0 && real < n {
+			return true, true
+		}
+	}
+	return false, len(cuts) < limit
+}

@@ -1,0 +1,167 @@
+package flow
+
+// PushRelabel implements the Goldberg–Tarjan preflow-push maximum-flow
+// algorithm ("A new approach to the maximum-flow problem", JACM 1988 —
+// the paper's reference [6], whose distributed flavour LGG is related to).
+//
+// This is the FIFO variant with the two standard accelerations:
+//   - gap heuristic: when a height level empties, every node above it is
+//     lifted over n (it can no longer reach the sink);
+//   - periodic global relabelling: recompute exact heights by backward BFS
+//     from the sink every N relabel operations.
+type PushRelabel struct{}
+
+// NewPushRelabel returns the Goldberg–Tarjan solver.
+func NewPushRelabel() *PushRelabel { return &PushRelabel{} }
+
+// Name implements Solver.
+func (*PushRelabel) Name() string { return "push-relabel" }
+
+// MaxFlow implements Solver.
+func (*PushRelabel) MaxFlow(p *Problem) *Result {
+	n := p.N
+	res := make([]int64, len(p.Arcs))
+	for i, a := range p.Arcs {
+		res[i] = a.Cap
+	}
+	height := make([]int, n)
+	excess := make([]int64, n)
+	gapCount := make([]int, 2*n+1) // nodes per height level
+	cur := make([]int, n)          // current-arc pointer per node
+
+	// FIFO queue of active nodes (excess > 0, not s/t).
+	queue := make([]int32, 0, n)
+	inQueue := make([]bool, n)
+	push := func(v int32) {
+		if !inQueue[v] && v != p.S && v != p.T && excess[v] > 0 {
+			inQueue[v] = true
+			queue = append(queue, v)
+		}
+	}
+
+	// globalRelabel sets height[v] to the exact residual distance to T
+	// (backward BFS), and n for nodes that cannot reach T.
+	globalRelabel := func() {
+		for i := range height {
+			height[i] = n
+		}
+		for i := range gapCount {
+			gapCount[i] = 0
+		}
+		height[p.T] = 0
+		bfs := []int32{p.T}
+		for len(bfs) > 0 {
+			v := bfs[0]
+			bfs = bfs[1:]
+			for _, ai := range p.Head[v] {
+				w := p.Arcs[ai].To
+				// w can push to v iff residual on arc w→v (= reverse of ai) > 0
+				if res[p.Rev(ai)] > 0 && height[w] == n && w != p.S {
+					height[w] = height[v] + 1
+					bfs = append(bfs, w)
+				}
+			}
+		}
+		height[p.S] = n
+		for _, h := range height {
+			gapCount[h]++
+		}
+		for i := range cur {
+			cur[i] = 0
+		}
+	}
+
+	globalRelabel()
+
+	// Saturate all arcs out of S.
+	for _, ai := range p.Head[p.S] {
+		if res[ai] <= 0 {
+			continue
+		}
+		f := res[ai]
+		to := p.Arcs[ai].To
+		res[ai] -= f
+		res[p.Rev(ai)] += f
+		excess[to] += f
+		excess[p.S] -= f
+		push(to)
+	}
+
+	relabels := 0
+	relabelLimit := 2 * n // global relabel period
+
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		inQueue[v] = false
+
+		// Discharge v.
+		for excess[v] > 0 {
+			if cur[v] == len(p.Head[v]) {
+				// Relabel: find the minimum admissible height.
+				minH := 2 * n
+				for _, ai := range p.Head[v] {
+					if res[ai] > 0 {
+						if h := height[p.Arcs[ai].To]; h < minH {
+							minH = h
+						}
+					}
+				}
+				oldH := height[v]
+				newH := minH + 1
+				if newH > 2*n {
+					newH = 2 * n
+				}
+				// Gap heuristic: if v was the last node at oldH and
+				// oldH < n, every node with height in (oldH, n) is
+				// disconnected from T; lift it above n.
+				gapCount[oldH]--
+				if gapCount[oldH] == 0 && oldH < n {
+					for w := 0; w < n; w++ {
+						if height[w] > oldH && height[w] < n {
+							gapCount[height[w]]--
+							height[w] = n + 1
+							gapCount[n+1]++
+						}
+					}
+					if newH < n+1 {
+						newH = n + 1
+					}
+				}
+				height[v] = newH
+				gapCount[newH]++
+				cur[v] = 0
+				relabels++
+				if relabels >= relabelLimit {
+					relabels = 0
+					globalRelabel()
+					// Re-enqueue all nodes with excess (heights changed).
+					for w := 0; w < n; w++ {
+						push(int32(w))
+					}
+				}
+				if height[v] >= 2*n {
+					break // cannot push anywhere anymore
+				}
+				continue
+			}
+			ai := p.Head[v][cur[v]]
+			to := p.Arcs[ai].To
+			if res[ai] > 0 && height[v] == height[to]+1 {
+				f := excess[v]
+				if res[ai] < f {
+					f = res[ai]
+				}
+				res[ai] -= f
+				res[p.Rev(ai)] += f
+				excess[v] -= f
+				excess[to] += f
+				push(to)
+			} else {
+				cur[v]++
+			}
+		}
+	}
+
+	return &Result{P: p, Value: excess[p.T], Res: res, Solver: "push-relabel"}
+}

@@ -1,0 +1,240 @@
+package flow
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// This file builds the extended graph G* of Section II-B and classifies
+// S-D-networks as infeasible / saturated / unsaturated (Definitions 3, 4).
+//
+// The classification rests on a fact the paper uses in Section V-A: with
+// integer capacities, a feasible network is unsaturated if and only if the
+// trivial cut ({s*}, V ∪ {d*} ∖ {s*}) is the *unique* minimum cut of G*.
+// (If every non-trivial cut has value ≥ Σin(s)+1, scaling every source
+// link to (1+ε)·in(s) with ε ≤ 1/Σin(s) keeps all non-trivial cuts at
+// least as large as the scaled trivial cut, so the scaled demand is
+// feasible; conversely a second minimum cut pins the flow at Σin(s).)
+// Uniqueness is decided from the residual graph: the trivial cut is unique
+// iff every node other than s* can reach d* in the residual network of a
+// maximum flow.
+
+// Feasibility classifies an S-D-network per Definitions 3 and 4.
+type Feasibility int
+
+const (
+	// Infeasible: no s*-d*-flow saturates all source links; the arrival
+	// rate exceeds the network's capacity and every protocol diverges
+	// (Theorem 1, second part).
+	Infeasible Feasibility = iota
+	// Saturated: feasible, but no ε > 0 slack exists (a non-trivial
+	// minimum cut pins the flow at the arrival rate).
+	Saturated
+	// Unsaturated: feasible with strictly positive slack (Definition 4);
+	// the regime of Lemma 1.
+	Unsaturated
+)
+
+// String implements fmt.Stringer.
+func (f Feasibility) String() string {
+	switch f {
+	case Infeasible:
+		return "infeasible"
+	case Saturated:
+		return "saturated"
+	case Unsaturated:
+		return "unsaturated"
+	}
+	return fmt.Sprintf("Feasibility(%d)", int(f))
+}
+
+// Extended is the graph G*: G plus a virtual source s* with arcs (s*, v)
+// of capacity in(v) and a virtual sink d* with arcs (v, d*) of capacity
+// out(v) (Fig. 2; Fig. 4 for the generalized version where a node may
+// have both).
+type Extended struct {
+	P            *Problem
+	G            *graph.Multigraph
+	SStar, DStar int32
+	// SourceArc[v] is the arc index of (s*, v), or -1 if in(v) == 0.
+	SourceArc []int32
+	// SinkArc[v] is the arc index of (v, d*), or -1 if out(v) == 0.
+	SinkArc []int32
+	// EdgeArc[e] is the index of the "forward" arc (EdgeByID(e).U → .V) of
+	// edge e; its reverse is EdgeArc[e]^1.
+	EdgeArc []int32
+}
+
+// Extend builds G* for the network (g, in, out). srcCap overrides the
+// capacity of source links when non-nil (used for the f* computation with
+// unbounded capacities and for scaled-demand probes); it receives the node
+// and its nominal in(v) > 0.
+func Extend(g *graph.Multigraph, in, out []int64, srcCap func(v graph.NodeID, nominal int64) int64) *Extended {
+	n := g.NumNodes()
+	if len(in) != n || len(out) != n {
+		panic("flow: in/out length mismatch with graph")
+	}
+	b := NewBuilder(n + 2)
+	sStar, dStar := n, n+1
+	ext := &Extended{
+		G:         g,
+		SStar:     int32(sStar),
+		DStar:     int32(dStar),
+		SourceArc: make([]int32, n),
+		SinkArc:   make([]int32, n),
+		EdgeArc:   make([]int32, g.NumEdges()),
+	}
+	for e, edge := range g.Edges() {
+		ext.EdgeArc[e] = int32(len(b.arcs))
+		b.AddUndirected(int(edge.U), int(edge.V), 1, Tag{Kind: TagEdge, ID: int32(e)})
+	}
+	for v := 0; v < n; v++ {
+		ext.SourceArc[v] = -1
+		ext.SinkArc[v] = -1
+		if in[v] < 0 || out[v] < 0 {
+			panic("flow: negative in/out")
+		}
+		if in[v] > 0 {
+			c := in[v]
+			if srcCap != nil {
+				c = srcCap(graph.NodeID(v), in[v])
+			}
+			ext.SourceArc[v] = int32(len(b.arcs))
+			b.AddArc(sStar, v, c, Tag{Kind: TagSourceLink, ID: int32(v)})
+		}
+		if out[v] > 0 {
+			ext.SinkArc[v] = int32(len(b.arcs))
+			b.AddArc(v, dStar, out[v], Tag{Kind: TagSinkLink, ID: int32(v)})
+		}
+	}
+	ext.P = b.Build(sStar, dStar)
+	return ext
+}
+
+// Analysis is the full feasibility analysis of an S-D-network.
+type Analysis struct {
+	Ext         *Extended
+	MaxFlow     *Result // max flow with nominal source capacities in(v)
+	ArrivalRate int64   // Σ_v in(v)
+	Feasibility Feasibility
+	// FStar is f*: the max-flow value with unbounded source links
+	// (Section II-B). ArrivalRate ≤ FStar iff the network is feasible.
+	FStar int64
+	// MinimalCut is the source side (over G* node ids; s* = n, d* = n+1)
+	// of the minimum cut nearest s*; MaximalCut is the one nearest d*.
+	// The network is unsaturated iff MaximalCut contains only s*.
+	MinimalCut, MaximalCut []bool
+}
+
+// CutInterior reports whether the maximal minimum cut separates the graph
+// somewhere strictly inside G (both sides contain real nodes) — the
+// situation of Section V-C where the induction splits the network.
+func (a *Analysis) CutInterior() bool {
+	n := a.Ext.G.NumNodes()
+	real := 0
+	for v := 0; v < n; v++ {
+		if a.MaximalCut[v] {
+			real++
+		}
+	}
+	return real > 0 && real < n
+}
+
+// Analyze computes the feasibility classification of (g, in, out) using
+// the given solver (use NewPushRelabel() unless cross-checking).
+func Analyze(g *graph.Multigraph, in, out []int64, solver Solver) *Analysis {
+	ext := Extend(g, in, out, nil)
+	r := solver.MaxFlow(ext.P)
+	var rate int64
+	for _, x := range in {
+		rate += x
+	}
+	extInf := Extend(g, in, out, func(graph.NodeID, int64) int64 { return CapInf })
+	rInf := solver.MaxFlow(extInf.P)
+
+	a := &Analysis{
+		Ext:         ext,
+		MaxFlow:     r,
+		ArrivalRate: rate,
+		FStar:       rInf.Value,
+		MinimalCut:  r.ReachableFromS(),
+	}
+	reaches := r.ReachesT()
+	a.MaximalCut = make([]bool, ext.P.N)
+	for v := range a.MaximalCut {
+		a.MaximalCut[v] = !reaches[v]
+	}
+	switch {
+	case r.Value < rate:
+		a.Feasibility = Infeasible
+	case onlySStar(a.MaximalCut, int(ext.SStar)):
+		a.Feasibility = Unsaturated
+	default:
+		a.Feasibility = Saturated
+	}
+	return a
+}
+
+func onlySStar(cut []bool, sStar int) bool {
+	for v, in := range cut {
+		if in != (v == sStar) {
+			return false
+		}
+	}
+	return true
+}
+
+// EdgeFlow returns Φ(e) for every edge of G, oriented positively from
+// EdgeByID(e).U to .V, as carried by the given result on this extended
+// network.
+func (e *Extended) EdgeFlow(r *Result) []int64 {
+	out := make([]int64, len(e.EdgeArc))
+	for i, ai := range e.EdgeArc {
+		out[i] = r.NetFlow(ai)
+	}
+	return out
+}
+
+// SourceFlow returns Φ(s*, v) per node (0 where no source link exists).
+func (e *Extended) SourceFlow(r *Result) []int64 {
+	out := make([]int64, e.G.NumNodes())
+	for v, ai := range e.SourceArc {
+		if ai >= 0 {
+			out[v] = r.NetFlow(ai)
+		}
+	}
+	return out
+}
+
+// SinkFlow returns Φ(v, d*) per node (0 where no sink link exists).
+func (e *Extended) SinkFlow(r *Result) []int64 {
+	out := make([]int64, e.G.NumNodes())
+	for v, ai := range e.SinkArc {
+		if ai >= 0 {
+			out[v] = r.NetFlow(ai)
+		}
+	}
+	return out
+}
+
+// SDPaths decomposes the result into source→destination paths expressed
+// in G's node ids (the virtual terminals are stripped). A path may be a
+// bare [v] when v is both a source and a destination and routes flow
+// s*→v→d* directly.
+func (e *Extended) SDPaths(r *Result) []Path {
+	raw := Decompose(r)
+	out := make([]Path, 0, len(raw))
+	for _, p := range raw {
+		if len(p.Nodes) < 3 {
+			continue // degenerate; cannot happen with s*≠d*
+		}
+		q := Path{
+			Nodes:  append([]int32(nil), p.Nodes[1:len(p.Nodes)-1]...),
+			Arcs:   append([]int32(nil), p.Arcs[1:len(p.Arcs)-1]...),
+			Amount: p.Amount,
+		}
+		out = append(out, q)
+	}
+	return out
+}

@@ -1,0 +1,288 @@
+package flow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// lineNet builds a path network: source at node 0 with in, sink at n-1
+// with out.
+func lineNet(n int, in, out int64) (*graph.Multigraph, []int64, []int64) {
+	g := graph.Line(n)
+	ins := make([]int64, n)
+	outs := make([]int64, n)
+	ins[0] = in
+	outs[n-1] = out
+	return g, ins, outs
+}
+
+func TestAnalyzeUnsaturatedLine(t *testing.T) {
+	// A single path can carry 1 packet per step; demanding 1 with out 2
+	// saturates the source link... in=1, out=1 over a path: the interior
+	// edges also have capacity 1, so cuts across the path have value 1 =
+	// arrival rate. Saturated.
+	g, in, out := lineNet(4, 1, 1)
+	a := Analyze(g, in, out, NewPushRelabel())
+	if a.Feasibility != Saturated {
+		t.Fatalf("line in=1: %v, want saturated", a.Feasibility)
+	}
+	if a.ArrivalRate != 1 || a.MaxFlow.Value != 1 || a.FStar != 1 {
+		t.Fatalf("rate=%d flow=%d f*=%d", a.ArrivalRate, a.MaxFlow.Value, a.FStar)
+	}
+}
+
+func TestAnalyzeInfeasibleLine(t *testing.T) {
+	g, in, out := lineNet(4, 2, 2)
+	a := Analyze(g, in, out, NewPushRelabel())
+	if a.Feasibility != Infeasible {
+		t.Fatalf("line in=2: %v, want infeasible (interior edges cap 1)", a.Feasibility)
+	}
+	if a.FStar != 1 {
+		t.Fatalf("f* = %d, want 1", a.FStar)
+	}
+}
+
+func TestAnalyzeUnsaturatedTheta(t *testing.T) {
+	// 3 disjoint paths of length 2 between terminals: f* = 3. Demanding 2
+	// leaves slack on the interior, and out=3 leaves slack at the sink:
+	// the only min cut is the source links.
+	g := graph.ThetaGraph(3, 2)
+	n := g.NumNodes()
+	in := make([]int64, n)
+	out := make([]int64, n)
+	in[0] = 2
+	out[1] = 3
+	a := Analyze(g, in, out, NewPushRelabel())
+	if a.Feasibility != Unsaturated {
+		t.Fatalf("theta in=2/f*=3: %v, want unsaturated", a.Feasibility)
+	}
+	if a.FStar != 3 {
+		t.Fatalf("f* = %d, want 3", a.FStar)
+	}
+}
+
+func TestAnalyzeSaturatedAtSink(t *testing.T) {
+	// Section V-B situation: plenty of graph capacity, but out(d) equals
+	// the arrival rate exactly → the cut at d* is also minimum.
+	g := graph.ThetaGraph(3, 2)
+	n := g.NumNodes()
+	in := make([]int64, n)
+	out := make([]int64, n)
+	in[0] = 2
+	out[1] = 2
+	a := Analyze(g, in, out, NewPushRelabel())
+	if a.Feasibility != Saturated {
+		t.Fatalf("out=in: %v, want saturated", a.Feasibility)
+	}
+}
+
+func TestAnalyzeMultiSource(t *testing.T) {
+	// Star: leaves 1..4 are sources with in=1, hub 0 is the sink out=4.
+	g := graph.Star(5)
+	in := []int64{0, 1, 1, 1, 1}
+	out := []int64{4, 0, 0, 0, 0}
+	a := Analyze(g, in, out, NewPushRelabel())
+	if a.Feasibility != Saturated { // each leaf edge is a tight cut component
+		t.Fatalf("star: %v, want saturated", a.Feasibility)
+	}
+	if a.MaxFlow.Value != 4 {
+		t.Fatalf("flow = %d", a.MaxFlow.Value)
+	}
+	// Now with out=5 and thicker edges it becomes unsaturated.
+	g2 := graph.New(5)
+	for i := 1; i < 5; i++ {
+		g2.AddEdges(0, graph.NodeID(i), 2)
+	}
+	out2 := []int64{5, 0, 0, 0, 0}
+	a2 := Analyze(g2, in, out2, NewPushRelabel())
+	if a2.Feasibility != Unsaturated {
+		t.Fatalf("thick star: %v, want unsaturated", a2.Feasibility)
+	}
+}
+
+func TestCutInterior(t *testing.T) {
+	// Barbell with sources in the left clique and sink on the right: the
+	// bridge is the bottleneck, so the maximal min cut is interior.
+	g := graph.Barbell(3, 2)
+	n := g.NumNodes()
+	in := make([]int64, n)
+	out := make([]int64, n)
+	in[0] = 1
+	out[n-1] = 2 // slack at the sink so the bridge is the maximal min cut
+	a := Analyze(g, in, out, NewPushRelabel())
+	if a.Feasibility != Saturated {
+		t.Fatalf("barbell: %v, want saturated (bridge capacity 1)", a.Feasibility)
+	}
+	if !a.CutInterior() {
+		t.Fatal("expected an interior min cut across the bridge")
+	}
+	// The maximal cut's real-node side must contain the left clique and
+	// the bridge interior but not the right clique.
+	for v := 0; v < 4; v++ {
+		if !a.MaximalCut[v] {
+			t.Fatalf("node %d missing from the maximal cut side", v)
+		}
+	}
+	for v := 4; v < n; v++ {
+		if a.MaximalCut[v] {
+			t.Fatalf("node %d unexpectedly on the source side", v)
+		}
+	}
+}
+
+func TestSourceSinkFlows(t *testing.T) {
+	g := graph.ThetaGraph(2, 2)
+	n := g.NumNodes()
+	in := make([]int64, n)
+	out := make([]int64, n)
+	in[0] = 2
+	out[1] = 2
+	a := Analyze(g, in, out, NewPushRelabel())
+	src := a.Ext.SourceFlow(a.MaxFlow)
+	snk := a.Ext.SinkFlow(a.MaxFlow)
+	if src[0] != 2 {
+		t.Fatalf("Φ(s*,0) = %d", src[0])
+	}
+	if snk[1] != 2 {
+		t.Fatalf("Φ(1,d*) = %d", snk[1])
+	}
+	ef := a.Ext.EdgeFlow(a.MaxFlow)
+	var across int64
+	for _, f := range ef {
+		if f < -1 || f > 1 {
+			t.Fatalf("edge flow %d out of [-1,1]", f)
+		}
+		if f != 0 {
+			across++
+		}
+	}
+	if across != 4 { // 2 paths × 2 edges
+		t.Fatalf("flow uses %d edges, want 4", across)
+	}
+}
+
+func TestSDPaths(t *testing.T) {
+	g := graph.ThetaGraph(3, 3)
+	n := g.NumNodes()
+	in := make([]int64, n)
+	out := make([]int64, n)
+	in[0] = 3
+	out[1] = 3
+	a := Analyze(g, in, out, NewPushRelabel())
+	paths := a.Ext.SDPaths(a.MaxFlow)
+	var total int64
+	for _, p := range paths {
+		total += p.Amount
+		if p.Nodes[0] != 0 {
+			t.Fatalf("path does not start at the source: %v", p.Nodes)
+		}
+		if p.Nodes[len(p.Nodes)-1] != 1 {
+			t.Fatalf("path does not end at the sink: %v", p.Nodes)
+		}
+		if len(p.Nodes) != 4 { // 0, two interior, 1
+			t.Fatalf("path length %d, want 4: %v", len(p.Nodes), p.Nodes)
+		}
+	}
+	if total != 3 {
+		t.Fatalf("decomposed %d units, want 3", total)
+	}
+}
+
+func TestSDPathsSourceIsSink(t *testing.T) {
+	// A node that is both source and destination: flow s*→v→d*.
+	g := graph.Line(2)
+	in := []int64{3, 0}
+	out := []int64{3, 0}
+	a := Analyze(g, in, out, NewPushRelabel())
+	if a.Feasibility == Infeasible {
+		t.Fatalf("self-serving node should be feasible")
+	}
+	paths := a.Ext.SDPaths(a.MaxFlow)
+	if len(paths) != 1 || paths[0].Amount != 3 || len(paths[0].Nodes) != 1 {
+		t.Fatalf("paths = %+v", paths)
+	}
+}
+
+func TestExtendPanics(t *testing.T) {
+	g := graph.Line(3)
+	for i, f := range []func(){
+		func() { Extend(g, []int64{1, 0}, []int64{0, 0, 1}, nil) },
+		func() { Extend(g, []int64{-1, 0, 0}, []int64{0, 0, 1}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: classification is consistent across all three solvers on
+// random networks with random roles.
+func TestQuickClassifyAgreement(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		r := rng.New(seed)
+		n := int(nRaw%8) + 3
+		g := graph.RandomMultigraph(n, n+r.IntN(2*n), r)
+		in := make([]int64, n)
+		out := make([]int64, n)
+		in[r.IntN(n)] = 1 + r.Int64N(3)
+		d := r.IntN(n)
+		out[d] = 1 + r.Int64N(3)
+		var a0 *Analysis
+		for _, s := range Solvers() {
+			a := Analyze(g, in, out, s)
+			if a0 == nil {
+				a0 = a
+			} else if a.Feasibility != a0.Feasibility ||
+				a.MaxFlow.Value != a0.MaxFlow.Value || a.FStar != a0.FStar {
+				t.Logf("solver %s disagrees: %v/%d/%d vs %v/%d/%d", s.Name(),
+					a.Feasibility, a.MaxFlow.Value, a.FStar,
+					a0.Feasibility, a0.MaxFlow.Value, a0.FStar)
+				return false
+			}
+		}
+		// Invariants: feasible ⇒ rate ≤ f*; infeasible ⇒ rate > flow.
+		if a0.Feasibility != Infeasible && a0.ArrivalRate > a0.FStar {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: decomposition of the G* flow always accounts for the full
+// value, and every path respects unit capacity on interior edges.
+func TestQuickDecomposeAccounts(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		r := rng.New(seed)
+		n := int(nRaw%8) + 3
+		g := graph.RandomMultigraph(n, n+r.IntN(2*n), r)
+		in := make([]int64, n)
+		out := make([]int64, n)
+		in[0] = 1 + r.Int64N(4)
+		out[n-1] = 1 + r.Int64N(4)
+		ext := Extend(g, in, out, nil)
+		res := NewPushRelabel().MaxFlow(ext.P)
+		paths := Decompose(res)
+		var total int64
+		for _, p := range paths {
+			total += p.Amount
+			if p.Nodes[0] != ext.P.S || p.Nodes[len(p.Nodes)-1] != ext.P.T {
+				return false
+			}
+		}
+		return total == res.Value
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,41 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode hardens the text codec: arbitrary input must either fail
+// cleanly or produce a graph that validates and round-trips.
+func FuzzDecode(f *testing.F) {
+	f.Add("nodes 3\nedge 0 1\nedge 1 2 2\n")
+	f.Add("# comment\nnodes 1\n")
+	f.Add("nodes 2\nedge 0 0\n")
+	f.Add("edge 1 2\n")
+	f.Add("nodes -5\n")
+	f.Add("nodes 2\nedge 0 1 999999\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			return
+		}
+		g, err := Decode(strings.NewReader(input))
+		if err != nil {
+			return // clean rejection
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("decoded graph fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, g); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		h, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if h.NumNodes() != g.NumNodes() || h.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed the graph: %v vs %v", h, g)
+		}
+	})
+}

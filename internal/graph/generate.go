@@ -1,0 +1,272 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// This file contains the topology generators used by the experiment
+// harness. Every generator that needs randomness takes an explicit
+// *rng.Source so experiments are reproducible.
+
+// Line returns the path graph 0—1—…—(n-1).
+func Line(n int) *Multigraph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(NodeID(i), NodeID(i+1))
+	}
+	return g
+}
+
+// Cycle returns the n-cycle (n ≥ 3).
+func Cycle(n int) *Multigraph {
+	if n < 3 {
+		panic("graph: Cycle needs n >= 3")
+	}
+	g := Line(n)
+	g.AddEdge(NodeID(n-1), 0)
+	return g
+}
+
+// Complete returns K_n.
+func Complete(n int) *Multigraph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(NodeID(i), NodeID(j))
+		}
+	}
+	return g
+}
+
+// Star returns a star with one hub (node 0) and n-1 leaves.
+func Star(n int) *Multigraph {
+	if n < 1 {
+		panic("graph: Star needs n >= 1")
+	}
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, NodeID(i))
+	}
+	return g
+}
+
+// Grid returns the rows×cols grid; node (r,c) has id r*cols+c.
+func Grid(rows, cols int) *Multigraph {
+	if rows < 1 || cols < 1 {
+		panic("graph: Grid needs positive dimensions")
+	}
+	g := New(rows * cols)
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// Torus returns the rows×cols grid with wrap-around links (rows, cols ≥ 3
+// to avoid duplicate wrap edges collapsing into parallels unintentionally).
+func Torus(rows, cols int) *Multigraph {
+	if rows < 3 || cols < 3 {
+		panic("graph: Torus needs dimensions >= 3")
+	}
+	g := New(rows * cols)
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.AddEdge(id(r, c), id(r, (c+1)%cols))
+			g.AddEdge(id(r, c), id((r+1)%rows, c))
+		}
+	}
+	return g
+}
+
+// GNP returns an Erdős–Rényi G(n, p) simple graph.
+func GNP(n int, p float64, r *rng.Source) *Multigraph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Bool(p) {
+				g.AddEdge(NodeID(i), NodeID(j))
+			}
+		}
+	}
+	return g
+}
+
+// ConnectedGNP returns G(n, p) conditioned on connectivity: it first draws
+// a uniform random spanning tree skeleton (random attachment) and then
+// adds each remaining pair independently with probability p.
+func ConnectedGNP(n int, p float64, r *rng.Source) *Multigraph {
+	if n < 1 {
+		panic("graph: ConnectedGNP needs n >= 1")
+	}
+	g := New(n)
+	present := make(map[[2]NodeID]bool)
+	for i := 1; i < n; i++ {
+		j := NodeID(r.IntN(i))
+		g.AddEdge(NodeID(i), j)
+		present[[2]NodeID{j, NodeID(i)}] = true
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			k := [2]NodeID{NodeID(i), NodeID(j)}
+			if !present[k] && r.Bool(p) {
+				g.AddEdge(NodeID(i), NodeID(j))
+			}
+		}
+	}
+	return g
+}
+
+// RandomMultigraph returns a connected multigraph with n nodes and exactly
+// m ≥ n-1 edges: a random spanning tree plus m-(n-1) uniformly random
+// (possibly parallel) extra edges.
+func RandomMultigraph(n, m int, r *rng.Source) *Multigraph {
+	if n < 1 {
+		panic("graph: RandomMultigraph needs n >= 1")
+	}
+	if m < n-1 {
+		panic(fmt.Sprintf("graph: RandomMultigraph needs m >= n-1 (%d < %d)", m, n-1))
+	}
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(NodeID(i), NodeID(r.IntN(i)))
+	}
+	for g.NumEdges() < m {
+		u := NodeID(r.IntN(n))
+		v := NodeID(r.IntN(n))
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Barbell returns two cliques of size k joined by a path of bridgeLen
+// edges — the canonical bottleneck topology. Node ids: left clique
+// [0,k), path interior, right clique at the end. The left-most clique
+// node is 0 and the right-most clique node is NumNodes-1.
+func Barbell(k, bridgeLen int) *Multigraph {
+	if k < 1 || bridgeLen < 1 {
+		panic("graph: Barbell needs k >= 1 and bridgeLen >= 1")
+	}
+	interior := bridgeLen - 1
+	n := 2*k + interior
+	g := New(n)
+	// left clique [0,k)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			g.AddEdge(NodeID(i), NodeID(j))
+		}
+	}
+	// right clique [k+interior, n)
+	for i := k + interior; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(NodeID(i), NodeID(j))
+		}
+	}
+	// bridge from node k-1 through interior nodes to node k+interior
+	prev := NodeID(k - 1)
+	for i := 0; i < interior; i++ {
+		g.AddEdge(prev, NodeID(k+i))
+		prev = NodeID(k + i)
+	}
+	g.AddEdge(prev, NodeID(k+interior))
+	return g
+}
+
+// Layered returns a layered graph: `layers` layers of `width` nodes each;
+// every node of layer i is joined to each node of layer i+1 independently
+// with probability p (at least one forward edge per node is forced so the
+// graph stays connected layer to layer). Node id = layer*width + pos.
+func Layered(layers, width int, p float64, r *rng.Source) *Multigraph {
+	if layers < 1 || width < 1 {
+		panic("graph: Layered needs positive dimensions")
+	}
+	g := New(layers * width)
+	id := func(l, w int) NodeID { return NodeID(l*width + w) }
+	for l := 0; l+1 < layers; l++ {
+		for w := 0; w < width; w++ {
+			linked := false
+			for w2 := 0; w2 < width; w2++ {
+				if r.Bool(p) {
+					g.AddEdge(id(l, w), id(l+1, w2))
+					linked = true
+				}
+			}
+			if !linked {
+				g.AddEdge(id(l, w), id(l+1, r.IntN(width)))
+			}
+		}
+	}
+	return g
+}
+
+// RandomGeometric places n nodes uniformly in the unit square and joins
+// pairs at Euclidean distance ≤ radius. A wireless-style topology for the
+// interference experiments. It returns the graph and the positions.
+func RandomGeometric(n int, radius float64, r *rng.Source) (*Multigraph, [][2]float64) {
+	g := New(n)
+	pos := make([][2]float64, n)
+	for i := range pos {
+		pos[i] = [2]float64{r.Float64(), r.Float64()}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := pos[i][0] - pos[j][0]
+			dy := pos[i][1] - pos[j][1]
+			if math.Hypot(dx, dy) <= radius {
+				g.AddEdge(NodeID(i), NodeID(j))
+			}
+		}
+	}
+	return g, pos
+}
+
+// Thicken adds `extra` parallel copies of uniformly chosen existing edges,
+// turning a simple graph into a proper multigraph. It panics if g has no
+// edges and extra > 0.
+func Thicken(g *Multigraph, extra int, r *rng.Source) *Multigraph {
+	if extra > 0 && g.NumEdges() == 0 {
+		panic("graph: Thicken on an edgeless graph")
+	}
+	c := g.Clone()
+	base := g.NumEdges()
+	for i := 0; i < extra; i++ {
+		e := g.EdgeByID(EdgeID(r.IntN(base)))
+		c.AddEdge(e.U, e.V)
+	}
+	return c
+}
+
+// ThetaGraph returns two terminal nodes joined by `paths` internally
+// disjoint paths of the given length (edges per path, ≥ 1). Terminals are
+// node 0 (left) and node 1 (right). The max-flow between the terminals is
+// exactly `paths`, which makes this family convenient for calibrating
+// feasibility experiments.
+func ThetaGraph(paths, length int) *Multigraph {
+	if paths < 1 || length < 1 {
+		panic("graph: ThetaGraph needs positive parameters")
+	}
+	g := New(2)
+	for p := 0; p < paths; p++ {
+		prev := NodeID(0)
+		for h := 1; h < length; h++ {
+			v := g.AddNodes(1)
+			g.AddEdge(prev, v)
+			prev = v
+		}
+		g.AddEdge(prev, 1)
+	}
+	return g
+}

@@ -1,0 +1,345 @@
+// Package graph implements the multigraph substrate the paper's
+// S-D-networks are modelled on (Section II: "Let G = (V, E) be a multigraph
+// modeling the considered network").
+//
+// Graphs are undirected multigraphs: parallel edges are allowed and
+// meaningful (each parallel edge can carry one packet per time step), and
+// self-loops are rejected (a self-loop can never satisfy the strict
+// gradient condition q(u) > q(u) and would only distort degree bounds).
+//
+// The representation is a flat edge list plus per-node incidence lists,
+// which is the access pattern the LGG protocol needs: a node inspects the
+// queues of the endpoints of its incident edges.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node; nodes are the integers [0, NumNodes).
+type NodeID int32
+
+// EdgeID identifies an edge; edges are the integers [0, NumEdges) in
+// insertion order.
+type EdgeID int32
+
+// Edge is an undirected edge between U and V. For parallel edges, several
+// Edge values share the same endpoints but have distinct EdgeIDs.
+type Edge struct {
+	U, V NodeID
+}
+
+// Other returns the endpoint of e opposite to x. It panics if x is not an
+// endpoint of e.
+func (e Edge) Other(x NodeID) NodeID {
+	switch x {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: node %d is not an endpoint of edge %v", x, e))
+}
+
+// Incidence records one incident edge of a node: the edge id and the
+// neighbour at its far end.
+type Incidence struct {
+	Edge EdgeID
+	Peer NodeID
+}
+
+// Multigraph is an undirected multigraph. The zero value is an empty graph
+// with no nodes; use New or AddNodes to size it.
+type Multigraph struct {
+	edges []Edge
+	inc   [][]Incidence
+}
+
+// New returns a multigraph with n isolated nodes.
+func New(n int) *Multigraph {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Multigraph{inc: make([][]Incidence, n)}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Multigraph) NumNodes() int { return len(g.inc) }
+
+// NumEdges returns the number of edges (counting parallels separately).
+func (g *Multigraph) NumEdges() int { return len(g.edges) }
+
+// AddNodes appends k isolated nodes and returns the id of the first one.
+func (g *Multigraph) AddNodes(k int) NodeID {
+	if k < 0 {
+		panic("graph: negative node count")
+	}
+	first := NodeID(len(g.inc))
+	g.inc = append(g.inc, make([][]Incidence, k)...)
+	return first
+}
+
+// AddEdge inserts an undirected edge {u, v} and returns its id. Parallel
+// edges are allowed; self-loops are not.
+func (g *Multigraph) AddEdge(u, v NodeID) EdgeID {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at node %d", u))
+	}
+	id := EdgeID(len(g.edges))
+	g.edges = append(g.edges, Edge{U: u, V: v})
+	g.inc[u] = append(g.inc[u], Incidence{Edge: id, Peer: v})
+	g.inc[v] = append(g.inc[v], Incidence{Edge: id, Peer: u})
+	return id
+}
+
+// AddEdges inserts c parallel edges {u, v} and returns the first id.
+func (g *Multigraph) AddEdges(u, v NodeID, c int) EdgeID {
+	if c <= 0 {
+		panic("graph: non-positive parallel edge count")
+	}
+	first := g.AddEdge(u, v)
+	for i := 1; i < c; i++ {
+		g.AddEdge(u, v)
+	}
+	return first
+}
+
+func (g *Multigraph) check(v NodeID) {
+	if v < 0 || int(v) >= len(g.inc) {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", v, len(g.inc)))
+	}
+}
+
+// EdgeByID returns the edge with the given id.
+func (g *Multigraph) EdgeByID(id EdgeID) Edge {
+	return g.edges[id]
+}
+
+// Edges returns the edge list. The returned slice is shared with the
+// graph; callers must not modify it.
+func (g *Multigraph) Edges() []Edge { return g.edges }
+
+// Incident returns the incidence list of v. The returned slice is shared
+// with the graph; callers must not modify it.
+func (g *Multigraph) Incident(v NodeID) []Incidence {
+	g.check(v)
+	return g.inc[v]
+}
+
+// Degree returns the degree of v, counting parallel edges with
+// multiplicity (this is the |Γ(v)| of the paper's Δ bound: each incident
+// link can deliver one packet per step).
+func (g *Multigraph) Degree(v NodeID) int {
+	g.check(v)
+	return len(g.inc[v])
+}
+
+// MaxDegree returns Δ = max_v deg(v), or 0 for an empty graph.
+func (g *Multigraph) MaxDegree() int {
+	max := 0
+	for _, l := range g.inc {
+		if len(l) > max {
+			max = len(l)
+		}
+	}
+	return max
+}
+
+// Multiplicity returns the number of parallel edges between u and v.
+func (g *Multigraph) Multiplicity(u, v NodeID) int {
+	g.check(u)
+	g.check(v)
+	m := 0
+	for _, in := range g.inc[u] {
+		if in.Peer == v {
+			m++
+		}
+	}
+	return m
+}
+
+// Neighbors returns the distinct neighbours of v in ascending order.
+func (g *Multigraph) Neighbors(v NodeID) []NodeID {
+	g.check(v)
+	seen := map[NodeID]bool{}
+	var out []NodeID
+	for _, in := range g.inc[v] {
+		if !seen[in.Peer] {
+			seen[in.Peer] = true
+			out = append(out, in.Peer)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Multigraph) Clone() *Multigraph {
+	c := &Multigraph{
+		edges: append([]Edge(nil), g.edges...),
+		inc:   make([][]Incidence, len(g.inc)),
+	}
+	for i, l := range g.inc {
+		c.inc[i] = append([]Incidence(nil), l...)
+	}
+	return c
+}
+
+// Validate checks internal consistency (incidence lists agree with the
+// edge list). It returns nil if the graph is well formed; it exists for
+// tests and for graphs built by external decoders.
+func (g *Multigraph) Validate() error {
+	counts := make([]int, len(g.inc))
+	for id, e := range g.edges {
+		if e.U < 0 || int(e.U) >= len(g.inc) || e.V < 0 || int(e.V) >= len(g.inc) {
+			return fmt.Errorf("graph: edge %d endpoints %v out of range", id, e)
+		}
+		if e.U == e.V {
+			return fmt.Errorf("graph: edge %d is a self-loop at %d", id, e.U)
+		}
+		counts[e.U]++
+		counts[e.V]++
+	}
+	for v, l := range g.inc {
+		if len(l) != counts[v] {
+			return fmt.Errorf("graph: node %d incidence length %d, want %d", v, len(l), counts[v])
+		}
+		for _, in := range l {
+			if int(in.Edge) >= len(g.edges) {
+				return fmt.Errorf("graph: node %d references unknown edge %d", v, in.Edge)
+			}
+			e := g.edges[in.Edge]
+			if (e.U != NodeID(v) || e.V != in.Peer) && (e.V != NodeID(v) || e.U != in.Peer) {
+				return fmt.Errorf("graph: node %d incidence %+v disagrees with edge %v", v, in, e)
+			}
+		}
+	}
+	return nil
+}
+
+// BFS returns the hop distance from src to every node; unreachable nodes
+// get -1.
+func (g *Multigraph) BFS(src NodeID) []int {
+	return g.MultiBFS([]NodeID{src})
+}
+
+// MultiBFS returns, for every node, the hop distance to the nearest of the
+// given sources; unreachable nodes get -1. It is used by the
+// shortest-path-to-sink baseline router.
+func (g *Multigraph) MultiBFS(srcs []NodeID) []int {
+	dist := make([]int, len(g.inc))
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]NodeID, 0, len(srcs))
+	for _, s := range srcs {
+		g.check(s)
+		if dist[s] == -1 {
+			dist[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, in := range g.inc[v] {
+			if dist[in.Peer] == -1 {
+				dist[in.Peer] = dist[v] + 1
+				queue = append(queue, in.Peer)
+			}
+		}
+	}
+	return dist
+}
+
+// Components returns a component label per node (labels are 0,1,… in
+// first-seen order) and the number of components.
+func (g *Multigraph) Components() (label []int, count int) {
+	label = make([]int, len(g.inc))
+	for i := range label {
+		label[i] = -1
+	}
+	for v := range g.inc {
+		if label[v] != -1 {
+			continue
+		}
+		queue := []NodeID{NodeID(v)}
+		label[v] = count
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			for _, in := range g.inc[x] {
+				if label[in.Peer] == -1 {
+					label[in.Peer] = count
+					queue = append(queue, in.Peer)
+				}
+			}
+		}
+		count++
+	}
+	return label, count
+}
+
+// Connected reports whether the graph is connected (an empty graph counts
+// as connected).
+func (g *Multigraph) Connected() bool {
+	_, c := g.Components()
+	return c <= 1
+}
+
+// Diameter returns the largest finite BFS distance between any node pair,
+// or -1 if the graph is disconnected or empty. O(n·(n+m)); intended for
+// the small graphs used in experiments.
+func (g *Multigraph) Diameter() int {
+	n := len(g.inc)
+	if n == 0 {
+		return -1
+	}
+	d := 0
+	for v := 0; v < n; v++ {
+		dist := g.BFS(NodeID(v))
+		for _, x := range dist {
+			if x == -1 {
+				return -1
+			}
+			if x > d {
+				d = x
+			}
+		}
+	}
+	return d
+}
+
+// InducedSubgraph returns the subgraph induced by keep (nodes where
+// keep[v] is true) together with the mapping old→new node id (-1 for
+// dropped nodes). Edges with both endpoints kept are preserved in order.
+func (g *Multigraph) InducedSubgraph(keep []bool) (*Multigraph, []NodeID) {
+	if len(keep) != len(g.inc) {
+		panic("graph: keep mask length mismatch")
+	}
+	remap := make([]NodeID, len(g.inc))
+	n := 0
+	for v, k := range keep {
+		if k {
+			remap[v] = NodeID(n)
+			n++
+		} else {
+			remap[v] = -1
+		}
+	}
+	sub := New(n)
+	for _, e := range g.edges {
+		if keep[e.U] && keep[e.V] {
+			sub.AddEdge(remap[e.U], remap[e.V])
+		}
+	}
+	return sub, remap
+}
+
+// String returns a compact description such as "multigraph(n=5, m=7, Δ=3)".
+func (g *Multigraph) String() string {
+	return fmt.Sprintf("multigraph(n=%d, m=%d, Δ=%d)", g.NumNodes(), g.NumEdges(), g.MaxDegree())
+}

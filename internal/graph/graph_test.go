@@ -1,0 +1,371 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func mustValidate(t *testing.T, g *Multigraph) {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestNewAndAddEdge(t *testing.T) {
+	g := New(3)
+	if g.NumNodes() != 3 || g.NumEdges() != 0 {
+		t.Fatalf("fresh graph n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	id := g.AddEdge(0, 1)
+	if id != 0 {
+		t.Fatalf("first edge id = %d", id)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("m = %d", g.NumEdges())
+	}
+	e := g.EdgeByID(id)
+	if e.U != 0 || e.V != 1 {
+		t.Fatalf("edge = %+v", e)
+	}
+	mustValidate(t, g)
+}
+
+func TestParallelEdges(t *testing.T) {
+	g := New(2)
+	g.AddEdges(0, 1, 3)
+	if g.NumEdges() != 3 {
+		t.Fatalf("m = %d", g.NumEdges())
+	}
+	if g.Multiplicity(0, 1) != 3 || g.Multiplicity(1, 0) != 3 {
+		t.Fatal("multiplicity wrong")
+	}
+	if g.Degree(0) != 3 || g.Degree(1) != 3 {
+		t.Fatal("parallel edges must count toward degree")
+	}
+	if got := g.Neighbors(0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Neighbors = %v", got)
+	}
+	mustValidate(t, g)
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-loop did not panic")
+		}
+	}()
+	New(2).AddEdge(1, 1)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range edge did not panic")
+		}
+	}()
+	New(2).AddEdge(0, 2)
+}
+
+func TestEdgeOther(t *testing.T) {
+	e := Edge{U: 3, V: 7}
+	if e.Other(3) != 7 || e.Other(7) != 3 {
+		t.Fatal("Other wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Other on non-endpoint did not panic")
+		}
+	}()
+	e.Other(5)
+}
+
+func TestAddNodes(t *testing.T) {
+	g := New(2)
+	first := g.AddNodes(3)
+	if first != 2 || g.NumNodes() != 5 {
+		t.Fatalf("AddNodes: first=%d n=%d", first, g.NumNodes())
+	}
+	g.AddEdge(0, 4)
+	mustValidate(t, g)
+}
+
+func TestDegreeAndMaxDegree(t *testing.T) {
+	g := Star(5)
+	if g.Degree(0) != 4 || g.MaxDegree() != 4 {
+		t.Fatalf("star degrees: hub=%d Δ=%d", g.Degree(0), g.MaxDegree())
+	}
+	if New(3).MaxDegree() != 0 {
+		t.Fatal("edgeless Δ != 0")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := Line(4)
+	c := g.Clone()
+	c.AddEdge(0, 3)
+	if g.NumEdges() == c.NumEdges() {
+		t.Fatal("Clone shares edge storage")
+	}
+	mustValidate(t, g)
+	mustValidate(t, c)
+}
+
+func TestBFS(t *testing.T) {
+	g := Line(5)
+	d := g.BFS(0)
+	for i, want := range []int{0, 1, 2, 3, 4} {
+		if d[i] != want {
+			t.Fatalf("BFS dist[%d] = %d, want %d", i, d[i], want)
+		}
+	}
+	// Disconnected
+	g2 := New(3)
+	g2.AddEdge(0, 1)
+	d2 := g2.BFS(0)
+	if d2[2] != -1 {
+		t.Fatalf("unreachable dist = %d", d2[2])
+	}
+}
+
+func TestMultiBFS(t *testing.T) {
+	g := Line(5)
+	d := g.MultiBFS([]NodeID{0, 4})
+	want := []int{0, 1, 2, 1, 0}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("MultiBFS[%d] = %d, want %d", i, d[i], want[i])
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(3, 4)
+	labels, count := g.Components()
+	if count != 3 {
+		t.Fatalf("components = %d", count)
+	}
+	if labels[0] != labels[1] || labels[3] != labels[4] || labels[0] == labels[2] {
+		t.Fatalf("labels = %v", labels)
+	}
+	if g.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if !Line(4).Connected() {
+		t.Fatal("line reported disconnected")
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	if d := Line(5).Diameter(); d != 4 {
+		t.Fatalf("line diameter = %d", d)
+	}
+	if d := Complete(6).Diameter(); d != 1 {
+		t.Fatalf("K6 diameter = %d", d)
+	}
+	g := New(3)
+	g.AddEdge(0, 1)
+	if d := g.Diameter(); d != -1 {
+		t.Fatalf("disconnected diameter = %d", d)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Cycle(5)
+	keep := []bool{true, true, true, false, false}
+	sub, remap := g.InducedSubgraph(keep)
+	if sub.NumNodes() != 3 {
+		t.Fatalf("sub n = %d", sub.NumNodes())
+	}
+	if sub.NumEdges() != 2 { // edges 0-1, 1-2 survive
+		t.Fatalf("sub m = %d", sub.NumEdges())
+	}
+	if remap[3] != -1 || remap[0] != 0 {
+		t.Fatalf("remap = %v", remap)
+	}
+	mustValidate(t, sub)
+}
+
+func TestGenerators(t *testing.T) {
+	r := rng.New(1)
+	cases := []struct {
+		name string
+		g    *Multigraph
+		n, m int
+	}{
+		{"line", Line(6), 6, 5},
+		{"cycle", Cycle(6), 6, 6},
+		{"complete", Complete(5), 5, 10},
+		{"star", Star(7), 7, 6},
+		{"grid", Grid(3, 4), 12, 17},
+		{"torus", Torus(3, 3), 9, 18},
+		{"theta", ThetaGraph(3, 2), 2 + 3, 6},
+	}
+	for _, c := range cases {
+		if c.g.NumNodes() != c.n || c.g.NumEdges() != c.m {
+			t.Errorf("%s: n=%d m=%d, want n=%d m=%d", c.name, c.g.NumNodes(), c.g.NumEdges(), c.n, c.m)
+		}
+		mustValidate(t, c.g)
+		if !c.g.Connected() {
+			t.Errorf("%s: not connected", c.name)
+		}
+	}
+	_ = r
+}
+
+func TestGNP(t *testing.T) {
+	r := rng.New(2)
+	g := GNP(20, 0.5, r)
+	mustValidate(t, g)
+	if g.NumEdges() < 50 || g.NumEdges() > 140 {
+		t.Fatalf("G(20,0.5) edges = %d, improbable", g.NumEdges())
+	}
+	if GNP(10, 0, rng.New(1)).NumEdges() != 0 {
+		t.Fatal("G(n,0) has edges")
+	}
+	if GNP(10, 1, rng.New(1)).NumEdges() != 45 {
+		t.Fatal("G(10,1) is not complete")
+	}
+}
+
+func TestConnectedGNP(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		g := ConnectedGNP(15, 0.05, rng.New(seed))
+		mustValidate(t, g)
+		if !g.Connected() {
+			t.Fatalf("seed %d: not connected", seed)
+		}
+	}
+}
+
+func TestRandomMultigraph(t *testing.T) {
+	g := RandomMultigraph(8, 20, rng.New(3))
+	mustValidate(t, g)
+	if g.NumNodes() != 8 || g.NumEdges() != 20 {
+		t.Fatalf("n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	if !g.Connected() {
+		t.Fatal("not connected")
+	}
+}
+
+func TestBarbell(t *testing.T) {
+	g := Barbell(4, 3)
+	mustValidate(t, g)
+	if g.NumNodes() != 10 { // 4 + 2 interior + 4
+		t.Fatalf("n = %d", g.NumNodes())
+	}
+	if !g.Connected() {
+		t.Fatal("barbell disconnected")
+	}
+	// Bridge interior nodes have degree 2.
+	if g.Degree(4) != 2 || g.Degree(5) != 2 {
+		t.Fatalf("bridge degrees: %d %d", g.Degree(4), g.Degree(5))
+	}
+}
+
+func TestLayered(t *testing.T) {
+	g := Layered(4, 3, 0.4, rng.New(5))
+	mustValidate(t, g)
+	if g.NumNodes() != 12 {
+		t.Fatalf("n = %d", g.NumNodes())
+	}
+	// every node in a non-final layer has at least one forward edge
+	for l := 0; l < 3; l++ {
+		for w := 0; w < 3; w++ {
+			if g.Degree(NodeID(l*3+w)) == 0 {
+				t.Fatalf("node (%d,%d) isolated", l, w)
+			}
+		}
+	}
+}
+
+func TestRandomGeometric(t *testing.T) {
+	g, pos := RandomGeometric(30, 0.4, rng.New(7))
+	mustValidate(t, g)
+	if len(pos) != 30 {
+		t.Fatalf("positions = %d", len(pos))
+	}
+	g2, _ := RandomGeometric(30, 1.5, rng.New(7))
+	if g2.NumEdges() != 30*29/2 {
+		t.Fatal("radius > sqrt2 should give a complete graph")
+	}
+}
+
+func TestThicken(t *testing.T) {
+	g := Line(4)
+	h := Thicken(g, 5, rng.New(9))
+	mustValidate(t, h)
+	if h.NumEdges() != g.NumEdges()+5 {
+		t.Fatalf("thickened m = %d", h.NumEdges())
+	}
+	if g.NumEdges() != 3 {
+		t.Fatal("Thicken mutated its input")
+	}
+}
+
+func TestThetaGraphFlowStructure(t *testing.T) {
+	g := ThetaGraph(4, 3)
+	mustValidate(t, g)
+	if g.Degree(0) != 4 || g.Degree(1) != 4 {
+		t.Fatalf("terminal degrees %d %d", g.Degree(0), g.Degree(1))
+	}
+}
+
+// Property: every generated random multigraph validates and node degrees
+// sum to 2m.
+func TestQuickDegreeSum(t *testing.T) {
+	f := func(seed uint64, nRaw, extraRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		m := n - 1 + int(extraRaw%30)
+		g := RandomMultigraph(n, m, rng.New(seed))
+		if g.Validate() != nil {
+			return false
+		}
+		sum := 0
+		for v := 0; v < n; v++ {
+			sum += g.Degree(NodeID(v))
+		}
+		return sum == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: InducedSubgraph never keeps an edge with a dropped endpoint.
+func TestQuickInducedSubgraph(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, mask uint32) bool {
+		n := int(nRaw%12) + 2
+		g := RandomMultigraph(n, n+4, rng.New(seed))
+		keep := make([]bool, n)
+		for i := range keep {
+			keep[i] = mask&(1<<uint(i)) != 0
+		}
+		sub, remap := g.InducedSubgraph(keep)
+		if sub.Validate() != nil {
+			return false
+		}
+		want := 0
+		for _, e := range g.Edges() {
+			if keep[e.U] && keep[e.V] {
+				want++
+			}
+		}
+		kept := 0
+		for _, k := range keep {
+			if k {
+				kept++
+			}
+		}
+		_ = remap
+		return sub.NumEdges() == want && sub.NumNodes() == kept
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file implements a small text codec and a Graphviz DOT exporter.
+//
+// The text format is line oriented:
+//
+//	# comment
+//	nodes <n>
+//	edge <u> <v> [count]
+//
+// It is used by cmd/lgggen and cmd/lggflow to pass graphs between tools.
+
+// Encode writes g in the text format.
+func Encode(w io.Writer, g *Multigraph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "nodes %d\n", g.NumNodes()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "edge %d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode parses the text format produced by Encode. Unknown directives,
+// bad node ids and malformed lines are reported with their line number.
+func Decode(r io.Reader) (*Multigraph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var g *Multigraph
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "nodes":
+			if g != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate nodes directive", line)
+			}
+			var n int
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: nodes wants 1 argument", line)
+			}
+			// 4M-node cap: hostile inputs must not trigger unbounded
+			// allocation.
+			if _, err := fmt.Sscanf(fields[1], "%d", &n); err != nil || n < 0 || n > 1<<22 {
+				return nil, fmt.Errorf("graph: line %d: bad node count %q", line, fields[1])
+			}
+			g = New(n)
+		case "edge":
+			if g == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before nodes", line)
+			}
+			if len(fields) != 3 && len(fields) != 4 {
+				return nil, fmt.Errorf("graph: line %d: edge wants 2 or 3 arguments", line)
+			}
+			var u, v int
+			if _, err := fmt.Sscanf(fields[1], "%d", &u); err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad node %q", line, fields[1])
+			}
+			if _, err := fmt.Sscanf(fields[2], "%d", &v); err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad node %q", line, fields[2])
+			}
+			count := 1
+			if len(fields) == 4 {
+				if _, err := fmt.Sscanf(fields[3], "%d", &count); err != nil || count < 1 || count > 1<<20 {
+					return nil, fmt.Errorf("graph: line %d: bad count %q", line, fields[3])
+				}
+			}
+			if u < 0 || u >= g.NumNodes() || v < 0 || v >= g.NumNodes() {
+				return nil, fmt.Errorf("graph: line %d: edge %d-%d out of range", line, u, v)
+			}
+			if u == v {
+				return nil, fmt.Errorf("graph: line %d: self-loop at %d", line, u)
+			}
+			g.AddEdges(NodeID(u), NodeID(v), count)
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: missing nodes directive")
+	}
+	return g, nil
+}
+
+// DOT writes g in Graphviz format. The optional label function, if
+// non-nil, supplies a per-node label (for marking sources/sinks).
+func DOT(w io.Writer, g *Multigraph, label func(NodeID) string) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "graph G {"); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		l := ""
+		if label != nil {
+			l = label(NodeID(v))
+		}
+		if l != "" {
+			fmt.Fprintf(bw, "  %d [label=%q];\n", v, l)
+		} else {
+			fmt.Fprintf(bw, "  %d;\n", v)
+		}
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "  %d -- %d;\n", e.U, e.V)
+	}
+	if _, err := fmt.Fprintln(bw, "}"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	g := RandomMultigraph(7, 15, rng.New(4))
+	var buf bytes.Buffer
+	if err := Encode(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumNodes() != g.NumNodes() || h.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: n=%d m=%d, want n=%d m=%d",
+			h.NumNodes(), h.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for i, e := range g.Edges() {
+		if h.Edges()[i] != e {
+			t.Fatalf("edge %d differs: %v vs %v", i, h.Edges()[i], e)
+		}
+	}
+}
+
+func TestDecodeCountsAndComments(t *testing.T) {
+	in := `# a comment
+nodes 3
+
+edge 0 1 2
+edge 1 2
+`
+	g, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	if g.Multiplicity(0, 1) != 2 {
+		t.Fatal("count argument ignored")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		"",                        // no nodes directive
+		"edge 0 1",                // edge before nodes
+		"nodes 2\nnodes 3",        // duplicate nodes
+		"nodes -1",                // bad count
+		"nodes x",                 // unparsable
+		"nodes 2\nedge 0 5",       // out of range
+		"nodes 2\nedge 0 0",       // self loop
+		"nodes 2\nedge 0 1 0",     // bad multiplicity
+		"nodes 2\nbogus 1 2",      // unknown directive
+		"nodes 2\nedge 0",         // short edge
+		"nodes 2\nedge 0 1 2 3 4", // long edge
+		"nodes",                   // short nodes
+	}
+	for _, in := range cases {
+		if _, err := Decode(strings.NewReader(in)); err == nil {
+			t.Errorf("Decode(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := Line(3)
+	var buf bytes.Buffer
+	err := DOT(&buf, g, func(v NodeID) string {
+		if v == 0 {
+			return "src"
+		}
+		return ""
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"graph G {", `0 [label="src"]`, "0 -- 1;", "1 -- 2;", "}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDOTNilLabel(t *testing.T) {
+	var buf bytes.Buffer
+	if err := DOT(&buf, Cycle(3), nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2 -- 0;") {
+		t.Fatalf("DOT output:\n%s", buf.String())
+	}
+}

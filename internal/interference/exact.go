@@ -1,0 +1,151 @@
+package interference
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// ExactScheduler computes a maximum-weight compatible subset of the
+// planned sends — the literal "oracle providing an optimal set E_t" of
+// Conjecture 5 — by branch and bound over the conflict graph, with the
+// queue gradient q(from) − q'(to) as the link weight (the quantity the
+// max-weight scheduling literature, e.g. Tassiulas–Ephremides, optimizes).
+//
+// The search is exponential in the worst case; beyond MaxSends candidate
+// links it falls back to the gradient-greedy 1/2-approximation. That
+// makes it usable both as a drop-in core.Interference for small networks
+// and as a test oracle for the greedy schedulers.
+type ExactScheduler struct {
+	Model Model
+	// MaxSends caps the exact search (default 24 when 0).
+	MaxSends int
+
+	fallback *Scheduler
+}
+
+// NewExact returns the exact oracle for the model.
+func NewExact(m Model) *ExactScheduler { return &ExactScheduler{Model: m} }
+
+// Name implements core.Interference.
+func (s *ExactScheduler) Name() string { return fmt.Sprintf("%s/exact", s.Model) }
+
+// Filter implements core.Interference.
+func (s *ExactScheduler) Filter(sn *core.Snapshot, sends []core.Send) []core.Send {
+	limit := s.MaxSends
+	if limit <= 0 {
+		limit = 24
+	}
+	if len(sends) > limit {
+		if s.fallback == nil {
+			s.fallback = NewOracle(s.Model)
+		}
+		return s.fallback.Filter(sn, sends)
+	}
+	best, _ := ExactMaxWeight(s.Model, sn, sends)
+	// Copy back into the caller's buffer (the engine reuses it).
+	n := copy(sends, best)
+	return sends[:n]
+}
+
+// ExactMaxWeight returns a maximum-weight compatible subset of sends and
+// its total weight. Weights are the declared-queue gradients clamped at
+// zero (a non-positive-gradient link never increases the objective, but
+// may still be selected at weight 0 when it conflicts with nothing).
+func ExactMaxWeight(m Model, sn *core.Snapshot, sends []core.Send) ([]core.Send, int64) {
+	g := sn.Spec.G
+	type cand struct {
+		send core.Send
+		w    int64
+	}
+	cands := make([]cand, 0, len(sends))
+	for _, s := range sends {
+		w := sn.Q[s.From] - sn.Declared[s.To(g)]
+		if w < 0 {
+			w = 0
+		}
+		cands = append(cands, cand{send: s, w: w})
+	}
+	// Descending weight order makes the bound tight early.
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].w > cands[j].w })
+
+	// suffix[i] = total weight of cands[i:] — the optimistic bound.
+	suffix := make([]int64, len(cands)+1)
+	for i := len(cands) - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + cands[i].w
+	}
+
+	blocked := make([]bool, g.NumNodes())
+	chosen := make([]int, 0, len(cands))
+	best := make([]int, 0, len(cands))
+	var bestW int64 = -1
+
+	var unblock func(e graph.Edge, saved []graph.NodeID)
+	block := func(e graph.Edge) []graph.NodeID {
+		var saved []graph.NodeID
+		mark := func(v graph.NodeID) {
+			if !blocked[v] {
+				blocked[v] = true
+				saved = append(saved, v)
+			}
+		}
+		mark(e.U)
+		mark(e.V)
+		if m == Distance2 {
+			for _, in := range g.Incident(e.U) {
+				mark(in.Peer)
+			}
+			for _, in := range g.Incident(e.V) {
+				mark(in.Peer)
+			}
+		}
+		return saved
+	}
+	unblock = func(_ graph.Edge, saved []graph.NodeID) {
+		for _, v := range saved {
+			blocked[v] = false
+		}
+	}
+
+	var cur int64
+	var rec func(i int)
+	rec = func(i int) {
+		if cur+suffix[i] <= bestW {
+			return // even taking everything left cannot beat best
+		}
+		if i == len(cands) {
+			if cur > bestW {
+				bestW = cur
+				best = append(best[:0], chosen...)
+			}
+			return
+		}
+		e := g.EdgeByID(cands[i].send.Edge)
+		if !blocked[e.U] && !blocked[e.V] {
+			saved := block(e)
+			chosen = append(chosen, i)
+			cur += cands[i].w
+			rec(i + 1)
+			cur -= cands[i].w
+			chosen = chosen[:len(chosen)-1]
+			unblock(e, saved)
+		}
+		rec(i + 1) // skip cands[i]
+	}
+	rec(0)
+
+	out := make([]core.Send, len(best))
+	for k, i := range best {
+		out[k] = cands[i].send
+	}
+	return out, maxInt64(bestW, 0)
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,178 @@
+package interference
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestExactPicksDominantMiddleLink(t *testing.T) {
+	// Path 0-1-2-3, edges e0={0,1}, e1={1,2}, e2={2,3}. The middle link
+	// conflicts with both outer links; its weight (100) dominates the
+	// outer pair (6 + 7 = 13), so the optimum is {e1} alone.
+	g := graph.Line(4)
+	s := core.NewSpec(g).SetSource(0, 1).SetSink(3, 1)
+	q := []int64{6, 0, 100, 93}
+	sn := &core.Snapshot{Spec: s, Q: q, Declared: q}
+	sends := []core.Send{
+		{Edge: 0, From: 0}, // gradient 6
+		{Edge: 1, From: 2}, // gradient 100
+		{Edge: 2, From: 2}, // gradient 7
+	}
+	picked, w := ExactMaxWeight(NodeExclusive, sn, sends)
+	if w != 100 {
+		t.Fatalf("exact weight = %d, want 100", w)
+	}
+	if len(picked) != 1 || picked[0].Edge != 1 {
+		t.Fatalf("picked = %+v", picked)
+	}
+}
+
+func TestExactPicksOuterPair(t *testing.T) {
+	// Same shape, but now the outer pair (9 + 8 = 17) beats the middle
+	// link (10): exact must take both outer links, while the
+	// heaviest-first greedy takes the middle one and stops at 10.
+	g := graph.Line(4)
+	s := core.NewSpec(g).SetSource(0, 1).SetSink(3, 1)
+	q := []int64{9, 0, 10, 2}
+	sn := &core.Snapshot{Spec: s, Q: q, Declared: q}
+	sends := []core.Send{
+		{Edge: 0, From: 0}, // 9
+		{Edge: 1, From: 2}, // 10
+		{Edge: 2, From: 2}, // 8
+	}
+	picked, w := ExactMaxWeight(NodeExclusive, sn, sends)
+	if w != 17 || len(picked) != 2 {
+		t.Fatalf("exact picked %+v weight %d, want the outer pair at 17", picked, w)
+	}
+	greedy := NewOracle(NodeExclusive).Filter(sn, append([]core.Send(nil), sends...))
+	if len(greedy) != 1 || greedy[0].Edge != 1 {
+		t.Fatalf("greedy should fall into the trap: %+v", greedy)
+	}
+}
+
+func TestExactSimpleTrap(t *testing.T) {
+	// Star with hub 0 and leaves 1..3: all sends leave the hub and
+	// pairwise conflict; exact must take the single heaviest.
+	g := graph.Star(4)
+	s := core.NewSpec(g).SetSource(0, 1).SetSink(1, 1)
+	q := []int64{9, 5, 2, 7}
+	sn := &core.Snapshot{Spec: s, Q: q, Declared: q}
+	sends := []core.Send{{Edge: 0, From: 0}, {Edge: 1, From: 0}, {Edge: 2, From: 0}}
+	picked, w := ExactMaxWeight(NodeExclusive, sn, sends)
+	if w != 7 || len(picked) != 1 { // best gradient: 9−2 = 7 via leaf 2
+		t.Fatalf("picked %+v weight %d, want the gradient-7 link", picked, w)
+	}
+}
+
+func TestExactSchedulerFallsBack(t *testing.T) {
+	g := graph.Complete(10)
+	s := core.NewSpec(g).SetSource(0, 1).SetSink(9, 1)
+	q := make([]int64, 10)
+	for i := range q {
+		q[i] = int64(10 - i)
+	}
+	sn := &core.Snapshot{Spec: s, Q: q, Declared: q}
+	sends := core.NewLGG().Plan(sn, nil)
+	ex := NewExact(NodeExclusive)
+	ex.MaxSends = 4 // force fallback
+	kept := ex.Filter(sn, append([]core.Send(nil), sends...))
+	if !IsCompatible(NodeExclusive, g, kept) {
+		t.Fatal("fallback produced incompatible set")
+	}
+}
+
+func TestExactName(t *testing.T) {
+	if NewExact(NodeExclusive).Name() != "node-exclusive/exact" {
+		t.Fatal(NewExact(NodeExclusive).Name())
+	}
+}
+
+// Property: exact ≥ oracle-greedy ≥ exact/2 (the classic greedy matching
+// guarantee), and both outputs are compatible subsets.
+func TestQuickExactDominatesGreedy(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		r := rng.New(seed)
+		n := int(nRaw%8) + 4
+		g := graph.RandomMultigraph(n, n+r.IntN(n), r)
+		s := core.NewSpec(g).SetSource(0, 1).SetSink(graph.NodeID(n-1), 1)
+		q := make([]int64, n)
+		for i := range q {
+			q[i] = r.Int64N(10)
+		}
+		sn := &core.Snapshot{Spec: s, Q: q, Declared: q}
+		sends := core.NewLGG().Plan(sn, nil)
+		if len(sends) > 18 {
+			sends = sends[:18]
+		}
+		exact, exactW := ExactMaxWeight(NodeExclusive, sn, sends)
+		if !IsCompatible(NodeExclusive, g, exact) {
+			return false
+		}
+		greedy := NewOracle(NodeExclusive).Filter(sn, append([]core.Send(nil), sends...))
+		var greedyW int64
+		for _, snd := range greedy {
+			w := sn.Q[snd.From] - sn.Declared[snd.To(g)]
+			if w > 0 {
+				greedyW += w
+			}
+		}
+		if greedyW > exactW {
+			return false // exact must dominate
+		}
+		return 2*greedyW >= exactW // greedy 1/2 guarantee
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: on tiny instances, branch and bound matches brute force.
+func TestQuickExactMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 6
+		g := graph.RandomMultigraph(n, n+3, r)
+		s := core.NewSpec(g).SetSource(0, 1).SetSink(graph.NodeID(n-1), 1)
+		q := make([]int64, n)
+		for i := range q {
+			q[i] = r.Int64N(8)
+		}
+		sn := &core.Snapshot{Spec: s, Q: q, Declared: q}
+		sends := core.NewLGG().Plan(sn, nil)
+		if len(sends) > 12 {
+			sends = sends[:12]
+		}
+		_, exactW := ExactMaxWeight(NodeExclusive, sn, sends)
+		// brute force over all subsets
+		var bruteW int64
+		for mask := 0; mask < 1<<len(sends); mask++ {
+			var sub []core.Send
+			for i := range sends {
+				if mask&(1<<i) != 0 {
+					sub = append(sub, sends[i])
+				}
+			}
+			if !IsCompatible(NodeExclusive, g, sub) {
+				continue
+			}
+			var w int64
+			for _, snd := range sub {
+				d := sn.Q[snd.From] - sn.Declared[snd.To(g)]
+				if d > 0 {
+					w += d
+				}
+			}
+			if w > bruteW {
+				bruteW = w
+			}
+		}
+		return exactW == bruteW
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

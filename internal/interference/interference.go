@@ -1,0 +1,181 @@
+// Package interference implements the wireless interference models and
+// schedulers of the Conjecture 5 experiments ("to deal with wireless
+// interferences, we have to compute, for each step, the set of pairwise
+// compatible links E_t").
+//
+// Two conflict models are provided:
+//
+//   - NodeExclusive: two links conflict when they share an endpoint
+//     (node-exclusive spectrum sharing, the model of the paper's
+//     reference [2]); compatible sets are matchings.
+//   - Distance2: two links conflict when their endpoints are equal or
+//     adjacent (802.11-style two-hop interference).
+//
+// Two schedulers filter a planned send set to a compatible subset:
+//
+//   - Greedy: keep sends in plan order — a maximal compatible set.
+//   - Oracle: keep sends in descending queue-gradient order — a greedy
+//     max-weight matching, the standard 1/2-approximation of the optimal
+//     scheduler the conjecture postulates (exact on trees and whenever
+//     gradients are uniform).
+package interference
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Model selects the conflict relation between links.
+type Model int
+
+const (
+	// NodeExclusive: links conflict iff they share an endpoint.
+	NodeExclusive Model = iota
+	// Distance2: links conflict iff their endpoint sets are equal,
+	// intersecting, or adjacent in G.
+	Distance2
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	switch m {
+	case NodeExclusive:
+		return "node-exclusive"
+	case Distance2:
+		return "distance-2"
+	}
+	return fmt.Sprintf("Model(%d)", int(m))
+}
+
+// Scheduler filters send sets to compatible subsets under a Model.
+type Scheduler struct {
+	Model Model
+	// ByGradient, when true, admits sends in descending gradient order
+	// (the "oracle" surrogate); otherwise plan order is kept (greedy
+	// maximal).
+	ByGradient bool
+
+	blocked []bool
+	order   []int
+}
+
+// NewGreedy returns a plan-order maximal scheduler for the model.
+func NewGreedy(m Model) *Scheduler { return &Scheduler{Model: m} }
+
+// NewOracle returns the gradient-weighted greedy scheduler for the model.
+func NewOracle(m Model) *Scheduler { return &Scheduler{Model: m, ByGradient: true} }
+
+// Name implements core.Interference.
+func (s *Scheduler) Name() string {
+	kind := "greedy"
+	if s.ByGradient {
+		kind = "oracle"
+	}
+	return fmt.Sprintf("%s/%s", s.Model, kind)
+}
+
+// Filter implements core.Interference. The returned slice reuses the
+// input's backing array.
+func (s *Scheduler) Filter(sn *core.Snapshot, sends []core.Send) []core.Send {
+	g := sn.Spec.G
+	n := g.NumNodes()
+	if cap(s.blocked) < n {
+		s.blocked = make([]bool, n)
+	}
+	blocked := s.blocked[:n]
+	for i := range blocked {
+		blocked[i] = false
+	}
+
+	order := s.order[:0]
+	for i := range sends {
+		order = append(order, i)
+	}
+	if s.ByGradient {
+		sort.SliceStable(order, func(a, b int) bool {
+			return s.gradient(sn, sends[order[a]]) > s.gradient(sn, sends[order[b]])
+		})
+	}
+	s.order = order
+
+	// admit in order; write survivors compactly into sends[:k]
+	admitted := make([]bool, len(sends))
+	for _, i := range order {
+		e := g.EdgeByID(sends[i].Edge)
+		if blocked[e.U] || blocked[e.V] {
+			continue
+		}
+		admitted[i] = true
+		s.block(g, e, blocked)
+	}
+	k := 0
+	for i, send := range sends {
+		if admitted[i] {
+			sends[k] = send
+			k++
+		}
+	}
+	return sends[:k]
+}
+
+func (s *Scheduler) gradient(sn *core.Snapshot, send core.Send) int64 {
+	to := send.To(sn.Spec.G)
+	return sn.Q[send.From] - sn.Declared[to]
+}
+
+// block marks the nodes a newly admitted link makes unusable.
+func (s *Scheduler) block(g *graph.Multigraph, e graph.Edge, blocked []bool) {
+	blocked[e.U] = true
+	blocked[e.V] = true
+	if s.Model == Distance2 {
+		for _, in := range g.Incident(e.U) {
+			blocked[in.Peer] = true
+		}
+		for _, in := range g.Incident(e.V) {
+			blocked[in.Peer] = true
+		}
+	}
+}
+
+// IsCompatible reports whether a send set is pairwise compatible under
+// the model — the invariant the schedulers guarantee; exported for tests
+// and for validating external schedules.
+func IsCompatible(m Model, g *graph.Multigraph, sends []core.Send) bool {
+	for i := range sends {
+		for j := i + 1; j < len(sends); j++ {
+			if conflicts(m, g, sends[i], sends[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func conflicts(m Model, g *graph.Multigraph, a, b core.Send) bool {
+	ea, eb := g.EdgeByID(a.Edge), g.EdgeByID(b.Edge)
+	if shareEndpoint(ea, eb) {
+		return true
+	}
+	if m == Distance2 {
+		return adjacent(g, ea, eb)
+	}
+	return false
+}
+
+func shareEndpoint(a, b graph.Edge) bool {
+	return a.U == b.U || a.U == b.V || a.V == b.U || a.V == b.V
+}
+
+func adjacent(g *graph.Multigraph, a, b graph.Edge) bool {
+	for _, x := range [2]graph.NodeID{a.U, a.V} {
+		for _, in := range g.Incident(x) {
+			if in.Peer == b.U || in.Peer == b.V {
+				return true
+			}
+		}
+	}
+	return false
+}

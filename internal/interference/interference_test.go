@@ -1,0 +1,172 @@
+package interference
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func pathSnapshot(n int, q []int64) (*core.Snapshot, *graph.Multigraph) {
+	g := graph.Line(n)
+	s := core.NewSpec(g).SetSource(0, 1).SetSink(graph.NodeID(n-1), 1)
+	return &core.Snapshot{Spec: s, Q: q, Declared: q}, g
+}
+
+func TestGreedyNodeExclusiveOnPath(t *testing.T) {
+	// Sends on consecutive path edges all conflict pairwise at shared
+	// nodes; the greedy scheduler keeps alternate edges.
+	sn, _ := pathSnapshot(5, []int64{4, 3, 2, 1, 0})
+	sends := []core.Send{
+		{Edge: 0, From: 0}, {Edge: 1, From: 1}, {Edge: 2, From: 2}, {Edge: 3, From: 3},
+	}
+	kept := NewGreedy(NodeExclusive).Filter(sn, sends)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d sends, want 2 (alternating)", len(kept))
+	}
+	if kept[0].Edge != 0 || kept[1].Edge != 2 {
+		t.Fatalf("kept = %+v", kept)
+	}
+	if !IsCompatible(NodeExclusive, sn.Spec.G, kept) {
+		t.Fatal("greedy produced an incompatible set")
+	}
+}
+
+func TestOraclePrefersSteepGradients(t *testing.T) {
+	// Path 0-1-2: edge0 gradient small, edge1 gradient large; they
+	// conflict at node 1. The oracle must keep edge1, the greedy keeps
+	// edge0 (plan order).
+	sn, g := pathSnapshot(3, []int64{2, 9, 0})
+	sends := []core.Send{{Edge: 0, From: 0}, {Edge: 1, From: 1}}
+	_ = g
+	keptG := NewGreedy(NodeExclusive).Filter(sn, append([]core.Send(nil), sends...))
+	if len(keptG) != 1 || keptG[0].Edge != 0 {
+		t.Fatalf("greedy kept %+v", keptG)
+	}
+	keptO := NewOracle(NodeExclusive).Filter(sn, append([]core.Send(nil), sends...))
+	if len(keptO) != 1 || keptO[0].Edge != 1 {
+		t.Fatalf("oracle kept %+v, want the gradient-9 link", keptO)
+	}
+}
+
+func TestDistance2StricterThanNodeExclusive(t *testing.T) {
+	// Path 0-1-2-3: edges 0 and 2 share no endpoint but are adjacent
+	// (nodes 1 and 2 are neighbours): compatible under NodeExclusive,
+	// conflicting under Distance2.
+	sn, g := pathSnapshot(4, []int64{3, 2, 1, 0})
+	sends := []core.Send{{Edge: 0, From: 0}, {Edge: 2, From: 2}}
+	if !IsCompatible(NodeExclusive, g, sends) {
+		t.Fatal("edges 0,2 should be node-exclusive compatible")
+	}
+	if IsCompatible(Distance2, g, sends) {
+		t.Fatal("edges 0,2 should conflict at distance 2")
+	}
+	kept := NewGreedy(Distance2).Filter(sn, sends)
+	if len(kept) != 1 {
+		t.Fatalf("distance-2 greedy kept %d", len(kept))
+	}
+}
+
+func TestParallelEdgesConflict(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdges(0, 1, 2)
+	s := core.NewSpec(g).SetSource(0, 1).SetSink(1, 1)
+	q := []int64{5, 0}
+	sn := &core.Snapshot{Spec: s, Q: q, Declared: q}
+	sends := []core.Send{{Edge: 0, From: 0}, {Edge: 1, From: 0}}
+	kept := NewGreedy(NodeExclusive).Filter(sn, sends)
+	if len(kept) != 1 {
+		t.Fatalf("parallel links must conflict, kept %d", len(kept))
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	sn, _ := pathSnapshot(3, []int64{1, 0, 0})
+	if got := NewGreedy(NodeExclusive).Filter(sn, nil); len(got) != 0 {
+		t.Fatal("empty filter output")
+	}
+	one := []core.Send{{Edge: 0, From: 0}}
+	if got := NewOracle(Distance2).Filter(sn, one); len(got) != 1 {
+		t.Fatal("singleton dropped")
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if NodeExclusive.String() != "node-exclusive" || Distance2.String() != "distance-2" {
+		t.Fatal("model stringer")
+	}
+	if Model(7).String() == "" {
+		t.Fatal("unknown model stringer empty")
+	}
+	if NewGreedy(NodeExclusive).Name() != "node-exclusive/greedy" {
+		t.Fatal(NewGreedy(NodeExclusive).Name())
+	}
+	if NewOracle(Distance2).Name() != "distance-2/oracle" {
+		t.Fatal(NewOracle(Distance2).Name())
+	}
+}
+
+// Property: both schedulers always emit compatible, maximal subsets of
+// the input (maximal: no dropped send could be added back).
+func TestQuickSchedulerSound(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, grad bool) bool {
+		r := rng.New(seed)
+		n := int(nRaw%10) + 3
+		g := graph.RandomMultigraph(n, n+r.IntN(2*n), r)
+		s := core.NewSpec(g).SetSource(0, 1).SetSink(graph.NodeID(n-1), 1)
+		q := make([]int64, n)
+		for i := range q {
+			q[i] = r.Int64N(6)
+		}
+		sn := &core.Snapshot{Spec: s, Q: q, Declared: q}
+		// propose LGG's sends
+		sends := core.NewLGG().Plan(sn, nil)
+		orig := append([]core.Send(nil), sends...)
+		var sch *Scheduler
+		if grad {
+			sch = NewOracle(NodeExclusive)
+		} else {
+			sch = NewGreedy(NodeExclusive)
+		}
+		kept := sch.Filter(sn, sends)
+		if !IsCompatible(NodeExclusive, g, kept) {
+			return false
+		}
+		// kept ⊆ orig
+		inKept := map[core.Send]bool{}
+		for _, k := range kept {
+			inKept[k] = true
+		}
+		inOrig := map[core.Send]bool{}
+		for _, o := range orig {
+			inOrig[o] = true
+		}
+		for _, k := range kept {
+			if !inOrig[k] {
+				return false
+			}
+		}
+		// maximality: every dropped send conflicts with something kept
+		for _, o := range orig {
+			if inKept[o] {
+				continue
+			}
+			ok := false
+			for _, k := range kept {
+				if conflicts(NodeExclusive, g, o, k) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

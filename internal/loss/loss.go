@@ -1,0 +1,95 @@
+// Package loss implements the transmission-loss models of the network
+// semantics ("each link can transmit at most 1 packet, and this packet
+// can be lost without any notification", Section II). The stability
+// theorems must hold under arbitrary losses; experiment E11 couples runs
+// with and without them.
+package loss
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Bernoulli loses every transmitted packet independently with probability
+// P.
+type Bernoulli struct {
+	P float64
+	R *rng.Source
+}
+
+// Name implements core.LossModel.
+func (l *Bernoulli) Name() string { return fmt.Sprintf("bernoulli(p=%g)", l.P) }
+
+// Lost implements core.LossModel.
+func (l *Bernoulli) Lost(_ int64, _ graph.EdgeID, _ graph.NodeID) bool {
+	return l.R.Bool(l.P)
+}
+
+// EdgeTargeted loses packets on a designated edge set with probability P
+// (1 for a hard cut) and never elsewhere — an adversary attacking
+// specific links.
+type EdgeTargeted struct {
+	Edges map[graph.EdgeID]bool
+	P     float64
+	R     *rng.Source
+}
+
+// Name implements core.LossModel.
+func (l *EdgeTargeted) Name() string {
+	return fmt.Sprintf("edge-targeted(%d edges, p=%g)", len(l.Edges), l.P)
+}
+
+// Lost implements core.LossModel.
+func (l *EdgeTargeted) Lost(_ int64, e graph.EdgeID, _ graph.NodeID) bool {
+	if !l.Edges[e] {
+		return false
+	}
+	if l.P >= 1 {
+		return true
+	}
+	return l.R.Bool(l.P)
+}
+
+// Windowed applies loss probability PIn during recurring windows and POut
+// otherwise: steps t with t mod Period < WindowLen are "in the window".
+// It models bursty channel outages.
+type Windowed struct {
+	Period    int64
+	WindowLen int64
+	PIn       float64
+	POut      float64
+	R         *rng.Source
+}
+
+// Name implements core.LossModel.
+func (l *Windowed) Name() string {
+	return fmt.Sprintf("windowed(%d/%d, %g/%g)", l.WindowLen, l.Period, l.PIn, l.POut)
+}
+
+// Lost implements core.LossModel.
+func (l *Windowed) Lost(t int64, _ graph.EdgeID, _ graph.NodeID) bool {
+	if l.Period <= 0 {
+		panic("loss: Windowed needs a positive period")
+	}
+	p := l.POut
+	if t%l.Period < l.WindowLen {
+		p = l.PIn
+	}
+	return l.R.Bool(p)
+}
+
+// Deterministic loses exactly the (step, edge) pairs in its set — the
+// fully scripted adversary used by the domination counterexample search.
+type Deterministic struct {
+	Drops map[[2]int64]bool // key: {t, edge}
+}
+
+// Name implements core.LossModel.
+func (l *Deterministic) Name() string { return fmt.Sprintf("deterministic(%d)", len(l.Drops)) }
+
+// Lost implements core.LossModel.
+func (l *Deterministic) Lost(t int64, e graph.EdgeID, _ graph.NodeID) bool {
+	return l.Drops[[2]int64{t, int64(e)}]
+}

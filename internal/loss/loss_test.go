@@ -1,0 +1,98 @@
+package loss
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestBernoulliRate(t *testing.T) {
+	l := &Bernoulli{P: 0.3, R: rng.New(1)}
+	lost := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if l.Lost(int64(i), 0, 0) {
+			lost++
+		}
+	}
+	if f := float64(lost) / n; math.Abs(f-0.3) > 0.02 {
+		t.Fatalf("loss rate %v, want ~0.3", f)
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	l := &Bernoulli{P: 0, R: rng.New(1)}
+	if l.Lost(0, 0, 0) {
+		t.Fatal("p=0 lost a packet")
+	}
+	l = &Bernoulli{P: 1, R: rng.New(1)}
+	if !l.Lost(0, 0, 0) {
+		t.Fatal("p=1 delivered a packet")
+	}
+}
+
+func TestEdgeTargeted(t *testing.T) {
+	l := &EdgeTargeted{Edges: map[graph.EdgeID]bool{3: true}, P: 1}
+	if l.Lost(0, 2, 0) {
+		t.Fatal("untargeted edge lost")
+	}
+	if !l.Lost(0, 3, 0) {
+		t.Fatal("targeted edge delivered")
+	}
+	// Probabilistic targeting.
+	lp := &EdgeTargeted{Edges: map[graph.EdgeID]bool{1: true}, P: 0.5, R: rng.New(2)}
+	lost := 0
+	for i := 0; i < 2000; i++ {
+		if lp.Lost(int64(i), 1, 0) {
+			lost++
+		}
+	}
+	if lost < 800 || lost > 1200 {
+		t.Fatalf("targeted p=0.5 lost %d/2000", lost)
+	}
+}
+
+func TestWindowed(t *testing.T) {
+	l := &Windowed{Period: 10, WindowLen: 3, PIn: 1, POut: 0, R: rng.New(3)}
+	for tm := int64(0); tm < 40; tm++ {
+		want := tm%10 < 3
+		if got := l.Lost(tm, 0, 0); got != want {
+			t.Fatalf("t=%d: lost=%v, want %v", tm, got, want)
+		}
+	}
+}
+
+func TestWindowedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad Windowed accepted")
+		}
+	}()
+	(&Windowed{Period: 0}).Lost(0, 0, 0)
+}
+
+func TestDeterministic(t *testing.T) {
+	l := &Deterministic{Drops: map[[2]int64]bool{{5, 2}: true}}
+	if l.Lost(5, 1, 0) || l.Lost(4, 2, 0) {
+		t.Fatal("wrong drop fired")
+	}
+	if !l.Lost(5, 2, 0) {
+		t.Fatal("scripted drop missed")
+	}
+}
+
+func TestNames(t *testing.T) {
+	models := []interface{ Name() string }{
+		&Bernoulli{P: 0.1, R: rng.New(1)},
+		&EdgeTargeted{},
+		&Windowed{Period: 5},
+		&Deterministic{},
+	}
+	for _, m := range models {
+		if m.Name() == "" {
+			t.Fatalf("%T has empty name", m)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package lyapunov instruments a running engine with the potential-
+// function accounting at the heart of the paper's proofs. For the network
+// state P_t = Σ_v q_t(v)² (Definition 1), the paper decomposes
+//
+//	P_{t+1} = P_t + Σ_v (q_{t+1}(v) − q_t(v))² + 2·δ_t            (Eq. 1)
+//	δ_t     = Σ_v q_t(v)·(q_{t+1}(v) − q_t(v))                    (Eq. 2 form)
+//	        = Σ_s q_t(s)·in(s) + Σ_{(u,v)∈E_t}(q_t(v) − q_t(u))
+//	          − Σ_d q_t(d)·min{out(d), q_t(d)}                     (Eq. 3, lossless)
+//
+// where q_t is the queue vector right after the injections of step t. The
+// Recorder reconstructs every term from the engine's step trace —
+// including the loss correction the paper's Eq. 3 elides (a packet lost on
+// (u,v) contributes −q_t(u) but no +q_t(v)) — and verifies the identities
+// *exactly* (integer arithmetic, no tolerance) at every step. Experiment
+// E17 runs it across the whole workload suite.
+package lyapunov
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Terms is the exact decomposition of one step's potential change.
+type Terms struct {
+	// T is the step the terms describe (the transition q_T → q_{T+1}).
+	T int64
+	// DeltaP = P_{T+1} − P_T.
+	DeltaP int64
+	// SecondOrder = Σ_v (q_{T+1}(v) − q_T(v))².
+	SecondOrder int64
+	// Delta is δ_T = Σ_v q_T(v)·(q_{T+1}(v) − q_T(v)).
+	Delta int64
+
+	// Component split of δ_T (Eq. 3 generalized to losses):
+	// InjectionTerm = Σ_v q_T(v)·in_{T+1}(v) — next step's injections land
+	// before the snapshot q_{T+1} is taken.
+	InjectionTerm int64
+	// GradientTerm = Σ over delivered sends of (q_T(to) − q_T(from)); LGG
+	// guarantees every summand over truthful links is negative.
+	GradientTerm int64
+	// LossTerm = −Σ over lost sends of q_T(from).
+	LossTerm int64
+	// ExtractionTerm = −Σ_v q_T(v)·extracted_T(v).
+	ExtractionTerm int64
+}
+
+// Check verifies both identities exactly; nil means they hold.
+func (t *Terms) Check() error {
+	if got := t.InjectionTerm + t.GradientTerm + t.LossTerm + t.ExtractionTerm; got != t.Delta {
+		return fmt.Errorf("lyapunov: component sum %d ≠ δ_t %d at t=%d", got, t.Delta, t.T)
+	}
+	if got := 2*t.Delta + t.SecondOrder; got != t.DeltaP {
+		return fmt.Errorf("lyapunov: 2δ+second-order %d ≠ ΔP %d at t=%d", got, t.DeltaP, t.T)
+	}
+	return nil
+}
+
+// Recorder steps an engine while reconstructing the per-step
+// decomposition. It owns the engine's trace buffer; do not enable tracing
+// separately.
+type Recorder struct {
+	eng   *core.Engine
+	trace *core.StepTrace
+
+	havePrev  bool
+	prevQ     []int64 // snapshot q_T
+	prevSends []core.Send
+	prevLost  []bool
+	prevExtr  []int64
+}
+
+// NewRecorder wraps an engine (before any instrumented steps).
+func NewRecorder(e *core.Engine) *Recorder {
+	n := e.Spec.N()
+	return &Recorder{
+		eng:      e,
+		trace:    e.EnableTrace(),
+		prevQ:    make([]int64, n),
+		prevExtr: make([]int64, n),
+	}
+}
+
+// Step advances the engine one step. Once two snapshots are available it
+// returns the Terms of the transition between them (nil on the very first
+// call).
+func (r *Recorder) Step() (core.StepStats, *Terms) {
+	st := r.eng.Step()
+	snap := r.eng.Snapshot() // q of the step just executed (post-injection)
+
+	var terms *Terms
+	if r.havePrev {
+		terms = r.compute(snap.Q, st.T)
+	}
+
+	// Stash this step's snapshot and events for the next transition.
+	copy(r.prevQ, snap.Q)
+	r.prevSends = append(r.prevSends[:0], r.trace.Sends...)
+	r.prevLost = append(r.prevLost[:0], r.trace.Lost...)
+	copy(r.prevExtr, r.trace.Extracted)
+	r.havePrev = true
+	return st, terms
+}
+
+// compute builds the Terms for the transition prevQ → curQ, where curQ is
+// the snapshot of the step whose injections are r.trace.Injected.
+func (r *Recorder) compute(curQ []int64, prevT int64) *Terms {
+	g := r.eng.Spec.G
+	t := &Terms{T: prevT}
+	for v := range curQ {
+		d := curQ[v] - r.prevQ[v]
+		t.DeltaP += curQ[v]*curQ[v] - r.prevQ[v]*r.prevQ[v]
+		t.SecondOrder += d * d
+		t.Delta += r.prevQ[v] * d
+		t.InjectionTerm += r.prevQ[v] * r.trace.Injected[v]
+		t.ExtractionTerm -= r.prevQ[v] * r.prevExtr[v]
+	}
+	for i, s := range r.prevSends {
+		from := s.From
+		to := s.To(g)
+		if r.prevLost[i] {
+			t.LossTerm -= r.prevQ[from]
+		} else {
+			t.GradientTerm += r.prevQ[to] - r.prevQ[from]
+		}
+	}
+	return t
+}
+
+// Audit runs the engine for `steps` steps, checking every transition and
+// returning the worst (largest) δ_t and ΔP seen along with the number of
+// transitions verified. It fails fast on the first identity violation.
+func Audit(e *core.Engine, steps int64) (maxDelta, maxDeltaP int64, verified int64, err error) {
+	r := NewRecorder(e)
+	first := true
+	for i := int64(0); i < steps; i++ {
+		_, terms := r.Step()
+		if terms == nil {
+			continue
+		}
+		if err := terms.Check(); err != nil {
+			return maxDelta, maxDeltaP, verified, err
+		}
+		if first || terms.Delta > maxDelta {
+			maxDelta = terms.Delta
+		}
+		if first || terms.DeltaP > maxDeltaP {
+			maxDeltaP = terms.DeltaP
+		}
+		first = false
+		verified++
+	}
+	return maxDelta, maxDeltaP, verified, nil
+}

@@ -1,0 +1,134 @@
+package lyapunov
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arrivals"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/loss"
+	"repro/internal/rng"
+)
+
+func thetaSpec() *core.Spec {
+	return core.NewSpec(graph.ThetaGraph(3, 2)).SetSource(0, 2).SetSink(1, 3)
+}
+
+func TestIdentityLossless(t *testing.T) {
+	e := core.NewEngine(thetaSpec(), core.NewLGG())
+	maxDelta, maxDeltaP, verified, err := Audit(e, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verified != 499 {
+		t.Fatalf("verified %d transitions, want 499", verified)
+	}
+	// The unsaturated network drains: δ_t cannot stay hugely positive.
+	bound := int64(5 * 5 * 9) // 5nΔ²
+	if maxDeltaP > bound {
+		t.Fatalf("max ΔP %d exceeds Property 1 bound %d", maxDeltaP, bound)
+	}
+	_ = maxDelta
+}
+
+func TestIdentityWithLosses(t *testing.T) {
+	e := core.NewEngine(thetaSpec(), core.NewLGG())
+	e.Loss = &loss.Bernoulli{P: 0.3, R: rng.New(5)}
+	if _, _, _, err := Audit(e, 500); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdentityGeneralizedLying(t *testing.T) {
+	s := thetaSpec()
+	for v := range s.R {
+		if s.In[v] > 0 || s.Out[v] > 0 {
+			s.R[v] = 8
+		}
+	}
+	e := core.NewEngine(s, core.NewLGG())
+	e.Declare = core.DeclareZero{}
+	e.Extract = core.ExtractMin{}
+	if _, _, _, err := Audit(e, 500); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdentityOtherRouters(t *testing.T) {
+	s := thetaSpec()
+	for _, r := range []core.Router{
+		baseline.NewFullGradient(),
+		baseline.NewShortestPath(s),
+		baseline.NewRandomForward(rng.New(6)),
+	} {
+		e := core.NewEngine(s, r)
+		if _, _, _, err := Audit(e, 300); err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+	}
+}
+
+func TestGradientTermNegativeForTruthfulLGG(t *testing.T) {
+	// LGG only ships strictly downhill on truthful declarations, so every
+	// delivered send contributes negatively to the gradient term.
+	e := core.NewEngine(thetaSpec(), core.NewLGG())
+	r := NewRecorder(e)
+	for i := 0; i < 300; i++ {
+		_, terms := r.Step()
+		if terms == nil {
+			continue
+		}
+		if terms.GradientTerm > 0 {
+			t.Fatalf("t=%d: positive gradient term %d under truthful LGG", terms.T, terms.GradientTerm)
+		}
+	}
+}
+
+func TestFirstStepHasNoTerms(t *testing.T) {
+	r := NewRecorder(core.NewEngine(thetaSpec(), core.NewLGG()))
+	if _, terms := r.Step(); terms != nil {
+		t.Fatal("first transition should not produce terms")
+	}
+	if _, terms := r.Step(); terms == nil {
+		t.Fatal("second step should produce terms")
+	}
+}
+
+func TestTermsCheckDetectsCorruption(t *testing.T) {
+	terms := &Terms{DeltaP: 10, SecondOrder: 2, Delta: 4,
+		InjectionTerm: 4, GradientTerm: 0, LossTerm: 0, ExtractionTerm: 0}
+	if err := terms.Check(); err != nil {
+		t.Fatalf("consistent terms rejected: %v", err)
+	}
+	bad := *terms
+	bad.Delta = 5
+	if bad.Check() == nil {
+		t.Fatal("component mismatch accepted")
+	}
+	bad2 := *terms
+	bad2.DeltaP = 11
+	if bad2.Check() == nil {
+		t.Fatal("ΔP mismatch accepted")
+	}
+}
+
+// Property: the identities hold exactly on random networks with random
+// load, losses and thinning.
+func TestQuickIdentityUniversal(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, lossPct, thinPct uint8) bool {
+		r := rng.New(seed)
+		n := int(nRaw%8) + 3
+		g := graph.RandomMultigraph(n, n+r.IntN(2*n), r)
+		s := core.NewSpec(g).SetSource(0, 1+r.Int64N(3)).SetSink(graph.NodeID(n-1), 1+r.Int64N(3))
+		e := core.NewEngine(s, core.NewLGG())
+		e.Loss = &loss.Bernoulli{P: float64(lossPct%100) / 100, R: r.Split(1)}
+		e.Arrivals = &arrivals.Thinned{P: float64(thinPct%101) / 100, R: r.Split(2)}
+		_, _, verified, err := Audit(e, 60)
+		return err == nil && verified == 59
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+package packetsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arrivals"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Little's law L = λW cross-checks the packet engine's three independent
+// meters (time-averaged backlog, throughput, latency) against each other.
+
+func TestLittleLawDeterministicLine(t *testing.T) {
+	// Saturated line: stationary after warmup; L and λW must agree.
+	spec := core.NewSpec(graph.Line(5)).SetSource(0, 1).SetSink(4, 1)
+	pe := New(spec, core.NewLGG())
+	pe.KeepDeliveries = false
+	pe.Run(50000)
+	l, lw := pe.LittleLawGap()
+	if l <= 0 || lw <= 0 {
+		t.Fatalf("degenerate meters: L=%v λW=%v", l, lw)
+	}
+	if math.Abs(l-lw)/l > 0.02 {
+		t.Fatalf("Little's law gap: L=%.4f λW=%.4f", l, lw)
+	}
+}
+
+func TestLittleLawStochastic(t *testing.T) {
+	spec := core.NewSpec(graph.ThetaGraph(3, 2)).SetSource(0, 2).SetSink(1, 3)
+	pe := New(spec, core.NewLGG())
+	pe.KeepDeliveries = false
+	pe.Arrivals = &arrivals.Thinned{P: 0.8, R: rng.New(5)}
+	pe.Run(100000)
+	l, lw := pe.LittleLawGap()
+	if math.Abs(l-lw)/math.Max(l, 1e-9) > 0.05 {
+		t.Fatalf("Little's law gap: L=%.4f λW=%.4f", l, lw)
+	}
+}
+
+func TestLittleLawGapWithLosses(t *testing.T) {
+	// Losses break the delivered-only accounting: packets that die en
+	// route contributed to L but never to λW, so L > λW.
+	spec := core.NewSpec(graph.Line(6)).SetSource(0, 1).SetSink(5, 1)
+	pe := New(spec, core.NewLGG())
+	pe.KeepDeliveries = false
+	pe.Loss = lossEveryNth{n: 4}
+	pe.Run(30000)
+	l, lw := pe.LittleLawGap()
+	if l <= lw {
+		t.Fatalf("expected L > λW under losses: L=%.4f λW=%.4f", l, lw)
+	}
+}
+
+type lossEveryNth struct{ n int64 }
+
+func (l lossEveryNth) Name() string { return "every-nth" }
+func (l lossEveryNth) Lost(t int64, e graph.EdgeID, _ graph.NodeID) bool {
+	return (t+int64(e))%l.n == 0
+}
+
+func TestMeanStoredMatchesManualAverage(t *testing.T) {
+	spec := core.NewSpec(graph.Line(4)).SetSource(0, 1).SetSink(3, 1)
+	pe := New(spec, core.NewLGG())
+	var manual int64
+	const steps = 500
+	for i := 0; i < steps; i++ {
+		pe.Step()
+		manual += pe.Stored()
+	}
+	if got, want := pe.MeanStored(), float64(manual)/steps; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("MeanStored %v vs manual %v", got, want)
+	}
+}
+
+func TestLittleLawEmptyEngine(t *testing.T) {
+	spec := core.NewSpec(graph.Line(2)).SetSource(0, 1).SetSink(1, 1)
+	pe := New(spec, core.NewLGG())
+	if l, lw := pe.LittleLawGap(); l != 0 || lw != 0 {
+		t.Fatal("fresh engine should report zeros")
+	}
+}

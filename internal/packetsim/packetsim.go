@@ -1,0 +1,312 @@
+// Package packetsim is a packet-identity twin of the core engine. Where
+// core.Engine tracks anonymous queue *counts* (all the paper's theory
+// needs), this engine tracks individual packets through FIFO queues, so
+// experiments can measure what the count model cannot: end-to-end
+// latency, hop counts, delivery ratios per source, and the age of the
+// oldest packet in flight.
+//
+// The step semantics are identical to core.Engine — same snapshot
+// planning, same physical validation, same extraction window — and a
+// cross-validation test asserts that, run side by side with the same
+// policies, the two engines produce byte-identical queue-length vectors
+// at every step.
+package packetsim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Packet is one tracked packet.
+type Packet struct {
+	ID   int64
+	Src  graph.NodeID
+	Born int64
+	Hops int32
+}
+
+// Delivery records a packet leaving the network through a sink.
+type Delivery struct {
+	Packet
+	At   graph.NodeID
+	Done int64
+}
+
+// Engine is the packet-level simulator. Construct with New; the pluggable
+// behaviours default to the classical semantics exactly like core.Engine.
+type Engine struct {
+	Spec     *core.Spec
+	Router   core.Router
+	Arrivals core.ArrivalProcess
+	Loss     core.LossModel
+	Declare  core.DeclarePolicy
+	Extract  core.ExtractPolicy
+
+	T      int64
+	queues [][]Packet
+	nextID int64
+
+	// Aggregates (running).
+	Injected  int64
+	Delivered int64
+	Lost      int64
+	// SumStored accumulates the end-of-step backlog, so
+	// SumStored/T is the time-averaged number in system (the L of
+	// Little's law; see MeanStored).
+	SumStored int64
+	// Deliveries holds every completed delivery when KeepDeliveries is
+	// true (default); long unbounded runs may switch it off and rely on
+	// the running aggregates below.
+	KeepDeliveries bool
+	Deliveries     []Delivery
+	SumLatency     int64
+	MaxLatency     int64
+	SumHops        int64
+
+	// scratch
+	inj      []int64
+	snapQ    []int64
+	declared []int64
+	sends    []core.Send
+	edgeUsed []int64
+	sentBy   []int64
+}
+
+// New builds a packet engine with classical defaults.
+func New(spec *core.Spec, router core.Router) *Engine {
+	if err := spec.Validate(); err != nil {
+		panic(fmt.Sprintf("packetsim: invalid spec: %v", err))
+	}
+	n := spec.N()
+	return &Engine{
+		Spec:           spec,
+		Router:         router,
+		Arrivals:       core.ExactArrivals{},
+		Loss:           core.NoLoss{},
+		Declare:        core.DeclareTruth{},
+		Extract:        core.ExtractMax{},
+		KeepDeliveries: true,
+		queues:         make([][]Packet, n),
+		inj:            make([]int64, n),
+		snapQ:          make([]int64, n),
+		declared:       make([]int64, n),
+		sentBy:         make([]int64, n),
+		edgeUsed:       make([]int64, spec.G.NumEdges()),
+	}
+}
+
+// QueueLen returns the current queue length of v.
+func (e *Engine) QueueLen(v graph.NodeID) int64 { return int64(len(e.queues[v])) }
+
+// QueueLens fills out with all queue lengths (len must be N).
+func (e *Engine) QueueLens(out []int64) {
+	for v := range e.queues {
+		out[v] = int64(len(e.queues[v]))
+	}
+}
+
+// Stored returns the number of packets currently in the network.
+func (e *Engine) Stored() int64 {
+	var t int64
+	for _, q := range e.queues {
+		t += int64(len(q))
+	}
+	return t
+}
+
+// OldestAge returns the age of the oldest stored packet (0 if empty).
+func (e *Engine) OldestAge() int64 {
+	var born int64 = -1
+	for _, q := range e.queues {
+		for _, p := range q {
+			if born == -1 || p.Born < born {
+				born = p.Born
+			}
+		}
+	}
+	if born == -1 {
+		return 0
+	}
+	return e.T - born
+}
+
+// MeanStored returns the time-averaged backlog L = (Σ_t N_t)/T.
+func (e *Engine) MeanStored() float64 {
+	if e.T == 0 {
+		return 0
+	}
+	return float64(e.SumStored) / float64(e.T)
+}
+
+// LittleLawGap compares the measured time-average backlog L with
+// Little's law's prediction λ·W from the delivered packets (λ =
+// delivered/T, W = mean latency). With end-of-step sampling the
+// conventions line up exactly: a packet delivered m steps after its
+// injection appears in exactly m end-of-step backlogs and has latency m.
+// For a stationary system the two sides agree asymptotically; stranded
+// or lost packets open a gap.
+func (e *Engine) LittleLawGap() (l, lambdaW float64) {
+	l = e.MeanStored()
+	if e.T == 0 || e.Delivered == 0 {
+		return l, 0
+	}
+	lambda := float64(e.Delivered) / float64(e.T)
+	return l, lambda * e.MeanLatency()
+}
+
+// MeanLatency returns the average delivery latency so far (0 if nothing
+// was delivered).
+func (e *Engine) MeanLatency() float64 {
+	if e.Delivered == 0 {
+		return 0
+	}
+	return float64(e.SumLatency) / float64(e.Delivered)
+}
+
+// MeanHops returns the average hop count of delivered packets.
+func (e *Engine) MeanHops() float64 {
+	if e.Delivered == 0 {
+		return 0
+	}
+	return float64(e.SumHops) / float64(e.Delivered)
+}
+
+// Step executes one synchronous step (mirroring core.Engine.Step).
+func (e *Engine) Step() {
+	spec := e.Spec
+	g := spec.G
+	n := spec.N()
+
+	// Phase 1: injection (FIFO tail).
+	for v := range e.inj {
+		e.inj[v] = 0
+	}
+	e.Arrivals.Injections(e.T, spec, e.inj)
+	for v := 0; v < n; v++ {
+		for k := int64(0); k < e.inj[v]; k++ {
+			e.queues[v] = append(e.queues[v], Packet{
+				ID: e.nextID, Src: graph.NodeID(v), Born: e.T,
+			})
+			e.nextID++
+			e.Injected++
+		}
+	}
+
+	// Phase 2: snapshot + declarations.
+	for v := 0; v < n; v++ {
+		q := int64(len(e.queues[v]))
+		e.snapQ[v] = q
+		if r := spec.R[v]; r > 0 && q <= r {
+			d := e.Declare.Declare(e.T, graph.NodeID(v), q, r)
+			if d < 0 {
+				d = 0
+			}
+			if d > r {
+				d = r
+			}
+			e.declared[v] = d
+		} else {
+			e.declared[v] = q
+		}
+	}
+	snap := core.Snapshot{Spec: spec, T: e.T, Q: e.snapQ, Declared: e.declared}
+
+	// Phase 3: plan + validate.
+	e.sends = e.Router.Plan(&snap, e.sends[:0])
+	marker := e.T + 1
+	for v := range e.sentBy {
+		e.sentBy[v] = 0
+	}
+	valid := e.sends[:0]
+	for _, s := range e.sends {
+		if e.edgeUsed[s.Edge] == marker {
+			continue
+		}
+		if e.sentBy[s.From]+1 > e.snapQ[s.From] {
+			continue
+		}
+		e.edgeUsed[s.Edge] = marker
+		e.sentBy[s.From]++
+		valid = append(valid, s)
+	}
+	e.sends = valid
+
+	// Phase 4: transmit FIFO heads. All pops use the snapshot queues, so
+	// a packet arriving this step cannot be forwarded this step.
+	for _, s := range e.sends {
+		q := e.queues[s.From]
+		p := q[0]
+		e.queues[s.From] = q[1:]
+		if e.Loss.Lost(e.T, s.Edge, s.From) {
+			e.Lost++
+			continue
+		}
+		p.Hops++
+		to := s.To(g)
+		e.queues[to] = append(e.queues[to], p)
+	}
+
+	// Phase 5: extraction (FIFO heads at sinks).
+	for v := 0; v < n; v++ {
+		out := spec.Out[v]
+		if out == 0 {
+			continue
+		}
+		q := int64(len(e.queues[v]))
+		hi := min64(out, q)
+		var lo int64
+		if r := spec.R[v]; q > r {
+			lo = min64(out, q-r)
+		}
+		amt := e.Extract.Extract(e.T, graph.NodeID(v), lo, hi)
+		if amt < lo {
+			amt = lo
+		}
+		if amt > hi {
+			amt = hi
+		}
+		for k := int64(0); k < amt; k++ {
+			p := e.queues[v][0]
+			e.queues[v] = e.queues[v][1:]
+			lat := e.T - p.Born
+			e.Delivered++
+			e.SumLatency += lat
+			if lat > e.MaxLatency {
+				e.MaxLatency = lat
+			}
+			e.SumHops += int64(p.Hops)
+			if e.KeepDeliveries {
+				e.Deliveries = append(e.Deliveries, Delivery{
+					Packet: p, At: graph.NodeID(v), Done: e.T,
+				})
+			}
+		}
+	}
+	e.T++
+	e.SumStored += e.Stored()
+}
+
+// Run executes steps time steps.
+func (e *Engine) Run(steps int64) {
+	for i := int64(0); i < steps; i++ {
+		e.Step()
+	}
+}
+
+// Latencies extracts the latency of every recorded delivery.
+func (e *Engine) Latencies() []int64 {
+	out := make([]int64, len(e.Deliveries))
+	for i, d := range e.Deliveries {
+		out[i] = d.Done - d.Born
+	}
+	return out
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

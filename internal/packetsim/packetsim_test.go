@@ -1,0 +1,206 @@
+package packetsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/loss"
+	"repro/internal/rng"
+)
+
+func thetaSpec() *core.Spec {
+	return core.NewSpec(graph.ThetaGraph(3, 2)).SetSource(0, 2).SetSink(1, 3)
+}
+
+// TestCountParity is the cross-validation at the heart of this package:
+// the packet engine and the count engine, fed identical policies, must
+// agree on every queue length at every step.
+func TestCountParity(t *testing.T) {
+	spec := thetaSpec()
+	pe := New(spec, core.NewLGG())
+	ce := core.NewEngine(spec, core.NewLGG())
+	lens := make([]int64, spec.N())
+	for i := 0; i < 500; i++ {
+		pe.Step()
+		ce.Step()
+		pe.QueueLens(lens)
+		for v := range lens {
+			if lens[v] != ce.Q[v] {
+				t.Fatalf("step %d node %d: packet engine %d vs count engine %d",
+					i, v, lens[v], ce.Q[v])
+			}
+		}
+	}
+}
+
+// Property: parity holds on random networks with lying nodes and
+// deterministic loss schedules (both engines must see the same losses, so
+// the loss model must be a pure function of (t, edge)).
+func TestQuickCountParityUniversal(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, retention uint8) bool {
+		r := rng.New(seed)
+		n := int(nRaw%8) + 3
+		g := graph.RandomMultigraph(n, n+r.IntN(2*n), r)
+		spec := core.NewSpec(g).SetSource(0, 1+r.Int64N(3)).SetSink(graph.NodeID(n-1), 1+r.Int64N(3))
+		if retention%2 == 1 {
+			spec.SetRetention(graph.NodeID(n-1), int64(retention))
+		}
+		// deterministic pure loss: drop when (t+edge) divisible by 5
+		lossModel := periodicLoss{}
+		pe := New(spec, core.NewLGG())
+		pe.Loss = lossModel
+		pe.Declare = core.DeclareZero{}
+		ce := core.NewEngine(spec, core.NewLGG())
+		ce.Loss = lossModel
+		ce.Declare = core.DeclareZero{}
+		lens := make([]int64, n)
+		for i := 0; i < 80; i++ {
+			pe.Step()
+			ce.Step()
+			pe.QueueLens(lens)
+			for v := range lens {
+				if lens[v] != ce.Q[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type periodicLoss struct{}
+
+func (periodicLoss) Name() string { return "periodic" }
+func (periodicLoss) Lost(t int64, e graph.EdgeID, _ graph.NodeID) bool {
+	return (t+int64(e))%5 == 0
+}
+
+func TestPacketConservation(t *testing.T) {
+	pe := New(thetaSpec(), core.NewLGG())
+	pe.Run(400)
+	if pe.Injected != pe.Delivered+pe.Lost+pe.Stored() {
+		t.Fatalf("conservation: injected=%d delivered=%d lost=%d stored=%d",
+			pe.Injected, pe.Delivered, pe.Lost, pe.Stored())
+	}
+	if pe.Injected != 800 {
+		t.Fatalf("injected = %d", pe.Injected)
+	}
+}
+
+func TestLatencyAccounting(t *testing.T) {
+	// On a 2-node line with in=out=1, each packet takes exactly 1 step:
+	// injected at t, forwarded at t, extracted at t... forwarded and then
+	// extracted within the same step (arrival precedes extraction).
+	spec := core.NewSpec(graph.Line(2)).SetSource(0, 1).SetSink(1, 1)
+	pe := New(spec, core.NewLGG())
+	pe.Run(100)
+	if pe.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	for _, d := range pe.Deliveries {
+		if lat := d.Done - d.Born; lat != 0 {
+			t.Fatalf("latency %d on the 1-hop line, want 0 (same-step delivery)", lat)
+		}
+		if d.Hops != 1 {
+			t.Fatalf("hops = %d, want 1", d.Hops)
+		}
+	}
+	if pe.MeanHops() != 1 {
+		t.Fatalf("mean hops = %v", pe.MeanHops())
+	}
+	if pe.MeanLatency() != 0 {
+		t.Fatalf("mean latency = %v", pe.MeanLatency())
+	}
+}
+
+func TestFIFOOrderPreserved(t *testing.T) {
+	// Deliveries drained through a single forward path preserve injection
+	// order (FIFO end to end). This needs a monotone router: LGG's
+	// tie-breaking may bounce a packet backwards on flat gradients and
+	// leapfrog later packets, so we use the flow router here.
+	spec := core.NewSpec(graph.Line(4)).SetSource(0, 1).SetSink(3, 1)
+	fr, err := baseline.NewFlowRouter(spec, flow.NewPushRelabel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe := New(spec, fr)
+	pe.Run(600)
+	var last int64 = -1
+	for _, d := range pe.Deliveries {
+		if d.ID <= last {
+			t.Fatalf("out-of-order delivery: %d after %d", d.ID, last)
+		}
+		last = d.ID
+	}
+	if len(pe.Deliveries) < 100 {
+		t.Fatalf("only %d deliveries", len(pe.Deliveries))
+	}
+}
+
+func TestOldestAge(t *testing.T) {
+	spec := core.NewSpec(graph.Line(2)).SetSource(0, 2).SetSink(1, 1)
+	pe := New(spec, core.NewLGG()) // overloaded: backlog builds at node 0
+	pe.Run(50)
+	if pe.OldestAge() == 0 {
+		t.Fatal("overloaded network should hold an old packet")
+	}
+	empty := New(thetaSpec(), core.NewLGG())
+	if empty.OldestAge() != 0 {
+		t.Fatal("fresh network age != 0")
+	}
+}
+
+func TestLossCounting(t *testing.T) {
+	spec := core.NewSpec(graph.Line(3)).SetSource(0, 1).SetSink(2, 1)
+	pe := New(spec, core.NewLGG())
+	pe.Loss = &loss.Bernoulli{P: 1, R: rng.New(1)}
+	pe.Run(50)
+	if pe.Delivered != 0 {
+		t.Fatal("everything should be lost")
+	}
+	if pe.Lost == 0 {
+		t.Fatal("no losses recorded")
+	}
+}
+
+func TestKeepDeliveriesOff(t *testing.T) {
+	pe := New(thetaSpec(), core.NewLGG())
+	pe.KeepDeliveries = false
+	pe.Run(200)
+	if len(pe.Deliveries) != 0 {
+		t.Fatal("deliveries recorded despite KeepDeliveries=false")
+	}
+	if pe.Delivered == 0 || pe.MeanLatency() < 0 {
+		t.Fatal("aggregates missing")
+	}
+}
+
+func TestLatenciesExtraction(t *testing.T) {
+	pe := New(thetaSpec(), core.NewLGG())
+	pe.Run(100)
+	ls := pe.Latencies()
+	if int64(len(ls)) != pe.Delivered {
+		t.Fatalf("latencies %d vs delivered %d", len(ls), pe.Delivered)
+	}
+	for _, l := range ls {
+		if l < 0 {
+			t.Fatal("negative latency")
+		}
+	}
+}
+
+func TestInvalidSpecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid spec accepted")
+		}
+	}()
+	New(core.NewSpec(graph.Line(2)), core.NewLGG())
+}

@@ -1,0 +1,94 @@
+// Package region estimates a router's empirical stability region: the
+// critical load ρ* (as a fraction of f*) below which runs are stable and
+// above which they diverge. Theorem 1 says ρ*(LGG) = 1 on every feasible
+// network; queue-oblivious baselines fall short of 1 on asymmetric
+// topologies, and the estimator quantifies by how much.
+//
+// The estimate is a bisection over rational loads k/Resolution, assuming
+// monotonicity of stability in the load (which holds for every router in
+// this repository in practice; the bisection brackets are returned so a
+// non-monotone anomaly is visible as a wide interval).
+package region
+
+import (
+	"repro/internal/arrivals"
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/sim"
+)
+
+// Prober estimates the critical load of one (network, router) pair.
+type Prober struct {
+	Spec *core.Spec
+	// Router builds a fresh router per run (engines run concurrently).
+	Router func(seed uint64) core.Router
+	// Seeds are the runs per probed load; a load counts as stable only if
+	// every seed is stable.
+	Seeds   []uint64
+	Horizon int64
+	// Resolution is the denominator of probed fractions (default 32).
+	Resolution int64
+	// MaxFraction bounds the search from above, in units of f* (default 2).
+	MaxFraction int64
+
+	fstar int64
+	rate  int64
+}
+
+// init computes f* once.
+func (p *Prober) init() {
+	if p.fstar != 0 {
+		return
+	}
+	a := p.Spec.Analyze(flow.NewPushRelabel())
+	p.fstar = a.FStar
+	p.rate = p.Spec.ArrivalRate()
+	if p.Resolution <= 0 {
+		p.Resolution = 32
+	}
+	if p.MaxFraction <= 0 {
+		p.MaxFraction = 2
+	}
+}
+
+// StableAt probes the load num/den (×f*): true iff every seed's run is
+// judged stable.
+func (p *Prober) StableAt(num, den int64) bool {
+	p.init()
+	rs := sim.RunSeeds(func(seed uint64) *core.Engine {
+		e := core.NewEngine(p.Spec, p.Router(seed))
+		e.Arrivals = &arrivals.Scaled{Inner: core.ExactArrivals{},
+			Num: p.fstar * num, Den: p.rate * den}
+		return e
+	}, p.Seeds, sim.Options{Horizon: p.Horizon})
+	for _, r := range rs {
+		if r.Diagnosis.Verdict != sim.Stable {
+			return false
+		}
+	}
+	return true
+}
+
+// Critical bisects for the stability frontier and returns the bracketing
+// interval [lo, hi] in units of f*: every probed load ≤ lo was stable and
+// hi was the smallest probed unstable load. If even the maximum probed
+// load is stable, hi equals MaxFraction and lo == hi.
+func (p *Prober) Critical() (lo, hi float64) {
+	p.init()
+	q := p.Resolution
+	loK, hiK := int64(0), p.MaxFraction*q
+	if p.StableAt(hiK, q) {
+		f := float64(hiK) / float64(q)
+		return f, f
+	}
+	// invariant: loK stable (0 trivially), hiK unstable
+	for loK+1 < hiK {
+		mid := (loK + hiK) / 2
+		if p.StableAt(mid, q) {
+			loK = mid
+		} else {
+			hiK = mid
+		}
+	}
+	return float64(loK) / float64(q), float64(hiK) / float64(q)
+}

@@ -1,0 +1,80 @@
+package region
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+func thetaProber(router func(seed uint64) core.Router) *Prober {
+	spec := core.NewSpec(graph.ThetaGraph(3, 2)).SetSource(0, 3).SetSink(1, 3)
+	return &Prober{
+		Spec:       spec,
+		Router:     router,
+		Seeds:      sim.Seeds(1, 3),
+		Horizon:    1200,
+		Resolution: 8,
+	}
+}
+
+func TestLGGCriticalLoadIsOne(t *testing.T) {
+	p := thetaProber(func(uint64) core.Router { return core.NewLGG() })
+	lo, hi := p.Critical()
+	// Theorem 1: stable through ρ = 1, diverging above. With resolution
+	// 1/8 the bracket must straddle 1.
+	if lo < 1.0-1e-9 {
+		t.Fatalf("LGG critical bracket [%v, %v): lost stability below 1", lo, hi)
+	}
+	if hi > 1.0+0.25 {
+		t.Fatalf("LGG critical bracket [%v, %v): stable past capacity?!", lo, hi)
+	}
+}
+
+func TestNullRouterCriticalLoadIsZero(t *testing.T) {
+	p := thetaProber(func(uint64) core.Router { return baseline.Null{} })
+	lo, hi := p.Critical()
+	if lo != 0 {
+		t.Fatalf("null router stable at positive load %v", lo)
+	}
+	if hi > 0.2 {
+		t.Fatalf("null router bracket hi = %v", hi)
+	}
+}
+
+func TestStableAtDirect(t *testing.T) {
+	p := thetaProber(func(uint64) core.Router { return core.NewLGG() })
+	if !p.StableAt(1, 2) {
+		t.Fatal("LGG unstable at half load")
+	}
+	if p.StableAt(2, 1) {
+		t.Fatal("LGG stable at double load")
+	}
+}
+
+func TestMaxFractionCeiling(t *testing.T) {
+	// A router probed only up to 0×f*... use MaxFraction=1 on a stable
+	// router: LGG is stable through 1, so the ceiling is reported.
+	p := thetaProber(func(uint64) core.Router { return core.NewLGG() })
+	p.MaxFraction = 1
+	lo, hi := p.Critical()
+	if lo != 1 || hi != 1 {
+		t.Fatalf("ceiling bracket = [%v, %v], want [1, 1]", lo, hi)
+	}
+}
+
+func TestSleepyCriticalLoadTracksDutyCycle(t *testing.T) {
+	// Half-asleep LGG should lose roughly half its stability region.
+	p := thetaProber(func(seed uint64) core.Router {
+		return &baseline.Sleepy{Inner: core.NewLGG(), P: 0.5, Seed: seed}
+	})
+	lo, hi := p.Critical()
+	if hi > 0.95 {
+		t.Fatalf("sleepy(0.5) bracket [%v, %v]: should lose capacity", lo, hi)
+	}
+	if lo < 0.2 {
+		t.Fatalf("sleepy(0.5) bracket [%v, %v]: should retain some capacity", lo, hi)
+	}
+}

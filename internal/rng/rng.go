@@ -1,0 +1,176 @@
+// Package rng provides a small deterministic, splittable random number
+// source used everywhere in the simulator.
+//
+// Reproducibility is a hard requirement for the experiment harness: every
+// experiment is parameterized by a single root seed, and every component
+// (arrival process, loss model, tie-breaking, each parallel worker) derives
+// its own independent stream with Split. Streams derived with the same
+// labels from the same root seed are identical across runs and across
+// GOMAXPROCS settings.
+//
+// The generator is PCG-XSL-RR 128/64 (the same algorithm as
+// math/rand/v2's PCG), implemented here directly so the package has no
+// dependency on global process state and so stream derivation is explicit.
+package rng
+
+import "math/bits"
+
+// Source is a deterministic pseudo-random number generator. It is NOT safe
+// for concurrent use; derive one Source per goroutine with Split.
+type Source struct {
+	hi, lo uint64 // 128-bit PCG state
+	seed   uint64 // root seed, retained so Split can derive children
+	path   uint64 // mixed label path from the root
+}
+
+// New returns a Source seeded from seed. Two Sources created with the same
+// seed produce identical streams.
+func New(seed uint64) *Source {
+	s := &Source{seed: seed, path: 0}
+	s.reset()
+	return s
+}
+
+func (s *Source) reset() {
+	// Expand (seed, path) into 128 bits of state via splitmix64.
+	x := s.seed ^ mix(s.path)
+	s.lo = mix(x)
+	s.hi = mix(x + 0x9e3779b97f4a7c15)
+	// Warm up: PCG recommends advancing once after seeding.
+	s.next()
+}
+
+// mix is splitmix64's finalizer: a bijective 64-bit hash.
+func mix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Split derives an independent child stream identified by label. Children
+// with distinct labels are statistically independent; the same (seed,
+// label-path) always yields the same stream.
+func (s *Source) Split(label uint64) *Source {
+	c := &Source{seed: s.seed, path: mix(s.path ^ mix(label+0x632be59bd9b4e019))}
+	c.reset()
+	return c
+}
+
+// next advances the 128-bit LCG state and returns the permuted output
+// (PCG-XSL-RR 128/64).
+func (s *Source) next() uint64 {
+	const (
+		mulHi = 2549297995355413924
+		mulLo = 4865540595714422341
+		incHi = 6364136223846793005
+		incLo = 1442695040888963407
+	)
+	// state = state * mul + inc (128-bit arithmetic)
+	carry, lo := bits.Mul64(s.lo, mulLo)
+	hi := s.hi*mulLo + s.lo*mulHi + carry
+	lo, c := bits.Add64(lo, incLo, 0)
+	hi, _ = bits.Add64(hi, incHi, c)
+	s.hi, s.lo = hi, lo
+	// output = rotr(hi ^ lo, hi >> 58)
+	return bits.RotateLeft64(hi^lo, -int(hi>>58))
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (s *Source) Uint64() uint64 { return s.next() }
+
+// Int63 returns a non-negative int64.
+func (s *Source) Int63() int64 { return int64(s.next() >> 1) }
+
+// IntN returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Source) IntN(n int) int {
+	if n <= 0 {
+		panic("rng: IntN with non-positive n")
+	}
+	return int(s.Uint64N(uint64(n)))
+}
+
+// Int64N returns a uniform int64 in [0, n). It panics if n <= 0.
+func (s *Source) Int64N(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int64N with non-positive n")
+	}
+	return int64(s.Uint64N(uint64(n)))
+}
+
+// Uint64N returns a uniform uint64 in [0, n) using Lemire's unbiased
+// multiply-shift rejection method. It panics if n == 0.
+func (s *Source) Uint64N(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64N with zero n")
+	}
+	hi, lo := bits.Mul64(s.next(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(s.next(), n)
+		}
+	}
+	return hi
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p (clamped to [0,1]).
+func (s *Source) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// IntRange returns a uniform integer in [lo, hi] inclusive. It panics if
+// hi < lo.
+func (s *Source) IntRange(lo, hi int64) int64 {
+	if hi < lo {
+		panic("rng: IntRange with hi < lo")
+	}
+	return lo + s.Int64N(hi-lo+1)
+}
+
+// Perm returns a random permutation of [0, n) (Fisher–Yates).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	s.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle randomizes the order of n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.IntN(i + 1)
+		if i != j {
+			swap(i, j)
+		}
+	}
+}
+
+// Binomial returns a sample of Binomial(n, p) by direct simulation.
+// It is O(n); the simulator only uses it with small n (per-node fan-out).
+func (s *Source) Binomial(n int64, p float64) int64 {
+	var k int64
+	for i := int64(0); i < n; i++ {
+		if s.Bool(p) {
+			k++
+		}
+	}
+	return k
+}
+
+// Seed returns the root seed this Source (or its ancestors) was created
+// with. Useful for labelling experiment outputs.
+func (s *Source) Seed() uint64 { return s.seed }

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// Additional detector cases: oscillation, drain, sqrt growth, step jumps.
+
+func TestDetectOscillatingBounded(t *testing.T) {
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = 50 + 40*math.Sin(float64(i)/7)
+	}
+	if d := Detect(xs); d.Verdict != Stable {
+		t.Fatalf("bounded oscillation judged %v (%+v)", d.Verdict, d)
+	}
+}
+
+func TestDetectDrainingTransient(t *testing.T) {
+	// Large initial backlog draining to zero: stable, not inconclusive.
+	xs := make([]float64, 300)
+	for i := range xs {
+		x := 1000 - 4*float64(i)
+		if x < 0 {
+			x = 0
+		}
+		xs[i] = x
+	}
+	if d := Detect(xs); d.Verdict != Stable {
+		t.Fatalf("draining run judged %v (%+v)", d.Verdict, d)
+	}
+}
+
+func TestDetectSqrtGrowthIsNotStable(t *testing.T) {
+	// √t growth: genuinely unbounded, though sublinear. The detector may
+	// call it diverging or inconclusive, but never stable, provided the
+	// values clear the smallness threshold.
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = 40 * math.Sqrt(float64(i))
+	}
+	if d := Detect(xs); d.Verdict == Stable {
+		t.Fatalf("√t growth judged stable (%+v)", d)
+	}
+}
+
+func TestDetectStepJumpThenFlat(t *testing.T) {
+	// A level shift that settles: stable.
+	xs := make([]float64, 400)
+	for i := range xs {
+		if i < 100 {
+			xs[i] = 10
+		} else {
+			xs[i] = 200
+		}
+	}
+	if d := Detect(xs); d.Verdict != Stable {
+		t.Fatalf("settled level shift judged %v", d.Verdict)
+	}
+}
+
+func TestDetectLateTakeoff(t *testing.T) {
+	// Flat then linear takeoff in the trailing half: diverging.
+	xs := make([]float64, 400)
+	for i := range xs {
+		if i < 250 {
+			xs[i] = 5
+		} else {
+			xs[i] = 5 + 10*float64(i-250)
+		}
+	}
+	if d := Detect(xs); d.Verdict != Diverging {
+		t.Fatalf("late takeoff judged %v (%+v)", d.Verdict, d)
+	}
+}
+
+func TestDetectTinyNoiseIsStable(t *testing.T) {
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i % 3) // 0,1,2 noise
+	}
+	if d := Detect(xs); d.Verdict != Stable {
+		t.Fatalf("tiny noise judged %v", d.Verdict)
+	}
+}

@@ -1,0 +1,302 @@
+// Package stats provides the small statistics toolkit used by the
+// simulation harness: summary statistics, quantiles, linear regression
+// (used by the stability detector to estimate the drift of the network
+// state), confidence intervals and histograms.
+//
+// Everything operates on plain float64 slices and is allocation-conscious;
+// the experiment harness calls these functions inside sweep loops.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (0 if len < 2).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum of xs. It panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. It panics on an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	pos := q * float64(len(ys)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return ys[lo]
+	}
+	frac := pos - float64(lo)
+	return ys[lo]*(1-frac) + ys[hi]*frac
+}
+
+// Median returns the 0.5-quantile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Summary bundles the usual descriptive statistics of a sample.
+type Summary struct {
+	N                int
+	Mean, Std        float64
+	Min, Median, Max float64
+	P05, P95         float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		Std:    StdDev(xs),
+		Min:    Min(xs),
+		Median: Median(xs),
+		Max:    Max(xs),
+		P05:    Quantile(xs, 0.05),
+		P95:    Quantile(xs, 0.95),
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g med=%.4g max=%.4g",
+		s.N, s.Mean, s.Std, s.Min, s.Median, s.Max)
+}
+
+// LinReg holds a least-squares line y = Intercept + Slope·x together with
+// the coefficient of determination R².
+type LinReg struct {
+	Slope, Intercept, R2 float64
+}
+
+// FitLine fits y = a + b·x by ordinary least squares over the points
+// (xs[i], ys[i]). The slices must have equal length ≥ 2; otherwise a zero
+// LinReg is returned.
+func FitLine(xs, ys []float64) LinReg {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return LinReg{}
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinReg{Intercept: my}
+	}
+	b := sxy / sxx
+	a := my - b*mx
+	r2 := 0.0
+	if syy > 0 {
+		r2 = (sxy * sxy) / (sxx * syy)
+	}
+	return LinReg{Slope: b, Intercept: a, R2: r2}
+}
+
+// FitSeries fits a line to ys against implicit x = 0,1,2,…; convenient for
+// time series.
+func FitSeries(ys []float64) LinReg {
+	xs := make([]float64, len(ys))
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	return FitLine(xs, ys)
+}
+
+// MeanCI returns the sample mean of xs together with the half-width of a
+// normal-approximation confidence interval at the given z value (z = 1.96
+// for ~95%). For n < 2 the half-width is 0.
+func MeanCI(xs []float64, z float64) (mean, half float64) {
+	mean = Mean(xs)
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	half = z * StdDev(xs) / math.Sqrt(float64(len(xs)))
+	return mean, half
+}
+
+// BatchMeansCI estimates a confidence interval for the mean of a
+// *correlated* time series using the method of batch means: the series is
+// cut into `batches` contiguous batches, whose means are approximately
+// independent when batches are longer than the correlation time. It
+// returns the overall mean and the half-width at the given z. Simulation
+// long-run averages (e.g. backlog series) need this — the naive i.i.d. CI
+// is wildly overconfident on autocorrelated data.
+func BatchMeansCI(xs []float64, batches int, z float64) (mean, half float64) {
+	if batches < 2 || len(xs) < 2*batches {
+		return Mean(xs), 0
+	}
+	bm := make([]float64, batches)
+	for b := 0; b < batches; b++ {
+		lo := b * len(xs) / batches
+		hi := (b + 1) * len(xs) / batches
+		bm[b] = Mean(xs[lo:hi])
+	}
+	return MeanCI(bm, z)
+}
+
+// AutoCorr returns the lag-k autocorrelation of xs (0 when undefined).
+func AutoCorr(xs []float64, k int) float64 {
+	n := len(xs)
+	if k <= 0 || k >= n {
+		return 0
+	}
+	m := Mean(xs)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := xs[i] - m
+		den += d * d
+	}
+	if den == 0 {
+		return 0
+	}
+	for i := 0; i+k < n; i++ {
+		num += (xs[i] - m) * (xs[i+k] - m)
+	}
+	return num / den
+}
+
+// Histogram is a fixed-width bucket histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi   float64
+	Counts   []int
+	Under    int // samples below Lo
+	Over     int // samples at or above Hi
+	NSamples int
+}
+
+// NewHistogram creates a histogram with nbuckets equal-width buckets over
+// [lo, hi). It panics if nbuckets <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, nbuckets int) *Histogram {
+	if nbuckets <= 0 {
+		panic("stats: NewHistogram with non-positive bucket count")
+	}
+	if hi <= lo {
+		panic("stats: NewHistogram with hi <= lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbuckets)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.NSamples++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if i >= len(h.Counts) { // guards float rounding at the top edge
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// BucketMid returns the midpoint value of bucket i.
+func (h *Histogram) BucketMid(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Mode returns the index of the fullest bucket.
+func (h *Histogram) Mode() int {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Ints converts an integer slice to float64 for use with this package.
+func Ints(xs []int64) []float64 {
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = float64(x)
+	}
+	return ys
+}

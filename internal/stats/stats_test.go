@@ -1,0 +1,272 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMeanBasics(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestVarianceAndStd(t *testing.T) {
+	if Variance([]float64{5}) != 0 {
+		t.Fatal("Variance of single sample != 0")
+	}
+	v := Variance([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almost(v, 4.571428571, 1e-6) {
+		t.Fatalf("Variance = %v", v)
+	}
+	if !almost(StdDev([]float64{1, 1, 1}), 0, 1e-12) {
+		t.Fatal("StdDev of constant sample != 0")
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 || Sum(xs) != 9 {
+		t.Fatalf("Min/Max/Sum wrong: %v %v %v", Min(xs), Max(xs), Sum(xs))
+	}
+}
+
+func TestMinPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Min(nil) did not panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 5 {
+		t.Fatal("extreme quantiles wrong")
+	}
+	if Median(xs) != 3 {
+		t.Fatalf("Median = %v", Median(xs))
+	}
+	if got := Quantile([]float64{1, 2}, 0.5); got != 1.5 {
+		t.Fatalf("interpolated quantile = %v", got)
+	}
+	// Quantile must not mutate its input.
+	ys := []float64{3, 1, 2}
+	Quantile(ys, 0.5)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if s.N != 10 || s.Mean != 5.5 || s.Min != 1 || s.Max != 10 || s.Median != 5.5 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if Summarize(nil).N != 0 {
+		t.Fatal("Summarize(nil) not zero")
+	}
+	if s.String() == "" {
+		t.Fatal("Summary.String empty")
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 1 + 2x
+	r := FitLine(xs, ys)
+	if !almost(r.Slope, 2, 1e-12) || !almost(r.Intercept, 1, 1e-12) || !almost(r.R2, 1, 1e-12) {
+		t.Fatalf("FitLine = %+v", r)
+	}
+}
+
+func TestFitLineDegenerate(t *testing.T) {
+	if r := FitLine([]float64{1}, []float64{2}); r != (LinReg{}) {
+		t.Fatalf("short input should give zero LinReg, got %+v", r)
+	}
+	r := FitLine([]float64{2, 2, 2}, []float64{1, 5, 9})
+	if r.Slope != 0 || r.Intercept != 5 {
+		t.Fatalf("constant-x fit = %+v", r)
+	}
+}
+
+func TestFitSeries(t *testing.T) {
+	r := FitSeries([]float64{10, 20, 30, 40})
+	if !almost(r.Slope, 10, 1e-9) || !almost(r.Intercept, 10, 1e-9) {
+		t.Fatalf("FitSeries = %+v", r)
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	m, h := MeanCI([]float64{4}, 1.96)
+	if m != 4 || h != 0 {
+		t.Fatalf("single-sample CI = %v ± %v", m, h)
+	}
+	m, h = MeanCI([]float64{1, 2, 3, 4, 5}, 1.96)
+	if m != 3 || h <= 0 {
+		t.Fatalf("CI = %v ± %v", m, h)
+	}
+}
+
+func TestBatchMeansCI(t *testing.T) {
+	// Strongly autocorrelated series: a slow sine. The batch-means CI
+	// must be wider than the naive i.i.d. CI.
+	xs := make([]float64, 4000)
+	for i := range xs {
+		xs[i] = 10 + math.Sin(float64(i)/200)
+	}
+	mean, half := BatchMeansCI(xs, 20, 1.96)
+	if math.Abs(mean-Mean(xs)) > 1e-9 {
+		t.Fatalf("batch mean %v vs %v", mean, Mean(xs))
+	}
+	_, naive := MeanCI(xs, 1.96)
+	if half <= naive {
+		t.Fatalf("batch CI %v not wider than naive %v on correlated data", half, naive)
+	}
+	// degenerate inputs fall back gracefully
+	if _, h := BatchMeansCI(xs[:5], 10, 1.96); h != 0 {
+		t.Fatal("short series should return zero half-width")
+	}
+}
+
+func TestAutoCorr(t *testing.T) {
+	// Alternating series: lag-1 autocorrelation ≈ −1.
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i % 2)
+	}
+	if ac := AutoCorr(xs, 1); ac > -0.9 {
+		t.Fatalf("alternating lag-1 autocorr = %v, want ≈ −1", ac)
+	}
+	// constant series: undefined → 0
+	if AutoCorr([]float64{3, 3, 3, 3}, 1) != 0 {
+		t.Fatal("constant series autocorr should be 0")
+	}
+	if AutoCorr(xs, 0) != 0 || AutoCorr(xs, len(xs)) != 0 {
+		t.Fatal("out-of-range lags should be 0")
+	}
+	// slow sine: lag-1 strongly positive
+	ys := make([]float64, 1000)
+	for i := range ys {
+		ys[i] = math.Sin(float64(i) / 100)
+	}
+	if ac := AutoCorr(ys, 1); ac < 0.9 {
+		t.Fatalf("smooth series lag-1 autocorr = %v", ac)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.999, 10, 42} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 || h.NSamples != 7 {
+		t.Fatalf("under/over = %d/%d n=%d", h.Under, h.Over, h.NSamples)
+	}
+	if h.Counts[0] != 2 { // 0 and 1.9
+		t.Fatalf("bucket0 = %d", h.Counts[0])
+	}
+	if h.Counts[1] != 1 { // 2
+		t.Fatalf("bucket1 = %d", h.Counts[1])
+	}
+	if h.Counts[4] != 1 { // 9.999
+		t.Fatalf("bucket4 = %d", h.Counts[4])
+	}
+	if !almost(h.BucketMid(0), 1, 1e-12) {
+		t.Fatalf("BucketMid(0) = %v", h.BucketMid(0))
+	}
+	if h.Mode() != 0 {
+		t.Fatalf("Mode = %d", h.Mode())
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestInts(t *testing.T) {
+	ys := Ints([]int64{1, -2, 3})
+	if len(ys) != 3 || ys[1] != -2 {
+		t.Fatalf("Ints = %v", ys)
+	}
+}
+
+// Property: the mean lies between min and max.
+func TestQuickMeanBounded(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-6 && m <= Max(xs)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: R² of any fit is in [0, 1].
+func TestQuickR2Range(t *testing.T) {
+	f := func(raw []float64) bool {
+		ys := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				ys = append(ys, x)
+			}
+		}
+		r := FitSeries(ys)
+		return r.R2 >= -1e-9 && r.R2 <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantile is monotone in q.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(raw []float64, q1, q2 float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		a := math.Mod(math.Abs(q1), 1)
+		b := math.Mod(math.Abs(q2), 1)
+		if a > b {
+			a, b = b, a
+		}
+		return Quantile(xs, a) <= Quantile(xs, b)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

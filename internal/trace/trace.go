@@ -1,0 +1,123 @@
+// Package trace serializes simulation results for external analysis:
+// run summaries as JSON, time series and Lyapunov term streams as CSV.
+// The formats are stable and covered by golden-ish tests so downstream
+// notebooks can rely on them.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/lyapunov"
+	"repro/internal/sim"
+)
+
+// Summary is the JSON-serializable digest of a run.
+type Summary struct {
+	Network    string  `json:"network"`
+	Router     string  `json:"router"`
+	Steps      int64   `json:"steps"`
+	Injected   int64   `json:"injected"`
+	Delivered  int64   `json:"delivered"`
+	Lost       int64   `json:"lost"`
+	Stored     int64   `json:"stored"`
+	PeakQueued int64   `json:"peak_queued"`
+	PeakMaxQ   int64   `json:"peak_max_queue"`
+	PeakP      int64   `json:"peak_potential"`
+	FinalP     int64   `json:"final_potential"`
+	Violations int64   `json:"violations"`
+	Collisions int64   `json:"collisions"`
+	Verdict    string  `json:"verdict"`
+	Slope      float64 `json:"slope"`
+	RelGrowth  float64 `json:"rel_growth"`
+	R2         float64 `json:"r2"`
+}
+
+// Summarize builds a Summary from a run on the given spec/router.
+func Summarize(spec *core.Spec, routerName string, r *sim.Result) Summary {
+	return Summary{
+		Network:    spec.String(),
+		Router:     routerName,
+		Steps:      r.Totals.Steps,
+		Injected:   r.Totals.Injected,
+		Delivered:  r.Totals.Extracted,
+		Lost:       r.Totals.Lost,
+		Stored:     r.Totals.FinalQueued,
+		PeakQueued: r.Totals.PeakQueued,
+		PeakMaxQ:   r.Totals.PeakMaxQ,
+		PeakP:      r.Totals.PeakPotential,
+		FinalP:     r.Totals.FinalPotential,
+		Violations: r.Totals.Violations,
+		Collisions: r.Totals.Collisions,
+		Verdict:    r.Diagnosis.Verdict.String(),
+		Slope:      r.Diagnosis.Slope,
+		RelGrowth:  r.Diagnosis.RelGrowth,
+		R2:         r.Diagnosis.R2,
+	}
+}
+
+// WriteJSON writes the summary as indented JSON.
+func WriteJSON(w io.Writer, s Summary) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadJSON parses a summary written by WriteJSON.
+func ReadJSON(r io.Reader) (Summary, error) {
+	var s Summary
+	err := json.NewDecoder(r).Decode(&s)
+	return s, err
+}
+
+// WriteSeriesCSV writes the per-step series of a run:
+// t,potential,queued,maxq.
+func WriteSeriesCSV(w io.Writer, s *sim.Series) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "t,potential,queued,maxq"); err != nil {
+		return err
+	}
+	for i := range s.Potential {
+		fmt.Fprintf(bw, "%d,%.0f,%.0f,%.0f\n",
+			int64(i)*s.Stride, s.Potential[i], s.Queued[i], s.MaxQ[i])
+	}
+	return bw.Flush()
+}
+
+// WriteTermsCSV streams Lyapunov decompositions:
+// t,deltaP,second_order,delta,injection,gradient,loss,extraction.
+func WriteTermsCSV(w io.Writer, terms []lyapunov.Terms) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw,
+		"t,delta_p,second_order,delta,injection,gradient,loss,extraction"); err != nil {
+		return err
+	}
+	for _, t := range terms {
+		fmt.Fprintf(bw, "%d,%d,%d,%d,%d,%d,%d,%d\n",
+			t.T, t.DeltaP, t.SecondOrder, t.Delta,
+			t.InjectionTerm, t.GradientTerm, t.LossTerm, t.ExtractionTerm)
+	}
+	return bw.Flush()
+}
+
+// CollectTerms runs an engine under the Lyapunov recorder for the given
+// number of steps and returns all decompositions (one per transition),
+// failing on the first identity violation.
+func CollectTerms(e *core.Engine, steps int64) ([]lyapunov.Terms, error) {
+	rec := lyapunov.NewRecorder(e)
+	var out []lyapunov.Terms
+	for i := int64(0); i < steps; i++ {
+		_, terms := rec.Step()
+		if terms == nil {
+			continue
+		}
+		if err := terms.Check(); err != nil {
+			return out, err
+		}
+		out = append(out, *terms)
+	}
+	return out, nil
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+func runOne(t *testing.T) (*core.Spec, *sim.Result) {
+	t.Helper()
+	spec := core.NewSpec(graph.ThetaGraph(3, 2)).SetSource(0, 2).SetSink(1, 3)
+	e := core.NewEngine(spec, core.NewLGG())
+	return spec, sim.Run(e, sim.Options{Horizon: 200})
+}
+
+func TestSummaryRoundTrip(t *testing.T) {
+	spec, res := runOne(t)
+	s := Summarize(spec, "lgg", res)
+	if s.Steps != 200 || s.Router != "lgg" || s.Verdict != "stable" {
+		t.Fatalf("summary = %+v", s)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"peak_potential"`) {
+		t.Fatalf("json missing fields: %s", buf.String())
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", back, s)
+	}
+}
+
+func TestReadJSONError(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{broken")); err == nil {
+		t.Fatal("broken json accepted")
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	_, res := runOne(t)
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, &res.Series); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "t,potential,queued,maxq" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 201 {
+		t.Fatalf("lines = %d, want 201", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "0,") {
+		t.Fatalf("first row = %q", lines[1])
+	}
+}
+
+func TestSeriesCSVRespectsStride(t *testing.T) {
+	spec := core.NewSpec(graph.Line(3)).SetSource(0, 1).SetSink(2, 1)
+	e := core.NewEngine(spec, core.NewLGG())
+	res := sim.Run(e, sim.Options{Horizon: 100, Stride: 10})
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, &res.Series); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 11 {
+		t.Fatalf("lines = %d, want 11", len(lines))
+	}
+	if !strings.HasPrefix(lines[2], "10,") {
+		t.Fatalf("second sample = %q, want t=10", lines[2])
+	}
+}
+
+func TestCollectAndWriteTerms(t *testing.T) {
+	spec := core.NewSpec(graph.ThetaGraph(3, 2)).SetSource(0, 2).SetSink(1, 3)
+	e := core.NewEngine(spec, core.NewLGG())
+	terms, err := CollectTerms(e, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(terms) != 99 {
+		t.Fatalf("terms = %d, want 99", len(terms))
+	}
+	var buf bytes.Buffer
+	if err := WriteTermsCSV(&buf, terms); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 100 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "t,delta_p") {
+		t.Fatalf("header = %q", lines[0])
+	}
+}

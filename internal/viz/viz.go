@@ -1,0 +1,116 @@
+// Package viz renders queue states and time series as compact terminal
+// graphics (unicode block characters). It is presentation-only: no
+// simulation logic, pure functions over numeric slices, so the outputs
+// are golden-testable.
+package viz
+
+import (
+	"fmt"
+	"strings"
+)
+
+// blocks are the eight partial block characters plus space for zero.
+var blocks = []rune(" ▁▂▃▄▅▆▇█")
+
+// level maps x ∈ [0, max] to one of the 9 block levels.
+func level(x, max float64) rune {
+	if max <= 0 || x <= 0 {
+		return blocks[0]
+	}
+	i := int(x / max * float64(len(blocks)-1))
+	if i < 1 {
+		i = 1 // visible dot for any positive value
+	}
+	if i >= len(blocks) {
+		i = len(blocks) - 1
+	}
+	return blocks[i]
+}
+
+// Sparkline renders a series scaled to its own maximum.
+func Sparkline(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	max := xs[0]
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	var b strings.Builder
+	for _, x := range xs {
+		b.WriteRune(level(x, max))
+	}
+	return b.String()
+}
+
+// Downsample reduces xs to at most width points by taking bucket maxima
+// (maxima, not means: stability plots care about peaks).
+func Downsample(xs []float64, width int) []float64 {
+	if width <= 0 || len(xs) <= width {
+		return xs
+	}
+	out := make([]float64, width)
+	for i := 0; i < width; i++ {
+		lo := i * len(xs) / width
+		hi := (i + 1) * len(xs) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		m := xs[lo]
+		for _, x := range xs[lo:hi] {
+			if x > m {
+				m = x
+			}
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// QueueBars renders one line per node: id, queue value and a bar scaled
+// to the maximum queue.
+func QueueBars(q []int64) string {
+	var max int64
+	for _, x := range q {
+		if x > max {
+			max = x
+		}
+	}
+	var b strings.Builder
+	for v, x := range q {
+		bar := ""
+		if max > 0 {
+			n := int(float64(x) / float64(max) * 40)
+			if x > 0 && n == 0 {
+				n = 1
+			}
+			bar = strings.Repeat("█", n)
+		}
+		fmt.Fprintf(&b, "%4d %6d %s\n", v, x, bar)
+	}
+	return b.String()
+}
+
+// GridHeat renders a rows×cols queue field as block-character rows
+// (node (r,c) = q[r*cols+c]), scaled to the global maximum.
+func GridHeat(q []int64, rows, cols int) string {
+	if rows*cols != len(q) {
+		panic(fmt.Sprintf("viz: grid %dx%d does not match %d values", rows, cols, len(q)))
+	}
+	var max int64
+	for _, x := range q {
+		if x > max {
+			max = x
+		}
+	}
+	var b strings.Builder
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			b.WriteRune(level(float64(q[r*cols+c]), float64(max)))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,119 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSparklineBasics(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Fatal("empty input")
+	}
+	s := Sparkline([]float64{0, 1, 2, 4, 8})
+	if len([]rune(s)) != 5 {
+		t.Fatalf("length %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != ' ' {
+		t.Fatalf("zero should render blank, got %q", runes[0])
+	}
+	if runes[4] != '█' {
+		t.Fatalf("max should render full block, got %q", runes[4])
+	}
+	// monotone input → non-decreasing levels
+	for i := 1; i < len(runes); i++ {
+		if indexOf(runes[i]) < indexOf(runes[i-1]) {
+			t.Fatalf("levels not monotone: %q", s)
+		}
+	}
+}
+
+func indexOf(r rune) int {
+	for i, b := range blocks {
+		if b == r {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestSparklineAllZero(t *testing.T) {
+	s := Sparkline([]float64{0, 0, 0})
+	if s != "   " {
+		t.Fatalf("all-zero = %q", s)
+	}
+}
+
+func TestSparklineTinyPositiveVisible(t *testing.T) {
+	s := []rune(Sparkline([]float64{0.001, 1000}))
+	if s[0] == ' ' {
+		t.Fatal("tiny positive value rendered invisible")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	xs := make([]float64, 100)
+	xs[57] = 9 // spike must survive max-downsampling
+	out := Downsample(xs, 10)
+	if len(out) != 10 {
+		t.Fatalf("len = %d", len(out))
+	}
+	found := false
+	for _, x := range out {
+		if x == 9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("downsampling lost the spike")
+	}
+	short := []float64{1, 2}
+	if len(Downsample(short, 10)) != 2 {
+		t.Fatal("short input should pass through")
+	}
+	if len(Downsample(short, 0)) != 2 {
+		t.Fatal("width 0 should pass through")
+	}
+}
+
+func TestQueueBars(t *testing.T) {
+	out := QueueBars([]int64{0, 5, 10})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if strings.Count(lines[2], "█") != 40 {
+		t.Fatalf("max bar length = %d", strings.Count(lines[2], "█"))
+	}
+	if strings.Count(lines[1], "█") != 20 {
+		t.Fatalf("half bar length = %d", strings.Count(lines[1], "█"))
+	}
+	if strings.Contains(lines[0], "█") {
+		t.Fatal("zero queue has a bar")
+	}
+	// all-zero queues: no panic, no bars
+	if strings.Contains(QueueBars([]int64{0, 0}), "█") {
+		t.Fatal("all-zero produced bars")
+	}
+}
+
+func TestGridHeat(t *testing.T) {
+	q := []int64{0, 1, 2, 4}
+	out := GridHeat(q, 2, 2)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("rows = %d", len(lines))
+	}
+	if []rune(lines[1])[1] != '█' {
+		t.Fatalf("max cell not full: %q", lines[1])
+	}
+}
+
+func TestGridHeatPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched grid accepted")
+		}
+	}()
+	GridHeat([]int64{1, 2, 3}, 2, 2)
+}

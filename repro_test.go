@@ -1,0 +1,116 @@
+package repro
+
+import (
+	"testing"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	g := Theta(3, 2)
+	spec := NewSpec(g).SetSource(0, 2).SetSink(1, 3)
+	if got := Classify(spec); got != Unsaturated {
+		t.Fatalf("Classify = %v", got)
+	}
+	e := NewEngine(spec, NewLGG())
+	res := Run(e, Options{Horizon: 500})
+	if res.Diagnosis.Verdict != StableVerdict {
+		t.Fatalf("verdict = %v", res.Diagnosis.Verdict)
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	if Line(4).NumNodes() != 4 || Cycle(5).NumEdges() != 5 {
+		t.Fatal("line/cycle")
+	}
+	if Grid(3, 4).NumNodes() != 12 {
+		t.Fatal("grid")
+	}
+	if NewGraph(7).NumNodes() != 7 {
+		t.Fatal("new graph")
+	}
+	g := Random(10, 15, 42)
+	if g.NumNodes() != 10 || g.NumEdges() != 15 {
+		t.Fatal("random")
+	}
+	// determinism
+	h := Random(10, 15, 42)
+	for i, e := range g.Edges() {
+		if h.Edges()[i] != e {
+			t.Fatal("Random not deterministic")
+		}
+	}
+}
+
+func TestFacadeAnalyzeAndBounds(t *testing.T) {
+	spec := NewSpec(Theta(3, 2)).SetSource(0, 2).SetSink(1, 3)
+	a := Analyze(spec)
+	if a.FStar != 3 || a.ArrivalRate != 2 {
+		t.Fatalf("analysis: f*=%d rate=%d", a.FStar, a.ArrivalRate)
+	}
+	b, err := StabilityBounds(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Eps <= 0 || b.StateBound <= 0 {
+		t.Fatalf("bounds = %+v", b)
+	}
+}
+
+func TestFacadeRouters(t *testing.T) {
+	spec := NewSpec(Theta(3, 2)).SetSource(0, 2).SetSink(1, 3)
+	fr, err := FlowRouter(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []Router{fr, ShortestPathRouter(spec), RandomRouter(1), NewLGG()} {
+		e := NewEngine(spec, r)
+		res := Run(e, Options{Horizon: 300})
+		if res.Totals.Violations != 0 {
+			t.Fatalf("%s: violations", r.Name())
+		}
+	}
+}
+
+func TestFacadeModifiers(t *testing.T) {
+	spec := NewSpec(Theta(3, 2)).SetSource(0, 2).SetSink(1, 3)
+	e := NewEngine(spec, NewLGG())
+	WithBernoulliLoss(e, 0.2, 3)
+	WithThinnedArrivals(e, 0.8, 4)
+	res := Run(e, Options{Horizon: 400})
+	if res.Diagnosis.Verdict == DivergingVerdict {
+		t.Fatal("lossy thinned run diverged on an unsaturated network")
+	}
+	e2 := NewEngine(spec, NewLGG())
+	WithLoad(e2, 1, 2)
+	r2 := Run(e2, Options{Horizon: 200})
+	if r2.Totals.Injected != 200 { // 2/step × 1/2 × 200
+		t.Fatalf("scaled injection = %d, want 200", r2.Totals.Injected)
+	}
+	e3 := NewEngine(spec, NewLGG())
+	WithNodeExclusiveInterference(e3, true)
+	WithLoad(e3, 1, 2)
+	r3 := Run(e3, Options{Horizon: 300})
+	if r3.Totals.Violations != 0 {
+		t.Fatal("interference run had violations")
+	}
+}
+
+func TestFacadePotential(t *testing.T) {
+	if Potential([]int64{3, 4}) != 25 {
+		t.Fatal("potential")
+	}
+}
+
+func TestFacadePacketEngine(t *testing.T) {
+	spec := NewSpec(Theta(3, 2)).SetSource(0, 2).SetSink(1, 3)
+	pe := NewPacketEngine(spec, NewLGG())
+	pe.Run(500)
+	if pe.Delivered == 0 {
+		t.Fatal("packet engine delivered nothing")
+	}
+	if pe.MeanLatency() <= 0 {
+		t.Fatal("latency accounting missing")
+	}
+	if pe.Injected != pe.Delivered+pe.Lost+pe.Stored() {
+		t.Fatal("conservation broken")
+	}
+}
