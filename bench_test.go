@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cutsplit"
 	"repro/internal/distsim"
+	"repro/internal/experiments"
 	"repro/internal/flow"
 	"repro/internal/graph"
 	"repro/internal/interference"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/packetsim"
 	"repro/internal/region"
 	"repro/internal/rng"
+	"repro/internal/sweep"
 )
 
 func benchSpecTheta() *core.Spec {
@@ -485,6 +487,46 @@ func BenchmarkP2MaxFlow(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				s.MaxFlow(ext.P)
 			}
+		})
+	}
+}
+
+// BenchmarkSweepStability runs the E4 stability grid through the sweep
+// runner at several pool sizes. The reported runs/s metric should scale
+// near-linearly with workers on multi-core hardware (CI asserts nothing
+// here — compare the b.Run lines by eye or with benchstat).
+func BenchmarkSweepStability(b *testing.B) {
+	cfg := experiments.Config{Seed: 1, Seeds: 4, Horizon: 800, Quick: true}
+	jobs := experiments.StabilityGrid(cfg)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			r := &sweep.Runner{Workers: workers}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Run(jobs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(jobs)*b.N)/b.Elapsed().Seconds(), "runs/s")
+		})
+	}
+}
+
+// BenchmarkSweepDuel does the same on the E16 router duel (heavier cells:
+// five routers, two loads, three networks).
+func BenchmarkSweepDuel(b *testing.B) {
+	cfg := experiments.Config{Seed: 1, Seeds: 2, Horizon: 500, Quick: true}
+	jobs := experiments.RouterDuelGrid(cfg)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			r := &sweep.Runner{Workers: workers}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Run(jobs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(jobs)*b.N)/b.Elapsed().Seconds(), "runs/s")
 		})
 	}
 }

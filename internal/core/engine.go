@@ -202,12 +202,18 @@ func NewEngine(spec *Spec, router Router) *Engine {
 }
 
 // SetQueues overwrites the current queue vector (for experiments that
-// start from a prepared state, e.g. Property 2 probes).
+// start from a prepared state, e.g. Property 2 probes). It also clears the
+// edge-use scratch: callers that reset T to replay from a prepared state
+// would otherwise race stale T+1 markers from the previous run and count
+// phantom collisions.
 func (e *Engine) SetQueues(q []int64) {
 	if len(q) != len(e.Q) {
 		panic("core: queue vector length mismatch")
 	}
 	copy(e.Q, q)
+	for i := range e.edgeUsed {
+		e.edgeUsed[i] = 0
+	}
 }
 
 // Snapshot returns the snapshot the router saw at the most recent step.

@@ -327,3 +327,24 @@ func (keepFirst) Filter(_ *Snapshot, sends []Send) []Send {
 	}
 	return sends
 }
+
+func TestSetQueuesClearsEdgeUseScratch(t *testing.T) {
+	// Regression: edgeUsed stores T+1 as its in-use marker. An engine
+	// reused for a fresh run (SetQueues + T reset) must not mistake a
+	// stale marker from the previous run for an edge already claimed in
+	// the replayed step 0.
+	s := lineSpec(2, 1, 1)
+	e := NewEngine(s, NewLGG())
+	if st := e.Step(); st.Sent != 1 { // edge 0 transmits, marker = 1
+		t.Fatalf("warmup step sent %d packets", st.Sent)
+	}
+	e.SetQueues([]int64{0, 0})
+	e.T = 0 // replay from the prepared state: T+1 == stale marker value
+	st := e.Step()
+	if st.Collisions != 0 {
+		t.Fatalf("phantom collisions after SetQueues reset: %+v", st)
+	}
+	if st.Sent != 1 {
+		t.Fatalf("replayed step 0 sent %d packets, want 1", st.Sent)
+	}
+}

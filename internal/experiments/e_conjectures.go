@@ -12,7 +12,7 @@ import (
 	"repro/internal/loss"
 	"repro/internal/rng"
 	"repro/internal/sim"
-	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 func init() {
@@ -62,32 +62,45 @@ func runE11(cfg Config) *Table {
 			e.Loss = &loss.Bernoulli{P: 0.2, R: rng.New(seed).Split(16)}
 		}},
 	}
-	counterexamples := 0
+	// One reference run plus len(variants) dominated cells per workload,
+	// all flattened into a single sweep.
 	ws := saturatedSuite(cfg)
+	var jobs []sweep.Job
 	for _, w := range ws {
-		ref := sim.RunSeeds(func(seed uint64) *core.Engine {
-			return core.NewEngine(w.spec, core.NewLGG())
-		}, sim.Seeds(cfg.Seed, 1), sim.Options{Horizon: cfg.horizon()})[0]
-		refPeak := float64(ref.Totals.PeakPotential)
+		w := w
+		jobs = append(jobs, sweep.Job{
+			Desc: sweep.Desc{Index: len(jobs), Grid: "E11", Network: w.name,
+				Variant: "reference", Seed: cfg.Seed, Horizon: cfg.horizon()},
+			Build: func(uint64) *core.Engine { return core.NewEngine(w.spec, core.NewLGG()) },
+		})
 		for _, v := range variants {
-			rs := sim.RunSeeds(func(seed uint64) *core.Engine {
-				e := core.NewEngine(w.spec, core.NewLGG())
-				v.build(seed, e)
-				return e
-			}, sim.Seeds(cfg.Seed, cfg.seeds()), sim.Options{Horizon: cfg.horizon()})
-			worst := sim.Stable
-			var peak float64
-			for _, r := range rs {
-				if r.Diagnosis.Verdict == sim.Diverging {
-					worst = sim.Diverging
-				} else if r.Diagnosis.Verdict == sim.Inconclusive && worst == sim.Stable {
-					worst = sim.Inconclusive
-				}
-				if p := float64(r.Totals.PeakPotential); p > peak {
-					peak = p
-				}
+			v := v
+			for rep := 0; rep < cfg.seeds(); rep++ {
+				jobs = append(jobs, sweep.Job{
+					Desc: sweep.Desc{Index: len(jobs), Grid: "E11", Network: w.name,
+						Variant: v.name, Replica: rep, Seed: cfg.Seed + uint64(rep),
+						Horizon: cfg.horizon()},
+					Build: func(seed uint64) *core.Engine {
+						e := core.NewEngine(w.spec, core.NewLGG())
+						v.build(seed, e)
+						return e
+					},
+				})
 			}
-			ce := ref.Diagnosis.Verdict == sim.Stable && worst == sim.Diverging
+		}
+	}
+	rs, _ := (&sweep.Runner{}).Run(jobs)
+	counterexamples := 0
+	perWorkload := 1 + len(variants)*cfg.seeds()
+	for wi, w := range ws {
+		block := rs[wi*perWorkload : (wi+1)*perWorkload]
+		ref := block[0]
+		refPeak := float64(ref.PeakPotential)
+		for vi, v := range variants {
+			cell := block[1+vi*cfg.seeds() : 1+(vi+1)*cfg.seeds()]
+			worst := sweep.WorstVerdict(cell)
+			peak := float64(sweep.PeakPotential(cell))
+			ce := ref.Verdict == sim.Stable && worst == sim.Diverging
 			if ce {
 				counterexamples++
 			}
@@ -95,7 +108,7 @@ func runE11(cfg Config) *Table {
 			if refPeak > 0 {
 				ratio = peak / refPeak
 			}
-			t.AddRow(w.name, v.name, ref.Diagnosis.Verdict.String(), worst.String(),
+			t.AddRow(w.name, v.name, ref.Verdict.String(), worst.String(),
 				fmtF(ratio), fmt.Sprintf("%v", ce))
 		}
 	}
@@ -121,18 +134,30 @@ func runE12(cfg Config) *Table {
 		{Period: 20, BurstLen: 10, BurstFactor: 3, QuietFactor: 0}, // avg 1.5×in (3/step = f*: frontier)
 		{Period: 20, BurstLen: 10, BurstFactor: 4, QuietFactor: 0}, // avg 2.0×in (4/step > f*: diverges)
 	}
+	var jobs []sweep.Job
 	for _, b := range bursts {
+		b := b
+		for rep := 0; rep < cfg.seeds(); rep++ {
+			jobs = append(jobs, sweep.Job{
+				Desc: sweep.Desc{Index: len(jobs), Grid: "E12", Network: spec.String(),
+					Variant: b.Name(), Replica: rep, Seed: cfg.Seed + uint64(rep),
+					Horizon: cfg.horizon()},
+				Build: func(uint64) *core.Engine {
+					e := core.NewEngine(spec, core.NewLGG())
+					e.Arrivals = b
+					return e
+				},
+			})
+		}
+	}
+	rs, _ := (&sweep.Runner{}).Run(jobs)
+	for i, cell := range sweep.Cells(rs, cfg.seeds()) {
+		b := bursts[i]
 		burstRate := spec.ArrivalRate() * b.BurstFactor
-		rs := sim.RunSeeds(func(seed uint64) *core.Engine {
-			e := core.NewEngine(spec, core.NewLGG())
-			e.Arrivals = b
-			return e
-		}, sim.Seeds(cfg.Seed, cfg.seeds()), sim.Options{Horizon: cfg.horizon()})
-		share := sim.StableShare(rs)
-		verdict := rs[0].Diagnosis.Verdict.String()
 		avgPerStep := b.AverageFactor() * float64(spec.ArrivalRate())
 		t.AddRow(spec.String(), b.Name(), fmtF(avgPerStep/float64(a.FStar)),
-			fmt.Sprintf("%v", burstRate > a.FStar), fmtF(share), verdict)
+			fmt.Sprintf("%v", burstRate > a.FStar), fmtF(sweep.StableShare(cell)),
+			cell[0].Verdict.String())
 	}
 	return t
 }
@@ -149,17 +174,30 @@ func runE13(cfg Config) *Table {
 	spec := thetaSpec(3, 2, 1, 3) // f* = 3; In=1 marks node 0 a source
 	a := spec.Analyze(flow.NewPushRelabel())
 	cut := float64(a.FStar)
-	for _, hi := range []int64{3, 5, 7} { // means 1.5, 2.5, 3.5
-		mean := float64(hi) / 2
-		rs := sim.RunSeeds(func(seed uint64) *core.Engine {
-			e := core.NewEngine(spec, core.NewLGG())
-			his := make([]int64, spec.N())
-			his[0] = hi
-			e.Arrivals = &arrivals.Uniform{Hi: his, R: rng.New(seed).Split(21)}
-			return e
-		}, sim.Seeds(cfg.Seed, cfg.seeds()), sim.Options{Horizon: cfg.horizon()})
-		t.AddRow(spec.String(), fmtF(mean/cut), fmtF(sim.StableShare(rs)),
-			fmtF(stats.Mean(sim.MeanBacklogs(rs))))
+	his := []int64{3, 5, 7} // means 1.5, 2.5, 3.5
+	var jobs []sweep.Job
+	for _, hi := range his {
+		hi := hi
+		for rep := 0; rep < cfg.seeds(); rep++ {
+			jobs = append(jobs, sweep.Job{
+				Desc: sweep.Desc{Index: len(jobs), Grid: "E13", Network: spec.String(),
+					Variant: fmt.Sprintf("hi=%d", hi), Replica: rep,
+					Seed: cfg.Seed + uint64(rep), Horizon: cfg.horizon()},
+				Build: func(seed uint64) *core.Engine {
+					e := core.NewEngine(spec, core.NewLGG())
+					h := make([]int64, spec.N())
+					h[0] = hi
+					e.Arrivals = &arrivals.Uniform{Hi: h, R: rng.New(seed).Split(21)}
+					return e
+				},
+			})
+		}
+	}
+	rs, _ := (&sweep.Runner{}).Run(jobs)
+	for i, cell := range sweep.Cells(rs, cfg.seeds()) {
+		mean := float64(his[i]) / 2
+		t.AddRow(spec.String(), fmtF(mean/cut), fmtF(sweep.StableShare(cell)),
+			fmtF(sweep.MeanBacklog(cell)))
 	}
 	return t
 }
@@ -194,28 +232,50 @@ func runE14(cfg Config) *Table {
 			return &dynamic.Flaky{PUp: 0.7, Protected: prot, R: rng.New(seed).Split(31)}
 		}, "yes"},
 	}
-	for _, c := range cases {
-		rs := sim.RunSeeds(func(seed uint64) *core.Engine {
-			e := core.NewEngine(spec, core.NewLGG())
-			e.Topology = c.mk(seed)
-			return e
-		}, sim.Seeds(cfg.Seed, cfg.seeds()), sim.Options{Horizon: cfg.horizon()})
-		t.AddRow(spec.String(), c.mk(0).Name(), c.feasible,
-			fmtF(sim.StableShare(rs)), rs[0].Diagnosis.Verdict.String())
-	}
 	// control: a saturated line whose only edge blinks dead every other
 	// period — average capacity ½ < rate ⇒ divergence.
 	line := core.NewSpec(graph.Line(2)).SetSource(0, 1).SetSink(1, 1)
 	maskOn := []bool{true}
 	maskOff := []bool{false}
 	churn := &dynamic.Churn{MaskA: maskOn, MaskB: maskOff, Period: 1}
-	rs := sim.RunSeeds(func(seed uint64) *core.Engine {
-		e := core.NewEngine(line, core.NewLGG())
-		e.Topology = churn
-		return e
-	}, sim.Seeds(cfg.Seed, cfg.seeds()), sim.Options{Horizon: cfg.horizon()})
+	var jobs []sweep.Job
+	for _, c := range cases {
+		c := c
+		for rep := 0; rep < cfg.seeds(); rep++ {
+			jobs = append(jobs, sweep.Job{
+				Desc: sweep.Desc{Index: len(jobs), Grid: "E14", Network: spec.String(),
+					Variant: c.name, Replica: rep, Seed: cfg.Seed + uint64(rep),
+					Horizon: cfg.horizon()},
+				Build: func(seed uint64) *core.Engine {
+					e := core.NewEngine(spec, core.NewLGG())
+					e.Topology = c.mk(seed)
+					return e
+				},
+			})
+		}
+	}
+	for rep := 0; rep < cfg.seeds(); rep++ {
+		jobs = append(jobs, sweep.Job{
+			Desc: sweep.Desc{Index: len(jobs), Grid: "E14", Network: line.String(),
+				Variant: churn.Name(), Replica: rep, Seed: cfg.Seed + uint64(rep),
+				Horizon: cfg.horizon()},
+			Build: func(uint64) *core.Engine {
+				e := core.NewEngine(line, core.NewLGG())
+				e.Topology = churn
+				return e
+			},
+		})
+	}
+	rs, _ := (&sweep.Runner{}).Run(jobs)
+	cells := sweep.Cells(rs, cfg.seeds())
+	for i, c := range cases {
+		cell := cells[i]
+		t.AddRow(spec.String(), c.mk(0).Name(), c.feasible,
+			fmtF(sweep.StableShare(cell)), cell[0].Verdict.String())
+	}
+	control := cells[len(cases)]
 	t.AddRow(line.String(), churn.Name(), "no (½ capacity)",
-		fmtF(sim.StableShare(rs)), rs[0].Diagnosis.Verdict.String())
+		fmtF(sweep.StableShare(control)), control[0].Verdict.String())
 	return t
 }
 
@@ -246,17 +306,36 @@ func runE15(cfg Config) *Table {
 		name     string
 		num, den int64
 	}{{"1/3", 1, 3}, {"2/3", 2, 3}}
+	type e15cell struct {
+		sch  string
+		load string
+	}
+	var cells []e15cell
+	var jobs []sweep.Job
 	for _, sch := range schedulers {
+		sch := sch
 		for _, ld := range loads {
-			rs := sim.RunSeeds(func(seed uint64) *core.Engine {
-				e := core.NewEngine(spec, core.NewLGG())
-				e.Arrivals = &arrivals.Scaled{Inner: core.ExactArrivals{}, Num: ld.num, Den: ld.den}
-				e.Interference = sch.mk()
-				return e
-			}, sim.Seeds(cfg.Seed, cfg.seeds()), sim.Options{Horizon: cfg.horizon()})
-			t.AddRow(spec.String(), sch.name, ld.name,
-				fmtF(sim.StableShare(rs)), fmtF(stats.Mean(sim.MeanBacklogs(rs))))
+			ld := ld
+			cells = append(cells, e15cell{sch.name, ld.name})
+			for rep := 0; rep < cfg.seeds(); rep++ {
+				jobs = append(jobs, sweep.Job{
+					Desc: sweep.Desc{Index: len(jobs), Grid: "E15", Network: spec.String(),
+						Router: sch.name, Variant: "load=" + ld.name, Replica: rep,
+						Seed: cfg.Seed + uint64(rep), Horizon: cfg.horizon()},
+					Build: func(uint64) *core.Engine {
+						e := core.NewEngine(spec, core.NewLGG())
+						e.Arrivals = &arrivals.Scaled{Inner: core.ExactArrivals{}, Num: ld.num, Den: ld.den}
+						e.Interference = sch.mk()
+						return e
+					},
+				})
+			}
 		}
+	}
+	rs, _ := (&sweep.Runner{}).Run(jobs)
+	for i, cell := range sweep.Cells(rs, cfg.seeds()) {
+		t.AddRow(spec.String(), cells[i].sch, cells[i].load,
+			fmtF(sweep.StableShare(cell)), fmtF(sweep.MeanBacklog(cell)))
 	}
 	return t
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 func init() {
@@ -20,17 +21,20 @@ func init() {
 		Paper: "Section V-C, Remark 2", Run: runE10})
 }
 
-// runE8 runs unsaturated workloads as R-generalized networks across
-// retention constants, declaration (lying) policies and extraction
-// policies; Theorem 2 (under Conjecture 1) predicts stability for all of
-// them, and Property 3's growth bound must hold throughout.
-func runE8(cfg Config) *Table {
-	t := &Table{
-		ID:      "E8",
-		Title:   "R-generalized stability across lying/extraction policies",
-		Claim:   "LGG is stable for every R, declaration and extraction policy; ΔP ≤ Property-3 bound",
-		Columns: []string{"network", "R", "declare", "extract", "stable-share", "peak-P", "growth≤P3-bound"},
-	}
+// e8cell is one (network, R/declare/extract variant) cell of the E8 grid,
+// with its retention-patched spec and Property 3 bound precomputed.
+type e8cell struct {
+	w       workload
+	r       int64
+	declare core.DeclarePolicy
+	extract core.ExtractPolicy
+	spec    *core.Spec
+	bound   float64
+}
+
+// generalizedCells enumerates the E8 grid: unsaturated workloads crossed
+// with retention constants, declaration (lying) and extraction policies.
+func generalizedCells(cfg Config) []e8cell {
 	type variant struct {
 		r       int64
 		declare core.DeclarePolicy
@@ -49,53 +53,82 @@ func runE8(cfg Config) *Table {
 			variant{64, core.DeclareZero{}, core.ExtractMin{}},
 		)
 	}
-	ws := unsaturatedSuite(cfg)
-	type job struct {
-		w workload
-		v variant
-	}
-	var jobs []job
-	for _, w := range ws {
+	var cells []e8cell
+	for _, w := range unsaturatedSuite(cfg) {
 		for _, v := range variants {
-			jobs = append(jobs, job{w, v})
-		}
-	}
-	rows := make([][]string, len(jobs))
-	sim.ForEach(len(jobs), func(i int) {
-		j := jobs[i]
-		// retention applies to all terminals (the paper's R is global)
-		spec := core.NewSpec(j.w.spec.G)
-		copy(spec.In, j.w.spec.In)
-		copy(spec.Out, j.w.spec.Out)
-		for v := range spec.R {
-			if spec.In[v] > 0 || spec.Out[v] > 0 {
-				spec.R[v] = j.v.r
-			}
-		}
-		bound := core.GeneralizedGrowthBound(spec)
-		okBound := true
-		rs := sim.RunSeeds(func(seed uint64) *core.Engine {
-			e := core.NewEngine(spec, core.NewLGG())
-			e.Declare = j.v.declare
-			e.Extract = j.v.extract
-			return e
-		}, sim.Seeds(cfg.Seed, cfg.seeds()), sim.Options{Horizon: cfg.horizon(), RecordDeltas: true})
-		var peak float64
-		for _, r := range rs {
-			if p := float64(r.Totals.PeakPotential); p > peak {
-				peak = p
-			}
-			for _, d := range r.Series.Deltas {
-				if d > bound {
-					okBound = false
+			// retention applies to all terminals (the paper's R is global)
+			spec := core.NewSpec(w.spec.G)
+			copy(spec.In, w.spec.In)
+			copy(spec.Out, w.spec.Out)
+			for n := range spec.R {
+				if spec.In[n] > 0 || spec.Out[n] > 0 {
+					spec.R[n] = v.r
 				}
 			}
+			cells = append(cells, e8cell{w: w, r: v.r, declare: v.declare,
+				extract: v.extract, spec: spec, bound: core.GeneralizedGrowthBound(spec)})
 		}
-		rows[i] = []string{j.w.name, fmtI(j.v.r), j.v.declare.Name(), j.v.extract.Name(),
-			fmtF(sim.StableShare(rs)), fmtF(peak), fmt.Sprintf("%v", okBound)}
-	})
-	for _, row := range rows {
-		t.AddRow(row...)
+	}
+	return cells
+}
+
+// generalizedJobs flattens the E8 grid into sweep jobs, replicas
+// contiguous per cell, with per-step potential deltas recorded for the
+// Property 3 check.
+func generalizedJobs(cfg Config, cells []e8cell) []sweep.Job {
+	jobs := make([]sweep.Job, 0, len(cells)*cfg.seeds())
+	for _, c := range cells {
+		c := c
+		variant := fmt.Sprintf("R=%d/%s/%s", c.r, c.declare.Name(), c.extract.Name())
+		for rep := 0; rep < cfg.seeds(); rep++ {
+			jobs = append(jobs, sweep.Job{
+				Desc: sweep.Desc{Index: len(jobs), Grid: "generalized", Network: c.w.name,
+					Variant: variant, Replica: rep, Seed: cfg.Seed + uint64(rep),
+					Horizon: cfg.horizon()},
+				Build: func(uint64) *core.Engine {
+					e := core.NewEngine(c.spec, core.NewLGG())
+					e.Declare = c.declare
+					e.Extract = c.extract
+					return e
+				},
+				Options: sim.Options{Horizon: cfg.horizon(), RecordDeltas: true},
+			})
+		}
+	}
+	return jobs
+}
+
+// GeneralizedGrid returns the E8 R-generalized job list (lying and
+// retention policies across the unsaturated suite) for sweep-based
+// execution.
+func GeneralizedGrid(cfg Config) []sweep.Job {
+	return generalizedJobs(cfg, generalizedCells(cfg))
+}
+
+// runE8 runs unsaturated workloads as R-generalized networks across
+// retention constants, declaration (lying) policies and extraction
+// policies; Theorem 2 (under Conjecture 1) predicts stability for all of
+// them, and Property 3's growth bound must hold throughout.
+func runE8(cfg Config) *Table {
+	t := &Table{
+		ID:      "E8",
+		Title:   "R-generalized stability across lying/extraction policies",
+		Claim:   "LGG is stable for every R, declaration and extraction policy; ΔP ≤ Property-3 bound",
+		Columns: []string{"network", "R", "declare", "extract", "stable-share", "peak-P", "growth≤P3-bound"},
+	}
+	cells := generalizedCells(cfg)
+	rs, _ := (&sweep.Runner{}).Run(generalizedJobs(cfg, cells))
+	for i, cell := range sweep.Cells(rs, cfg.seeds()) {
+		c := cells[i]
+		okBound := true
+		for _, r := range cell {
+			if r.MaxDelta > c.bound {
+				okBound = false
+			}
+		}
+		t.AddRow(c.w.name, fmtI(c.r), c.declare.Name(), c.extract.Name(),
+			fmtF(sweep.StableShare(cell)), fmtF(float64(sweep.PeakPotential(cell))),
+			fmt.Sprintf("%v", okBound))
 	}
 	return t
 }
@@ -111,27 +144,32 @@ func runE9(cfg Config) *Table {
 		Columns: []string{"network", "class", "rate=f(Φ)", "stable-share", "peak-backlog", "final-backlog"},
 	}
 	ws := saturatedSuite(cfg)
-	rows := make([][]string, len(ws))
-	sim.ForEach(len(ws), func(i int) {
+	jobs := make([]sweep.Job, 0, len(ws)*cfg.seeds())
+	for _, w := range ws {
+		w := w
+		for rep := 0; rep < cfg.seeds(); rep++ {
+			jobs = append(jobs, sweep.Job{
+				Desc: sweep.Desc{Index: len(jobs), Grid: "E9", Network: w.name,
+					Replica: rep, Seed: cfg.Seed + uint64(rep), Horizon: cfg.horizon()},
+				Build: func(uint64) *core.Engine { return core.NewEngine(w.spec, core.NewLGG()) },
+			})
+		}
+	}
+	rs, _ := (&sweep.Runner{}).Run(jobs)
+	for i, cell := range sweep.Cells(rs, cfg.seeds()) {
 		w := ws[i]
 		a := w.spec.Analyze(flow.NewPushRelabel())
-		rs := sim.RunSeeds(func(seed uint64) *core.Engine {
-			return core.NewEngine(w.spec, core.NewLGG())
-		}, sim.Seeds(cfg.Seed, cfg.seeds()), sim.Options{Horizon: cfg.horizon()})
 		var peak, final int64
-		for _, r := range rs {
-			if r.Totals.PeakQueued > peak {
-				peak = r.Totals.PeakQueued
+		for _, r := range cell {
+			if r.PeakQueued > peak {
+				peak = r.PeakQueued
 			}
-			if r.Totals.FinalQueued > final {
-				final = r.Totals.FinalQueued
+			if r.FinalQueued > final {
+				final = r.FinalQueued
 			}
 		}
-		rows[i] = []string{w.name, a.Feasibility.String(), fmtI(a.MaxFlow.Value),
-			fmtF(sim.StableShare(rs)), fmtI(peak), fmtI(final)}
-	})
-	for _, row := range rows {
-		t.AddRow(row...)
+		t.AddRow(w.name, a.Feasibility.String(), fmtI(a.MaxFlow.Value),
+			fmtF(sweep.StableShare(cell)), fmtI(peak), fmtI(final))
 	}
 	return t
 }

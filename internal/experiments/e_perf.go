@@ -9,8 +9,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/graph"
 	"repro/internal/rng"
-	"repro/internal/sim"
-	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 func init() {
@@ -22,17 +21,18 @@ func init() {
 		Paper: "—", Run: runP2})
 }
 
-// runE16 pits LGG against all baselines over a load grid. The expected
-// shape: LGG matches the clairvoyant flow router's stability region (the
-// whole feasible region) while knowing nothing but neighbour queues;
-// shortest-path survives moderate load; random forwarding collapses early.
-func runE16(cfg Config) *Table {
-	t := &Table{
-		ID:      "E16",
-		Title:   "who wins: stability region and backlog per router",
-		Claim:   "LGG is stable wherever the max-flow router is; oblivious baselines are not",
-		Columns: []string{"network", "router", "load(×f*)", "stable-share", "mean-backlog"},
-	}
+// duelCell is one (network, router, load) cell of the E16 router duel.
+type duelCell struct {
+	w        workload
+	router   string
+	load     string
+	num, den int64
+	mk       func(spec *core.Spec, seed uint64) core.Router
+}
+
+// duelCells enumerates the E16 grid: workloads crossed with every router
+// and two sub-critical load points.
+func duelCells(cfg Config) []duelCell {
 	ws := []workload{
 		{"theta(3,2)", thetaSpec(3, 2, 2, 3)},
 		{"grid(3x4)", gridSpec(3, 4, 2, 1, 3)},
@@ -63,22 +63,65 @@ func runE16(cfg Config) *Table {
 			return baseline.NewRandomForward(rng.New(seed).Split(41))
 		}},
 	}
+	var cells []duelCell
 	for _, w := range ws {
 		a := w.spec.Analyze(flow.NewPushRelabel())
 		rate := w.spec.ArrivalRate()
 		for _, rc := range routers {
 			for _, ld := range loads {
-				num := a.FStar * ld.num
-				den := rate * ld.den
-				rs := sim.RunSeeds(func(seed uint64) *core.Engine {
-					e := core.NewEngine(w.spec, rc.mk(w.spec, seed))
-					e.Arrivals = &arrivals.Scaled{Inner: core.ExactArrivals{}, Num: num, Den: den}
-					return e
-				}, sim.Seeds(cfg.Seed, cfg.seeds()), sim.Options{Horizon: cfg.horizon()})
-				t.AddRow(w.name, rc.name, ld.name,
-					fmtF(sim.StableShare(rs)), fmtF(stats.Mean(sim.MeanBacklogs(rs))))
+				cells = append(cells, duelCell{w: w, router: rc.name, load: ld.name,
+					num: a.FStar * ld.num, den: rate * ld.den, mk: rc.mk})
 			}
 		}
+	}
+	return cells
+}
+
+// duelJobs flattens the E16 grid into sweep jobs, replicas contiguous per
+// cell.
+func duelJobs(cfg Config, cells []duelCell) []sweep.Job {
+	jobs := make([]sweep.Job, 0, len(cells)*cfg.seeds())
+	for _, c := range cells {
+		c := c
+		for rep := 0; rep < cfg.seeds(); rep++ {
+			jobs = append(jobs, sweep.Job{
+				Desc: sweep.Desc{Index: len(jobs), Grid: "duel", Network: c.w.name,
+					Router: c.router, Variant: "load=" + c.load, Replica: rep,
+					Seed: cfg.Seed + uint64(rep), Horizon: cfg.horizon()},
+				Build: func(seed uint64) *core.Engine {
+					e := core.NewEngine(c.w.spec, c.mk(c.w.spec, seed))
+					e.Arrivals = &arrivals.Scaled{Inner: core.ExactArrivals{}, Num: c.num, Den: c.den}
+					return e
+				},
+			})
+		}
+	}
+	return jobs
+}
+
+// RouterDuelGrid returns the E16 router-duel job list (every router across
+// the load grid) for sweep-based execution.
+func RouterDuelGrid(cfg Config) []sweep.Job {
+	return duelJobs(cfg, duelCells(cfg))
+}
+
+// runE16 pits LGG against all baselines over a load grid. The expected
+// shape: LGG matches the clairvoyant flow router's stability region (the
+// whole feasible region) while knowing nothing but neighbour queues;
+// shortest-path survives moderate load; random forwarding collapses early.
+func runE16(cfg Config) *Table {
+	t := &Table{
+		ID:      "E16",
+		Title:   "who wins: stability region and backlog per router",
+		Claim:   "LGG is stable wherever the max-flow router is; oblivious baselines are not",
+		Columns: []string{"network", "router", "load(×f*)", "stable-share", "mean-backlog"},
+	}
+	cells := duelCells(cfg)
+	rs, _ := (&sweep.Runner{}).Run(duelJobs(cfg, cells))
+	for i, cell := range sweep.Cells(rs, cfg.seeds()) {
+		c := cells[i]
+		t.AddRow(c.w.name, c.router, c.load,
+			fmtF(sweep.StableShare(cell)), fmtF(sweep.MeanBacklog(cell)))
 	}
 	return t
 }

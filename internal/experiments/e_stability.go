@@ -9,7 +9,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/rng"
 	"repro/internal/sim"
-	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 func init() {
@@ -31,6 +31,61 @@ func scaledEngine(spec *core.Spec, num, den int64) *core.Engine {
 	return e
 }
 
+// e4cell is one (network, load fraction) cell of the E4 stability grid.
+type e4cell struct {
+	w        workload
+	frac     string
+	rate     int64
+	fstar    int64
+	num, den int64
+}
+
+// stabilityCells enumerates the E4 grid: the unsaturated suite crossed
+// with load fractions of f*.
+func stabilityCells(cfg Config) []e4cell {
+	fracs := []struct {
+		name     string
+		num, den int64
+	}{{"0.50", 1, 2}, {"0.80", 4, 5}, {"1.00", 1, 1}, {"1.25", 5, 4}}
+	var cells []e4cell
+	for _, w := range unsaturatedSuite(cfg) {
+		a := w.spec.Analyze(flow.NewPushRelabel())
+		rate := w.spec.ArrivalRate()
+		for _, f := range fracs {
+			// target per-step total = ρ·f*: scale nominal rate by
+			// (f*·num)/(rate·den).
+			cells = append(cells, e4cell{w: w, frac: f.name, rate: rate,
+				fstar: a.FStar, num: a.FStar * f.num, den: rate * f.den})
+		}
+	}
+	return cells
+}
+
+// stabilityJobs flattens the E4 grid into sweep jobs, replicas contiguous
+// per cell.
+func stabilityJobs(cfg Config, cells []e4cell) []sweep.Job {
+	jobs := make([]sweep.Job, 0, len(cells)*cfg.seeds())
+	for _, c := range cells {
+		c := c
+		for rep := 0; rep < cfg.seeds(); rep++ {
+			jobs = append(jobs, sweep.Job{
+				Desc: sweep.Desc{Index: len(jobs), Grid: "stability", Network: c.w.name,
+					Variant: "rho=" + c.frac, Replica: rep, Seed: cfg.Seed + uint64(rep),
+					Horizon: cfg.horizon()},
+				Build: func(uint64) *core.Engine { return scaledEngine(c.w.spec, c.num, c.den) },
+			})
+		}
+	}
+	return jobs
+}
+
+// StabilityGrid returns the E4 load-sweep job list (Theorem 1's stability
+// frontier) for sweep-based execution: lggsweep and BenchmarkSweep* run
+// exactly the grid the experiment tables are built from.
+func StabilityGrid(cfg Config) []sweep.Job {
+	return stabilityJobs(cfg, stabilityCells(cfg))
+}
+
 // runE4 sweeps the injected load as a fraction of f* on the unsaturated
 // suite: LGG must be stable through the entire feasible region (ρ ≤ 1)
 // and diverge beyond it.
@@ -41,29 +96,17 @@ func runE4(cfg Config) *Table {
 		Claim:   "stable for every load ρ ≤ 1 (×f*), diverging for ρ > 1",
 		Columns: []string{"network", "ρ(×f*)", "rate", "f*", "stable-share", "mean-backlog", "verdict"},
 	}
-	fracs := []struct {
-		name     string
-		num, den int64
-	}{{"0.50", 1, 2}, {"0.80", 4, 5}, {"1.00", 1, 1}, {"1.25", 5, 4}}
-	for _, w := range unsaturatedSuite(cfg) {
-		a := w.spec.Analyze(flow.NewPushRelabel())
-		rate := w.spec.ArrivalRate()
-		for _, f := range fracs {
-			// target per-step total = ρ·f*: scale nominal rate by
-			// (f*·num)/(rate·den).
-			num := a.FStar * f.num
-			den := rate * f.den
-			rs := sim.RunSeeds(func(seed uint64) *core.Engine {
-				return scaledEngine(w.spec, num, den)
-			}, sim.Seeds(cfg.Seed, cfg.seeds()), sim.Options{Horizon: cfg.horizon()})
-			share := sim.StableShare(rs)
-			verdict := "stable"
-			if share < 0.5 {
-				verdict = rs[0].Diagnosis.Verdict.String()
-			}
-			t.AddRow(w.name, f.name, fmtI(rate*num/den), fmtI(a.FStar),
-				fmtF(share), fmtF(stats.Mean(sim.MeanBacklogs(rs))), verdict)
+	cells := stabilityCells(cfg)
+	rs, _ := (&sweep.Runner{}).Run(stabilityJobs(cfg, cells))
+	for i, cell := range sweep.Cells(rs, cfg.seeds()) {
+		c := cells[i]
+		share := sweep.StableShare(cell)
+		verdict := "stable"
+		if share < 0.5 {
+			verdict = cell[0].Verdict.String()
 		}
+		t.AddRow(c.w.name, c.frac, fmtI(c.rate*c.num/c.den), fmtI(c.fstar),
+			fmtF(share), fmtF(sweep.MeanBacklog(cell)), verdict)
 	}
 	t.Note("ρ=1.00 loads the network exactly at f* (the saturated frontier); Theorem 1 still predicts stability there")
 	return t
@@ -106,18 +149,25 @@ func runE5(cfg Config) *Table {
 	for _, r := range mkRouters(0) {
 		names = append(names, r.Name())
 	}
-	rows := make([][]string, len(names))
-	sim.ForEach(len(names), func(i int) {
-		e := core.NewEngine(spec, mkRouters(cfg.Seed)[i])
-		e.Arrivals = &arrivals.Scaled{Inner: core.ExactArrivals{}, Num: num, Den: den}
-		r := sim.Run(e, sim.Options{Horizon: cfg.horizon()})
+	jobs := make([]sweep.Job, len(names))
+	for i, name := range names {
+		i := i
+		jobs[i] = sweep.Job{
+			Desc: sweep.Desc{Index: i, Grid: "E5", Network: spec.String(), Router: name,
+				Seed: cfg.Seed, Horizon: cfg.horizon()},
+			Build: func(seed uint64) *core.Engine {
+				e := core.NewEngine(spec, mkRouters(seed)[i])
+				e.Arrivals = &arrivals.Scaled{Inner: core.ExactArrivals{}, Num: num, Den: den}
+				return e
+			},
+		}
+	}
+	rs, _ := (&sweep.Runner{}).Run(jobs)
+	for i, r := range rs {
 		margin := float64(actual - a.FStar)
-		ok := r.Diagnosis.Slope >= margin*0.9 // tolerance for warmup
-		rows[i] = []string{spec.String(), names[i], fmtI(actual), fmtI(a.FStar),
-			r.Diagnosis.Verdict.String(), fmtF(r.Diagnosis.Slope), fmt.Sprintf("%v", ok)}
-	})
-	for _, row := range rows {
-		t.AddRow(row...)
+		ok := r.Slope >= margin*0.9 // tolerance for warmup
+		t.AddRow(spec.String(), names[i], fmtI(actual), fmtI(a.FStar),
+			r.Verdict.String(), fmtF(r.Slope), fmt.Sprintf("%v", ok))
 	}
 	return t
 }
@@ -132,18 +182,23 @@ func runE6(cfg Config) *Table {
 		Columns: []string{"network", "n", "Δ", "bound 5nΔ²", "max-observed", "ratio", "holds"},
 	}
 	ws := unsaturatedSuite(cfg)
-	rows := make([][]string, len(ws))
-	sim.ForEach(len(ws), func(i int) {
+	jobs := make([]sweep.Job, len(ws))
+	for i, w := range ws {
+		w := w
+		jobs[i] = sweep.Job{
+			Desc: sweep.Desc{Index: i, Grid: "E6", Network: w.name,
+				Seed: cfg.Seed, Horizon: cfg.horizon()},
+			Build:   func(uint64) *core.Engine { return core.NewEngine(w.spec, core.NewLGG()) },
+			Options: sim.Options{Horizon: cfg.horizon(), RecordDeltas: true},
+		}
+	}
+	rs, _ := (&sweep.Runner{}).Run(jobs)
+	for i, r := range rs {
 		w := ws[i]
-		e := core.NewEngine(w.spec, core.NewLGG())
-		r := sim.Run(e, sim.Options{Horizon: cfg.horizon(), RecordDeltas: true})
-		maxD := stats.Max(r.Series.Deltas)
 		bound := 5 * float64(w.spec.N()) * float64(w.spec.Delta()) * float64(w.spec.Delta())
-		rows[i] = []string{w.name, fmtI(int64(w.spec.N())), fmtI(int64(w.spec.Delta())),
-			fmtF(bound), fmtF(maxD), fmtF(maxD / bound), fmt.Sprintf("%v", maxD <= bound)}
-	})
-	for _, row := range rows {
-		t.AddRow(row...)
+		t.AddRow(w.name, fmtI(int64(w.spec.N())), fmtI(int64(w.spec.Delta())),
+			fmtF(bound), fmtF(r.MaxDelta), fmtF(r.MaxDelta/bound),
+			fmt.Sprintf("%v", r.MaxDelta <= bound))
 	}
 	t.Note("the bound is intentionally loose (worst-case over all reachable states); small ratios are expected")
 	return t

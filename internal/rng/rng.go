@@ -174,3 +174,15 @@ func (s *Source) Binomial(n int64, p float64) int64 {
 // Seed returns the root seed this Source (or its ancestors) was created
 // with. Useful for labelling experiment outputs.
 func (s *Source) Seed() uint64 { return s.seed }
+
+// runStream is the label namespace reserved for per-run sweep streams, so
+// ForRun(base, i) can never collide with an experiment's New(base).Split(i).
+const runStream = 0x52554e53 // "RUNS"
+
+// ForRun returns the canonical independent stream for run number index of
+// a sweep rooted at base. The stream depends only on (base, index): it is
+// identical across processes, GOMAXPROCS settings and worker schedules,
+// which is what makes parallel sweeps bit-reproducible.
+func ForRun(base, index uint64) *Source {
+	return New(base).Split(runStream).Split(index)
+}

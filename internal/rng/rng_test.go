@@ -257,3 +257,27 @@ func BenchmarkIntN(b *testing.B) {
 	}
 	_ = acc
 }
+
+func TestForRunDeterministic(t *testing.T) {
+	a := ForRun(7, 3)
+	b := ForRun(7, 3)
+	for i := 0; i < 20; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("ForRun streams with equal (base, index) differ")
+		}
+	}
+}
+
+func TestForRunIndependent(t *testing.T) {
+	// Distinct indices, and the plain Split namespace, must all disagree.
+	a := ForRun(7, 3).Uint64()
+	if b := ForRun(7, 4).Uint64(); b == a {
+		t.Fatal("adjacent run indices collide")
+	}
+	if c := New(7).Split(3).Uint64(); c == a {
+		t.Fatal("ForRun collides with the bare Split namespace")
+	}
+	if d := ForRun(8, 3).Uint64(); d == a {
+		t.Fatal("distinct base seeds collide")
+	}
+}

@@ -67,6 +67,23 @@ func (v Verdict) String() string {
 	return fmt.Sprintf("Verdict(%d)", int(v))
 }
 
+// MarshalText encodes the verdict as its String form, so JSON sweep
+// outputs carry "stable"/"diverging"/"inconclusive" instead of raw ints.
+func (v Verdict) MarshalText() ([]byte, error) {
+	return []byte(v.String()), nil
+}
+
+// UnmarshalText is the inverse of MarshalText.
+func (v *Verdict) UnmarshalText(b []byte) error {
+	for _, c := range []Verdict{Inconclusive, Stable, Diverging} {
+		if string(b) == c.String() {
+			*v = c
+			return nil
+		}
+	}
+	return fmt.Errorf("sim: unknown verdict %q", b)
+}
+
 // Diagnosis carries the detector's evidence.
 type Diagnosis struct {
 	Verdict Verdict
@@ -186,7 +203,15 @@ func RunSeeds(build EngineFactory, seeds []uint64, opts Options) []*Result {
 
 // ForEach runs fn(i) for i in [0, n) on min(n, GOMAXPROCS) goroutines.
 func ForEach(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
+	ForEachWorkers(n, 0, fn)
+}
+
+// ForEachWorkers runs fn(i) for i in [0, n) on min(n, workers) goroutines,
+// dispatching indices in increasing order. workers <= 0 means GOMAXPROCS.
+func ForEachWorkers(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > n {
 		workers = n
 	}

@@ -194,3 +194,39 @@ func TestExtractors(t *testing.T) {
 		t.Fatal("AllVerdict on empty should be false")
 	}
 }
+
+func TestForEachWorkersCoversAll(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		var hits [37]int32
+		ForEachWorkers(len(hits), workers, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, h)
+			}
+		}
+	}
+	// n = 0 must be a no-op, not a hang.
+	ForEachWorkers(0, 4, func(int) { t.Fatal("fn called for n=0") })
+}
+
+func TestVerdictTextRoundTrip(t *testing.T) {
+	for _, v := range []Verdict{Inconclusive, Stable, Diverging} {
+		b, err := v.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Verdict
+		if err := got.UnmarshalText(b); err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			t.Fatalf("round trip %v -> %s -> %v", v, b, got)
+		}
+	}
+	var v Verdict
+	if err := v.UnmarshalText([]byte("bogus")); err == nil {
+		t.Fatal("bogus verdict accepted")
+	}
+}

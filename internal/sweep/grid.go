@@ -1,0 +1,112 @@
+package sweep
+
+import (
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Network is the topology axis of a grid: a named spec builder. The spec
+// is built once per grid enumeration and shared read-only by every engine
+// drawn from it.
+type Network struct {
+	Name string
+	New  func() *core.Spec
+}
+
+// RouterAxis is the routing-algorithm axis. New receives the network spec
+// and a run-private RNG stream (for randomized routers).
+type RouterAxis struct {
+	Name string
+	New  func(spec *core.Spec, r *rng.Source) core.Router
+}
+
+// Variant is the policy axis: a named mutation of a freshly built engine
+// (arrivals, losses, declaration/extraction policies, interference, …),
+// again with a run-private RNG stream.
+type Variant struct {
+	Name  string
+	Apply func(e *core.Engine, r *rng.Source)
+}
+
+// Grid is the cartesian product Networks × Routers × Variants × Replicas.
+// Jobs enumerates it into run descriptors whose RNG streams derive only
+// from (BaseSeed, run index), so a Grid executes bit-identically at any
+// worker count.
+type Grid struct {
+	Name     string
+	BaseSeed uint64
+	// Replicas is the number of independent runs per cell (default 1).
+	Replicas int
+	Horizon  int64
+	Networks []Network
+	Routers  []RouterAxis
+	Variants []Variant
+	// Options tunes every run; Horizon above wins when Options.Horizon is
+	// unset.
+	Options sim.Options
+}
+
+// identityVariant is the implicit single variant of a grid without a
+// Variants axis.
+var identityVariant = []Variant{{Name: "", Apply: nil}}
+
+// defaultRouter is the implicit single router of a grid without a Routers
+// axis: plain LGG.
+var defaultRouter = []RouterAxis{{Name: "lgg",
+	New: func(*core.Spec, *rng.Source) core.Router { return core.NewLGG() }}}
+
+// Jobs enumerates the grid in deterministic order: networks outermost,
+// then routers, variants, and replicas innermost (replicas of a cell stay
+// contiguous, so Cells applies directly to the results).
+func (g *Grid) Jobs() []Job {
+	replicas := g.Replicas
+	if replicas <= 0 {
+		replicas = 1
+	}
+	routers := g.Routers
+	if len(routers) == 0 {
+		routers = defaultRouter
+	}
+	variants := g.Variants
+	if len(variants) == 0 {
+		variants = identityVariant
+	}
+	var jobs []Job
+	for _, nw := range g.Networks {
+		spec := nw.New()
+		for _, rt := range routers {
+			for _, vr := range variants {
+				for rep := 0; rep < replicas; rep++ {
+					idx := len(jobs)
+					rt, vr := rt, vr
+					jobs = append(jobs, Job{
+						Desc: Desc{
+							Index:   idx,
+							Grid:    g.Name,
+							Network: nw.Name,
+							Router:  rt.Name,
+							Variant: vr.Name,
+							Replica: rep,
+							Seed:    g.BaseSeed,
+							Horizon: g.Horizon,
+						},
+						Build: func(uint64) *core.Engine {
+							// The run stream depends only on (base, index):
+							// sub-streams 1 and 2 feed the router and the
+							// variant, leaving the root for future axes.
+							rs := rng.ForRun(g.BaseSeed, uint64(idx))
+							e := core.NewEngine(spec, rt.New(spec, rs.Split(1)))
+							if vr.Apply != nil {
+								vr.Apply(e, rs.Split(2))
+							}
+							return e
+						},
+						Options: g.Options,
+					})
+				}
+			}
+		}
+	}
+	return jobs
+}

@@ -1,0 +1,360 @@
+// Package sweep fans a grid of independent simulation runs across a
+// bounded worker pool and collects their summaries in grid order.
+//
+// Determinism is the contract: every run owns an RNG stream derived only
+// from the sweep's base seed and the run's index (rng.ForRun), and results
+// are emitted in index order, so the output — including the JSON-lines
+// encoding — is byte-identical no matter how many workers execute the
+// sweep or how the scheduler interleaves them.
+//
+// Memory stays bounded: the dispatcher never runs more than a small
+// window of jobs ahead of the in-order emitter, so at most O(window) full
+// time series are alive at once even for sweeps with millions of runs.
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Desc identifies one run of a sweep: the axis values it was drawn from
+// plus its dense index in the grid enumeration. Desc is everything about a
+// run that ends up in structured output.
+type Desc struct {
+	Index   int    `json:"index"`
+	Grid    string `json:"grid,omitempty"`
+	Network string `json:"network,omitempty"`
+	Router  string `json:"router,omitempty"`
+	Variant string `json:"variant,omitempty"`
+	Replica int    `json:"replica"`
+	Seed    uint64 `json:"seed"`
+	Horizon int64  `json:"horizon"`
+}
+
+// Job couples a run descriptor with the factory that builds its engine.
+// Build is called with Desc.Seed; like sim.EngineFactory it must return an
+// independent engine because jobs execute concurrently.
+type Job struct {
+	Desc    Desc
+	Build   sim.EngineFactory
+	Options sim.Options
+}
+
+func (j Job) options() sim.Options {
+	o := j.Options
+	if o.Horizon <= 0 {
+		o.Horizon = j.Desc.Horizon
+	}
+	return o
+}
+
+// Result is the bounded-size summary of one completed run. It carries no
+// wall-clock fields on purpose: two sweeps over the same jobs must produce
+// identical Results at any worker count.
+type Result struct {
+	Desc
+	Verdict   sim.Verdict `json:"verdict"`
+	Slope     float64     `json:"slope"`
+	RelGrowth float64     `json:"rel_growth"`
+	R2        float64     `json:"r2"`
+	// MeanBacklog is the trailing-half mean of the recorded backlog
+	// series (the same statistic as sim.MeanBacklogs).
+	MeanBacklog float64 `json:"mean_backlog"`
+	// MaxDelta is the largest one-step potential change; only populated
+	// when the job ran with Options.RecordDeltas.
+	MaxDelta       float64 `json:"max_delta,omitempty"`
+	PeakPotential  int64   `json:"peak_potential"`
+	PeakQueued     int64   `json:"peak_queued"`
+	PeakMaxQ       int64   `json:"peak_maxq"`
+	FinalPotential int64   `json:"final_potential"`
+	FinalQueued    int64   `json:"final_queued"`
+	Injected       int64   `json:"injected"`
+	Sent           int64   `json:"sent"`
+	Lost           int64   `json:"lost"`
+	Arrived        int64   `json:"arrived"`
+	Extracted      int64   `json:"extracted"`
+	Collisions     int64   `json:"collisions"`
+	Violations     int64   `json:"violations"`
+}
+
+// Summarize reduces a full simulation result to its sweep summary.
+func Summarize(d Desc, r *sim.Result) Result {
+	out := Result{
+		Desc:           d,
+		Verdict:        r.Diagnosis.Verdict,
+		Slope:          r.Diagnosis.Slope,
+		RelGrowth:      r.Diagnosis.RelGrowth,
+		R2:             r.Diagnosis.R2,
+		PeakPotential:  r.Totals.PeakPotential,
+		PeakQueued:     r.Totals.PeakQueued,
+		PeakMaxQ:       r.Totals.PeakMaxQ,
+		FinalPotential: r.Totals.FinalPotential,
+		FinalQueued:    r.Totals.FinalQueued,
+		Injected:       r.Totals.Injected,
+		Sent:           r.Totals.Sent,
+		Lost:           r.Totals.Lost,
+		Arrived:        r.Totals.Arrived,
+		Extracted:      r.Totals.Extracted,
+		Collisions:     r.Totals.Collisions,
+		Violations:     r.Totals.Violations,
+	}
+	if q := r.Series.Queued; len(q) > 0 {
+		out.MeanBacklog = stats.Mean(q[len(q)/2:])
+	}
+	if len(r.Series.Deltas) > 0 {
+		out.MaxDelta = stats.Max(r.Series.Deltas)
+	}
+	return out
+}
+
+// Progress is a snapshot of a running sweep, delivered after each emitted
+// result.
+type Progress struct {
+	Done    int
+	Total   int
+	Elapsed time.Duration
+	// ETA extrapolates the remaining wall time from the mean rate so far.
+	ETA time.Duration
+}
+
+// ErrTimeout reports that a sweep hit its Runner.Timeout; Run then returns
+// the contiguous prefix of results that finished in time.
+var ErrTimeout = errors.New("sweep: timeout")
+
+// Runner executes jobs on a worker pool.
+type Runner struct {
+	// Workers is the pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// Timeout, when positive, stops dispatching new jobs once exceeded
+	// (runs already in flight complete). Run then returns the finished
+	// prefix and an error wrapping ErrTimeout.
+	Timeout time.Duration
+	// Window caps how far the dispatcher runs ahead of the in-order
+	// emitter (bounding retained full results); <= 0 means 4×Workers.
+	Window int
+	// Progress, when set, is invoked after every emitted result.
+	Progress func(Progress)
+	// OnResult, when set, receives each job's summary and full simulation
+	// result in index order, before the full result is released.
+	OnResult func(Job, Result, *sim.Result)
+}
+
+// item travels from a worker to the emitter.
+type item struct {
+	idx     int
+	res     Result
+	full    *sim.Result
+	skipped bool // dispatcher gave up on this job (timeout)
+}
+
+// Run executes every job and returns one summary per job, in job order.
+// With a Timeout it may return a shorter prefix plus ErrTimeout.
+func (r *Runner) Run(jobs []Job) ([]Result, error) {
+	n := len(jobs)
+	if n == 0 {
+		return nil, nil
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	window := r.Window
+	if window <= 0 {
+		window = 4 * workers
+	}
+	if window < workers {
+		window = workers
+	}
+
+	start := time.Now()
+	var deadline time.Time
+	if r.Timeout > 0 {
+		deadline = start.Add(r.Timeout)
+	}
+
+	// tokens bounds dispatched-but-not-yet-emitted jobs to the window.
+	// The dispatcher acquires them in index order — acquiring inside the
+	// workers instead would let the window fill with high-index jobs while
+	// the lowest unemitted job still waits for a token: deadlock.
+	tokens := make(chan struct{}, window)
+	next := make(chan int)
+	done := make(chan item, window)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				j := jobs[i]
+				full := sim.Run(j.Build(j.Desc.Seed), j.options())
+				it := item{idx: i, res: Summarize(j.Desc, full)}
+				if r.OnResult != nil {
+					it.full = full
+				}
+				done <- it
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < n; i++ {
+			tokens <- struct{}{}
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				done <- item{idx: i, skipped: true}
+				continue
+			}
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+		close(done)
+	}()
+
+	// Emit in index order; workers complete out of order, so buffer the
+	// gap (at most window items by construction).
+	results := make([]Result, 0, n)
+	pending := make(map[int]item, window)
+	want, timedOut := 0, false
+	for it := range done {
+		pending[it.idx] = it
+		for {
+			next, ok := pending[want]
+			if !ok {
+				break
+			}
+			delete(pending, want)
+			<-tokens
+			want++
+			if next.skipped {
+				timedOut = true
+			}
+			if timedOut {
+				continue // drain, but keep only the finished prefix
+			}
+			results = append(results, next.res)
+			if r.OnResult != nil {
+				r.OnResult(jobs[next.idx], next.res, next.full)
+			}
+			if r.Progress != nil {
+				elapsed := time.Since(start)
+				perRun := elapsed / time.Duration(len(results))
+				r.Progress(Progress{Done: len(results), Total: n, Elapsed: elapsed,
+					ETA: perRun * time.Duration(n-len(results))})
+			}
+		}
+	}
+	if timedOut {
+		return results, fmt.Errorf("%w after %v (%d/%d runs)", ErrTimeout, r.Timeout, len(results), n)
+	}
+	return results, nil
+}
+
+// NewReporter returns a Progress callback that writes one status line to w
+// at most once per interval, and always for the final result. Pass it to
+// Runner.Progress.
+func NewReporter(w io.Writer, interval time.Duration) func(Progress) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	var last time.Time
+	return func(p Progress) {
+		now := time.Now()
+		if p.Done < p.Total && now.Sub(last) < interval {
+			return
+		}
+		last = now
+		fmt.Fprintf(w, "sweep: %d/%d runs (%.1f%%) elapsed %s eta %s\n",
+			p.Done, p.Total, 100*float64(p.Done)/float64(p.Total),
+			p.Elapsed.Round(time.Millisecond), p.ETA.Round(time.Millisecond))
+	}
+}
+
+// WriteJSONL encodes results as JSON lines. For a fixed job list the bytes
+// are identical at any worker count (the determinism contract).
+func WriteJSONL(w io.Writer, rs []Result) error {
+	enc := json.NewEncoder(w)
+	for i := range rs {
+		if err := enc.Encode(&rs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Cells slices an ordered result list into contiguous cells of k replicas
+// each — the inverse of enumerating a grid cell-by-cell with k seeds.
+func Cells(rs []Result, k int) [][]Result {
+	if k <= 0 {
+		panic("sweep: Cells needs a positive replica count")
+	}
+	if len(rs)%k != 0 {
+		panic(fmt.Sprintf("sweep: %d results do not divide into cells of %d", len(rs), k))
+	}
+	out := make([][]Result, 0, len(rs)/k)
+	for i := 0; i < len(rs); i += k {
+		out = append(out, rs[i:i+k])
+	}
+	return out
+}
+
+// StableShare returns the fraction of results judged stable.
+func StableShare(rs []Result) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
+	c := 0
+	for _, r := range rs {
+		if r.Verdict == sim.Stable {
+			c++
+		}
+	}
+	return float64(c) / float64(len(rs))
+}
+
+// MeanBacklog averages the per-run trailing-half mean backlog.
+func MeanBacklog(rs []Result) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range rs {
+		sum += r.MeanBacklog
+	}
+	return sum / float64(len(rs))
+}
+
+// PeakPotential returns the largest peak network state across results.
+func PeakPotential(rs []Result) int64 {
+	var peak int64
+	for _, r := range rs {
+		if r.PeakPotential > peak {
+			peak = r.PeakPotential
+		}
+	}
+	return peak
+}
+
+// WorstVerdict returns the most pessimistic verdict present: diverging
+// beats inconclusive beats stable.
+func WorstVerdict(rs []Result) sim.Verdict {
+	worst := sim.Stable
+	for _, r := range rs {
+		switch r.Verdict {
+		case sim.Diverging:
+			return sim.Diverging
+		case sim.Inconclusive:
+			worst = sim.Inconclusive
+		}
+	}
+	return worst
+}
