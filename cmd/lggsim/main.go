@@ -1,17 +1,20 @@
 // Command lggsim runs a single S-D-network simulation and reports the
 // stability verdict, run statistics and (optionally) the P_t time series
-// as CSV.
+// as CSV, live per-step JSONL events, and a Prometheus-style metrics
+// scrape.
 //
 // Examples:
 //
 //	lggsim -topo theta -paths 3 -len 2 -in 2 -out 3 -horizon 5000
 //	lggsim -topo grid -rows 4 -cols 6 -in 1 -out 3 -router shortest -load 0.9
 //	lggsim -topo random -n 20 -m 40 -loss 0.1 -series series.csv
+//	lggsim -topo line -n 8 -metrics - -events steps.jsonl -eventstride 100
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/arrivals"
@@ -21,6 +24,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/interference"
 	"repro/internal/loss"
+	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/viz"
@@ -28,30 +32,33 @@ import (
 
 func main() {
 	var (
-		topo    = flag.String("topo", "theta", "topology: theta|line|grid|random|barbell")
-		paths   = flag.Int("paths", 3, "theta: number of disjoint paths")
-		length  = flag.Int("len", 2, "theta: path length (edges)")
-		n       = flag.Int("n", 12, "line/random: node count")
-		m       = flag.Int("m", 24, "random: edge count")
-		rows    = flag.Int("rows", 4, "grid: rows")
-		cols    = flag.Int("cols", 6, "grid: cols")
-		srcRows = flag.Int("srcrows", 2, "grid: rows carrying a source")
-		k       = flag.Int("k", 3, "barbell: clique size")
-		bridge  = flag.Int("bridge", 2, "barbell: bridge length")
-		in      = flag.Int64("in", 2, "per-source injection capacity in(s)")
-		out     = flag.Int64("out", 3, "per-sink extraction capacity out(d)")
-		router  = flag.String("router", "lgg", "router: lgg|flow|gradient|shortest|random|null")
-		horizon = flag.Int64("horizon", 5000, "steps to simulate")
-		seed    = flag.Uint64("seed", 1, "root seed")
-		lossP   = flag.Float64("loss", 0, "Bernoulli loss probability")
-		thin    = flag.Float64("thin", 1, "arrival thinning probability (1 = exact)")
-		loadN   = flag.Int64("loadnum", 0, "scale arrivals by loadnum/loadden (0 = off)")
-		loadD   = flag.Int64("loadden", 1, "load denominator")
-		retain  = flag.Int64("retention", 0, "retention constant R on all terminals")
-		declare = flag.String("declare", "truth", "declaration policy: truth|zero|max")
-		interf  = flag.String("interference", "", "interference: ''|greedy|oracle (node-exclusive)")
-		series  = flag.String("series", "", "write t,P,N,maxQ CSV to this file")
-		show    = flag.Bool("viz", false, "render backlog sparkline and final queue state")
+		topo        = flag.String("topo", "theta", "topology: theta|line|grid|random|barbell")
+		paths       = flag.Int("paths", 3, "theta: number of disjoint paths")
+		length      = flag.Int("len", 2, "theta: path length (edges)")
+		n           = flag.Int("n", 12, "line/random: node count")
+		m           = flag.Int("m", 24, "random: edge count")
+		rows        = flag.Int("rows", 4, "grid: rows")
+		cols        = flag.Int("cols", 6, "grid: cols")
+		srcRows     = flag.Int("srcrows", 2, "grid: rows carrying a source")
+		k           = flag.Int("k", 3, "barbell: clique size")
+		bridge      = flag.Int("bridge", 2, "barbell: bridge length")
+		in          = flag.Int64("in", 2, "per-source injection capacity in(s)")
+		out         = flag.Int64("out", 3, "per-sink extraction capacity out(d)")
+		router      = flag.String("router", "lgg", "router: lgg|flow|gradient|shortest|random|null")
+		horizon     = flag.Int64("horizon", 5000, "steps to simulate")
+		seed        = flag.Uint64("seed", 1, "root seed")
+		lossP       = flag.Float64("loss", 0, "Bernoulli loss probability")
+		thin        = flag.Float64("thin", 1, "arrival thinning probability (1 = exact)")
+		loadN       = flag.Int64("loadnum", 0, "scale arrivals by loadnum/loadden (0 = off)")
+		loadD       = flag.Int64("loadden", 1, "load denominator")
+		retain      = flag.Int64("retention", 0, "retention constant R on all terminals")
+		declare     = flag.String("declare", "truth", "declaration policy: truth|zero|max")
+		interf      = flag.String("interference", "", "interference: ''|greedy|oracle (node-exclusive)")
+		series      = flag.String("series", "", "write t,P,N,maxQ CSV to this file")
+		show        = flag.Bool("viz", false, "render backlog sparkline and final queue state")
+		metricsPath = flag.String("metrics", "", "write Prometheus text metrics after the run (- = stdout)")
+		eventsPath  = flag.String("events", "", "stream per-step JSONL events to this file (- = stdout)")
+		eventStride = flag.Int64("eventstride", 1, "emit only every Nth step event")
 	)
 	flag.Parse()
 
@@ -105,7 +112,38 @@ func main() {
 		fatal(fmt.Errorf("unknown interference scheduler %q", *interf))
 	}
 
+	// Observability: registry-backed metrics and/or a live event stream
+	// hang off the engine's step-observer hook.
+	var reg *metrics.Registry
+	if *metricsPath != "" {
+		reg = metrics.NewRegistry()
+		e.AddObserver(metrics.NewStepMetrics(reg))
+		e.AddObserver(metrics.NewDriftObserver(reg))
+	}
+	var ew *metrics.EventWriter
+	var eventsClose func() error
+	if *eventsPath != "" {
+		w, closeFn, err := openOut(*eventsPath)
+		if err != nil {
+			fatal(err)
+		}
+		eventsClose = closeFn
+		ew = metrics.NewEventWriter(w)
+		if *eventStride > 1 {
+			ew.Stride = *eventStride
+		}
+		e.AddObserver(ew)
+	}
+
 	res := sim.Run(e, sim.Options{Horizon: *horizon})
+	if ew != nil {
+		if err := ew.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := eventsClose(); err != nil {
+			fatal(err)
+		}
+	}
 	tt := res.Totals
 	fmt.Printf("router:      %s\n", rt.Name())
 	fmt.Printf("steps:       %d\n", tt.Steps)
@@ -140,6 +178,32 @@ func main() {
 		}
 		fmt.Printf("series:      %s (%d samples)\n", *series, len(res.Series.Potential))
 	}
+
+	if reg != nil {
+		w, closeFn, err := openOut(*metricsPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := reg.WriteProm(w); err != nil {
+			fatal(err)
+		}
+		if err := closeFn(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// openOut resolves "-" to stdout (with a no-op closer) and anything else
+// to a created file.
+func openOut(path string) (io.Writer, func() error, error) {
+	if path == "-" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
 }
 
 func buildSpec(topo string, paths, length, n, m, rows, cols, srcRows, k, bridge int, in, out int64, seed uint64) (*core.Spec, error) {

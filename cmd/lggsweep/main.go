@@ -1,15 +1,20 @@
 // Command lggsweep runs a named parameter grid on the parallel sweep
-// runner and emits one JSON line per run (plus, optionally, a CSV table).
+// runner and emits one JSON line per run (plus, optionally, a CSV table,
+// per-cell aggregates, a live JSONL event stream and a Prometheus-style
+// metrics scrape).
 //
 // Results are deterministic: each run draws its randomness only from the
 // root seed and its grid index, and output is emitted in grid order, so
-// the bytes are identical whether the sweep runs on 1 worker or 64.
+// the bytes — including the -events stream and the -metrics scrape —
+// are identical whether the sweep runs on 1 worker or 64.
 //
 // Usage:
 //
 //	lggsweep -list
 //	lggsweep -grid stability [-workers 8] [-seeds 8] [-horizon 3000] \
-//	         [-seed 1] [-timeout 10m] [-out runs.jsonl] [-csv runs.csv] [-quick]
+//	         [-seed 1] [-timeout 10m] [-out runs.jsonl] [-csv runs.csv] \
+//	         [-cells cells.jsonl] [-events events.jsonl] [-metrics metrics.prom] \
+//	         [-quick]
 package main
 
 import (
@@ -18,25 +23,30 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/sweep"
 )
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list grids and exit")
-		grid    = flag.String("grid", "", "grid name to run (see -list)")
-		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		timeout = flag.Duration("timeout", 0, "stop dispatching new runs after this long (0 = none)")
-		out     = flag.String("out", "-", "JSON-lines output path (- = stdout)")
-		csvPath = flag.String("csv", "", "also write results as CSV to this path")
-		seed    = flag.Uint64("seed", 1, "root seed")
-		seeds   = flag.Int("seeds", 8, "replicas per grid cell")
-		horizon = flag.Int64("horizon", 3000, "steps per run")
-		quick   = flag.Bool("quick", false, "reduced workloads (CI sizes)")
-		quiet   = flag.Bool("quiet", false, "suppress the progress reporter")
+		list        = flag.Bool("list", false, "list grids and exit")
+		grid        = flag.String("grid", "", "grid name to run (see -list)")
+		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		timeout     = flag.Duration("timeout", 0, "stop dispatching new runs after this long (0 = none)")
+		out         = flag.String("out", "-", "JSON-lines output path (- = stdout)")
+		csvPath     = flag.String("csv", "", "also write results as CSV to this path")
+		cellsPath   = flag.String("cells", "", "write per-cell aggregates here (.csv = CSV, otherwise JSONL)")
+		eventsPath  = flag.String("events", "", "stream per-run and per-cell JSONL events here (- = stdout)")
+		metricsPath = flag.String("metrics", "", "write aggregated Prometheus text metrics here (- = stdout)")
+		seed        = flag.Uint64("seed", 1, "root seed")
+		seeds       = flag.Int("seeds", 8, "replicas per grid cell")
+		horizon     = flag.Int64("horizon", 3000, "steps per run")
+		quick       = flag.Bool("quick", false, "reduced workloads (CI sizes)")
+		quiet       = flag.Bool("quiet", false, "suppress the progress reporter")
 	)
 	flag.Parse()
 
@@ -63,10 +73,34 @@ func main() {
 	if !*quiet {
 		runner.Progress = sweep.NewReporter(os.Stderr, time.Second)
 	}
+	var es *sweep.EventStreamer
+	var eventsClose func() error
+	if *eventsPath != "" {
+		w, closeFn, err := openOut(*eventsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lggsweep: %v\n", err)
+			os.Exit(1)
+		}
+		eventsClose = closeFn
+		es = sweep.NewEventStreamer(w, *seeds)
+		runner.OnResult = es.OnResult
+	}
 	rs, runErr := runner.Run(jobs)
 	if runErr != nil && !errors.Is(runErr, sweep.ErrTimeout) {
 		fmt.Fprintf(os.Stderr, "lggsweep: %v\n", runErr)
 		os.Exit(1)
+	}
+	if es != nil {
+		// A partial trailing cell after a timeout is reported, not fatal —
+		// the run error below already signals truncation.
+		if err := es.Flush(); err != nil && runErr == nil {
+			fmt.Fprintf(os.Stderr, "lggsweep: %v\n", err)
+			os.Exit(1)
+		}
+		if err := eventsClose(); err != nil {
+			fmt.Fprintf(os.Stderr, "lggsweep: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	if err := emitJSONL(*out, rs); err != nil {
@@ -79,10 +113,73 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *cellsPath != "" {
+		if err := emitCells(*cellsPath, rs, *seeds); err != nil {
+			fmt.Fprintf(os.Stderr, "lggsweep: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *metricsPath != "" {
+		if err := emitMetrics(*metricsPath, rs); err != nil {
+			fmt.Fprintf(os.Stderr, "lggsweep: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "lggsweep: %v\n", runErr)
 		os.Exit(1)
 	}
+}
+
+// openOut resolves "-" to stdout (with a no-op closer) and anything else
+// to a created file.
+func openOut(path string) (io.Writer, func() error, error) {
+	if path == "-" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+// emitCells aggregates complete cells (a timed-out sweep's trailing
+// partial cell is dropped, matching the finished-prefix semantics) and
+// writes them as CSV or JSONL depending on the extension.
+func emitCells(path string, rs []sweep.Result, replicas int) error {
+	if replicas <= 0 {
+		return fmt.Errorf("-cells needs a positive -seeds, got %d", replicas)
+	}
+	full := len(rs) - len(rs)%replicas
+	cells := sweep.AggregateCells(rs[:full], replicas)
+	w, closeFn, err := openOut(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = sweep.WriteCellsCSV(w, cells)
+	} else {
+		err = sweep.WriteCellsJSONL(w, cells)
+	}
+	if cerr := closeFn(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func emitMetrics(path string, rs []sweep.Result) error {
+	reg := metrics.NewRegistry()
+	sweep.RecordMetrics(reg, rs)
+	w, closeFn, err := openOut(path)
+	if err != nil {
+		return err
+	}
+	err = reg.WriteProm(w)
+	if cerr := closeFn(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func emitJSONL(path string, rs []sweep.Result) error {

@@ -11,13 +11,9 @@ import (
 	"os"
 
 	"repro"
-	"repro/internal/distsim"
 )
 
 func main() {
-	// NOTE: this example reaches one level below the public facade
-	// (internal/distsim) because it demonstrates an implementation
-	// equivalence; everyday users stay with package repro.
 	g := repro.Grid(4, 5)
 	spec := repro.NewSpec(g)
 	spec.SetSource(0, 1)
@@ -28,14 +24,14 @@ func main() {
 	fmt.Printf("network %s — %v\n", spec, repro.Classify(spec))
 
 	const rounds = 2000
-	lossModel := distsim.HashLoss{P: 0.1, Seed: 42}
+	lossModel := repro.HashLoss{P: 0.1, Seed: 42}
 
 	// Central simulation.
 	central := repro.NewEngine(spec, repro.NewLGG())
 	central.Loss = lossModel
 
 	// Message-passing execution: 20 goroutines, channels, barriers.
-	dist := distsim.New(spec, lossModel)
+	dist := repro.NewDistributed(spec, lossModel)
 	defer dist.Close()
 
 	mismatches := 0

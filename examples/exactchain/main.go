@@ -12,13 +12,6 @@ import (
 	"log"
 
 	"repro"
-	"repro/internal/arrivals"
-	"repro/internal/chain"
-	"repro/internal/core"
-	"repro/internal/flow"
-	"repro/internal/rng"
-	"repro/internal/sim"
-	"repro/internal/stats"
 )
 
 func main() {
@@ -30,7 +23,8 @@ func main() {
 		spec, thin, repro.Classify(spec))
 
 	// Exact analysis.
-	c, err := chain.Build(spec, chain.ThinnedBinomial(spec, thin), chain.Options{CapPerNode: 64})
+	c, err := repro.BuildChain(spec, repro.ThinnedBinomialIID(spec, thin),
+		repro.ChainOptions{CapPerNode: 64})
 	if err != nil {
 		log.Fatalf("enumeration: %v", err)
 	}
@@ -49,10 +43,10 @@ func main() {
 	fmt.Println()
 
 	// Simulation with a batch-means confidence interval.
-	e := core.NewEngine(spec, core.NewLGG())
-	e.Arrivals = &arrivals.Thinned{P: thin, R: rng.New(7)}
-	res := sim.Run(e, sim.Options{Horizon: 300000, Stride: 4})
-	mean, half := stats.BatchMeansCI(res.Series.Queued[len(res.Series.Queued)/4:], 32, 1.96)
+	e := repro.NewEngine(spec, repro.NewLGG())
+	repro.WithThinnedArrivals(e, thin, 7)
+	res := repro.Run(e, repro.Options{Horizon: 300000, Stride: 4})
+	mean, half := repro.BatchMeansCI(res.Series.Queued[len(res.Series.Queued)/4:], 32, 1.96)
 	fmt.Printf("\nsimulated: E[N] = %.5f ± %.5f (95%% batch-means CI, 300k steps)\n", mean, half)
 	exact := c.ExpectedBacklog(pi)
 	if exact >= mean-half && exact <= mean+half {
@@ -62,7 +56,7 @@ func main() {
 	}
 
 	// Structural bottlenecks.
-	tree := flow.GomoryHu(spec.G, flow.NewPushRelabel())
+	tree := repro.GomoryHu(spec.G)
 	fmt.Println("\nGomory–Hu bottlenecks (weakest node pairs):")
 	for _, p := range tree.WeakestPairs(3) {
 		fmt.Printf("  min-cut(%d, %d) = %d\n", p.U, p.V, p.Cut)

@@ -16,10 +16,6 @@ import (
 	"strings"
 
 	"repro"
-	"repro/internal/core"
-	"repro/internal/cutsplit"
-	"repro/internal/flow"
-	"repro/internal/sim"
 )
 
 func main() {
@@ -32,7 +28,7 @@ func main() {
 	fmt.Println("the structure Theorem 2's induction relies on, verified concretely.")
 }
 
-func barbell() *core.Spec {
+func barbell() *repro.Spec {
 	s := repro.NewSpec(mkBarbell())
 	s.SetSource(0, 1)
 	s.SetSink(repro.NodeID(s.N()-1), 2)
@@ -61,18 +57,18 @@ func mkBarbell() *repro.Multigraph {
 	return g
 }
 
-func walk(spec *core.Spec, depth int) {
+func walk(spec *repro.Spec, depth int) {
 	ind := strings.Repeat("  ", depth)
 	if spec.N() == 1 {
 		fmt.Printf("%s|V| = 1: trivially stable (induction floor)\n", ind)
 		return
 	}
-	a := spec.Analyze(flow.NewPushRelabel())
-	if a.Feasibility == flow.Infeasible {
+	a := repro.Analyze(spec)
+	if a.Feasibility == repro.Infeasible {
 		fmt.Printf("%sINFEASIBLE — the induction premise is violated\n", ind)
 		os.Exit(1)
 	}
-	kase, _ := cutsplit.InductionCaseExact(a, 256)
+	kase, _ := repro.InductionCaseExact(a, 256)
 	verdict := simulate(spec)
 	fmt.Printf("%s%s  case %d  (rate %d, f* %d)  LGG: %s\n",
 		ind, spec, kase, a.ArrivalRate, a.FStar, verdict)
@@ -81,19 +77,19 @@ func walk(spec *core.Spec, depth int) {
 		fmt.Printf("%s└ base case: %s\n", ind, base[kase])
 		return
 	}
-	mask, ok := cutsplit.FindInteriorCut(a, 256)
+	mask, ok := repro.FindInteriorCut(a, 256)
 	if !ok {
 		fmt.Printf("%scase 3 without an interior cut?!\n", ind)
 		os.Exit(1)
 	}
 	// R_B: the simulated bound on B's backlog grants A′'s border nodes
 	// their retention constant (the proof's R_B).
-	s, err := cutsplit.At(spec, mask, 16)
+	s, err := repro.SplitAt(spec, mask, 16)
 	if err != nil {
 		fmt.Printf("%ssplit failed: %v\n", ind, err)
 		os.Exit(1)
 	}
-	if _, _, err := s.Check(flow.NewPushRelabel()); err != nil {
+	if _, _, err := s.Check(repro.NewMaxFlowSolver()); err != nil {
 		fmt.Printf("%ssplit check failed: %v\n", ind, err)
 		os.Exit(1)
 	}
@@ -103,8 +99,8 @@ func walk(spec *core.Spec, depth int) {
 	walk(s.A.Spec, depth+1)
 }
 
-func simulate(spec *core.Spec) string {
-	e := core.NewEngine(spec, core.NewLGG())
-	r := sim.Run(e, sim.Options{Horizon: 4000})
+func simulate(spec *repro.Spec) string {
+	e := repro.NewEngine(spec, repro.NewLGG())
+	r := repro.Run(e, repro.Options{Horizon: 4000})
 	return fmt.Sprintf("%v (peak backlog %d)", r.Diagnosis.Verdict, r.Totals.PeakQueued)
 }

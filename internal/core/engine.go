@@ -162,6 +162,8 @@ type Engine struct {
 	sentBy   []int64
 	lastSnap Snapshot
 	trace    *StepTrace
+	// observers registered with AddObserver, invoked after every step.
+	observers []StepObserver
 }
 
 // EnableTrace switches on per-step tracing and returns the trace buffer,
@@ -362,6 +364,9 @@ func (e *Engine) Step() StepStats {
 	st.Potential = Potential(e.Q)
 	st.Queued = TotalQueued(e.Q)
 	st.MaxQueue = MaxQueue(e.Q)
+	for _, o := range e.observers {
+		o.OnStep(st.T, &e.lastSnap, &st)
+	}
 	return st
 }
 

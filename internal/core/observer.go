@@ -1,0 +1,39 @@
+package core
+
+// StepObserver receives every executed step as it happens: the snapshot
+// the router planned on (queues after injection, before transmission) and
+// the finished step's statistics. It is the streaming counterpart of
+// post-hoc series inspection — metrics exporters, event streamers and
+// drift trackers hang off this hook.
+//
+// Both Engine (via AddObserver) and sim.Run (via Options.Observers)
+// invoke observers after each step, in registration order.
+//
+// Contract: sn and st share the engine's per-step buffers and are valid
+// only for the duration of the call — observers must copy anything they
+// keep. OnStep runs on the engine's goroutine; an observer shared by
+// engines running concurrently (e.g. under sim.RunSeeds) must be safe
+// for concurrent use.
+type StepObserver interface {
+	OnStep(t int64, sn *Snapshot, st *StepStats)
+}
+
+// AddObserver registers an observer invoked at the end of every Step.
+// With no observers registered, the step path pays only a slice-length
+// check, so instrumentation is free when disabled.
+func (e *Engine) AddObserver(o StepObserver) {
+	if o == nil {
+		panic("core: AddObserver(nil)")
+	}
+	e.observers = append(e.observers, o)
+}
+
+// Observers returns the currently registered observers (shared slice;
+// callers must not mutate it).
+func (e *Engine) Observers() []StepObserver { return e.observers }
+
+// ObserverFunc adapts a plain function to the StepObserver interface.
+type ObserverFunc func(t int64, sn *Snapshot, st *StepStats)
+
+// OnStep implements StepObserver.
+func (f ObserverFunc) OnStep(t int64, sn *Snapshot, st *StepStats) { f(t, sn, st) }

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestEngineInvokesObserversInOrder(t *testing.T) {
+	s := NewSpec(graph.Line(3)).SetSource(0, 1).SetSink(2, 2)
+	e := NewEngine(s, NewLGG())
+	var order []int
+	var steps []int64
+	e.AddObserver(ObserverFunc(func(tt int64, sn *Snapshot, st *StepStats) {
+		order = append(order, 1)
+		steps = append(steps, tt)
+		if sn == nil || st == nil {
+			t.Fatal("observer got nil snapshot or stats")
+		}
+		if st.T != tt {
+			t.Fatalf("observer t=%d but stats.T=%d", tt, st.T)
+		}
+		if sn.T != tt {
+			t.Fatalf("observer t=%d but snapshot.T=%d", tt, sn.T)
+		}
+	}))
+	e.AddObserver(ObserverFunc(func(int64, *Snapshot, *StepStats) {
+		order = append(order, 2)
+	}))
+	for i := 0; i < 3; i++ {
+		e.Step()
+	}
+	if want := []int{1, 2, 1, 2, 1, 2}; len(order) != len(want) {
+		t.Fatalf("observer calls = %v, want %v", order, want)
+	} else {
+		for i := range want {
+			if order[i] != want[i] {
+				t.Fatalf("observer calls = %v, want %v", order, want)
+			}
+		}
+	}
+	for i, tt := range steps {
+		if tt != int64(i) {
+			t.Fatalf("observer saw step %d at call %d", tt, i)
+		}
+	}
+}
+
+func TestEngineObserverSeesStepStats(t *testing.T) {
+	s := NewSpec(graph.Line(2)).SetSource(0, 1).SetSink(1, 2)
+	e := NewEngine(s, NewLGG())
+	var viaObserver []StepStats
+	e.AddObserver(ObserverFunc(func(_ int64, _ *Snapshot, st *StepStats) {
+		viaObserver = append(viaObserver, *st)
+	}))
+	var returned []StepStats
+	for i := 0; i < 5; i++ {
+		returned = append(returned, e.Step())
+	}
+	for i := range returned {
+		if viaObserver[i] != returned[i] {
+			t.Fatalf("step %d: observer stats %+v != returned %+v", i, viaObserver[i], returned[i])
+		}
+	}
+}
+
+func TestAddObserverNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddObserver(nil) did not panic")
+		}
+	}()
+	e := NewEngine(NewSpec(graph.Line(2)).SetSource(0, 1).SetSink(1, 1), NewLGG())
+	e.AddObserver(nil)
+}

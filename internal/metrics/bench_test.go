@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func benchEngine() *core.Engine {
+	spec := core.NewSpec(graph.ThetaGraph(3, 2)).SetSource(0, 2).SetSink(1, 3)
+	return core.NewEngine(spec, core.NewLGG())
+}
+
+// BenchmarkStepObserverOverhead guards the observability budget: with no
+// observer registered the step path must cost within noise (<2%) of the
+// pre-observer engine — the disabled path is a single slice-length
+// check — and the sub-benchmarks price each built-in observer.
+func BenchmarkStepObserverOverhead(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		e := benchEngine()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.Step()
+		}
+	})
+	b.Run("noop", func(b *testing.B) {
+		e := benchEngine()
+		e.AddObserver(core.ObserverFunc(func(int64, *core.Snapshot, *core.StepStats) {}))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.Step()
+		}
+	})
+	b.Run("metrics", func(b *testing.B) {
+		e := benchEngine()
+		reg := NewRegistry()
+		e.AddObserver(NewStepMetrics(reg))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.Step()
+		}
+	})
+	b.Run("metrics+drift", func(b *testing.B) {
+		e := benchEngine()
+		reg := NewRegistry()
+		e.AddObserver(NewStepMetrics(reg))
+		e.AddObserver(NewDriftObserver(reg))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.Step()
+		}
+	})
+	b.Run("events", func(b *testing.B) {
+		e := benchEngine()
+		e.AddObserver(NewEventWriter(io.Discard))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.Step()
+		}
+	})
+}

@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+)
+
+// EventWriter is a step observer that streams one JSON line per
+// observed step — the live counterpart of the post-hoc series CSV.
+// Each line has a fixed field order, so the stream of a deterministic
+// run is byte-stable:
+//
+//	{"t":0,"injected":2,"planned":1,"filtered":0,"sent":1,"lost":0,
+//	 "arrived":1,"extracted":0,"collisions":0,"violations":0,
+//	 "potential":5,"queued":3,"maxq":2}
+//
+// Writes are buffered; call Flush when the run ends. The first write
+// error sticks and silences further output (check Flush's return).
+// An EventWriter belongs to one engine — do not share across
+// concurrent runs.
+type EventWriter struct {
+	// Stride emits only every Stride-th step (default 1 = every step).
+	Stride int64
+
+	bw   *bufio.Writer
+	seen int64
+	err  error
+}
+
+// NewEventWriter streams events to w.
+func NewEventWriter(w io.Writer) *EventWriter {
+	return &EventWriter{bw: bufio.NewWriter(w), Stride: 1}
+}
+
+// OnStep implements core.StepObserver.
+func (ew *EventWriter) OnStep(t int64, _ *core.Snapshot, st *core.StepStats) {
+	n := ew.seen
+	ew.seen++
+	if ew.err != nil {
+		return
+	}
+	if stride := ew.Stride; stride > 1 && n%stride != 0 {
+		return
+	}
+	_, err := fmt.Fprintf(ew.bw,
+		`{"t":%d,"injected":%d,"planned":%d,"filtered":%d,"sent":%d,"lost":%d,"arrived":%d,"extracted":%d,"collisions":%d,"violations":%d,"potential":%d,"queued":%d,"maxq":%d}`+"\n",
+		t, st.Injected, st.Planned, st.Filtered, st.Sent, st.Lost,
+		st.Arrived, st.Extracted, st.Collisions, st.Violations,
+		st.Potential, st.Queued, st.MaxQueue)
+	if err != nil {
+		ew.err = err
+	}
+}
+
+// Flush drains the buffer and reports the first error encountered.
+func (ew *EventWriter) Flush() error {
+	if err := ew.bw.Flush(); ew.err == nil {
+		ew.err = err
+	}
+	return ew.err
+}

@@ -1,0 +1,258 @@
+// Package metrics is the streaming observability layer of the
+// reproduction: a low-overhead registry of counters, gauges and
+// histograms, step observers that feed it from the engine's hot loop,
+// a Prometheus-style text exposition writer, and a JSONL event
+// streamer.
+//
+// Design constraints, in order:
+//
+//   - The disabled path is free: engines pay one slice-length check per
+//     step when no observer is registered (BenchmarkStepObserverOverhead
+//     guards the budget).
+//   - The enabled path is allocation-free: all metrics are pre-registered
+//     and updated with atomic integer operations, so observers can run
+//     inside million-step simulations without GC pressure.
+//   - Exposition is deterministic: WriteProm emits metrics sorted by
+//     name, so the scrape text for a deterministic run is byte-stable.
+//   - Instruments are safe for concurrent use: one StepMetrics can be
+//     shared by every engine of a sim.RunSeeds or sweep fleet and the
+//     counters aggregate across all of them.
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready
+// to use; all methods are safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d (d must be non-negative for Prometheus semantics; this is
+// not enforced on the hot path).
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. Set is last-writer-wins;
+// SetMax keeps a running maximum, which is what cross-run peak metrics
+// want. The zero value is ready to use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores x.
+func (g *Gauge) Set(x int64) { g.v.Store(x) }
+
+// Add adds d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// SetMax raises the gauge to x if x exceeds the current value.
+func (g *Gauge) SetMax(x int64) {
+	for {
+		cur := g.v.Load()
+		if x <= cur || g.v.CompareAndSwap(cur, x) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts integer observations into cumulative buckets with
+// fixed upper bounds (a +Inf bucket is implicit). Construct through
+// Registry.Histogram; methods are safe for concurrent use.
+type Histogram struct {
+	bounds []int64 // ascending upper bounds, exclusive of +Inf
+	counts []atomic.Int64
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// kind tags what a registry entry is, and doubles as the TYPE line text.
+type kind string
+
+const (
+	kindCounter   kind = "counter"
+	kindGauge     kind = "gauge"
+	kindHistogram kind = "histogram"
+)
+
+type entry struct {
+	name string
+	help string
+	kind kind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry holds named metrics and renders them as Prometheus text
+// exposition. Registration takes a lock; updates to the returned
+// instruments are lock-free. The zero value is not usable — construct
+// with NewRegistry.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) lookup(name, help string, k kind) *entry {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != k {
+			panic(fmt.Sprintf("metrics: %s already registered as %s, not %s", name, e.kind, k))
+		}
+		return e
+	}
+	e := &entry{name: name, help: help, kind: k}
+	r.entries[name] = e
+	return e
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Re-registering an existing name with a different kind
+// panics.
+func (r *Registry) Counter(name, help string) *Counter {
+	e := r.lookup(name, help, kindCounter)
+	if e.c == nil {
+		e.c = &Counter{}
+	}
+	return e.c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	e := r.lookup(name, help, kindGauge)
+	if e.g == nil {
+		e.g = &Gauge{}
+	}
+	return e.g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use with the given ascending bucket upper bounds (+Inf is
+// implicit). Bounds are fixed at first registration.
+func (r *Registry) Histogram(name, help string, bounds []int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram %s bounds not ascending: %v", name, bounds))
+		}
+	}
+	e := r.lookup(name, help, kindHistogram)
+	if e.h == nil {
+		e.h = &Histogram{bounds: append([]int64(nil), bounds...),
+			counts: make([]atomic.Int64, len(bounds)+1)}
+	}
+	return e.h
+}
+
+// Reset zeroes every registered metric (counts, gauge values, histogram
+// buckets) while keeping the registrations. Sweep drivers use it to
+// reuse one registry across cells.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.entries {
+		switch {
+		case e.c != nil:
+			e.c.v.Store(0)
+		case e.g != nil:
+			e.g.v.Store(0)
+		case e.h != nil:
+			for i := range e.h.counts {
+				e.h.counts[i].Store(0)
+			}
+			e.h.sum.Store(0)
+			e.h.n.Store(0)
+		}
+	}
+}
+
+// WriteProm renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), sorted by metric name so the
+// output of a deterministic run is byte-stable.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.entries))
+	for n := range r.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	entries := make([]*entry, len(names))
+	for i, n := range names {
+		entries[i] = r.entries[n]
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, e := range entries {
+		if e.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", e.name, e.help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", e.name, e.kind)
+		switch {
+		case e.c != nil:
+			fmt.Fprintf(bw, "%s %d\n", e.name, e.c.Value())
+		case e.g != nil:
+			fmt.Fprintf(bw, "%s %d\n", e.name, e.g.Value())
+		case e.h != nil:
+			var cum int64
+			for i := range e.h.counts {
+				cum += e.h.counts[i].Load()
+				le := "+Inf"
+				if i < len(e.h.bounds) {
+					le = strconv.FormatInt(e.h.bounds[i], 10)
+				}
+				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", e.name, le, cum)
+			}
+			fmt.Fprintf(bw, "%s_sum %d\n", e.name, e.h.Sum())
+			fmt.Fprintf(bw, "%s_count %d\n", e.name, e.h.Count())
+		}
+	}
+	return bw.Flush()
+}

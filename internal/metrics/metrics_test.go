@@ -1,0 +1,281 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestRegistryIdempotentAndKindChecked(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total", "help")
+	c2 := r.Counter("x_total", "other help ignored")
+	if c1 != c2 {
+		t.Fatal("re-registering a counter returned a different instrument")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x_total", "now a gauge")
+}
+
+func TestRegistryRejectsBadNames(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "9lives", "has space", "has-dash"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("name %q accepted", bad)
+				}
+			}()
+			r.Counter(bad, "")
+		}()
+	}
+	// Valid names must not panic.
+	r.Counter("ok_total", "")
+	r.Gauge("Also:ok_2", "")
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	var g Gauge
+	g.SetMax(5)
+	g.SetMax(3)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("SetMax kept %d, want 5", got)
+	}
+	g.SetMax(9)
+	if got := g.Value(); got != 9 {
+		t.Fatalf("SetMax kept %d, want 9", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []int64{0, 10})
+	for _, v := range []int64{-5, 0, 1, 10, 11} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 17 {
+		t.Fatalf("count=%d sum=%d, want 5/17", h.Count(), h.Sum())
+	}
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE h histogram
+h_bucket{le="0"} 2
+h_bucket{le="10"} 4
+h_bucket{le="+Inf"} 5
+h_sum 17
+h_count 5
+`
+	if sb.String() != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+// TestWritePromGolden pins the exposition format byte-for-byte: a tiny
+// deterministic run must always scrape to exactly this text.
+func TestWritePromGolden(t *testing.T) {
+	spec := core.NewSpec(graph.Line(3)).SetSource(0, 1).SetSink(2, 2)
+	reg := NewRegistry()
+	e := core.NewEngine(spec, core.NewLGG())
+	e.AddObserver(NewStepMetrics(reg))
+	for i := 0; i < 4; i++ {
+		e.Step()
+	}
+	var sb strings.Builder
+	if err := reg.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP lgg_arrived_packets_total Sent packets that reached the far queue.
+# TYPE lgg_arrived_packets_total counter
+lgg_arrived_packets_total 5
+# HELP lgg_backlog Stored packets N_t = sum of queues (Definition 2).
+# TYPE lgg_backlog gauge
+lgg_backlog 2
+# HELP lgg_collisions_total Sends dropped because their edge was already used.
+# TYPE lgg_collisions_total counter
+lgg_collisions_total 0
+# HELP lgg_extracted_packets_total Packets removed by destinations (Definition 7).
+# TYPE lgg_extracted_packets_total counter
+lgg_extracted_packets_total 2
+# HELP lgg_filtered_sends_total Planned sends removed by interference or topology.
+# TYPE lgg_filtered_sends_total counter
+lgg_filtered_sends_total 0
+# HELP lgg_injected_packets_total Packets injected by sources (Section II arrivals).
+# TYPE lgg_injected_packets_total counter
+lgg_injected_packets_total 4
+# HELP lgg_lost_packets_total Sent packets destroyed in flight (lossy links).
+# TYPE lgg_lost_packets_total counter
+lgg_lost_packets_total 0
+# HELP lgg_max_queue Largest single queue after the most recent step.
+# TYPE lgg_max_queue gauge
+lgg_max_queue 1
+# HELP lgg_peak_backlog Largest N_t seen so far.
+# TYPE lgg_peak_backlog gauge
+lgg_peak_backlog 2
+# HELP lgg_peak_potential Largest P_t seen so far.
+# TYPE lgg_peak_potential gauge
+lgg_peak_potential 2
+# HELP lgg_planned_sends_total Sends requested by the router before filtering.
+# TYPE lgg_planned_sends_total counter
+lgg_planned_sends_total 5
+# HELP lgg_potential Network state P_t = sum of squared queues (Definition 1).
+# TYPE lgg_potential gauge
+lgg_potential 2
+# HELP lgg_sent_packets_total Packets that left their queue.
+# TYPE lgg_sent_packets_total counter
+lgg_sent_packets_total 5
+# HELP lgg_steps_total Synchronous steps executed.
+# TYPE lgg_steps_total counter
+lgg_steps_total 4
+# HELP lgg_violations_total Unphysical router outputs rejected by the engine.
+# TYPE lgg_violations_total counter
+lgg_violations_total 0
+`
+	if sb.String() != want {
+		t.Fatalf("golden mismatch.\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+// TestEventWriterGolden pins the JSONL event format byte-for-byte.
+func TestEventWriterGolden(t *testing.T) {
+	spec := core.NewSpec(graph.Line(3)).SetSource(0, 1).SetSink(2, 2)
+	e := core.NewEngine(spec, core.NewLGG())
+	var sb strings.Builder
+	ew := NewEventWriter(&sb)
+	e.AddObserver(ew)
+	for i := 0; i < 3; i++ {
+		e.Step()
+	}
+	if err := ew.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"t":0,"injected":1,"planned":1,"filtered":0,"sent":1,"lost":0,"arrived":1,"extracted":0,"collisions":0,"violations":0,"potential":1,"queued":1,"maxq":1}
+{"t":1,"injected":1,"planned":1,"filtered":0,"sent":1,"lost":0,"arrived":1,"extracted":1,"collisions":0,"violations":0,"potential":1,"queued":1,"maxq":1}
+{"t":2,"injected":1,"planned":1,"filtered":0,"sent":1,"lost":0,"arrived":1,"extracted":0,"collisions":0,"violations":0,"potential":2,"queued":2,"maxq":1}
+`
+	if sb.String() != want {
+		t.Fatalf("golden mismatch.\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestEventWriterStride(t *testing.T) {
+	spec := core.NewSpec(graph.Line(3)).SetSource(0, 1).SetSink(2, 2)
+	e := core.NewEngine(spec, core.NewLGG())
+	var sb strings.Builder
+	ew := NewEventWriter(&sb)
+	ew.Stride = 4
+	e.AddObserver(ew)
+	for i := 0; i < 10; i++ {
+		e.Step()
+	}
+	if err := ew.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(sb.String(), "\n")
+	if lines != 3 { // t = 0, 4, 8
+		t.Fatalf("stride 4 over 10 steps emitted %d lines, want 3:\n%s", lines, sb.String())
+	}
+	for _, prefix := range []string{`{"t":0,`, `{"t":4,`, `{"t":8,`} {
+		if !strings.Contains(sb.String(), prefix) {
+			t.Fatalf("missing event %s in:\n%s", prefix, sb.String())
+		}
+	}
+}
+
+// TestStepMetricsConcurrent drives one shared StepMetrics from many
+// engines at once (the RunSeeds topology) and checks the counters
+// aggregate exactly. Run under -race this also proves the instruments
+// are data-race free.
+func TestStepMetricsConcurrent(t *testing.T) {
+	spec := core.NewSpec(graph.Line(4)).SetSource(0, 1).SetSink(3, 2)
+	reg := NewRegistry()
+	sm := NewStepMetrics(reg)
+	const engines, steps = 8, 200
+	var want int64
+	{ // ground truth from one serial engine
+		e := core.NewEngine(spec, core.NewLGG())
+		tt := e.Run(steps)
+		want = tt.Injected
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < engines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := core.NewEngine(spec, core.NewLGG())
+			e.AddObserver(sm)
+			e.Run(steps)
+		}()
+	}
+	wg.Wait()
+	if got := sm.Steps.Value(); got != engines*steps {
+		t.Fatalf("steps counter = %d, want %d", got, engines*steps)
+	}
+	if got := sm.Injected.Value(); got != engines*want {
+		t.Fatalf("injected counter = %d, want %d", got, engines*want)
+	}
+}
+
+func TestDriftObserver(t *testing.T) {
+	spec := core.NewSpec(graph.Line(3)).SetSource(0, 1).SetSink(2, 2)
+	reg := NewRegistry()
+	e := core.NewEngine(spec, core.NewLGG())
+	d := NewDriftObserver(reg)
+	e.AddObserver(d)
+	var prev int64
+	var maxDelta int64
+	for i := 0; i < 50; i++ {
+		st := e.Step()
+		if delta := st.Potential - prev; delta > maxDelta {
+			maxDelta = delta
+		}
+		prev = st.Potential
+	}
+	if got := d.Hist.Count(); got != 50 {
+		t.Fatalf("drift histogram count = %d, want 50", got)
+	}
+	if got := d.MaxDrift.Value(); got != maxDelta {
+		t.Fatalf("max drift gauge = %d, want %d", got, maxDelta)
+	}
+}
+
+func TestMultiObserver(t *testing.T) {
+	spec := core.NewSpec(graph.Line(2)).SetSource(0, 1).SetSink(1, 1)
+	reg := NewRegistry()
+	sm := NewStepMetrics(reg)
+	var calls int
+	e := core.NewEngine(spec, core.NewLGG())
+	e.AddObserver(Multi{sm, core.ObserverFunc(func(int64, *core.Snapshot, *core.StepStats) { calls++ })})
+	e.Run(7)
+	if calls != 7 || sm.Steps.Value() != 7 {
+		t.Fatalf("multi fanned out %d/%d calls, want 7/7", calls, sm.Steps.Value())
+	}
+}
+
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []int64{0})
+	c.Add(5)
+	g.Set(7)
+	h.Observe(3)
+	r.Reset()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("Reset left values: c=%d g=%d hcount=%d hsum=%d",
+			c.Value(), g.Value(), h.Count(), h.Sum())
+	}
+	// Instruments survive the reset and keep working.
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("counter dead after Reset")
+	}
+}

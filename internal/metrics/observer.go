@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"repro/internal/core"
+)
+
+// Canonical metric names. Every name maps to a quantity from the paper
+// or from the engine's physical accounting; DESIGN.md carries the full
+// mapping table.
+const (
+	MetricSteps      = "lgg_steps_total"
+	MetricInjected   = "lgg_injected_packets_total"
+	MetricPlanned    = "lgg_planned_sends_total"
+	MetricFiltered   = "lgg_filtered_sends_total"
+	MetricSent       = "lgg_sent_packets_total"
+	MetricLost       = "lgg_lost_packets_total"
+	MetricArrived    = "lgg_arrived_packets_total"
+	MetricExtracted  = "lgg_extracted_packets_total"
+	MetricCollisions = "lgg_collisions_total"
+	MetricViolations = "lgg_violations_total"
+	MetricPotential  = "lgg_potential"
+	MetricBacklog    = "lgg_backlog"
+	MetricMaxQueue   = "lgg_max_queue"
+	MetricPeakPot    = "lgg_peak_potential"
+	MetricPeakBack   = "lgg_peak_backlog"
+	MetricDrift      = "lgg_potential_delta"
+	MetricMaxDrift   = "lgg_max_potential_delta"
+)
+
+// StepMetrics is the canonical registry-backed observer: it folds every
+// step's statistics into counters and gauges. It keeps no per-engine
+// state, so one instance may be shared by engines running concurrently
+// (RunSeeds, sweeps) — the counters then aggregate across the whole
+// fleet, while Potential/Backlog/MaxQueue are last-writer-wins and the
+// peaks are fleet-wide maxima.
+type StepMetrics struct {
+	Steps      *Counter
+	Injected   *Counter
+	Planned    *Counter
+	Filtered   *Counter
+	Sent       *Counter
+	Lost       *Counter
+	Arrived    *Counter
+	Extracted  *Counter
+	Collisions *Counter
+	Violations *Counter
+
+	Potential *Gauge // P_t after the most recent step (Definition 1)
+	Backlog   *Gauge // N_t = Σ q_t(v) after the most recent step
+	MaxQueue  *Gauge // max_v q_t(v) after the most recent step
+
+	PeakPotential *Gauge // running max of P_t
+	PeakBacklog   *Gauge // running max of N_t
+}
+
+// NewStepMetrics registers the canonical step metrics in r and returns
+// the observer. Registering twice against the same registry returns an
+// observer backed by the same instruments.
+func NewStepMetrics(r *Registry) *StepMetrics {
+	return &StepMetrics{
+		Steps:      r.Counter(MetricSteps, "Synchronous steps executed."),
+		Injected:   r.Counter(MetricInjected, "Packets injected by sources (Section II arrivals)."),
+		Planned:    r.Counter(MetricPlanned, "Sends requested by the router before filtering."),
+		Filtered:   r.Counter(MetricFiltered, "Planned sends removed by interference or topology."),
+		Sent:       r.Counter(MetricSent, "Packets that left their queue."),
+		Lost:       r.Counter(MetricLost, "Sent packets destroyed in flight (lossy links)."),
+		Arrived:    r.Counter(MetricArrived, "Sent packets that reached the far queue."),
+		Extracted:  r.Counter(MetricExtracted, "Packets removed by destinations (Definition 7)."),
+		Collisions: r.Counter(MetricCollisions, "Sends dropped because their edge was already used."),
+		Violations: r.Counter(MetricViolations, "Unphysical router outputs rejected by the engine."),
+
+		Potential: r.Gauge(MetricPotential, "Network state P_t = sum of squared queues (Definition 1)."),
+		Backlog:   r.Gauge(MetricBacklog, "Stored packets N_t = sum of queues (Definition 2)."),
+		MaxQueue:  r.Gauge(MetricMaxQueue, "Largest single queue after the most recent step."),
+
+		PeakPotential: r.Gauge(MetricPeakPot, "Largest P_t seen so far."),
+		PeakBacklog:   r.Gauge(MetricPeakBack, "Largest N_t seen so far."),
+	}
+}
+
+// OnStep implements core.StepObserver.
+func (m *StepMetrics) OnStep(_ int64, _ *core.Snapshot, st *core.StepStats) {
+	m.Steps.Inc()
+	m.Injected.Add(st.Injected)
+	m.Planned.Add(st.Planned)
+	m.Filtered.Add(st.Filtered)
+	m.Sent.Add(st.Sent)
+	m.Lost.Add(st.Lost)
+	m.Arrived.Add(st.Arrived)
+	m.Extracted.Add(st.Extracted)
+	m.Collisions.Add(st.Collisions)
+	m.Violations.Add(st.Violations)
+
+	m.Potential.Set(st.Potential)
+	m.Backlog.Set(st.Queued)
+	m.MaxQueue.Set(st.MaxQueue)
+	m.PeakPotential.SetMax(st.Potential)
+	m.PeakBacklog.SetMax(st.Queued)
+}
+
+// DefaultDriftBounds are the histogram bucket upper bounds used for the
+// one-step potential change ΔP_t = P_{t+1} − P_t. Lemma 1 bounds this
+// drift by explicit constants, so the interesting resolution is around
+// zero with geometric falloff on both sides.
+var DefaultDriftBounds = []int64{-1024, -256, -64, -16, -4, -1, 0, 1, 4, 16, 64, 256, 1024}
+
+// DriftObserver tracks the per-step potential drift ΔP_t into a
+// histogram plus a running maximum — the empirical face of Lemma 1's
+// drift bounds. It keeps the previous step's potential as internal
+// state, so a DriftObserver belongs to exactly ONE engine; create one
+// per run (unlike StepMetrics it must not be shared across concurrent
+// engines).
+type DriftObserver struct {
+	Hist     *Histogram
+	MaxDrift *Gauge
+	prev     int64
+}
+
+// NewDriftObserver registers the drift metrics in r and returns an
+// observer primed for an engine starting from an empty network
+// (P_0 = 0). Engines prepared with SetQueues should call Prime with
+// the initial potential first.
+func NewDriftObserver(r *Registry) *DriftObserver {
+	return &DriftObserver{
+		Hist:     r.Histogram(MetricDrift, "One-step potential change (Lemma 1 drift).", DefaultDriftBounds),
+		MaxDrift: r.Gauge(MetricMaxDrift, "Largest one-step potential increase seen so far."),
+	}
+}
+
+// Prime sets the potential the first step's drift is measured against.
+func (d *DriftObserver) Prime(p0 int64) { d.prev = p0 }
+
+// OnStep implements core.StepObserver.
+func (d *DriftObserver) OnStep(_ int64, _ *core.Snapshot, st *core.StepStats) {
+	delta := st.Potential - d.prev
+	d.prev = st.Potential
+	d.Hist.Observe(delta)
+	d.MaxDrift.SetMax(delta)
+}
+
+// Multi fans one step out to several observers in order; a convenience
+// for APIs that accept a single observer.
+type Multi []core.StepObserver
+
+// OnStep implements core.StepObserver.
+func (m Multi) OnStep(t int64, sn *core.Snapshot, st *core.StepStats) {
+	for _, o := range m {
+		o.OnStep(t, sn, st)
+	}
+}

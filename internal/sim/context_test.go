@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	a := Run(core.NewEngine(lineSpec(4, 1, 2), core.NewLGG()), Options{Horizon: 300})
+	b := RunContext(context.Background(), core.NewEngine(lineSpec(4, 1, 2), core.NewLGG()),
+		Options{Horizon: 300})
+	if a.Totals != b.Totals || a.Diagnosis != b.Diagnosis {
+		t.Fatalf("Run and RunContext diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestRunContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := RunContext(ctx, core.NewEngine(lineSpec(3, 1, 1), core.NewLGG()), Options{Horizon: 500})
+	if r.Totals.Steps != 0 {
+		t.Fatalf("cancelled run executed %d steps, want 0", r.Totals.Steps)
+	}
+	if r.Diagnosis.Verdict != Inconclusive {
+		t.Fatalf("verdict = %v, want inconclusive", r.Diagnosis.Verdict)
+	}
+}
+
+func TestRunContextCancelMidRunReturnsPartial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var cancelAt int64 = 100
+	stop := core.ObserverFunc(func(tt int64, _ *core.Snapshot, _ *core.StepStats) {
+		if tt == cancelAt {
+			cancel()
+		}
+	})
+	r := RunContext(ctx, core.NewEngine(lineSpec(3, 1, 1), core.NewLGG()),
+		Options{Horizon: 100000, Observers: []core.StepObserver{stop}, RecordProfile: true})
+	if r.Totals.Steps <= cancelAt || r.Totals.Steps >= 100000 {
+		t.Fatalf("partial run executed %d steps, want a little over %d", r.Totals.Steps, cancelAt)
+	}
+	// The cancellation poll runs every 64 steps, so the overshoot is
+	// bounded by one batch.
+	if r.Totals.Steps > cancelAt+cancelCheckMask+1 {
+		t.Fatalf("cancellation noticed after %d steps, want <= %d",
+			r.Totals.Steps-cancelAt, cancelCheckMask+1)
+	}
+	if r.Diagnosis.Verdict != Inconclusive {
+		t.Fatalf("verdict = %v, want inconclusive", r.Diagnosis.Verdict)
+	}
+	if len(r.MeanQueues) == 0 {
+		t.Fatal("partial run dropped the recorded profile")
+	}
+}
+
+func TestRunInvokesOptionObservers(t *testing.T) {
+	reg := metrics.NewRegistry()
+	sm := metrics.NewStepMetrics(reg)
+	r := Run(core.NewEngine(lineSpec(3, 1, 1), core.NewLGG()),
+		Options{Horizon: 250, Observers: []core.StepObserver{sm}})
+	if got := sm.Steps.Value(); got != 250 {
+		t.Fatalf("observer saw %d steps, want 250", got)
+	}
+	if got := sm.Injected.Value(); got != r.Totals.Injected {
+		t.Fatalf("observer injected %d, totals %d", got, r.Totals.Injected)
+	}
+}
+
+// TestRunSeedsSharedObserverRace shares one registry-backed observer
+// across a concurrent seed fleet; under -race this is the concurrent
+// observer contract test, and the aggregate totals must match the sum
+// of the per-run totals exactly.
+func TestRunSeedsSharedObserverRace(t *testing.T) {
+	reg := metrics.NewRegistry()
+	sm := metrics.NewStepMetrics(reg)
+	build := func(seed uint64) *core.Engine {
+		return core.NewEngine(lineSpec(5, 1, 2), core.NewLGG())
+	}
+	rs := RunSeeds(build, Seeds(1, 16), Options{Horizon: 200,
+		Observers: []core.StepObserver{sm}})
+	var wantInjected, wantExtracted int64
+	for _, r := range rs {
+		wantInjected += r.Totals.Injected
+		wantExtracted += r.Totals.Extracted
+	}
+	if got := sm.Steps.Value(); got != 16*200 {
+		t.Fatalf("steps counter = %d, want %d", got, 16*200)
+	}
+	if got := sm.Injected.Value(); got != wantInjected {
+		t.Fatalf("injected counter = %d, want %d", got, wantInjected)
+	}
+	if got := sm.Extracted.Value(); got != wantExtracted {
+		t.Fatalf("extracted counter = %d, want %d", got, wantExtracted)
+	}
+}
+
+func TestForEachWorkersDegenerateInputs(t *testing.T) {
+	cases := []struct {
+		name       string
+		n, workers int
+		wantCalls  int
+	}{
+		{"zero n", 0, 4, 0},
+		{"negative n", -3, 4, 0},
+		{"zero workers means GOMAXPROCS", 9, 0, 9},
+		{"negative workers means GOMAXPROCS", 9, -2, 9},
+		{"more workers than n", 3, 64, 3},
+		{"single worker", 5, 1, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var mu sync.Mutex
+			seen := map[int]int{}
+			ForEachWorkers(tc.n, tc.workers, func(i int) {
+				mu.Lock()
+				seen[i]++
+				mu.Unlock()
+			})
+			if len(seen) != tc.wantCalls {
+				t.Fatalf("fn called for %d distinct indices, want %d", len(seen), tc.wantCalls)
+			}
+			for i, c := range seen {
+				if c != 1 || i < 0 || i >= tc.n {
+					t.Fatalf("index %d called %d times (n=%d)", i, c, tc.n)
+				}
+			}
+		})
+	}
+}
+
+func TestSeedsDegenerateInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		base uint64
+		n    int
+		want []uint64
+	}{
+		{"zero n", 7, 0, nil},
+		{"negative n", 7, -5, nil},
+		{"normal", 7, 3, []uint64{7, 8, 9}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Seeds(tc.base, tc.n)
+			if len(got) != len(tc.want) {
+				t.Fatalf("Seeds(%d, %d) = %v, want %v", tc.base, tc.n, got, tc.want)
+			}
+			for i := range tc.want {
+				if got[i] != tc.want[i] {
+					t.Fatalf("Seeds(%d, %d) = %v, want %v", tc.base, tc.n, got, tc.want)
+				}
+			}
+		})
+	}
+}

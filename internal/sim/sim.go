@@ -10,6 +10,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -40,6 +41,12 @@ type Options struct {
 	// RecordProfile additionally accumulates the time-averaged queue
 	// length per node (the staircase profiles of E21).
 	RecordProfile bool
+	// Observers are invoked after every executed step, following any
+	// observers registered directly on the engine. They receive the
+	// engine's per-step buffers (valid only during the call) and, when a
+	// run fleet shares one observer (RunSeeds, sweeps), must be safe for
+	// concurrent use — see core.StepObserver.
+	Observers []core.StepObserver
 }
 
 // Verdict classifies a run's boundedness.
@@ -107,7 +114,23 @@ type Result struct {
 }
 
 // Run executes the engine for opts.Horizon steps and classifies the run.
+// It is RunContext with a background (never-cancelled) context.
 func Run(e *core.Engine, opts Options) *Result {
+	return RunContext(context.Background(), e, opts)
+}
+
+// cancelCheckMask batches the cancellation poll: the context is checked
+// every 64 steps, so even fine-grained deadlines cost one non-blocking
+// channel select per 64 engine steps.
+const cancelCheckMask = 63
+
+// RunContext executes the engine for opts.Horizon steps, stopping early
+// when ctx is cancelled or its deadline passes. A cancelled run returns
+// the partial Result accumulated so far with an Inconclusive verdict —
+// callers distinguish "cancelled" from "genuinely inconclusive" by
+// Totals.Steps < opts.Horizon (or by ctx.Err()). A full-length run is
+// classified by Detect as usual.
+func RunContext(ctx context.Context, e *core.Engine, opts Options) *Result {
 	if opts.Horizon <= 0 {
 		panic("sim: Run needs a positive horizon")
 	}
@@ -120,10 +143,27 @@ func Run(e *core.Engine, opts Options) *Result {
 	if opts.RecordProfile {
 		profile = make([]float64, len(e.Q))
 	}
+	done := ctx.Done()
+	cancelled := false
+	steps := int64(0)
 	prevP := core.Potential(e.Q)
 	for i := int64(0); i < opts.Horizon; i++ {
+		if done != nil && i&cancelCheckMask == 0 {
+			select {
+			case <-done:
+				cancelled = true
+			default:
+			}
+			if cancelled {
+				break
+			}
+		}
 		st := e.Step()
+		steps++
 		res.Totals.Add(st)
+		for _, o := range opts.Observers {
+			o.OnStep(st.T, e.Snapshot(), &st)
+		}
 		if opts.RecordDeltas {
 			res.Series.Deltas = append(res.Series.Deltas, float64(st.Potential-prevP))
 		}
@@ -140,10 +180,16 @@ func Run(e *core.Engine, opts Options) *Result {
 		}
 	}
 	if profile != nil {
-		for v := range profile {
-			profile[v] /= float64(opts.Horizon)
+		if steps > 0 {
+			for v := range profile {
+				profile[v] /= float64(steps)
+			}
 		}
 		res.MeanQueues = profile
+	}
+	if cancelled {
+		res.Diagnosis = Diagnosis{Verdict: Inconclusive}
+		return res
 	}
 	res.Diagnosis = Detect(res.Series.Queued)
 	return res
@@ -207,8 +253,13 @@ func ForEach(n int, fn func(i int)) {
 }
 
 // ForEachWorkers runs fn(i) for i in [0, n) on min(n, workers) goroutines,
-// dispatching indices in increasing order. workers <= 0 means GOMAXPROCS.
+// dispatching indices in increasing order. Degenerate inputs are defined,
+// not errors: n <= 0 performs no calls and returns immediately, and
+// workers <= 0 means GOMAXPROCS.
 func ForEachWorkers(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -240,8 +291,12 @@ func ForEachWorkers(n, workers int, fn func(i int)) {
 }
 
 // Seeds returns the deterministic seed list {base, base+1, …} of length n
-// used throughout the experiment harness.
+// used throughout the experiment harness. n <= 0 yields an empty list
+// (never a panic), mirroring ForEachWorkers' tolerance of empty input.
 func Seeds(base uint64, n int) []uint64 {
+	if n <= 0 {
+		return nil
+	}
 	out := make([]uint64, n)
 	for i := range out {
 		out[i] = base + uint64(i)

@@ -13,6 +13,7 @@
 package sweep
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -133,9 +134,11 @@ var ErrTimeout = errors.New("sweep: timeout")
 type Runner struct {
 	// Workers is the pool size; <= 0 means GOMAXPROCS.
 	Workers int
-	// Timeout, when positive, stops dispatching new jobs once exceeded
-	// (runs already in flight complete). Run then returns the finished
-	// prefix and an error wrapping ErrTimeout.
+	// Timeout, when positive, bounds the whole sweep: past the deadline
+	// no new jobs are dispatched AND runs already in flight are cancelled
+	// mid-run (via sim.RunContext), so even a single enormous run cannot
+	// overshoot by more than a cancellation-poll batch. Run then returns
+	// the finished prefix and an error wrapping ErrTimeout.
 	Timeout time.Duration
 	// Window caps how far the dispatcher runs ahead of the in-order
 	// emitter (bounding retained full results); <= 0 means 4×Workers.
@@ -156,8 +159,20 @@ type item struct {
 }
 
 // Run executes every job and returns one summary per job, in job order.
-// With a Timeout it may return a shorter prefix plus ErrTimeout.
+// With a Timeout it may return a shorter prefix plus ErrTimeout. It is
+// RunWithContext with a background context.
 func (r *Runner) Run(jobs []Job) ([]Result, error) {
+	return r.RunWithContext(context.Background(), jobs)
+}
+
+// RunWithContext executes every job and returns one summary per job, in
+// job order. Cancelling ctx (or exceeding Runner.Timeout, whichever
+// comes first) stops the sweep: no new jobs are dispatched, in-flight
+// runs are cancelled mid-run, and the contiguous prefix of results that
+// finished in time is returned with a non-nil error — wrapping
+// ErrTimeout when the Timeout expired, or ctx's error when the caller
+// cancelled.
+func (r *Runner) RunWithContext(ctx context.Context, jobs []Job) ([]Result, error) {
 	n := len(jobs)
 	if n == 0 {
 		return nil, nil
@@ -178,9 +193,10 @@ func (r *Runner) Run(jobs []Job) ([]Result, error) {
 	}
 
 	start := time.Now()
-	var deadline time.Time
 	if r.Timeout > 0 {
-		deadline = start.Add(r.Timeout)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.Timeout)
+		defer cancel()
 	}
 
 	// tokens bounds dispatched-but-not-yet-emitted jobs to the window.
@@ -197,10 +213,18 @@ func (r *Runner) Run(jobs []Job) ([]Result, error) {
 			defer wg.Done()
 			for i := range next {
 				j := jobs[i]
-				full := sim.Run(j.Build(j.Desc.Seed), j.options())
-				it := item{idx: i, res: Summarize(j.Desc, full)}
-				if r.OnResult != nil {
-					it.full = full
+				opts := j.options()
+				full := sim.RunContext(ctx, j.Build(j.Desc.Seed), opts)
+				it := item{idx: i}
+				if full.Totals.Steps < opts.Horizon {
+					// Cancelled mid-run: a partial series would break the
+					// determinism contract, so the job counts as skipped.
+					it.skipped = true
+				} else {
+					it.res = Summarize(j.Desc, full)
+					if r.OnResult != nil {
+						it.full = full
+					}
 				}
 				done <- it
 			}
@@ -209,7 +233,7 @@ func (r *Runner) Run(jobs []Job) ([]Result, error) {
 	go func() {
 		for i := 0; i < n; i++ {
 			tokens <- struct{}{}
-			if !deadline.IsZero() && time.Now().After(deadline) {
+			if ctx.Err() != nil {
 				done <- item{idx: i, skipped: true}
 				continue
 			}
@@ -254,6 +278,9 @@ func (r *Runner) Run(jobs []Job) ([]Result, error) {
 		}
 	}
 	if timedOut {
+		if err := ctx.Err(); errors.Is(err, context.Canceled) {
+			return results, fmt.Errorf("sweep: cancelled (%d/%d runs): %w", len(results), n, err)
+		}
 		return results, fmt.Errorf("%w after %v (%d/%d runs)", ErrTimeout, r.Timeout, len(results), n)
 	}
 	return results, nil
