@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/graph"
 )
@@ -63,10 +64,16 @@ type TopologyProcess interface {
 
 // StepStats summarizes one engine step.
 type StepStats struct {
-	T         int64 // the step that was executed
-	Injected  int64 // packets added by sources
-	Planned   int64 // sends requested by the router
-	Filtered  int64 // sends removed by interference/topology/validation
+	T        int64 // the step that was executed
+	Injected int64 // packets added by sources
+	Planned  int64 // sends requested by the router
+	// Filtered counts planned sends removed by the environment before
+	// transmission: the interference model's Filter plus sends attempted
+	// over an edge the dynamic-topology process took down this step.
+	// Environment drops are not router bugs — a correct router can still
+	// see Filtered > 0 when a TopologyProcess kills an edge it was never
+	// told about (routers only see the Alive mask the engine snapshots).
+	Filtered  int64
 	Sent      int64 // packets that left their queue
 	Lost      int64 // sent packets destroyed in flight
 	Arrived   int64 // sent packets that reached the far queue
@@ -78,12 +85,18 @@ type StepStats struct {
 	// link. Truthful networks always have 0 collisions.
 	Collisions int64
 	// Violations counts router outputs the engine had to reject as
-	// unphysical: overdrawn queues and sends on dead edges. A correct
-	// policy keeps this at 0; tests assert it.
+	// unphysical: overdrawn queues (more sends leaving a node than its
+	// true queue holds). A correct policy keeps this at 0; tests assert
+	// it. Dead-edge drops are environment effects and count in Filtered.
 	Violations int64
 	Potential  int64 // P_{t+1}: network state after the step
 	Queued     int64 // total packets stored after the step
 	MaxQueue   int64
+	// Overflowed reports that Potential saturated at math.MaxInt64 this
+	// step: some Σ q(v)² exceeded the int64 range (queues ≳ 2³¹ on an
+	// unstable run). Peak/verdict logic that compares potentials should
+	// treat a saturated run as divergent rather than trust the value.
+	Overflowed bool
 }
 
 // Totals accumulates StepStats over a run.
@@ -93,6 +106,9 @@ type Totals struct {
 	Extracted, Collisions, Violations   int64
 	PeakPotential, PeakQueued, PeakMaxQ int64
 	FinalPotential, FinalQueued         int64
+	// Overflowed is true when any step's potential saturated; peak and
+	// final potentials are then lower bounds, not exact values.
+	Overflowed bool
 }
 
 // Add folds one step into the totals.
@@ -116,6 +132,7 @@ func (t *Totals) Add(s StepStats) {
 	}
 	t.FinalPotential = s.Potential
 	t.FinalQueued = s.Queued
+	t.Overflowed = t.Overflowed || s.Overflowed
 }
 
 // StepTrace exposes everything that happened during one step, for
@@ -147,7 +164,9 @@ type Engine struct {
 	Interference Interference
 	Topology     TopologyProcess
 
-	// Q is the live queue vector; read it freely between steps.
+	// Q is the live queue vector; read it freely between steps. Do not
+	// write entries directly — use SetQueues, which also rebuilds the
+	// engine's active-node bookkeeping.
 	Q []int64
 	// T is the next step to execute.
 	T int64
@@ -164,6 +183,28 @@ type Engine struct {
 	trace    *StepTrace
 	// observers registered with AddObserver, invoked after every step.
 	observers []StepObserver
+	// obsStats stages each step's stats for the observer callbacks:
+	// handing observers a pointer into this persistent field (instead of
+	// &st) keeps the per-step StepStats on the stack, which is what makes
+	// Step allocation-free.
+	obsStats StepStats
+
+	// Active-node bookkeeping: active is the sorted node list handed to
+	// routers via Snapshot.Active (invariant: it contains every node with
+	// Q > 0); activeMark[v] reports membership in active ∪ newlyActive;
+	// newlyActive collects 0→positive transitions since the last
+	// compaction; activeSpare is the merge double-buffer. injDirty and
+	// sentDirty record which inj/sentBy entries were made nonzero this
+	// step, so the next step zeroes only those instead of sweeping all n.
+	active      []graph.NodeID
+	activeSpare []graph.NodeID
+	newlyActive []graph.NodeID
+	activeMark  []bool
+	injDirty    []graph.NodeID
+	sentDirty   []graph.NodeID
+	// sinks lists the nodes with out(v) > 0 in ascending order, so the
+	// extraction phase does not scan non-destination nodes.
+	sinks []graph.NodeID
 }
 
 // EnableTrace switches on per-step tracing and returns the trace buffer,
@@ -187,27 +228,36 @@ func NewEngine(spec *Spec, router Router) *Engine {
 		panic(fmt.Sprintf("core: invalid spec: %v", err))
 	}
 	n := spec.N()
-	return &Engine{
-		Spec:     spec,
-		Router:   router,
-		Arrivals: ExactArrivals{},
-		Loss:     NoLoss{},
-		Declare:  DeclareTruth{},
-		Extract:  ExtractMax{},
-		Q:        make([]int64, n),
-		inj:      make([]int64, n),
-		declared: make([]int64, n),
-		snapQ:    make([]int64, n),
-		sentBy:   make([]int64, n),
-		edgeUsed: make([]int64, spec.G.NumEdges()),
+	e := &Engine{
+		Spec:       spec,
+		Router:     router,
+		Arrivals:   ExactArrivals{},
+		Loss:       NoLoss{},
+		Declare:    DeclareTruth{},
+		Extract:    ExtractMax{},
+		Q:          make([]int64, n),
+		inj:        make([]int64, n),
+		declared:   make([]int64, n),
+		snapQ:      make([]int64, n),
+		sentBy:     make([]int64, n),
+		edgeUsed:   make([]int64, spec.G.NumEdges()),
+		activeMark: make([]bool, n),
 	}
+	for v := 0; v < n; v++ {
+		if spec.Out[v] > 0 {
+			e.sinks = append(e.sinks, graph.NodeID(v))
+		}
+	}
+	return e
 }
 
 // SetQueues overwrites the current queue vector (for experiments that
-// start from a prepared state, e.g. Property 2 probes). It also clears the
-// edge-use scratch: callers that reset T to replay from a prepared state
-// would otherwise race stale T+1 markers from the previous run and count
-// phantom collisions.
+// start from a prepared state, e.g. Property 2 probes). It also resets the
+// engine's step-scoped scratch: the edge-use markers (callers that reset T
+// to replay from a prepared state would otherwise race stale T+1 markers
+// from the previous run and count phantom collisions), the sparse
+// injection/sends bookkeeping, and the active-node list, which is rebuilt
+// from the new queue vector.
 func (e *Engine) SetQueues(q []int64) {
 	if len(q) != len(e.Q) {
 		panic("core: queue vector length mismatch")
@@ -216,6 +266,65 @@ func (e *Engine) SetQueues(q []int64) {
 	for i := range e.edgeUsed {
 		e.edgeUsed[i] = 0
 	}
+	for i := range e.inj {
+		e.inj[i] = 0
+	}
+	for i := range e.sentBy {
+		e.sentBy[i] = 0
+	}
+	e.injDirty = e.injDirty[:0]
+	e.sentDirty = e.sentDirty[:0]
+	e.newlyActive = e.newlyActive[:0]
+	e.active = e.active[:0]
+	for v := range e.Q {
+		pos := e.Q[v] > 0
+		e.activeMark[v] = pos
+		if pos {
+			e.active = append(e.active, graph.NodeID(v))
+		}
+	}
+}
+
+// markActive records a 0→positive queue transition.
+func (e *Engine) markActive(v graph.NodeID) {
+	if !e.activeMark[v] {
+		e.activeMark[v] = true
+		e.newlyActive = append(e.newlyActive, v)
+	}
+}
+
+// compactActive folds newlyActive into the sorted active list and drops
+// nodes whose queue has drained, preserving the invariant that active is
+// strictly ascending and contains every node with Q > 0. Amortized cost
+// is O(|active| + |new|·log|new|) per step with no allocations in steady
+// state.
+func (e *Engine) compactActive() {
+	if len(e.newlyActive) > 1 {
+		slices.Sort(e.newlyActive)
+	}
+	dst := e.activeSpare[:0]
+	a, b := e.active, e.newlyActive
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var v graph.NodeID
+		// activeMark guarantees a and b are disjoint, so plain min-merge
+		// keeps the output strictly ascending.
+		if j >= len(b) || (i < len(a) && a[i] < b[j]) {
+			v = a[i]
+			i++
+		} else {
+			v = b[j]
+			j++
+		}
+		if e.Q[v] > 0 {
+			dst = append(dst, v)
+		} else {
+			e.activeMark[v] = false
+		}
+	}
+	e.activeSpare = e.active
+	e.active = dst
+	e.newlyActive = e.newlyActive[:0]
 }
 
 // Snapshot returns the snapshot the router saw at the most recent step.
@@ -229,20 +338,28 @@ func (e *Engine) Step() StepStats {
 	n := spec.N()
 	st := StepStats{T: e.T}
 
-	// Phase 1: injection.
-	for v := range e.inj {
+	// Phase 1: injection. inj is zero except for last step's entries.
+	for _, v := range e.injDirty {
 		e.inj[v] = 0
 	}
+	e.injDirty = e.injDirty[:0]
 	e.Arrivals.Injections(e.T, spec, e.inj)
 	for v := 0; v < n; v++ {
-		if e.inj[v] < 0 {
-			panic(fmt.Sprintf("core: arrival process injected %d < 0 at node %d", e.inj[v], v))
+		x := e.inj[v]
+		if x == 0 {
+			continue
 		}
-		e.Q[v] += e.inj[v]
-		st.Injected += e.inj[v]
+		if x < 0 {
+			panic(fmt.Sprintf("core: arrival process injected %d < 0 at node %d", x, v))
+		}
+		e.Q[v] += x
+		st.Injected += x
+		e.injDirty = append(e.injDirty, graph.NodeID(v))
+		e.markActive(graph.NodeID(v))
 	}
 
 	// Phase 2: snapshot and declared queues.
+	e.compactActive()
 	copy(e.snapQ, e.Q)
 	for v := 0; v < n; v++ {
 		q, r := e.snapQ[v], spec.R[v]
@@ -269,7 +386,7 @@ func (e *Engine) Step() StepStats {
 			alive[ed] = e.Topology.EdgeAlive(e.T, graph.EdgeID(ed))
 		}
 	}
-	e.lastSnap = Snapshot{Spec: spec, T: e.T, Q: e.snapQ, Declared: e.declared, Alive: alive}
+	e.lastSnap = Snapshot{Spec: spec, T: e.T, Q: e.snapQ, Declared: e.declared, Alive: alive, Active: e.active}
 
 	// Phase 3: plan.
 	e.sends = e.Router.Plan(&e.lastSnap, e.sends[:0])
@@ -283,15 +400,17 @@ func (e *Engine) Step() StepStats {
 	}
 
 	// Phase 3c: physical validation. marker: edgeUsed[e] == T+1 means
-	// edge e already transmits this step.
+	// edge e already transmits this step. sentBy is zero except for last
+	// step's entries.
 	marker := e.T + 1
-	for v := range e.sentBy {
+	for _, v := range e.sentDirty {
 		e.sentBy[v] = 0
 	}
+	e.sentDirty = e.sentDirty[:0]
 	valid := e.sends[:0]
 	for _, s := range e.sends {
 		if alive != nil && !alive[s.Edge] {
-			st.Violations++
+			st.Filtered++ // topology drop: the environment, not the router
 			continue
 		}
 		if e.edgeUsed[s.Edge] == marker {
@@ -303,6 +422,9 @@ func (e *Engine) Step() StepStats {
 			continue
 		}
 		e.edgeUsed[s.Edge] = marker
+		if e.sentBy[s.From] == 0 {
+			e.sentDirty = append(e.sentDirty, s.From)
+		}
 		e.sentBy[s.From]++
 		valid = append(valid, s)
 	}
@@ -327,6 +449,7 @@ func (e *Engine) Step() StepStats {
 			st.Lost++
 		} else {
 			e.Q[to]++
+			e.markActive(to)
 			st.Arrived++
 		}
 		if e.trace != nil {
@@ -334,19 +457,16 @@ func (e *Engine) Step() StepStats {
 		}
 	}
 
-	// Phase 5: extraction (Definition 7(i)).
-	for v := 0; v < n; v++ {
+	// Phase 5: extraction (Definition 7(i)), destinations only.
+	for _, v := range e.sinks {
 		out := spec.Out[v]
-		if out == 0 {
-			continue
-		}
 		q := e.Q[v]
 		hi := min64(out, q)
 		var lo int64
 		if r := spec.R[v]; q > r {
 			lo = min64(out, q-r)
 		}
-		amt := e.Extract.Extract(e.T, graph.NodeID(v), lo, hi)
+		amt := e.Extract.Extract(e.T, v, lo, hi)
 		if amt < lo {
 			amt = lo
 		}
@@ -361,11 +481,15 @@ func (e *Engine) Step() StepStats {
 	}
 
 	e.T++
-	st.Potential = Potential(e.Q)
+	st.Potential, st.Overflowed = PotentialSat(e.Q)
 	st.Queued = TotalQueued(e.Q)
 	st.MaxQueue = MaxQueue(e.Q)
-	for _, o := range e.observers {
-		o.OnStep(st.T, &e.lastSnap, &st)
+	if len(e.observers) > 0 {
+		e.obsStats = st
+		for _, o := range e.observers {
+			o.OnStep(st.T, &e.lastSnap, &e.obsStats)
+		}
+		st = e.obsStats
 	}
 	return st
 }

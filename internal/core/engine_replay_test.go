@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// TestSetQueuesMidRunReplay rewinds a warm engine (SetQueues + T reset)
+// and requires the replay to match a fresh engine step for step: same
+// stats, same queue trajectory. This covers the edge-use scratch reset,
+// the sparse inj/sentBy bookkeeping and the active-node list rebuild — a
+// stale entry in any of them shows up as a diverging trajectory.
+func TestSetQueuesMidRunReplay(t *testing.T) {
+	build := func() *Engine {
+		r := rng.New(9)
+		g := graph.RandomMultigraph(10, 24, r)
+		s := NewSpec(g).SetSource(0, 2).SetSink(9, 3)
+		return NewEngine(s, NewLGG())
+	}
+	prepared := []int64{5, 0, 3, 0, 0, 7, 0, 1, 0, 2}
+
+	dirty := build()
+	dirty.Run(137) // arbitrary warm-up leaves scratch in a used state
+	dirty.SetQueues(prepared)
+	dirty.T = 0
+
+	fresh := build()
+	fresh.SetQueues(prepared)
+
+	for i := 0; i < 80; i++ {
+		ds, fs := dirty.Step(), fresh.Step()
+		if ds != fs {
+			t.Fatalf("step %d: replayed stats %+v, fresh stats %+v", i, ds, fs)
+		}
+		if !reflect.DeepEqual(dirty.Q, fresh.Q) {
+			t.Fatalf("step %d: replayed queues %v, fresh queues %v", i, dirty.Q, fresh.Q)
+		}
+	}
+}
+
+// TestActiveListInvariant white-boxes the engine's active-node list: after
+// every step it must be strictly ascending and contain every node with a
+// positive queue.
+func TestActiveListInvariant(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		r := rng.New(seed)
+		n := 3 + r.IntN(12)
+		g := graph.RandomMultigraph(n, n+r.IntN(2*n), r)
+		s := NewSpec(g).SetSource(0, 1+r.Int64N(3)).SetSink(graph.NodeID(n-1), 1+r.Int64N(3))
+		e := NewEngine(s, NewLGG())
+		e.Loss = coinLoss{r: r.Split(2), p: 0.2}
+		for i := 0; i < 60; i++ {
+			e.Step()
+			for j := 1; j < len(e.active); j++ {
+				if e.active[j-1] >= e.active[j] {
+					t.Fatalf("seed %d step %d: active list not ascending: %v", seed, i, e.active)
+				}
+			}
+			inActive := make(map[graph.NodeID]bool, len(e.active)+len(e.newlyActive))
+			for _, v := range e.active {
+				inActive[v] = true
+			}
+			for _, v := range e.newlyActive {
+				inActive[v] = true
+			}
+			// Compaction (merging newlyActive in, dropping drained nodes)
+			// happens at the next step's planning point, so between steps
+			// active may hold drained nodes and fresh arrivals still sit in
+			// newlyActive — but no node that currently stores packets may be
+			// missing from their union.
+			for v, q := range e.Q {
+				if q > 0 && !inActive[graph.NodeID(v)] {
+					t.Fatalf("seed %d step %d: node %d has q=%d but is not active (%v)",
+						seed, i, v, q, e.active)
+				}
+			}
+		}
+	}
+}
+
+// aliveBlindRouter plans over every incident edge of node 0, ignoring the
+// snapshot's Alive mask — modelling a router that did not get the memo
+// about a dynamic topology.
+type aliveBlindRouter struct{}
+
+func (aliveBlindRouter) Name() string { return "alive-blind" }
+func (aliveBlindRouter) Plan(sn *Snapshot, buf []Send) []Send {
+	for _, in := range sn.Spec.G.Incident(0) {
+		buf = append(buf, Send{Edge: in.Edge, From: 0})
+	}
+	return buf
+}
+
+// TestDeadEdgeDropsCountAsFiltered pins the accounting contract: sends
+// attempted over an edge the TopologyProcess took down are environment
+// drops (Filtered), not router bugs (Violations) — the router cannot see
+// through the engine's Alive mask, so a dynamic topology must not be able
+// to produce violations on its own.
+func TestDeadEdgeDropsCountAsFiltered(t *testing.T) {
+	g := graph.Star(4) // edges 0,1,2 from hub 0
+	s := NewSpec(g).SetSource(0, 3)
+	for i := 1; i < 4; i++ {
+		s.SetSink(graph.NodeID(i), 1)
+	}
+	e := NewEngine(s, aliveBlindRouter{})
+	e.Topology = maskTopology{dead: map[graph.EdgeID]bool{1: true}}
+	st := e.Step()
+	if st.Planned != 3 {
+		t.Fatalf("planned = %d, want 3", st.Planned)
+	}
+	if st.Filtered != 1 {
+		t.Fatalf("filtered = %d, want 1 (the dead edge)", st.Filtered)
+	}
+	if st.Violations != 0 {
+		t.Fatalf("violations = %d, want 0: topology drops are not router bugs", st.Violations)
+	}
+	if st.Sent != 2 {
+		t.Fatalf("sent = %d, want 2", st.Sent)
+	}
+}
+
+// TestOverdrawStillCountsAsViolation guards the other side of the
+// accounting split: overdrawn queues remain Violations.
+func TestOverdrawStillCountsAsViolation(t *testing.T) {
+	g := graph.Star(4)
+	s := NewSpec(g).SetSource(0, 1)
+	for i := 1; i < 4; i++ {
+		s.SetSink(graph.NodeID(i), 1)
+	}
+	e := NewEngine(s, aliveBlindRouter{})
+	st := e.Step() // q(0)=1 but the router plans 3 sends
+	if st.Violations != 2 {
+		t.Fatalf("violations = %d, want 2 (two overdraws)", st.Violations)
+	}
+	if st.Filtered != 0 {
+		t.Fatalf("filtered = %d, want 0", st.Filtered)
+	}
+}
+
+// TestPotentialSaturates pins the int64 boundary behaviour of the
+// potential: exact below the limit, saturated (not wrapped) above it.
+func TestPotentialSaturates(t *testing.T) {
+	const maxSq = 3037000499 // ⌊√(2⁶³−1)⌋
+	cases := []struct {
+		name string
+		q    []int64
+		want int64
+		ovf  bool
+	}{
+		{"empty", nil, 0, false},
+		{"small", []int64{3, 4}, 25, false},
+		{"max-exact-square", []int64{maxSq}, maxSq * maxSq, false},
+		{"one-past-square", []int64{maxSq + 1}, math.MaxInt64, true},
+		{"sum-overflow", []int64{maxSq, maxSq, maxSq}, math.MaxInt64, true},
+		{"huge", []int64{math.MaxInt64}, math.MaxInt64, true},
+	}
+	for _, c := range cases {
+		p, ovf := PotentialSat(c.q)
+		if p != c.want || ovf != c.ovf {
+			t.Errorf("%s: PotentialSat = (%d, %v), want (%d, %v)", c.name, p, ovf, c.want, c.ovf)
+		}
+		if got := Potential(c.q); got != c.want {
+			t.Errorf("%s: Potential = %d, want %d", c.name, got, c.want)
+		}
+		if p < 0 {
+			t.Errorf("%s: potential wrapped negative", c.name)
+		}
+	}
+}
+
+// TestEngineOverflowFlag drives an engine into the saturation regime and
+// checks the flag surfaces on StepStats and folds into Totals.
+func TestEngineOverflowFlag(t *testing.T) {
+	s := lineSpec(3, 1, 1)
+	e := NewEngine(s, NewLGG())
+	e.SetQueues([]int64{int64(1) << 33, 0, 0})
+	st := e.Step()
+	if !st.Overflowed {
+		t.Fatalf("queue 2³³: Overflowed not set, potential = %d", st.Potential)
+	}
+	if st.Potential != math.MaxInt64 {
+		t.Fatalf("potential = %d, want saturation at MaxInt64", st.Potential)
+	}
+	var tot Totals
+	tot.Add(st)
+	if !tot.Overflowed {
+		t.Fatal("Totals.Add dropped the overflow flag")
+	}
+	if tot.PeakPotential != math.MaxInt64 {
+		t.Fatalf("peak potential = %d, want MaxInt64", tot.PeakPotential)
+	}
+	// A later non-overflowing step must not clear the sticky flag.
+	tot.Add(StepStats{Potential: 5})
+	if !tot.Overflowed {
+		t.Fatal("overflow flag must be sticky across Add")
+	}
+}

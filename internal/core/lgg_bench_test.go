@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// benchDenseSpec is the dense-topology workload the zero-alloc gate runs
+// on: an 8×8 grid with extra diagonal chords (degree up to 8), a column
+// of sources and a column of sinks, so planning always has candidates and
+// ties to order.
+func benchDenseSpec() *Spec {
+	const side = 8
+	g := graph.Grid(side, side)
+	for r := 0; r+1 < side; r++ {
+		for c := 0; c+1 < side; c++ {
+			g.AddEdge(graph.NodeID(r*side+c), graph.NodeID((r+1)*side+c+1))
+			g.AddEdge(graph.NodeID(r*side+c+1), graph.NodeID((r+1)*side+c))
+		}
+	}
+	s := NewSpec(g)
+	for r := 0; r < side; r++ {
+		s.SetSource(graph.NodeID(r*side), 1)
+		s.SetSink(graph.NodeID(r*side+side-1), 2)
+	}
+	return s
+}
+
+// BenchmarkLGGPlan measures the planning hot path alone on a warm dense
+// snapshot. CI gates on this benchmark reporting 0 allocs/op — the
+// zero-allocation contract of the CSR + insertion-sort rewrite.
+func BenchmarkLGGPlan(b *testing.B) {
+	e := NewEngine(benchDenseSpec(), NewLGG())
+	for i := 0; i < 200; i++ {
+		e.Step()
+	}
+	l := NewLGG()
+	sn := e.Snapshot()
+	buf := l.Plan(sn, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = l.Plan(sn, buf[:0])
+	}
+}
+
+// BenchmarkLGGPlanTies is BenchmarkLGGPlan per tie-break mode.
+func BenchmarkLGGPlanTies(b *testing.B) {
+	for _, tb := range []TieBreak{TieEdgeOrder, TiePeerOrder, TieRandom} {
+		b.Run(tb.String(), func(b *testing.B) {
+			e := NewEngine(benchDenseSpec(), NewLGG())
+			for i := 0; i < 200; i++ {
+				e.Step()
+			}
+			l := &LGG{Tie: tb} // TieRandom seeds its fallback stream lazily
+			sn := e.Snapshot()
+			buf := l.Plan(sn, nil)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = l.Plan(sn, buf[:0])
+			}
+		})
+	}
+}
+
+// BenchmarkStep measures the full synchronous step (inject → plan →
+// validate → transmit → extract) on the dense topology in steady state.
+// CI's bench-smoke job records it into BENCH_step.json.
+func BenchmarkStep(b *testing.B) {
+	e := NewEngine(benchDenseSpec(), NewLGG())
+	for i := 0; i < 200; i++ {
+		e.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkStepSparseActivity measures the active-list payoff: a large
+// line network where only a handful of nodes near the source ever hold
+// packets, so a full-node scan would dominate the step cost.
+func BenchmarkStepSparseActivity(b *testing.B) {
+	spec := NewSpec(graph.Line(4096)).SetSource(0, 1).SetSink(8, 1)
+	e := NewEngine(spec, NewLGG())
+	for i := 0; i < 200; i++ {
+		e.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}

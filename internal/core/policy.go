@@ -29,6 +29,14 @@ type Snapshot struct {
 	Q        []int64
 	Declared []int64
 	Alive    []bool // nil means every edge is alive
+	// Active, when non-nil, is a strictly ascending node list guaranteed
+	// to contain every node with Q > 0 (it may also contain nodes whose
+	// queue just drained). Routers whose decisions only involve nodes
+	// holding packets (LGG and the gradient baselines) may restrict
+	// their scan to it instead of sweeping all n nodes; because the list
+	// is sorted, doing so cannot reorder their output. nil means no
+	// active-set information: scan everything.
+	Active []graph.NodeID
 }
 
 // EdgeAlive reports whether edge e may transmit at this step.

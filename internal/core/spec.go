@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/flow"
 	"repro/internal/graph"
@@ -181,13 +182,40 @@ func (s *Spec) Analyze(solver flow.Solver) *flow.Analysis {
 	return flow.Analyze(s.G, s.In, s.Out, solver)
 }
 
-// Potential returns the network state P = Σ_v q(v)² (Definition 1).
+// Potential returns the network state P = Σ_v q(v)² (Definition 1),
+// saturating at math.MaxInt64 instead of silently wrapping negative when
+// an unstable run grows queues past ≈2³¹ packets. Use PotentialSat to
+// also learn whether saturation occurred.
 func Potential(q []int64) int64 {
-	var p int64
-	for _, x := range q {
-		p += x * x
-	}
+	p, _ := PotentialSat(q)
 	return p
+}
+
+// maxExactSquare is the largest |q| whose square fits in an int64
+// (⌊√(2⁶³−1)⌋).
+const maxExactSquare = 3037000499
+
+// PotentialSat returns the network state P = Σ_v q(v)² (Definition 1)
+// together with an overflow flag. When the exact sum exceeds the int64
+// range the returned potential is math.MaxInt64 and overflowed is true;
+// a saturated potential is a lower bound, which preserves the sign and
+// ordering properties the stability verdicts rely on (a diverging run
+// stays "large" instead of wrapping negative and faking a drain).
+func PotentialSat(q []int64) (p int64, overflowed bool) {
+	for _, x := range q {
+		if x < 0 {
+			x = -x
+		}
+		if x > maxExactSquare {
+			return math.MaxInt64, true
+		}
+		sq := x * x
+		if p > math.MaxInt64-sq {
+			return math.MaxInt64, true
+		}
+		p += sq
+	}
+	return p, false
 }
 
 // TotalQueued returns Σ_v q(v), the number of stored packets.

@@ -1,0 +1,133 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestCSRIncidenceOrder pins the ordering contract of the CSR layout:
+// each node's incidence list is in ascending edge-id order — exactly the
+// per-node append order the old slice-of-slices representation produced —
+// including interleaved insertions and parallel edges.
+func TestCSRIncidenceOrder(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 3)     // e0
+	g.AddEdge(0, 1)     // e1
+	g.AddEdge(2, 0)     // e2 — node 0 is the V endpoint here
+	g.AddEdges(0, 2, 2) // e3, e4 parallel
+	g.AddEdge(1, 2)     // e5
+
+	want := map[NodeID][]Incidence{
+		0: {{0, 3}, {1, 1}, {2, 2}, {3, 2}, {4, 2}},
+		1: {{1, 0}, {5, 2}},
+		2: {{2, 0}, {3, 0}, {4, 0}, {5, 1}},
+		3: {{0, 0}},
+	}
+	for v, w := range want {
+		got := g.Incident(v)
+		if fmt.Sprint(got) != fmt.Sprint(w) {
+			t.Errorf("Incident(%d) = %v, want %v", v, got, w)
+		}
+	}
+
+	off, flat := g.IncidenceCSR()
+	if len(off) != 5 || int(off[4]) != len(flat) || len(flat) != 2*g.NumEdges() {
+		t.Fatalf("CSR shape: off=%v len(flat)=%d", off, len(flat))
+	}
+	for v := NodeID(0); v < 4; v++ {
+		sub := flat[off[v]:off[v+1]]
+		if fmt.Sprint(sub) != fmt.Sprint(want[v]) {
+			t.Errorf("CSR slice for %d = %v, want %v", v, sub, want[v])
+		}
+	}
+}
+
+// TestCSRInvalidationOnMutation checks that AddEdge and AddNodes
+// invalidate the cached snapshot and later reads see the new topology,
+// while slices handed out earlier keep describing the old snapshot.
+func TestCSRInvalidationOnMutation(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	before := g.Incident(0)
+	if len(before) != 1 {
+		t.Fatalf("pre-mutation Incident(0) = %v", before)
+	}
+
+	g.AddEdge(0, 2)
+	if got := g.Incident(0); len(got) != 2 || got[1] != (Incidence{Edge: 1, Peer: 2}) {
+		t.Fatalf("post-AddEdge Incident(0) = %v", got)
+	}
+	if len(before) != 1 {
+		t.Fatalf("old snapshot slice mutated in place: %v", before)
+	}
+
+	v := g.AddNodes(1)
+	if v != 3 {
+		t.Fatalf("AddNodes returned %d, want 3", v)
+	}
+	if got := g.Incident(3); len(got) != 0 {
+		t.Fatalf("fresh node has incidences: %v", got)
+	}
+	g.AddEdge(3, 0)
+	if got := g.Incident(3); len(got) != 1 || got[0].Peer != 0 {
+		t.Fatalf("Incident(3) = %v", got)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloneIndependence checks a clone shares nothing mutable with the
+// original: edges added to one never appear in the other.
+func TestCloneIndependence(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.Incident(0) // force the CSR build before cloning
+
+	c := g.Clone()
+	c.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+
+	if g.NumEdges() != 2 || c.NumEdges() != 2 {
+		t.Fatalf("edge counts: g=%d c=%d", g.NumEdges(), c.NumEdges())
+	}
+	if got := g.Incident(2); len(got) != 1 || got[0].Peer != 0 {
+		t.Fatalf("g.Incident(2) = %v", got)
+	}
+	if got := c.Incident(2); len(got) != 1 || got[0].Peer != 1 {
+		t.Fatalf("c.Incident(2) = %v", got)
+	}
+}
+
+// TestCSRConcurrentReads hammers a freshly-mutated graph from many
+// goroutines so the lazy rebuild races with itself; run under -race this
+// verifies the atomic-snapshot publication. All readers must agree on the
+// resulting topology.
+func TestCSRConcurrentReads(t *testing.T) {
+	r := rng.New(7)
+	g := RandomMultigraph(50, 200, r)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total := 0
+			for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+				total += len(g.Incident(v))
+			}
+			if total != 2*g.NumEdges() {
+				errs <- fmt.Errorf("incidence total %d, want %d", total, 2*g.NumEdges())
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -7,14 +7,22 @@
 // self-loops are rejected (a self-loop can never satisfy the strict
 // gradient condition q(u) > q(u) and would only distort degree bounds).
 //
-// The representation is a flat edge list plus per-node incidence lists,
-// which is the access pattern the LGG protocol needs: a node inspects the
-// queues of the endpoints of its incident edges.
+// The representation is a flat edge list plus a CSR (compressed sparse
+// row) incidence layout: one flat []Incidence array ordered by node, with
+// per-node offsets into it. This is the access pattern the LGG protocol
+// needs — a node inspects the queues of the endpoints of its incident
+// edges — and keeping every incidence list in one contiguous array makes
+// the planning hot loop cache-friendly and allocation-free. The CSR
+// arrays are rebuilt lazily after mutation, so graph construction stays
+// cheap and the steady state (build once, step forever) pays the rebuild
+// exactly once.
 package graph
 
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // NodeID identifies a node; nodes are the integers [0, NumNodes).
@@ -51,9 +59,28 @@ type Incidence struct {
 
 // Multigraph is an undirected multigraph. The zero value is an empty graph
 // with no nodes; use New or AddNodes to size it.
+//
+// Incidence is stored in CSR form: one flat []Incidence holds every node's
+// incidence list back to back (node v's list is flat[off[v]:off[v+1]]),
+// ordered by ascending edge id within each node — which equals AddEdge
+// insertion order, the ordering the earlier per-node slices had. The CSR
+// arrays are derived lazily from the edge list after mutation and then
+// published as an immutable snapshot through an atomic pointer, so a
+// fully-built graph can be read concurrently (sweeps and the distributed
+// simulator share one graph across goroutines). Mutating methods are not
+// safe to call concurrently with anything else.
 type Multigraph struct {
 	edges []Edge
-	inc   [][]Incidence
+	n     int
+	// inc is the CSR incidence snapshot; nil means it needs a rebuild.
+	inc    atomic.Pointer[incCSR]
+	buildM sync.Mutex
+}
+
+// incCSR is one immutable CSR incidence snapshot.
+type incCSR struct {
+	off  []int32
+	flat []Incidence
 }
 
 // New returns a multigraph with n isolated nodes.
@@ -61,11 +88,11 @@ func New(n int) *Multigraph {
 	if n < 0 {
 		panic("graph: negative node count")
 	}
-	return &Multigraph{inc: make([][]Incidence, n)}
+	return &Multigraph{n: n}
 }
 
 // NumNodes returns the number of nodes.
-func (g *Multigraph) NumNodes() int { return len(g.inc) }
+func (g *Multigraph) NumNodes() int { return g.n }
 
 // NumEdges returns the number of edges (counting parallels separately).
 func (g *Multigraph) NumEdges() int { return len(g.edges) }
@@ -75,8 +102,9 @@ func (g *Multigraph) AddNodes(k int) NodeID {
 	if k < 0 {
 		panic("graph: negative node count")
 	}
-	first := NodeID(len(g.inc))
-	g.inc = append(g.inc, make([][]Incidence, k)...)
+	first := NodeID(g.n)
+	g.n += k
+	g.inc.Store(nil)
 	return first
 }
 
@@ -90,8 +118,7 @@ func (g *Multigraph) AddEdge(u, v NodeID) EdgeID {
 	}
 	id := EdgeID(len(g.edges))
 	g.edges = append(g.edges, Edge{U: u, V: v})
-	g.inc[u] = append(g.inc[u], Incidence{Edge: id, Peer: v})
-	g.inc[v] = append(g.inc[v], Incidence{Edge: id, Peer: u})
+	g.inc.Store(nil)
 	return id
 }
 
@@ -108,9 +135,48 @@ func (g *Multigraph) AddEdges(u, v NodeID, c int) EdgeID {
 }
 
 func (g *Multigraph) check(v NodeID) {
-	if v < 0 || int(v) >= len(g.inc) {
-		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", v, len(g.inc)))
+	if v < 0 || int(v) >= g.n {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", v, g.n))
 	}
+}
+
+// ensureCSR returns the current CSR incidence snapshot, building it from
+// the edge list if a mutation invalidated it. The fast path is one atomic
+// pointer load, safe to keep inside hot loops and to call from many
+// readers at once.
+func (g *Multigraph) ensureCSR() *incCSR {
+	if c := g.inc.Load(); c != nil {
+		return c
+	}
+	g.buildM.Lock()
+	defer g.buildM.Unlock()
+	if c := g.inc.Load(); c != nil { // lost the build race
+		return c
+	}
+	// Counting sort over the edge list. Iterating edges in id order
+	// reproduces, per node, the exact ordering the old per-node
+	// append-on-AddEdge lists had: ascending edge id.
+	c := &incCSR{
+		off:  make([]int32, g.n+1),
+		flat: make([]Incidence, 2*len(g.edges)),
+	}
+	for _, e := range g.edges {
+		c.off[e.U+1]++
+		c.off[e.V+1]++
+	}
+	for v := 0; v < g.n; v++ {
+		c.off[v+1] += c.off[v]
+	}
+	next := make([]int32, g.n)
+	copy(next, c.off[:g.n])
+	for id, e := range g.edges {
+		c.flat[next[e.U]] = Incidence{Edge: EdgeID(id), Peer: e.V}
+		next[e.U]++
+		c.flat[next[e.V]] = Incidence{Edge: EdgeID(id), Peer: e.U}
+		next[e.V]++
+	}
+	g.inc.Store(c)
+	return c
 }
 
 // EdgeByID returns the edge with the given id.
@@ -122,11 +188,24 @@ func (g *Multigraph) EdgeByID(id EdgeID) Edge {
 // graph; callers must not modify it.
 func (g *Multigraph) Edges() []Edge { return g.edges }
 
-// Incident returns the incidence list of v. The returned slice is shared
-// with the graph; callers must not modify it.
+// Incident returns the incidence list of v, a sub-slice of the shared CSR
+// array in ascending edge-id order; callers must not modify it. The slice
+// reflects the graph as of this call; later mutations produce new CSR
+// snapshots and are not visible through it.
 func (g *Multigraph) Incident(v NodeID) []Incidence {
 	g.check(v)
-	return g.inc[v]
+	c := g.ensureCSR()
+	return c.flat[c.off[v]:c.off[v+1]]
+}
+
+// IncidenceCSR exposes the raw CSR arrays (per-node offsets and the flat
+// incidence list, with node v's incidences at flat[off[v]:off[v+1]]) for
+// hot loops that want to iterate many nodes without per-Incident bounds
+// checks. Both slices are shared immutable snapshots; callers must not
+// modify them.
+func (g *Multigraph) IncidenceCSR() (off []int32, flat []Incidence) {
+	c := g.ensureCSR()
+	return c.off, c.flat
 }
 
 // Degree returns the degree of v, counting parallel edges with
@@ -134,26 +213,27 @@ func (g *Multigraph) Incident(v NodeID) []Incidence {
 // link can deliver one packet per step).
 func (g *Multigraph) Degree(v NodeID) int {
 	g.check(v)
-	return len(g.inc[v])
+	c := g.ensureCSR()
+	return int(c.off[v+1] - c.off[v])
 }
 
 // MaxDegree returns Δ = max_v deg(v), or 0 for an empty graph.
 func (g *Multigraph) MaxDegree() int {
-	max := 0
-	for _, l := range g.inc {
-		if len(l) > max {
-			max = len(l)
+	c := g.ensureCSR()
+	max := int32(0)
+	for v := 0; v < g.n; v++ {
+		if d := c.off[v+1] - c.off[v]; d > max {
+			max = d
 		}
 	}
-	return max
+	return int(max)
 }
 
 // Multiplicity returns the number of parallel edges between u and v.
 func (g *Multigraph) Multiplicity(u, v NodeID) int {
-	g.check(u)
 	g.check(v)
 	m := 0
-	for _, in := range g.inc[u] {
+	for _, in := range g.Incident(u) {
 		if in.Peer == v {
 			m++
 		}
@@ -163,10 +243,9 @@ func (g *Multigraph) Multiplicity(u, v NodeID) int {
 
 // Neighbors returns the distinct neighbours of v in ascending order.
 func (g *Multigraph) Neighbors(v NodeID) []NodeID {
-	g.check(v)
 	seen := map[NodeID]bool{}
 	var out []NodeID
-	for _, in := range g.inc[v] {
+	for _, in := range g.Incident(v) {
 		if !seen[in.Peer] {
 			seen[in.Peer] = true
 			out = append(out, in.Peer)
@@ -178,23 +257,20 @@ func (g *Multigraph) Neighbors(v NodeID) []NodeID {
 
 // Clone returns a deep copy of g.
 func (g *Multigraph) Clone() *Multigraph {
-	c := &Multigraph{
+	return &Multigraph{
 		edges: append([]Edge(nil), g.edges...),
-		inc:   make([][]Incidence, len(g.inc)),
+		n:     g.n,
 	}
-	for i, l := range g.inc {
-		c.inc[i] = append([]Incidence(nil), l...)
-	}
-	return c
 }
 
-// Validate checks internal consistency (incidence lists agree with the
-// edge list). It returns nil if the graph is well formed; it exists for
+// Validate checks internal consistency: edge endpoints in range, no
+// self-loops, and (when the CSR cache is built) incidence agreement with
+// the edge list. It returns nil if the graph is well formed; it exists for
 // tests and for graphs built by external decoders.
 func (g *Multigraph) Validate() error {
-	counts := make([]int, len(g.inc))
+	counts := make([]int, g.n)
 	for id, e := range g.edges {
-		if e.U < 0 || int(e.U) >= len(g.inc) || e.V < 0 || int(e.V) >= len(g.inc) {
+		if e.U < 0 || int(e.U) >= g.n || e.V < 0 || int(e.V) >= g.n {
 			return fmt.Errorf("graph: edge %d endpoints %v out of range", id, e)
 		}
 		if e.U == e.V {
@@ -203,7 +279,9 @@ func (g *Multigraph) Validate() error {
 		counts[e.U]++
 		counts[e.V]++
 	}
-	for v, l := range g.inc {
+	c := g.ensureCSR()
+	for v := 0; v < g.n; v++ {
+		l := c.flat[c.off[v]:c.off[v+1]]
 		if len(l) != counts[v] {
 			return fmt.Errorf("graph: node %d incidence length %d, want %d", v, len(l), counts[v])
 		}
@@ -230,7 +308,8 @@ func (g *Multigraph) BFS(src NodeID) []int {
 // given sources; unreachable nodes get -1. It is used by the
 // shortest-path-to-sink baseline router.
 func (g *Multigraph) MultiBFS(srcs []NodeID) []int {
-	dist := make([]int, len(g.inc))
+	c := g.ensureCSR()
+	dist := make([]int, g.n)
 	for i := range dist {
 		dist[i] = -1
 	}
@@ -245,7 +324,7 @@ func (g *Multigraph) MultiBFS(srcs []NodeID) []int {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, in := range g.inc[v] {
+		for _, in := range c.flat[c.off[v]:c.off[v+1]] {
 			if dist[in.Peer] == -1 {
 				dist[in.Peer] = dist[v] + 1
 				queue = append(queue, in.Peer)
@@ -258,11 +337,12 @@ func (g *Multigraph) MultiBFS(srcs []NodeID) []int {
 // Components returns a component label per node (labels are 0,1,… in
 // first-seen order) and the number of components.
 func (g *Multigraph) Components() (label []int, count int) {
-	label = make([]int, len(g.inc))
+	c := g.ensureCSR()
+	label = make([]int, g.n)
 	for i := range label {
 		label[i] = -1
 	}
-	for v := range g.inc {
+	for v := 0; v < g.n; v++ {
 		if label[v] != -1 {
 			continue
 		}
@@ -271,7 +351,7 @@ func (g *Multigraph) Components() (label []int, count int) {
 		for len(queue) > 0 {
 			x := queue[0]
 			queue = queue[1:]
-			for _, in := range g.inc[x] {
+			for _, in := range c.flat[c.off[x]:c.off[x+1]] {
 				if label[in.Peer] == -1 {
 					label[in.Peer] = count
 					queue = append(queue, in.Peer)
@@ -294,12 +374,11 @@ func (g *Multigraph) Connected() bool {
 // or -1 if the graph is disconnected or empty. O(n·(n+m)); intended for
 // the small graphs used in experiments.
 func (g *Multigraph) Diameter() int {
-	n := len(g.inc)
-	if n == 0 {
+	if g.n == 0 {
 		return -1
 	}
 	d := 0
-	for v := 0; v < n; v++ {
+	for v := 0; v < g.n; v++ {
 		dist := g.BFS(NodeID(v))
 		for _, x := range dist {
 			if x == -1 {
@@ -317,10 +396,10 @@ func (g *Multigraph) Diameter() int {
 // keep[v] is true) together with the mapping old→new node id (-1 for
 // dropped nodes). Edges with both endpoints kept are preserved in order.
 func (g *Multigraph) InducedSubgraph(keep []bool) (*Multigraph, []NodeID) {
-	if len(keep) != len(g.inc) {
+	if len(keep) != g.n {
 		panic("graph: keep mask length mismatch")
 	}
-	remap := make([]NodeID, len(g.inc))
+	remap := make([]NodeID, g.n)
 	n := 0
 	for v, k := range keep {
 		if k {
