@@ -9,6 +9,8 @@
 //	lggsim -topo grid -rows 4 -cols 6 -in 1 -out 3 -router shortest -load 0.9
 //	lggsim -topo random -n 20 -m 40 -loss 0.1 -series series.csv
 //	lggsim -topo line -n 8 -metrics - -events steps.jsonl -eventstride 100
+//	lggsim -topo theta -faults 'burst@500-1500:pg=0.05,pb=0.7,gb=0.1,bg=0.3'
+//	lggsim -topo grid -faults @schedule.json
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"repro/internal/arrivals"
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/flow"
 	"repro/internal/graph"
 	"repro/internal/interference"
@@ -54,6 +57,7 @@ func main() {
 		retain      = flag.Int64("retention", 0, "retention constant R on all terminals")
 		declare     = flag.String("declare", "truth", "declaration policy: truth|zero|max")
 		interf      = flag.String("interference", "", "interference: ''|greedy|oracle (node-exclusive)")
+		faultsArg   = flag.String("faults", "", "fault schedule: 'kind@from-to:params;…' text, JSON, or @file")
 		series      = flag.String("series", "", "write t,P,N,maxQ CSV to this file")
 		show        = flag.Bool("viz", false, "render backlog sparkline and final queue state")
 		metricsPath = flag.String("metrics", "", "write Prometheus text metrics after the run (- = stdout)")
@@ -112,6 +116,23 @@ func main() {
 		fatal(fmt.Errorf("unknown interference scheduler %q", *interf))
 	}
 
+	// Fault injection: compile the schedule against the spec's graph and
+	// hang it off the engine's hooks, plus a recovery observer for the
+	// post-fault verdict.
+	var recObs *faults.RecoveryObserver
+	if *faultsArg != "" {
+		sched, err := faults.Load(*faultsArg)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := faults.Inject(e, sched, rng.New(*seed).Split(0xFA)); err != nil {
+			fatal(err)
+		}
+		recObs = faults.NewRecoveryObserver(sched)
+		e.AddObserver(recObs)
+		fmt.Printf("faults:      %s\n", faults.FormatText(sched))
+	}
+
 	// Observability: registry-backed metrics and/or a live event stream
 	// hang off the engine's step-observer hook.
 	var reg *metrics.Registry
@@ -154,6 +175,14 @@ func main() {
 	fmt.Printf("peak P_t:    %d\n", tt.PeakPotential)
 	fmt.Printf("verdict:     %v (slope %.4f, rel-growth %.4f)\n",
 		res.Diagnosis.Verdict, res.Diagnosis.Slope, res.Diagnosis.RelGrowth)
+	if recObs != nil {
+		rec := recObs.Report()
+		fmt.Printf("recovery:    %v (time-to-drain %d, fault peak P %d, fault peak N %d)\n",
+			rec.Verdict, rec.TimeToDrain, rec.PeakPotential, rec.PeakBacklog)
+		if reg != nil {
+			recObs.Record(reg)
+		}
+	}
 
 	if *show {
 		fmt.Printf("backlog N_t: |%s|\n", viz.Sparkline(viz.Downsample(res.Series.Queued, 72)))

@@ -8,26 +8,39 @@
 // the bytes — including the -events stream and the -metrics scrape —
 // are identical whether the sweep runs on 1 worker or 64.
 //
+// A sweep cut short — by -timeout, Ctrl-C or SIGTERM — still writes every
+// finished run to its outputs (the deterministic in-order prefix) and then
+// exits non-zero so callers know the table is truncated. With -journal the
+// prefix is also checkpointed on disk as it is produced, and -resume picks
+// a killed sweep up from exactly where the journal ends.
+//
 // Usage:
 //
 //	lggsweep -list
 //	lggsweep -grid stability [-workers 8] [-seeds 8] [-horizon 3000] \
 //	         [-seed 1] [-timeout 10m] [-out runs.jsonl] [-csv runs.csv] \
 //	         [-cells cells.jsonl] [-events events.jsonl] [-metrics metrics.prom] \
-//	         [-quick]
+//	         [-faults 'down@100-200:e=3'] [-journal ckpt.jsonl] [-resume] \
+//	         [-retries 2] [-quick]
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/rng"
 	"repro/internal/sweep"
 )
 
@@ -47,6 +60,10 @@ func main() {
 		horizon     = flag.Int64("horizon", 3000, "steps per run")
 		quick       = flag.Bool("quick", false, "reduced workloads (CI sizes)")
 		quiet       = flag.Bool("quiet", false, "suppress the progress reporter")
+		faultsArg   = flag.String("faults", "", "inject this fault schedule into every run (text, JSON, or @file)")
+		journalPath = flag.String("journal", "", "checkpoint finished runs to this JSONL journal as the sweep progresses")
+		resume      = flag.Bool("resume", false, "resume from the -journal file instead of re-running its prefix")
+		retries     = flag.Int("retries", 0, "re-attempts for a run that panics before recording it as failed")
 	)
 	flag.Parse()
 
@@ -68,10 +85,40 @@ func main() {
 
 	cfg := experiments.Config{Seed: *seed, Seeds: *seeds, Horizon: *horizon, Quick: *quick}
 	jobs := g.Jobs(cfg)
+	if *faultsArg != "" {
+		if err := injectFaults(jobs, *faultsArg); err != nil {
+			fmt.Fprintf(os.Stderr, "lggsweep: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
-	runner := &sweep.Runner{Workers: *workers, Timeout: *timeout}
+	runner := &sweep.Runner{Workers: *workers, Timeout: *timeout, Retries: *retries}
 	if !*quiet {
 		runner.Progress = sweep.NewReporter(os.Stderr, time.Second)
+	}
+	var journal *sweep.Journal
+	if *resume && *journalPath == "" {
+		fmt.Fprintln(os.Stderr, "lggsweep: -resume needs -journal")
+		os.Exit(2)
+	}
+	if *journalPath != "" {
+		var err error
+		if *resume {
+			var prefix []sweep.Result
+			journal, prefix, err = sweep.OpenJournalResume(*journalPath, len(jobs))
+			if err == nil && len(prefix) > 0 {
+				fmt.Fprintf(os.Stderr, "lggsweep: resuming %s: %d/%d runs already done\n",
+					*journalPath, len(prefix), len(jobs))
+				runner.Resume = prefix
+			}
+		} else {
+			journal, err = sweep.CreateJournal(*journalPath, len(jobs))
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lggsweep: %v\n", err)
+			os.Exit(1)
+		}
+		runner.Journal = journal
 	}
 	var es *sweep.EventStreamer
 	var eventsClose func() error
@@ -85,8 +132,21 @@ func main() {
 		es = sweep.NewEventStreamer(w, *seeds)
 		runner.OnResult = es.OnResult
 	}
-	rs, runErr := runner.Run(jobs)
-	if runErr != nil && !errors.Is(runErr, sweep.ErrTimeout) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	rs, runErr := runner.RunWithContext(ctx, jobs)
+	stop()
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "lggsweep: journal: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	// A timed-out or signal-interrupted sweep still owns a valid in-order
+	// prefix: flush it to every requested output, then exit non-zero below.
+	// Any other error (journal write, resume mismatch) is fatal here.
+	truncated := errors.Is(runErr, sweep.ErrTimeout) || errors.Is(runErr, context.Canceled) ||
+		errors.Is(runErr, context.DeadlineExceeded)
+	if runErr != nil && !truncated {
 		fmt.Fprintf(os.Stderr, "lggsweep: %v\n", runErr)
 		os.Exit(1)
 	}
@@ -126,9 +186,32 @@ func main() {
 		}
 	}
 	if runErr != nil {
-		fmt.Fprintf(os.Stderr, "lggsweep: %v\n", runErr)
+		fmt.Fprintf(os.Stderr, "lggsweep: sweep truncated, wrote the %d finished runs: %v\n", len(rs), runErr)
 		os.Exit(1)
 	}
+}
+
+// injectFaults compiles the schedule argument once and wraps every job's
+// engine factory to inject it, with a recovery observer reporting the
+// post-fault verdict into the sweep results. Per-run fault randomness
+// derives from the run's own seed, preserving the determinism contract.
+func injectFaults(jobs []sweep.Job, arg string) error {
+	sched, err := faults.Load(arg)
+	if err != nil {
+		return err
+	}
+	for i := range jobs {
+		inner := jobs[i].Build
+		jobs[i].Build = func(seed uint64) *core.Engine {
+			e := inner(seed)
+			if _, err := faults.Inject(e, sched, rng.New(seed).Split(0xFA)); err != nil {
+				panic(err)
+			}
+			e.AddObserver(faults.NewRecoveryObserver(sched))
+			return e
+		}
+	}
+	return nil
 }
 
 // openOut resolves "-" to stdout (with a no-op closer) and anything else
@@ -152,7 +235,10 @@ func emitCells(path string, rs []sweep.Result, replicas int) error {
 		return fmt.Errorf("-cells needs a positive -seeds, got %d", replicas)
 	}
 	full := len(rs) - len(rs)%replicas
-	cells := sweep.AggregateCells(rs[:full], replicas)
+	cells, err := sweep.AggregateCells(rs[:full], replicas)
+	if err != nil {
+		return err
+	}
 	w, closeFn, err := openOut(path)
 	if err != nil {
 		return err

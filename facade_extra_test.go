@@ -50,3 +50,59 @@ func TestFacadeSaturatedBoundsError(t *testing.T) {
 		t.Fatal("bounds on a saturated network should fail")
 	}
 }
+
+func TestFacadeFaultInjection(t *testing.T) {
+	sched, err := ParseFaultSchedule("down@50-80:e=0+3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatFaultSchedule(sched) != "down@50-80:e=0+3" {
+		t.Fatalf("round-trip broke: %q", FormatFaultSchedule(sched))
+	}
+	spec := NewSpec(Cycle(4)).SetSource(0, 1).SetSink(2, 2)
+	e := NewEngine(spec, NewLGG())
+	if _, err := InjectFaults(e, sched, 21); err != nil {
+		t.Fatal(err)
+	}
+	obs := NewRecoveryObserver(sched)
+	e.AddObserver(obs)
+	Run(e, Options{Horizon: 400})
+	if rec := obs.Report(); rec.Verdict.String() != "Recovered" {
+		t.Fatalf("verdict = %v, want Recovered", rec.Verdict)
+	}
+}
+
+func TestFacadeChurnAndJournal(t *testing.T) {
+	g := Theta(3, 2)
+	sched, err := GenerateChurn(ChurnConfig{MTBF: 50, MTTR: 10, Horizon: 200}, g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Events) == 0 {
+		t.Fatal("churn generated no events")
+	}
+	for _, ev := range sched.Events {
+		if ev.Kind != FaultLinkDown {
+			t.Fatalf("churn produced %s events", ev.Kind)
+		}
+	}
+	path := t.TempDir() + "/j.jsonl"
+	j, err := CreateSweepJournal(path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(SweepResult{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, prefix, err := OpenSweepJournalResume(path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(prefix) != 1 {
+		t.Fatalf("resume prefix = %d results, want 1", len(prefix))
+	}
+}

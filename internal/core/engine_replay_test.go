@@ -199,3 +199,121 @@ func TestEngineOverflowFlag(t *testing.T) {
 		t.Fatal("overflow flag must be sticky across Add")
 	}
 }
+
+// churnTopology takes each listed edge down for its half-open window —
+// the deterministic skeleton of a link-churn schedule, kept local because
+// core cannot import the faults package built on top of it.
+type churnTopology struct {
+	windows map[graph.EdgeID][2]int64
+}
+
+func (c churnTopology) Name() string { return "churn" }
+func (c churnTopology) EdgeAlive(t int64, e graph.EdgeID) bool {
+	w, ok := c.windows[e]
+	return !ok || t < w[0] || t >= w[1]
+}
+
+// TestChurnFilteredAcrossDrainedEndpoint pins the TopologyProcess ×
+// active-list interplay: an edge dies while its receiving endpoint is a
+// drained sink (absent from the active list), stays down for a window and
+// revives. An alive-blind router keeps attempting it, so Filtered must
+// count exactly one drop per down step — no residue after revival, and
+// never a Violation.
+func TestChurnFilteredAcrossDrainedEndpoint(t *testing.T) {
+	g := graph.Star(4) // edges 0,1,2 from hub 0
+	s := NewSpec(g).SetSource(0, 3)
+	for i := 1; i < 4; i++ {
+		s.SetSink(graph.NodeID(i), 1)
+	}
+	e := NewEngine(s, aliveBlindRouter{})
+	e.Topology = churnTopology{windows: map[graph.EdgeID][2]int64{1: {5, 15}}}
+	for i := int64(0); i < 25; i++ {
+		st := e.Step()
+		wantF, wantSent := int64(0), int64(3)
+		if i >= 5 && i < 15 {
+			wantF, wantSent = 1, 2
+		}
+		if st.Filtered != wantF {
+			t.Fatalf("step %d: filtered = %d, want %d", i, st.Filtered, wantF)
+		}
+		if st.Sent != wantSent {
+			t.Fatalf("step %d: sent = %d, want %d", i, st.Sent, wantSent)
+		}
+		if st.Violations != 0 {
+			t.Fatalf("step %d: violations = %d, want 0 (churn is not a router bug)", i, st.Violations)
+		}
+	}
+}
+
+// TestChurnScheduleLGGRecovers runs alive-aware LGG through a window that
+// cuts the source off (both incident edges down) on a cycle: LGG must
+// never attempt a dead edge (Filtered == 0), pile up the backlog during
+// the window, and visibly drain it after revival over the cycle's two
+// disjoint paths.
+func TestChurnScheduleLGGRecovers(t *testing.T) {
+	g := graph.Cycle(4)
+	s := NewSpec(g).SetSource(0, 1).SetSink(2, 2)
+	e := NewEngine(s, NewLGG())
+	e.Topology = churnTopology{windows: map[graph.EdgeID][2]int64{0: {10, 40}, 3: {10, 40}}}
+	var peak int64
+	for i := 0; i < 300; i++ {
+		st := e.Step()
+		if st.Filtered != 0 {
+			t.Fatalf("step %d: alive-aware LGG filtered %d sends", i, st.Filtered)
+		}
+		if st.Violations != 0 {
+			t.Fatalf("step %d: violations = %d", i, st.Violations)
+		}
+		if st.Queued > peak {
+			peak = st.Queued
+		}
+	}
+	if peak < 25 {
+		t.Fatalf("peak backlog = %d, want the 30-step cut to pile up ≥ 25", peak)
+	}
+	var final int64
+	for _, q := range e.Q {
+		final += q
+	}
+	if final > peak/2 {
+		t.Fatalf("final backlog %d did not drain from peak %d after revival", final, peak)
+	}
+}
+
+// TestSetQueuesReplayUnderChurn extends the mid-run replay contract to a
+// time-dependent topology: rewinding a warm engine (SetQueues + T reset)
+// must replay the same trajectory as a fresh engine, including the alive
+// mask's window edges and the revival of edges whose endpoints drained
+// out of the active list mid-window.
+func TestSetQueuesReplayUnderChurn(t *testing.T) {
+	churn := churnTopology{windows: map[graph.EdgeID][2]int64{
+		2: {7, 19}, 5: {0, 11}, 9: {23, 31}, 11: {13, 29},
+	}}
+	build := func() *Engine {
+		r := rng.New(9)
+		g := graph.RandomMultigraph(10, 24, r)
+		s := NewSpec(g).SetSource(0, 2).SetSink(9, 3)
+		e := NewEngine(s, NewLGG())
+		e.Topology = churn
+		return e
+	}
+	prepared := []int64{5, 0, 3, 0, 0, 7, 0, 1, 0, 2}
+
+	dirty := build()
+	dirty.Run(137) // warm-up leaves scratch (incl. the alive mask) used
+	dirty.SetQueues(prepared)
+	dirty.T = 0
+
+	fresh := build()
+	fresh.SetQueues(prepared)
+
+	for i := 0; i < 80; i++ {
+		ds, fs := dirty.Step(), fresh.Step()
+		if ds != fs {
+			t.Fatalf("step %d: replayed stats %+v, fresh stats %+v", i, ds, fs)
+		}
+		if !reflect.DeepEqual(dirty.Q, fresh.Q) {
+			t.Fatalf("step %d: replayed queues %v, fresh queues %v", i, dirty.Q, fresh.Q)
+		}
+	}
+}

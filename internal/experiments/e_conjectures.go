@@ -151,7 +151,7 @@ func runE12(cfg Config) *Table {
 		}
 	}
 	rs, _ := (&sweep.Runner{}).Run(jobs)
-	for i, cell := range sweep.Cells(rs, cfg.seeds()) {
+	for i, cell := range fullCells(rs, cfg.seeds()) {
 		b := bursts[i]
 		burstRate := spec.ArrivalRate() * b.BurstFactor
 		avgPerStep := b.AverageFactor() * float64(spec.ArrivalRate())
@@ -194,7 +194,7 @@ func runE13(cfg Config) *Table {
 		}
 	}
 	rs, _ := (&sweep.Runner{}).Run(jobs)
-	for i, cell := range sweep.Cells(rs, cfg.seeds()) {
+	for i, cell := range fullCells(rs, cfg.seeds()) {
 		mean := float64(his[i]) / 2
 		t.AddRow(spec.String(), fmtF(mean/cut), fmtF(sweep.StableShare(cell)),
 			fmtF(sweep.MeanBacklog(cell)))
@@ -267,7 +267,7 @@ func runE14(cfg Config) *Table {
 		})
 	}
 	rs, _ := (&sweep.Runner{}).Run(jobs)
-	cells := sweep.Cells(rs, cfg.seeds())
+	cells := fullCells(rs, cfg.seeds())
 	for i, c := range cases {
 		cell := cells[i]
 		t.AddRow(spec.String(), c.mk(0).Name(), c.feasible,
@@ -333,7 +333,7 @@ func runE15(cfg Config) *Table {
 		}
 	}
 	rs, _ := (&sweep.Runner{}).Run(jobs)
-	for i, cell := range sweep.Cells(rs, cfg.seeds()) {
+	for i, cell := range fullCells(rs, cfg.seeds()) {
 		t.AddRow(spec.String(), cells[i].sch, cells[i].load,
 			fmtF(sweep.StableShare(cell)), fmtF(sweep.MeanBacklog(cell)))
 	}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sweep"
+)
+
+// streamFaults namespaces the per-run fault-injection randomness (burst
+// chains, random lies) off the run seed.
+const streamFaults = 0xFA017001
+
+// faultVariant is one fault regime of the faults grid: a name plus the
+// schedule builder (the schedule may depend on the workload's graph —
+// crash targets a relay, partition cuts the source off).
+type faultVariant struct {
+	name  string
+	sched func(w workload, cfg Config) faults.Schedule
+}
+
+// relayNode returns the first node that is neither source nor sink — the
+// crash target that hurts without silencing arrivals entirely.
+func relayNode(s *core.Spec) graph.NodeID {
+	for v := range s.In {
+		if s.In[v] == 0 && s.Out[v] == 0 {
+			return graph.NodeID(v)
+		}
+	}
+	return 0
+}
+
+// sourceCut returns the edges incident to the first source — downing them
+// partitions the source side from the rest, the min-cut split shape of
+// Theorem 2.
+func sourceCut(s *core.Spec) []graph.EdgeID {
+	for v := range s.In {
+		if s.In[v] > 0 {
+			var cut []graph.EdgeID
+			for _, in := range s.G.Incident(graph.NodeID(v)) {
+				cut = append(cut, in.Edge)
+			}
+			return cut
+		}
+	}
+	return nil
+}
+
+// faultVariants enumerates the fault regimes. Every window sits inside
+// the first half of the horizon so the recovery observer always sees a
+// post-fault tail long enough for a verdict.
+func faultVariants(cfg Config) []faultVariant {
+	h := cfg.horizon()
+	onset, clear := h/5, 2*h/5
+	return []faultVariant{
+		{"none", func(workload, Config) faults.Schedule { return faults.Schedule{} }},
+		{"burst-loss", func(workload, Config) faults.Schedule {
+			return faults.Schedule{Events: []faults.Event{{
+				Kind: faults.Burst, From: onset, To: clear,
+				PGood: 0.05, PBad: 0.7, GtoB: 0.1, BtoG: 0.3,
+			}}}
+		}},
+		{"loss-ramp", func(workload, Config) faults.Schedule {
+			return faults.Schedule{Events: []faults.Event{{
+				Kind: faults.Ramp, From: onset, To: clear, P0: 0, P1: 0.6,
+			}}}
+		}},
+		{"link-churn", func(w workload, cfg Config) faults.Schedule {
+			// The churn schedule is part of the cell definition: generated
+			// once from the root seed, identical for every replica.
+			s, err := faults.Generate(faults.GenConfig{
+				MTBF: float64(h) / 4, MTTR: float64(h) / 20, Horizon: clear,
+			}, w.spec.G, rng.New(cfg.Seed).Split(streamFaults))
+			if err != nil {
+				panic(err)
+			}
+			return s
+		}},
+		{"crash-drop", func(w workload, _ Config) faults.Schedule {
+			return faults.Schedule{Events: []faults.Event{{
+				Kind: faults.Crash, From: onset, To: clear,
+				Nodes: []graph.NodeID{relayNode(w.spec)}, Drop: true,
+			}}}
+		}},
+		{"partition-heal", func(w workload, _ Config) faults.Schedule {
+			return faults.Schedule{Events: []faults.Event{{
+				Kind: faults.Partition, From: onset, To: clear,
+				Edges: sourceCut(w.spec),
+			}}}
+		}},
+	}
+}
+
+// FaultsGrid crosses the unsaturated suite with the fault regimes: LGG
+// is expected to recover after every transient fault (Conjecture 4's
+// dynamic-topology regime, probed empirically). Each faulty run carries a
+// RecoveryObserver, so the sweep results surface recovery verdicts,
+// time-to-drain and fault-era peaks.
+func FaultsGrid(cfg Config) []sweep.Job {
+	var jobs []sweep.Job
+	for _, w := range unsaturatedSuite(cfg) {
+		w := w
+		for _, fv := range faultVariants(cfg) {
+			sched := fv.sched(w, cfg)
+			for rep := 0; rep < cfg.seeds(); rep++ {
+				jobs = append(jobs, sweep.Job{
+					Desc: sweep.Desc{Index: len(jobs), Grid: "faults", Network: w.name,
+						Router: "lgg", Variant: fv.name, Replica: rep,
+						Seed: cfg.Seed + uint64(rep), Horizon: cfg.horizon()},
+					Build: func(seed uint64) *core.Engine {
+						e := core.NewEngine(w.spec, core.NewLGG())
+						if !sched.Empty() {
+							if _, err := faults.Inject(e, sched, rng.New(seed).Split(streamFaults)); err != nil {
+								panic(err)
+							}
+							e.AddObserver(faults.NewRecoveryObserver(sched))
+						}
+						return e
+					},
+				})
+			}
+		}
+	}
+	return jobs
+}

@@ -118,7 +118,7 @@ func runE8(cfg Config) *Table {
 	}
 	cells := generalizedCells(cfg)
 	rs, _ := (&sweep.Runner{}).Run(generalizedJobs(cfg, cells))
-	for i, cell := range sweep.Cells(rs, cfg.seeds()) {
+	for i, cell := range fullCells(rs, cfg.seeds()) {
 		c := cells[i]
 		okBound := true
 		for _, r := range cell {
@@ -156,7 +156,7 @@ func runE9(cfg Config) *Table {
 		}
 	}
 	rs, _ := (&sweep.Runner{}).Run(jobs)
-	for i, cell := range sweep.Cells(rs, cfg.seeds()) {
+	for i, cell := range fullCells(rs, cfg.seeds()) {
 		w := ws[i]
 		a := w.spec.Analyze(flow.NewPushRelabel())
 		var peak, final int64

@@ -118,7 +118,7 @@ func runE16(cfg Config) *Table {
 	}
 	cells := duelCells(cfg)
 	rs, _ := (&sweep.Runner{}).Run(duelJobs(cfg, cells))
-	for i, cell := range sweep.Cells(rs, cfg.seeds()) {
+	for i, cell := range fullCells(rs, cfg.seeds()) {
 		c := cells[i]
 		t.AddRow(c.w.name, c.router, c.load,
 			fmtF(sweep.StableShare(cell)), fmtF(sweep.MeanBacklog(cell)))

@@ -98,7 +98,7 @@ func runE4(cfg Config) *Table {
 	}
 	cells := stabilityCells(cfg)
 	rs, _ := (&sweep.Runner{}).Run(stabilityJobs(cfg, cells))
-	for i, cell := range sweep.Cells(rs, cfg.seeds()) {
+	for i, cell := range fullCells(rs, cfg.seeds()) {
 		c := cells[i]
 		share := sweep.StableShare(cell)
 		verdict := "stable"

@@ -12,7 +12,21 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"repro/internal/sweep"
 )
+
+// fullCells slices an in-order result list into cells of k replicas,
+// trimming any trailing partial cell instead of erroring. Experiments run
+// their sweeps to completion, so the trim only matters when a run was
+// interrupted — the tables then render the complete cells.
+func fullCells(rs []sweep.Result, k int) [][]sweep.Result {
+	if k > 0 {
+		rs = rs[:len(rs)-len(rs)%k]
+	}
+	cells, _ := sweep.Cells(rs, k)
+	return cells
+}
 
 // Config tunes the harness.
 type Config struct {

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/sweep"
 )
 
 func tinyConfig() Config {
@@ -172,5 +174,38 @@ func TestConfigs(t *testing.T) {
 	var zero Config
 	if zero.seeds() != 1 || zero.horizon() != 1000 {
 		t.Fatal("zero config fallbacks wrong")
+	}
+}
+
+func TestFaultsGridRunsAndReportsRecovery(t *testing.T) {
+	cfg := tinyConfig()
+	jobs := FaultsGrid(cfg)
+	if len(jobs) == 0 {
+		t.Fatal("faults grid is empty")
+	}
+	rs, err := (&sweep.Runner{}).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts := 0
+	for _, r := range rs {
+		if r.Failed {
+			t.Fatalf("run %d (%s/%s) failed: %s", r.Index, r.Network, r.Variant, r.Error)
+		}
+		if r.Variant == "none" {
+			if r.Recovery != "" {
+				t.Fatalf("fault-free run %d carries recovery %q", r.Index, r.Recovery)
+			}
+			continue
+		}
+		if r.Recovery != "" {
+			verdicts++
+		}
+	}
+	if verdicts == 0 {
+		t.Fatal("no faulty run surfaced a recovery verdict")
+	}
+	if _, err := FindGrid("faults"); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -25,6 +25,8 @@ func SweepGrids() []NamedGrid {
 			Jobs: GeneralizedGrid},
 		{Name: "duel", Desc: "E16 router duel: LGG vs baselines across sub-critical loads",
 			Jobs: RouterDuelGrid},
+		{Name: "faults", Desc: "fault injection: unsaturated suite × fault regimes, with recovery verdicts",
+			Jobs: FaultsGrid},
 	}
 	sort.Slice(grids, func(i, j int) bool { return grids[i].Name < grids[j].Name })
 	return grids

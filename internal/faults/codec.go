@@ -1,0 +1,307 @@
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// The codec gives schedules a compact single-line text form for CLI flags
+// and a JSON form for experiment files. Text grammar, events joined by
+// ';':
+//
+//	kind@from-to[:param,param,...]
+//
+// with per-kind params:
+//
+//	down@100-200:e=3+4          edges 3 and 4 down for [100,200)
+//	partition@100-200:e=0+5     same, reads as a cut split
+//	burst@0-500:pg=0.01,pb=0.6,gb=0.05,bg=0.2[,e=1+2]
+//	ramp@0-400:p0=0,p1=0.5[,e=*]
+//	crash@250-300:v=7,drop      node 7 down, queue destroyed at onset
+//	lie@50-150:mode=zero[,v=0+2]
+//
+// 'e=*' / 'v=*' (or omitting the list) target every edge / node. JSON is
+// either {"events":[...]} or a bare event array; Parse auto-detects the
+// form, Load additionally resolves '@path' to the file's contents.
+
+// FormatText renders s in the canonical text form: events sorted by
+// (From, To, Kind), floats in shortest-exact notation, only the fields
+// the event's kind uses. ParseText(FormatText(s)) reproduces s up to
+// event order and normalization.
+func FormatText(s Schedule) string {
+	var b strings.Builder
+	for i, ev := range s.sortedCopy() {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "%s@%d-%d", ev.Kind, ev.From, ev.To)
+		var ps []string
+		addF := func(k string, v float64) { ps = append(ps, k+"="+strconv.FormatFloat(v, 'g', -1, 64)) }
+		switch ev.Kind {
+		case LinkDown, Partition:
+			if ev.Edges != nil {
+				ps = append(ps, "e="+joinEdges(ev.Edges))
+			}
+		case Burst:
+			addF("pg", ev.PGood)
+			addF("pb", ev.PBad)
+			addF("gb", ev.GtoB)
+			addF("bg", ev.BtoG)
+			if ev.Edges != nil {
+				ps = append(ps, "e="+joinEdges(ev.Edges))
+			}
+		case Ramp:
+			addF("p0", ev.P0)
+			addF("p1", ev.P1)
+			if ev.Edges != nil {
+				ps = append(ps, "e="+joinEdges(ev.Edges))
+			}
+		case Crash:
+			ps = append(ps, "v="+joinNodes(ev.Nodes))
+			if ev.Drop {
+				ps = append(ps, "drop")
+			}
+		case Lie:
+			ps = append(ps, "mode="+ev.Mode)
+			if ev.Nodes != nil {
+				ps = append(ps, "v="+joinNodes(ev.Nodes))
+			}
+		}
+		if len(ps) > 0 {
+			b.WriteByte(':')
+			b.WriteString(strings.Join(ps, ","))
+		}
+	}
+	return b.String()
+}
+
+// FormatJSON renders s as indented JSON ({"events":[...]}).
+func FormatJSON(s Schedule) string {
+	s.Events = s.sortedCopy()
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil { // Schedule holds only marshalable fields
+		panic(err)
+	}
+	return string(out)
+}
+
+// Parse decodes a schedule from either form: inputs starting with '{' or
+// '[' are JSON, everything else is the text grammar. The result is
+// validated and normalized (fields a kind does not use are zeroed, so
+// parse→format→parse is the identity).
+func Parse(input string) (Schedule, error) {
+	input = strings.TrimSpace(input)
+	if input == "" {
+		return Schedule{}, nil
+	}
+	if input[0] == '{' || input[0] == '[' {
+		return parseJSON(input)
+	}
+	return ParseText(input)
+}
+
+// Load is Parse plus '@path' indirection: an argument of the form
+// "@schedule.json" reads the schedule from that file.
+func Load(arg string) (Schedule, error) {
+	if strings.HasPrefix(arg, "@") {
+		data, err := os.ReadFile(strings.TrimPrefix(arg, "@"))
+		if err != nil {
+			return Schedule{}, fmt.Errorf("faults: %w", err)
+		}
+		return Parse(string(data))
+	}
+	return Parse(arg)
+}
+
+func parseJSON(input string) (Schedule, error) {
+	var s Schedule
+	if input[0] == '[' {
+		if err := json.Unmarshal([]byte(input), &s.Events); err != nil {
+			return Schedule{}, fmt.Errorf("faults: bad JSON schedule: %w", err)
+		}
+	} else if err := json.Unmarshal([]byte(input), &s); err != nil {
+		return Schedule{}, fmt.Errorf("faults: bad JSON schedule: %w", err)
+	}
+	return finish(s)
+}
+
+// ParseText decodes the text grammar.
+func ParseText(input string) (Schedule, error) {
+	var s Schedule
+	for _, seg := range strings.Split(input, ";") {
+		seg = strings.TrimSpace(seg)
+		if seg == "" {
+			continue
+		}
+		ev, err := parseEvent(seg)
+		if err != nil {
+			return Schedule{}, err
+		}
+		s.Events = append(s.Events, ev)
+	}
+	return finish(s)
+}
+
+func finish(s Schedule) (Schedule, error) {
+	if err := s.Validate(); err != nil {
+		return Schedule{}, err
+	}
+	for i := range s.Events {
+		s.Events[i] = normalizeEvent(s.Events[i])
+	}
+	return s, nil
+}
+
+func parseEvent(seg string) (Event, error) {
+	head, params, hasParams := strings.Cut(seg, ":")
+	kind, win, ok := strings.Cut(head, "@")
+	if !ok {
+		return Event{}, fmt.Errorf("faults: event %q: want kind@from-to", seg)
+	}
+	fromS, toS, ok := strings.Cut(win, "-")
+	if !ok {
+		return Event{}, fmt.Errorf("faults: event %q: want kind@from-to", seg)
+	}
+	from, err1 := strconv.ParseInt(fromS, 10, 64)
+	to, err2 := strconv.ParseInt(toS, 10, 64)
+	if err1 != nil || err2 != nil || from < 0 || to < 0 {
+		return Event{}, fmt.Errorf("faults: event %q: bad window %q", seg, win)
+	}
+	ev := Event{Kind: Kind(strings.TrimSpace(kind)), From: from, To: to}
+	if !hasParams {
+		return ev, nil
+	}
+	for _, p := range strings.Split(params, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if p == "drop" {
+			ev.Drop = true
+			continue
+		}
+		key, val, ok := strings.Cut(p, "=")
+		if !ok {
+			return Event{}, fmt.Errorf("faults: event %q: bad param %q", seg, p)
+		}
+		switch key {
+		case "e":
+			es, err := parseEdgeList(val)
+			if err != nil {
+				return Event{}, fmt.Errorf("faults: event %q: %w", seg, err)
+			}
+			ev.Edges = es
+		case "v":
+			vs, err := parseNodeList(val)
+			if err != nil {
+				return Event{}, fmt.Errorf("faults: event %q: %w", seg, err)
+			}
+			ev.Nodes = vs
+		case "mode":
+			ev.Mode = val
+		case "pg", "pb", "gb", "bg", "p0", "p1":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Event{}, fmt.Errorf("faults: event %q: bad %s=%q", seg, key, val)
+			}
+			switch key {
+			case "pg":
+				ev.PGood = f
+			case "pb":
+				ev.PBad = f
+			case "gb":
+				ev.GtoB = f
+			case "bg":
+				ev.BtoG = f
+			case "p0":
+				ev.P0 = f
+			case "p1":
+				ev.P1 = f
+			}
+		default:
+			return Event{}, fmt.Errorf("faults: event %q: unknown param %q", seg, key)
+		}
+	}
+	return ev, nil
+}
+
+func parseEdgeList(val string) ([]graph.EdgeID, error) {
+	if val == "*" {
+		return nil, nil
+	}
+	var out []graph.EdgeID
+	for _, x := range strings.Split(val, "+") {
+		id, err := strconv.ParseInt(x, 10, 32)
+		if err != nil || id < 0 {
+			return nil, fmt.Errorf("bad edge id %q", x)
+		}
+		out = append(out, graph.EdgeID(id))
+	}
+	return out, nil
+}
+
+func parseNodeList(val string) ([]graph.NodeID, error) {
+	if val == "*" {
+		return nil, nil
+	}
+	var out []graph.NodeID
+	for _, x := range strings.Split(val, "+") {
+		id, err := strconv.ParseInt(x, 10, 32)
+		if err != nil || id < 0 {
+			return nil, fmt.Errorf("bad node id %q", x)
+		}
+		out = append(out, graph.NodeID(id))
+	}
+	return out, nil
+}
+
+// normalizeEvent zeroes every field the event's kind does not use, so
+// schedules arriving via permissive JSON format identically to their
+// text-parsed equivalents.
+func normalizeEvent(ev Event) Event {
+	n := Event{Kind: ev.Kind, From: ev.From, To: ev.To}
+	switch ev.Kind {
+	case LinkDown, Partition:
+		n.Edges = ev.Edges
+	case Burst:
+		n.Edges = ev.Edges
+		n.PGood, n.PBad, n.GtoB, n.BtoG = ev.PGood, ev.PBad, ev.GtoB, ev.BtoG
+	case Ramp:
+		n.Edges = ev.Edges
+		n.P0, n.P1 = ev.P0, ev.P1
+	case Crash:
+		n.Nodes = ev.Nodes
+		n.Drop = ev.Drop
+	case Lie:
+		n.Nodes = ev.Nodes
+		n.Mode = ev.Mode
+	}
+	if len(n.Edges) == 0 {
+		n.Edges = nil
+	}
+	if len(n.Nodes) == 0 {
+		n.Nodes = nil
+	}
+	return n
+}
+
+func joinEdges(es []graph.EdgeID) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = strconv.FormatInt(int64(e), 10)
+	}
+	return strings.Join(parts, "+")
+}
+
+func joinNodes(vs []graph.NodeID) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = strconv.FormatInt(int64(v), 10)
+	}
+	return strings.Join(parts, "+")
+}

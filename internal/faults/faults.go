@@ -1,0 +1,202 @@
+// Package faults is the deterministic fault-injection subsystem: a
+// Schedule of typed fault events — link down/up windows, Gilbert–Elliott
+// bursty loss, loss-rate ramps, node crashes (with queue drop or
+// retention), declared-queue lying windows and partition/heal of an edge
+// cut — compiled into composable core.TopologyProcess / core.LossModel /
+// core.DeclarePolicy implementations.
+//
+// The paper's central claim is robustness: LGG stays stable despite lossy
+// links (Lemma 1) and nodes that lie about their queues (Section IV,
+// R-generalized networks). A Schedule scripts exactly those adversities —
+// and, unlike the theorems, gives them an *end*, so the recovery layer
+// (RecoveryObserver) can measure how the network behaves once a fault
+// clears: peak state under fault, time to drain the accumulated backlog,
+// and a Recovered/Degraded verdict.
+//
+// Determinism is inherited from internal/rng: Compile consumes a Source,
+// every stochastic component (burst chains, ramps, random lies) derives
+// its own sub-stream from it, and no global state is touched — so a sweep
+// over a fault schedule replays byte-identically at any worker count.
+// Schedules have a text and a JSON form (see codec.go) so they can live
+// in experiment files and CLI flags.
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Kind names a fault type. The string values are the codec's wire format.
+type Kind string
+
+const (
+	// LinkDown takes the listed edges (nil = all) down for the window —
+	// the adversarial topology of Conjecture 4.
+	LinkDown Kind = "down"
+	// Burst runs a Gilbert–Elliott two-state loss chain on the listed
+	// edges (nil = all) during the window: per step each edge flips
+	// between a Good state (loss probability PGood) and a Bad state
+	// (PBad) with transition probabilities GtoB / BtoG. The bursty-loss
+	// regime Lemma 1 must survive.
+	Burst Kind = "burst"
+	// Ramp raises the loss probability linearly from P0 at From to P1
+	// approaching To on the listed edges (nil = all).
+	Ramp Kind = "ramp"
+	// Crash kills the listed nodes for the window: every incident edge is
+	// dead, and with Drop the queue content is destroyed at crash onset
+	// (otherwise the node retains its packets and resumes with them).
+	Crash Kind = "crash"
+	// Lie makes the listed nodes (nil = all) use the given declaration
+	// Mode while the window is active — the Section IV lying regime,
+	// scoped in time.
+	Lie Kind = "lie"
+	// Partition takes an edge cut down for the window and heals it after
+	// — semantically LinkDown, kept distinct so schedules read like the
+	// min-cut split of Theorem 2.
+	Partition Kind = "partition"
+)
+
+// Declaration modes for Lie events.
+const (
+	ModeZero   = "zero"   // declare 0 (the most attractive lie)
+	ModeMax    = "max"    // declare R (the most repellent lie)
+	ModeRandom = "random" // declare uniform in [0, R]
+)
+
+// Event is one typed fault with a half-open activity window [From, To).
+// Fields beyond the window apply only to the kinds that document them;
+// the codec round-trips exactly the fields each kind uses.
+type Event struct {
+	Kind Kind  `json:"kind"`
+	From int64 `json:"from"`
+	To   int64 `json:"to"`
+	// Edges targets LinkDown/Partition/Burst/Ramp; nil means every edge.
+	Edges []graph.EdgeID `json:"edges,omitempty"`
+	// Nodes targets Crash/Lie; nil means every node (Lie only).
+	Nodes []graph.NodeID `json:"nodes,omitempty"`
+	// Gilbert–Elliott parameters (Burst).
+	PGood float64 `json:"p_good,omitempty"`
+	PBad  float64 `json:"p_bad,omitempty"`
+	GtoB  float64 `json:"g_to_b,omitempty"`
+	BtoG  float64 `json:"b_to_g,omitempty"`
+	// Ramp endpoints.
+	P0 float64 `json:"p0,omitempty"`
+	P1 float64 `json:"p1,omitempty"`
+	// Drop discards the queue at crash onset (Crash only).
+	Drop bool `json:"drop,omitempty"`
+	// Mode is the declaration policy during a Lie window.
+	Mode string `json:"mode,omitempty"`
+}
+
+// Active reports whether the event's window contains t.
+func (ev Event) Active(t int64) bool { return t >= ev.From && t < ev.To }
+
+// Schedule is an ordered list of fault events. The zero value is the
+// empty schedule (no faults).
+type Schedule struct {
+	Events []Event `json:"events"`
+}
+
+// Empty reports whether the schedule injects nothing.
+func (s Schedule) Empty() bool { return len(s.Events) == 0 }
+
+// Active reports whether any fault is active at step t.
+func (s Schedule) Active(t int64) bool {
+	for _, ev := range s.Events {
+		if ev.Active(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Onset returns the first step at which any fault is active (0 for an
+// empty schedule).
+func (s Schedule) Onset() int64 {
+	var on int64
+	for i, ev := range s.Events {
+		if i == 0 || ev.From < on {
+			on = ev.From
+		}
+	}
+	return on
+}
+
+// ClearTime returns the first step from which no fault is ever active
+// again (0 for an empty schedule): max over events of To.
+func (s Schedule) ClearTime() int64 {
+	var clear int64
+	for _, ev := range s.Events {
+		if ev.To > clear {
+			clear = ev.To
+		}
+	}
+	return clear
+}
+
+// prob01 reports p ∈ [0, 1].
+func prob01(p float64) bool { return p >= 0 && p <= 1 }
+
+// Validate checks spec-independent consistency: sane windows, known
+// kinds and modes, probabilities in [0,1], non-negative ids. Edge/node
+// ids are bounds-checked against a concrete network by Compile.
+func (s Schedule) Validate() error {
+	for i, ev := range s.Events {
+		if ev.From < 0 || ev.To <= ev.From {
+			return fmt.Errorf("faults: event %d (%s): window [%d,%d) is empty or negative", i, ev.Kind, ev.From, ev.To)
+		}
+		for _, e := range ev.Edges {
+			if e < 0 {
+				return fmt.Errorf("faults: event %d (%s): negative edge id %d", i, ev.Kind, e)
+			}
+		}
+		for _, v := range ev.Nodes {
+			if v < 0 {
+				return fmt.Errorf("faults: event %d (%s): negative node id %d", i, ev.Kind, v)
+			}
+		}
+		switch ev.Kind {
+		case LinkDown, Partition:
+			// Edges nil = all is legal (a full blackout window).
+		case Burst:
+			if !prob01(ev.PGood) || !prob01(ev.PBad) || !prob01(ev.GtoB) || !prob01(ev.BtoG) {
+				return fmt.Errorf("faults: event %d (burst): probabilities must be in [0,1]", i)
+			}
+		case Ramp:
+			if !prob01(ev.P0) || !prob01(ev.P1) {
+				return fmt.Errorf("faults: event %d (ramp): endpoints must be in [0,1]", i)
+			}
+		case Crash:
+			if len(ev.Nodes) == 0 {
+				return fmt.Errorf("faults: event %d (crash): needs explicit nodes", i)
+			}
+		case Lie:
+			switch ev.Mode {
+			case ModeZero, ModeMax, ModeRandom:
+			default:
+				return fmt.Errorf("faults: event %d (lie): unknown mode %q", i, ev.Mode)
+			}
+		default:
+			return fmt.Errorf("faults: event %d: unknown kind %q", i, ev.Kind)
+		}
+	}
+	return nil
+}
+
+// sortedCopy returns the events ordered by (From, To, Kind) — the
+// canonical order used by the codec so formatting is stable.
+func (s Schedule) sortedCopy() []Event {
+	evs := append([]Event(nil), s.Events...)
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].From != evs[j].From {
+			return evs[i].From < evs[j].From
+		}
+		if evs[i].To != evs[j].To {
+			return evs[i].To < evs[j].To
+		}
+		return evs[i].Kind < evs[j].Kind
+	})
+	return evs
+}

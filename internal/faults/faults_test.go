@@ -1,0 +1,318 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func lineEngine(n int) *core.Engine {
+	g := graph.Line(n)
+	s := core.NewSpec(g).SetSource(0, 1).SetSink(graph.NodeID(n-1), 1)
+	return core.NewEngine(s, core.NewLGG())
+}
+
+func TestValidateRejectsBadEvents(t *testing.T) {
+	bad := []Schedule{
+		{Events: []Event{{Kind: LinkDown, From: 5, To: 5}}},
+		{Events: []Event{{Kind: LinkDown, From: -1, To: 5}}},
+		{Events: []Event{{Kind: Kind("meteor"), From: 0, To: 5}}},
+		{Events: []Event{{Kind: Burst, From: 0, To: 5, PBad: 1.5}}},
+		{Events: []Event{{Kind: Ramp, From: 0, To: 5, P1: -0.1}}},
+		{Events: []Event{{Kind: Crash, From: 0, To: 5}}},
+		{Events: []Event{{Kind: Lie, From: 0, To: 5, Mode: "plausible"}}},
+		{Events: []Event{{Kind: LinkDown, From: 0, To: 5, Edges: []graph.EdgeID{-2}}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, s.Events[0])
+		}
+	}
+	ok := Schedule{Events: []Event{
+		{Kind: LinkDown, From: 0, To: 5},
+		{Kind: Burst, From: 2, To: 9, PGood: 0.01, PBad: 0.7, GtoB: 0.1, BtoG: 0.3},
+		{Kind: Crash, From: 1, To: 4, Nodes: []graph.NodeID{2}, Drop: true},
+		{Kind: Lie, From: 0, To: 3, Mode: ModeRandom},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("Validate rejected a good schedule: %v", err)
+	}
+}
+
+func TestScheduleWindows(t *testing.T) {
+	s := Schedule{Events: []Event{
+		{Kind: LinkDown, From: 10, To: 20},
+		{Kind: Ramp, From: 5, To: 12, P1: 0.5},
+	}}
+	if on := s.Onset(); on != 5 {
+		t.Fatalf("Onset = %d, want 5", on)
+	}
+	if cl := s.ClearTime(); cl != 20 {
+		t.Fatalf("ClearTime = %d, want 20", cl)
+	}
+	for _, c := range []struct {
+		t    int64
+		want bool
+	}{{4, false}, {5, true}, {12, true}, {19, true}, {20, false}} {
+		if got := s.Active(c.t); got != c.want {
+			t.Errorf("Active(%d) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if (Schedule{}).Active(0) || (Schedule{}).ClearTime() != 0 {
+		t.Fatal("empty schedule must be inert")
+	}
+}
+
+func TestCompileBoundsChecks(t *testing.T) {
+	g := graph.Line(3) // 2 edges, 3 nodes
+	src := rng.New(1)
+	if _, err := Compile(Schedule{Events: []Event{{Kind: LinkDown, From: 0, To: 5, Edges: []graph.EdgeID{2}}}}, g, src); err == nil {
+		t.Fatal("Compile accepted an out-of-range edge")
+	}
+	if _, err := Compile(Schedule{Events: []Event{{Kind: Crash, From: 0, To: 5, Nodes: []graph.NodeID{3}}}}, g, src); err == nil {
+		t.Fatal("Compile accepted an out-of-range node")
+	}
+}
+
+func TestLinkDownWindowOnEngine(t *testing.T) {
+	e := lineEngine(3)
+	sched := Schedule{Events: []Event{{Kind: LinkDown, From: 2, To: 6, Edges: []graph.EdgeID{0}}}}
+	if _, err := Inject(e, sched, rng.New(7)); err != nil {
+		t.Fatal(err)
+	}
+	for tt := int64(0); tt < 10; tt++ {
+		alive := e.Topology.EdgeAlive(tt, 0)
+		want := !(tt >= 2 && tt < 6)
+		if alive != want {
+			t.Errorf("EdgeAlive(%d, 0) = %v, want %v", tt, alive, want)
+		}
+		if !e.Topology.EdgeAlive(tt, 1) {
+			t.Errorf("edge 1 must stay alive at t=%d", tt)
+		}
+	}
+	// LGG is alive-aware: the down window stalls packets at the source but
+	// produces no Filtered drops and no violations.
+	tot := e.Run(40)
+	if tot.Violations != 0 {
+		t.Fatalf("violations = %d, want 0", tot.Violations)
+	}
+	if tot.Extracted == 0 {
+		t.Fatal("network never delivered after the window cleared")
+	}
+}
+
+// maskTopo is a base TopologyProcess that permanently kills one edge.
+type maskTopo struct{ dead graph.EdgeID }
+
+func (m maskTopo) Name() string                           { return "mask" }
+func (m maskTopo) EdgeAlive(t int64, e graph.EdgeID) bool { return e != m.dead }
+
+func TestApplyComposesWithBaseTopology(t *testing.T) {
+	e := lineEngine(4)
+	e.Topology = maskTopo{dead: 2}
+	sched := Schedule{Events: []Event{{Kind: LinkDown, From: 0, To: 5, Edges: []graph.EdgeID{0}}}}
+	if _, err := Inject(e, sched, rng.New(7)); err != nil {
+		t.Fatal(err)
+	}
+	if e.Topology.EdgeAlive(1, 2) {
+		t.Fatal("base topology's dead edge came back to life")
+	}
+	if e.Topology.EdgeAlive(1, 0) {
+		t.Fatal("scheduled down window not applied")
+	}
+	if !e.Topology.EdgeAlive(6, 0) {
+		t.Fatal("edge 0 must heal after the window")
+	}
+}
+
+func TestCrashKillsIncidentEdgesAndDropsQueue(t *testing.T) {
+	e := lineEngine(3) // edges: 0=(0,1), 1=(1,2)
+	sched := Schedule{Events: []Event{{Kind: Crash, From: 2, To: 5, Nodes: []graph.NodeID{1}, Drop: true}}}
+	if _, err := Inject(e, sched, rng.New(3)); err != nil {
+		t.Fatal(err)
+	}
+	e.SetQueues([]int64{0, 5, 0})
+	e.Step() // step 0
+	e.Step() // step 1; observer fires after it: crash onset at 2
+	if e.Q[1] != 0 {
+		t.Fatalf("q(1) = %d after crash onset, want 0 (dropped)", e.Q[1])
+	}
+	for _, ed := range []graph.EdgeID{0, 1} {
+		if e.Topology.EdgeAlive(3, ed) {
+			t.Fatalf("edge %d alive during crash window", ed)
+		}
+	}
+	if !e.Topology.EdgeAlive(5, 0) {
+		t.Fatal("edges must revive when the crash window closes")
+	}
+}
+
+func TestCrashRetentionKeepsQueue(t *testing.T) {
+	e := lineEngine(3)
+	sched := Schedule{Events: []Event{{Kind: Crash, From: 1, To: 4, Nodes: []graph.NodeID{1}}}}
+	if _, err := Inject(e, sched, rng.New(3)); err != nil {
+		t.Fatal(err)
+	}
+	e.SetQueues([]int64{0, 5, 0})
+	e.Step() // step 0: node 1 may send over both incident edges
+	e.Step() // step 1: crashed, edges dead, queue retained
+	if e.Q[1] < 3 {
+		t.Fatalf("q(1) = %d, want ≥ 3 (retention crash must not drop packets)", e.Q[1])
+	}
+}
+
+func TestCrashAtZeroDropsOnApply(t *testing.T) {
+	e := lineEngine(3)
+	e.Q[1] = 9 // engine not yet stepped; Apply must drop immediately
+	sched := Schedule{Events: []Event{{Kind: Crash, From: 0, To: 3, Nodes: []graph.NodeID{1}, Drop: true}}}
+	if _, err := Inject(e, sched, rng.New(3)); err != nil {
+		t.Fatal(err)
+	}
+	if e.Q[1] != 0 {
+		t.Fatalf("q(1) = %d, want 0: From=0 crash drops at Apply", e.Q[1])
+	}
+}
+
+func TestLieWindowOverridesDeclarations(t *testing.T) {
+	g := graph.Line(3)
+	spec := core.NewSpec(g).SetSource(0, 1).SetSink(2, 1).SetRetention(1, 5)
+	e := core.NewEngine(spec, core.NewLGG())
+	sched := Schedule{Events: []Event{{Kind: Lie, From: 3, To: 8, Mode: ModeZero, Nodes: []graph.NodeID{1}}}}
+	if _, err := Inject(e, sched, rng.New(11)); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Declare.Declare(5, 1, 4, 5); got != 0 {
+		t.Fatalf("declare in lie window = %d, want 0", got)
+	}
+	if got := e.Declare.Declare(9, 1, 4, 5); got != 4 {
+		t.Fatalf("declare after lie window = %d, want truth 4", got)
+	}
+	if got := e.Declare.Declare(5, 0, 4, 5); got != 4 {
+		t.Fatalf("untargeted node declared %d, want truth 4", got)
+	}
+}
+
+func TestLieModes(t *testing.T) {
+	g := graph.Line(2)
+	mk := func(mode string) core.DeclarePolicy {
+		e := core.NewEngine(core.NewSpec(g).SetSource(0, 1).SetSink(1, 1), core.NewLGG())
+		sched := Schedule{Events: []Event{{Kind: Lie, From: 0, To: 100, Mode: mode}}}
+		if _, err := Inject(e, sched, rng.New(5)); err != nil {
+			t.Fatal(err)
+		}
+		return e.Declare
+	}
+	if got := mk(ModeMax).Declare(1, 0, 2, 7); got != 7 {
+		t.Fatalf("mode=max declared %d, want 7", got)
+	}
+	rand := mk(ModeRandom)
+	for i := 0; i < 50; i++ {
+		if got := rand.Declare(int64(i), 0, 2, 7); got < 0 || got > 7 {
+			t.Fatalf("mode=random declared %d, want within [0,7]", got)
+		}
+	}
+}
+
+// TestBurstChainQueryPatternIndependence pins the determinism property
+// the two-stream design buys: the Gilbert–Elliott state trajectory
+// depends only on (seed, event, edge, t), not on how often the edge was
+// queried for a loss draw.
+func TestBurstChainQueryPatternIndependence(t *testing.T) {
+	ev := Event{Kind: Burst, From: 0, To: 1000, PGood: 0.01, PBad: 0.9, GtoB: 0.2, BtoG: 0.3}
+	mk := func() *burstSet {
+		src := rng.New(42)
+		return &burstSet{ev: ev, chain: src.Split(streamBurstChain).Split(0), loss: src.Split(streamBurstLoss).Split(0)}
+	}
+	dense, sparse := mk(), mk()
+	for tt := int64(0); tt < 500; tt++ {
+		dense.lost(tt, 3)
+	}
+	sparse.lost(499, 3) // single query must land in the same chain state
+	if dense.chains[3].bad != sparse.chains[3].bad {
+		t.Fatal("burst chain state depends on the query pattern")
+	}
+}
+
+func TestFaultRunDeterminism(t *testing.T) {
+	sched := Schedule{Events: []Event{
+		{Kind: Burst, From: 10, To: 60, PGood: 0.02, PBad: 0.6, GtoB: 0.1, BtoG: 0.25},
+		{Kind: LinkDown, From: 30, To: 45, Edges: []graph.EdgeID{1}},
+		{Kind: Crash, From: 50, To: 70, Nodes: []graph.NodeID{2}, Drop: true},
+	}}
+	run := func() ([]core.StepStats, []int64) {
+		r := rng.New(99)
+		g := graph.Grid(3, 3)
+		s := core.NewSpec(g).SetSource(0, 2).SetSink(8, 2)
+		e := core.NewEngine(s, core.NewLGG())
+		if _, err := Inject(e, sched, r.Split(77)); err != nil {
+			t.Fatal(err)
+		}
+		var stats []core.StepStats
+		for i := 0; i < 120; i++ {
+			stats = append(stats, e.Step())
+		}
+		return stats, append([]int64(nil), e.Q...)
+	}
+	s1, q1 := run()
+	s2, q2 := run()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("fault-injected runs diverged between identical replays")
+	}
+	if !reflect.DeepEqual(q1, q2) {
+		t.Fatal("final queues diverged between identical replays")
+	}
+}
+
+func TestGenerateChurn(t *testing.T) {
+	g := graph.Line(5) // 4 edges
+	cfg := GenConfig{MTBF: 20, MTTR: 4, Horizon: 300}
+	s1, err := Generate(cfg, g, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := Generate(cfg, g, rng.New(13))
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("Generate is not deterministic in the seed")
+	}
+	if s1.Empty() {
+		t.Fatal("horizon 300 with MTBF 20 generated no churn")
+	}
+	last := make(map[graph.EdgeID]int64)
+	for _, ev := range s1.Events {
+		if ev.Kind != LinkDown || len(ev.Edges) != 1 {
+			t.Fatalf("generator emitted %+v, want single-edge LinkDown", ev)
+		}
+		if ev.From < 0 || ev.To > cfg.Horizon {
+			t.Fatalf("window [%d,%d) escapes the horizon", ev.From, ev.To)
+		}
+		e := ev.Edges[0]
+		if ev.From <= last[e] {
+			t.Fatalf("edge %d windows overlap or touch: from %d after to %d", e, ev.From, last[e])
+		}
+		last[e] = ev.To
+	}
+	// A generated schedule must compile and run.
+	eng := lineEngine(5)
+	if _, err := Inject(eng, s1, rng.New(14)); err != nil {
+		t.Fatal(err)
+	}
+	if tot := eng.Run(300); tot.Violations != 0 {
+		t.Fatalf("churn run produced %d violations", tot.Violations)
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	g := graph.Line(3)
+	if _, err := Generate(GenConfig{MTBF: 0.5, MTTR: 2, Horizon: 10}, g, rng.New(1)); err == nil {
+		t.Fatal("accepted MTBF < 1")
+	}
+	if _, err := Generate(GenConfig{MTBF: 2, MTTR: 2, Horizon: 0}, g, rng.New(1)); err == nil {
+		t.Fatal("accepted horizon 0")
+	}
+	if _, err := Generate(GenConfig{MTBF: 2, MTTR: 2, Horizon: 10, Edges: []graph.EdgeID{9}}, g, rng.New(1)); err == nil {
+		t.Fatal("accepted out-of-range edge")
+	}
+}

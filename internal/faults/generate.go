@@ -1,0 +1,86 @@
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// streamGen is the label namespace for the churn generator's per-edge
+// streams.
+const streamGen = 0x6E347001
+
+// GenConfig parameterizes the stochastic link-churn generator: each
+// listed edge alternates up and down phases with geometrically
+// distributed durations of mean MTBF (up) and MTTR (down) steps — the
+// discrete-time analogue of an exponential failure/repair process.
+type GenConfig struct {
+	// MTBF is the mean number of steps an edge stays up between failures
+	// (must be ≥ 1).
+	MTBF float64
+	// MTTR is the mean number of steps a failed edge stays down
+	// (must be ≥ 1).
+	MTTR float64
+	// Horizon bounds the generated windows: no event extends past it.
+	Horizon int64
+	// Edges lists the churned edges; nil means every edge of the graph.
+	Edges []graph.EdgeID
+}
+
+// geometric samples a duration ≥ 1 with mean m (inverse-transform of the
+// geometric distribution with success probability 1/m).
+func geometric(src *rng.Source, m float64) int64 {
+	if m <= 1 {
+		return 1
+	}
+	d := int64(1)
+	p := 1 / m
+	for src.Float64() >= p {
+		d++
+	}
+	return d
+}
+
+// Generate produces a LinkDown schedule by simulating each edge's
+// up/down alternation independently on its own Split stream, so the
+// schedule for edge e depends only on (seed, e) — adding edges to the
+// config never changes the windows of the others.
+func Generate(cfg GenConfig, g *graph.Multigraph, src *rng.Source) (Schedule, error) {
+	if cfg.MTBF < 1 || cfg.MTTR < 1 {
+		return Schedule{}, fmt.Errorf("faults: MTBF and MTTR must be ≥ 1 step (got %g, %g)", cfg.MTBF, cfg.MTTR)
+	}
+	if cfg.Horizon <= 0 {
+		return Schedule{}, fmt.Errorf("faults: generator horizon must be positive (got %d)", cfg.Horizon)
+	}
+	edges := cfg.Edges
+	if edges == nil {
+		for e := 0; e < g.NumEdges(); e++ {
+			edges = append(edges, graph.EdgeID(e))
+		}
+	}
+	var s Schedule
+	for _, e := range edges {
+		if int(e) >= g.NumEdges() || e < 0 {
+			return Schedule{}, fmt.Errorf("faults: generator edge %d out of range (graph has %d edges)", e, g.NumEdges())
+		}
+		es := src.Split(streamGen).Split(uint64(e))
+		t := geometric(es, cfg.MTBF) // first up phase
+		for t < cfg.Horizon {
+			down := geometric(es, cfg.MTTR)
+			to := t + down
+			if to > cfg.Horizon {
+				to = cfg.Horizon
+			}
+			s.Events = append(s.Events, Event{
+				Kind:  LinkDown,
+				From:  t,
+				To:    to,
+				Edges: []graph.EdgeID{e},
+			})
+			t = to + geometric(es, cfg.MTBF)
+		}
+	}
+	s.Events = Schedule{Events: s.Events}.sortedCopy()
+	return s, nil
+}

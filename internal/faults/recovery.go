@@ -1,0 +1,193 @@
+package faults
+
+import (
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// RecoveryVerdict classifies a run's behaviour after its last fault
+// clears.
+type RecoveryVerdict int
+
+const (
+	// RecoveryUnknown: the run ended before the fault window closed (or
+	// the schedule is empty), so recovery cannot be judged.
+	RecoveryUnknown RecoveryVerdict = iota
+	// Recovered: the post-fault backlog drained back to its pre-fault
+	// level (within slack) and the post-fault trajectory is not
+	// diverging.
+	Recovered
+	// Degraded: the fault cleared but the backlog either never drained
+	// to the pre-fault level or kept growing afterwards.
+	Degraded
+)
+
+// String returns the verdict name ("Unknown", "Recovered", "Degraded").
+func (v RecoveryVerdict) String() string {
+	switch v {
+	case Recovered:
+		return "Recovered"
+	case Degraded:
+		return "Degraded"
+	default:
+		return "Unknown"
+	}
+}
+
+// Recovery is the report of one run's fault response.
+type Recovery struct {
+	// Onset and Clear delimit the schedule's overall fault activity:
+	// first step any fault is active, first step from which none is.
+	Onset int64 `json:"onset"`
+	Clear int64 `json:"clear"`
+	// PeakPotential and PeakBacklog are the worst P_t and total queued
+	// observed while any fault was active.
+	PeakPotential int64 `json:"peak_potential"`
+	PeakBacklog   int64 `json:"peak_backlog"`
+	// DrainStep is the first step ≥ Clear whose backlog returned to the
+	// pre-fault level plus Slack (-1 if it never did); TimeToDrain is
+	// DrainStep − Clear + 1, or 0 when the backlog never drained.
+	DrainStep   int64 `json:"drain_step"`
+	TimeToDrain int64 `json:"time_to_drain"`
+	// Verdict is the post-fault re-convergence call; PostDiagnosis is the
+	// sim stability diagnosis of the post-clear trajectory it rests on.
+	Verdict       RecoveryVerdict `json:"verdict"`
+	PostDiagnosis sim.Diagnosis   `json:"post_diagnosis"`
+}
+
+// RecoveryObserver watches a run executing a fault schedule and judges
+// recovery once the last fault clears: it records the pre-fault backlog
+// baseline, tracks peak P_t / backlog while any fault is active, and
+// after the clear point looks for the backlog to drain back to baseline.
+// Register on the engine (AddObserver) or via sim Options.Observers; call
+// Report after the run. Not safe for concurrent use; one observer per
+// engine.
+type RecoveryObserver struct {
+	// Slack is the drain tolerance in packets over the pre-fault
+	// baseline backlog (default 10 when zero).
+	Slack int64
+
+	sched   Schedule
+	onset   int64
+	clear   int64
+	prePeak int64 // max backlog seen before onset: the baseline
+	peakP   int64
+	peakN   int64
+	drainAt int64
+	lastT   int64
+	started bool
+	post    []float64 // post-clear backlog trajectory for sim.Detect
+}
+
+// NewRecoveryObserver builds the observer for a schedule. The schedule's
+// Onset/ClearTime define the fault window; an empty schedule yields
+// RecoveryUnknown forever.
+func NewRecoveryObserver(s Schedule) *RecoveryObserver {
+	return &RecoveryObserver{
+		sched:   s,
+		onset:   s.Onset(),
+		clear:   s.ClearTime(),
+		drainAt: -1,
+	}
+}
+
+// OnStep implements core.StepObserver.
+func (r *RecoveryObserver) OnStep(t int64, sn *core.Snapshot, st *core.StepStats) {
+	r.lastT = t
+	r.started = true
+	if r.sched.Empty() {
+		return
+	}
+	if t < r.onset && st.Queued > r.prePeak {
+		r.prePeak = st.Queued
+	}
+	if r.sched.Active(t) {
+		if st.Potential > r.peakP {
+			r.peakP = st.Potential
+		}
+		if st.Queued > r.peakN {
+			r.peakN = st.Queued
+		}
+	}
+	if t >= r.clear {
+		r.post = append(r.post, float64(st.Queued))
+		if r.drainAt < 0 && st.Queued <= r.prePeak+r.slack() {
+			r.drainAt = t
+		}
+	}
+}
+
+func (r *RecoveryObserver) slack() int64 {
+	if r.Slack > 0 {
+		return r.Slack
+	}
+	return 10
+}
+
+// Report judges the run seen so far. Call it after the run completes; it
+// may be called repeatedly (e.g. from a streaming exporter) and always
+// reflects the steps observed up to that point.
+func (r *RecoveryObserver) Report() Recovery {
+	rec := Recovery{
+		Onset:         r.onset,
+		Clear:         r.clear,
+		PeakPotential: r.peakP,
+		PeakBacklog:   r.peakN,
+		DrainStep:     r.drainAt,
+	}
+	if r.drainAt >= 0 {
+		rec.TimeToDrain = r.drainAt - r.clear + 1
+	}
+	if r.sched.Empty() || !r.started || r.lastT < r.clear {
+		return rec // fault window never closed: Unknown
+	}
+	rec.PostDiagnosis = sim.Detect(r.post)
+	if r.drainAt >= 0 && rec.PostDiagnosis.Verdict != sim.Diverging {
+		rec.Verdict = Recovered
+	} else {
+		rec.Verdict = Degraded
+	}
+	return rec
+}
+
+// RecoveryReport exposes the verdict in plain types — the structural
+// method the sweep runner discovers via interface assertion, so sweep
+// does not import faults.
+func (r *RecoveryObserver) RecoveryReport() (verdict string, timeToDrain, peakPotential, peakBacklog int64) {
+	rec := r.Report()
+	return rec.Verdict.String(), rec.TimeToDrain, rec.PeakPotential, rec.PeakBacklog
+}
+
+// Fault-recovery metric names registered by Record.
+const (
+	MetricFaultOnset     = "lgg_fault_onset_step"
+	MetricFaultClear     = "lgg_fault_clear_step"
+	MetricFaultPeakP     = "lgg_fault_peak_potential"
+	MetricFaultPeakQ     = "lgg_fault_peak_backlog"
+	MetricFaultDrainTime = "lgg_fault_time_to_drain_steps"
+	MetricFaultRecovered = "lgg_fault_recovered"
+)
+
+// Record publishes the current recovery report as gauges on reg:
+// lgg_fault_onset_step, lgg_fault_clear_step, lgg_fault_peak_potential,
+// lgg_fault_peak_backlog, lgg_fault_time_to_drain_steps and
+// lgg_fault_recovered (1 Recovered, 0 Degraded, -1 Unknown).
+func (r *RecoveryObserver) Record(reg *metrics.Registry) {
+	rec := r.Report()
+	reg.Gauge(MetricFaultOnset, "First step any scheduled fault is active.").Set(rec.Onset)
+	reg.Gauge(MetricFaultClear, "First step from which no fault is active.").Set(rec.Clear)
+	reg.Gauge(MetricFaultPeakP, "Peak potential P_t while a fault was active.").Set(rec.PeakPotential)
+	reg.Gauge(MetricFaultPeakQ, "Peak total backlog while a fault was active.").Set(rec.PeakBacklog)
+	reg.Gauge(MetricFaultDrainTime, "Steps from fault clear to backlog back at baseline (0 = never).").Set(rec.TimeToDrain)
+	var verdict int64
+	switch rec.Verdict {
+	case Recovered:
+		verdict = 1
+	case Degraded:
+		verdict = 0
+	default:
+		verdict = -1
+	}
+	reg.Gauge(MetricFaultRecovered, "Recovery verdict: 1 recovered, 0 degraded, -1 unknown.").Set(verdict)
+}

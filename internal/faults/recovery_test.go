@@ -1,0 +1,153 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// feed drives the observer with a synthetic backlog trajectory: step t
+// has total backlog q[t] (potential mirrors it so peaks are checkable).
+func feed(r *RecoveryObserver, q []int64) {
+	for t, n := range q {
+		st := core.StepStats{T: int64(t), Queued: n, Potential: n * n}
+		r.OnStep(int64(t), nil, &st)
+	}
+}
+
+func rampSeries(from, to int64, start, step int64) []int64 {
+	var out []int64
+	v := start
+	for t := from; t < to; t++ {
+		out = append(out, v)
+		v += step
+	}
+	return out
+}
+
+func TestRecoveryRecovered(t *testing.T) {
+	sched := Schedule{Events: []Event{{Kind: LinkDown, From: 10, To: 30}}}
+	r := NewRecoveryObserver(sched)
+	var traj []int64
+	traj = append(traj, rampSeries(0, 10, 5, 0)...)    // baseline 5
+	traj = append(traj, rampSeries(10, 30, 10, 10)...) // fault: grows to 200
+	for i := 0; i < 100; i++ {                         // post: drains back
+		q := int64(200 - i*5)
+		if q < 5 {
+			q = 5
+		}
+		traj = append(traj, q)
+	}
+	feed(r, traj)
+	rec := r.Report()
+	if rec.Verdict != Recovered {
+		t.Fatalf("verdict = %v (%+v), want Recovered", rec.Verdict, rec)
+	}
+	if rec.Onset != 10 || rec.Clear != 30 {
+		t.Fatalf("window = [%d,%d), want [10,30)", rec.Onset, rec.Clear)
+	}
+	if rec.PeakBacklog != 200 {
+		t.Fatalf("peak backlog = %d, want 200", rec.PeakBacklog)
+	}
+	if rec.PeakPotential != 200*200 {
+		t.Fatalf("peak potential = %d, want %d", rec.PeakPotential, 200*200)
+	}
+	// Backlog hits baseline+slack (≤15) at 200−5i ≤ 15 → i = 37 → t = 67.
+	if rec.DrainStep != 67 {
+		t.Fatalf("drain step = %d, want 67", rec.DrainStep)
+	}
+	if rec.TimeToDrain != 67-30+1 {
+		t.Fatalf("time to drain = %d, want %d", rec.TimeToDrain, 67-30+1)
+	}
+}
+
+func TestRecoveryDegraded(t *testing.T) {
+	sched := Schedule{Events: []Event{{Kind: LinkDown, From: 10, To: 30}}}
+	r := NewRecoveryObserver(sched)
+	var traj []int64
+	traj = append(traj, rampSeries(0, 10, 5, 0)...)
+	traj = append(traj, rampSeries(10, 30, 10, 10)...)
+	traj = append(traj, rampSeries(30, 130, 210, 10)...) // keeps growing
+	feed(r, traj)
+	rec := r.Report()
+	if rec.Verdict != Degraded {
+		t.Fatalf("verdict = %v (%+v), want Degraded", rec.Verdict, rec)
+	}
+	if rec.DrainStep != -1 || rec.TimeToDrain != 0 {
+		t.Fatalf("drain = (%d, %d), want never (-1, 0)", rec.DrainStep, rec.TimeToDrain)
+	}
+	if rec.PostDiagnosis.Verdict != sim.Diverging {
+		t.Fatalf("post diagnosis = %v, want Diverging", rec.PostDiagnosis.Verdict)
+	}
+}
+
+func TestRecoveryUnknownWhenFaultNeverClears(t *testing.T) {
+	sched := Schedule{Events: []Event{{Kind: LinkDown, From: 10, To: 1000}}}
+	r := NewRecoveryObserver(sched)
+	feed(r, rampSeries(0, 50, 5, 1)) // run ends mid-fault
+	if rec := r.Report(); rec.Verdict != RecoveryUnknown {
+		t.Fatalf("verdict = %v, want Unknown", rec.Verdict)
+	}
+	empty := NewRecoveryObserver(Schedule{})
+	feed(empty, rampSeries(0, 50, 5, 0))
+	if rec := empty.Report(); rec.Verdict != RecoveryUnknown {
+		t.Fatalf("empty schedule verdict = %v, want Unknown", rec.Verdict)
+	}
+}
+
+// TestRecoveryEndToEnd runs a real engine through a link-down window and
+// expects the structural report the sweep runner consumes.
+func TestRecoveryEndToEnd(t *testing.T) {
+	// A cycle gives the source two disjoint paths to the sink, so the
+	// network has spare capacity to drain the fault-era pile-up (a bare
+	// line has none: service rate = arrival rate, backlog never shrinks).
+	g := graph.Cycle(4)
+	s := core.NewSpec(g).SetSource(0, 1).SetSink(2, 2)
+	e := core.NewEngine(s, core.NewLGG())
+	sched := Schedule{Events: []Event{{Kind: LinkDown, From: 50, To: 80, Edges: []graph.EdgeID{0, 3}}}}
+	if _, err := Inject(e, sched, rng.New(21)); err != nil {
+		t.Fatal(err)
+	}
+	obs := NewRecoveryObserver(sched)
+	e.AddObserver(obs)
+	e.Run(400)
+	verdict, ttd, peakP, peakN := obs.RecoveryReport()
+	if verdict != "Recovered" {
+		t.Fatalf("verdict = %q (report %+v), want Recovered", verdict, obs.Report())
+	}
+	if ttd <= 0 {
+		t.Fatalf("time to drain = %d, want positive", ttd)
+	}
+	// The window stalls ~30 injected packets at the source.
+	if peakN < 20 {
+		t.Fatalf("peak backlog = %d, want the fault to visibly pile up", peakN)
+	}
+	if peakP < peakN {
+		t.Fatalf("peak potential %d below peak backlog %d", peakP, peakN)
+	}
+}
+
+func TestRecoveryRecord(t *testing.T) {
+	sched := Schedule{Events: []Event{{Kind: LinkDown, From: 5, To: 10}}}
+	r := NewRecoveryObserver(sched)
+	var traj []int64
+	traj = append(traj, rampSeries(0, 5, 2, 0)...)
+	traj = append(traj, rampSeries(5, 10, 20, 0)...)
+	traj = append(traj, rampSeries(10, 60, 2, 0)...)
+	feed(r, traj)
+	reg := metrics.NewRegistry()
+	r.Record(reg)
+	if got := reg.Gauge(MetricFaultPeakQ, "").Value(); got != 20 {
+		t.Fatalf("%s = %d, want 20", MetricFaultPeakQ, got)
+	}
+	if got := reg.Gauge(MetricFaultRecovered, "").Value(); got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricFaultRecovered, got)
+	}
+	if got := reg.Gauge(MetricFaultDrainTime, "").Value(); got != 1 {
+		t.Fatalf("%s = %d, want 1 (drained immediately at clear)", MetricFaultDrainTime, got)
+	}
+}

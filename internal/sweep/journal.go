@@ -1,0 +1,133 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+)
+
+// The journal is the sweep's crash checkpoint: a JSONL file holding one
+// header line identifying the sweep followed by one Result line per
+// emitted run. Because the runner emits strictly in index order, the
+// journal is always a contiguous prefix of the sweep — whatever is on
+// disk after a crash, kill or timeout is exactly the work that does not
+// need redoing. OpenJournalResume tolerates a torn tail (a partial last
+// line from a crash mid-write): it truncates back to the last complete
+// line and resumes from there.
+
+// journalVersion is the format tag in the header line.
+const journalVersion = "v1"
+
+// journalHeader is the first line of a journal file.
+type journalHeader struct {
+	Journal string `json:"journal"`
+	Jobs    int    `json:"jobs"`
+}
+
+// Journal appends sweep results to a checkpoint file. Wire it into
+// Runner.Journal; the runner appends in index order, the owner Closes it
+// after the sweep.
+type Journal struct {
+	f   *os.File
+	enc *json.Encoder
+}
+
+// CreateJournal creates (or truncates) a journal for a sweep of jobs runs
+// and writes the header line.
+func CreateJournal(path string, jobs int) (*Journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: journal: %w", err)
+	}
+	j := &Journal{f: f, enc: json.NewEncoder(f)}
+	if err := j.enc.Encode(journalHeader{Journal: journalVersion, Jobs: jobs}); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: journal header: %w", err)
+	}
+	return j, nil
+}
+
+// Append writes one result line. Each call issues a single Write of a
+// full line, so a crash can tear at most the line being written — which
+// OpenJournalResume discards.
+func (j *Journal) Append(res Result) error {
+	return j.enc.Encode(&res)
+}
+
+// Close syncs and closes the underlying file.
+func (j *Journal) Close() error {
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// OpenJournalResume opens path for a sweep of jobs runs and returns the
+// journal positioned for appending plus the valid result prefix already
+// on disk (pass it to Runner.Resume). Semantics:
+//
+//   - missing or empty file: a fresh journal, empty prefix;
+//   - header present but for a different job count or not a journal:
+//     an error (refusing to clobber what may be someone else's file);
+//   - results readable up to a torn, malformed or Failed line: the file
+//     is truncated back to the last good line and the prefix before it
+//     is returned — failed runs are re-attempted on resume.
+func OpenJournalResume(path string, jobs int) (*Journal, []Result, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if errors.Is(err, fs.ErrNotExist) {
+		j, err := CreateJournal(path, jobs)
+		return j, nil, err
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("sweep: journal: %w", err)
+	}
+	br := bufio.NewReader(f)
+	head, err := br.ReadBytes('\n')
+	if err != nil {
+		// No complete header line: an empty or torn-at-birth file we can
+		// safely claim as a fresh journal.
+		f.Close()
+		j, err := CreateJournal(path, jobs)
+		return j, nil, err
+	}
+	var hdr journalHeader
+	if json.Unmarshal(head, &hdr) != nil || hdr.Journal != journalVersion {
+		f.Close()
+		return nil, nil, fmt.Errorf("sweep: %s is not a %s sweep journal", path, journalVersion)
+	}
+	if hdr.Jobs != jobs {
+		f.Close()
+		return nil, nil, fmt.Errorf("sweep: journal %s records a sweep of %d jobs, this sweep has %d", path, hdr.Jobs, jobs)
+	}
+	offset := int64(len(head))
+	var resume []Result
+	for len(resume) < jobs {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			break // EOF or torn tail: everything before it stands
+		}
+		var res Result
+		if json.Unmarshal(line, &res) != nil {
+			break // malformed line: truncate it and everything after
+		}
+		if res.Failed {
+			break // failed runs are re-attempted on resume
+		}
+		resume = append(resume, res)
+		offset += int64(len(line))
+	}
+	if err := f.Truncate(offset); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("sweep: journal truncate: %w", err)
+	}
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("sweep: journal seek: %w", err)
+	}
+	return &Journal{f: f, enc: json.NewEncoder(f)}, resume, nil
+}

@@ -41,6 +41,18 @@ type CellStats struct {
 	Extracted  int64 `json:"extracted"`
 	Collisions int64 `json:"collisions"`
 	Violations int64 `json:"violations"`
+	// Failed counts replicas recorded as Failed (panicking runs).
+	Failed int `json:"failed,omitempty"`
+	// Recovery aggregates over the replicas that carried a fault-recovery
+	// verdict: RecoveredShare is the recovered fraction of the decided
+	// (Recovered + Degraded) replicas, MeanTimeToDrain averages the drain
+	// time of the recovered ones, and FaultPeakPotential /
+	// FaultPeakBacklog are cell-wide maxima of the under-fault peaks.
+	// All stay zero for fault-free sweeps.
+	RecoveredShare     float64 `json:"recovered_share,omitempty"`
+	MeanTimeToDrain    float64 `json:"mean_time_to_drain,omitempty"`
+	FaultPeakPotential int64   `json:"fault_peak_potential,omitempty"`
+	FaultPeakBacklog   int64   `json:"fault_peak_backlog,omitempty"`
 }
 
 // aggregateCell folds one cell's replicas (all sharing a descriptor)
@@ -57,6 +69,8 @@ func aggregateCell(cell []Result) CellStats {
 		WorstVerdict: WorstVerdict(cell),
 		MeanBacklog:  MeanBacklog(cell),
 	}
+	recovered, degraded := 0, 0
+	var drainSum float64
 	for _, r := range cell {
 		if r.PeakPotential > cs.PeakPotential {
 			cs.PeakPotential = r.PeakPotential
@@ -70,19 +84,46 @@ func aggregateCell(cell []Result) CellStats {
 		cs.Extracted += r.Extracted
 		cs.Collisions += r.Collisions
 		cs.Violations += r.Violations
+		if r.Failed {
+			cs.Failed++
+		}
+		switch r.Recovery {
+		case "Recovered":
+			recovered++
+			drainSum += float64(r.TimeToDrain)
+		case "Degraded":
+			degraded++
+		}
+		if r.FaultPeakPotential > cs.FaultPeakPotential {
+			cs.FaultPeakPotential = r.FaultPeakPotential
+		}
+		if r.FaultPeakBacklog > cs.FaultPeakBacklog {
+			cs.FaultPeakBacklog = r.FaultPeakBacklog
+		}
+	}
+	if decided := recovered + degraded; decided > 0 {
+		cs.RecoveredShare = float64(recovered) / float64(decided)
+	}
+	if recovered > 0 {
+		cs.MeanTimeToDrain = drainSum / float64(recovered)
 	}
 	return cs
 }
 
 // AggregateCells slices the ordered result list into cells of replicas
-// runs each (the Cells convention) and aggregates every cell.
-func AggregateCells(rs []Result, replicas int) []CellStats {
-	cells := Cells(rs, replicas)
+// runs each (the Cells convention) and aggregates every cell. The error
+// cases are those of Cells: non-positive replicas or a list that does not
+// divide evenly (the finished prefix of a timed-out sweep).
+func AggregateCells(rs []Result, replicas int) ([]CellStats, error) {
+	cells, err := Cells(rs, replicas)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]CellStats, len(cells))
 	for i, cell := range cells {
 		out[i] = aggregateCell(cell)
 	}
-	return out
+	return out, nil
 }
 
 // WriteCellsJSONL encodes cell aggregates as JSON lines, byte-stably.
@@ -103,7 +144,9 @@ func WriteCellsCSV(w io.Writer, cells []CellStats) error {
 	if err := cw.Write([]string{"grid", "network", "router", "variant",
 		"replicas", "stable_share", "worst_verdict", "mean_backlog",
 		"peak_potential", "peak_queued", "injected", "sent", "lost",
-		"extracted", "collisions", "violations"}); err != nil {
+		"extracted", "collisions", "violations", "failed",
+		"recovered_share", "mean_time_to_drain", "fault_peak_potential",
+		"fault_peak_backlog"}); err != nil {
 		return err
 	}
 	for _, c := range cells {
@@ -119,7 +162,12 @@ func WriteCellsCSV(w io.Writer, cells []CellStats) error {
 			strconv.FormatInt(c.Lost, 10),
 			strconv.FormatInt(c.Extracted, 10),
 			strconv.FormatInt(c.Collisions, 10),
-			strconv.FormatInt(c.Violations, 10)}
+			strconv.FormatInt(c.Violations, 10),
+			strconv.Itoa(c.Failed),
+			strconv.FormatFloat(c.RecoveredShare, 'g', -1, 64),
+			strconv.FormatFloat(c.MeanTimeToDrain, 'g', -1, 64),
+			strconv.FormatInt(c.FaultPeakPotential, 10),
+			strconv.FormatInt(c.FaultPeakBacklog, 10)}
 		if err := cw.Write(rec); err != nil {
 			return err
 		}
@@ -140,6 +188,9 @@ const (
 	MetricSweepExtracted = "sweep_extracted_packets_total"
 	MetricSweepPeakPot   = "sweep_peak_potential"
 	MetricSweepPeakBack  = "sweep_peak_backlog"
+	MetricRunsFailed     = "sweep_runs_failed_total"
+	MetricRunsRecovered  = "sweep_runs_recovered_total"
+	MetricRunsDegraded   = "sweep_runs_degraded_total"
 )
 
 // RecordMetrics folds finished sweep results into the canonical
@@ -157,6 +208,9 @@ func RecordMetrics(reg *metrics.Registry, rs []Result) {
 	extracted := reg.Counter(MetricSweepExtracted, "Packets delivered across all runs.")
 	peakPot := reg.Gauge(MetricSweepPeakPot, "Largest P_t across all runs.")
 	peakBack := reg.Gauge(MetricSweepPeakBack, "Largest N_t across all runs.")
+	failed := reg.Counter(MetricRunsFailed, "Runs that panicked and were recorded as failed.")
+	recovered := reg.Counter(MetricRunsRecovered, "Runs that recovered after their fault schedule cleared.")
+	degraded := reg.Counter(MetricRunsDegraded, "Runs still degraded after their fault schedule cleared.")
 	for _, r := range rs {
 		runs.Inc()
 		switch r.Verdict {
@@ -166,6 +220,15 @@ func RecordMetrics(reg *metrics.Registry, rs []Result) {
 			diverging.Inc()
 		default:
 			undecided.Inc()
+		}
+		if r.Failed {
+			failed.Inc()
+		}
+		switch r.Recovery {
+		case "Recovered":
+			recovered.Inc()
+		case "Degraded":
+			degraded.Inc()
 		}
 		injected.Add(r.Injected)
 		sent.Add(r.Sent)

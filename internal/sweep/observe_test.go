@@ -69,7 +69,10 @@ func TestAggregateCellsValues(t *testing.T) {
 			Verdict: sim.Diverging, MeanBacklog: 6, PeakPotential: 30, PeakQueued: 9,
 			Injected: 100, Sent: 95, Lost: 2, Extracted: 70},
 	}
-	cells := AggregateCells(rs, 2)
+	cells, err := AggregateCells(rs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(cells) != 1 {
 		t.Fatalf("got %d cells, want 1", len(cells))
 	}
@@ -104,7 +107,10 @@ func TestObservabilityDeterminism(t *testing.T) {
 		if err := es.Flush(); err != nil {
 			t.Fatal(err)
 		}
-		cells := AggregateCells(rs, replicas)
+		cells, err := AggregateCells(rs, replicas)
+		if err != nil {
+			t.Fatal(err)
+		}
 		var cj, cc, pm bytes.Buffer
 		if err := WriteCellsJSONL(&cj, cells); err != nil {
 			t.Fatal(err)

@@ -19,9 +19,11 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -84,6 +86,24 @@ type Result struct {
 	Extracted      int64   `json:"extracted"`
 	Collisions     int64   `json:"collisions"`
 	Violations     int64   `json:"violations"`
+	// Failed marks a run whose Build or engine panicked (after exhausting
+	// Runner.Retries). Error holds the panic value and Stack the goroutine
+	// stack at the point of the panic. Stack bytes include goroutine ids
+	// and addresses, so a sweep containing failures is exempt from the
+	// byte-identical-output contract — panic-free sweeps keep it.
+	Failed bool   `json:"failed,omitempty"`
+	Error  string `json:"error,omitempty"`
+	Stack  string `json:"stack,omitempty"`
+	// Recovery fields, populated when the run's engine carried a
+	// fault-recovery observer (anything exposing RecoveryReport, e.g.
+	// faults.RecoveryObserver): the post-fault verdict ("Recovered",
+	// "Degraded" or "Unknown"), steps from fault clear until the backlog
+	// returned to its pre-fault level (0 = never), and the peak state
+	// while faults were active.
+	Recovery           string `json:"recovery,omitempty"`
+	TimeToDrain        int64  `json:"time_to_drain,omitempty"`
+	FaultPeakPotential int64  `json:"fault_peak_potential,omitempty"`
+	FaultPeakBacklog   int64  `json:"fault_peak_backlog,omitempty"`
 }
 
 // Summarize reduces a full simulation result to its sweep summary.
@@ -146,8 +166,28 @@ type Runner struct {
 	// Progress, when set, is invoked after every emitted result.
 	Progress func(Progress)
 	// OnResult, when set, receives each job's summary and full simulation
-	// result in index order, before the full result is released.
+	// result in index order, before the full result is released. The full
+	// result is nil for failed runs and for results replayed from Resume.
 	OnResult func(Job, Result, *sim.Result)
+	// Retries is how many times a panicking run is re-attempted before it
+	// is recorded as Failed. Runs are deterministic, so a logic-bug panic
+	// fails every attempt; retries exist for transient environmental
+	// failures (memory pressure, runtime limits) during long campaigns.
+	Retries int
+	// RetryBackoff is the sleep before the first retry, doubled per
+	// attempt and capped at RetryBackoffMax (defaults 50ms / 2s). The
+	// sleep aborts early when the sweep context is cancelled.
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
+	// Journal, when set, receives every emitted result in index order —
+	// the checkpoint stream OpenJournalResume can later resume from. The
+	// runner does not Close it.
+	Journal *Journal
+	// Resume is a previously completed result prefix (typically from
+	// OpenJournalResume): those jobs are not re-run; their results are
+	// re-emitted (with a nil full result) and the pool starts at the
+	// first missing index. The prefix must match the job list.
+	Resume []Result
 }
 
 // item travels from a worker to the emitter.
@@ -192,11 +232,34 @@ func (r *Runner) RunWithContext(ctx context.Context, jobs []Job) ([]Result, erro
 		window = workers
 	}
 
+	resumed := len(r.Resume)
+	if resumed > n {
+		return nil, fmt.Errorf("sweep: resume prefix has %d results but the sweep has %d jobs", resumed, n)
+	}
+	for i, res := range r.Resume {
+		d := jobs[i].Desc
+		if res.Index != d.Index || res.Seed != d.Seed || res.Horizon != d.Horizon {
+			return nil, fmt.Errorf("sweep: resume result %d (index %d, seed %d) does not match job (index %d, seed %d) — journal from a different sweep?",
+				i, res.Index, res.Seed, d.Index, d.Seed)
+		}
+	}
+
 	start := time.Now()
 	if r.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, r.Timeout)
 		defer cancel()
+	}
+
+	results := make([]Result, 0, n)
+	for i, res := range r.Resume {
+		results = append(results, res)
+		if r.OnResult != nil {
+			r.OnResult(jobs[i], res, nil)
+		}
+	}
+	if resumed == n {
+		return results, nil
 	}
 
 	// tokens bounds dispatched-but-not-yet-emitted jobs to the window.
@@ -212,26 +275,12 @@ func (r *Runner) RunWithContext(ctx context.Context, jobs []Job) ([]Result, erro
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				j := jobs[i]
-				opts := j.options()
-				full := sim.RunContext(ctx, j.Build(j.Desc.Seed), opts)
-				it := item{idx: i}
-				if full.Totals.Steps < opts.Horizon {
-					// Cancelled mid-run: a partial series would break the
-					// determinism contract, so the job counts as skipped.
-					it.skipped = true
-				} else {
-					it.res = Summarize(j.Desc, full)
-					if r.OnResult != nil {
-						it.full = full
-					}
-				}
-				done <- it
+				done <- r.runJob(ctx, i, jobs[i])
 			}
 		}()
 	}
 	go func() {
-		for i := 0; i < n; i++ {
+		for i := resumed; i < n; i++ {
 			tokens <- struct{}{}
 			if ctx.Err() != nil {
 				done <- item{idx: i, skipped: true}
@@ -246,9 +295,9 @@ func (r *Runner) RunWithContext(ctx context.Context, jobs []Job) ([]Result, erro
 
 	// Emit in index order; workers complete out of order, so buffer the
 	// gap (at most window items by construction).
-	results := make([]Result, 0, n)
 	pending := make(map[int]item, window)
-	want, timedOut := 0, false
+	want, timedOut := resumed, false
+	var journalErr error
 	for it := range done {
 		pending[it.idx] = it
 		for {
@@ -266,12 +315,15 @@ func (r *Runner) RunWithContext(ctx context.Context, jobs []Job) ([]Result, erro
 				continue // drain, but keep only the finished prefix
 			}
 			results = append(results, next.res)
+			if r.Journal != nil && journalErr == nil {
+				journalErr = r.Journal.Append(next.res)
+			}
 			if r.OnResult != nil {
 				r.OnResult(jobs[next.idx], next.res, next.full)
 			}
 			if r.Progress != nil {
 				elapsed := time.Since(start)
-				perRun := elapsed / time.Duration(len(results))
+				perRun := elapsed / time.Duration(len(results)-resumed)
 				r.Progress(Progress{Done: len(results), Total: n, Elapsed: elapsed,
 					ETA: perRun * time.Duration(n-len(results))})
 			}
@@ -283,7 +335,96 @@ func (r *Runner) RunWithContext(ctx context.Context, jobs []Job) ([]Result, erro
 		}
 		return results, fmt.Errorf("%w after %v (%d/%d runs)", ErrTimeout, r.Timeout, len(results), n)
 	}
+	if journalErr != nil {
+		return results, fmt.Errorf("sweep: journal write: %w", journalErr)
+	}
 	return results, nil
+}
+
+// runFailure captures a panic from a run attempt.
+type runFailure struct {
+	msg   string
+	stack string
+}
+
+// runJob executes one job with panic isolation and the retry policy: a
+// panicking attempt (in Build or anywhere inside the engine step loop) is
+// retried up to Retries times with doubling capped backoff, then recorded
+// as a Failed result carrying the panic value and stack — the sweep
+// itself never dies with a run.
+func (r *Runner) runJob(ctx context.Context, idx int, j Job) item {
+	it, fail := r.runOnce(ctx, j)
+	backoff := r.RetryBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	maxBackoff := r.RetryBackoffMax
+	if maxBackoff <= 0 {
+		maxBackoff = 2 * time.Second
+	}
+	for attempt := 0; fail != nil && attempt < r.Retries && ctx.Err() == nil; attempt++ {
+		sleepCtx(ctx, backoff)
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+		it, fail = r.runOnce(ctx, j)
+	}
+	it.idx = idx
+	if fail != nil {
+		it = item{idx: idx, res: Result{Desc: j.Desc, Failed: true, Error: fail.msg, Stack: fail.stack}}
+	}
+	return it
+}
+
+// runOnce is a single attempt: build, run, summarize, harvest recovery.
+func (r *Runner) runOnce(ctx context.Context, j Job) (it item, fail *runFailure) {
+	defer func() {
+		if p := recover(); p != nil {
+			fail = &runFailure{msg: fmt.Sprint(p), stack: string(debug.Stack())}
+		}
+	}()
+	opts := j.options()
+	eng := j.Build(j.Desc.Seed)
+	full := sim.RunContext(ctx, eng, opts)
+	if full.Totals.Steps < opts.Horizon {
+		// Cancelled mid-run: a partial series would break the
+		// determinism contract, so the job counts as skipped.
+		it.skipped = true
+		return it, nil
+	}
+	it.res = Summarize(j.Desc, full)
+	harvestRecovery(&it.res, eng)
+	if r.OnResult != nil {
+		it.full = full
+	}
+	return it, nil
+}
+
+// recoveryReporter is the structural interface a fault-recovery observer
+// (faults.RecoveryObserver) satisfies; matching structurally keeps sweep
+// free of a faults dependency.
+type recoveryReporter interface {
+	RecoveryReport() (verdict string, timeToDrain, peakPotential, peakBacklog int64)
+}
+
+// harvestRecovery copies the recovery report of the engine's observer (if
+// any) into the result. With several reporters the last registered wins.
+func harvestRecovery(res *Result, eng *core.Engine) {
+	for _, o := range eng.Observers() {
+		if rr, ok := o.(recoveryReporter); ok {
+			res.Recovery, res.TimeToDrain, res.FaultPeakPotential, res.FaultPeakBacklog = rr.RecoveryReport()
+		}
+	}
+}
+
+// sleepCtx sleeps for d or until ctx is cancelled, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
 }
 
 // NewReporter returns a Progress callback that writes one status line to w
@@ -319,22 +460,28 @@ func WriteJSONL(w io.Writer, rs []Result) error {
 }
 
 // Cells slices an ordered result list into contiguous cells of k replicas
-// each — the inverse of enumerating a grid cell-by-cell with k seeds.
-func Cells(rs []Result, k int) [][]Result {
+// each — the inverse of enumerating a grid cell-by-cell with k seeds. It
+// returns an error (never panics) when k is not positive or the results
+// do not divide evenly — the normal aftermath of a timed-out sweep whose
+// finished prefix stops mid-cell. Callers that want the complete cells of
+// such a prefix can trim to len(rs)-len(rs)%k first.
+func Cells(rs []Result, k int) ([][]Result, error) {
 	if k <= 0 {
-		panic("sweep: Cells needs a positive replica count")
+		return nil, fmt.Errorf("sweep: Cells needs a positive replica count (got %d)", k)
 	}
 	if len(rs)%k != 0 {
-		panic(fmt.Sprintf("sweep: %d results do not divide into cells of %d", len(rs), k))
+		return nil, fmt.Errorf("sweep: %d results do not divide into cells of %d replicas (partial prefix? trim %d trailing runs)",
+			len(rs), k, len(rs)%k)
 	}
 	out := make([][]Result, 0, len(rs)/k)
 	for i := 0; i < len(rs); i += k {
 		out = append(out, rs[i:i+k])
 	}
-	return out
+	return out, nil
 }
 
-// StableShare returns the fraction of results judged stable.
+// StableShare returns the fraction of results judged stable. An empty
+// list yields 0 by definition (no evidence of stability), not an error.
 func StableShare(rs []Result) float64 {
 	if len(rs) == 0 {
 		return 0
@@ -348,7 +495,8 @@ func StableShare(rs []Result) float64 {
 	return float64(c) / float64(len(rs))
 }
 
-// MeanBacklog averages the per-run trailing-half mean backlog.
+// MeanBacklog averages the per-run trailing-half mean backlog. An empty
+// list yields 0 by definition, not an error.
 func MeanBacklog(rs []Result) float64 {
 	if len(rs) == 0 {
 		return 0

@@ -189,7 +189,10 @@ func TestCellsAndReductions(t *testing.T) {
 		{Verdict: sim.Stable, MeanBacklog: 6, PeakPotential: 20},
 		{Verdict: sim.Inconclusive, MeanBacklog: 8, PeakPotential: 5},
 	}
-	cells := Cells(rs, 2)
+	cells, err := Cells(rs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(cells) != 2 || len(cells[0]) != 2 {
 		t.Fatalf("cells shape wrong: %v", cells)
 	}
@@ -208,12 +211,12 @@ func TestCellsAndReductions(t *testing.T) {
 	if v := WorstVerdict(cells[1]); v != sim.Inconclusive {
 		t.Fatalf("WorstVerdict = %v", v)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("ragged Cells accepted")
-		}
-	}()
-	Cells(rs, 3)
+	if _, err := Cells(rs, 3); err == nil {
+		t.Fatal("ragged Cells accepted")
+	}
+	if _, err := Cells(rs, 0); err == nil {
+		t.Fatal("non-positive cell size accepted")
+	}
 }
 
 func TestReporterThrottles(t *testing.T) {

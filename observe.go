@@ -18,8 +18,10 @@ import (
 	"repro/internal/cutsplit"
 	"repro/internal/distsim"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/flow"
 	"repro/internal/metrics"
+	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/sweep"
@@ -141,8 +143,10 @@ func SweepGrids() []NamedGrid                 { return experiments.SweepGrids() 
 func FindGrid(name string) (NamedGrid, error) { return experiments.FindGrid(name) }
 
 // AggregateCells folds an in-order result list into per-cell statistics
-// (replicas consecutive runs per cell).
-func AggregateCells(rs []SweepResult, replicas int) []CellStats {
+// (replicas consecutive runs per cell). It errors when the list is not a
+// whole number of cells — trim to len(rs)-len(rs)%replicas first if a
+// truncated sweep's complete prefix is what you want aggregated.
+func AggregateCells(rs []SweepResult, replicas int) ([]CellStats, error) {
 	return sweep.AggregateCells(rs, replicas)
 }
 
@@ -154,6 +158,76 @@ func WriteCellsCSV(w io.Writer, cs []CellStats) error    { return sweep.WriteCel
 // RecordSweepMetrics folds finished sweep results into reg's sweep_*
 // metrics.
 func RecordSweepMetrics(reg *Registry, rs []SweepResult) { sweep.RecordMetrics(reg, rs) }
+
+// Sweep checkpoint journal: wire one into SweepRunner.Journal and a
+// killed sweep resumes from its on-disk prefix.
+type SweepJournal = sweep.Journal
+
+// CreateSweepJournal starts a fresh checkpoint journal for a sweep of
+// jobs runs.
+func CreateSweepJournal(path string, jobs int) (*SweepJournal, error) {
+	return sweep.CreateJournal(path, jobs)
+}
+
+// OpenSweepJournalResume reopens a journal, tolerating a torn tail, and
+// returns the finished prefix for SweepRunner.Resume.
+func OpenSweepJournalResume(path string, jobs int) (*SweepJournal, []SweepResult, error) {
+	return sweep.OpenJournalResume(path, jobs)
+}
+
+// Fault injection (internal/faults): deterministic typed fault schedules
+// — link-down windows, Gilbert–Elliott loss bursts, loss ramps, node
+// crashes, lying windows, partitions — compiled onto an engine's
+// topology/loss/declaration hooks, plus recovery verdicts.
+type (
+	// FaultSchedule is a typed list of fault events.
+	FaultSchedule = faults.Schedule
+	// FaultEvent is one fault with its half-open activity window.
+	FaultEvent = faults.Event
+	// FaultInjector is a schedule compiled against one engine's graph.
+	FaultInjector = faults.Injector
+	// ChurnConfig parameterizes the stochastic MTBF/MTTR link-churn
+	// generator.
+	ChurnConfig = faults.GenConfig
+	// RecoveryObserver watches a faulted run and issues the post-fault
+	// verdict.
+	RecoveryObserver = faults.RecoveryObserver
+	// Recovery is the observer's full report.
+	Recovery = faults.Recovery
+)
+
+// Fault kinds.
+const (
+	FaultLinkDown  = faults.LinkDown
+	FaultBurst     = faults.Burst
+	FaultRamp      = faults.Ramp
+	FaultCrash     = faults.Crash
+	FaultLie       = faults.Lie
+	FaultPartition = faults.Partition
+)
+
+// ParseFaultSchedule parses the text grammar ("down@100-200:e=3"), JSON,
+// or an @file indirection to either.
+func ParseFaultSchedule(arg string) (FaultSchedule, error) { return faults.Load(arg) }
+
+// FormatFaultSchedule renders the canonical text form of a schedule.
+func FormatFaultSchedule(s FaultSchedule) string { return faults.FormatText(s) }
+
+// InjectFaults compiles the schedule against e's graph and installs it;
+// all fault randomness derives from seed.
+func InjectFaults(e *Engine, s FaultSchedule, seed uint64) (*FaultInjector, error) {
+	return faults.Inject(e, s, rng.New(seed))
+}
+
+// GenerateChurn samples a link-churn LinkDown schedule (geometric up/down
+// phases of mean MTBF/MTTR steps per edge), deterministic in seed.
+func GenerateChurn(cfg ChurnConfig, g *Multigraph, seed uint64) (FaultSchedule, error) {
+	return faults.Generate(cfg, g, rng.New(seed))
+}
+
+// NewRecoveryObserver returns the observer issuing Recovered/Degraded
+// verdicts for runs under s; add it to the engine before running.
+func NewRecoveryObserver(s FaultSchedule) *RecoveryObserver { return faults.NewRecoveryObserver(s) }
 
 // Analysis machinery used by the examples.
 
