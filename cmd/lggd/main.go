@@ -1,0 +1,107 @@
+// Command lggd is the simulation daemon: it accepts sweep jobs over an
+// HTTP/JSON API, executes them on a bounded worker pool, and is built to
+// stay correct under the unglamorous realities of a long-lived service —
+// overload, deadlines, client retries, kill -9 and kill -TERM.
+//
+//   - Overload sheds at the edge: a full admission queue answers 429 with
+//     a Retry-After derived from the measured service rate, the service
+//     analogue of the paper's saturated regime (bounded state by refusing
+//     excess arrivals rather than growing an unbounded backlog).
+//   - Every job transition is fsynced to a JSONL ledger and every
+//     finished run to a sweep journal, so a killed daemon restarts with
+//     nothing lost: unfinished jobs resume exactly where their journals
+//     end and — by the sweep determinism contract — complete with results
+//     byte-identical to an uninterrupted execution.
+//   - SIGTERM/SIGINT drains gracefully: admission closes (readyz → 503),
+//     in-flight jobs get -drain-grace to finish, stragglers are
+//     checkpointed mid-sweep, and the process exits 0. A second signal
+//     force-quits.
+//
+// Usage:
+//
+//	lggd [-addr 127.0.0.1:8321] [-state lggd-state] [-jobs 2] [-queue 16]
+//	     [-sweep-workers 0] [-retries 0] [-drain-grace 30s]
+//
+// API: POST /v1/jobs, GET /v1/jobs[/{id}[/results]], DELETE /v1/jobs/{id},
+// GET /healthz, /readyz, /metrics. See internal/server.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8321", "listen address")
+		state   = flag.String("state", "lggd-state", "state directory (job ledger + result journals)")
+		jobs    = flag.Int("jobs", 2, "concurrent job executors")
+		queue   = flag.Int("queue", 16, "admission queue depth; beyond it submissions are shed with 429")
+		workers = flag.Int("sweep-workers", 0, "worker pool per sweep (0 = GOMAXPROCS)")
+		retries = flag.Int("retries", 0, "re-attempts for a run that panics")
+		grace   = flag.Duration("drain-grace", 30*time.Second, "how long a drain lets in-flight jobs finish before checkpointing them")
+	)
+	flag.Parse()
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+
+	srv, err := server.New(server.Config{
+		StateDir:     *state,
+		Jobs:         *jobs,
+		QueueDepth:   *queue,
+		SweepWorkers: *workers,
+		Retries:      *retries,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("lggd: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("lggd: %v", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	log.Printf("lggd: listening on %s (state %s, %d executors, queue %d)",
+		ln.Addr(), *state, *jobs, *queue)
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("lggd: serve: %v", err)
+	case sig := <-sigc:
+		log.Printf("lggd: %v: draining (grace %v; signal again to force quit)", sig, *grace)
+		go func() {
+			<-sigc
+			log.Printf("lggd: second signal, force quit")
+			os.Exit(1)
+		}()
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		drainErr := srv.Drain(ctx)
+		cancel()
+		// Drain closed admission and ended result streams; now close the
+		// listener and let straggling handlers return.
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		err := hs.Shutdown(shutCtx)
+		cancel()
+		if drainErr != nil {
+			log.Fatalf("lggd: drain: %v", drainErr)
+		}
+		if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Fatalf("lggd: shutdown: %v", err)
+		}
+		log.Printf("lggd: drained cleanly")
+	}
+}

@@ -14,6 +14,13 @@
 // prefix is also checkpointed on disk as it is produced, and -resume picks
 // a killed sweep up from exactly where the journal ends.
 //
+// With -remote the sweep is not executed in-process: the job is submitted
+// to a running lggd daemon through the hardened API client (retries with
+// backoff + jitter, Retry-After honoured, idempotent submission, circuit
+// breaker), followed to completion, and the fetched results feed the same
+// output flags. Durability then lives server-side: -journal/-resume are
+// local-mode flags and are rejected with -remote.
+//
 // Usage:
 //
 //	lggsweep -list
@@ -22,6 +29,7 @@
 //	         [-cells cells.jsonl] [-events events.jsonl] [-metrics metrics.prom] \
 //	         [-faults 'down@100-200:e=3'] [-journal ckpt.jsonl] [-resume] \
 //	         [-retries 2] [-quick]
+//	lggsweep -remote 127.0.0.1:8321 -grid stability [-seeds 8] [...]
 package main
 
 import (
@@ -36,11 +44,10 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/experiments"
-	"repro/internal/faults"
 	"repro/internal/metrics"
-	"repro/internal/rng"
+	"repro/internal/server"
+	"repro/internal/server/client"
 	"repro/internal/sweep"
 )
 
@@ -64,6 +71,7 @@ func main() {
 		journalPath = flag.String("journal", "", "checkpoint finished runs to this JSONL journal as the sweep progresses")
 		resume      = flag.Bool("resume", false, "resume from the -journal file instead of re-running its prefix")
 		retries     = flag.Int("retries", 0, "re-attempts for a run that panics before recording it as failed")
+		remote      = flag.String("remote", "", "submit to a running lggd daemon at this address instead of sweeping in-process")
 	)
 	flag.Parse()
 
@@ -77,6 +85,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lggsweep: -grid is required (try -list)")
 		os.Exit(2)
 	}
+	if *remote != "" {
+		if *journalPath != "" || *resume || *eventsPath != "" {
+			fmt.Fprintln(os.Stderr, "lggsweep: -journal, -resume and -events are local-mode flags; with -remote the daemon owns durability")
+			os.Exit(2)
+		}
+		rs, err := runRemote(*remote, remoteSpec(*grid, *seed, *seeds, *horizon, *quick, *faultsArg, *timeout), *quiet)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lggsweep: %v\n", err)
+			os.Exit(1)
+		}
+		if err := emitOutputs(rs, *grid, *out, *csvPath, *cellsPath, *metricsPath, *seeds); err != nil {
+			fmt.Fprintf(os.Stderr, "lggsweep: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	g, err := experiments.FindGrid(*grid)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lggsweep: %v (try -list)\n", err)
@@ -86,7 +110,7 @@ func main() {
 	cfg := experiments.Config{Seed: *seed, Seeds: *seeds, Horizon: *horizon, Quick: *quick}
 	jobs := g.Jobs(cfg)
 	if *faultsArg != "" {
-		if err := injectFaults(jobs, *faultsArg); err != nil {
+		if err := experiments.ApplyFaults(jobs, *faultsArg); err != nil {
 			fmt.Fprintf(os.Stderr, "lggsweep: %v\n", err)
 			os.Exit(2)
 		}
@@ -163,27 +187,9 @@ func main() {
 		}
 	}
 
-	if err := emitJSONL(*out, rs); err != nil {
+	if err := emitOutputs(rs, g.Name, *out, *csvPath, *cellsPath, *metricsPath, *seeds); err != nil {
 		fmt.Fprintf(os.Stderr, "lggsweep: %v\n", err)
 		os.Exit(1)
-	}
-	if *csvPath != "" {
-		if err := emitCSV(*csvPath, g.Name, rs); err != nil {
-			fmt.Fprintf(os.Stderr, "lggsweep: %v\n", err)
-			os.Exit(1)
-		}
-	}
-	if *cellsPath != "" {
-		if err := emitCells(*cellsPath, rs, *seeds); err != nil {
-			fmt.Fprintf(os.Stderr, "lggsweep: %v\n", err)
-			os.Exit(1)
-		}
-	}
-	if *metricsPath != "" {
-		if err := emitMetrics(*metricsPath, rs); err != nil {
-			fmt.Fprintf(os.Stderr, "lggsweep: %v\n", err)
-			os.Exit(1)
-		}
 	}
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "lggsweep: sweep truncated, wrote the %d finished runs: %v\n", len(rs), runErr)
@@ -191,27 +197,88 @@ func main() {
 	}
 }
 
-// injectFaults compiles the schedule argument once and wraps every job's
-// engine factory to inject it, with a recovery observer reporting the
-// post-fault verdict into the sweep results. Per-run fault randomness
-// derives from the run's own seed, preserving the determinism contract.
-func injectFaults(jobs []sweep.Job, arg string) error {
-	sched, err := faults.Load(arg)
-	if err != nil {
+// emitOutputs writes the result set to every requested output.
+func emitOutputs(rs []sweep.Result, gridName, out, csvPath, cellsPath, metricsPath string, seeds int) error {
+	if err := emitJSONL(out, rs); err != nil {
 		return err
 	}
-	for i := range jobs {
-		inner := jobs[i].Build
-		jobs[i].Build = func(seed uint64) *core.Engine {
-			e := inner(seed)
-			if _, err := faults.Inject(e, sched, rng.New(seed).Split(0xFA)); err != nil {
-				panic(err)
-			}
-			e.AddObserver(faults.NewRecoveryObserver(sched))
-			return e
+	if csvPath != "" {
+		if err := emitCSV(csvPath, gridName, rs); err != nil {
+			return err
+		}
+	}
+	if cellsPath != "" {
+		if err := emitCells(cellsPath, rs, seeds); err != nil {
+			return err
+		}
+	}
+	if metricsPath != "" {
+		if err := emitMetrics(metricsPath, rs); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// remoteSpec maps the local sweep flags onto a daemon job spec. An @file
+// fault schedule is read here — the daemon never opens client paths —
+// and -timeout becomes the job's server-side deadline.
+func remoteSpec(grid string, seed uint64, seeds int, horizon int64, quick bool, faultsArg string, timeout time.Duration) server.JobSpec {
+	if strings.HasPrefix(faultsArg, "@") {
+		b, err := os.ReadFile(faultsArg[1:])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lggsweep: faults: %v\n", err)
+			os.Exit(2)
+		}
+		faultsArg = string(b)
+	}
+	spec := server.JobSpec{
+		Grid: grid, Seed: seed, Seeds: seeds, Horizon: horizon,
+		Quick: quick, Faults: faultsArg,
+	}
+	if timeout > 0 {
+		spec.TimeoutMS = timeout.Milliseconds()
+	}
+	return spec
+}
+
+// runRemote submits the job through the hardened client, follows it to a
+// terminal state and fetches its results. Ctrl-C detaches — the job keeps
+// running on the daemon — and prints how to pick it back up.
+func runRemote(addr string, spec server.JobSpec, quiet bool) ([]sweep.Result, error) {
+	c, err := client.New(client.Config{BaseURL: addr})
+	if err != nil {
+		return nil, err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "lggsweep: submitted %s to %s\n", st.ID, addr)
+	}
+	for !st.Status.Terminal() {
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("interrupted; job %s continues on the daemon (fetch with GET /v1/jobs/%s/results)", st.ID, st.ID)
+		case <-time.After(500 * time.Millisecond):
+		}
+		if st, err = c.Job(ctx, st.ID); err != nil {
+			return nil, err
+		}
+		if !quiet && st.Total > 0 {
+			fmt.Fprintf(os.Stderr, "lggsweep: %s %s %d/%d runs\n", st.ID, st.Status, st.Done, st.Total)
+		}
+	}
+	switch st.Status {
+	case server.StatusFailed:
+		return nil, fmt.Errorf("job %s failed: %s", st.ID, st.Error)
+	case server.StatusCancelled:
+		return nil, fmt.Errorf("job %s was cancelled", st.ID)
+	}
+	return c.Results(ctx, st.ID)
 }
 
 // openOut resolves "-" to stdout (with a no-op closer) and anything else

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/rng"
+	"repro/internal/sweep"
+)
+
+// ApplyFaults compiles the schedule argument (text, JSON, or @file — see
+// faults.Load) once and wraps every job's engine factory to inject it,
+// with a recovery observer reporting the post-fault verdict into the
+// sweep results. Per-run fault randomness derives from the run's own
+// seed, preserving the determinism contract. Shared by cmd/lggsweep and
+// the lggd daemon so local and remote sweeps build identical engines.
+func ApplyFaults(jobs []sweep.Job, arg string) error {
+	sched, err := faults.Load(arg)
+	if err != nil {
+		return err
+	}
+	for i := range jobs {
+		inner := jobs[i].Build
+		jobs[i].Build = func(seed uint64) *core.Engine {
+			e := inner(seed)
+			if _, err := faults.Inject(e, sched, rng.New(seed).Split(0xFA)); err != nil {
+				panic(err)
+			}
+			e.AddObserver(faults.NewRecoveryObserver(sched))
+			return e
+		}
+	}
+	return nil
+}

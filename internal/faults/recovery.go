@@ -11,8 +11,8 @@ import (
 type RecoveryVerdict int
 
 const (
-	// RecoveryUnknown: the run ended before the fault window closed (or
-	// the schedule is empty), so recovery cannot be judged.
+	// RecoveryUnknown: the schedule is empty or no steps were observed,
+	// so there is nothing to judge.
 	RecoveryUnknown RecoveryVerdict = iota
 	// Recovered: the post-fault backlog drained back to its pre-fault
 	// level (within slack) and the post-fault trajectory is not
@@ -21,15 +21,22 @@ const (
 	// Degraded: the fault cleared but the backlog either never drained
 	// to the pre-fault level or kept growing afterwards.
 	Degraded
+	// Indeterminate: the fault window extends past (or ends too close
+	// to) the run horizon, so the drain was never meaningfully observed.
+	// Calling such a run Recovered or Degraded would be a guess.
+	Indeterminate
 )
 
-// String returns the verdict name ("Unknown", "Recovered", "Degraded").
+// String returns the verdict name ("Unknown", "Recovered", "Degraded",
+// "Indeterminate").
 func (v RecoveryVerdict) String() string {
 	switch v {
 	case Recovered:
 		return "Recovered"
 	case Degraded:
 		return "Degraded"
+	case Indeterminate:
+		return "Indeterminate"
 	default:
 		return "Unknown"
 	}
@@ -125,9 +132,20 @@ func (r *RecoveryObserver) slack() int64 {
 	return 10
 }
 
+// minPostWindow is the fewest post-clear steps Report needs before it is
+// willing to call Recovered or Degraded. A fault window that ends at (or
+// runs past) the horizon leaves essentially no post-fault trajectory: a
+// single transiently low sample would otherwise count as a full drain.
+const minPostWindow = 8
+
 // Report judges the run seen so far. Call it after the run completes; it
 // may be called repeatedly (e.g. from a streaming exporter) and always
 // reflects the steps observed up to that point.
+//
+// A schedule whose fault window extends past the observed horizon — or
+// clears with fewer than minPostWindow steps left — yields an explicit
+// Indeterminate verdict: the drain was never observed, so neither
+// Recovered nor Degraded would be honest.
 func (r *RecoveryObserver) Report() Recovery {
 	rec := Recovery{
 		Onset:         r.onset,
@@ -139,8 +157,12 @@ func (r *RecoveryObserver) Report() Recovery {
 	if r.drainAt >= 0 {
 		rec.TimeToDrain = r.drainAt - r.clear + 1
 	}
-	if r.sched.Empty() || !r.started || r.lastT < r.clear {
-		return rec // fault window never closed: Unknown
+	if r.sched.Empty() || !r.started {
+		return rec // nothing scheduled or nothing observed: Unknown
+	}
+	if r.lastT < r.clear || len(r.post) < minPostWindow {
+		rec.Verdict = Indeterminate // drain never (meaningfully) observed
+		return rec
 	}
 	rec.PostDiagnosis = sim.Detect(r.post)
 	if r.drainAt >= 0 && rec.PostDiagnosis.Verdict != sim.Diverging {
@@ -172,7 +194,8 @@ const (
 // Record publishes the current recovery report as gauges on reg:
 // lgg_fault_onset_step, lgg_fault_clear_step, lgg_fault_peak_potential,
 // lgg_fault_peak_backlog, lgg_fault_time_to_drain_steps and
-// lgg_fault_recovered (1 Recovered, 0 Degraded, -1 Unknown).
+// lgg_fault_recovered (1 Recovered, 0 Degraded, -1 Unknown,
+// -2 Indeterminate).
 func (r *RecoveryObserver) Record(reg *metrics.Registry) {
 	rec := r.Report()
 	reg.Gauge(MetricFaultOnset, "First step any scheduled fault is active.").Set(rec.Onset)
@@ -186,8 +209,10 @@ func (r *RecoveryObserver) Record(reg *metrics.Registry) {
 		verdict = 1
 	case Degraded:
 		verdict = 0
+	case Indeterminate:
+		verdict = -2
 	default:
 		verdict = -1
 	}
-	reg.Gauge(MetricFaultRecovered, "Recovery verdict: 1 recovered, 0 degraded, -1 unknown.").Set(verdict)
+	reg.Gauge(MetricFaultRecovered, "Recovery verdict: 1 recovered, 0 degraded, -1 unknown, -2 indeterminate.").Set(verdict)
 }

@@ -85,17 +85,62 @@ func TestRecoveryDegraded(t *testing.T) {
 	}
 }
 
-func TestRecoveryUnknownWhenFaultNeverClears(t *testing.T) {
+// TestRecoveryIndeterminateWhenFaultNeverClears: a fault window extending
+// past the horizon means the drain was never observed — the verdict must
+// be the explicit Indeterminate, never a guess (and never the misleading
+// Recovered the pre-fix code could produce when the window cleared with a
+// single transiently low sample left).
+func TestRecoveryIndeterminateWhenFaultNeverClears(t *testing.T) {
 	sched := Schedule{Events: []Event{{Kind: LinkDown, From: 10, To: 1000}}}
 	r := NewRecoveryObserver(sched)
 	feed(r, rampSeries(0, 50, 5, 1)) // run ends mid-fault
-	if rec := r.Report(); rec.Verdict != RecoveryUnknown {
-		t.Fatalf("verdict = %v, want Unknown", rec.Verdict)
+	if rec := r.Report(); rec.Verdict != Indeterminate {
+		t.Fatalf("verdict = %v, want Indeterminate", rec.Verdict)
 	}
+	if got := r.Report().Verdict.String(); got != "Indeterminate" {
+		t.Fatalf("verdict string = %q, want Indeterminate", got)
+	}
+}
+
+// TestRecoveryIndeterminateAtHorizonEdge is the regression for the
+// misleading-Recovered bug: the window clears one step before the run
+// ends, the single post-clear sample happens to sit at the baseline, and
+// the old code called that a full recovery.
+func TestRecoveryIndeterminateAtHorizonEdge(t *testing.T) {
+	sched := Schedule{Events: []Event{{Kind: LinkDown, From: 10, To: 49}}}
+	r := NewRecoveryObserver(sched)
+	var traj []int64
+	traj = append(traj, rampSeries(0, 10, 5, 0)...)    // baseline 5
+	traj = append(traj, rampSeries(10, 49, 10, 10)...) // fault: grows
+	traj = append(traj, 5)                             // one low sample at t=49
+	feed(r, traj)
+	rec := r.Report()
+	if rec.Verdict != Indeterminate {
+		t.Fatalf("verdict = %v (%+v), want Indeterminate (1 post sample is not a drain)", rec.Verdict, rec)
+	}
+}
+
+func TestRecoveryUnknownOnEmptyOrUnobserved(t *testing.T) {
 	empty := NewRecoveryObserver(Schedule{})
 	feed(empty, rampSeries(0, 50, 5, 0))
 	if rec := empty.Report(); rec.Verdict != RecoveryUnknown {
 		t.Fatalf("empty schedule verdict = %v, want Unknown", rec.Verdict)
+	}
+	unfed := NewRecoveryObserver(Schedule{Events: []Event{{Kind: LinkDown, From: 1, To: 2}}})
+	if rec := unfed.Report(); rec.Verdict != RecoveryUnknown {
+		t.Fatalf("no-steps verdict = %v, want Unknown", rec.Verdict)
+	}
+}
+
+// TestRecoveryIndeterminateRecord: the -2 gauge encoding of Indeterminate.
+func TestRecoveryIndeterminateRecord(t *testing.T) {
+	sched := Schedule{Events: []Event{{Kind: LinkDown, From: 10, To: 1000}}}
+	r := NewRecoveryObserver(sched)
+	feed(r, rampSeries(0, 50, 5, 1))
+	reg := metrics.NewRegistry()
+	r.Record(reg)
+	if got := reg.Gauge(MetricFaultRecovered, "").Value(); got != -2 {
+		t.Fatalf("%s = %d, want -2 (indeterminate)", MetricFaultRecovered, got)
 	}
 }
 

@@ -110,12 +110,19 @@ type entry struct {
 }
 
 // Registry holds named metrics and renders them as Prometheus text
-// exposition. Registration takes a lock; updates to the returned
-// instruments are lock-free. The zero value is not usable — construct
-// with NewRegistry.
+// exposition. Updates to the returned instruments are lock-free;
+// registration of a *new* name takes the write lock once, and repeated
+// lookups of an existing name only share the read lock — so a Prometheus
+// scrape racing an active run never serializes against the run's metric
+// lookups (TestScrapeDuringRunRace and BenchmarkScrapeUnderLoad guard
+// this). The zero value is not usable — construct with NewRegistry.
 type Registry struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	entries map[string]*entry
+	// sorted is the name-ordered exposition snapshot, rebuilt lazily
+	// after a registration invalidates it; scrapes reuse it instead of
+	// re-sorting the whole registry on every pass.
+	sorted []*entry
 }
 
 // NewRegistry returns an empty registry.
@@ -136,42 +143,69 @@ func validName(name string) bool {
 	return true
 }
 
-func (r *Registry) lookup(name, help string, k kind) *entry {
+// lookup finds or creates the entry for name. init populates the new
+// entry's instrument and runs under the write lock exactly once per
+// name, so concurrent first registrations of one metric agree on a
+// single instrument.
+func (r *Registry) lookup(name, help string, k kind, init func(*entry)) *entry {
 	if !validName(name) {
 		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
 	}
+	// Fast path: the name already exists. Instrument lookups on a warm
+	// registry (the run hot path) only ever take this read lock, so they
+	// proceed in parallel with each other and with scrapes.
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		r.mu.Lock()
+		if e, ok = r.entries[name]; !ok { // won the registration race
+			e = &entry{name: name, help: help, kind: k}
+			init(e)
+			r.entries[name] = e
+			r.sorted = nil // invalidate the exposition snapshot
+		}
+		r.mu.Unlock()
+	}
+	if e.kind != k {
+		panic(fmt.Sprintf("metrics: %s already registered as %s, not %s", name, e.kind, k))
+	}
+	return e
+}
+
+// snapshot returns the name-sorted entry list, rebuilding the cache if a
+// registration invalidated it.
+func (r *Registry) snapshot() []*entry {
+	r.mu.RLock()
+	s := r.sorted
+	r.mu.RUnlock()
+	if s != nil {
+		return s
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if e, ok := r.entries[name]; ok {
-		if e.kind != k {
-			panic(fmt.Sprintf("metrics: %s already registered as %s, not %s", name, e.kind, k))
+	if r.sorted == nil {
+		s = make([]*entry, 0, len(r.entries))
+		for _, e := range r.entries {
+			s = append(s, e)
 		}
-		return e
+		sort.Slice(s, func(i, j int) bool { return s[i].name < s[j].name })
+		r.sorted = s
 	}
-	e := &entry{name: name, help: help, kind: k}
-	r.entries[name] = e
-	return e
+	return r.sorted
 }
 
 // Counter returns the counter registered under name, creating it on
 // first use. Re-registering an existing name with a different kind
 // panics.
 func (r *Registry) Counter(name, help string) *Counter {
-	e := r.lookup(name, help, kindCounter)
-	if e.c == nil {
-		e.c = &Counter{}
-	}
-	return e.c
+	return r.lookup(name, help, kindCounter, func(e *entry) { e.c = &Counter{} }).c
 }
 
 // Gauge returns the gauge registered under name, creating it on first
 // use.
 func (r *Registry) Gauge(name, help string) *Gauge {
-	e := r.lookup(name, help, kindGauge)
-	if e.g == nil {
-		e.g = &Gauge{}
-	}
-	return e.g
+	return r.lookup(name, help, kindGauge, func(e *entry) { e.g = &Gauge{} }).g
 }
 
 // Histogram returns the histogram registered under name, creating it on
@@ -183,21 +217,18 @@ func (r *Registry) Histogram(name, help string, bounds []int64) *Histogram {
 			panic(fmt.Sprintf("metrics: histogram %s bounds not ascending: %v", name, bounds))
 		}
 	}
-	e := r.lookup(name, help, kindHistogram)
-	if e.h == nil {
+	return r.lookup(name, help, kindHistogram, func(e *entry) {
 		e.h = &Histogram{bounds: append([]int64(nil), bounds...),
 			counts: make([]atomic.Int64, len(bounds)+1)}
-	}
-	return e.h
+	}).h
 }
 
 // Reset zeroes every registered metric (counts, gauge values, histogram
 // buckets) while keeping the registrations. Sweep drivers use it to
-// reuse one registry across cells.
+// reuse one registry across cells. Value stores are atomic, so Reset
+// only needs the read lock to walk the entry set.
 func (r *Registry) Reset() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for _, e := range r.entries {
+	for _, e := range r.snapshot() {
 		switch {
 		case e.c != nil:
 			e.c.v.Store(0)
@@ -215,22 +246,12 @@ func (r *Registry) Reset() {
 
 // WriteProm renders every registered metric in the Prometheus text
 // exposition format (version 0.0.4), sorted by metric name so the
-// output of a deterministic run is byte-stable.
+// output of a deterministic run is byte-stable. A scrape holds no lock
+// while rendering: it walks the cached sorted snapshot and loads each
+// value atomically, so concurrent runs keep updating unimpeded.
 func (r *Registry) WriteProm(w io.Writer) error {
-	r.mu.Lock()
-	names := make([]string, 0, len(r.entries))
-	for n := range r.entries {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	entries := make([]*entry, len(names))
-	for i, n := range names {
-		entries[i] = r.entries[n]
-	}
-	r.mu.Unlock()
-
 	bw := bufio.NewWriter(w)
-	for _, e := range entries {
+	for _, e := range r.snapshot() {
 		if e.help != "" {
 			fmt.Fprintf(bw, "# HELP %s %s\n", e.name, e.help)
 		}

@@ -1,9 +1,12 @@
 package metrics
 
 import (
+	"bytes"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -277,5 +280,73 @@ func TestRegistryReset(t *testing.T) {
 	c.Inc()
 	if c.Value() != 1 {
 		t.Fatal("counter dead after Reset")
+	}
+}
+
+// TestScrapeDuringRunRace is the satellite-2 contention audit: Prometheus
+// scrapes (WriteProm), hot-path instrument updates, fresh registrations
+// and Resets all race against each other. Run under -race (the CI race
+// list includes this package); correctness here is "no data race and no
+// torn exposition", not specific values.
+func TestScrapeDuringRunRace(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("run_steps_total", "")
+	g := reg.Gauge("run_backlog", "")
+	h := reg.Histogram("run_delta", "", []int64{1, 10, 100})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() { // the "active run": hammer pre-registered instruments
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(int64(i % 200))
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() { // late registrations invalidate the scrape snapshot
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			reg.Counter(fmt.Sprintf("late_%d_total", i%32), "").Inc()
+			if i%64 == 0 {
+				reg.Reset()
+			}
+		}
+	}()
+	deadline := time.Now().Add(100 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		var buf bytes.Buffer
+		if err := reg.WriteProm(&buf); err != nil {
+			t.Fatalf("scrape failed mid-run: %v", err)
+		}
+		if !strings.Contains(buf.String(), "# TYPE run_steps_total counter") {
+			t.Fatal("scrape lost a registered metric")
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// A final quiet scrape must still be well-formed and sorted.
+	var a, b bytes.Buffer
+	if err := reg.WriteProm(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("back-to-back quiet scrapes differ")
 	}
 }

@@ -1,0 +1,390 @@
+// Package client is the Go client for the lggd daemon: a thin HTTP/JSON
+// wrapper hardened the way the server expects its callers to behave.
+// Every request retries transient failures with exponential backoff and
+// full jitter, honours the server's Retry-After backpressure hint (the
+// 429 shed and the 503 drain refusal), auto-generates idempotency keys
+// so retried submissions never duplicate a job, and trips a
+// consecutive-failure circuit breaker so a dead daemon fails fast
+// instead of stacking timed-out connections.
+package client
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	mrand "math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/sweep"
+)
+
+// ErrCircuitOpen is returned without touching the network while the
+// breaker cools down after too many consecutive failures.
+var ErrCircuitOpen = errors.New("client: circuit open, daemon failing")
+
+// StatusError is a non-retryable HTTP error response (4xx other than
+// 429).
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("lggd: %d: %s", e.Code, e.Msg)
+}
+
+// Config tunes a Client; only BaseURL is required.
+type Config struct {
+	// BaseURL is the daemon address, e.g. "http://127.0.0.1:8321".
+	BaseURL string
+	// HTTP is the transport (default http.DefaultClient).
+	HTTP *http.Client
+	// MaxAttempts bounds tries per request, first included (default 5).
+	MaxAttempts int
+	// BaseBackoff / MaxBackoff shape the exponential backoff: attempt n
+	// sleeps rand[0, min(MaxBackoff, BaseBackoff·2ⁿ)) — full jitter —
+	// unless the server sent Retry-After, which is honoured exactly
+	// (capped at MaxRetryAfter). Defaults 100ms / 5s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// MaxRetryAfter caps how long a Retry-After hint is obeyed
+	// (default 30s).
+	MaxRetryAfter time.Duration
+	// BreakerThreshold consecutive failures (network errors or 5xx
+	// without Retry-After) open the circuit for BreakerCooldown, after
+	// which one trial request half-opens it. Defaults 5 / 10s.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// Test hooks: virtual time and deterministic jitter. Production
+	// leaves them nil.
+	Now   func() time.Time
+	Sleep func(context.Context, time.Duration) error
+	Rand  func() float64
+}
+
+// Client talks to one lggd daemon. Safe for concurrent use.
+type Client struct {
+	cfg Config
+
+	mu        sync.Mutex
+	failures  int       // consecutive failures
+	openUntil time.Time // breaker closed when zero / in the past
+}
+
+// New builds a client with defaults filled in.
+func New(cfg Config) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, errors.New("client: BaseURL is required")
+	}
+	cfg.BaseURL = strings.TrimRight(cfg.BaseURL, "/")
+	if !strings.Contains(cfg.BaseURL, "://") {
+		cfg.BaseURL = "http://" + cfg.BaseURL
+	}
+	if cfg.HTTP == nil {
+		cfg.HTTP = http.DefaultClient
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 5
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	if cfg.MaxRetryAfter <= 0 {
+		cfg.MaxRetryAfter = 30 * time.Second
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 5
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 10 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		}
+	}
+	if cfg.Rand == nil {
+		cfg.Rand = mrand.Float64
+	}
+	return &Client{cfg: cfg}, nil
+}
+
+// breakerAllow reports whether a request may proceed. A cooled-down open
+// breaker lets exactly one trial through (half-open) by moving openUntil
+// forward; its outcome closes or re-opens the circuit.
+func (c *Client) breakerAllow() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.openUntil.IsZero() || c.cfg.Now().After(c.openUntil) {
+		if !c.openUntil.IsZero() {
+			// Half-open: block other callers until this trial resolves.
+			c.openUntil = c.cfg.Now().Add(c.cfg.BreakerCooldown)
+		}
+		return true
+	}
+	return false
+}
+
+func (c *Client) breakerRecord(failed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !failed {
+		c.failures = 0
+		c.openUntil = time.Time{}
+		return
+	}
+	c.failures++
+	if c.failures >= c.cfg.BreakerThreshold {
+		c.openUntil = c.cfg.Now().Add(c.cfg.BreakerCooldown)
+	}
+}
+
+// backoff returns the pre-retry sleep for attempt (0-based) given the
+// server's Retry-After hint in seconds (-1 = none).
+func (c *Client) backoff(attempt, retryAfter int) time.Duration {
+	if retryAfter >= 0 {
+		d := time.Duration(retryAfter) * time.Second
+		if d > c.cfg.MaxRetryAfter {
+			d = c.cfg.MaxRetryAfter
+		}
+		return d
+	}
+	ceil := float64(c.cfg.BaseBackoff) * math.Pow(2, float64(attempt))
+	if m := float64(c.cfg.MaxBackoff); ceil > m {
+		ceil = m
+	}
+	return time.Duration(c.cfg.Rand() * ceil)
+}
+
+// do runs one request with retries. The body factory rebuilds the body
+// per attempt. On success the response body bytes are returned.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, hdr http.Header) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			retryAfter := -1
+			var bp *backpressureError
+			if errors.As(lastErr, &bp) {
+				retryAfter = bp.retryAfter
+			}
+			if err := c.cfg.Sleep(ctx, c.backoff(attempt-1, retryAfter)); err != nil {
+				return nil, err
+			}
+		}
+		if !c.breakerAllow() {
+			return nil, ErrCircuitOpen
+		}
+		raw, err := c.attempt(ctx, method, path, body, hdr)
+		if err == nil {
+			c.breakerRecord(false)
+			return raw, nil
+		}
+		var se *StatusError
+		var bp *backpressureError
+		switch {
+		case errors.As(err, &se):
+			// Definitive 4xx: the server is healthy and said no.
+			c.breakerRecord(false)
+			return nil, err
+		case errors.As(err, &bp):
+			// Backpressure (429/503 + Retry-After): the server is alive
+			// and shedding by design — retry later, don't count it
+			// against the breaker.
+			c.breakerRecord(false)
+		default:
+			c.breakerRecord(true)
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("client: %s %s failed after %d attempts: %w",
+		method, path, c.cfg.MaxAttempts, lastErr)
+}
+
+// backpressureError is a retryable shed/drain refusal.
+type backpressureError struct {
+	code       int
+	retryAfter int
+}
+
+func (e *backpressureError) Error() string {
+	return fmt.Sprintf("lggd: %d (retry after %ds)", e.code, e.retryAfter)
+}
+
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, hdr http.Header) ([]byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.cfg.BaseURL+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.cfg.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case resp.StatusCode < 300:
+		return raw, nil
+	case resp.StatusCode == http.StatusTooManyRequests ||
+		(resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") != ""):
+		ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+		if err != nil {
+			ra = -1
+		}
+		return nil, &backpressureError{code: resp.StatusCode, retryAfter: ra}
+	case resp.StatusCode >= 500:
+		return nil, fmt.Errorf("lggd: %d: %s", resp.StatusCode, errBody(raw))
+	default:
+		return nil, &StatusError{Code: resp.StatusCode, Msg: errBody(raw)}
+	}
+}
+
+func errBody(raw []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(raw))
+}
+
+// Submit admits a job. A missing idempotency key is generated, so the
+// at-least-once retry loop can never double-submit.
+func (c *Client) Submit(ctx context.Context, spec server.JobSpec) (server.JobState, error) {
+	if spec.IdempotencyKey == "" {
+		spec.IdempotencyKey = newKey()
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return server.JobState{}, err
+	}
+	hdr := http.Header{"Idempotency-Key": {spec.IdempotencyKey}}
+	raw, err := c.do(ctx, "POST", "/v1/jobs", body, hdr)
+	if err != nil {
+		return server.JobState{}, err
+	}
+	var st server.JobState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return server.JobState{}, fmt.Errorf("client: decode job state: %w", err)
+	}
+	return st, nil
+}
+
+func newKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Never expected; a weak key only weakens dedup, not correctness.
+		return fmt.Sprintf("k-%d", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Job fetches a job's state.
+func (c *Client) Job(ctx context.Context, id string) (server.JobState, error) {
+	raw, err := c.do(ctx, "GET", "/v1/jobs/"+id, nil, nil)
+	if err != nil {
+		return server.JobState{}, err
+	}
+	var st server.JobState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return server.JobState{}, fmt.Errorf("client: decode job state: %w", err)
+	}
+	return st, nil
+}
+
+// Cancel requests cancellation and returns the resulting state.
+func (c *Client) Cancel(ctx context.Context, id string) (server.JobState, error) {
+	raw, err := c.do(ctx, "DELETE", "/v1/jobs/"+id, nil, nil)
+	if err != nil {
+		return server.JobState{}, err
+	}
+	var st server.JobState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return server.JobState{}, fmt.Errorf("client: decode job state: %w", err)
+	}
+	return st, nil
+}
+
+// Wait polls until the job is terminal (the poll cadence rides the same
+// injectable Sleep as the retry loop).
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (server.JobState, error) {
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.Status.Terminal() {
+			return st, nil
+		}
+		if err := c.cfg.Sleep(ctx, poll); err != nil {
+			return st, err
+		}
+	}
+}
+
+// Results fetches a terminal job's results as decoded sweep results.
+// (Calling it on a live job streams until the job finishes.)
+func (c *Client) Results(ctx context.Context, id string) ([]sweep.Result, error) {
+	raw, err := c.do(ctx, "GET", "/v1/jobs/"+id+"/results", nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	var rs []sweep.Result
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	for {
+		var r sweep.Result
+		if err := dec.Decode(&r); err != nil {
+			if errors.Is(err, io.EOF) {
+				return rs, nil
+			}
+			return nil, fmt.Errorf("client: decode results: %w", err)
+		}
+		rs = append(rs, r)
+	}
+}

@@ -1,0 +1,290 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// virtualClock drives the client's Now/Sleep/Rand hooks so backoff tests
+// assert exact durations without real sleeping.
+type virtualClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	sleeps []time.Duration
+}
+
+func newClock() *virtualClock {
+	return &virtualClock{now: time.Unix(1_000_000, 0)}
+}
+
+func (c *virtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *virtualClock) Sleep(ctx context.Context, d time.Duration) error {
+	c.mu.Lock()
+	c.sleeps = append(c.sleeps, d)
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+	return ctx.Err()
+}
+
+func (c *virtualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func (c *virtualClock) Sleeps() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.sleeps...)
+}
+
+func newTestClient(t *testing.T, url string, clk *virtualClock, mut func(*Config)) *Client {
+	t.Helper()
+	cfg := Config{
+		BaseURL: url,
+		Now:     clk.Now,
+		Sleep:   clk.Sleep,
+		Rand:    func() float64 { return 1 }, // deterministic: full ceiling
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRetriesTransientFailuresWithBackoff(t *testing.T) {
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls < 3 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{"id":"job-00000000","status":"queued"}`))
+	}))
+	defer ts.Close()
+	clk := newClock()
+	c := newTestClient(t, ts.URL, clk, nil)
+
+	st, err := c.Job(context.Background(), "job-00000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "job-00000000" || calls != 3 {
+		t.Fatalf("state %+v after %d calls", st, calls)
+	}
+	// With Rand=1 the full-jitter draw hits the ceiling: 100ms then 200ms.
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond}
+	got := clk.Sleeps()
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("backoff sleeps %v, want %v", got, want)
+	}
+}
+
+func TestHonoursRetryAfterOnShed(t *testing.T) {
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls == 1 {
+			w.Header().Set("Retry-After", "7")
+			http.Error(w, `{"error":"shed"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"id":"job-00000001","status":"queued"}`))
+	}))
+	defer ts.Close()
+	clk := newClock()
+	c := newTestClient(t, ts.URL, clk, nil)
+
+	st, err := c.Submit(context.Background(), server.JobSpec{Grid: "unit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "job-00000001" {
+		t.Fatalf("state %+v", st)
+	}
+	got := clk.Sleeps()
+	if len(got) != 1 || got[0] != 7*time.Second {
+		t.Fatalf("sleeps %v, want exactly the server's 7s Retry-After", got)
+	}
+}
+
+func TestSubmitRetriesCarryOneIdempotencyKey(t *testing.T) {
+	var keys []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		keys = append(keys, r.Header.Get("Idempotency-Key"))
+		if len(keys) == 1 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{"id":"job-00000002","status":"queued"}`))
+	}))
+	defer ts.Close()
+	c := newTestClient(t, ts.URL, newClock(), nil)
+
+	if _, err := c.Submit(context.Background(), server.JobSpec{Grid: "unit"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] == "" || keys[0] != keys[1] {
+		t.Fatalf("idempotency keys across retries: %q", keys)
+	}
+}
+
+func TestDefinitive4xxDoesNotRetry(t *testing.T) {
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		http.Error(w, `{"error":"no such job"}`, http.StatusNotFound)
+	}))
+	defer ts.Close()
+	c := newTestClient(t, ts.URL, newClock(), nil)
+
+	_, err := c.Job(context.Background(), "job-x")
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusNotFound {
+		t.Fatalf("err %v, want StatusError 404", err)
+	}
+	if calls != 1 {
+		t.Fatalf("404 retried %d times", calls)
+	}
+}
+
+func TestCircuitBreakerOpensAndRecovers(t *testing.T) {
+	healthy := false
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if !healthy {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{"id":"job-00000003","status":"done"}`))
+	}))
+	defer ts.Close()
+	clk := newClock()
+	c := newTestClient(t, ts.URL, clk, func(cfg *Config) {
+		cfg.MaxAttempts = 3
+		cfg.BreakerThreshold = 3
+		cfg.BreakerCooldown = 10 * time.Second
+	})
+
+	// Three failed attempts trip the breaker mid-request.
+	if _, err := c.Job(context.Background(), "job-00000003"); err == nil {
+		t.Fatal("want error from failing daemon")
+	}
+	if calls != 3 {
+		t.Fatalf("first request used %d attempts, want 3", calls)
+	}
+	// While open: fail fast, no network traffic.
+	if _, err := c.Job(context.Background(), "job-00000003"); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err %v, want ErrCircuitOpen", err)
+	}
+	if calls != 3 {
+		t.Fatalf("open breaker still hit the network (%d calls)", calls)
+	}
+	// After the cooldown the half-open trial goes through and, with the
+	// daemon healthy again, closes the circuit.
+	healthy = true
+	clk.Advance(11 * time.Second)
+	st, err := c.Job(context.Background(), "job-00000003")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != server.StatusDone || calls != 4 {
+		t.Fatalf("post-recovery: %+v after %d calls", st, calls)
+	}
+	// And stays closed for the next call.
+	if _, err := c.Job(context.Background(), "job-00000003"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackpressureDoesNotTripBreaker(t *testing.T) {
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, `{"error":"shed"}`, http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	clk := newClock()
+	c := newTestClient(t, ts.URL, clk, func(cfg *Config) {
+		cfg.MaxAttempts = 4
+		cfg.BreakerThreshold = 2
+	})
+
+	_, err := c.Job(context.Background(), "job-x")
+	if err == nil || errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err %v: shedding must exhaust retries, not open the circuit", err)
+	}
+	if calls != 4 {
+		t.Fatalf("shed request stopped after %d attempts, want all 4", calls)
+	}
+}
+
+func TestEndToEndAgainstRealServer(t *testing.T) {
+	// The client against the real daemon handler: submit, wait, results.
+	srv, err := server.New(server.Config{
+		StateDir: t.TempDir(), Jobs: 1, SweepWorkers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		srv.Drain(ctx)
+	}()
+
+	c, err := New(Config{BaseURL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st, err := c.Submit(ctx, server.JobSpec{Grid: "faults", Quick: true, Seeds: 2, Horizon: 150, Faults: "down@40-80:e=1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := c.Wait(ctx, st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.Status != server.StatusDone || fin.Done != fin.Total || fin.Total == 0 {
+		t.Fatalf("final state %+v", fin)
+	}
+	rs, err := c.Results(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != fin.Total {
+		t.Fatalf("results %d, want %d", len(rs), fin.Total)
+	}
+	verdicts := 0
+	for _, r := range rs {
+		if r.Recovery != "" {
+			verdicts++
+		}
+	}
+	if verdicts != len(rs) {
+		t.Fatalf("only %d/%d results carry a recovery verdict", verdicts, len(rs))
+	}
+}

@@ -1,0 +1,250 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /v1/jobs              submit a job (JobSpec body); 202 on
+//	                             admission, 200 when an Idempotency-Key
+//	                             matches an existing job, 429 + Retry-After
+//	                             when the queue sheds, 503 + Retry-After
+//	                             while draining
+//	GET    /v1/jobs              list all jobs
+//	GET    /v1/jobs/{id}         one job's state
+//	DELETE /v1/jobs/{id}         cancel (queued: immediate; running:
+//	                             mid-sweep; terminal: no-op)
+//	GET    /v1/jobs/{id}/results stream the job's results as JSONL,
+//	                             following live output until the job is
+//	                             terminal
+//	GET    /healthz              process liveness (always 200)
+//	GET    /readyz               admission readiness (503 while draining)
+//	GET    /metrics              Prometheus text metrics
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		s.cHTTP.Inc()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		s.cHTTP.Inc()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.Draining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		s.cHTTP.Inc()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := s.reg.WriteProm(w); err != nil {
+			s.cfg.Logf("lggd: metrics write: %v", err)
+		}
+	})
+	return mux
+}
+
+// apiError is the JSON error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	s.cHTTP.Inc()
+	var spec JobSpec
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if len(bytes.TrimSpace(body)) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			writeError(w, http.StatusBadRequest, "decode spec: %v", err)
+			return
+		}
+	}
+	st, created, err := s.Admit(spec, r.Header.Get("Idempotency-Key"))
+	if err != nil {
+		var u *Unavailable
+		if errors.As(err, &u) {
+			w.Header().Set("Retry-After", strconv.Itoa(u.RetryAfter))
+			code := http.StatusTooManyRequests
+			if u.Draining {
+				code = http.StatusServiceUnavailable
+			}
+			writeError(w, code, "%s", u.Error())
+			return
+		}
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	code := http.StatusAccepted
+	if !created {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.cHTTP.Inc()
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.cHTTP.Inc()
+	st, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	s.cHTTP.Inc()
+	st, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleResults streams a job's sweep journal as JSONL (the header line
+// is stripped; each line is one sweep.Result). For a live job the stream
+// follows the journal — results appear as runs finish — and ends when
+// the job reaches a terminal state. The stream also ends, possibly
+// mid-job, if the client disconnects or the daemon drains.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	s.cHTTP.Inc()
+	id := r.PathValue("id")
+	s.mu.Lock()
+	jb, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+
+	f, err := s.waitForJournal(r, jb, s.store.journalPath(id))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if f == nil {
+		// Terminal with no journal (e.g. cancelled while queued, or failed
+		// before the first run): an empty, complete stream.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		return
+	}
+	defer f.Close()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	var pending []byte // bytes read but not yet newline-terminated
+	headerSkipped := false
+	chunk := make([]byte, 32*1024)
+	for {
+		wasTerminal := jb.terminal()
+		n, rerr := f.Read(chunk)
+		if n > 0 {
+			pending = append(pending, chunk[:n]...)
+			wrote := false
+			for {
+				i := bytes.IndexByte(pending, '\n')
+				if i < 0 {
+					break
+				}
+				line := pending[:i+1]
+				pending = pending[i+1:]
+				if !headerSkipped {
+					headerSkipped = true
+					continue
+				}
+				if _, err := w.Write(line); err != nil {
+					return
+				}
+				wrote = true
+			}
+			if wrote && flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if rerr != nil && !errors.Is(rerr, io.EOF) {
+			return
+		}
+		if rerr != nil || n == 0 {
+			// Caught up with the journal. A snapshot taken before the read
+			// says whether more could still arrive.
+			if wasTerminal {
+				return
+			}
+			select {
+			case <-jb.doneCh:
+				// Loop once more to drain anything the final flush wrote.
+			case <-s.stopc:
+				return
+			case <-r.Context().Done():
+				return
+			case <-time.After(50 * time.Millisecond):
+			}
+		}
+	}
+}
+
+// waitForJournal opens the job's journal, waiting for a queued job to
+// start writing it. Returns (nil, nil) if the job went terminal without
+// ever producing a journal.
+func (s *Server) waitForJournal(r *http.Request, jb *job, path string) (*os.File, error) {
+	for {
+		f, err := os.Open(path)
+		if err == nil {
+			return f, nil
+		}
+		if !os.IsNotExist(err) {
+			return nil, err
+		}
+		if jb.terminal() {
+			return nil, nil
+		}
+		select {
+		case <-jb.doneCh:
+		case <-s.stopc:
+			return nil, errors.New("server draining before the job produced results")
+		case <-r.Context().Done():
+			return nil, r.Context().Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}

@@ -28,12 +28,24 @@ type journalHeader struct {
 	Jobs    int    `json:"jobs"`
 }
 
-// Journal appends sweep results to a checkpoint file. Wire it into
+// Journal appends sweep results to a checkpoint stream. Wire it into
 // Runner.Journal; the runner appends in index order, the owner Closes it
 // after the sweep.
 type Journal struct {
-	f   *os.File
+	f   *os.File // nil for NewJournal streams (no Sync on Close)
 	enc *json.Encoder
+}
+
+// NewJournal writes a journal to an arbitrary stream (a pipe, a network
+// connection, a failing-disk test double) and emits the header line.
+// Stream journals cannot be resumed with OpenJournalResume — that needs
+// a seekable file — but they carry the identical bytes.
+func NewJournal(w io.Writer, jobs int) (*Journal, error) {
+	j := &Journal{enc: json.NewEncoder(w)}
+	if err := j.enc.Encode(journalHeader{Journal: journalVersion, Jobs: jobs}); err != nil {
+		return nil, fmt.Errorf("sweep: journal header: %w", err)
+	}
+	return j, nil
 }
 
 // CreateJournal creates (or truncates) a journal for a sweep of jobs runs
@@ -43,23 +55,29 @@ func CreateJournal(path string, jobs int) (*Journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sweep: journal: %w", err)
 	}
-	j := &Journal{f: f, enc: json.NewEncoder(f)}
-	if err := j.enc.Encode(journalHeader{Journal: journalVersion, Jobs: jobs}); err != nil {
+	j, err := NewJournal(f, jobs)
+	if err != nil {
 		f.Close()
-		return nil, fmt.Errorf("sweep: journal header: %w", err)
+		return nil, err
 	}
+	j.f = f
 	return j, nil
 }
 
 // Append writes one result line. Each call issues a single Write of a
 // full line, so a crash can tear at most the line being written — which
-// OpenJournalResume discards.
+// OpenJournalResume discards. A write error (disk full, revoked
+// permissions) is returned to the caller; the Runner surfaces it after
+// the sweep without discarding the computed results.
 func (j *Journal) Append(res Result) error {
 	return j.enc.Encode(&res)
 }
 
-// Close syncs and closes the underlying file.
+// Close syncs and closes the underlying file, if any.
 func (j *Journal) Close() error {
+	if j.f == nil {
+		return nil
+	}
 	if err := j.f.Sync(); err != nil {
 		j.f.Close()
 		return err
@@ -130,4 +148,43 @@ func OpenJournalResume(path string, jobs int) (*Journal, []Result, error) {
 		return nil, nil, fmt.Errorf("sweep: journal seek: %w", err)
 	}
 	return &Journal{f: f, enc: json.NewEncoder(f)}, resume, nil
+}
+
+// ReadJournalResults returns the valid result prefix recorded in a
+// journal file without opening it for writing: the read-only half of
+// OpenJournalResume (same header validation and torn-tail tolerance, no
+// truncation). Unlike resume, Failed lines are kept — a finished sweep
+// legitimately records its failed runs. jobs <= 0 skips the job-count
+// check. Daemons use it to serve the results of a completed job straight
+// from its journal.
+func ReadJournalResults(path string, jobs int) ([]Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: journal: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	head, err := br.ReadBytes('\n')
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %s has no journal header", path)
+	}
+	var hdr journalHeader
+	if json.Unmarshal(head, &hdr) != nil || hdr.Journal != journalVersion {
+		return nil, fmt.Errorf("sweep: %s is not a %s sweep journal", path, journalVersion)
+	}
+	if jobs > 0 && hdr.Jobs != jobs {
+		return nil, fmt.Errorf("sweep: journal %s records a sweep of %d jobs, expected %d", path, hdr.Jobs, jobs)
+	}
+	var rs []Result
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			return rs, nil // EOF or torn tail: everything before it stands
+		}
+		var res Result
+		if json.Unmarshal(line, &res) != nil {
+			return rs, nil
+		}
+		rs = append(rs, res)
+	}
 }

@@ -178,19 +178,20 @@ func WriteCellsCSV(w io.Writer, cells []CellStats) error {
 
 // Canonical sweep-level metric names for RecordMetrics.
 const (
-	MetricRuns           = "sweep_runs_total"
-	MetricRunsStable     = "sweep_runs_stable_total"
-	MetricRunsDiverging  = "sweep_runs_diverging_total"
-	MetricRunsUndecided  = "sweep_runs_inconclusive_total"
-	MetricSweepInjected  = "sweep_injected_packets_total"
-	MetricSweepSent      = "sweep_sent_packets_total"
-	MetricSweepLost      = "sweep_lost_packets_total"
-	MetricSweepExtracted = "sweep_extracted_packets_total"
-	MetricSweepPeakPot   = "sweep_peak_potential"
-	MetricSweepPeakBack  = "sweep_peak_backlog"
-	MetricRunsFailed     = "sweep_runs_failed_total"
-	MetricRunsRecovered  = "sweep_runs_recovered_total"
-	MetricRunsDegraded   = "sweep_runs_degraded_total"
+	MetricRuns              = "sweep_runs_total"
+	MetricRunsStable        = "sweep_runs_stable_total"
+	MetricRunsDiverging     = "sweep_runs_diverging_total"
+	MetricRunsUndecided     = "sweep_runs_inconclusive_total"
+	MetricSweepInjected     = "sweep_injected_packets_total"
+	MetricSweepSent         = "sweep_sent_packets_total"
+	MetricSweepLost         = "sweep_lost_packets_total"
+	MetricSweepExtracted    = "sweep_extracted_packets_total"
+	MetricSweepPeakPot      = "sweep_peak_potential"
+	MetricSweepPeakBack     = "sweep_peak_backlog"
+	MetricRunsFailed        = "sweep_runs_failed_total"
+	MetricRunsRecovered     = "sweep_runs_recovered_total"
+	MetricRunsDegraded      = "sweep_runs_degraded_total"
+	MetricRunsIndeterminate = "sweep_runs_indeterminate_total"
 )
 
 // RecordMetrics folds finished sweep results into the canonical
@@ -211,6 +212,7 @@ func RecordMetrics(reg *metrics.Registry, rs []Result) {
 	failed := reg.Counter(MetricRunsFailed, "Runs that panicked and were recorded as failed.")
 	recovered := reg.Counter(MetricRunsRecovered, "Runs that recovered after their fault schedule cleared.")
 	degraded := reg.Counter(MetricRunsDegraded, "Runs still degraded after their fault schedule cleared.")
+	indeterminate := reg.Counter(MetricRunsIndeterminate, "Runs whose fault window outlived the horizon (drain unobserved).")
 	for _, r := range rs {
 		runs.Inc()
 		switch r.Verdict {
@@ -229,6 +231,8 @@ func RecordMetrics(reg *metrics.Registry, rs []Result) {
 			recovered.Inc()
 		case "Degraded":
 			degraded.Inc()
+		case "Indeterminate":
+			indeterminate.Inc()
 		}
 		injected.Add(r.Injected)
 		sent.Add(r.Sent)

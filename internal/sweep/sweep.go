@@ -97,7 +97,8 @@ type Result struct {
 	// Recovery fields, populated when the run's engine carried a
 	// fault-recovery observer (anything exposing RecoveryReport, e.g.
 	// faults.RecoveryObserver): the post-fault verdict ("Recovered",
-	// "Degraded" or "Unknown"), steps from fault clear until the backlog
+	// "Degraded", "Indeterminate" — fault window outlived the horizon —
+	// or "Unknown"), steps from fault clear until the backlog
 	// returned to its pre-fault level (0 = never), and the peak state
 	// while faults were active.
 	Recovery           string `json:"recovery,omitempty"`
