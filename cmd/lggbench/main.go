@@ -8,10 +8,20 @@
 // place). The plan/* entries isolate the router hot path on a frozen
 // snapshot; the step/* entries measure the full synchronous step.
 //
+// With -shard it additionally benchmarks the partition-parallel step path
+// on 64k–1M node sparse topologies, writing BENCH_shard.json with the
+// measured speedup of each shard count over the serial engine. With
+// -gate FILE it compares the step results against a committed
+// BENCH_step.json and exits non-zero when ns/step regresses beyond the
+// tolerance or when any allocation-free path starts allocating — the CI
+// bench gate.
+//
 // Examples:
 //
 //	lggbench -out BENCH_step.json
 //	lggbench -benchtime 5000x -note "after CSR rewrite" -out -
+//	lggbench -shard -shardout BENCH_shard.json
+//	lggbench -quick -shard -gate BENCH_step.json -out /tmp/step.json
 package main
 
 import (
@@ -25,6 +35,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/shard"
 )
 
 // result is one benchmark row of BENCH_step.json.
@@ -100,6 +111,174 @@ func gridSpec16() *core.Spec { return gridSpec(16) }
 
 const warmSteps = 200
 
+// shardResult is one row of BENCH_shard.json. Shards == 1 rows are the
+// serial reference the speedup column is measured against.
+type shardResult struct {
+	Name        string  `json:"name"`
+	Nodes       int     `json:"nodes"`
+	Shards      int     `json:"shards"`
+	Workers     int     `json:"workers"`
+	Steps       int     `json:"steps"`
+	NsPerStep   float64 `json:"ns_per_step"`
+	AllocsPerOp int64   `json:"allocs_per_step"`
+	BytesPerOp  int64   `json:"bytes_per_step"`
+	Speedup     float64 `json:"speedup_vs_serial,omitempty"`
+}
+
+// shardReport is the whole BENCH_shard.json document.
+type shardReport struct {
+	Schema    string        `json:"schema"`
+	Generated string        `json:"generated"`
+	Go        string        `json:"go"`
+	GOARCH    string        `json:"goarch"`
+	CPUs      int           `json:"cpus"`
+	Note      string        `json:"note,omitempty"`
+	Results   []shardResult `json:"results"`
+}
+
+// shardCase is one sharded-step workload: a long sparse line with a
+// source/sink pair near one end, so in steady state traffic occupies a
+// handful of nodes and all but one shard stays clean. This is the regime
+// the sharded engine targets: LGG routing is local, so on localized
+// workloads the dirty-shard bookkeeping skips the O(n) snapshot/stats
+// sweeps that dominate the serial step at these sizes.
+type shardCase struct {
+	name   string
+	nodes  int
+	shards []int
+}
+
+func shardCases(quick bool) []shardCase {
+	if quick {
+		return []shardCase{{"line64k", 1 << 16, []int{8}}}
+	}
+	return []shardCase{
+		{"line64k", 1 << 16, []int{2, 8}},
+		{"line256k", 1 << 18, []int{2, 8}},
+		{"line1M", 1 << 20, []int{8, 64}},
+	}
+}
+
+// shardLineSpec mirrors sparseLineSpec at parametric size: source at node
+// 0 injecting 1/step, sink at node 8 draining 1/step.
+func shardLineSpec(n int) *core.Spec {
+	return core.NewSpec(graph.Line(n)).SetSource(0, 1).SetSink(8, 1)
+}
+
+// runShardStep measures the steady-state step over spec with the given
+// shard count (1 = serial engine, no sharding enabled). Workers is pinned
+// to 1: the speedups here come from clean-shard skipping, not goroutines,
+// and the inline path is the allocation-free one the gate checks.
+func runShardStep(name string, nodes, shards int) shardResult {
+	spec := shardLineSpec(nodes)
+	e := core.NewEngine(spec, core.NewLGG())
+	workers := 0
+	if shards > 1 {
+		workers = 1
+		p := shard.ByRange(spec.G, shards)
+		if err := e.EnableSharding(p, workers); err != nil {
+			fmt.Fprintf(os.Stderr, "lggbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	for i := 0; i < warmSteps; i++ {
+		e.Step()
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.Step()
+		}
+	})
+	return shardResult{
+		Name:        name,
+		Nodes:       nodes,
+		Shards:      shards,
+		Workers:     workers,
+		Steps:       r.N,
+		NsPerStep:   float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// runShardSuite benchmarks every shard case serially and at each shard
+// count, filling in the speedup column from the matching serial row.
+func runShardSuite(quick bool, note string) shardReport {
+	rep := shardReport{
+		Schema:    "lggbench/shard/v1",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Go:        runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Note:      note,
+	}
+	for _, c := range shardCases(quick) {
+		serial := runShardStep(c.name+"/serial", c.nodes, 1)
+		printShard(serial)
+		rep.Results = append(rep.Results, serial)
+		for _, k := range c.shards {
+			res := runShardStep(fmt.Sprintf("%s/shards%d", c.name, k), c.nodes, k)
+			if res.NsPerStep > 0 {
+				res.Speedup = serial.NsPerStep / res.NsPerStep
+			}
+			printShard(res)
+			rep.Results = append(rep.Results, res)
+		}
+	}
+	return rep
+}
+
+func printShard(r shardResult) {
+	fmt.Fprintf(os.Stderr, "%-18s %12.1f ns/step %6d B/step %4d allocs/step",
+		r.Name, r.NsPerStep, r.BytesPerOp, r.AllocsPerOp)
+	if r.Speedup > 0 {
+		fmt.Fprintf(os.Stderr, "   %5.2fx vs serial", r.Speedup)
+	}
+	fmt.Fprintln(os.Stderr)
+}
+
+// gate compares fresh step results against a committed baseline report
+// and checks the alloc budgets, returning the violations. A workload is
+// only compared when the baseline has a row of the same name, so adding
+// workloads does not break the gate.
+func gate(fresh []result, shardFresh []shardResult, baselinePath string, tolerance float64) []string {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return []string{fmt.Sprintf("cannot read baseline %s: %v", baselinePath, err)}
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return []string{fmt.Sprintf("cannot parse baseline %s: %v", baselinePath, err)}
+	}
+	byName := make(map[string]result, len(base.Results))
+	for _, r := range base.Results {
+		byName[r.Name] = r
+	}
+	var bad []string
+	for _, r := range fresh {
+		b, ok := byName[r.Name]
+		if !ok {
+			continue
+		}
+		if b.AllocsPerOp == 0 && r.AllocsPerOp > 0 {
+			bad = append(bad, fmt.Sprintf("%s: %d allocs/step (budget is 0)", r.Name, r.AllocsPerOp))
+		}
+		if limit := b.NsPerStep * (1 + tolerance); r.NsPerStep > limit {
+			bad = append(bad, fmt.Sprintf("%s: %.0f ns/step exceeds baseline %.0f +%.0f%% (%.0f)",
+				r.Name, r.NsPerStep, b.NsPerStep, tolerance*100, limit))
+		}
+	}
+	// The sharded step path shares the serial engine's zero-alloc budget:
+	// any allocation in steady state is a regression regardless of speed.
+	for _, r := range shardFresh {
+		if r.Shards > 1 && r.AllocsPerOp > 0 {
+			bad = append(bad, fmt.Sprintf("%s: sharded step allocates (%d allocs/step, budget is 0)", r.Name, r.AllocsPerOp))
+		}
+	}
+	return bad
+}
+
 func runPlan(w workload) result {
 	e := core.NewEngine(w.spec(), core.NewLGG())
 	for i := 0; i < warmSteps; i++ {
@@ -137,6 +316,13 @@ func runStep(w workload) result {
 	return toResult(w.name, r, sent, steps)
 }
 
+func runWorkload(w workload) result {
+	if w.planOnly {
+		return runPlan(w)
+	}
+	return runStep(w)
+}
+
 func toResult(name string, r testing.BenchmarkResult, sent, steps int) result {
 	ns := float64(r.T.Nanoseconds()) / float64(r.N)
 	res := result{
@@ -159,6 +345,11 @@ func main() {
 		benchtime = flag.String("benchtime", "", "passed to -test.benchtime (e.g. 2000x, 1s)")
 		note      = flag.String("note", "", "free-form note recorded in the report")
 		list      = flag.Bool("list", false, "list workloads and exit")
+		shardRun  = flag.Bool("shard", false, "also run the sharded-step suite and write -shardout")
+		shardOut  = flag.String("shardout", "BENCH_shard.json", "shard-suite output path (- = stdout)")
+		quick     = flag.Bool("quick", false, "CI mode: smallest shard case and a short benchtime")
+		gateFile  = flag.String("gate", "", "baseline BENCH_step.json to gate against (exit 1 on regression)")
+		gateTol   = flag.Float64("gate-tolerance", 0.30, "allowed ns/step regression fraction in -gate mode")
 	)
 	testing.Init() // registers -test.* flags so -benchtime can be forwarded
 	flag.Parse()
@@ -167,7 +358,13 @@ func main() {
 		for _, w := range workloads {
 			fmt.Println(w.name)
 		}
+		for _, c := range shardCases(*quick) {
+			fmt.Printf("shard/%s\n", c.name)
+		}
 		return
+	}
+	if *benchtime == "" && *quick {
+		*benchtime = "0.3s"
 	}
 	if *benchtime != "" {
 		// testing.Benchmark honours the package-level -test.benchtime flag.
@@ -184,29 +381,62 @@ func main() {
 		GOARCH:    runtime.GOARCH,
 		Note:      *note,
 	}
+	// In gate mode each workload is measured three times and the fastest
+	// run kept: min-of-N approximates the true cost floor on noisy shared
+	// runners, where a single short sample can swing far beyond the gate
+	// tolerance. Alloc counts are deterministic, so the max is kept — a
+	// single allocating run is a real regression, not noise.
+	runs := 1
+	if *gateFile != "" {
+		runs = 3
+	}
 	for _, w := range workloads {
-		var res result
-		if w.planOnly {
-			res = runPlan(w)
-		} else {
-			res = runStep(w)
+		res := runWorkload(w)
+		for i := 1; i < runs; i++ {
+			r2 := runWorkload(w)
+			if r2.NsPerStep < res.NsPerStep {
+				res.NsPerStep, res.Steps, res.SendsPerSec = r2.NsPerStep, r2.Steps, r2.SendsPerSec
+			}
+			if r2.AllocsPerOp > res.AllocsPerOp {
+				res.AllocsPerOp, res.BytesPerOp = r2.AllocsPerOp, r2.BytesPerOp
+			}
 		}
 		fmt.Fprintf(os.Stderr, "%-22s %12.1f ns/step %6d B/step %4d allocs/step %14.0f sends/sec\n",
 			res.Name, res.NsPerStep, res.BytesPerOp, res.AllocsPerOp, res.SendsPerSec)
 		rep.Results = append(rep.Results, res)
 	}
 
-	enc, err := json.MarshalIndent(rep, "", "  ")
+	writeJSON(*out, rep)
+
+	var shardRep shardReport
+	if *shardRun {
+		shardRep = runShardSuite(*quick, *note)
+		writeJSON(*shardOut, shardRep)
+	}
+
+	if *gateFile != "" {
+		if bad := gate(rep.Results, shardRep.Results, *gateFile, *gateTol); len(bad) > 0 {
+			for _, msg := range bad {
+				fmt.Fprintf(os.Stderr, "lggbench: GATE FAIL: %s\n", msg)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "lggbench: gate passed against %s (tolerance %.0f%%)\n", *gateFile, *gateTol*100)
+	}
+}
+
+func writeJSON(path string, doc any) {
+	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lggbench: %v\n", err)
 		os.Exit(1)
 	}
 	enc = append(enc, '\n')
-	if *out == "-" {
+	if path == "-" {
 		os.Stdout.Write(enc)
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "lggbench: %v\n", err)
 		os.Exit(1)
 	}

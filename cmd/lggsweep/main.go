@@ -28,7 +28,7 @@
 //	         [-seed 1] [-timeout 10m] [-out runs.jsonl] [-csv runs.csv] \
 //	         [-cells cells.jsonl] [-events events.jsonl] [-metrics metrics.prom] \
 //	         [-faults 'down@100-200:e=3'] [-journal ckpt.jsonl] [-resume] \
-//	         [-retries 2] [-quick]
+//	         [-retries 2] [-quick] [-shards 8] [-shard-workers 1]
 //	lggsweep -remote 127.0.0.1:8321 -grid stability [-seeds 8] [...]
 package main
 
@@ -68,6 +68,8 @@ func main() {
 		quick       = flag.Bool("quick", false, "reduced workloads (CI sizes)")
 		quiet       = flag.Bool("quiet", false, "suppress the progress reporter")
 		faultsArg   = flag.String("faults", "", "inject this fault schedule into every run (text, JSON, or @file)")
+		shards      = flag.Int("shards", 0, "run every engine's step loop over this many partition shards (0/1 = serial; output is byte-identical either way)")
+		shardWk     = flag.Int("shard-workers", 1, "intra-step worker goroutines per sharded engine (0 = GOMAXPROCS; 1 recommended — sweeps already parallelize across runs)")
 		journalPath = flag.String("journal", "", "checkpoint finished runs to this JSONL journal as the sweep progresses")
 		resume      = flag.Bool("resume", false, "resume from the -journal file instead of re-running its prefix")
 		retries     = flag.Int("retries", 0, "re-attempts for a run that panics before recording it as failed")
@@ -88,6 +90,10 @@ func main() {
 	if *remote != "" {
 		if *journalPath != "" || *resume || *eventsPath != "" {
 			fmt.Fprintln(os.Stderr, "lggsweep: -journal, -resume and -events are local-mode flags; with -remote the daemon owns durability")
+			os.Exit(2)
+		}
+		if *shards > 1 {
+			fmt.Fprintln(os.Stderr, "lggsweep: -shards is a local-mode flag; the daemon picks its own execution strategy (results are identical)")
 			os.Exit(2)
 		}
 		rs, err := runRemote(*remote, remoteSpec(*grid, *seed, *seeds, *horizon, *quick, *faultsArg, *timeout), *quiet)
@@ -111,6 +117,12 @@ func main() {
 	jobs := g.Jobs(cfg)
 	if *faultsArg != "" {
 		if err := experiments.ApplyFaults(jobs, *faultsArg); err != nil {
+			fmt.Fprintf(os.Stderr, "lggsweep: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *shards > 1 {
+		if err := experiments.ApplyShards(jobs, *shards, *shardWk); err != nil {
 			fmt.Fprintf(os.Stderr, "lggsweep: %v\n", err)
 			os.Exit(2)
 		}

@@ -39,6 +39,10 @@ func (a *Thinned) Injections(_ int64, spec *core.Spec, inj []int64) {
 	}
 }
 
+// SourcesOnly implements core.SourceOnlyArrivals: thinning only ever
+// injects where in(v) > 0.
+func (a *Thinned) SourcesOnly() bool { return true }
+
 // Uniform injects, at every source v, a uniform integer in [0, Hi(v)]
 // (mean Hi(v)/2) — the regime of Conjecture 3 when the mean is below the
 // minimum S-D-cut.
@@ -68,6 +72,9 @@ func (a *Uniform) Injections(_ int64, spec *core.Spec, inj []int64) {
 		inj[v] = a.R.IntRange(0, hi)
 	}
 }
+
+// SourcesOnly implements core.SourceOnlyArrivals.
+func (a *Uniform) SourcesOnly() bool { return true }
 
 // Bursty alternates overload and compensation deterministically: within
 // each period of Period steps, the first BurstLen steps inject
@@ -109,8 +116,12 @@ func (a *Bursty) Injections(t int64, spec *core.Spec, inj []int64) {
 	}
 }
 
+// SourcesOnly implements core.SourceOnlyArrivals.
+func (a *Bursty) SourcesOnly() bool { return true }
+
 // Replay injects a fixed schedule: Steps[t%len(Steps)][v] packets at node
 // v. It lets experiments encode adversarial arrival patterns exactly.
+// Replay rows may target any node, so it does not advertise SourcesOnly.
 type Replay struct {
 	Steps [][]int64
 }
@@ -172,6 +183,9 @@ func (a *OnOff) Injections(_ int64, spec *core.Spec, inj []int64) {
 	}
 }
 
+// SourcesOnly implements core.SourceOnlyArrivals.
+func (a *OnOff) SourcesOnly() bool { return true }
+
 // Scaled wraps another process and multiplies every injection by a
 // rational Num/Den (rounding down, with an error-carrying accumulator per
 // node so the long-run average is exact). It is how load sweeps dial the
@@ -208,4 +222,12 @@ func (a *Scaled) Injections(t int64, spec *core.Spec, inj []int64) {
 		inj[v] = a.acc[v] / a.Den
 		a.acc[v] -= inj[v] * a.Den
 	}
+}
+
+// SourcesOnly implements core.SourceOnlyArrivals by delegation: scaling
+// cannot move an injection to a new node, so the guarantee is exactly
+// the inner process's.
+func (a *Scaled) SourcesOnly() bool {
+	so, ok := a.Inner.(core.SourceOnlyArrivals)
+	return ok && so.SourcesOnly()
 }

@@ -205,6 +205,9 @@ type Engine struct {
 	// sinks lists the nodes with out(v) > 0 in ascending order, so the
 	// extraction phase does not scan non-destination nodes.
 	sinks []graph.NodeID
+	// sh, when non-nil, switches Step to the partition-parallel path
+	// (see sharded.go). Managed by EnableSharding/DisableSharding.
+	sh *sharding
 }
 
 // EnableTrace switches on per-step tracing and returns the trace buffer,
@@ -283,6 +286,9 @@ func (e *Engine) SetQueues(q []int64) {
 			e.active = append(e.active, graph.NodeID(v))
 		}
 	}
+	if e.sh != nil {
+		e.sh.reset(e)
+	}
 }
 
 // markActive records a 0→positive queue transition.
@@ -333,6 +339,9 @@ func (e *Engine) Snapshot() *Snapshot { return &e.lastSnap }
 
 // Step executes one synchronous time step and returns its statistics.
 func (e *Engine) Step() StepStats {
+	if e.sh != nil {
+		return e.stepSharded()
+	}
 	spec := e.Spec
 	g := spec.G
 	n := spec.N()

@@ -1,0 +1,733 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"slices"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/shard"
+)
+
+// This file implements the partition-parallel step path. The contract is
+// strict: a sharded engine produces *byte-identical* output to the serial
+// Step at any shard and worker count. The discipline that buys this:
+//
+//   - Parallel phases only ever touch per-shard state: each shard writes
+//     its own Q/snapQ/declared/activeMark spans and its own scratch, so
+//     phases are race-free by ownership, not by locking.
+//   - Everything order-sensitive stays serial, in the exact order the
+//     serial engine uses: the ArrivalProcess call, Declare calls
+//     (ascending node id), EdgeAlive calls (ascending edge id), the
+//     validation/collision scan, every LossModel draw (serial send
+//     order), and Extract calls (ascending sink id).
+//   - Per-shard plan batches are merged back into the serial engine's
+//     global send order — concatenation in shard order when the
+//     partition is ordered, a k-way merge by sending node otherwise —
+//     before any order-sensitive phase consumes them.
+//
+// Dirty-shard tracking is the other half of the design: a shard whose
+// queues did not change since its last snapshot refresh keeps valid
+// snapQ/declared mirrors and valid cached stats partials, so the per-step
+// O(n) sweeps of the serial engine shrink to O(changed region). On
+// localized workloads (traffic confined to a small part of a large
+// topology — the regime the paper's locality argument is about) this is
+// where the throughput comes from, independent of core count.
+//
+// stepSharded deliberately mirrors Step phase by phase instead of
+// sharing its body; the replay-identity tests in sharded_test.go hold
+// the two paths in lockstep.
+
+// ShardableRouter is a Router that can plan on behalf of a single shard.
+// Implementations must guarantee that, for a snapshot whose Active list
+// is restricted to one shard's nodes, the clone emits exactly the sends
+// the parent router would emit for those nodes — grouped per sending
+// node, nodes in ascending order — so that merging per-shard batches by
+// sending node reconstructs the serial plan. Localized protocols satisfy
+// this for free; centralized routers (max-flow, global gradient) do not
+// and should not implement the interface.
+type ShardableRouter interface {
+	Router
+	// ShardClone returns an independent Router instance for shard s of k
+	// (per-shard scratch, no shared mutable state). It returns nil when
+	// this configuration cannot be sharded deterministically — e.g. LGG
+	// with random tie-breaking, whose tie-key stream is consumed in
+	// global plan order and so cannot be split.
+	ShardClone(s, k int) Router
+}
+
+// ShardClone implements ShardableRouter. Each clone is a fresh LGG with
+// its own scratch; TieRandom is refused (nil) because its key stream is
+// drawn in global plan order.
+func (l *LGG) ShardClone(int, int) Router {
+	if l.Tie == TieRandom {
+		return nil
+	}
+	return &LGG{Tie: l.Tie, MinGradient: l.MinGradient}
+}
+
+// SourceOnlyArrivals marks arrival processes whose injections land only
+// on nodes with spec.In[v] > 0 (entries elsewhere stay zero). The sharded
+// injection scan then visits each shard's source nodes instead of its
+// whole node set — the difference between O(|S|) and O(n) per step on a
+// million-node topology with a handful of sources.
+type SourceOnlyArrivals interface {
+	ArrivalProcess
+	// SourcesOnly reports whether the guarantee holds for this instance
+	// (wrappers delegate to their inner process).
+	SourcesOnly() bool
+}
+
+// SourcesOnly implements SourceOnlyArrivals: classical sources inject
+// exactly at the spec's source nodes.
+func (ExactArrivals) SourcesOnly() bool { return true }
+
+// Phase codes dispatched to shard workers.
+const (
+	phasePrep  = iota // apply injections, refresh snapshot mirrors
+	phasePlan         // run the shard's router clone
+	phaseStats        // recompute dirty stats partials
+)
+
+// shardState is one shard's slice of the engine: its node set, its
+// router clone, its active-list bookkeeping, and the cached partials that
+// let clean shards skip work. Only its owning worker touches it during
+// parallel phases.
+type shardState struct {
+	id     int
+	nodes  []graph.NodeID // ascending, shared with the Partition
+	lo, hi graph.NodeID   // node-id span when contig
+	contig bool
+	// sources are the shard's nodes with In > 0, for SourceOnlyArrivals.
+	sources []graph.NodeID
+	router  Router
+	snap    Snapshot // per-shard planning view, rebuilt each step
+
+	// Per-shard mirror of the engine's active bookkeeping. active is
+	// always non-nil: a nil Active in the per-shard snapshot would make
+	// the router scan every node of the topology.
+	active      []graph.NodeID
+	activeSpare []graph.NodeID
+	newly       []graph.NodeID
+
+	injDirty []graph.NodeID // inj entries this shard made nonzero
+	sends    []Send         // this step's plan batch
+
+	// snapDirty: queues changed since the last snapQ/declared refresh.
+	// statDirty: queues changed since the stats partials were computed.
+	// Two flags because they are consumed in different phases of the
+	// step (snapshot at phase prep, stats at phase stats).
+	snapDirty bool
+	statDirty bool
+
+	// Cached stats partials, valid while statDirty is false.
+	pot     int64
+	potOver bool
+	queued  int64
+	maxq    int64
+	// injected is this step's injection partial.
+	injected int64
+
+	// panicVal holds a panic recovered on a worker goroutine, re-raised
+	// on the coordinator so sweep-level panic isolation keeps working.
+	panicVal any
+}
+
+// sharding is the engine's shard-mode state.
+type sharding struct {
+	part      *shard.Partition
+	states    []*shardState
+	retention []graph.NodeID // nodes with R > 0, ascending
+	srcOnly   bool
+	workers   int
+	cmds      []chan int // one per worker; empty means inline execution
+	wg        sync.WaitGroup
+	mergeIdx  []int
+}
+
+// EnableSharding switches the engine to the partition-parallel step path.
+// The partition must cover the engine's topology and the router must
+// implement ShardableRouter (and agree to be sharded). workers bounds
+// intra-step parallelism: ≤ 0 means one worker per available CPU, 1 runs
+// every shard inline on the calling goroutine (no goroutines are
+// created — the right choice inside sweeps that already parallelize
+// across runs). Callers that pass workers > 1 own the cleanup: call
+// DisableSharding when done with the engine, or its worker goroutines
+// outlive it.
+//
+// Enabling mid-run is legal; the first sharded step refreshes every
+// mirror from the live queue vector.
+func (e *Engine) EnableSharding(p *shard.Partition, workers int) error {
+	if p == nil {
+		return fmt.Errorf("core: nil partition")
+	}
+	if p.NumNodes() != e.Spec.N() {
+		return fmt.Errorf("core: partition covers %d nodes, engine has %d", p.NumNodes(), e.Spec.N())
+	}
+	sr, ok := e.Router.(ShardableRouter)
+	if !ok {
+		return fmt.Errorf("core: router %s is not shardable", e.Router.Name())
+	}
+	e.DisableSharding()
+
+	sh := &sharding{part: p, mergeIdx: make([]int, p.K)}
+	if so, ok := e.Arrivals.(SourceOnlyArrivals); ok && so.SourcesOnly() {
+		sh.srcOnly = true
+	}
+	for v, r := range e.Spec.R {
+		if r > 0 {
+			sh.retention = append(sh.retention, graph.NodeID(v))
+		}
+	}
+	for s := 0; s < p.K; s++ {
+		clone := sr.ShardClone(s, p.K)
+		if clone == nil {
+			return fmt.Errorf("core: router %s refuses to shard (non-splittable state)", e.Router.Name())
+		}
+		st := &shardState{id: s, nodes: p.Nodes(s), router: clone}
+		st.lo, st.hi, st.contig = p.Span(s)
+		st.active = make([]graph.NodeID, 0, len(st.nodes))
+		st.activeSpare = make([]graph.NodeID, 0, len(st.nodes))
+		for _, v := range st.nodes {
+			if e.Spec.In[v] > 0 {
+				st.sources = append(st.sources, v)
+			}
+			pos := e.Q[v] > 0
+			e.activeMark[v] = pos
+			if pos {
+				st.active = append(st.active, v)
+			}
+		}
+		st.snapDirty, st.statDirty = true, true
+		sh.states = append(sh.states, st)
+	}
+	// Hand pending sparse-injection entries over to the sharded zeroing
+	// path, and drop the serial active list (rebuilt on disable).
+	for _, v := range e.injDirty {
+		e.inj[v] = 0
+	}
+	e.injDirty = e.injDirty[:0]
+	e.active = e.active[:0]
+	e.newlyActive = e.newlyActive[:0]
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > p.K {
+		workers = p.K
+	}
+	sh.workers = workers
+	if workers > 1 {
+		sh.cmds = make([]chan int, workers)
+		for w := range sh.cmds {
+			sh.cmds[w] = make(chan int)
+			go sh.worker(e, w)
+		}
+	}
+	e.sh = sh
+	return nil
+}
+
+// DisableSharding returns the engine to the serial step path, stopping
+// any worker goroutines and rebuilding the serial active list from the
+// live queues. A no-op on a serial engine.
+func (e *Engine) DisableSharding() {
+	sh := e.sh
+	if sh == nil {
+		return
+	}
+	for _, c := range sh.cmds {
+		close(c)
+	}
+	for _, s := range sh.states {
+		for _, v := range s.injDirty {
+			e.inj[v] = 0
+		}
+	}
+	e.active = e.active[:0]
+	e.newlyActive = e.newlyActive[:0]
+	for v := range e.Q {
+		pos := e.Q[v] > 0
+		e.activeMark[v] = pos
+		if pos {
+			e.active = append(e.active, graph.NodeID(v))
+		}
+	}
+	e.sh = nil
+}
+
+// Sharding reports the active shard and worker counts (0, 0 when serial).
+func (e *Engine) Sharding() (shards, workers int) {
+	if e.sh == nil {
+		return 0, 0
+	}
+	return e.sh.part.K, e.sh.workers
+}
+
+// reset re-derives every per-shard mirror from the live queue vector
+// (SetQueues already zeroed inj/sentBy and refreshed activeMark).
+func (sh *sharding) reset(e *Engine) {
+	for _, s := range sh.states {
+		s.injDirty = s.injDirty[:0]
+		s.newly = s.newly[:0]
+		s.sends = s.sends[:0]
+		s.injected = 0
+		s.snapDirty, s.statDirty = true, true
+		s.active = s.active[:0]
+		for _, v := range s.nodes {
+			if e.Q[v] > 0 {
+				s.active = append(s.active, v)
+			}
+		}
+	}
+}
+
+// worker is the body of one persistent shard worker: it owns shards
+// w, w+workers, w+2·workers, … and executes the phase code sent on its
+// channel, recovering panics into the shard so the coordinator can
+// re-raise them on its own goroutine.
+func (sh *sharding) worker(e *Engine, w int) {
+	for code := range sh.cmds[w] {
+		for si := w; si < len(sh.states); si += sh.workers {
+			sh.runRecover(e, sh.states[si], code)
+		}
+		sh.wg.Done()
+	}
+}
+
+func (sh *sharding) runRecover(e *Engine, s *shardState, code int) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panicVal = r
+		}
+	}()
+	sh.run(e, s, code)
+}
+
+func (sh *sharding) run(e *Engine, s *shardState, code int) {
+	switch code {
+	case phasePrep:
+		e.shardPrep(s)
+	case phasePlan:
+		e.shardPlan(s)
+	case phaseStats:
+		e.shardStats(s)
+	}
+}
+
+// runPhase executes one phase over every shard: inline on the calling
+// goroutine with a single worker (panics propagate naturally), fanned
+// out to the persistent workers otherwise (panics are re-raised here,
+// lowest shard id first, after all workers finish the phase).
+func (sh *sharding) runPhase(e *Engine, code int) {
+	if len(sh.cmds) == 0 {
+		for _, s := range sh.states {
+			sh.run(e, s, code)
+		}
+		return
+	}
+	sh.wg.Add(len(sh.cmds))
+	for _, c := range sh.cmds {
+		c <- code
+	}
+	sh.wg.Wait()
+	for _, s := range sh.states {
+		if s.panicVal != nil {
+			pv := s.panicVal
+			for _, t := range sh.states {
+				t.panicVal = nil
+			}
+			panic(pv)
+		}
+	}
+}
+
+// shardPrep applies this shard's injections and, if its queues changed
+// since the last refresh, compacts the active list and re-copies the
+// shard's snapQ/declared spans. Clean shards return after the source
+// scan: their mirrors still equal the live queues by the dirty-flag
+// invariant.
+func (e *Engine) shardPrep(s *shardState) {
+	s.injected = 0
+	scan := s.nodes
+	if e.sh.srcOnly {
+		scan = s.sources
+	}
+	for _, v := range scan {
+		x := e.inj[v]
+		if x == 0 {
+			continue
+		}
+		if x < 0 {
+			panic(fmt.Sprintf("core: arrival process injected %d < 0 at node %d", x, v))
+		}
+		e.Q[v] += x
+		s.injected += x
+		s.injDirty = append(s.injDirty, v)
+		if !e.activeMark[v] {
+			e.activeMark[v] = true
+			s.newly = append(s.newly, v)
+		}
+		s.snapDirty = true
+		s.statDirty = true
+	}
+	if !s.snapDirty {
+		return
+	}
+	s.compact(e.Q, e.activeMark)
+	// Refresh the snapshot mirrors. declared gets the truthful value
+	// here; the serial retention pass overwrites R-generalized nodes
+	// before planning, every step, which is what keeps clean-shard
+	// mirrors valid.
+	if s.contig {
+		span := e.Q[s.lo : s.hi+1]
+		copy(e.snapQ[s.lo:s.hi+1], span)
+		copy(e.declared[s.lo:s.hi+1], span)
+	} else {
+		for _, v := range s.nodes {
+			q := e.Q[v]
+			e.snapQ[v] = q
+			e.declared[v] = q
+		}
+	}
+	s.snapDirty = false
+}
+
+// compact is the per-shard twin of Engine.compactActive.
+func (s *shardState) compact(q []int64, mark []bool) {
+	if len(s.newly) > 1 {
+		slices.Sort(s.newly)
+	}
+	dst := s.activeSpare[:0]
+	a, b := s.active, s.newly
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var v graph.NodeID
+		if j >= len(b) || (i < len(a) && a[i] < b[j]) {
+			v = a[i]
+			i++
+		} else {
+			v = b[j]
+			j++
+		}
+		if q[v] > 0 {
+			dst = append(dst, v)
+		} else {
+			mark[v] = false
+		}
+	}
+	s.activeSpare = s.active
+	s.active = dst
+	s.newly = s.newly[:0]
+}
+
+// shardPlan runs the shard's router clone over the shard's active nodes
+// against the global snapshot.
+func (e *Engine) shardPlan(s *shardState) {
+	s.snap = Snapshot{Spec: e.Spec, T: e.T, Q: e.snapQ, Declared: e.declared,
+		Alive: e.lastSnap.Alive, Active: s.active}
+	s.sends = s.router.Plan(&s.snap, s.sends[:0])
+}
+
+// shardStats recomputes the shard's potential/backlog/max-queue partials
+// when its queues changed; clean shards keep their cache.
+func (e *Engine) shardStats(s *shardState) {
+	if !s.statDirty {
+		return
+	}
+	s.statDirty = false
+	var pot, queued, maxq int64
+	over := false
+	add := func(x int64) {
+		queued += x
+		if x > maxq {
+			maxq = x
+		}
+		if over {
+			return
+		}
+		if x > maxExactSquare {
+			over = true
+			return
+		}
+		sq := x * x
+		if pot > math.MaxInt64-sq {
+			over = true
+			return
+		}
+		pot += sq
+	}
+	if s.contig {
+		for _, x := range e.Q[s.lo : s.hi+1] {
+			add(x)
+		}
+	} else {
+		for _, v := range s.nodes {
+			add(e.Q[v])
+		}
+	}
+	if over {
+		pot = math.MaxInt64
+	}
+	s.pot, s.potOver, s.queued, s.maxq = pot, over, queued, maxq
+}
+
+// touchShard marks node v's owner dirty after a queue change in a serial
+// phase (transmit, extract).
+func (e *Engine) touchShard(v graph.NodeID) {
+	s := e.sh.states[e.sh.part.Owner[v]]
+	s.snapDirty = true
+	s.statDirty = true
+}
+
+// markActiveShard records a 0→positive transition against the owner
+// shard's pending list (the serial-phase twin of Engine.markActive).
+func (e *Engine) markActiveShard(v graph.NodeID) {
+	if !e.activeMark[v] {
+		e.activeMark[v] = true
+		s := e.sh.states[e.sh.part.Owner[v]]
+		s.newly = append(s.newly, v)
+	}
+}
+
+// mergeSends rebuilds the serial engine's global plan order from the
+// per-shard batches: plain concatenation when the partition's shard node
+// ranges ascend (shard order is node order), otherwise a k-way merge on
+// the sending node. Each batch is grouped per sender with senders
+// ascending (the ShardableRouter contract), and a node plans in exactly
+// one shard, so the merge is a permutation-free reconstruction — the
+// byte-identity of everything downstream (collision scan, loss draws)
+// rides on it.
+func (e *Engine) mergeSends() {
+	sh := e.sh
+	out := e.sends[:0]
+	if sh.part.Ordered() {
+		for _, s := range sh.states {
+			out = append(out, s.sends...)
+		}
+		e.sends = out
+		return
+	}
+	idx := sh.mergeIdx
+	total := 0
+	for si, s := range sh.states {
+		idx[si] = 0
+		total += len(s.sends)
+	}
+	for len(out) < total {
+		best := -1
+		var bestFrom graph.NodeID
+		for si, s := range sh.states {
+			if idx[si] < len(s.sends) {
+				if f := s.sends[idx[si]].From; best == -1 || f < bestFrom {
+					best, bestFrom = si, f
+				}
+			}
+		}
+		s := sh.states[best]
+		i := idx[best]
+		for i < len(s.sends) && s.sends[i].From == bestFrom {
+			out = append(out, s.sends[i])
+			i++
+		}
+		idx[best] = i
+	}
+	e.sends = out
+}
+
+// stepSharded is the partition-parallel twin of Step. Phase numbering
+// matches Step's comments; the replay-identity tests assert the two
+// paths agree byte for byte.
+func (e *Engine) stepSharded() StepStats {
+	sh := e.sh
+	spec := e.Spec
+	g := spec.G
+	st := StepStats{T: e.T}
+
+	// Phase 1: injection inputs (serial — the process may be stateful).
+	for _, s := range sh.states {
+		for _, v := range s.injDirty {
+			e.inj[v] = 0
+		}
+		s.injDirty = s.injDirty[:0]
+	}
+	e.Arrivals.Injections(e.T, spec, e.inj)
+
+	// Phase 1b/2 (parallel): apply injections, refresh dirty shards'
+	// active lists and snapshot mirrors.
+	sh.runPhase(e, phasePrep)
+	for _, s := range sh.states {
+		st.Injected += s.injected
+	}
+
+	// Retention declarations stay serial in ascending node order so a
+	// stateful Declare policy sees the serial engine's call sequence.
+	// Both branches write: that restores the declared mirror every step,
+	// which is what lets clean shards skip their declared copy.
+	for _, v := range sh.retention {
+		q, r := e.snapQ[v], spec.R[v]
+		if q <= r {
+			d := e.Declare.Declare(e.T, v, q, r)
+			if d < 0 {
+				d = 0
+			}
+			if d > r {
+				d = r
+			}
+			e.declared[v] = d
+		} else {
+			e.declared[v] = q
+		}
+	}
+	var alive []bool
+	if e.Topology != nil {
+		if e.alive == nil {
+			e.alive = make([]bool, g.NumEdges())
+		}
+		alive = e.alive
+		for ed := range alive {
+			alive[ed] = e.Topology.EdgeAlive(e.T, graph.EdgeID(ed))
+		}
+	}
+	// Observers and interference filters get no active list: per-shard
+	// lists are the truth in this mode, and nil is a legal "no
+	// information" value by the Snapshot contract.
+	e.lastSnap = Snapshot{Spec: spec, T: e.T, Q: e.snapQ, Declared: e.declared, Alive: alive}
+
+	// Phase 3 (parallel): per-shard planning, then deterministic merge.
+	sh.runPhase(e, phasePlan)
+	e.mergeSends()
+	st.Planned = int64(len(e.sends))
+
+	// Phase 3b: interference filtering.
+	if e.Interference != nil {
+		kept := e.Interference.Filter(&e.lastSnap, e.sends)
+		st.Filtered += int64(len(e.sends) - len(kept))
+		e.sends = kept
+	}
+
+	// Phase 3c: physical validation, identical to Step.
+	marker := e.T + 1
+	for _, v := range e.sentDirty {
+		e.sentBy[v] = 0
+	}
+	e.sentDirty = e.sentDirty[:0]
+	valid := e.sends[:0]
+	for _, s := range e.sends {
+		if alive != nil && !alive[s.Edge] {
+			st.Filtered++
+			continue
+		}
+		if e.edgeUsed[s.Edge] == marker {
+			st.Collisions++
+			continue
+		}
+		if e.sentBy[s.From]+1 > e.snapQ[s.From] {
+			st.Violations++
+			continue
+		}
+		e.edgeUsed[s.Edge] = marker
+		if e.sentBy[s.From] == 0 {
+			e.sentDirty = append(e.sentDirty, s.From)
+		}
+		e.sentBy[s.From]++
+		valid = append(valid, s)
+	}
+	e.sends = valid
+
+	if e.trace != nil {
+		e.trace.Sends = append(e.trace.Sends[:0], e.sends...)
+		e.trace.Lost = e.trace.Lost[:0]
+		copy(e.trace.Injected, e.inj)
+		for v := range e.trace.Extracted {
+			e.trace.Extracted[v] = 0
+		}
+	}
+
+	// Phase 4: transmit (serial — every loss draw happens in serial send
+	// order), marking touched shards dirty as queues change.
+	for _, s := range e.sends {
+		to := s.To(g)
+		e.Q[s.From]--
+		e.touchShard(s.From)
+		st.Sent++
+		lost := e.Loss.Lost(e.T, s.Edge, s.From)
+		if lost {
+			st.Lost++
+		} else {
+			e.Q[to]++
+			e.markActiveShard(to)
+			e.touchShard(to)
+			st.Arrived++
+		}
+		if e.trace != nil {
+			e.trace.Lost = append(e.trace.Lost, lost)
+		}
+	}
+
+	// Phase 5: extraction (serial — Extract may be stateful).
+	for _, v := range e.sinks {
+		out := spec.Out[v]
+		q := e.Q[v]
+		hi := min64(out, q)
+		var lo int64
+		if r := spec.R[v]; q > r {
+			lo = min64(out, q-r)
+		}
+		amt := e.Extract.Extract(e.T, v, lo, hi)
+		if amt < lo {
+			amt = lo
+		}
+		if amt > hi {
+			amt = hi
+		}
+		if amt > 0 {
+			e.Q[v] -= amt
+			e.touchShard(v)
+		}
+		st.Extracted += amt
+		if e.trace != nil {
+			e.trace.Extracted[v] = amt
+		}
+	}
+
+	e.T++
+	// Phase 6 (parallel): per-shard stats partials, combined in shard
+	// order. Sums of non-negative int64 partials are exact, so grouping
+	// by shard cannot change the totals; saturation composes because a
+	// saturated partial forces a saturated total either way.
+	sh.runPhase(e, phaseStats)
+	var pot, queued, maxq int64
+	over := false
+	for _, s := range sh.states {
+		queued += s.queued
+		if s.maxq > maxq {
+			maxq = s.maxq
+		}
+		if s.potOver {
+			over = true
+		} else if !over {
+			if pot > math.MaxInt64-s.pot {
+				over = true
+			} else {
+				pot += s.pot
+			}
+		}
+	}
+	if over {
+		pot = math.MaxInt64
+	}
+	st.Potential, st.Overflowed = pot, over
+	st.Queued = queued
+	st.MaxQueue = maxq
+	if len(e.observers) > 0 {
+		e.obsStats = st
+		for _, o := range e.observers {
+			o.OnStep(st.T, &e.lastSnap, &e.obsStats)
+		}
+		st = e.obsStats
+	}
+	return st
+}

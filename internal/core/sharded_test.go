@@ -1,0 +1,323 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/shard"
+)
+
+// The sharded step path promises byte-identical output to the serial
+// engine at any shard and worker count. These tests run both paths over
+// adversarial dynamics — stochastic arrivals, Bernoulli losses, lying
+// declarations that force collisions, retention extraction — and compare
+// every per-step statistic and the full queue vector.
+
+// testArrivals is a stateful, RNG-driven arrival process that sometimes
+// bursts above In. It deliberately does NOT implement SourceOnlyArrivals
+// so the sharded injection scan has to take the whole-shard path.
+type testArrivals struct{ r *rng.Source }
+
+func (testArrivals) Name() string { return "test-burst" }
+func (a testArrivals) Injections(t int64, spec *Spec, inj []int64) {
+	for v := range inj {
+		if spec.In[v] == 0 {
+			continue
+		}
+		x := spec.In[v]
+		if a.r.Bool(0.2) {
+			x += int64(a.r.IntN(3))
+		}
+		if a.r.Bool(0.1) {
+			x = 0
+		}
+		inj[v] = x
+	}
+}
+
+// testLoss draws one Bernoulli per attempted transmission, so its stream
+// position depends on the exact global send order — the sharpest
+// order-sensitivity the merge discipline has to preserve.
+type testLoss struct{ r *rng.Source }
+
+func (testLoss) Name() string                                  { return "test-bernoulli" }
+func (l testLoss) Lost(int64, graph.EdgeID, graph.NodeID) bool { return l.r.Bool(0.15) }
+
+// stressGrid builds a grid with parallel edges and a traffic pattern
+// that keeps queues, collisions and losses all active: lying retention
+// nodes in the middle make both endpoints of an edge claim it.
+func stressSpec(w, h int) *Spec {
+	g := graph.New(w * h)
+	id := func(x, y int) graph.NodeID { return graph.NodeID(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				g.AddEdge(id(x, y), id(x+1, y))
+			}
+			if y+1 < h {
+				g.AddEdge(id(x, y), id(x, y+1))
+			}
+		}
+	}
+	g.AddEdges(id(1, 1), id(2, 1), 2) // parallel boundary-crossing edges
+	spec := NewSpec(g)
+	spec.SetSource(id(0, 0), 2)
+	spec.SetSource(id(w-1, 0), 1)
+	spec.SetSink(id(w-1, h-1), 2)
+	spec.SetSink(id(0, h-1), 1)
+	for x := 1; x < w-1; x++ {
+		spec.SetRetention(id(x, h/2), 2) // lying band across every cut
+	}
+	return spec
+}
+
+func stressEngine(seed uint64) *Engine {
+	spec := stressSpec(8, 6)
+	e := NewEngine(spec, NewLGG())
+	e.Arrivals = testArrivals{r: rng.New(seed).Split(1)}
+	e.Loss = testLoss{r: rng.New(seed).Split(2)}
+	e.Declare = DeclareZero{} // maximally attractive lie → collisions
+	return e
+}
+
+// stepSig compares two engines step by step.
+func runCompare(t *testing.T, label string, serial, sharded *Engine, steps int) Totals {
+	t.Helper()
+	var tot Totals
+	for i := 0; i < steps; i++ {
+		a, b := serial.Step(), sharded.Step()
+		if a != b {
+			t.Fatalf("%s: step %d stats diverge:\nserial:  %+v\nsharded: %+v", label, i, a, b)
+		}
+		tot.Add(a)
+	}
+	for v := range serial.Q {
+		if serial.Q[v] != sharded.Q[v] {
+			t.Fatalf("%s: Q[%d] = %d serial vs %d sharded", label, v, serial.Q[v], sharded.Q[v])
+		}
+	}
+	return tot
+}
+
+// TestShardedReplayIdentity is the core contract: 60 seeds × shard
+// counts {1, 2, 8} × worker counts {1, 2}, byte-identical stats and
+// queues under losses, collisions and bursty arrivals.
+func TestShardedReplayIdentity(t *testing.T) {
+	const steps = 120
+	var sawCollisions, sawLoss bool
+	for seed := uint64(1); seed <= 60; seed++ {
+		for _, k := range []int{1, 2, 8} {
+			for _, workers := range []int{1, 2} {
+				serial := stressEngine(seed)
+				sharded := stressEngine(seed)
+				p := shard.ByBFS(sharded.Spec.G, k)
+				if err := sharded.EnableSharding(p, workers); err != nil {
+					t.Fatalf("EnableSharding(k=%d): %v", k, err)
+				}
+				label := fmt.Sprintf("seed=%d k=%d w=%d", seed, k, workers)
+				tot := runCompare(t, label, serial, sharded, steps)
+				sharded.DisableSharding()
+				if tot.Collisions > 0 {
+					sawCollisions = true
+				}
+				if tot.Lost > 0 {
+					sawLoss = true
+				}
+			}
+		}
+	}
+	if !sawCollisions || !sawLoss {
+		t.Fatalf("stress dynamics too tame: collisions=%v losses=%v — identity not meaningfully exercised",
+			sawCollisions, sawLoss)
+	}
+}
+
+// TestShardedUnorderedMerge drives the k-way merge branch with an
+// interleaved owner vector (shard node ranges overlap, so concatenation
+// would be wrong).
+func TestShardedUnorderedMerge(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		serial := stressEngine(seed)
+		sharded := stressEngine(seed)
+		n := sharded.Spec.N()
+		owner := make([]int32, n)
+		for v := range owner {
+			owner[v] = int32(v % 3) // round-robin: maximally interleaved
+		}
+		p, err := shard.FromOwners(sharded.Spec.G, owner, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Ordered() {
+			t.Fatal("round-robin partition unexpectedly ordered")
+		}
+		if err := sharded.EnableSharding(p, 2); err != nil {
+			t.Fatal(err)
+		}
+		runCompare(t, fmt.Sprintf("interleaved seed=%d", seed), serial, sharded, 100)
+		sharded.DisableSharding()
+	}
+}
+
+// TestShardedObservers: observers see identical stats (and may rewrite
+// them) on both paths.
+func TestShardedObservers(t *testing.T) {
+	serial := stressEngine(7)
+	sharded := stressEngine(7)
+	count := func(tally *int64) ObserverFunc {
+		return func(_ int64, _ *Snapshot, st *StepStats) { *tally += st.Sent }
+	}
+	var a, b int64
+	serial.AddObserver(count(&a))
+	sharded.AddObserver(count(&b))
+	if err := sharded.EnableSharding(shard.ByRange(sharded.Spec.G, 4), 1); err != nil {
+		t.Fatal(err)
+	}
+	runCompare(t, "observers", serial, sharded, 80)
+	if a != b || a == 0 {
+		t.Fatalf("observer tallies: serial %d, sharded %d", a, b)
+	}
+}
+
+// TestShardedTrace: the per-step trace buffers agree.
+func TestShardedTrace(t *testing.T) {
+	serial := stressEngine(11)
+	sharded := stressEngine(11)
+	ta, tb := serial.EnableTrace(), sharded.EnableTrace()
+	if err := sharded.EnableSharding(shard.ByBFS(sharded.Spec.G, 8), 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		serial.Step()
+		sharded.Step()
+		if len(ta.Sends) != len(tb.Sends) {
+			t.Fatalf("step %d: %d vs %d traced sends", i, len(ta.Sends), len(tb.Sends))
+		}
+		for j := range ta.Sends {
+			if ta.Sends[j] != tb.Sends[j] || ta.Lost[j] != tb.Lost[j] {
+				t.Fatalf("step %d send %d: %+v/%v vs %+v/%v", i, j,
+					ta.Sends[j], ta.Lost[j], tb.Sends[j], tb.Lost[j])
+			}
+		}
+	}
+}
+
+// TestShardedSetQueues: SetQueues mid-run resets the per-shard mirrors;
+// the replay afterwards stays identical.
+func TestShardedSetQueues(t *testing.T) {
+	serial := stressEngine(3)
+	sharded := stressEngine(3)
+	if err := sharded.EnableSharding(shard.ByBFS(sharded.Spec.G, 4), 2); err != nil {
+		t.Fatal(err)
+	}
+	runCompare(t, "pre-reset", serial, sharded, 50)
+	q := make([]int64, len(serial.Q))
+	for v := range q {
+		q[v] = int64(v % 5)
+	}
+	serial.SetQueues(q)
+	sharded.SetQueues(q)
+	serial.T, sharded.T = 0, 0
+	runCompare(t, "post-reset", serial, sharded, 50)
+	sharded.DisableSharding()
+}
+
+// TestShardedEnableDisableMidRun: flipping modes mid-run never perturbs
+// the trajectory.
+func TestShardedEnableDisableMidRun(t *testing.T) {
+	serial := stressEngine(5)
+	flip := stressEngine(5)
+	p := shard.ByBFS(flip.Spec.G, 8)
+	runCompare(t, "phase serial", serial, flip, 40)
+	if err := flip.EnableSharding(p, 2); err != nil {
+		t.Fatal(err)
+	}
+	runCompare(t, "phase sharded", serial, flip, 40)
+	flip.DisableSharding()
+	runCompare(t, "phase serial again", serial, flip, 40)
+}
+
+// TestShardedSourceOnlyFastPath: with a SourceOnlyArrivals process the
+// shard scan visits source lists only; output must not change.
+func TestShardedSourceOnlyFastPath(t *testing.T) {
+	build := func(shards int) *Engine {
+		e := NewEngine(stressSpec(8, 6), NewLGG())
+		e.Loss = testLoss{r: rng.New(9).Split(2)}
+		if shards > 1 {
+			if err := e.EnableSharding(shard.ByBFS(e.Spec.G, shards), 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e
+	}
+	if _, ok := ArrivalProcess(ExactArrivals{}).(SourceOnlyArrivals); !ok {
+		t.Fatal("ExactArrivals must advertise SourcesOnly")
+	}
+	runCompare(t, "source-only", build(1), build(8), 100)
+}
+
+// TestShardedRefusals: non-shardable configurations fail cleanly.
+func TestShardedRefusals(t *testing.T) {
+	e := stressEngine(1)
+	if err := e.EnableSharding(nil, 1); err == nil {
+		t.Fatal("nil partition accepted")
+	}
+	small := shard.ByRange(graph.New(3), 2)
+	if err := e.EnableSharding(small, 1); err == nil {
+		t.Fatal("mismatched partition accepted")
+	}
+	rnd := NewEngine(stressSpec(8, 6), NewLGGRandomTies(rng.New(1)))
+	if err := rnd.EnableSharding(shard.ByBFS(rnd.Spec.G, 2), 1); err == nil {
+		t.Fatal("TieRandom sharding accepted; its key stream is order-dependent")
+	}
+	if k, w := e.Sharding(); k != 0 || w != 0 {
+		t.Fatalf("failed enables left sharding on: k=%d w=%d", k, w)
+	}
+}
+
+// TestShardedPanicIsolation: a panic inside a parallel phase (here from
+// a negative injection) must surface on the Step caller's goroutine, on
+// any worker count, so sweep-level recovery still works.
+func TestShardedPanicIsolation(t *testing.T) {
+	for _, workers := range []int{1, 2} {
+		e := NewEngine(stressSpec(8, 6), NewLGG())
+		e.Arrivals = negArrivals{}
+		if err := e.EnableSharding(shard.ByBFS(e.Spec.G, 4), workers); err != nil {
+			t.Fatal(err)
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("workers=%d: negative injection did not panic through Step", workers)
+				}
+			}()
+			e.Step()
+		}()
+		e.DisableSharding()
+	}
+}
+
+type negArrivals struct{}
+
+func (negArrivals) Name() string { return "neg" }
+func (negArrivals) Injections(_ int64, _ *Spec, inj []int64) {
+	inj[len(inj)/2] = -1
+}
+
+// TestShardedStepAllocFree: the sharded hot path allocates nothing in
+// steady state with inline workers — the budget the CI bench gate
+// enforces.
+func TestShardedStepAllocFree(t *testing.T) {
+	e := stressEngine(2)
+	if err := e.EnableSharding(shard.ByBFS(e.Spec.G, 8), 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ { // grow scratch to working size
+		e.Step()
+	}
+	if avg := testing.AllocsPerRun(100, func() { e.Step() }); avg != 0 {
+		t.Fatalf("sharded Step allocates %.1f times per step in steady state", avg)
+	}
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/arrivals"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/loss"
+	"repro/internal/rng"
+	"repro/internal/sweep"
+)
+
+// ApplyShards sets the sharded execution knobs on every job. Because the
+// sharded step path is byte-identical to the serial one, applying shards
+// never changes a sweep's JSONL output — only its execution strategy.
+// The shard-determinism CI job runs the same grid at shard counts 1, 2
+// and 8 and cmps the outputs to hold that promise.
+func ApplyShards(jobs []sweep.Job, shards, workers int) error {
+	if shards < 0 || workers < 0 {
+		return fmt.Errorf("experiments: negative shard configuration (%d shards, %d workers)", shards, workers)
+	}
+	for i := range jobs {
+		jobs[i].Options.Shards = shards
+		jobs[i].Options.ShardWorkers = workers
+	}
+	return nil
+}
+
+// ShardGrid is the workload behind the shard-determinism CI gate: LGG on
+// localized topologies crossed with the stochastic machinery whose call
+// order the sharded engine must preserve exactly — Bernoulli losses
+// (one RNG draw per attempted transmission, in global send order),
+// thinned and bursty arrivals, and a lying retention band that forces
+// collisions. If the sharded path reorders anything, these runs change
+// byte-for-byte.
+func ShardGrid(cfg Config) []sweep.Job {
+	type cell struct {
+		name  string
+		spec  *core.Spec
+		build func(spec *core.Spec, seed uint64) *core.Engine
+	}
+	lgg := func(spec *core.Spec, seed uint64) *core.Engine {
+		e := core.NewEngine(spec, core.NewLGG())
+		e.Arrivals = &arrivals.Thinned{P: 0.85, R: rng.New(seed).Split(0x5A1)}
+		e.Loss = &loss.Bernoulli{P: 0.1, R: rng.New(seed).Split(0x5A2)}
+		return e
+	}
+	lying := func(spec *core.Spec, seed uint64) *core.Engine {
+		e := lgg(spec, seed)
+		e.Declare = core.DeclareZero{}
+		return e
+	}
+	bursty := func(spec *core.Spec, seed uint64) *core.Engine {
+		e := core.NewEngine(spec, core.NewLGG())
+		e.Arrivals = &arrivals.Bursty{Period: 16, BurstLen: 4, BurstFactor: 3, QuietFactor: 0}
+		e.Loss = &loss.Bernoulli{P: 0.05, R: rng.New(seed).Split(0x5A3)}
+		return e
+	}
+
+	lineLen, gridC := 256, 12
+	if cfg.Quick {
+		lineLen, gridC = 64, 6
+	}
+	lineSpec := core.NewSpec(graph.Line(lineLen)).SetSource(0, 1).SetSink(graph.NodeID(lineLen-1), 2)
+	gs := gridSpec(4, gridC, 2, 1, 3)
+	retSpec := gridSpec(4, gridC, 2, 1, 3)
+	for c := 1; c < gridC-1; c++ {
+		retSpec.SetRetention(graph.NodeID(1*gridC+c), 2)
+	}
+	cells := []cell{
+		{"line/thinned+loss", lineSpec, lgg},
+		{"grid/thinned+loss", gs, lgg},
+		{"grid/lying-retention", retSpec, lying},
+		{"grid/bursty", gs, bursty},
+	}
+
+	jobs := make([]sweep.Job, 0, len(cells)*cfg.seeds())
+	for _, c := range cells {
+		c := c
+		for rep := 0; rep < cfg.seeds(); rep++ {
+			jobs = append(jobs, sweep.Job{
+				Desc: sweep.Desc{Index: len(jobs), Grid: "shard", Network: c.name,
+					Router: "lgg", Replica: rep, Seed: cfg.Seed + uint64(rep),
+					Horizon: cfg.horizon()},
+				Build: func(seed uint64) *core.Engine { return c.build(c.spec, seed) },
+			})
+		}
+	}
+	return jobs
+}

@@ -27,6 +27,8 @@ func SweepGrids() []NamedGrid {
 			Jobs: RouterDuelGrid},
 		{Name: "faults", Desc: "fault injection: unsaturated suite × fault regimes, with recovery verdicts",
 			Jobs: FaultsGrid},
+		{Name: "shard", Desc: "shard-determinism stress: LGG × stochastic losses/arrivals/lying on localized topologies",
+			Jobs: ShardGrid},
 	}
 	sort.Slice(grids, func(i, j int) bool { return grids[i].Name < grids[j].Name })
 	return grids

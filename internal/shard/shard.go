@@ -1,0 +1,292 @@
+// Package shard partitions a multigraph into per-shard node regions for
+// partition-parallel execution of the step loop.
+//
+// LGG is a localized protocol: a node's plan depends only on its own true
+// queue and the declared queues at the far ends of its incident edges
+// (Algorithm 1). That locality is exactly what makes sharding sound — a
+// shard can plan all of its nodes against a common snapshot without
+// seeing any state the serial engine would not also expose — and the only
+// cross-shard traffic a step generates is the set of sends over boundary
+// edges (edges whose endpoints live in different shards).
+//
+// Partitions here are *deterministic*: the same graph and shard count
+// always produce the same Partition, whatever the worker count or
+// scheduler interleaving. The engine's replay contract (byte-identical
+// output at any shard count) starts from that property and is enforced
+// end to end by the shard-determinism CI job.
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Partition assigns every node of a multigraph to exactly one of K
+// shards. Edges with both endpoints in one shard are interior to it;
+// edges whose endpoints disagree form the boundary set, the only edges
+// whose sends cross shards during a parallel step.
+//
+// A Partition is immutable after construction and safe for concurrent
+// readers.
+type Partition struct {
+	// K is the shard count. Shards may be empty when K exceeds the node
+	// count.
+	K int
+	// Owner maps every node to its shard in [0, K).
+	Owner []int32
+	// Method names the partitioner that produced this partition
+	// ("range", "bfs", "owners").
+	Method string
+
+	nodes    [][]graph.NodeID // per shard, strictly ascending
+	boundary []graph.EdgeID   // ascending edge ids crossing shards
+	ordered  bool             // shard node ranges are disjoint ascending intervals
+}
+
+// Nodes returns shard s's node set in strictly ascending order. The slice
+// is shared; callers must not modify it.
+func (p *Partition) Nodes(s int) []graph.NodeID { return p.nodes[s] }
+
+// Boundary returns the edges whose endpoints live in different shards, in
+// ascending edge-id order. The slice is shared; callers must not modify
+// it.
+func (p *Partition) Boundary() []graph.EdgeID { return p.boundary }
+
+// Ordered reports whether shard node sets occupy disjoint ascending
+// intervals of the node-id space (every node of shard s is smaller than
+// every node of shard s+1, skipping empty shards). An ordered partition
+// lets the engine rebuild the serial plan order by concatenating shard
+// send batches in shard order; unordered partitions need a merge by node
+// id. Both are deterministic.
+func (p *Partition) Ordered() bool { return p.ordered }
+
+// NumNodes returns the number of partitioned nodes.
+func (p *Partition) NumNodes() int { return len(p.Owner) }
+
+// Span returns the [lo, hi] node-id interval of shard s and whether the
+// shard is exactly that contiguous interval (every id in [lo, hi] is
+// owned by s). Empty shards return (0, -1, false). Contiguous shards let
+// hot loops use slice spans instead of per-node indexing.
+func (p *Partition) Span(s int) (lo, hi graph.NodeID, contiguous bool) {
+	ns := p.nodes[s]
+	if len(ns) == 0 {
+		return 0, -1, false
+	}
+	lo, hi = ns[0], ns[len(ns)-1]
+	return lo, hi, int(hi-lo)+1 == len(ns)
+}
+
+// Stats summarizes a partition's quality.
+type Stats struct {
+	Shards        int
+	Nodes         int
+	Edges         int
+	BoundaryEdges int
+	// BoundaryShare is BoundaryEdges / Edges (0 for an edgeless graph).
+	BoundaryShare float64
+	// MaxShardNodes and MinShardNodes measure balance.
+	MaxShardNodes, MinShardNodes int
+}
+
+// Stats computes summary statistics against the graph the partition was
+// built from.
+func (p *Partition) Stats(g *graph.Multigraph) Stats {
+	st := Stats{Shards: p.K, Nodes: len(p.Owner), Edges: g.NumEdges(),
+		BoundaryEdges: len(p.boundary), MinShardNodes: len(p.Owner)}
+	for s := 0; s < p.K; s++ {
+		n := len(p.nodes[s])
+		if n > st.MaxShardNodes {
+			st.MaxShardNodes = n
+		}
+		if n < st.MinShardNodes {
+			st.MinShardNodes = n
+		}
+	}
+	if st.Edges > 0 {
+		st.BoundaryShare = float64(st.BoundaryEdges) / float64(st.Edges)
+	}
+	return st
+}
+
+// Validate checks internal consistency against g: owner vector length,
+// owners in range, per-shard lists ascending and consistent with Owner,
+// every node covered exactly once, and the boundary set containing
+// exactly the owner-crossing edges. It exists for tests and for
+// partitions built by external tooling via FromOwners.
+func (p *Partition) Validate(g *graph.Multigraph) error {
+	n := g.NumNodes()
+	if len(p.Owner) != n {
+		return fmt.Errorf("shard: owner vector has %d entries for %d nodes", len(p.Owner), n)
+	}
+	if p.K <= 0 {
+		return fmt.Errorf("shard: non-positive shard count %d", p.K)
+	}
+	if len(p.nodes) != p.K {
+		return fmt.Errorf("shard: %d node lists for %d shards", len(p.nodes), p.K)
+	}
+	seen := 0
+	for s := 0; s < p.K; s++ {
+		prev := graph.NodeID(-1)
+		for _, v := range p.nodes[s] {
+			if v <= prev {
+				return fmt.Errorf("shard: shard %d node list not strictly ascending at %d", s, v)
+			}
+			prev = v
+			if int(v) >= n || p.Owner[v] != int32(s) {
+				return fmt.Errorf("shard: node %d listed in shard %d but owned by %d", v, s, p.Owner[v])
+			}
+			seen++
+		}
+	}
+	if seen != n {
+		return fmt.Errorf("shard: node lists cover %d of %d nodes", seen, n)
+	}
+	want := 0
+	for id, e := range g.Edges() {
+		if p.Owner[e.U] != p.Owner[e.V] {
+			if want >= len(p.boundary) || p.boundary[want] != graph.EdgeID(id) {
+				return fmt.Errorf("shard: boundary set disagrees with owners at edge %d", id)
+			}
+			want++
+		}
+	}
+	if want != len(p.boundary) {
+		return fmt.Errorf("shard: boundary set has %d extra edges", len(p.boundary)-want)
+	}
+	return nil
+}
+
+// ByRange partitions nodes into K contiguous id ranges of near-equal
+// size (shard s owns [s·n/K, (s+1)·n/K)). It ignores topology — the
+// cheapest partitioner, and already optimal for generators that label
+// nodes in spatial order (lines, grids). Panics if k <= 0.
+func ByRange(g *graph.Multigraph, k int) *Partition {
+	if k <= 0 {
+		panic(fmt.Sprintf("shard: non-positive shard count %d", k))
+	}
+	n := g.NumNodes()
+	order := make([]graph.NodeID, n)
+	for v := range order {
+		order[v] = graph.NodeID(v)
+	}
+	return fromOrder(g, order, k, "range")
+}
+
+// ByBFS partitions nodes into K near-equal blocks of a deterministic BFS
+// traversal: components are visited in order of their smallest node id,
+// each explored breadth-first from that node with neighbours expanded in
+// incidence (edge-insertion) order. Consecutive BFS blocks are
+// topologically close, so boundary edge counts stay low on mesh-like
+// graphs without any flow computation. Panics if k <= 0.
+func ByBFS(g *graph.Multigraph, k int) *Partition {
+	if k <= 0 {
+		panic(fmt.Sprintf("shard: non-positive shard count %d", k))
+	}
+	n := g.NumNodes()
+	order := make([]graph.NodeID, 0, n)
+	visited := make([]bool, n)
+	queue := make([]graph.NodeID, 0, n)
+	for root := 0; root < n; root++ {
+		if visited[root] {
+			continue
+		}
+		visited[root] = true
+		queue = append(queue[:0], graph.NodeID(root))
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			for _, in := range g.Incident(v) {
+				if !visited[in.Peer] {
+					visited[in.Peer] = true
+					queue = append(queue, in.Peer)
+				}
+			}
+		}
+	}
+	return fromOrder(g, order, k, "bfs")
+}
+
+// FromOwners builds a partition from an explicit owner vector (for
+// example one derived from internal/flow min-cuts). The vector must
+// assign every node an owner in [0, k).
+func FromOwners(g *graph.Multigraph, owner []int32, k int) (*Partition, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("shard: non-positive shard count %d", k)
+	}
+	if len(owner) != g.NumNodes() {
+		return nil, fmt.Errorf("shard: owner vector has %d entries for %d nodes", len(owner), g.NumNodes())
+	}
+	p := &Partition{K: k, Owner: append([]int32(nil), owner...), Method: "owners",
+		nodes: make([][]graph.NodeID, k)}
+	for v, s := range owner {
+		if s < 0 || int(s) >= k {
+			return nil, fmt.Errorf("shard: node %d owned by %d, want [0,%d)", v, s, k)
+		}
+		p.nodes[s] = append(p.nodes[s], graph.NodeID(v))
+	}
+	p.finish(g)
+	return p, nil
+}
+
+// fromOrder cuts a node ordering into k near-equal consecutive blocks and
+// assigns block s to shard s.
+func fromOrder(g *graph.Multigraph, order []graph.NodeID, k int, method string) *Partition {
+	n := len(order)
+	p := &Partition{K: k, Owner: make([]int32, n), Method: method,
+		nodes: make([][]graph.NodeID, k)}
+	for s := 0; s < k; s++ {
+		block := order[s*n/k : (s+1)*n/k]
+		ns := make([]graph.NodeID, len(block))
+		copy(ns, block)
+		sortNodes(ns)
+		p.nodes[s] = ns
+		for _, v := range ns {
+			p.Owner[v] = int32(s)
+		}
+	}
+	p.finish(g)
+	return p
+}
+
+// finish derives the boundary set and the ordered flag from Owner.
+func (p *Partition) finish(g *graph.Multigraph) {
+	for id, e := range g.Edges() {
+		if p.Owner[e.U] != p.Owner[e.V] {
+			p.boundary = append(p.boundary, graph.EdgeID(id))
+		}
+	}
+	p.ordered = true
+	prev := graph.NodeID(-1)
+	for s := 0; s < p.K; s++ {
+		ns := p.nodes[s]
+		if len(ns) == 0 {
+			continue
+		}
+		if ns[0] <= prev {
+			p.ordered = false
+			return
+		}
+		prev = ns[len(ns)-1]
+	}
+}
+
+// sortNodes sorts a node list ascending (insertion sort for the short
+// blocks BFS partitioning produces near-sorted, library sort otherwise).
+func sortNodes(ns []graph.NodeID) {
+	for i := 1; i < len(ns); i++ {
+		v := ns[i]
+		j := i - 1
+		for j >= 0 && ns[j] > v {
+			ns[j+1] = ns[j]
+			j--
+		}
+		ns[j+1] = v
+	}
+}
+
+// String describes the partition compactly.
+func (p *Partition) String() string {
+	return fmt.Sprintf("partition(%s, k=%d, n=%d, boundary=%d)", p.Method, p.K, len(p.Owner), len(p.boundary))
+}

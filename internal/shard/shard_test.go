@@ -1,0 +1,241 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// line builds a path graph 0-1-…-(n-1).
+func line(n int) *graph.Multigraph {
+	g := graph.New(n)
+	for v := 0; v < n-1; v++ {
+		g.AddEdge(graph.NodeID(v), graph.NodeID(v+1))
+	}
+	return g
+}
+
+// grid builds a w×h grid labeled row-major.
+func grid(w, h int) *graph.Multigraph {
+	g := graph.New(w * h)
+	id := func(x, y int) graph.NodeID { return graph.NodeID(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				g.AddEdge(id(x, y), id(x+1, y))
+			}
+			if y+1 < h {
+				g.AddEdge(id(x, y), id(x, y+1))
+			}
+		}
+	}
+	return g
+}
+
+func mustValidate(t *testing.T, p *Partition, g *graph.Multigraph) {
+	t.Helper()
+	if err := p.Validate(g); err != nil {
+		t.Fatalf("%v: %v", p, err)
+	}
+}
+
+// Every partitioner must cover each node exactly once and classify each
+// edge exactly once (interior xor boundary). Validate checks both.
+func TestCoverage(t *testing.T) {
+	graphs := map[string]*graph.Multigraph{
+		"line40":  line(40),
+		"grid8x8": grid(8, 8),
+		"empty":   graph.New(7), // nodes, no edges
+	}
+	for name, g := range graphs {
+		for _, k := range []int{1, 2, 3, 8} {
+			mustValidate(t, ByRange(g, k), g)
+			mustValidate(t, ByBFS(g, k), g)
+			_ = name
+		}
+	}
+}
+
+// The same graph and shard count must produce the same partition on
+// every call — the whole replay contract stands on this.
+func TestDeterminism(t *testing.T) {
+	build := func() *graph.Multigraph {
+		g := grid(6, 6)
+		// A few multi-edges so incidence order matters.
+		g.AddEdges(3, 4, 2)
+		g.AddEdge(10, 20)
+		return g
+	}
+	for _, k := range []int{1, 2, 5, 8} {
+		a, b := ByBFS(build(), k), ByBFS(build(), k)
+		if !reflect.DeepEqual(a.Owner, b.Owner) {
+			t.Fatalf("k=%d: ByBFS owner vectors differ across calls", k)
+		}
+		if !reflect.DeepEqual(a.Boundary(), b.Boundary()) {
+			t.Fatalf("k=%d: ByBFS boundary sets differ across calls", k)
+		}
+		r1, r2 := ByRange(build(), k), ByRange(build(), k)
+		if !reflect.DeepEqual(r1.Owner, r2.Owner) {
+			t.Fatalf("k=%d: ByRange owner vectors differ across calls", k)
+		}
+	}
+}
+
+// Disconnected components: BFS must visit every component (in order of
+// smallest node id) and still cover all nodes and edges.
+func TestDisconnectedComponents(t *testing.T) {
+	g := graph.New(12)
+	// Component A: 0-1-2; component B: 5-6, 6-7, 7-5 (cycle);
+	// isolated nodes 3, 4, 8..11.
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(5, 6)
+	g.AddEdge(6, 7)
+	g.AddEdge(7, 5)
+	for _, k := range []int{1, 2, 3, 4} {
+		p := ByBFS(g, k)
+		mustValidate(t, p, g)
+		total := 0
+		for s := 0; s < k; s++ {
+			total += len(p.Nodes(s))
+		}
+		if total != 12 {
+			t.Fatalf("k=%d: %d nodes covered, want 12", k, total)
+		}
+	}
+	// k=1 puts everything in one shard: no boundary whatever the layout.
+	if b := ByBFS(g, 1).Boundary(); len(b) != 0 {
+		t.Fatalf("single shard has %d boundary edges, want 0", len(b))
+	}
+}
+
+// Multi-edges crossing a shard boundary: all parallel copies must appear
+// in the boundary set individually, in ascending edge-id order.
+// (Self-loops cannot occur: graph.AddEdge rejects them by construction,
+// so a loop can never cross — or sit on — a boundary.)
+func TestMultiEdgeBoundary(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)              // edge 0, interior to shard 0 under k=2 ranges
+	first := g.AddEdges(1, 2, 3) // edges 1,2,3 all cross the 0..1 | 2..3 cut
+	g.AddEdge(2, 3)              // edge 4, interior to shard 1
+	p := ByRange(g, 2)
+	mustValidate(t, p, g)
+	want := []graph.EdgeID{first, first + 1, first + 2}
+	if !reflect.DeepEqual(p.Boundary(), want) {
+		t.Fatalf("boundary = %v, want %v", p.Boundary(), want)
+	}
+}
+
+// Single-node shards: k = n gives every node its own shard and makes
+// every edge a boundary edge.
+func TestSingleNodeShards(t *testing.T) {
+	g := line(6)
+	p := ByRange(g, 6)
+	mustValidate(t, p, g)
+	for s := 0; s < 6; s++ {
+		if len(p.Nodes(s)) != 1 {
+			t.Fatalf("shard %d holds %d nodes, want 1", s, len(p.Nodes(s)))
+		}
+	}
+	if len(p.Boundary()) != g.NumEdges() {
+		t.Fatalf("%d boundary edges, want all %d", len(p.Boundary()), g.NumEdges())
+	}
+}
+
+// Shard count > node count: the extra shards are empty, coverage still
+// holds, and Span reports empty shards as such.
+func TestMoreShardsThanNodes(t *testing.T) {
+	g := line(3)
+	for _, build := range []func(*graph.Multigraph, int) *Partition{ByRange, ByBFS} {
+		p := build(g, 10)
+		mustValidate(t, p, g)
+		nonEmpty := 0
+		for s := 0; s < 10; s++ {
+			if n := len(p.Nodes(s)); n > 0 {
+				nonEmpty++
+				if n != 1 {
+					t.Fatalf("shard %d holds %d nodes, want ≤1 when k>n", s, n)
+				}
+			} else if _, hi, contig := p.Span(s); hi != -1 || contig {
+				t.Fatalf("empty shard %d: Span reports hi=%d contig=%v", s, hi, contig)
+			}
+		}
+		if nonEmpty != 3 {
+			t.Fatalf("%d non-empty shards, want 3", nonEmpty)
+		}
+	}
+}
+
+// ByBFS on a row-major grid keeps blocks contiguous in BFS order and
+// keeps the partition ordered when BFS order coincides with id order
+// (a line graph). On general graphs ordered may be false — that is fine,
+// the engine just merges instead of concatenating.
+func TestOrderedFlag(t *testing.T) {
+	if p := ByRange(grid(8, 8), 4); !p.Ordered() {
+		t.Fatal("ByRange must always be ordered")
+	}
+	if p := ByBFS(line(64), 4); !p.Ordered() {
+		t.Fatal("ByBFS on a line visits nodes in id order; partition should be ordered")
+	}
+	// Owner-built interleaved partition: legal but unordered.
+	g := line(4)
+	p, err := FromOwners(g, []int32{0, 1, 0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustValidate(t, p, g)
+	if p.Ordered() {
+		t.Fatal("interleaved owners reported as ordered")
+	}
+	if len(p.Boundary()) != 3 {
+		t.Fatalf("interleaved line: %d boundary edges, want 3", len(p.Boundary()))
+	}
+}
+
+// Span detects contiguous shards so the engine can use slice spans.
+func TestSpan(t *testing.T) {
+	p := ByRange(line(10), 3)
+	lo, hi, contig := p.Span(0)
+	if lo != 0 || hi != 2 || !contig {
+		t.Fatalf("shard 0 span = [%d,%d] contig=%v, want [0,2] contiguous", lo, hi, contig)
+	}
+	g := line(4)
+	q, _ := FromOwners(g, []int32{0, 1, 0, 1}, 2)
+	if _, _, contig := q.Span(0); contig {
+		t.Fatal("interleaved shard reported contiguous")
+	}
+}
+
+func TestFromOwnersRejects(t *testing.T) {
+	g := line(4)
+	if _, err := FromOwners(g, []int32{0, 0, 0}, 2); err == nil {
+		t.Fatal("short owner vector accepted")
+	}
+	if _, err := FromOwners(g, []int32{0, 0, 0, 5}, 2); err == nil {
+		t.Fatal("out-of-range owner accepted")
+	}
+	if _, err := FromOwners(g, []int32{0, 0, 0, 0}, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestNonPositiveKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ByRange(g, 0) did not panic")
+		}
+	}()
+	ByRange(line(3), 0)
+}
+
+func TestStats(t *testing.T) {
+	p := ByRange(grid(8, 8), 4)
+	st := p.Stats(grid(8, 8))
+	if st.Shards != 4 || st.Nodes != 64 || st.MaxShardNodes != 16 || st.MinShardNodes != 16 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BoundaryEdges == 0 || st.BoundaryShare <= 0 {
+		t.Fatalf("grid cut has no boundary: %+v", st)
+	}
+}

@@ -14,11 +14,26 @@ set -euo pipefail
 
 dir=$(mktemp -d)
 pid=""
+# On any exit — success, failure, or signal — drain the daemon (TERM first
+# so it can checkpoint, KILL only if it hangs) and reap it with wait, so a
+# failed run can never leave a stray lggd holding the port for the next CI
+# attempt. The original exit status is preserved across cleanup.
 cleanup() {
-  [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+  status=$?
+  trap - EXIT INT TERM
+  if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+    kill -TERM "$pid" 2>/dev/null || true
+    for _ in $(seq 1 50); do
+      kill -0 "$pid" 2>/dev/null || break
+      sleep 0.1
+    done
+    kill -9 "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+  fi
   rm -rf "$dir"
+  exit "$status"
 }
-trap cleanup EXIT
+trap cleanup EXIT INT TERM
 
 addr=127.0.0.1:8411
 fail() { echo "lggd_smoke: $*" >&2; [ -f "$dir/lggd.log" ] && tail -20 "$dir/lggd.log" >&2; exit 1; }
