@@ -21,6 +21,17 @@
 // output flags. Durability then lives server-side: -journal/-resume are
 // local-mode flags and are rejected with -remote.
 //
+// With -adaptive the grid is not enumerated: the sweep becomes a
+// frontier search that bisects the named numeric -axis of the grid's
+// typed-axis space, per cell group, for the coordinate where the stable
+// share crosses -threshold — spending between -min-seeds and -max-seeds
+// replicas per probed coordinate, early-stopped on a Wilson confidence
+// interval. -out then carries one frontier-result line per group,
+// -probes the per-run probe stream, and -journal/-resume checkpoint the
+// refinement itself (the journal is created with the adaptive sentinel,
+// since the total run count is not known up front). Adaptive output is
+// deterministic at any worker count, resume included.
+//
 // Usage:
 //
 //	lggsweep -list
@@ -29,6 +40,9 @@
 //	         [-cells cells.jsonl] [-events events.jsonl] [-metrics metrics.prom] \
 //	         [-faults 'down@100-200:e=3'] [-journal ckpt.jsonl] [-resume] \
 //	         [-retries 2] [-quick] [-shards 8] [-shard-workers 1]
+//	lggsweep -grid frontier -adaptive -axis rho [-tol 0.05] [-threshold 0.5] \
+//	         [-min-seeds 4] [-max-seeds 16] [-out frontier.jsonl] \
+//	         [-probes probes.jsonl] [-journal ckpt.jsonl] [-resume]
 //	lggsweep -remote 127.0.0.1:8321 -grid stability [-seeds 8] [...]
 package main
 
@@ -74,6 +88,13 @@ func main() {
 		resume      = flag.Bool("resume", false, "resume from the -journal file instead of re-running its prefix")
 		retries     = flag.Int("retries", 0, "re-attempts for a run that panics before recording it as failed")
 		remote      = flag.String("remote", "", "submit to a running lggd daemon at this address instead of sweeping in-process")
+		adaptive    = flag.Bool("adaptive", false, "bisect -axis for the stability frontier instead of enumerating the grid")
+		axis        = flag.String("axis", "", "numeric axis to search with -adaptive (e.g. rho)")
+		tol         = flag.Float64("tol", 0.05, "adaptive: bracket-width tolerance on the search axis")
+		threshold   = flag.Float64("threshold", 0.5, "adaptive: stable-share level the frontier crosses")
+		minSeeds    = flag.Int("min-seeds", 4, "adaptive: first replica batch per probed coordinate")
+		maxSeeds    = flag.Int("max-seeds", 16, "adaptive: replica cap per probed coordinate")
+		probesPath  = flag.String("probes", "", "adaptive: write the per-run probe stream (JSONL) here")
 	)
 	flag.Parse()
 
@@ -88,6 +109,10 @@ func main() {
 		os.Exit(2)
 	}
 	if *remote != "" {
+		if *adaptive {
+			fmt.Fprintln(os.Stderr, "lggsweep: -adaptive is a local-mode flag; the daemon runs exhaustive sweeps")
+			os.Exit(2)
+		}
 		if *journalPath != "" || *resume || *eventsPath != "" {
 			fmt.Fprintln(os.Stderr, "lggsweep: -journal, -resume and -events are local-mode flags; with -remote the daemon owns durability")
 			os.Exit(2)
@@ -114,6 +139,29 @@ func main() {
 	}
 
 	cfg := experiments.Config{Seed: *seed, Seeds: *seeds, Horizon: *horizon, Quick: *quick}
+	if *adaptive {
+		if *axis == "" {
+			fmt.Fprintln(os.Stderr, "lggsweep: -adaptive needs -axis (the numeric axis to bisect)")
+			os.Exit(2)
+		}
+		if *csvPath != "" || *cellsPath != "" || *eventsPath != "" || *faultsArg != "" {
+			fmt.Fprintln(os.Stderr, "lggsweep: -csv, -cells, -events and -faults are exhaustive-mode flags; -adaptive emits frontier results (-out) and probes (-probes)")
+			os.Exit(2)
+		}
+		if g.Space == nil {
+			fmt.Fprintf(os.Stderr, "lggsweep: grid %q has no typed-axis space; -adaptive needs one\n", g.Name)
+			os.Exit(2)
+		}
+		runAdaptive(g.Space(cfg), adaptiveFlags{
+			axis: *axis, tol: *tol, threshold: *threshold,
+			minSeeds: *minSeeds, maxSeeds: *maxSeeds,
+			workers: *workers, timeout: *timeout, retries: *retries, quiet: *quiet,
+			shards: *shards, shardWorkers: *shardWk,
+			journalPath: *journalPath, resume: *resume,
+			out: *out, probesPath: *probesPath, metricsPath: *metricsPath,
+		})
+		return
+	}
 	jobs := g.Jobs(cfg)
 	if *faultsArg != "" {
 		if err := experiments.ApplyFaults(jobs, *faultsArg); err != nil {
@@ -207,6 +255,111 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lggsweep: sweep truncated, wrote the %d finished runs: %v\n", len(rs), runErr)
 		os.Exit(1)
 	}
+}
+
+// adaptiveFlags bundles the flag values the adaptive mode consumes.
+type adaptiveFlags struct {
+	axis                 string
+	tol, threshold       float64
+	minSeeds, maxSeeds   int
+	workers, retries     int
+	timeout              time.Duration
+	quiet                bool
+	shards, shardWorkers int
+	journalPath          string
+	resume               bool
+	out, probesPath      string
+	metricsPath          string
+}
+
+// runAdaptive drives the frontier search: journal/resume wiring with the
+// adaptive job-count sentinel, the round-synchronous RunFrontier, and
+// the frontier outputs. Exits the process on error; the journal always
+// holds the completed prefix, so a killed or failed refinement resumes.
+func runAdaptive(space *sweep.Space, f adaptiveFlags) {
+	if f.shards > 1 {
+		space.Options.Shards = f.shards
+		space.Options.ShardWorkers = f.shardWorkers
+	}
+	runner := &sweep.Runner{Workers: f.workers, Timeout: f.timeout, Retries: f.retries}
+	if !f.quiet {
+		runner.Progress = sweep.NewReporter(os.Stderr, time.Second)
+	}
+	if f.resume && f.journalPath == "" {
+		fmt.Fprintln(os.Stderr, "lggsweep: -resume needs -journal")
+		os.Exit(2)
+	}
+	var journal *sweep.Journal
+	if f.journalPath != "" {
+		var err error
+		if f.resume {
+			var prefix []sweep.Result
+			journal, prefix, err = sweep.OpenJournalResume(f.journalPath, sweep.AdaptiveJobs)
+			if err == nil && len(prefix) > 0 {
+				fmt.Fprintf(os.Stderr, "lggsweep: resuming %s: %d probe runs already done\n",
+					f.journalPath, len(prefix))
+				runner.Resume = prefix
+			}
+		} else {
+			journal, err = sweep.CreateJournal(f.journalPath, sweep.AdaptiveJobs)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lggsweep: %v\n", err)
+			os.Exit(1)
+		}
+		runner.Journal = journal
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	report, runErr := sweep.RunFrontier(ctx, space, sweep.FrontierConfig{
+		Axis: f.axis, Tol: f.tol, Threshold: f.threshold,
+		MinSeeds: f.minSeeds, MaxSeeds: f.maxSeeds,
+	}, runner)
+	stop()
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "lggsweep: journal: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if runErr != nil {
+		// Unlike an exhaustive sweep there is no meaningful partial table:
+		// a bisection cut short has not located any frontier. The journal
+		// (when requested) holds the finished probe prefix for -resume.
+		fmt.Fprintf(os.Stderr, "lggsweep: %v\n", runErr)
+		os.Exit(1)
+	}
+	if err := emitFrontier(report, f.out, f.probesPath, f.metricsPath); err != nil {
+		fmt.Fprintf(os.Stderr, "lggsweep: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// emitFrontier writes the frontier report to the adaptive outputs: the
+// per-group results to out, the probe stream to probesPath, and the
+// aggregate metrics scrape (over the probe runs) to metricsPath.
+func emitFrontier(report *sweep.FrontierReport, out, probesPath, metricsPath string) error {
+	w, closeFn, err := openOut(out)
+	if err != nil {
+		return err
+	}
+	err = sweep.WriteFrontierJSONL(w, report.Results)
+	if cerr := closeFn(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if probesPath != "" {
+		if err := emitJSONL(probesPath, report.Probes); err != nil {
+			return err
+		}
+	}
+	if metricsPath != "" {
+		if err := emitMetrics(metricsPath, report.Probes); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // emitOutputs writes the result set to every requested output.

@@ -92,35 +92,58 @@ func faultVariants(cfg Config) []faultVariant {
 	}
 }
 
-// FaultsGrid crosses the unsaturated suite with the fault regimes: LGG
-// is expected to recover after every transient fault (Conjecture 4's
-// dynamic-topology regime, probed empirically). Each faulty run carries a
-// RecoveryObserver, so the sweep results surface recovery verdicts,
-// time-to-drain and fault-era peaks.
-func FaultsGrid(cfg Config) []sweep.Job {
-	var jobs []sweep.Job
-	for _, w := range unsaturatedSuite(cfg) {
-		w := w
-		for _, fv := range faultVariants(cfg) {
-			sched := fv.sched(w, cfg)
-			for rep := 0; rep < cfg.seeds(); rep++ {
-				jobs = append(jobs, sweep.Job{
-					Desc: sweep.Desc{Index: len(jobs), Grid: "faults", Network: w.name,
-						Router: "lgg", Variant: fv.name, Replica: rep,
-						Seed: cfg.Seed + uint64(rep), Horizon: cfg.horizon()},
-					Build: func(seed uint64) *core.Engine {
-						e := core.NewEngine(w.spec, core.NewLGG())
-						if !sched.Empty() {
-							if _, err := faults.Inject(e, sched, rng.New(seed).Split(streamFaults)); err != nil {
-								panic(err)
-							}
-							e.AddObserver(faults.NewRecoveryObserver(sched))
-						}
-						return e
-					},
-				})
-			}
+// FaultsSpace crosses the unsaturated suite with the fault regimes as a
+// typed-axis space: LGG is expected to recover after every transient
+// fault (Conjecture 4's dynamic-topology regime, probed empirically).
+// Each faulty run carries a RecoveryObserver, so the sweep results
+// surface recovery verdicts, time-to-drain and fault-era peaks. The
+// schedules stay part of the cell definition — built once per
+// (network, regime), identical for every replica.
+func FaultsSpace(cfg Config) *sweep.Space {
+	ws := unsaturatedSuite(cfg)
+	fvs := faultVariants(cfg)
+	names := make([]string, len(ws))
+	specs := make([]*core.Spec, len(ws))
+	scheds := make([][]faults.Schedule, len(ws))
+	for i, w := range ws {
+		names[i] = w.name
+		specs[i] = w.spec
+		scheds[i] = make([]faults.Schedule, len(fvs))
+		for j, fv := range fvs {
+			scheds[i][j] = fv.sched(w, cfg)
 		}
 	}
-	return jobs
+	variants := make([]string, len(fvs))
+	for j, fv := range fvs {
+		variants[j] = fv.name
+	}
+	return &sweep.Space{
+		Name:     "faults",
+		BaseSeed: cfg.Seed,
+		Replicas: cfg.seeds(),
+		Horizon:  cfg.horizon(),
+		Axes: []sweep.Axis{
+			{Name: "network", Labels: names},
+			{Name: "router", Labels: []string{"lgg"}},
+			{Name: "variant", Labels: variants},
+		},
+		SeedFn: func(_ sweep.Point, rep int) uint64 { return cfg.Seed + uint64(rep) },
+		Build: func(p sweep.Probe) *core.Engine {
+			ni, vi := int(p.Point[0].Value), int(p.Point[2].Value)
+			sched := scheds[ni][vi]
+			e := core.NewEngine(specs[ni], core.NewLGG())
+			if !sched.Empty() {
+				if _, err := faults.Inject(e, sched, rng.New(p.Seed).Split(streamFaults)); err != nil {
+					panic(err)
+				}
+				e.AddObserver(faults.NewRecoveryObserver(sched))
+			}
+			return e
+		},
+	}
+}
+
+// FaultsGrid returns the exhaustive enumeration of the faults space.
+func FaultsGrid(cfg Config) []sweep.Job {
+	return mustJobs(FaultsSpace(cfg))
 }

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sweep"
+)
+
+// FrontierSpace is the critical-load frontier grid: the unsaturated
+// suite crossed with a dense rho axis bracketing f* (0.50×…1.50× in
+// steps of 0.05). It exists for the adaptive driver — `lggsweep -grid
+// frontier -adaptive -axis rho` bisects each network's rho axis for the
+// load where the stable share crosses 1/2, Theorem 1's empirical
+// frontier — but enumerates exhaustively too, which is what the
+// adaptive-vs-exhaustive acceptance check runs against.
+//
+// Unlike the migrated grids it uses the default coordinate-keyed seed
+// derivation, so a probe at an arbitrary rho draws a well-defined stream
+// that agrees with the enumerated point whenever the bisection lands on
+// one.
+func FrontierSpace(cfg Config) *sweep.Space {
+	names, infos := loadInfos(unsaturatedSuite(cfg))
+	const steps = 20
+	points := make([]float64, steps+1)
+	labels := make([]string, steps+1)
+	for i := range points {
+		// Integer construction keeps the grid points exact binary-adjacent
+		// rationals (1.00 is exactly 1.0, not 0.5+10×0.05's rounding).
+		points[i] = float64(50+5*i) / 100
+		labels[i] = fmt.Sprintf("%.2f", points[i])
+	}
+	return &sweep.Space{
+		Name:     "frontier",
+		BaseSeed: cfg.Seed,
+		Replicas: cfg.seeds(),
+		Horizon:  cfg.horizon(),
+		Axes: []sweep.Axis{
+			{Name: "network", Labels: names},
+			{Name: "rho", Unit: "×f*", Points: points, Labels: labels},
+		},
+		Build: func(p sweep.Probe) *core.Engine {
+			info := infos[int(p.Point[0].Value)]
+			rho, _ := p.Point.Value("rho")
+			num, den := rhoScale(info, rho)
+			return scaledEngine(info.spec, num, den)
+		},
+	}
+}
+
+// FrontierGrid returns the exhaustive enumeration of the frontier space.
+func FrontierGrid(cfg Config) []sweep.Job {
+	return mustJobs(FrontierSpace(cfg))
+}

@@ -72,37 +72,49 @@ func generalizedCells(cfg Config) []e8cell {
 	return cells
 }
 
-// generalizedJobs flattens the E8 grid into sweep jobs, replicas
-// contiguous per cell, with per-step potential deltas recorded for the
-// Property 3 check.
-func generalizedJobs(cfg Config, cells []e8cell) []sweep.Job {
-	jobs := make([]sweep.Job, 0, len(cells)*cfg.seeds())
-	for _, c := range cells {
-		c := c
-		variant := fmt.Sprintf("R=%d/%s/%s", c.r, c.declare.Name(), c.extract.Name())
-		for rep := 0; rep < cfg.seeds(); rep++ {
-			jobs = append(jobs, sweep.Job{
-				Desc: sweep.Desc{Index: len(jobs), Grid: "generalized", Network: c.w.name,
-					Variant: variant, Replica: rep, Seed: cfg.Seed + uint64(rep),
-					Horizon: cfg.horizon()},
-				Build: func(uint64) *core.Engine {
-					e := core.NewEngine(c.spec, core.NewLGG())
-					e.Declare = c.declare
-					e.Extract = c.extract
-					return e
-				},
-				Options: sim.Options{Horizon: cfg.horizon(), RecordDeltas: true},
-			})
-		}
+// GeneralizedSpace is the E8 grid as a typed-axis space: network ×
+// curated policy variant. The variant axis is categorical — the paper's
+// (R, declare, extract) triples are hand-picked, not a cartesian product
+// — so its labels are the cells' historical "R=…/…/…" names and its
+// ordinals index the precomputed retention-patched specs.
+func GeneralizedSpace(cfg Config) *sweep.Space {
+	cells := generalizedCells(cfg)
+	networks := unsaturatedSuite(cfg)
+	names := make([]string, len(networks))
+	for i, w := range networks {
+		names[i] = w.name
 	}
-	return jobs
+	perNetwork := len(cells) / len(networks)
+	variants := make([]string, perNetwork)
+	for i, c := range cells[:perNetwork] {
+		variants[i] = fmt.Sprintf("R=%d/%s/%s", c.r, c.declare.Name(), c.extract.Name())
+	}
+	return &sweep.Space{
+		Name:     "generalized",
+		BaseSeed: cfg.Seed,
+		Replicas: cfg.seeds(),
+		Horizon:  cfg.horizon(),
+		Axes: []sweep.Axis{
+			{Name: "network", Labels: names},
+			{Name: "variant", Labels: variants},
+		},
+		Options: sim.Options{Horizon: cfg.horizon(), RecordDeltas: true},
+		SeedFn:  func(_ sweep.Point, rep int) uint64 { return cfg.Seed + uint64(rep) },
+		Build: func(p sweep.Probe) *core.Engine {
+			c := cells[int(p.Point[0].Value)*perNetwork+int(p.Point[1].Value)]
+			e := core.NewEngine(c.spec, core.NewLGG())
+			e.Declare = c.declare
+			e.Extract = c.extract
+			return e
+		},
+	}
 }
 
 // GeneralizedGrid returns the E8 R-generalized job list (lying and
 // retention policies across the unsaturated suite) for sweep-based
 // execution.
 func GeneralizedGrid(cfg Config) []sweep.Job {
-	return generalizedJobs(cfg, generalizedCells(cfg))
+	return mustJobs(GeneralizedSpace(cfg))
 }
 
 // runE8 runs unsaturated workloads as R-generalized networks across
@@ -117,7 +129,7 @@ func runE8(cfg Config) *Table {
 		Columns: []string{"network", "R", "declare", "extract", "stable-share", "peak-P", "growth≤P3-bound"},
 	}
 	cells := generalizedCells(cfg)
-	rs, _ := (&sweep.Runner{}).Run(generalizedJobs(cfg, cells))
+	rs, _ := (&sweep.Runner{}).Run(GeneralizedGrid(cfg))
 	for i, cell := range fullCells(rs, cfg.seeds()) {
 		c := cells[i]
 		okBound := true

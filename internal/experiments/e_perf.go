@@ -30,9 +30,8 @@ type duelCell struct {
 	mk       func(spec *core.Spec, seed uint64) core.Router
 }
 
-// duelCells enumerates the E16 grid: workloads crossed with every router
-// and two sub-critical load points.
-func duelCells(cfg Config) []duelCell {
+// duelWorkloads is the E16 workload suite.
+func duelWorkloads(cfg Config) []workload {
 	ws := []workload{
 		{"theta(3,2)", thetaSpec(3, 2, 2, 3)},
 		{"grid(3x4)", gridSpec(3, 4, 2, 1, 3)},
@@ -40,6 +39,13 @@ func duelCells(cfg Config) []duelCell {
 	if !cfg.Quick {
 		ws = append(ws, workload{"theta(4,3)", thetaSpec(4, 3, 2, 4)})
 	}
+	return ws
+}
+
+// duelCells enumerates the E16 grid: workloads crossed with every router
+// and two sub-critical load points.
+func duelCells(cfg Config) []duelCell {
+	ws := duelWorkloads(cfg)
 	loads := []struct {
 		name     string
 		num, den int64
@@ -77,32 +83,50 @@ func duelCells(cfg Config) []duelCell {
 	return cells
 }
 
-// duelJobs flattens the E16 grid into sweep jobs, replicas contiguous per
-// cell.
-func duelJobs(cfg Config, cells []duelCell) []sweep.Job {
-	jobs := make([]sweep.Job, 0, len(cells)*cfg.seeds())
-	for _, c := range cells {
-		c := c
-		for rep := 0; rep < cfg.seeds(); rep++ {
-			jobs = append(jobs, sweep.Job{
-				Desc: sweep.Desc{Index: len(jobs), Grid: "duel", Network: c.w.name,
-					Router: c.router, Variant: "load=" + c.load, Replica: rep,
-					Seed: cfg.Seed + uint64(rep), Horizon: cfg.horizon()},
-				Build: func(seed uint64) *core.Engine {
-					e := core.NewEngine(c.w.spec, c.mk(c.w.spec, seed))
-					e.Arrivals = &arrivals.Scaled{Inner: core.ExactArrivals{}, Num: c.num, Den: c.den}
-					return e
-				},
-			})
-		}
+// RouterDuelSpace is the E16 grid as a typed-axis space: network ×
+// router × a numeric sub-critical load axis in units of f*. The load
+// axis makes the duel adaptively searchable per (network, router) pair —
+// each router's own stability frontier, not just the two declared
+// points.
+func RouterDuelSpace(cfg Config) *sweep.Space {
+	cells := duelCells(cfg)
+	names, infos := loadInfos(duelWorkloads(cfg))
+	const loadsPerRouter = 2
+	perNetwork := len(cells) / len(names)
+	routers := make([]string, perNetwork/loadsPerRouter)
+	mks := make([]func(spec *core.Spec, seed uint64) core.Router, len(routers))
+	for i := range routers {
+		routers[i] = cells[i*loadsPerRouter].router
+		mks[i] = cells[i*loadsPerRouter].mk
 	}
-	return jobs
+	return &sweep.Space{
+		Name:     "duel",
+		BaseSeed: cfg.Seed,
+		Replicas: cfg.seeds(),
+		Horizon:  cfg.horizon(),
+		Axes: []sweep.Axis{
+			{Name: "network", Labels: names},
+			{Name: "router", Labels: routers},
+			{Name: "load", Unit: "×f*", Points: []float64{0.6, 0.9},
+				Labels: []string{"0.60", "0.90"}},
+		},
+		SeedFn: func(_ sweep.Point, rep int) uint64 { return cfg.Seed + uint64(rep) },
+		Build: func(p sweep.Probe) *core.Engine {
+			info := infos[int(p.Point[0].Value)]
+			mk := mks[int(p.Point[1].Value)]
+			x, _ := p.Point.Value("load")
+			num, den := rhoScale(info, x)
+			e := core.NewEngine(info.spec, mk(info.spec, p.Seed))
+			e.Arrivals = &arrivals.Scaled{Inner: core.ExactArrivals{}, Num: num, Den: den}
+			return e
+		},
+	}
 }
 
 // RouterDuelGrid returns the E16 router-duel job list (every router across
 // the load grid) for sweep-based execution.
 func RouterDuelGrid(cfg Config) []sweep.Job {
-	return duelJobs(cfg, duelCells(cfg))
+	return mustJobs(RouterDuelSpace(cfg))
 }
 
 // runE16 pits LGG against all baselines over a load grid. The expected
@@ -117,7 +141,7 @@ func runE16(cfg Config) *Table {
 		Columns: []string{"network", "router", "load(×f*)", "stable-share", "mean-backlog"},
 	}
 	cells := duelCells(cfg)
-	rs, _ := (&sweep.Runner{}).Run(duelJobs(cfg, cells))
+	rs, _ := (&sweep.Runner{}).Run(RouterDuelGrid(cfg))
 	for i, cell := range fullCells(rs, cfg.seeds()) {
 		c := cells[i]
 		t.AddRow(c.w.name, c.router, c.load,

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/arrivals"
 	"repro/internal/baseline"
@@ -61,29 +62,70 @@ func stabilityCells(cfg Config) []e4cell {
 	return cells
 }
 
-// stabilityJobs flattens the E4 grid into sweep jobs, replicas contiguous
-// per cell.
-func stabilityJobs(cfg Config, cells []e4cell) []sweep.Job {
-	jobs := make([]sweep.Job, 0, len(cells)*cfg.seeds())
-	for _, c := range cells {
-		c := c
-		for rep := 0; rep < cfg.seeds(); rep++ {
-			jobs = append(jobs, sweep.Job{
-				Desc: sweep.Desc{Index: len(jobs), Grid: "stability", Network: c.w.name,
-					Variant: "rho=" + c.frac, Replica: rep, Seed: cfg.Seed + uint64(rep),
-					Horizon: cfg.horizon()},
-				Build: func(uint64) *core.Engine { return scaledEngine(c.w.spec, c.num, c.den) },
-			})
-		}
+// loadInfo is the per-network capacity data a rho-axis Build scales
+// arrivals by.
+type loadInfo struct {
+	spec  *core.Spec
+	fstar int64
+	rate  int64
+}
+
+// loadInfos analyzes a workload list once for rho-axis spaces.
+func loadInfos(ws []workload) ([]string, []loadInfo) {
+	names := make([]string, len(ws))
+	infos := make([]loadInfo, len(ws))
+	for i, w := range ws {
+		a := w.spec.Analyze(flow.NewPushRelabel())
+		names[i] = w.name
+		infos[i] = loadInfo{spec: w.spec, fstar: a.FStar, rate: w.spec.ArrivalRate()}
 	}
-	return jobs
+	return names, infos
+}
+
+// rhoScale converts an arbitrary load fraction rho into the exact Scaled
+// rational num/den targeting rho·f* per step. Representing rho as
+// round(rho·1e6)/1e6 keeps declared grid fractions exact (0.50 → 1/2,
+// 0.80 → 4/5, …), so the accumulator arithmetic — which depends only on
+// the value of the rational — reproduces the historical per-step
+// injection sequence at every enumerated point.
+func rhoScale(info loadInfo, rho float64) (num, den int64) {
+	const q = 1_000_000
+	return info.fstar * int64(math.Round(rho*q)), info.rate * q
+}
+
+// StabilitySpace is the E4 load sweep as a typed-axis space: the
+// unsaturated suite crossed with a numeric rho axis in units of f*. The
+// rho axis is what makes the grid adaptively searchable — RunFrontier
+// bisects it for the empirical edge of Theorem 1's stability region.
+func StabilitySpace(cfg Config) *sweep.Space {
+	names, infos := loadInfos(unsaturatedSuite(cfg))
+	return &sweep.Space{
+		Name:     "stability",
+		BaseSeed: cfg.Seed,
+		Replicas: cfg.seeds(),
+		Horizon:  cfg.horizon(),
+		Axes: []sweep.Axis{
+			{Name: "network", Labels: names},
+			{Name: "rho", Unit: "×f*", Points: []float64{0.5, 0.8, 1.0, 1.25},
+				Labels: []string{"0.50", "0.80", "1.00", "1.25"}},
+		},
+		// Historical seeding: every cell shares the base seed + replica
+		// offset (the runs are deterministic given the engine).
+		SeedFn: func(_ sweep.Point, rep int) uint64 { return cfg.Seed + uint64(rep) },
+		Build: func(p sweep.Probe) *core.Engine {
+			info := infos[int(p.Point[0].Value)]
+			rho, _ := p.Point.Value("rho")
+			num, den := rhoScale(info, rho)
+			return scaledEngine(info.spec, num, den)
+		},
+	}
 }
 
 // StabilityGrid returns the E4 load-sweep job list (Theorem 1's stability
 // frontier) for sweep-based execution: lggsweep and BenchmarkSweep* run
 // exactly the grid the experiment tables are built from.
 func StabilityGrid(cfg Config) []sweep.Job {
-	return stabilityJobs(cfg, stabilityCells(cfg))
+	return mustJobs(StabilitySpace(cfg))
 }
 
 // runE4 sweeps the injected load as a fraction of f* on the unsaturated
@@ -97,7 +139,7 @@ func runE4(cfg Config) *Table {
 		Columns: []string{"network", "ρ(×f*)", "rate", "f*", "stable-share", "mean-backlog", "verdict"},
 	}
 	cells := stabilityCells(cfg)
-	rs, _ := (&sweep.Runner{}).Run(stabilityJobs(cfg, cells))
+	rs, _ := (&sweep.Runner{}).Run(StabilityGrid(cfg))
 	for i, cell := range fullCells(rs, cfg.seeds()) {
 		c := cells[i]
 		share := sweep.StableShare(cell)

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
@@ -207,5 +208,74 @@ func TestFaultsGridRunsAndReportsRecovery(t *testing.T) {
 	}
 	if _, err := FindGrid("faults"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestAdaptiveMatchesExhaustive is the adaptive acceptance gate: on the
+// frontier grid, bisection must land on the same critical load the
+// exhaustive enumeration brackets — within one grid spacing plus the
+// bisection tolerance — while spending at most half the runs.
+func TestAdaptiveMatchesExhaustive(t *testing.T) {
+	cfg := tinyConfig()
+	space := FrontierSpace(cfg)
+	jobs := FrontierGrid(cfg)
+	rs, err := (&sweep.Runner{Workers: 4}).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := sweep.AggregateCells(rs, cfg.Seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho, _ := space.Axis("rho")
+	points := rho.Points
+	perNetwork := len(points)
+	if len(cells) != 2*perNetwork {
+		t.Fatalf("exhaustive frontier grid has %d cells, want %d", len(cells), 2*perNetwork)
+	}
+	// Exhaustive estimate: the midpoint between the last stable grid
+	// point and the first unstable one, per network.
+	exhaustive := make(map[string]float64)
+	for n := 0; n < 2; n++ {
+		group := cells[n*perNetwork : (n+1)*perNetwork]
+		last := -1
+		for i, c := range group {
+			if c.StableShare >= 0.5 {
+				last = i
+			}
+		}
+		if last < 0 || last == perNetwork-1 {
+			t.Fatalf("network %s has no frontier inside the rho axis (last stable index %d)", group[0].Network, last)
+		}
+		exhaustive[group[0].Network] = (points[last] + points[last+1]) / 2
+	}
+
+	const tol = 0.025
+	rep, err := sweep.RunFrontier(t.Context(), FrontierSpace(cfg),
+		sweep.FrontierConfig{Axis: "rho", Tol: tol, MinSeeds: cfg.Seeds, MaxSeeds: cfg.Seeds},
+		&sweep.Runner{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("adaptive produced %d group results, want 2", len(rep.Results))
+	}
+	spacing := points[1] - points[0]
+	for _, fr := range rep.Results {
+		network := fr.Coords[0].Label
+		want, ok := exhaustive[network]
+		if !ok {
+			t.Fatalf("adaptive group %q has no exhaustive counterpart", network)
+		}
+		if !fr.Found {
+			t.Fatalf("adaptive did not find the %s frontier: %+v", network, fr)
+		}
+		if diff := math.Abs(fr.Critical - want); diff > spacing/2+tol {
+			t.Errorf("%s: adaptive critical %.4f vs exhaustive %.4f (diff %.4f > %.4f)",
+				network, fr.Critical, want, diff, spacing/2+tol)
+		}
+	}
+	if rep.TotalRuns*2 > len(jobs) {
+		t.Errorf("adaptive spent %d runs, more than half the exhaustive %d", rep.TotalRuns, len(jobs))
 	}
 }

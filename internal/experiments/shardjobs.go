@@ -27,14 +27,14 @@ func ApplyShards(jobs []sweep.Job, shards, workers int) error {
 	return nil
 }
 
-// ShardGrid is the workload behind the shard-determinism CI gate: LGG on
-// localized topologies crossed with the stochastic machinery whose call
-// order the sharded engine must preserve exactly — Bernoulli losses
+// ShardSpace is the workload behind the shard-determinism CI gate: LGG
+// on localized topologies crossed with the stochastic machinery whose
+// call order the sharded engine must preserve exactly — Bernoulli losses
 // (one RNG draw per attempted transmission, in global send order),
 // thinned and bursty arrivals, and a lying retention band that forces
 // collisions. If the sharded path reorders anything, these runs change
 // byte-for-byte.
-func ShardGrid(cfg Config) []sweep.Job {
+func ShardSpace(cfg Config) *sweep.Space {
 	type cell struct {
 		name  string
 		spec  *core.Spec
@@ -75,17 +75,28 @@ func ShardGrid(cfg Config) []sweep.Job {
 		{"grid/bursty", gs, bursty},
 	}
 
-	jobs := make([]sweep.Job, 0, len(cells)*cfg.seeds())
-	for _, c := range cells {
-		c := c
-		for rep := 0; rep < cfg.seeds(); rep++ {
-			jobs = append(jobs, sweep.Job{
-				Desc: sweep.Desc{Index: len(jobs), Grid: "shard", Network: c.name,
-					Router: "lgg", Replica: rep, Seed: cfg.Seed + uint64(rep),
-					Horizon: cfg.horizon()},
-				Build: func(seed uint64) *core.Engine { return c.build(c.spec, seed) },
-			})
-		}
+	names := make([]string, len(cells))
+	for i, c := range cells {
+		names[i] = c.name
 	}
-	return jobs
+	return &sweep.Space{
+		Name:     "shard",
+		BaseSeed: cfg.Seed,
+		Replicas: cfg.seeds(),
+		Horizon:  cfg.horizon(),
+		Axes: []sweep.Axis{
+			{Name: "network", Labels: names},
+			{Name: "router", Labels: []string{"lgg"}},
+		},
+		SeedFn: func(_ sweep.Point, rep int) uint64 { return cfg.Seed + uint64(rep) },
+		Build: func(p sweep.Probe) *core.Engine {
+			c := cells[int(p.Point[0].Value)]
+			return c.build(c.spec, p.Seed)
+		},
+	}
+}
+
+// ShardGrid returns the exhaustive enumeration of the shard space.
+func ShardGrid(cfg Config) []sweep.Job {
+	return mustJobs(ShardSpace(cfg))
 }

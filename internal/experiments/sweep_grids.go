@@ -7,28 +7,46 @@ import (
 	"repro/internal/sweep"
 )
 
-// NamedGrid is a sweep job list addressable by name from cmd/lggsweep and
-// the benchmarks; Jobs rebuilds the grid for a given Config so callers can
-// vary seed, replica count and horizon.
+// NamedGrid is a sweep addressable by name from cmd/lggsweep and the
+// benchmarks; Jobs rebuilds the enumerated job list for a given Config so
+// callers can vary seed, replica count and horizon. Space, when set,
+// exposes the same sweep as a typed-axis sweep.Space — the form the
+// adaptive frontier driver (and any axis-aware tooling) consumes. Jobs
+// and Space always describe the same runs: for migrated grids, Jobs is
+// exactly Space(cfg).Jobs().
 type NamedGrid struct {
-	Name string
-	Desc string
-	Jobs func(cfg Config) []sweep.Job
+	Name  string
+	Desc  string
+	Jobs  func(cfg Config) []sweep.Job
+	Space func(cfg Config) *sweep.Space
+}
+
+// mustJobs enumerates a space that is enumerable by construction; the
+// migrated grid constructors use it so their historical []sweep.Job
+// signatures survive the typed-axis redesign.
+func mustJobs(s *sweep.Space) []sweep.Job {
+	jobs, err := s.Jobs()
+	if err != nil {
+		panic(fmt.Sprintf("experiments: grid %q: %v", s.Name, err))
+	}
+	return jobs
 }
 
 // SweepGrids returns the registered grids, sorted by name.
 func SweepGrids() []NamedGrid {
 	grids := []NamedGrid{
 		{Name: "stability", Desc: "E4 load sweep: unsaturated suite × load fractions of f*",
-			Jobs: StabilityGrid},
+			Jobs: StabilityGrid, Space: StabilitySpace},
 		{Name: "generalized", Desc: "E8 R-generalized networks: retention × lying × extraction policies",
-			Jobs: GeneralizedGrid},
+			Jobs: GeneralizedGrid, Space: GeneralizedSpace},
 		{Name: "duel", Desc: "E16 router duel: LGG vs baselines across sub-critical loads",
-			Jobs: RouterDuelGrid},
+			Jobs: RouterDuelGrid, Space: RouterDuelSpace},
 		{Name: "faults", Desc: "fault injection: unsaturated suite × fault regimes, with recovery verdicts",
-			Jobs: FaultsGrid},
+			Jobs: FaultsGrid, Space: FaultsSpace},
 		{Name: "shard", Desc: "shard-determinism stress: LGG × stochastic losses/arrivals/lying on localized topologies",
-			Jobs: ShardGrid},
+			Jobs: ShardGrid, Space: ShardSpace},
+		{Name: "frontier", Desc: "critical-load frontier: unsaturated suite × a dense rho axis around f* (built for -adaptive)",
+			Jobs: FrontierGrid, Space: FrontierSpace},
 	}
 	sort.Slice(grids, func(i, j int) bool { return grids[i].Name < grids[j].Name })
 	return grids

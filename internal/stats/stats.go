@@ -196,6 +196,79 @@ func MeanCI(xs []float64, z float64) (mean, half float64) {
 	return mean, half
 }
 
+// WilsonInterval returns the Wilson score confidence interval for a
+// binomial proportion: k successes observed in n trials, at normal
+// quantile z (1.96 for ~95%). Unlike the Wald interval it behaves at the
+// boundaries — p̂ = 0 or 1 still yields a non-degenerate interval, which
+// is exactly what the adaptive sweep's early-stopping rule needs when a
+// cell is unanimously stable or unstable after a handful of seeds.
+//
+// Conventions: n <= 0 returns the no-information interval (0, 1); z <= 0
+// collapses to the point estimate (p̂, p̂). k is clamped into [0, n].
+func WilsonInterval(k, n int, z float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	p := float64(k) / float64(n)
+	if z <= 0 {
+		return p, p
+	}
+	nf := float64(n)
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := p + z2/(2*nf)
+	half := z * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	lo = (center - half) / denom
+	hi = (center + half) / denom
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// HoeffdingInterval returns the distribution-free Hoeffding confidence
+// interval for a binomial proportion: p̂ ± sqrt(ln(2/alpha) / 2n),
+// clipped to [0, 1]. It is wider (more conservative) than Wilson at every
+// n — the right choice when the early-stopping decision must not rely on
+// the normal approximation at all.
+//
+// Conventions: n <= 0 returns (0, 1); alpha outside (0, 1) falls back to
+// 0.05. k is clamped into [0, n].
+func HoeffdingInterval(k, n int, alpha float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	if alpha <= 0 || alpha >= 1 {
+		alpha = 0.05
+	}
+	p := float64(k) / float64(n)
+	half := math.Sqrt(math.Log(2/alpha) / (2 * float64(n)))
+	lo = p - half
+	hi = p + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
 // BatchMeansCI estimates a confidence interval for the mean of a
 // *correlated* time series using the method of batch means: the series is
 // cut into `batches` contiguous batches, whose means are approximately

@@ -270,3 +270,92 @@ func TestQuickQuantileMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestWilsonInterval(t *testing.T) {
+	const tol = 1e-9
+	cases := []struct {
+		name   string
+		k, n   int
+		z      float64
+		lo, hi float64
+	}{
+		// Reference values computed from the closed form directly; the
+		// interesting rows are the boundary behaviours.
+		{"no-information", 0, 0, 1.96, 0, 1},
+		{"negative-n", 3, -1, 1.96, 0, 1},
+		{"all-failures", 0, 10, 1.96, 0, 0.27754016876662},
+		{"all-successes", 10, 10, 1.96, 0.72245983123338, 1},
+		{"half", 5, 10, 1.96, 0.23658959361549, 0.76341040638451},
+		{"single-success", 1, 1, 1.96, 0.20654329147389, 1},
+		{"single-failure", 0, 1, 1.96, 0, 0.79345670852611},
+		{"clamped-k-high", 99, 10, 1.96, 0.72245983123338, 1},
+		{"clamped-k-low", -5, 10, 1.96, 0, 0.27754016876662},
+		{"zero-z-point-estimate", 3, 4, 0, 0.75, 0.75},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			lo, hi := WilsonInterval(c.k, c.n, c.z)
+			if math.Abs(lo-c.lo) > tol || math.Abs(hi-c.hi) > tol {
+				t.Fatalf("WilsonInterval(%d, %d, %g) = (%.14f, %.14f), want (%.14f, %.14f)",
+					c.k, c.n, c.z, lo, hi, c.lo, c.hi)
+			}
+		})
+	}
+}
+
+func TestHoeffdingInterval(t *testing.T) {
+	const tol = 1e-9
+	half10 := math.Sqrt(math.Log(2/0.05) / 20) // n=10, alpha=0.05
+	cases := []struct {
+		name   string
+		k, n   int
+		alpha  float64
+		lo, hi float64
+	}{
+		{"no-information", 0, 0, 0.05, 0, 1},
+		{"all-failures", 0, 10, 0.05, 0, half10},
+		{"all-successes", 10, 10, 0.05, 1 - half10, 1},
+		{"half", 5, 10, 0.05, 0.5 - half10, 0.5 + half10},
+		{"bad-alpha-defaults", 5, 10, 0, 0.5 - half10, 0.5 + half10},
+		{"clamped-k", 42, 10, 0.05, 1 - half10, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			lo, hi := HoeffdingInterval(c.k, c.n, c.alpha)
+			if math.Abs(lo-c.lo) > tol || math.Abs(hi-c.hi) > tol {
+				t.Fatalf("HoeffdingInterval(%d, %d, %g) = (%.14f, %.14f), want (%.14f, %.14f)",
+					c.k, c.n, c.alpha, lo, hi, c.lo, c.hi)
+			}
+		})
+	}
+}
+
+// Property: Hoeffding contains Wilson's point estimate and is the wider
+// (more conservative) of the two at matched confidence; both are ordered
+// and inside [0, 1] for every (k, n).
+func TestIntervalProperties(t *testing.T) {
+	for n := 0; n <= 40; n++ {
+		for k := 0; k <= n; k++ {
+			wlo, whi := WilsonInterval(k, n, 1.96)
+			hlo, hhi := HoeffdingInterval(k, n, 0.05)
+			for _, b := range []struct {
+				name   string
+				lo, hi float64
+			}{{"wilson", wlo, whi}, {"hoeffding", hlo, hhi}} {
+				if b.lo > b.hi || b.lo < 0 || b.hi > 1 {
+					t.Fatalf("%s(%d,%d) disordered or out of range: (%g, %g)", b.name, k, n, b.lo, b.hi)
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			p := float64(k) / float64(n)
+			if wlo > p+1e-12 || whi < p-1e-12 {
+				t.Fatalf("wilson(%d,%d) = (%g,%g) excludes p̂=%g", k, n, wlo, whi, p)
+			}
+			if hlo > wlo+1e-12 || hhi < whi-1e-12 {
+				t.Fatalf("hoeffding(%d,%d) = (%g,%g) narrower than wilson (%g,%g)", k, n, hlo, hhi, wlo, whi)
+			}
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+)
+
+// RunFrontier is the adaptive sweep driver: instead of enumerating a
+// Space exhaustively it locates, for every cell group, the coordinate on
+// one numeric axis where the configured metric share crosses the
+// threshold — the empirical stability frontier — by bisection, spending
+// replicas per probed coordinate only until a confidence interval
+// resolves which side of the threshold the probe is on.
+//
+// Execution is round-synchronous and therefore deterministic: every
+// round collects, in group enumeration order, the next replica batch of
+// each group's current probe into one job list, runs it through a copy
+// of base (so Workers, Timeout, Retries, Progress and Journal all
+// apply), and feeds the results back before any group advances. Probe
+// emission order — and hence Desc.Index, the journal byte stream and
+// the returned report — depends only on the space, the config and the
+// results themselves, never on worker scheduling.
+//
+// Crash recovery rides on the same Journal machinery as exhaustive
+// sweeps: create the journal with AdaptiveJobs (the total run count is
+// not known up front), wire it into base.Journal, and on restart pass
+// the prefix from OpenJournalResume as base.Resume — RunFrontier feeds
+// each round from the front of that prefix, so the refinement replays
+// its recorded decisions without re-running them and continues live
+// exactly where the journal tore.
+func RunFrontier(ctx context.Context, s *Space, cfg FrontierConfig, base *Runner) (*FrontierReport, error) {
+	if base == nil {
+		base = &Runner{}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	axis, ok := s.Axis(cfg.Axis)
+	if !ok {
+		return nil, fmt.Errorf("sweep: space %q has no axis %q", s.Name, cfg.Axis)
+	}
+	axisLo, axisHi, ok := axis.Bounds()
+	if !ok || !axis.Numeric() {
+		return nil, fmt.Errorf("sweep: axis %q is categorical — the search axis must be numeric", cfg.Axis)
+	}
+	if axisLo >= axisHi {
+		return nil, fmt.Errorf("sweep: axis %q spans no range (%g..%g)", cfg.Axis, axisLo, axisHi)
+	}
+	cfg = cfg.withDefaults(axisLo, axisHi)
+
+	groupPts, err := s.groups(cfg.Axis)
+	if err != nil {
+		return nil, err
+	}
+	groups := make([]*groupState, len(groupPts))
+	for i, gp := range groupPts {
+		g := &groupState{
+			group: gp,
+			phase: phaseLo,
+			cur:   &probeStat{x: axisLo},
+		}
+		g.res = FrontierResult{
+			Grid:   s.Name,
+			Axis:   axis.Name,
+			Unit:   axis.Unit,
+			Coords: append([]AxisValue(nil), gp...),
+			Probes: 1, // the lower endpoint; advance counts the rest
+		}
+		groups[i] = g
+	}
+
+	var (
+		base2   = *base // local copy: Resume is consumed round by round
+		resume  = base2.Resume
+		probes  []Result
+		emitted int
+	)
+	for {
+		// Collect this round's batches, remembering each group's slice.
+		var (
+			jobs   []Job
+			feeds  []*groupState
+			counts []int
+		)
+		for _, g := range groups {
+			if g.phase == phaseDone {
+				continue
+			}
+			batch := g.cur.nextBatch(cfg)
+			if batch == 0 {
+				// Unreachable: advance only leaves an unsettled cur behind.
+				return nil, fmt.Errorf("sweep: adaptive group stalled at %g", g.cur.x)
+			}
+			pt := s.pointWith(g.group, axis, g.cur.x)
+			for rep := g.cur.n; rep < g.cur.n+batch; rep++ {
+				jobs = append(jobs, s.job(emitted, pt, rep))
+				emitted++
+			}
+			feeds = append(feeds, g)
+			counts = append(counts, batch)
+		}
+		if len(jobs) == 0 {
+			break // every group done
+		}
+
+		r := base2
+		take := len(resume)
+		if take > len(jobs) {
+			take = len(jobs)
+		}
+		r.Resume, resume = resume[:take], resume[take:]
+		rs, err := r.RunWithContext(ctx, jobs)
+		if err != nil {
+			// The journal holds everything emitted so far; a resumed run
+			// picks the refinement up from here.
+			return nil, err
+		}
+		probes = append(probes, rs...)
+
+		off := 0
+		for i, g := range feeds {
+			g.cur.observe(cfg, rs[off:off+counts[i]])
+			g.res.Runs += counts[i]
+			off += counts[i]
+			g.advance(cfg, axisLo, axisHi)
+		}
+	}
+	if len(resume) > 0 {
+		return nil, fmt.Errorf("sweep: resume prefix has %d results beyond the adaptive refinement — journal from a different sweep?", len(resume))
+	}
+
+	rep := &FrontierReport{
+		Results:   make([]FrontierResult, len(groups)),
+		Probes:    probes,
+		TotalRuns: len(probes),
+	}
+	for i, g := range groups {
+		rep.Results[i] = g.res
+	}
+	return rep, nil
+}

@@ -1,0 +1,300 @@
+package sweep
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// FrontierMetric selects the per-run success predicate whose share the
+// adaptive driver thresholds.
+type FrontierMetric int
+
+const (
+	// MetricStable counts runs whose verdict is Stable — the Theorem 1
+	// stability frontier.
+	MetricStable FrontierMetric = iota
+	// MetricRecovered counts runs whose fault-recovery verdict is
+	// "Recovered" — the Conjecture 4 recovery frontier of faulted sweeps.
+	MetricRecovered
+)
+
+// String names the metric for output and error messages.
+func (m FrontierMetric) String() string {
+	switch m {
+	case MetricRecovered:
+		return "recovered"
+	default:
+		return "stable"
+	}
+}
+
+// success reports whether one run counts toward the metric share. Failed
+// (panicked) runs never count — a crash is evidence against stability,
+// not missing data, and treating it as such keeps the refinement
+// deterministic even in the presence of failures.
+func (m FrontierMetric) success(r Result) bool {
+	if r.Failed {
+		return false
+	}
+	switch m {
+	case MetricRecovered:
+		return r.Recovery == "Recovered"
+	default:
+		return r.Verdict == sim.Stable
+	}
+}
+
+// FrontierConfig tunes one adaptive frontier search.
+type FrontierConfig struct {
+	// Axis names the numeric search axis of the space.
+	Axis string
+	// Tol is the absolute bracket-width tolerance the bisection refines
+	// to; <= 0 defaults to 1/100 of the axis range.
+	Tol float64
+	// Threshold is the metric share the frontier crosses (default 0.5).
+	Threshold float64
+	// MinSeeds is the first replica batch per probed coordinate (default
+	// 4 — the smallest n at which a unanimous Wilson interval at z=1.96
+	// clears a 0.5 threshold, so deterministic cells settle in one batch).
+	MinSeeds int
+	// MaxSeeds caps the replicas per probe; an undecided probe is forced
+	// to a side at the cap (default 4×MinSeeds). Batches grow by doubling
+	// — the successive-halving budget schedule inverted: instead of
+	// halving the surviving arms, the lone surviving probe doubles its
+	// budget until its interval clears the threshold.
+	MaxSeeds int
+	// Z is the Wilson normal quantile (default 1.96, ~95%).
+	Z float64
+	// Hoeffding switches the early-stopping interval from Wilson to the
+	// distribution-free Hoeffding bound at significance Alpha.
+	Hoeffding bool
+	// Alpha is the Hoeffding significance (default 0.05).
+	Alpha float64
+	// Metric is the thresholded share (default MetricStable).
+	Metric FrontierMetric
+}
+
+// withDefaults resolves the zero values against the axis bounds.
+func (c FrontierConfig) withDefaults(lo, hi float64) FrontierConfig {
+	if c.Tol <= 0 {
+		c.Tol = (hi - lo) / 100
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.5
+	}
+	if c.MinSeeds <= 0 {
+		c.MinSeeds = 4
+	}
+	if c.MaxSeeds <= 0 {
+		c.MaxSeeds = 4 * c.MinSeeds
+	}
+	if c.MaxSeeds < c.MinSeeds {
+		c.MaxSeeds = c.MinSeeds
+	}
+	if c.Z <= 0 {
+		c.Z = 1.96
+	}
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		c.Alpha = 0.05
+	}
+	return c
+}
+
+// interval returns the configured confidence interval for k successes in
+// n runs.
+func (c FrontierConfig) interval(k, n int) (lo, hi float64) {
+	if c.Hoeffding {
+		return stats.HoeffdingInterval(k, n, c.Alpha)
+	}
+	return stats.WilsonInterval(k, n, c.Z)
+}
+
+// FrontierResult is the per-group outcome of a frontier search: the
+// critical coordinate bracketed to tolerance, the metric shares and
+// confidence intervals at the final bracket edges, and the probe budget
+// spent.
+type FrontierResult struct {
+	Grid string `json:"grid,omitempty"`
+	// Axis/Unit identify the search axis.
+	Axis string `json:"axis"`
+	Unit string `json:"unit,omitempty"`
+	// Coords pins the group: one value per non-search axis.
+	Coords []AxisValue `json:"coords,omitempty"`
+	// Found reports whether the endpoints straddled the threshold. When
+	// false, Side says where the whole axis sits: "above" (the metric
+	// share clears the threshold everywhere) or "below".
+	Found bool   `json:"found"`
+	Side  string `json:"side,omitempty"`
+	// Critical is the bracket midpoint once BracketHi−BracketLo ≤ Tol.
+	Critical float64 `json:"critical,omitempty"`
+	// BracketLo/Hi is the final bracket (the full axis range when the
+	// frontier was not found).
+	BracketLo float64 `json:"bracket_lo"`
+	BracketHi float64 `json:"bracket_hi"`
+	// ShareAtLo/Hi are the observed metric shares at the bracket edges,
+	// with their confidence intervals.
+	ShareAtLo float64    `json:"share_at_lo"`
+	CIAtLo    [2]float64 `json:"ci_at_lo"`
+	ShareAtHi float64    `json:"share_at_hi"`
+	CIAtHi    [2]float64 `json:"ci_at_hi"`
+	// Probes is the number of distinct coordinates probed; Runs the total
+	// simulation runs spent on this group.
+	Probes int `json:"probes"`
+	Runs   int `json:"runs"`
+}
+
+// FrontierReport is the full outcome of RunFrontier: one FrontierResult
+// per group (in group enumeration order), every probe run's summary (in
+// emission order — the byte-stable probe stream), and the total budget.
+type FrontierReport struct {
+	Results   []FrontierResult
+	Probes    []Result
+	TotalRuns int
+}
+
+// WriteFrontierJSONL encodes frontier results as JSON lines, byte-stably.
+func WriteFrontierJSONL(w io.Writer, frs []FrontierResult) error {
+	enc := json.NewEncoder(w)
+	for i := range frs {
+		if err := enc.Encode(&frs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// probeStat accumulates the replicas of one probed coordinate.
+type probeStat struct {
+	x       float64
+	n, k    int  // runs, metric successes
+	settled bool // interval decisively on one side, or MaxSeeds reached
+	above   bool // settled side: share ≥ threshold
+}
+
+// share is the observed success fraction.
+func (p *probeStat) share() float64 {
+	if p.n == 0 {
+		return 0
+	}
+	return float64(p.k) / float64(p.n)
+}
+
+// observe folds a batch of results into the stat and re-evaluates the
+// early-stopping rule: settle as soon as the confidence interval excludes
+// the threshold, or force a side at the replica cap.
+func (p *probeStat) observe(cfg FrontierConfig, batch []Result) {
+	for _, r := range batch {
+		p.n++
+		if cfg.Metric.success(r) {
+			p.k++
+		}
+	}
+	lo, hi := cfg.interval(p.k, p.n)
+	switch {
+	case lo > cfg.Threshold:
+		p.settled, p.above = true, true
+	case hi < cfg.Threshold:
+		p.settled, p.above = true, false
+	case p.n >= cfg.MaxSeeds:
+		p.settled, p.above = true, p.share() >= cfg.Threshold
+	}
+}
+
+// nextBatch is the size of the next replica batch: MinSeeds to start,
+// then doubling (add n more) up to the cap. Returns 0 once settled.
+func (p *probeStat) nextBatch(cfg FrontierConfig) int {
+	if p.settled {
+		return 0
+	}
+	b := cfg.MinSeeds
+	if p.n > 0 {
+		b = p.n
+	}
+	if p.n+b > cfg.MaxSeeds {
+		b = cfg.MaxSeeds - p.n
+	}
+	return b
+}
+
+// Group search phases.
+const (
+	phaseLo = iota // settling the lower axis endpoint
+	phaseHi        // settling the upper axis endpoint
+	phaseBisect
+	phaseDone
+)
+
+// groupState is the bisection state machine of one cell group.
+type groupState struct {
+	group Point // non-search-axis coordinates
+	phase int
+	cur   *probeStat // probe being settled
+	lo    *probeStat // bracket edges (phase >= phaseBisect)
+	hi    *probeStat
+	end0  *probeStat // the settled axis endpoints
+	end1  *probeStat
+	res   FrontierResult
+}
+
+// advance moves the state machine forward after cur settled, returning
+// once it needs fresh runs (cur unsettled) or is done.
+func (g *groupState) advance(cfg FrontierConfig, axisLo, axisHi float64) {
+	for g.phase != phaseDone && g.cur.settled {
+		switch g.phase {
+		case phaseLo:
+			g.end0 = g.cur
+			g.phase = phaseHi
+			g.res.Probes++
+			g.cur = &probeStat{x: axisHi}
+		case phaseHi:
+			g.end1 = g.cur
+			if g.end0.above == g.end1.above {
+				g.res.Found = false
+				if g.end0.above {
+					g.res.Side = "above"
+				} else {
+					g.res.Side = "below"
+				}
+				g.lo, g.hi = g.end0, g.end1
+				g.finish(cfg)
+				return
+			}
+			g.lo, g.hi = g.end0, g.end1
+			g.phase = phaseBisect
+			g.cur = g.bisectOrFinish(cfg)
+		case phaseBisect:
+			if g.cur.above == g.lo.above {
+				g.lo = g.cur
+			} else {
+				g.hi = g.cur
+			}
+			g.cur = g.bisectOrFinish(cfg)
+		}
+	}
+}
+
+// bisectOrFinish either emits the next midpoint probe or, when the
+// bracket is within tolerance, closes the group with the frontier found.
+func (g *groupState) bisectOrFinish(cfg FrontierConfig) *probeStat {
+	if g.hi.x-g.lo.x <= cfg.Tol {
+		g.res.Found = true
+		g.res.Critical = (g.lo.x + g.hi.x) / 2
+		g.finish(cfg)
+		return g.cur
+	}
+	g.res.Probes++
+	return &probeStat{x: (g.lo.x + g.hi.x) / 2}
+}
+
+// finish freezes the bracket-edge statistics into the result.
+func (g *groupState) finish(cfg FrontierConfig) {
+	g.phase = phaseDone
+	g.res.BracketLo, g.res.BracketHi = g.lo.x, g.hi.x
+	g.res.ShareAtLo = g.lo.share()
+	g.res.CIAtLo[0], g.res.CIAtLo[1] = cfg.interval(g.lo.k, g.lo.n)
+	g.res.ShareAtHi = g.hi.share()
+	g.res.CIAtHi[0], g.res.CIAtHi[1] = cfg.interval(g.hi.k, g.hi.n)
+}

@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -30,9 +32,14 @@ type Variant struct {
 }
 
 // Grid is the cartesian product Networks × Routers × Variants × Replicas.
-// Jobs enumerates it into run descriptors whose RNG streams derive only
-// from (BaseSeed, run index), so a Grid executes bit-identically at any
-// worker count.
+//
+// Deprecated-path note: Grid predates the typed-axis API and survives as
+// a thin compat layer over Space — its three fixed closure axes cannot
+// carry units, numeric coordinates or continuous ranges, so the adaptive
+// frontier driver cannot search them. New grids should construct a Space
+// directly; Grid keeps compiling (and keeps its exact RNG discipline:
+// streams derive only from (BaseSeed, run index) via rng.ForRun) for
+// existing callers.
 type Grid struct {
 	Name     string
 	BaseSeed uint64
@@ -56,14 +63,12 @@ var identityVariant = []Variant{{Name: "", Apply: nil}}
 var defaultRouter = []RouterAxis{{Name: "lgg",
 	New: func(*core.Spec, *rng.Source) core.Router { return core.NewLGG() }}}
 
-// Jobs enumerates the grid in deterministic order: networks outermost,
-// then routers, variants, and replicas innermost (replicas of a cell stay
-// contiguous, so Cells applies directly to the results).
-func (g *Grid) Jobs() []Job {
-	replicas := g.Replicas
-	if replicas <= 0 {
-		replicas = 1
-	}
+// Space rebuilds the legacy grid as a typed-axis space: three categorical
+// axes (network, router, variant) whose ordinals index the original
+// closure lists. Seeds and RNG streams reproduce Grid.Jobs exactly —
+// Desc.Seed is BaseSeed and the run stream is rng.ForRun(BaseSeed, index)
+// — so the compat layer is byte-transparent.
+func (g *Grid) Space() *Space {
 	routers := g.Routers
 	if len(routers) == 0 {
 		routers = defaultRouter
@@ -72,41 +77,61 @@ func (g *Grid) Jobs() []Job {
 	if len(variants) == 0 {
 		variants = identityVariant
 	}
-	var jobs []Job
-	for _, nw := range g.Networks {
-		spec := nw.New()
-		for _, rt := range routers {
-			for _, vr := range variants {
-				for rep := 0; rep < replicas; rep++ {
-					idx := len(jobs)
-					rt, vr := rt, vr
-					jobs = append(jobs, Job{
-						Desc: Desc{
-							Index:   idx,
-							Grid:    g.Name,
-							Network: nw.Name,
-							Router:  rt.Name,
-							Variant: vr.Name,
-							Replica: rep,
-							Seed:    g.BaseSeed,
-							Horizon: g.Horizon,
-						},
-						Build: func(uint64) *core.Engine {
-							// The run stream depends only on (base, index):
-							// sub-streams 1 and 2 feed the router and the
-							// variant, leaving the root for future axes.
-							rs := rng.ForRun(g.BaseSeed, uint64(idx))
-							e := core.NewEngine(spec, rt.New(spec, rs.Split(1)))
-							if vr.Apply != nil {
-								vr.Apply(e, rs.Split(2))
-							}
-							return e
-						},
-						Options: g.Options,
-					})
-				}
+	networkNames := make([]string, len(g.Networks))
+	specs := make([]*core.Spec, len(g.Networks))
+	for i, nw := range g.Networks {
+		networkNames[i] = nw.Name
+		specs[i] = nw.New()
+	}
+	routerNames := make([]string, len(routers))
+	for i, rt := range routers {
+		routerNames[i] = rt.Name
+	}
+	variantNames := make([]string, len(variants))
+	for i, vr := range variants {
+		variantNames[i] = vr.Name
+	}
+	return &Space{
+		Name:     g.Name,
+		BaseSeed: g.BaseSeed,
+		Replicas: g.Replicas,
+		Horizon:  g.Horizon,
+		Options:  g.Options,
+		Axes: []Axis{
+			{Name: "network", Labels: networkNames},
+			{Name: "router", Labels: routerNames},
+			{Name: "variant", Labels: variantNames},
+		},
+		SeedFn: func(Point, int) uint64 { return g.BaseSeed },
+		Build: func(p Probe) *core.Engine {
+			ni := int(p.Point[0].Value)
+			ri := int(p.Point[1].Value)
+			vi := int(p.Point[2].Value)
+			// The run stream depends only on (base, index): sub-streams 1
+			// and 2 feed the router and the variant, leaving the root for
+			// future axes.
+			rs := rng.ForRun(g.BaseSeed, uint64(p.Index))
+			e := core.NewEngine(specs[ni], routers[ri].New(specs[ni], rs.Split(1)))
+			if variants[vi].Apply != nil {
+				variants[vi].Apply(e, rs.Split(2))
 			}
-		}
+			return e
+		},
+	}
+}
+
+// Jobs enumerates the grid in deterministic order: networks outermost,
+// then routers, variants, and replicas innermost (replicas of a cell stay
+// contiguous, so Cells applies directly to the results).
+func (g *Grid) Jobs() []Job {
+	if len(g.Networks) == 0 {
+		return nil
+	}
+	jobs, err := g.Space().Jobs()
+	if err != nil {
+		// Unreachable: the compat axes are always enumerable and Build is
+		// always set.
+		panic(fmt.Sprintf("sweep: legacy grid %q: %v", g.Name, err))
 	}
 	return jobs
 }

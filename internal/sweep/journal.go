@@ -22,6 +22,13 @@ import (
 // journalVersion is the format tag in the header line.
 const journalVersion = "v1"
 
+// AdaptiveJobs is the job-count sentinel for adaptive sweeps: the total
+// run count of a frontier refinement is not known up front, so its
+// journal header records -1 and resume reads every valid line instead of
+// stopping at a fixed count. Pass it to CreateJournal/OpenJournalResume
+// when the journal feeds RunFrontier.
+const AdaptiveJobs = -1
+
 // journalHeader is the first line of a journal file.
 type journalHeader struct {
 	Journal string `json:"journal"`
@@ -124,7 +131,7 @@ func OpenJournalResume(path string, jobs int) (*Journal, []Result, error) {
 	}
 	offset := int64(len(head))
 	var resume []Result
-	for len(resume) < jobs {
+	for jobs < 0 || len(resume) < jobs {
 		line, err := br.ReadBytes('\n')
 		if err != nil {
 			break // EOF or torn tail: everything before it stands

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // CellStats aggregates the replicas of one grid cell (one
@@ -24,8 +25,13 @@ type CellStats struct {
 	Variant string `json:"variant,omitempty"`
 	// Replicas is the number of runs aggregated into this cell.
 	Replicas int `json:"replicas"`
-	// StableShare is the fraction of replicas judged stable.
-	StableShare float64 `json:"stable_share"`
+	// StableShare is the fraction of replicas judged stable, with its
+	// Wilson score interval at z=1.96 (StableShareLo/Hi) — the same
+	// interval the adaptive frontier driver early-stops on, so exhaustive
+	// cell aggregates and frontier probes read on one scale.
+	StableShare   float64 `json:"stable_share"`
+	StableShareLo float64 `json:"stable_share_lo"`
+	StableShareHi float64 `json:"stable_share_hi"`
 	// WorstVerdict is the most pessimistic replica verdict (diverging
 	// beats inconclusive beats stable).
 	WorstVerdict sim.Verdict `json:"worst_verdict"`
@@ -49,10 +55,17 @@ type CellStats struct {
 	// time of the recovered ones, and FaultPeakPotential /
 	// FaultPeakBacklog are cell-wide maxima of the under-fault peaks.
 	// All stay zero for fault-free sweeps.
+	// RecoveredShareLo/Hi is the Wilson interval of RecoveredShare over
+	// the decided replicas (present only when some replica decided).
 	RecoveredShare     float64 `json:"recovered_share,omitempty"`
+	RecoveredShareLo   float64 `json:"recovered_share_lo,omitempty"`
+	RecoveredShareHi   float64 `json:"recovered_share_hi,omitempty"`
 	MeanTimeToDrain    float64 `json:"mean_time_to_drain,omitempty"`
 	FaultPeakPotential int64   `json:"fault_peak_potential,omitempty"`
 	FaultPeakBacklog   int64   `json:"fault_peak_backlog,omitempty"`
+	// Coords reports the cell's numeric axis coordinates by name, for
+	// spaces with numeric axes (empty on legacy categorical grids).
+	Coords []AxisValue `json:"coords,omitempty"`
 }
 
 // aggregateCell folds one cell's replicas (all sharing a descriptor)
@@ -68,7 +81,15 @@ func aggregateCell(cell []Result) CellStats {
 		StableShare:  StableShare(cell),
 		WorstVerdict: WorstVerdict(cell),
 		MeanBacklog:  MeanBacklog(cell),
+		Coords:       d.Coords,
 	}
+	stable := 0
+	for _, r := range cell {
+		if r.Verdict == sim.Stable {
+			stable++
+		}
+	}
+	cs.StableShareLo, cs.StableShareHi = stats.WilsonInterval(stable, len(cell), 1.96)
 	recovered, degraded := 0, 0
 	var drainSum float64
 	for _, r := range cell {
@@ -103,6 +124,7 @@ func aggregateCell(cell []Result) CellStats {
 	}
 	if decided := recovered + degraded; decided > 0 {
 		cs.RecoveredShare = float64(recovered) / float64(decided)
+		cs.RecoveredShareLo, cs.RecoveredShareHi = stats.WilsonInterval(recovered, decided, 1.96)
 	}
 	if recovered > 0 {
 		cs.MeanTimeToDrain = drainSum / float64(recovered)
@@ -142,17 +164,28 @@ func WriteCellsJSONL(w io.Writer, cells []CellStats) error {
 func WriteCellsCSV(w io.Writer, cells []CellStats) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"grid", "network", "router", "variant",
-		"replicas", "stable_share", "worst_verdict", "mean_backlog",
+		"replicas", "stable_share", "stable_share_lo", "stable_share_hi",
+		"worst_verdict", "mean_backlog",
 		"peak_potential", "peak_queued", "injected", "sent", "lost",
 		"extracted", "collisions", "violations", "failed",
-		"recovered_share", "mean_time_to_drain", "fault_peak_potential",
-		"fault_peak_backlog"}); err != nil {
+		"recovered_share", "recovered_share_lo", "recovered_share_hi",
+		"mean_time_to_drain", "fault_peak_potential",
+		"fault_peak_backlog", "coords"}); err != nil {
 		return err
 	}
 	for _, c := range cells {
+		coords := ""
+		for _, v := range c.Coords {
+			if coords != "" {
+				coords += "/"
+			}
+			coords += v.Axis + "=" + strconv.FormatFloat(v.Value, 'g', -1, 64)
+		}
 		rec := []string{c.Grid, c.Network, c.Router, c.Variant,
 			strconv.Itoa(c.Replicas),
 			strconv.FormatFloat(c.StableShare, 'g', -1, 64),
+			strconv.FormatFloat(c.StableShareLo, 'g', -1, 64),
+			strconv.FormatFloat(c.StableShareHi, 'g', -1, 64),
 			c.WorstVerdict.String(),
 			strconv.FormatFloat(c.MeanBacklog, 'g', -1, 64),
 			strconv.FormatInt(c.PeakPotential, 10),
@@ -165,9 +198,12 @@ func WriteCellsCSV(w io.Writer, cells []CellStats) error {
 			strconv.FormatInt(c.Violations, 10),
 			strconv.Itoa(c.Failed),
 			strconv.FormatFloat(c.RecoveredShare, 'g', -1, 64),
+			strconv.FormatFloat(c.RecoveredShareLo, 'g', -1, 64),
+			strconv.FormatFloat(c.RecoveredShareHi, 'g', -1, 64),
 			strconv.FormatFloat(c.MeanTimeToDrain, 'g', -1, 64),
 			strconv.FormatInt(c.FaultPeakPotential, 10),
-			strconv.FormatInt(c.FaultPeakBacklog, 10)}
+			strconv.FormatInt(c.FaultPeakBacklog, 10),
+			coords}
 		if err := cw.Write(rec); err != nil {
 			return err
 		}

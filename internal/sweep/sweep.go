@@ -40,6 +40,10 @@ type Desc struct {
 	Replica int    `json:"replica"`
 	Seed    uint64 `json:"seed"`
 	Horizon int64  `json:"horizon"`
+	// Coords are the numeric axis coordinates of the run, reported by
+	// axis name — populated for Space-built jobs (axis.go); categorical
+	// axes already appear in the named fields above.
+	Coords []AxisValue `json:"coords,omitempty"`
 }
 
 // Job couples a run descriptor with the factory that builds its engine.

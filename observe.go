@@ -175,6 +175,71 @@ func OpenSweepJournalResume(path string, jobs int) (*SweepJournal, []SweepResult
 	return sweep.OpenJournalResume(path, jobs)
 }
 
+// AdaptiveSweepJobs is the journal job-count sentinel for adaptive
+// frontier sweeps, whose total run count is not known up front.
+const AdaptiveSweepJobs = sweep.AdaptiveJobs
+
+// Typed-axis sweep spaces and adaptive frontier search.
+type (
+	// SweepAxis is one named dimension of a sweep space — categorical
+	// labels, discrete numeric points, or a continuous range (the latter
+	// only searchable adaptively).
+	SweepAxis = sweep.Axis
+	// SweepAxisValue is one coordinate: an axis name with its value.
+	SweepAxisValue = sweep.AxisValue
+	// SweepPoint is one full coordinate vector of a space.
+	SweepPoint = sweep.Point
+	// SweepProbe hands a Space.Build everything about one run: the
+	// point, the replica index and the derived seed.
+	SweepProbe = sweep.Probe
+	// SweepSpace declares a sweep over named typed axes; Jobs()
+	// enumerates it exhaustively, RunFrontier searches it adaptively.
+	SweepSpace = sweep.Space
+	// FrontierConfig tunes an adaptive frontier search.
+	FrontierConfig = sweep.FrontierConfig
+	// FrontierMetric selects which binary outcome defines the frontier.
+	FrontierMetric = sweep.FrontierMetric
+	// FrontierResult locates one cell-group's critical point.
+	FrontierResult = sweep.FrontierResult
+	// FrontierReport is a whole adaptive sweep: per-group results plus
+	// every probe run in deterministic emission order.
+	FrontierReport = sweep.FrontierReport
+)
+
+// Frontier metrics.
+const (
+	// FrontierStable searches the stable/unstable boundary.
+	FrontierStable = sweep.MetricStable
+	// FrontierRecovered searches the recovered/degraded boundary of
+	// faulted runs.
+	FrontierRecovered = sweep.MetricRecovered
+)
+
+// RunFrontier bisects cfg.Axis to each cell-group's verdict-flip point,
+// early-stopping replicas by confidence interval. Output is byte-stable
+// at any worker count; wire base.Journal to make the search resumable.
+func RunFrontier(ctx context.Context, s *SweepSpace, cfg FrontierConfig, base *SweepRunner) (*FrontierReport, error) {
+	return sweep.RunFrontier(ctx, s, cfg, base)
+}
+
+// WriteFrontierJSONL writes one JSON line per frontier result.
+func WriteFrontierJSONL(w io.Writer, rs []FrontierResult) error {
+	return sweep.WriteFrontierJSONL(w, rs)
+}
+
+// WilsonInterval is the Wilson score interval for k successes in n
+// trials at normal quantile z — the binomial CI behind CellStats'
+// share bounds and the adaptive search's early stopping.
+func WilsonInterval(k, n int, z float64) (lo, hi float64) {
+	return stats.WilsonInterval(k, n, z)
+}
+
+// HoeffdingInterval is the distribution-free Hoeffding interval for a
+// share of k successes in n trials at confidence 1-alpha.
+func HoeffdingInterval(k, n int, alpha float64) (lo, hi float64) {
+	return stats.HoeffdingInterval(k, n, alpha)
+}
+
 // Fault injection (internal/faults): deterministic typed fault schedules
 // — link-down windows, Gilbert–Elliott loss bursts, loss ramps, node
 // crashes, lying windows, partitions — compiled onto an engine's
