@@ -17,28 +17,49 @@
 //     checkpointed mid-sweep, and the process exits 0. A second signal
 //     force-quits.
 //
+// With -coordinator the process is instead a federation coordinator: it
+// serves the same job API but executes nothing itself, sharding each job
+// by run-index range across a fleet of ordinary lggd workers (seeded
+// with -fleet, grown at runtime via POST /v1/fleet/join) and k-way
+// merging their journals into results byte-identical to a single
+// daemon's. Stragglers are re-leased after -lease, tenants are isolated
+// by -tenant-quota with fair-share dispatch, and finished jobs compact
+// into per-cell summaries at GET /v1/results. A worker started with
+// -join registers itself with a coordinator and re-registers
+// periodically, so a restarted coordinator re-learns its fleet.
+//
 // Usage:
 //
 //	lggd [-addr 127.0.0.1:8321] [-state lggd-state] [-jobs 2] [-queue 16]
 //	     [-sweep-workers 0] [-retries 0] [-drain-grace 30s]
+//	     [-join http://coord:8321] [-advertise http://me:8321]
+//	lggd -coordinator [-fleet url1,url2] [-range-runs 8] [-lease 60s]
+//	     [-tenant-quota 4] [-keep-journals 0] [...]
 //
 // API: POST /v1/jobs, GET /v1/jobs[/{id}[/results]], DELETE /v1/jobs/{id},
-// GET /healthz, /readyz, /metrics. See internal/server.
+// GET /healthz, /readyz, /metrics; coordinator adds POST /v1/fleet/join,
+// GET /v1/fleet and GET /v1/results. See internal/server and
+// internal/server/federation.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/server/federation"
 )
 
 func main() {
@@ -50,31 +71,84 @@ func main() {
 		workers = flag.Int("sweep-workers", 0, "worker pool per sweep (0 = GOMAXPROCS)")
 		retries = flag.Int("retries", 0, "re-attempts for a run that panics")
 		grace   = flag.Duration("drain-grace", 30*time.Second, "how long a drain lets in-flight jobs finish before checkpointing them")
+
+		coordinator  = flag.Bool("coordinator", false, "run as a federation coordinator: shard jobs across a worker fleet instead of executing them")
+		fleetArg     = flag.String("fleet", "", "coordinator: comma-separated worker base URLs seeding the fleet")
+		rangeRuns    = flag.Int("range-runs", 8, "coordinator: runs per range handed to one worker")
+		lease        = flag.Duration("lease", 60*time.Second, "coordinator: how long a range may straggle before it is re-leased to another worker")
+		tenantQuota  = flag.Int("tenant-quota", 4, "coordinator: max live (queued+running) jobs per tenant; negative = unlimited")
+		keepJournals = flag.Int("keep-journals", 0, "coordinator: after compaction keep only this many merged journals (0 = all)")
+
+		join      = flag.String("join", "", "worker: register with the federation coordinator at this URL and re-register periodically")
+		advertise = flag.String("advertise", "", "worker: base URL advertised on -join (default http://<addr>)")
 	)
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 
-	srv, err := server.New(server.Config{
-		StateDir:     *state,
-		Jobs:         *jobs,
-		QueueDepth:   *queue,
-		SweepWorkers: *workers,
-		Retries:      *retries,
-		Logf:         log.Printf,
-	})
-	if err != nil {
-		log.Fatalf("lggd: %v", err)
+	if *coordinator && *join != "" {
+		log.Fatalf("lggd: -join is a worker flag; a coordinator's fleet comes from -fleet and /v1/fleet/join")
+	}
+
+	var (
+		handler http.Handler
+		drainFn func(context.Context) error
+		role    string
+	)
+	if *coordinator {
+		var fleet []string
+		for _, u := range strings.Split(*fleetArg, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				fleet = append(fleet, u)
+			}
+		}
+		coord, err := federation.New(federation.Config{
+			StateDir:     *state,
+			Workers:      fleet,
+			Jobs:         *jobs,
+			QueueDepth:   *queue,
+			TenantQuota:  *tenantQuota,
+			RangeRuns:    *rangeRuns,
+			Lease:        *lease,
+			KeepJournals: *keepJournals,
+			Logf:         log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("lggd: %v", err)
+		}
+		handler, drainFn, role = coord.Handler(), coord.Drain, "coordinator"
+	} else {
+		srv, err := server.New(server.Config{
+			StateDir:     *state,
+			Jobs:         *jobs,
+			QueueDepth:   *queue,
+			SweepWorkers: *workers,
+			Retries:      *retries,
+			Logf:         log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("lggd: %v", err)
+		}
+		handler, drainFn, role = srv.Handler(), srv.Drain, "worker"
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("lggd: %v", err)
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
-	log.Printf("lggd: listening on %s (state %s, %d executors, queue %d)",
-		ln.Addr(), *state, *jobs, *queue)
+	log.Printf("lggd: %s listening on %s (state %s, %d executors, queue %d)",
+		role, ln.Addr(), *state, *jobs, *queue)
+
+	stopJoin := make(chan struct{})
+	if *join != "" {
+		self := *advertise
+		if self == "" {
+			self = "http://" + ln.Addr().String()
+		}
+		go joinLoop(*join, self, stopJoin)
+	}
 
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -82,6 +156,7 @@ func main() {
 	case err := <-errc:
 		log.Fatalf("lggd: serve: %v", err)
 	case sig := <-sigc:
+		close(stopJoin)
 		log.Printf("lggd: %v: draining (grace %v; signal again to force quit)", sig, *grace)
 		go func() {
 			<-sigc
@@ -89,7 +164,7 @@ func main() {
 			os.Exit(1)
 		}()
 		ctx, cancel := context.WithTimeout(context.Background(), *grace)
-		drainErr := srv.Drain(ctx)
+		drainErr := drainFn(ctx)
 		cancel()
 		// Drain closed admission and ended result streams; now close the
 		// listener and let straggling handlers return.
@@ -103,5 +178,48 @@ func main() {
 			log.Fatalf("lggd: shutdown: %v", err)
 		}
 		log.Printf("lggd: drained cleanly")
+	}
+}
+
+// joinLoop registers this worker with the coordinator, then re-registers
+// every 30s (joins are idempotent) so a restarted coordinator re-learns
+// the fleet without operator action. Failures are logged and retried on
+// a shorter cadence.
+func joinLoop(coordURL, self string, stop <-chan struct{}) {
+	body, _ := json.Marshal(struct {
+		URL string `json:"url"`
+	}{self})
+	url := strings.TrimRight(coordURL, "/")
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url += "/v1/fleet/join"
+	joined := false
+	for {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		ok := err == nil && resp.StatusCode == http.StatusOK
+		if resp != nil {
+			resp.Body.Close()
+		}
+		switch {
+		case ok && !joined:
+			log.Printf("lggd: joined fleet at %s as %s", coordURL, self)
+			joined = true
+		case !ok:
+			if err == nil {
+				err = fmt.Errorf("coordinator answered %d", resp.StatusCode)
+			}
+			log.Printf("lggd: fleet join %s: %v (will retry)", coordURL, err)
+			joined = false
+		}
+		delay := 30 * time.Second
+		if !joined {
+			delay = 3 * time.Second
+		}
+		select {
+		case <-stop:
+			return
+		case <-time.After(delay):
+		}
 	}
 }

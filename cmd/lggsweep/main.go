@@ -87,7 +87,8 @@ func main() {
 		journalPath = flag.String("journal", "", "checkpoint finished runs to this JSONL journal as the sweep progresses")
 		resume      = flag.Bool("resume", false, "resume from the -journal file instead of re-running its prefix")
 		retries     = flag.Int("retries", 0, "re-attempts for a run that panics before recording it as failed")
-		remote      = flag.String("remote", "", "submit to a running lggd daemon at this address instead of sweeping in-process")
+		remote      = flag.String("remote", "", "submit to a running lggd daemon (or federation coordinator) at this address instead of sweeping in-process")
+		tenant      = flag.String("tenant", "", "tenant name for remote submission; a federation coordinator applies per-tenant quotas and fair-share dispatch to it")
 		adaptive    = flag.Bool("adaptive", false, "bisect -axis for the stability frontier instead of enumerating the grid")
 		axis        = flag.String("axis", "", "numeric axis to search with -adaptive (e.g. rho)")
 		tol         = flag.Float64("tol", 0.05, "adaptive: bracket-width tolerance on the search axis")
@@ -121,7 +122,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "lggsweep: -shards is a local-mode flag; the daemon picks its own execution strategy (results are identical)")
 			os.Exit(2)
 		}
-		rs, err := runRemote(*remote, remoteSpec(*grid, *seed, *seeds, *horizon, *quick, *faultsArg, *timeout), *quiet)
+		rs, err := runRemote(*remote, remoteSpec(*grid, *seed, *seeds, *horizon, *quick, *faultsArg, *timeout, *tenant), *quiet)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lggsweep: %v\n", err)
 			os.Exit(1)
@@ -131,6 +132,10 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+	if *tenant != "" {
+		fmt.Fprintln(os.Stderr, "lggsweep: -tenant only applies with -remote")
+		os.Exit(2)
 	}
 	g, err := experiments.FindGrid(*grid)
 	if err != nil {
@@ -388,7 +393,7 @@ func emitOutputs(rs []sweep.Result, gridName, out, csvPath, cellsPath, metricsPa
 // remoteSpec maps the local sweep flags onto a daemon job spec. An @file
 // fault schedule is read here — the daemon never opens client paths —
 // and -timeout becomes the job's server-side deadline.
-func remoteSpec(grid string, seed uint64, seeds int, horizon int64, quick bool, faultsArg string, timeout time.Duration) server.JobSpec {
+func remoteSpec(grid string, seed uint64, seeds int, horizon int64, quick bool, faultsArg string, timeout time.Duration, tenant string) server.JobSpec {
 	if strings.HasPrefix(faultsArg, "@") {
 		b, err := os.ReadFile(faultsArg[1:])
 		if err != nil {
@@ -399,7 +404,7 @@ func remoteSpec(grid string, seed uint64, seeds int, horizon int64, quick bool, 
 	}
 	spec := server.JobSpec{
 		Grid: grid, Seed: seed, Seeds: seeds, Horizon: horizon,
-		Quick: quick, Faults: faultsArg,
+		Quick: quick, Faults: faultsArg, Tenant: tenant,
 	}
 	if timeout > 0 {
 		spec.TimeoutMS = timeout.Milliseconds()

@@ -186,6 +186,16 @@ func (c *Client) backoff(attempt, retryAfter int) time.Duration {
 func (c *Client) do(ctx context.Context, method, path string, body []byte, hdr http.Header) ([]byte, error) {
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		// The breaker gates the attempt BEFORE any backoff sleep: a
+		// circuit opened by the previous attempt (or a concurrent
+		// request) must fail fast, not after the caller has honoured a
+		// full Retry-After hint only to be refused without a request.
+		if !c.breakerAllow() {
+			if lastErr != nil {
+				return nil, fmt.Errorf("%w (last attempt: %w)", ErrCircuitOpen, lastErr)
+			}
+			return nil, ErrCircuitOpen
+		}
 		if attempt > 0 {
 			retryAfter := -1
 			var bp *backpressureError
@@ -193,11 +203,8 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, hdr h
 				retryAfter = bp.retryAfter
 			}
 			if err := c.cfg.Sleep(ctx, c.backoff(attempt-1, retryAfter)); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("client: %s %s: %w (last attempt: %w)", method, path, err, lastErr)
 			}
-		}
-		if !c.breakerAllow() {
-			return nil, ErrCircuitOpen
 		}
 		raw, err := c.attempt(ctx, method, path, body, hdr)
 		if err == nil {
@@ -220,7 +227,10 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, hdr h
 			c.breakerRecord(true)
 		}
 		if ctx.Err() != nil {
-			return nil, ctx.Err()
+			// Keep the attempt error visible next to the cancellation:
+			// "context deadline exceeded" alone tells an operator nothing
+			// about what the last request actually hit.
+			return nil, fmt.Errorf("client: %s %s: %w (last attempt: %w)", method, path, ctx.Err(), err)
 		}
 		lastErr = err
 	}
@@ -236,6 +246,32 @@ type backpressureError struct {
 
 func (e *backpressureError) Error() string {
 	return fmt.Sprintf("lggd: %d (retry after %ds)", e.code, e.retryAfter)
+}
+
+// parseRetryAfter decodes a Retry-After header into whole seconds.
+// RFC 9110 allows both delta-seconds and an HTTP-date; a negative delta
+// (or a date already in the past) means "retry now", not "no hint" —
+// degrading either form to jittered backoff would wait longer than the
+// server asked. Returns -1 only for a missing or unparseable header.
+func (c *Client) parseRetryAfter(h string) int {
+	h = strings.TrimSpace(h)
+	if h == "" {
+		return -1
+	}
+	if n, err := strconv.Atoi(h); err == nil {
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		d := t.Sub(c.cfg.Now())
+		if d <= 0 {
+			return 0
+		}
+		return int(math.Ceil(d.Seconds()))
+	}
+	return -1
 }
 
 func (c *Client) attempt(ctx context.Context, method, path string, body []byte, hdr http.Header) ([]byte, error) {
@@ -269,11 +305,10 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		return raw, nil
 	case resp.StatusCode == http.StatusTooManyRequests ||
 		(resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") != ""):
-		ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
-		if err != nil {
-			ra = -1
+		return nil, &backpressureError{
+			code:       resp.StatusCode,
+			retryAfter: c.parseRetryAfter(resp.Header.Get("Retry-After")),
 		}
-		return nil, &backpressureError{code: resp.StatusCode, retryAfter: ra}
 	case resp.StatusCode >= 500:
 		return nil, fmt.Errorf("lggd: %d: %s", resp.StatusCode, errBody(raw))
 	default:
@@ -320,6 +355,14 @@ func newKey() string {
 		return fmt.Sprintf("k-%d", time.Now().UnixNano())
 	}
 	return hex.EncodeToString(b[:])
+}
+
+// Ping checks the daemon's liveness endpoint, with the usual retry
+// policy. Coordinators use it to validate a worker before admitting it
+// to a fleet.
+func (c *Client) Ping(ctx context.Context) error {
+	_, err := c.do(ctx, "GET", "/healthz", nil, nil)
+	return err
 }
 
 // Job fetches a job's state.

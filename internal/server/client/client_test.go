@@ -3,8 +3,10 @@ package client
 import (
 	"context"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -235,6 +237,138 @@ func TestBackpressureDoesNotTripBreaker(t *testing.T) {
 	}
 	if calls != 4 {
 		t.Fatalf("shed request stopped after %d attempts, want all 4", calls)
+	}
+}
+
+func TestBreakerCheckedBeforeBackoffSleep(t *testing.T) {
+	// Regression: the breaker used to be checked AFTER the pre-retry
+	// sleep, so a caller could sleep a full backoff (or a whole
+	// Retry-After hint) and then fail with ErrCircuitOpen without ever
+	// making the attempt. With the threshold at 1, the first failed
+	// attempt opens the circuit; the retry loop must now fail fast with
+	// zero sleeps, not sleep first and refuse after.
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	clk := newClock()
+	c := newTestClient(t, ts.URL, clk, func(cfg *Config) {
+		cfg.MaxAttempts = 3
+		cfg.BreakerThreshold = 1
+	})
+
+	_, err := c.Job(context.Background(), "job-x")
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err %v, want ErrCircuitOpen once the first failure trips the breaker", err)
+	}
+	if calls != 1 {
+		t.Fatalf("open breaker still attempted (%d calls, want 1)", calls)
+	}
+	if got := clk.Sleeps(); len(got) != 0 {
+		t.Fatalf("slept %v before refusing with an open circuit; the breaker must be checked before the backoff sleep", got)
+	}
+	// The refusal still names what the last attempt hit.
+	if !strings.Contains(err.Error(), "500") {
+		t.Fatalf("ErrCircuitOpen hides the last attempt's error: %v", err)
+	}
+}
+
+func TestRetryAfterHTTPDateIsHonoured(t *testing.T) {
+	// Regression: strconv.Atoi-only parsing silently degraded an RFC
+	// 9110 HTTP-date Retry-After to "no hint" (jittered backoff). The
+	// date form must be honoured exactly, relative to the client clock.
+	clk := newClock()
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls == 1 {
+			w.Header().Set("Retry-After", clk.Now().Add(9*time.Second).UTC().Format(http.TimeFormat))
+			http.Error(w, `{"error":"shed"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"id":"job-00000009","status":"queued"}`))
+	}))
+	defer ts.Close()
+	c := newTestClient(t, ts.URL, clk, nil)
+
+	if _, err := c.Submit(context.Background(), server.JobSpec{Grid: "unit"}); err != nil {
+		t.Fatal(err)
+	}
+	got := clk.Sleeps()
+	if len(got) != 1 || got[0] != 9*time.Second {
+		t.Fatalf("sleeps %v, want exactly the 9s until the Retry-After HTTP-date", got)
+	}
+}
+
+func TestRetryAfterNegativeClampsToZero(t *testing.T) {
+	// A negative delta-seconds (or a past HTTP-date) means "retry now";
+	// it must clamp to a zero sleep, not fall back to jittered backoff.
+	for name, header := range map[string]func(clk *virtualClock) string{
+		"negative-delta": func(*virtualClock) string { return "-5" },
+		"past-http-date": func(clk *virtualClock) string {
+			return clk.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			clk := newClock()
+			var calls int
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				calls++
+				if calls == 1 {
+					w.Header().Set("Retry-After", header(clk))
+					http.Error(w, `{"error":"shed"}`, http.StatusTooManyRequests)
+					return
+				}
+				w.Write([]byte(`{"id":"job-00000010","status":"queued"}`))
+			}))
+			defer ts.Close()
+			c := newTestClient(t, ts.URL, clk, nil)
+
+			if _, err := c.Submit(context.Background(), server.JobSpec{Grid: "unit"}); err != nil {
+				t.Fatal(err)
+			}
+			got := clk.Sleeps()
+			if len(got) != 1 || got[0] != 0 {
+				t.Fatalf("sleeps %v, want a single zero sleep (clamped hint), not jittered backoff", got)
+			}
+		})
+	}
+}
+
+// roundTripFunc adapts a function to http.RoundTripper for fully
+// deterministic transport-level tests.
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+func TestContextCancelKeepsAttemptError(t *testing.T) {
+	// Regression: when ctx was cancelled after a failed attempt, do()
+	// returned bare ctx.Err(), dropping what the attempt actually hit.
+	// Both must surface: errors.Is sees the cancellation, the message
+	// names the 500.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rt := roundTripFunc(func(*http.Request) (*http.Response, error) {
+		cancel() // the caller gives up while the attempt is in flight
+		return &http.Response{
+			StatusCode: http.StatusInternalServerError,
+			Body:       io.NopCloser(strings.NewReader(`{"error":"disk on fire"}`)),
+			Header:     http.Header{},
+		}, nil
+	})
+	clk := newClock()
+	c := newTestClient(t, "http://lggd.invalid", clk, func(cfg *Config) {
+		cfg.HTTP = &http.Client{Transport: rt}
+	})
+
+	_, err := c.Job(ctx, "job-x")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want a context.Canceled in the chain", err)
+	}
+	if !strings.Contains(err.Error(), "disk on fire") {
+		t.Fatalf("cancellation shadowed the attempt error: %v", err)
 	}
 }
 

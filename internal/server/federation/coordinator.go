@@ -1,0 +1,942 @@
+// Package federation scales the lggd daemon horizontally without
+// touching its determinism contract. A coordinator accepts the same
+// sweep jobs as a single daemon (same JobSpec, same HTTP API), splits
+// each job into contiguous run-index ranges, executes the ranges on a
+// fleet of ordinary lggd workers, and k-way merges the returned results
+// into one journal that is byte-identical to a single-daemon run of the
+// same spec.
+//
+// Byte-stability falls out of the sweep determinism contract: every
+// run's RNG stream derives only from the root seed and the run's global
+// index, so a worker handed [start, start+count) produces exactly the
+// result lines an unsharded sweep would for those indices, and merging
+// by index reconstitutes the unsharded byte stream (internal/sweep's
+// Merger).
+//
+// The same contract pays for fault tolerance. A range whose worker goes
+// quiet past its lease is re-leased to another worker — work stealing —
+// and if both eventually finish, the duplicate runs are byte-identical
+// by construction, so merge dedup-by-index loses nothing. Worker jobs
+// are submitted with deterministic idempotency keys derived from the
+// coordinator job and range, so a restarted coordinator re-attaches to
+// in-flight worker jobs instead of duplicating them.
+//
+// On top, the coordinator adds the multi-tenant control the single
+// daemon deliberately lacks: per-tenant admission quotas and fair-share
+// dispatch (queue.go), and a compacting result store that distils
+// finished jobs into per-cell summaries queryable without replaying
+// journals (store.go).
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/sweep"
+)
+
+// Config tunes a Coordinator; only StateDir is required.
+type Config struct {
+	// StateDir holds the coordinator's job ledger, merged per-job
+	// journals (results/) and the compacted summary index. The layout
+	// matches a single daemon's state directory.
+	StateDir string
+	// Workers seeds the fleet with lggd base URLs; more join at runtime
+	// via POST /v1/fleet/join.
+	Workers []string
+	// Jobs is the number of coordinator jobs sharded concurrently
+	// (default 2) — each one fans out to the whole fleet.
+	Jobs int
+	// QueueDepth bounds total queued jobs across tenants (default 16).
+	QueueDepth int
+	// TenantQuota caps one tenant's live (queued+running) jobs
+	// (default 4; <=0 only via an explicit negative = unlimited).
+	TenantQuota int
+	// RangeRuns is the target shard size in runs (default 8). Smaller
+	// ranges steal and rebalance faster; larger ones amortise per-job
+	// HTTP overhead.
+	RangeRuns int
+	// Lease is how long a dispatched range may go unfinished before the
+	// coordinator re-leases it to another worker (default 60s).
+	Lease time.Duration
+	// StealMax caps concurrent attempts per range, the original lease
+	// included (default 2).
+	StealMax int
+	// Poll is the worker job poll cadence (default 200ms).
+	Poll time.Duration
+	// KeepJournals, when positive, bounds merged journals kept on disk:
+	// after a job is compacted into the summary index, only the most
+	// recent KeepJournals journals survive (0 keeps all).
+	KeepJournals int
+	// FindGrid resolves grid names (default experiments.FindGrid). The
+	// coordinator and its workers must resolve identically or range
+	// bounds will not line up.
+	FindGrid server.GridResolver
+	// Client tunes the per-worker HTTP clients; BaseURL is overwritten
+	// per worker.
+	Client client.Config
+	// Registry receives coordinator metrics (default: fresh registry).
+	Registry *metrics.Registry
+	// Logf, when set, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// Coordinator metric names.
+const (
+	MetricQueued         = "lggfed_queue_depth"
+	MetricInflight       = "lggfed_inflight_jobs"
+	MetricFleet          = "lggfed_fleet_size"
+	MetricShed           = "lggfed_jobs_shed_total"
+	MetricQuotaRefused   = "lggfed_jobs_quota_refused_total"
+	MetricJobsDone       = "lggfed_jobs_done_total"
+	MetricJobsFailed     = "lggfed_jobs_failed_total"
+	MetricRangesDone     = "lggfed_ranges_done_total"
+	MetricRangesStolen   = "lggfed_ranges_stolen_total"
+	MetricRangesRetried  = "lggfed_ranges_retried_total"
+	MetricCellsCompacted = "lggfed_cells_compacted_total"
+)
+
+var (
+	errDrain        = errors.New("federation: draining")
+	errClientCancel = errors.New("federation: cancelled by client")
+)
+
+// cjob is the in-memory state of one coordinator job.
+type cjob struct {
+	mu              sync.Mutex
+	st              server.JobState
+	cancel          context.CancelCauseFunc // non-nil while running
+	cancelRequested bool
+	doneCh          chan struct{} // closed at a terminal status
+}
+
+func (j *cjob) state() server.JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.st
+}
+
+func (j *cjob) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.st.Status.Terminal()
+}
+
+// worker is one fleet member.
+type worker struct {
+	url string
+	cli *client.Client
+}
+
+// Coordinator shards sweep jobs across a fleet of lggd daemons.
+// Construct with New, serve its Handler, stop with Drain.
+type Coordinator struct {
+	cfg    Config
+	ledger *server.Ledger
+	reg    *metrics.Registry
+	rstore *resultStore
+
+	mu       sync.Mutex
+	jobs     map[string]*cjob
+	order    []string
+	keys     map[string]string // idempotency key → job id
+	queue    *tenantQueue
+	fleet    []*worker
+	rrWorker int // round-robin cursor for range placement
+	nextID   int
+	draining bool
+
+	wake  chan struct{}
+	stopc chan struct{}
+	wg    sync.WaitGroup
+
+	gQueue, gInflight, gFleet          *metrics.Gauge
+	cShed, cQuota, cDone, cFailed      *metrics.Counter
+	cRanges, cStolen, cRetried, cCells *metrics.Counter
+	ewmaMu                             sync.Mutex
+	jobSecs                            float64
+}
+
+// New opens the state directory, replays the ledger (re-queueing
+// unfinished jobs), connects the seed fleet and starts the dispatchers.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.StateDir == "" {
+		return nil, fmt.Errorf("federation: Config.StateDir is required")
+	}
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.TenantQuota == 0 {
+		cfg.TenantQuota = 4
+	}
+	if cfg.RangeRuns <= 0 {
+		cfg.RangeRuns = 8
+	}
+	if cfg.Lease <= 0 {
+		cfg.Lease = 60 * time.Second
+	}
+	if cfg.StealMax <= 0 {
+		cfg.StealMax = 2
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 200 * time.Millisecond
+	}
+	if cfg.FindGrid == nil {
+		cfg.FindGrid = experiments.FindGrid
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = metrics.NewRegistry()
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ledger, replay, err := server.OpenLedger(cfg.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	rstore, err := openResultStore(cfg.StateDir)
+	if err != nil {
+		ledger.Close()
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:    cfg,
+		ledger: ledger,
+		reg:    cfg.Registry,
+		rstore: rstore,
+		jobs:   make(map[string]*cjob),
+		keys:   make(map[string]string),
+		queue:  newTenantQueue(cfg.TenantQuota, cfg.QueueDepth),
+		wake:   make(chan struct{}, 1),
+		stopc:  make(chan struct{}),
+	}
+	c.gQueue = c.reg.Gauge(MetricQueued, "Jobs waiting in the coordinator queue.")
+	c.gInflight = c.reg.Gauge(MetricInflight, "Coordinator jobs currently sharded across the fleet.")
+	c.gFleet = c.reg.Gauge(MetricFleet, "Workers in the fleet.")
+	c.cShed = c.reg.Counter(MetricShed, "Submissions shed because the shared queue was full.")
+	c.cQuota = c.reg.Counter(MetricQuotaRefused, "Submissions refused by a tenant's quota.")
+	c.cDone = c.reg.Counter(MetricJobsDone, "Coordinator jobs merged to completion.")
+	c.cFailed = c.reg.Counter(MetricJobsFailed, "Coordinator jobs that failed.")
+	c.cRanges = c.reg.Counter(MetricRangesDone, "Ranges completed by the fleet.")
+	c.cStolen = c.reg.Counter(MetricRangesStolen, "Ranges re-leased past their straggler deadline.")
+	c.cRetried = c.reg.Counter(MetricRangesRetried, "Range attempts retried after a worker failure.")
+	c.cCells = c.reg.Counter(MetricCellsCompacted, "Per-cell summaries written to the result index.")
+
+	for _, url := range cfg.Workers {
+		if err := c.addWorker(url, false); err != nil {
+			ledger.Close()
+			return nil, err
+		}
+	}
+
+	for _, rec := range replay {
+		jb := &cjob{st: rec, doneCh: make(chan struct{})}
+		if n, ok := jobIDNumber(rec.ID); ok && n >= c.nextID {
+			c.nextID = n + 1
+		}
+		if rec.Spec.IdempotencyKey != "" {
+			c.keys[rec.Spec.IdempotencyKey] = rec.ID
+		}
+		c.jobs[rec.ID] = jb
+		c.order = append(c.order, rec.ID)
+		if rec.Status.Terminal() {
+			close(jb.doneCh)
+			continue
+		}
+		jb.st.Status = server.StatusQueued
+		c.queue.push(rec.Spec.Tenant, jb)
+		cfg.Logf("lggfed: resuming %s (%s, %d/%d runs merged)", rec.ID, rec.Spec.Grid, rec.Done, rec.Total)
+	}
+	c.gQueue.Set(int64(c.queue.pending()))
+
+	c.wg.Add(cfg.Jobs)
+	for i := 0; i < cfg.Jobs; i++ {
+		go c.dispatcher()
+	}
+	return c, nil
+}
+
+// jobIDNumber parses the numeric suffix of "job-%08d".
+func jobIDNumber(id string) (int, bool) {
+	const p = "job-"
+	if !strings.HasPrefix(id, p) || len(id) == len(p) {
+		return 0, false
+	}
+	n, err := strconv.Atoi(id[len(p):])
+	return n, err == nil
+}
+
+// addWorker connects a worker URL to the fleet. ping validates the
+// worker's liveness first (used by the join endpoint; seed workers are
+// added unpinged so the coordinator can start ahead of its fleet).
+func (c *Coordinator) addWorker(url string, ping bool) error {
+	ccfg := c.cfg.Client
+	ccfg.BaseURL = url
+	cli, err := client.New(ccfg)
+	if err != nil {
+		return fmt.Errorf("federation: worker %s: %w", url, err)
+	}
+	if ping {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := cli.Ping(ctx); err != nil {
+			return fmt.Errorf("federation: worker %s failed liveness: %w", url, err)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, w := range c.fleet {
+		if w.url == url {
+			return nil // already joined; re-registration is a no-op
+		}
+	}
+	c.fleet = append(c.fleet, &worker{url: url, cli: cli})
+	c.gFleet.Set(int64(len(c.fleet)))
+	c.cfg.Logf("lggfed: worker %s joined (fleet size %d)", url, len(c.fleet))
+	return nil
+}
+
+// Fleet lists the current worker URLs in join order.
+func (c *Coordinator) Fleet() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.fleet))
+	for i, w := range c.fleet {
+		out[i] = w.url
+	}
+	return out
+}
+
+// fleetSnapshot returns the workers and advances nothing.
+func (c *Coordinator) fleetSnapshot() []*worker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*worker(nil), c.fleet...)
+}
+
+// nextWorker picks the next worker round-robin, preferring one whose
+// URL is not in exclude (a steal must land somewhere new when the fleet
+// allows it).
+func (c *Coordinator) nextWorker(exclude map[string]bool) *worker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.fleet)
+	if n == 0 {
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		w := c.fleet[(c.rrWorker+i)%n]
+		if !exclude[w.url] {
+			c.rrWorker = (c.rrWorker + i + 1) % n
+			return w
+		}
+	}
+	w := c.fleet[c.rrWorker%n]
+	c.rrWorker = (c.rrWorker + 1) % n
+	return w
+}
+
+// Admit validates and enqueues a job, mirroring the single daemon's
+// semantics plus the tenant layer: quota exhaustion and a full shared
+// queue both shed with Unavailable (HTTP 429 + Retry-After), drain
+// refuses with the 503 variant.
+func (c *Coordinator) Admit(spec server.JobSpec, key string) (server.JobState, bool, error) {
+	spec = spec.WithDefaults()
+	if key != "" {
+		spec.IdempotencyKey = key
+	}
+	if err := spec.Validate(c.cfg.FindGrid); err != nil {
+		return server.JobState{}, false, err
+	}
+	if spec.RunCount > 0 || spec.RunStart > 0 {
+		return server.JobState{}, false, fmt.Errorf("federation: run_start/run_count are reserved for the coordinator's own sharding")
+	}
+	c.mu.Lock()
+	if c.draining {
+		ra := c.retryAfterLocked()
+		c.mu.Unlock()
+		return server.JobState{}, false, &server.Unavailable{Draining: true, RetryAfter: ra}
+	}
+	if spec.IdempotencyKey != "" {
+		if id, ok := c.keys[spec.IdempotencyKey]; ok {
+			jb := c.jobs[id]
+			c.mu.Unlock()
+			return jb.state(), false, nil
+		}
+	}
+	overQuota, full := c.queue.admissible(spec.Tenant)
+	if overQuota || full {
+		ra := c.retryAfterLocked()
+		c.mu.Unlock()
+		if overQuota {
+			c.cQuota.Inc()
+			return server.JobState{}, false, &server.Unavailable{RetryAfter: ra}
+		}
+		c.cShed.Inc()
+		return server.JobState{}, false, &server.Unavailable{RetryAfter: ra}
+	}
+	id := fmt.Sprintf("job-%08d", c.nextID)
+	c.nextID++
+	jb := &cjob{st: server.JobState{ID: id, Spec: spec, Status: server.StatusQueued}, doneCh: make(chan struct{})}
+	if err := c.ledger.Append(jb.st); err != nil {
+		c.nextID--
+		c.mu.Unlock()
+		return server.JobState{}, false, err
+	}
+	c.jobs[id] = jb
+	c.order = append(c.order, id)
+	if spec.IdempotencyKey != "" {
+		c.keys[spec.IdempotencyKey] = id
+	}
+	c.queue.push(spec.Tenant, jb)
+	c.gQueue.Set(int64(c.queue.pending()))
+	c.mu.Unlock()
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+	return jb.state(), true, nil
+}
+
+// retryAfterLocked derives the Retry-After hint from queue pressure and
+// the measured mean job duration. Requires c.mu.
+func (c *Coordinator) retryAfterLocked() int {
+	c.ewmaMu.Lock()
+	mean := c.jobSecs
+	c.ewmaMu.Unlock()
+	if mean <= 0 {
+		mean = 1
+	}
+	secs := int(math.Ceil(mean * float64(c.queue.pending()+1) / float64(c.cfg.Jobs)))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 300 {
+		secs = 300
+	}
+	return secs
+}
+
+func (c *Coordinator) observeJobSeconds(secs float64) {
+	c.ewmaMu.Lock()
+	if c.jobSecs == 0 {
+		c.jobSecs = secs
+	} else {
+		c.jobSecs = 0.7*c.jobSecs + 0.3*secs
+	}
+	c.ewmaMu.Unlock()
+}
+
+// Job returns a job's state by id.
+func (c *Coordinator) Job(id string) (server.JobState, bool) {
+	c.mu.Lock()
+	jb, ok := c.jobs[id]
+	c.mu.Unlock()
+	if !ok {
+		return server.JobState{}, false
+	}
+	return jb.state(), true
+}
+
+// Jobs lists every known job in submission order.
+func (c *Coordinator) Jobs() []server.JobState {
+	c.mu.Lock()
+	ids := append([]string(nil), c.order...)
+	m := c.jobs
+	c.mu.Unlock()
+	out := make([]server.JobState, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, m[id].state())
+	}
+	return out
+}
+
+// Cancel requests cancellation. Queued jobs cancel immediately (and
+// refund their tenant's quota); running jobs cancel mid-merge, keeping
+// the merged prefix; terminal jobs are left alone.
+func (c *Coordinator) Cancel(id string) (server.JobState, bool) {
+	c.mu.Lock()
+	jb, ok := c.jobs[id]
+	c.mu.Unlock()
+	if !ok {
+		return server.JobState{}, false
+	}
+	jb.mu.Lock()
+	switch {
+	case jb.st.Status.Terminal():
+		jb.mu.Unlock()
+	case jb.st.Status == server.StatusQueued:
+		tenant := jb.st.Spec.Tenant
+		jb.cancelRequested = true
+		jb.st.Status = server.StatusCancelled
+		jb.st.Error = errClientCancel.Error()
+		st := jb.st
+		close(jb.doneCh)
+		jb.mu.Unlock()
+		c.mu.Lock()
+		if c.queue.remove(tenant, jb) {
+			c.gQueue.Set(int64(c.queue.pending()))
+		} else {
+			c.queue.release(tenant)
+		}
+		c.mu.Unlock()
+		c.persist(st)
+	default: // running
+		jb.cancelRequested = true
+		cancel := jb.cancel
+		jb.mu.Unlock()
+		if cancel != nil {
+			cancel(errClientCancel)
+		}
+	}
+	return jb.state(), true
+}
+
+func (c *Coordinator) persist(st server.JobState) {
+	if err := c.ledger.Append(st); err != nil {
+		c.cfg.Logf("lggfed: ledger append for %s: %v", st.ID, err)
+	}
+}
+
+// JournalPath exposes where a job's merged journal lives (the results
+// stream and the fleet smoke test read it).
+func (c *Coordinator) JournalPath(id string) string { return c.ledger.JournalPath(id) }
+
+// dispatcher pops queued jobs fair-share and shards them until drain.
+func (c *Coordinator) dispatcher() {
+	defer c.wg.Done()
+	for {
+		jb := c.pop()
+		if jb == nil {
+			return
+		}
+		c.executeJob(jb)
+	}
+}
+
+func (c *Coordinator) pop() *cjob {
+	for {
+		c.mu.Lock()
+		if c.draining {
+			c.mu.Unlock()
+			return nil
+		}
+		if jb := c.queue.pop(); jb != nil {
+			c.gQueue.Set(int64(c.queue.pending()))
+			c.mu.Unlock()
+			return jb
+		}
+		c.mu.Unlock()
+		select {
+		case <-c.wake:
+		case <-c.stopc:
+			return nil
+		}
+	}
+}
+
+// finish moves a job terminal, refunds its quota and persists.
+func (c *Coordinator) finish(jb *cjob, status server.JobStatus, errMsg string) {
+	jb.mu.Lock()
+	if jb.st.Status.Terminal() {
+		jb.mu.Unlock()
+		return
+	}
+	jb.st.Status = status
+	jb.st.Error = errMsg
+	st := jb.st
+	close(jb.doneCh)
+	jb.mu.Unlock()
+	c.mu.Lock()
+	c.queue.release(st.Spec.Tenant)
+	c.mu.Unlock()
+	switch status {
+	case server.StatusDone:
+		c.cDone.Inc()
+	case server.StatusFailed:
+		c.cFailed.Inc()
+	}
+	c.persist(st)
+	c.cfg.Logf("lggfed: %s → %s (%d/%d runs)", st.ID, status, st.Done, st.Total)
+}
+
+// runRange is one contiguous shard of a job.
+type runRange struct {
+	start, count int
+}
+
+// executeJob shards one job across the fleet, merges the returned
+// ranges into the job's journal in global index order, and compacts the
+// finished job into the result index.
+func (c *Coordinator) executeJob(jb *cjob) {
+	jb.mu.Lock()
+	if jb.st.Status.Terminal() { // cancelled while queued
+		jb.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	jb.cancel = cancel
+	jb.st.Status = server.StatusRunning
+	spec := jb.st.Spec
+	id := jb.st.ID
+	st := jb.st
+	jb.mu.Unlock()
+	defer cancel(nil)
+	c.persist(st)
+	c.gInflight.Add(1)
+	defer c.gInflight.Add(-1)
+	start := time.Now()
+
+	g, err := c.cfg.FindGrid(spec.Grid)
+	if err != nil {
+		c.finish(jb, server.StatusFailed, err.Error())
+		return
+	}
+	total := len(g.Jobs(spec.Config()))
+	if total == 0 {
+		c.finish(jb, server.StatusFailed, "grid enumerates zero runs")
+		return
+	}
+
+	journal, prefix, err := sweep.OpenJournalResume(c.ledger.JournalPath(id), total)
+	if err != nil {
+		c.finish(jb, server.StatusFailed, err.Error())
+		return
+	}
+
+	var (
+		mergeMu sync.Mutex
+		merged  = make([]sweep.Result, 0, total)
+	)
+	merged = append(merged, prefix...)
+	merger := sweep.NewMerger(total, func(r sweep.Result) error {
+		merged = append(merged, r)
+		if err := journal.Append(r); err != nil {
+			return err
+		}
+		jb.mu.Lock()
+		jb.st.Done++
+		countRecovery(&jb.st, r.Recovery, +1)
+		jb.mu.Unlock()
+		return nil
+	})
+	merger.Resume(len(prefix))
+
+	jb.mu.Lock()
+	jb.st.Total = total
+	jb.st.Done = len(prefix)
+	jb.st.Recovered, jb.st.Degraded, jb.st.Indeterminate = 0, 0, 0
+	for _, r := range prefix {
+		countRecovery(&jb.st, r.Recovery, +1)
+	}
+	jb.mu.Unlock()
+
+	// The merged prefix is already durable; shard only what remains.
+	var ranges []runRange
+	for s := len(prefix); s < total; s += c.cfg.RangeRuns {
+		n := c.cfg.RangeRuns
+		if s+n > total {
+			n = total - s
+		}
+		ranges = append(ranges, runRange{start: s, count: n})
+	}
+
+	// jobKey makes worker-side idempotency keys deterministic per
+	// coordinator job, so a restarted coordinator (same ledger, same
+	// job id) re-attaches to worker jobs it already submitted instead
+	// of re-running them.
+	jobKey := id
+	if spec.IdempotencyKey != "" {
+		jobKey = spec.IdempotencyKey
+	}
+
+	width := len(c.fleetSnapshot())
+	if width < 1 {
+		width = 1
+	}
+	sem := make(chan struct{}, width)
+	var (
+		wg       sync.WaitGroup
+		failMu   sync.Mutex
+		firstErr error
+	)
+	for _, rg := range ranges {
+		rg := rg
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rs, err := c.runRange(ctx, spec, jobKey, rg)
+			if err != nil {
+				failMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+					cancel(err) // one lost range fails the job; stop the rest
+				}
+				failMu.Unlock()
+				return
+			}
+			mergeMu.Lock()
+			err = merger.Add(rs)
+			mergeMu.Unlock()
+			if err != nil {
+				failMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+					cancel(err)
+				}
+				failMu.Unlock()
+				return
+			}
+			c.cRanges.Inc()
+		}()
+	}
+	wg.Wait()
+
+	runErr := firstErr
+	if runErr == nil {
+		mergeMu.Lock()
+		runErr = merger.Close()
+		mergeMu.Unlock()
+	}
+	if cerr := journal.Close(); cerr != nil && runErr == nil {
+		runErr = fmt.Errorf("journal close: %w", cerr)
+	}
+	c.observeJobSeconds(time.Since(start).Seconds())
+
+	switch cause := context.Cause(ctx); {
+	case runErr == nil:
+		c.compact(jb, spec, merged)
+		c.finish(jb, server.StatusDone, "")
+	case errors.Is(cause, errClientCancel):
+		c.finish(jb, server.StatusCancelled, errClientCancel.Error())
+	case errors.Is(cause, errDrain):
+		// Drain checkpoint: the journal holds the merged prefix; back to
+		// queued for the next start (idempotency keys re-attach worker
+		// jobs that kept running).
+		jb.mu.Lock()
+		jb.st.Status = server.StatusQueued
+		st := jb.st
+		jb.mu.Unlock()
+		c.persist(st)
+		c.cfg.Logf("lggfed: %s checkpointed at %d/%d runs for drain", id, st.Done, st.Total)
+	default:
+		c.finish(jb, server.StatusFailed, runErr.Error())
+	}
+}
+
+// countRecovery adjusts a job state's recovery tallies.
+func countRecovery(st *server.JobState, verdict string, delta int) {
+	switch verdict {
+	case "Recovered":
+		st.Recovered += delta
+	case "Degraded":
+		st.Degraded += delta
+	case "Indeterminate":
+		st.Indeterminate += delta
+	}
+}
+
+// rangeOutcome is one attempt's verdict.
+type rangeOutcome struct {
+	rs  []sweep.Result
+	err error
+	url string
+}
+
+// runRange executes one shard with straggler work-stealing: the first
+// attempt gets Lease to finish; each lease expiry launches another
+// attempt on a different worker (up to StealMax live attempts) and the
+// first success wins. Failed attempts relaunch immediately on the next
+// worker. The attempt budget is maxAttempts; exhausting it fails the
+// range (and hence the job).
+func (c *Coordinator) runRange(ctx context.Context, spec server.JobSpec, jobKey string, rg runRange) ([]sweep.Result, error) {
+	rctx, rcancel := context.WithCancel(ctx)
+	defer rcancel() // losers stop polling once a winner returns
+
+	fleetSize := len(c.fleetSnapshot())
+	if fleetSize == 0 {
+		return nil, fmt.Errorf("federation: no workers in the fleet")
+	}
+	maxAttempts := 2 * fleetSize
+	if maxAttempts < 3 {
+		maxAttempts = 3
+	}
+	// Buffered to the attempt budget: an abandoned attempt's send never
+	// blocks, so no goroutine outlives the range by more than its own
+	// HTTP teardown.
+	outcome := make(chan rangeOutcome, maxAttempts)
+	tried := make(map[string]bool)
+	attempts, live := 0, 0
+	var lastErr error
+
+	launch := func() {
+		w := c.nextWorker(tried)
+		if w == nil {
+			return
+		}
+		tried[w.url] = true
+		attempts++
+		live++
+		go func() {
+			rs, err := c.attemptRange(rctx, w, spec, jobKey, rg)
+			outcome <- rangeOutcome{rs: rs, err: err, url: w.url}
+		}()
+	}
+	launch()
+	lease := time.NewTimer(c.cfg.Lease)
+	defer lease.Stop()
+
+	for {
+		select {
+		case o := <-outcome:
+			live--
+			if o.err == nil {
+				return o.rs, nil
+			}
+			lastErr = fmt.Errorf("range %d+%d on %s: %w", rg.start, rg.count, o.url, o.err)
+			if rctx.Err() != nil {
+				return nil, lastErr
+			}
+			c.cfg.Logf("lggfed: %v", lastErr)
+			if attempts >= maxAttempts {
+				if live == 0 {
+					return nil, fmt.Errorf("federation: range abandoned after %d attempts: %w", attempts, lastErr)
+				}
+				continue // a steal is still in flight; it may yet win
+			}
+			c.cRetried.Inc()
+			launch()
+		case <-lease.C:
+			if live < c.cfg.StealMax && attempts < maxAttempts {
+				c.cStolen.Inc()
+				c.cfg.Logf("lggfed: range %d+%d past its %v lease, re-leasing", rg.start, rg.count, c.cfg.Lease)
+				launch()
+			}
+			lease.Reset(c.cfg.Lease)
+		case <-rctx.Done():
+			return nil, rctx.Err()
+		}
+	}
+}
+
+// attemptRange runs one shard on one worker: submit the range job
+// (deterministic idempotency key → retries and coordinator restarts
+// re-attach, never duplicate), poll to terminal, fetch and sanity-check
+// the results. A context cancelled mid-wait (a steal won, or the job
+// was cancelled) reaps the worker-side job best-effort.
+func (c *Coordinator) attemptRange(ctx context.Context, w *worker, spec server.JobSpec, jobKey string, rg runRange) ([]sweep.Result, error) {
+	spec.RunStart, spec.RunCount = rg.start, rg.count
+	spec.IdempotencyKey = fmt.Sprintf("%s/%d+%d", jobKey, rg.start, rg.count)
+	st, err := w.cli.Submit(ctx, spec)
+	if err != nil {
+		return nil, fmt.Errorf("submit: %w", err)
+	}
+	workerJob := st.ID
+	st, err = w.cli.Wait(ctx, workerJob, c.cfg.Poll)
+	if err != nil {
+		if ctx.Err() != nil {
+			reap, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			_, _ = w.cli.Cancel(reap, workerJob)
+			cancel()
+		}
+		return nil, fmt.Errorf("wait: %w", err)
+	}
+	if st.Status != server.StatusDone {
+		return nil, fmt.Errorf("worker job %s ended %s: %s", workerJob, st.Status, st.Error)
+	}
+	rs, err := w.cli.Results(ctx, workerJob)
+	if err != nil {
+		return nil, fmt.Errorf("results: %w", err)
+	}
+	if len(rs) != rg.count {
+		return nil, fmt.Errorf("worker returned %d results for a %d-run range", len(rs), rg.count)
+	}
+	for i, r := range rs {
+		if r.Index != rg.start+i {
+			return nil, fmt.Errorf("worker result %d has index %d, want %d (determinism contract violated)", i, r.Index, rg.start+i)
+		}
+	}
+	return rs, nil
+}
+
+// compact distils a finished job into per-cell summaries in the result
+// index. Compaction failures are logged, not fatal — the merged journal
+// remains the source of truth.
+func (c *Coordinator) compact(jb *cjob, spec server.JobSpec, merged []sweep.Result) {
+	st := jb.state()
+	n, err := c.rstore.compact(st.ID, spec, merged, c.cfg.KeepJournals, c.ledger.RemoveJournal)
+	if err != nil {
+		c.cfg.Logf("lggfed: compact %s: %v", st.ID, err)
+		return
+	}
+	c.cCells.Add(int64(n))
+}
+
+// Draining reports whether admission is closed.
+func (c *Coordinator) Draining() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.draining
+}
+
+// Drain gracefully stops the coordinator: admission closes immediately,
+// queued jobs stay durably queued, in-flight jobs get until ctx's
+// deadline before being checkpointed mid-merge (their journals keep the
+// merged prefix; worker-side range jobs keep running and are re-attached
+// by idempotency key on the next start).
+func (c *Coordinator) Drain(ctx context.Context) error {
+	c.mu.Lock()
+	if c.draining {
+		c.mu.Unlock()
+		return fmt.Errorf("federation: already draining")
+	}
+	c.draining = true
+	c.mu.Unlock()
+	close(c.stopc)
+
+	done := make(chan struct{})
+	go func() {
+		c.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		c.mu.Lock()
+		running := make([]*cjob, 0, len(c.order))
+		for _, id := range c.order {
+			running = append(running, c.jobs[id])
+		}
+		c.mu.Unlock()
+		for _, jb := range running {
+			jb.mu.Lock()
+			cancel := jb.cancel
+			active := jb.st.Status == server.StatusRunning
+			jb.mu.Unlock()
+			if active && cancel != nil {
+				cancel(errDrain)
+			}
+		}
+		<-done
+	}
+	if err := c.rstore.close(); err != nil {
+		c.ledger.Close()
+		return err
+	}
+	return c.ledger.Close()
+}

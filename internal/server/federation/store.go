@@ -1,0 +1,202 @@
+package federation
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/server"
+	"repro/internal/sweep"
+)
+
+// The result store is the coordinator's compaction layer. A finished
+// job's merged journal is a full per-run JSONL — large, and mostly
+// redundant once the job is done. Compaction distils it into per-cell
+// summaries (sweep.AggregateCells, one line per network × router ×
+// variant cell) appended to an indexed JSONL the GET /v1/results
+// endpoint queries without ever replaying a journal. Optionally the
+// store then bounds journal disk usage: with KeepJournals > 0 only the
+// most recent merged journals survive compaction; evicted jobs remain
+// fully queryable through their summaries.
+//
+// The index file follows the repo's ledger discipline — header line,
+// whole-line fsynced appends, torn tail ignored on replay — so a
+// killed coordinator loses at most the summaries of the job it was
+// compacting, and that job's journal (still on disk, by eviction
+// ordering) re-compacts on the next completion-path touch or is simply
+// re-queryable as a stream.
+
+// indexVersion tags the summary index format.
+const indexVersion = "lggfed-results-v1"
+
+type indexHeader struct {
+	Index string `json:"index"`
+}
+
+// CellSummary is one compacted grid cell of one finished job — the unit
+// GET /v1/results returns.
+type CellSummary struct {
+	// Job is the coordinator job the cell came from; Tenant is the
+	// submitting tenant recorded at admission.
+	Job    string `json:"job"`
+	Tenant string `json:"tenant,omitempty"`
+	// Seed is the job's root seed: together with the cell coordinates it
+	// identifies the exact runs aggregated here.
+	Seed uint64 `json:"seed"`
+	sweep.CellStats
+}
+
+// resultStore owns the summary index and the compacted-journal
+// retention bookkeeping.
+type resultStore struct {
+	mu        sync.Mutex
+	f         *os.File
+	enc       *json.Encoder
+	cells     []CellSummary
+	compacted []string // job ids in compaction order, for retention
+}
+
+// openResultStore opens (or initialises) the summary index in dir and
+// replays it into memory.
+func openResultStore(dir string) (*resultStore, error) {
+	path := filepath.Join(dir, "results-index.jsonl")
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("federation: result index: %w", err)
+	}
+	rs := &resultStore{f: f}
+	br := bufio.NewReader(f)
+	head, err := br.ReadBytes('\n')
+	if err != nil {
+		if len(head) > 0 && !errors.Is(err, io.EOF) {
+			f.Close()
+			return nil, fmt.Errorf("federation: result index: %w", err)
+		}
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("federation: result index: %w", err)
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("federation: result index: %w", err)
+		}
+		rs.enc = json.NewEncoder(f)
+		if err := rs.enc.Encode(indexHeader{Index: indexVersion}); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("federation: result index header: %w", err)
+		}
+		return rs, f.Sync()
+	}
+	var hdr indexHeader
+	if json.Unmarshal(head, &hdr) != nil || hdr.Index != indexVersion {
+		f.Close()
+		return nil, fmt.Errorf("federation: %s is not a %s index", path, indexVersion)
+	}
+	offset := int64(len(head))
+	lastJob := ""
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			break // EOF or torn tail: everything before it stands
+		}
+		var cs CellSummary
+		if json.Unmarshal(line, &cs) != nil || cs.Job == "" {
+			break
+		}
+		rs.cells = append(rs.cells, cs)
+		if cs.Job != lastJob {
+			rs.compacted = append(rs.compacted, cs.Job)
+			lastJob = cs.Job
+		}
+		offset += int64(len(line))
+	}
+	if err := f.Truncate(offset); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("federation: result index truncate: %w", err)
+	}
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("federation: result index seek: %w", err)
+	}
+	rs.enc = json.NewEncoder(f)
+	return rs, nil
+}
+
+// compact aggregates a finished job's merged results into per-cell
+// summaries, appends them durably to the index, and — when keep > 0 —
+// evicts the oldest compacted journals beyond keep via removeJournal.
+// Returns the number of cells written.
+func (rs *resultStore) compact(jobID string, spec server.JobSpec, merged []sweep.Result, keep int, removeJournal func(id string)) (int, error) {
+	cells, err := sweep.AggregateCells(merged, spec.Seeds)
+	if err != nil {
+		return 0, fmt.Errorf("aggregate: %w", err)
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	for i := range cells {
+		cs := CellSummary{Job: jobID, Tenant: spec.Tenant, Seed: spec.Seed, CellStats: cells[i]}
+		if err := rs.enc.Encode(&cs); err != nil {
+			return 0, fmt.Errorf("index append: %w", err)
+		}
+		rs.cells = append(rs.cells, cs)
+	}
+	if err := rs.f.Sync(); err != nil {
+		return 0, fmt.Errorf("index sync: %w", err)
+	}
+	rs.compacted = append(rs.compacted, jobID)
+	if keep > 0 && removeJournal != nil {
+		for len(rs.compacted) > keep {
+			evict := rs.compacted[0]
+			rs.compacted = rs.compacted[1:]
+			removeJournal(evict)
+		}
+	}
+	return len(cells), nil
+}
+
+// ResultFilter narrows a summary query; zero-value fields match
+// everything.
+type ResultFilter struct {
+	Job     string
+	Tenant  string
+	Grid    string
+	Network string
+	Router  string
+}
+
+func (f ResultFilter) matches(cs CellSummary) bool {
+	return (f.Job == "" || f.Job == cs.Job) &&
+		(f.Tenant == "" || f.Tenant == cs.Tenant) &&
+		(f.Grid == "" || f.Grid == cs.Grid) &&
+		(f.Network == "" || f.Network == cs.Network) &&
+		(f.Router == "" || f.Router == cs.Router)
+}
+
+// query returns the matching summaries in compaction order.
+func (rs *resultStore) query(f ResultFilter) []CellSummary {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	out := make([]CellSummary, 0, len(rs.cells))
+	for _, cs := range rs.cells {
+		if f.matches(cs) {
+			out = append(out, cs)
+		}
+	}
+	return out
+}
+
+// close flushes and closes the index.
+func (rs *resultStore) close() error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if err := rs.f.Sync(); err != nil {
+		rs.f.Close()
+		return err
+	}
+	return rs.f.Close()
+}

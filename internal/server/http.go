@@ -156,46 +156,82 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no such job")
 		return
 	}
+	StreamJournal(w, r, s.store.journalPath(id), jb.terminal, jb.doneCh, s.stopc)
+}
 
-	f, err := s.waitForJournal(r, jb, s.store.journalPath(id))
+// lineFramer reassembles whole journal lines from arbitrary read
+// chunks. The journal writer appends whole lines, but a follower's
+// reads race the writer, so a chunk can end mid-line — a torn tail.
+// The framer holds the newline-less fragment in pending and emits the
+// line exactly once, when its terminating newline arrives; the journal
+// header (first line) is swallowed.
+type lineFramer struct {
+	pending       []byte
+	headerSkipped bool
+}
+
+// feed appends chunk and invokes emit once per completed line (newline
+// included). It reports whether any line was emitted, so callers know
+// when to flush.
+func (l *lineFramer) feed(chunk []byte, emit func(line []byte) error) (wrote bool, err error) {
+	l.pending = append(l.pending, chunk...)
+	for {
+		i := bytes.IndexByte(l.pending, '\n')
+		if i < 0 {
+			return wrote, nil
+		}
+		line := l.pending[:i+1]
+		l.pending = l.pending[i+1:]
+		if !l.headerSkipped {
+			l.headerSkipped = true
+			continue
+		}
+		if err := emit(line); err != nil {
+			return wrote, err
+		}
+		wrote = true
+	}
+}
+
+// StreamJournal serves the sweep journal at path as a follow-mode
+// application/x-ndjson response: the header line is stripped, each
+// remaining line is relayed verbatim as it lands on disk, and the
+// stream ends once terminal() reports true and the file is drained.
+// done wakes the follower when the job completes (so the final lines
+// are relayed without waiting out a poll interval); stop aborts the
+// stream mid-job (daemon drain), as does the client disconnecting.
+// A missing journal is waited for while the job is live and served as
+// an empty complete stream if the job went terminal without producing
+// one. Both the single daemon and the federation coordinator serve
+// results through this path, so a follower sees identical framing
+// either way.
+func StreamJournal(w http.ResponseWriter, r *http.Request, path string, terminal func() bool, done, stop <-chan struct{}) {
+	f, err := waitForJournal(r, path, terminal, done, stop)
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
 	if f == nil {
 		// Terminal with no journal (e.g. cancelled while queued, or failed
 		// before the first run): an empty, complete stream.
-		w.Header().Set("Content-Type", "application/x-ndjson")
 		return
 	}
 	defer f.Close()
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
-	var pending []byte // bytes read but not yet newline-terminated
-	headerSkipped := false
+	var framer lineFramer
 	chunk := make([]byte, 32*1024)
 	for {
-		wasTerminal := jb.terminal()
+		wasTerminal := terminal()
 		n, rerr := f.Read(chunk)
 		if n > 0 {
-			pending = append(pending, chunk[:n]...)
-			wrote := false
-			for {
-				i := bytes.IndexByte(pending, '\n')
-				if i < 0 {
-					break
-				}
-				line := pending[:i+1]
-				pending = pending[i+1:]
-				if !headerSkipped {
-					headerSkipped = true
-					continue
-				}
-				if _, err := w.Write(line); err != nil {
-					return
-				}
-				wrote = true
+			wrote, err := framer.feed(chunk[:n], func(line []byte) error {
+				_, werr := w.Write(line)
+				return werr
+			})
+			if err != nil {
+				return
 			}
 			if wrote && flusher != nil {
 				flusher.Flush()
@@ -211,9 +247,9 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			select {
-			case <-jb.doneCh:
+			case <-done:
 				// Loop once more to drain anything the final flush wrote.
-			case <-s.stopc:
+			case <-stop:
 				return
 			case <-r.Context().Done():
 				return
@@ -223,10 +259,10 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// waitForJournal opens the job's journal, waiting for a queued job to
-// start writing it. Returns (nil, nil) if the job went terminal without
-// ever producing a journal.
-func (s *Server) waitForJournal(r *http.Request, jb *job, path string) (*os.File, error) {
+// waitForJournal opens the journal, waiting for a queued job to start
+// writing it. Returns (nil, nil) if the job went terminal without ever
+// producing a journal.
+func waitForJournal(r *http.Request, path string, terminal func() bool, done, stop <-chan struct{}) (*os.File, error) {
 	for {
 		f, err := os.Open(path)
 		if err == nil {
@@ -235,12 +271,12 @@ func (s *Server) waitForJournal(r *http.Request, jb *job, path string) (*os.File
 		if !os.IsNotExist(err) {
 			return nil, err
 		}
-		if jb.terminal() {
+		if terminal() {
 			return nil, nil
 		}
 		select {
-		case <-jb.doneCh:
-		case <-s.stopc:
+		case <-done:
+		case <-stop:
 			return nil, errors.New("server draining before the job produced results")
 		case <-r.Context().Done():
 			return nil, r.Context().Err()

@@ -37,10 +37,27 @@ type JobSpec struct {
 	// same key returns the first job instead of admitting a new one. The
 	// Idempotency-Key HTTP header takes precedence when both are set.
 	IdempotencyKey string `json:"idempotency_key,omitempty"`
+	// Tenant names the submitting tenant for admission accounting. A
+	// single daemon records it but does not discriminate; the federation
+	// coordinator enforces per-tenant quotas and fair-share dispatch on
+	// it. Empty means the default tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// RunStart / RunCount restrict the job to the contiguous run-index
+	// range [RunStart, RunStart+RunCount) of the grid enumeration — the
+	// unit of federation sharding. RunCount 0 means the whole grid.
+	// Because every run's RNG stream derives only from the root seed and
+	// its global index, a range job's results are byte-identical to the
+	// same indices of an unsharded sweep, which is what makes the
+	// coordinator's k-way merge byte-stable.
+	RunStart int `json:"run_start,omitempty"`
+	RunCount int `json:"run_count,omitempty"`
 }
 
-// withDefaults fills unset fields from the experiments defaults.
-func (s JobSpec) withDefaults() JobSpec {
+// WithDefaults fills unset fields from the experiments defaults.
+// Exported because the federation coordinator normalizes a spec the
+// same way the daemon's admission does, so the two agree on the grid
+// enumeration a job shards over.
+func (s JobSpec) WithDefaults() JobSpec {
 	d := experiments.Defaults()
 	if s.Seed == 0 {
 		s.Seed = d.Seed
@@ -54,14 +71,14 @@ func (s JobSpec) withDefaults() JobSpec {
 	return s
 }
 
-// config converts the spec to the experiments configuration it runs as.
-func (s JobSpec) config() experiments.Config {
+// Config converts the spec to the experiments configuration it runs as.
+func (s JobSpec) Config() experiments.Config {
 	return experiments.Config{Seed: s.Seed, Seeds: s.Seeds, Horizon: s.Horizon, Quick: s.Quick}
 }
 
-// validate rejects specs the daemon could never execute, before they are
-// admitted (and persisted).
-func (s JobSpec) validate(find GridResolver) error {
+// Validate rejects specs the daemon could never execute, before they
+// are admitted (and persisted).
+func (s JobSpec) Validate(find GridResolver) error {
 	if s.Grid == "" {
 		return fmt.Errorf("spec: grid is required")
 	}
@@ -70,6 +87,12 @@ func (s JobSpec) validate(find GridResolver) error {
 	}
 	if s.Seeds < 0 || s.Horizon < 0 || s.TimeoutMS < 0 {
 		return fmt.Errorf("spec: negative seeds/horizon/timeout_ms")
+	}
+	if s.RunStart < 0 || s.RunCount < 0 {
+		return fmt.Errorf("spec: negative run_start/run_count")
+	}
+	if s.RunStart > 0 && s.RunCount == 0 {
+		return fmt.Errorf("spec: run_start without run_count (use run_count for a bounded range)")
 	}
 	if s.Faults != "" {
 		if len(s.Faults) > 0 && s.Faults[0] == '@' {

@@ -232,11 +232,11 @@ func idNumber(id string) (int, bool) {
 // key). Shed and drain conditions return ErrOverloaded / ErrDraining
 // with a Retry-After hint attached.
 func (s *Server) Admit(spec JobSpec, key string) (JobState, bool, error) {
-	spec = spec.withDefaults()
+	spec = spec.WithDefaults()
 	if key != "" {
 		spec.IdempotencyKey = key
 	}
-	if err := spec.validate(s.cfg.FindGrid); err != nil {
+	if err := spec.Validate(s.cfg.FindGrid); err != nil {
 		return JobState{}, false, err
 	}
 	s.mu.Lock()
@@ -460,12 +460,23 @@ func (s *Server) execute(jb *job) {
 		s.finish(jb, StatusFailed, err.Error())
 		return
 	}
-	runs := g.Jobs(spec.config())
+	runs := g.Jobs(spec.Config())
 	if spec.Faults != "" {
 		if err := experiments.ApplyFaults(runs, spec.Faults); err != nil {
 			s.finish(jb, StatusFailed, err.Error())
 			return
 		}
+	}
+	if spec.RunCount > 0 {
+		// Range job (federation shard): execute only the requested
+		// index window. Desc.Index stays global, so the results are the
+		// exact lines an unsharded sweep would emit for these indices.
+		if spec.RunStart+spec.RunCount > len(runs) {
+			s.finish(jb, StatusFailed, fmt.Sprintf(
+				"run range %d+%d exceeds the grid's %d runs", spec.RunStart, spec.RunCount, len(runs)))
+			return
+		}
+		runs = runs[spec.RunStart : spec.RunStart+spec.RunCount]
 	}
 	journal, prefix, err := sweep.OpenJournalResume(s.store.journalPath(id), len(runs))
 	if err != nil {
@@ -553,6 +564,12 @@ func (s *Server) finish(jb *job, status JobStatus, errMsg string) {
 	}
 	s.persistState(st)
 	s.cfg.Logf("lggd: %s → %s (%d/%d runs)", st.ID, status, st.Done, st.Total)
+}
+
+// JournalPath reports where a job's sweep journal lives on disk (the
+// federation byte-identity tests compare these files directly).
+func (s *Server) JournalPath(id string) string {
+	return s.store.journalPath(id)
 }
 
 // Draining reports whether admission is closed.

@@ -138,6 +138,37 @@ func (s *store) removeJournal(id string) {
 	}
 }
 
+// Ledger is the exported face of the store for the federation
+// coordinator, which persists its own jobs with the same crash
+// discipline (and the same JobState records) as a single daemon but
+// lives in a separate package. The coordinator's state directory is
+// therefore readable by the same tooling as a daemon's.
+type Ledger struct {
+	s *store
+}
+
+// OpenLedger opens (or initialises) dir as a job ledger and replays it;
+// jobs come back in first-submission order.
+func OpenLedger(dir string) (*Ledger, []JobState, error) {
+	s, jobs, err := openStore(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Ledger{s: s}, jobs, nil
+}
+
+// Append durably records a job snapshot (whole-line write + fsync).
+func (l *Ledger) Append(js JobState) error { return l.s.append(js) }
+
+// JournalPath is where the job's (merged) sweep journal lives.
+func (l *Ledger) JournalPath(id string) string { return l.s.journalPath(id) }
+
+// RemoveJournal deletes a job's sweep journal, ignoring absence.
+func (l *Ledger) RemoveJournal(id string) { l.s.removeJournal(id) }
+
+// Close flushes and closes the ledger.
+func (l *Ledger) Close() error { return l.s.close() }
+
 // close closes the ledger.
 func (s *store) close() error {
 	s.mu.Lock()

@@ -1,0 +1,113 @@
+package sweep
+
+import "fmt"
+
+// The merger reassembles a sweep that was sharded by run-index range
+// across a fleet of workers into the single in-order result stream the
+// determinism contract promises. Each worker executes a contiguous
+// index range and (by the per-run RNG derivation) produces exactly the
+// results a single-daemon sweep would have produced for those indices,
+// so merging is a k-way merge keyed on Desc.Index: results are emitted
+// in global index order, and duplicates — a range that was re-leased to
+// a second worker after the first went quiet, then completed on both —
+// collapse to one emission per index. Because duplicated runs are
+// byte-identical by construction, dedup-by-index loses nothing, and the
+// merged stream is byte-identical to an unsharded run of the same
+// sweep.
+
+// Merger incrementally k-way merges result batches by run index. Feed
+// it each worker's results with Add as they arrive (in any order,
+// overlaps allowed); it invokes emit for each result exactly once, in
+// strictly ascending index order, as soon as the contiguous prefix
+// extends. Close verifies full coverage. Not safe for concurrent use;
+// callers serialize Add.
+type Merger struct {
+	total   int // expected run count; <0 disables the bound + coverage check
+	next    int // lowest index not yet emitted
+	pending map[int]Result
+	emit    func(Result) error
+}
+
+// NewMerger builds a merger for a sweep of total runs (indices
+// [0,total)); emit receives the merged in-order stream. total < 0
+// disables the range bound and the Close coverage check (adaptive
+// sweeps with an unknown run count).
+func NewMerger(total int, emit func(Result) error) *Merger {
+	return &Merger{total: total, pending: make(map[int]Result), emit: emit}
+}
+
+// Add feeds one batch of results (a whole range or any prefix of one).
+// Results whose index was already emitted or is already buffered are
+// dropped — the stolen-range dedup. Emission happens inside Add, so a
+// journal wired into emit grows as the contiguous prefix does.
+func (m *Merger) Add(rs []Result) error {
+	for _, r := range rs {
+		if m.total >= 0 && (r.Index < 0 || r.Index >= m.total) {
+			return fmt.Errorf("sweep: merge: result index %d outside sweep of %d runs", r.Index, m.total)
+		}
+		if r.Index < m.next {
+			continue // duplicate of an already-emitted run
+		}
+		if _, dup := m.pending[r.Index]; dup {
+			continue // duplicate of a buffered run
+		}
+		m.pending[r.Index] = r
+	}
+	for {
+		r, ok := m.pending[m.next]
+		if !ok {
+			return nil
+		}
+		delete(m.pending, m.next)
+		m.next++
+		if err := m.emit(r); err != nil {
+			return err
+		}
+	}
+}
+
+// Emitted reports how many results have been emitted so far (the length
+// of the contiguous merged prefix).
+func (m *Merger) Emitted() int { return m.next }
+
+// Resume marks indices [0,n) as already emitted — a restarted
+// coordinator replaying a merged journal's prefix. Later arrivals of
+// those indices are dropped as duplicates; emission continues at n.
+func (m *Merger) Resume(n int) {
+	if n > m.next {
+		m.next = n
+	}
+}
+
+// Close verifies the merge is complete: every index in [0,total) was
+// emitted and nothing non-contiguous is left buffered. A gap means a
+// range was never finished by any worker.
+func (m *Merger) Close() error {
+	if len(m.pending) > 0 {
+		return fmt.Errorf("sweep: merge: %d results stranded beyond a gap at index %d", len(m.pending), m.next)
+	}
+	if m.total >= 0 && m.next != m.total {
+		return fmt.Errorf("sweep: merge: covered %d of %d runs (gap at index %d)", m.next, m.total, m.next)
+	}
+	return nil
+}
+
+// MergeIndexed merges independently produced result batches into the
+// single in-order result list of a sweep with total runs, deduplicating
+// overlapping indices. It is the one-shot convenience over Merger.
+func MergeIndexed(batches [][]Result, total int) ([]Result, error) {
+	out := make([]Result, 0, total)
+	m := NewMerger(total, func(r Result) error {
+		out = append(out, r)
+		return nil
+	})
+	for _, b := range batches {
+		if err := m.Add(b); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

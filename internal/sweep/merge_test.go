@@ -1,0 +1,160 @@
+package sweep
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// mergeFixture runs a small real sweep and returns its in-order results
+// — the reference a merged shard set must reproduce byte-for-byte.
+func mergeFixture(t *testing.T, n int) []Result {
+	t.Helper()
+	jobs := make([]Job, 0, n)
+	for i := 0; i < n; i++ {
+		jobs = append(jobs, Job{
+			Desc: Desc{Index: i, Grid: "merge", Network: "line(5)", Replica: i, Seed: uint64(i + 1), Horizon: 120},
+			Build: func(seed uint64) *core.Engine {
+				spec := core.NewSpec(graph.Line(5)).SetSource(0, 1).SetSink(4, 1)
+				return core.NewEngine(spec, core.NewLGG())
+			},
+			Options: sim.Options{Horizon: 120},
+		})
+	}
+	rs, err := (&Runner{Workers: 4}).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func ranges(rs []Result, bounds ...int) [][]Result {
+	var out [][]Result
+	for i := 0; i+1 < len(bounds); i++ {
+		out = append(out, rs[bounds[i]:bounds[i+1]])
+	}
+	return out
+}
+
+func jsonl(t *testing.T, rs []Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestMergeIndexedReassemblesRangesInAnyOrder(t *testing.T) {
+	ref := mergeFixture(t, 12)
+	batches := ranges(ref, 0, 5, 9, 12)
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([][]Result(nil), batches...)
+		rand.New(rand.NewSource(int64(trial))).Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		got, err := MergeIndexed(shuffled, len(ref))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(jsonl(t, got), jsonl(t, ref)) {
+			t.Fatalf("trial %d: merged JSONL differs from the unsharded sweep", trial)
+		}
+	}
+}
+
+func TestMergeDedupsStolenRangeDuplicatesByteIdentically(t *testing.T) {
+	// A range re-leased to a second worker after the straggler deadline
+	// can complete on BOTH workers. The duplicated runs are
+	// byte-identical by the determinism contract; the merge must emit
+	// each index exactly once and the output must match the
+	// single-daemon run byte-for-byte.
+	ref := mergeFixture(t, 10)
+	batches := [][]Result{
+		ref[0:4],
+		ref[4:8], // original lease
+		ref[4:8], // stolen duplicate, identical bytes
+		ref[6:10],
+	}
+	got, err := MergeIndexed(batches, len(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ref) {
+		t.Fatalf("merged %d results, want %d (duplicates not deduped)", len(got), len(ref))
+	}
+	if !bytes.Equal(jsonl(t, got), jsonl(t, ref)) {
+		t.Fatal("merged JSONL with duplicated stolen range differs from the single-daemon bytes")
+	}
+}
+
+func TestMergerEmitsIncrementallyAndJournalMatches(t *testing.T) {
+	// Wiring the merger's emit to a journal must produce the same bytes
+	// as journalling the unsharded sweep, with emission growing as the
+	// contiguous prefix extends (a follower sees only finished prefixes).
+	ref := mergeFixture(t, 9)
+	var refBuf bytes.Buffer
+	refJ, err := NewJournal(&refBuf, len(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ref {
+		if err := refJ.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var gotBuf bytes.Buffer
+	gotJ, err := NewJournal(&gotBuf, len(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMerger(len(ref), gotJ.Append)
+	if err := m.Add(ref[3:6]); err != nil {
+		t.Fatal(err)
+	}
+	if m.Emitted() != 0 {
+		t.Fatalf("emitted %d before the prefix range arrived", m.Emitted())
+	}
+	if err := m.Add(ref[0:3]); err != nil {
+		t.Fatal(err)
+	}
+	if m.Emitted() != 6 {
+		t.Fatalf("emitted %d after ranges 0-6 arrived, want 6", m.Emitted())
+	}
+	if err := m.Add(ref[6:9]); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotBuf.Bytes(), refBuf.Bytes()) {
+		t.Fatal("merged journal bytes differ from the unsharded journal")
+	}
+}
+
+func TestMergerCloseReportsGaps(t *testing.T) {
+	ref := mergeFixture(t, 6)
+	m := NewMerger(6, func(Result) error { return nil })
+	if err := m.Add(ref[0:2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(ref[4:6]); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err == nil {
+		t.Fatal("Close accepted a merge with indices 2-3 missing")
+	}
+}
+
+func TestMergerRejectsOutOfRangeIndex(t *testing.T) {
+	ref := mergeFixture(t, 4)
+	m := NewMerger(2, func(Result) error { return nil })
+	if err := m.Add(ref); err == nil {
+		t.Fatal("Add accepted an index beyond the sweep size")
+	}
+}

@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# Federation smoke for the lggd coordinator — the CI gate for the
+# fleet's byte-stability contract:
+#
+#   1. fleet forms: two workers are seeded with -fleet, a third joins
+#      itself at runtime with -join, and /v1/fleet shows all three;
+#   2. fault tolerance: one worker is SIGKILLed mid-sweep and the
+#      coordinator reroutes its ranges to the survivors;
+#   3. fidelity: the merged output fetched through the coordinator is
+#      byte-identical (cmp) to the same sweep run in-process — the
+#      determinism contract holds across sharding, a worker death, and
+#      the k-way merge;
+#   4. compaction: the finished job is queryable as per-cell summaries
+#      at GET /v1/results, filtered by the tenant it was submitted as.
+set -euo pipefail
+
+dir=$(mktemp -d)
+pids=()
+# On any exit, TERM every daemon (KILL stragglers) and reap them so a
+# failed run can never leave a stray process holding a port for the next
+# CI attempt. The original exit status is preserved across cleanup.
+cleanup() {
+  status=$?
+  trap - EXIT INT TERM
+  for pid in "${pids[@]}"; do
+    kill -TERM "$pid" 2>/dev/null || true
+  done
+  for pid in "${pids[@]}"; do
+    for _ in $(seq 1 50); do
+      kill -0 "$pid" 2>/dev/null || break
+      sleep 0.1
+    done
+    kill -9 "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+  done
+  rm -rf "$dir"
+  exit "$status"
+}
+trap cleanup EXIT INT TERM
+
+coord=127.0.0.1:8430
+w1=127.0.0.1:8431
+w2=127.0.0.1:8432
+w3=127.0.0.1:8433
+fail() { echo "lggd_fleet_smoke: $*" >&2; for f in "$dir"/*.log; do echo "--- $f" >&2; tail -15 "$f" >&2; done; exit 1; }
+
+wait_healthy() {
+  for i in $(seq 1 100); do
+    curl -sf "http://$1/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  fail "$2 never became healthy"
+}
+
+go build -o "$dir/lggd" ./cmd/lggd
+go build -o "$dir/lggsweep" ./cmd/lggsweep
+
+# --- 1. fleet forms: two seeded workers + one runtime join ------------
+"$dir/lggd" -addr "$w1" -state "$dir/w1" -jobs 2 -sweep-workers 1 >"$dir/w1.log" 2>&1 &
+pids+=($!)
+"$dir/lggd" -addr "$w2" -state "$dir/w2" -jobs 2 -sweep-workers 1 >"$dir/w2.log" 2>&1 &
+w2pid=$!
+pids+=($w2pid)
+wait_healthy "$w1" "worker 1"
+wait_healthy "$w2" "worker 2"
+
+"$dir/lggd" -coordinator -addr "$coord" -state "$dir/coord" \
+  -fleet "http://$w1,http://$w2" -range-runs 3 -lease 3s \
+  >"$dir/coord.log" 2>&1 &
+pids+=($!)
+wait_healthy "$coord" "coordinator"
+
+"$dir/lggd" -addr "$w3" -state "$dir/w3" -jobs 2 -sweep-workers 1 \
+  -join "http://$coord" -advertise "http://$w3" >"$dir/w3.log" 2>&1 &
+pids+=($!)
+wait_healthy "$w3" "worker 3"
+for i in $(seq 1 100); do
+  n=$(curl -s "http://$coord/v1/fleet" | grep -c 'http://' || true)
+  [ "$n" = 3 ] && break
+  [ "$i" = 100 ] && fail "fleet never reached 3 workers (have $n)"
+  sleep 0.1
+done
+echo "lggd_fleet_smoke: fleet of 3 formed (1 via -join) ✓"
+
+# --- 2+3. kill a worker mid-sweep; merged bytes match in-process ------
+spec='-grid faults -quick -seeds 2 -horizon 150000'
+# shellcheck disable=SC2086
+"$dir/lggsweep" $spec -quiet -faults 'down@40-80:e=1' -out "$dir/local.jsonl"
+
+# shellcheck disable=SC2086
+"$dir/lggsweep" -remote "$coord" -tenant acme $spec -quiet \
+  -faults 'down@40-80:e=1' -out "$dir/fleet.jsonl" >"$dir/sweep.log" 2>&1 &
+sweep_pid=$!
+
+# Kill worker 2 the moment the sweep shows progress, while runs are
+# still outstanding.
+for i in $(seq 1 200); do
+  done_runs=$(curl -s "http://$coord/v1/jobs/job-00000000" | sed -n 's/.*"done": \([0-9]*\).*/\1/p')
+  [ -n "$done_runs" ] && [ "$done_runs" -gt 0 ] && break
+  [ "$i" = 200 ] && fail "fleet sweep never made progress"
+  sleep 0.05
+done
+kill -9 "$w2pid" 2>/dev/null || true
+echo "lggd_fleet_smoke: worker 2 SIGKILLed at $done_runs finished runs"
+
+if ! wait "$sweep_pid"; then
+  cat "$dir/sweep.log" >&2
+  fail "fleet sweep failed after the worker was killed"
+fi
+cmp "$dir/local.jsonl" "$dir/fleet.jsonl" || fail "merged fleet JSONL differs from the in-process JSONL"
+echo "lggd_fleet_smoke: merged output byte-identical to in-process run ($(wc -l <"$dir/local.jsonl") lines) ✓"
+
+# --- 4. finished job compacts into queryable summaries ----------------
+cells=$(curl -s "http://$coord/v1/results?tenant=acme" | grep -c '"job": "job-00000000"' || true)
+# faults -quick seeds=2: 24 runs = 12 cells of 2 replicas.
+[ "$cells" = 12 ] || fail "tenant query returned $cells cells, want 12"
+none=$(curl -s "http://$coord/v1/results?tenant=nosuch")
+[ "$none" = "[]" ] || fail "filter miss returned $none, want []"
+echo "lggd_fleet_smoke: compacted summaries queryable per tenant (12 cells) ✓"
+
+echo "lggd_fleet_smoke: all checks passed"
