@@ -20,26 +20,42 @@
 // With -coordinator the process is instead a federation coordinator: it
 // serves the same job API but executes nothing itself, sharding each job
 // by run-index range across a fleet of ordinary lggd workers (seeded
-// with -fleet, grown at runtime via POST /v1/fleet/join) and k-way
-// merging their journals into results byte-identical to a single
-// daemon's. Stragglers are re-leased after -lease, tenants are isolated
-// by -tenant-quota with fair-share dispatch, and finished jobs compact
-// into per-cell summaries at GET /v1/results. A worker started with
-// -join registers itself with a coordinator and re-registers
-// periodically, so a restarted coordinator re-learns its fleet.
+// with -fleet, grown at runtime via POST /v1/fleet/join or peer gossip
+// with -peers) and k-way merging their journals into results
+// byte-identical to a single daemon's. Straggler leases adapt to each
+// worker's measured service rate (-lease is just the ceiling), erroring
+// workers are browned out and drained instead of fed more ranges, and
+// departed workers age out through -suspect-after/-dead-after instead
+// of holding leases. Tenants are isolated by -tenant-quota with
+// fair-share dispatch, and finished jobs compact into per-cell
+// summaries at GET /v1/results. A worker started with -join (one or
+// more coordinator URLs, comma-separated) registers itself and
+// re-registers on a jittered cadence, so a restarted coordinator
+// re-learns its fleet without a thundering herd.
+//
+// With -coordinator -standby -primary http://coord:8321 the process is
+// a warm standby: it refuses submissions (503 + Retry-After), tails the
+// primary's /v1/coordinator/status every -heartbeat, and after
+// -failover-after without a successful heartbeat promotes itself —
+// re-queueing every in-flight job, whose output stays byte-identical to
+// an unfailed run because worker-side idempotency keys re-attach the
+// surviving range jobs.
 //
 // Usage:
 //
 //	lggd [-addr 127.0.0.1:8321] [-state lggd-state] [-jobs 2] [-queue 16]
 //	     [-sweep-workers 0] [-retries 0] [-drain-grace 30s]
-//	     [-join http://coord:8321] [-advertise http://me:8321]
-//	lggd -coordinator [-fleet url1,url2] [-range-runs 8] [-lease 60s]
-//	     [-tenant-quota 4] [-keep-journals 0] [...]
+//	     [-join http://coord:8321,http://coord2:8321] [-advertise http://me:8321]
+//	lggd -coordinator [-fleet url1,url2] [-peers http://coord2:8321]
+//	     [-range-runs 8] [-lease 60s] [-tenant-quota 4] [-keep-journals 0]
+//	     [-suspect-after 75s] [-dead-after 150s] [...]
+//	lggd -coordinator -standby -primary http://coord:8321
+//	     [-heartbeat 1s] [-failover-after 5s] [...]
 //
 // API: POST /v1/jobs, GET /v1/jobs[/{id}[/results]], DELETE /v1/jobs/{id},
 // GET /healthz, /readyz, /metrics; coordinator adds POST /v1/fleet/join,
-// GET /v1/fleet and GET /v1/results. See internal/server and
-// internal/server/federation.
+// GET /v1/fleet, GET /v1/coordinator/status and GET /v1/results. See
+// internal/server and internal/server/federation.
 package main
 
 import (
@@ -50,6 +66,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -74,19 +91,35 @@ func main() {
 
 		coordinator  = flag.Bool("coordinator", false, "run as a federation coordinator: shard jobs across a worker fleet instead of executing them")
 		fleetArg     = flag.String("fleet", "", "coordinator: comma-separated worker base URLs seeding the fleet")
+		peersArg     = flag.String("peers", "", "coordinator: comma-separated peer coordinator URLs to gossip fleet membership with")
 		rangeRuns    = flag.Int("range-runs", 8, "coordinator: runs per range handed to one worker")
-		lease        = flag.Duration("lease", 60*time.Second, "coordinator: how long a range may straggle before it is re-leased to another worker")
+		lease        = flag.Duration("lease", 60*time.Second, "coordinator: straggler-lease ceiling; actual leases adapt to each worker's measured service rate")
 		tenantQuota  = flag.Int("tenant-quota", 4, "coordinator: max live (queued+running) jobs per tenant; negative = unlimited")
 		keepJournals = flag.Int("keep-journals", 0, "coordinator: after compaction keep only this many merged journals (0 = all)")
+		suspectAfter = flag.Duration("suspect-after", 75*time.Second, "coordinator: mark a worker suspect after this long without contact")
+		deadAfter    = flag.Duration("dead-after", 0, "coordinator: drop a worker after this long without contact (0 = 2×-suspect-after)")
+		brownoutErr  = flag.Float64("brownout-err-rate", 0.5, "coordinator: smoothed attempt-error share that browns a worker out of dispatch")
+		brownoutCool = flag.Duration("brownout-cooldown", 20*time.Second, "coordinator: how long a browned-out worker sits before a half-open probe")
 
-		join      = flag.String("join", "", "worker: register with the federation coordinator at this URL and re-register periodically")
+		standby       = flag.Bool("standby", false, "coordinator: run as a warm standby that tails -primary and takes over on missed heartbeats")
+		primary       = flag.String("primary", "", "standby: the primary coordinator's base URL")
+		heartbeat     = flag.Duration("heartbeat", time.Second, "standby: primary status-poll cadence")
+		failoverAfter = flag.Duration("failover-after", 5*time.Second, "standby: promote after this long without a successful heartbeat")
+
+		join      = flag.String("join", "", "worker: register with the federation coordinator(s) at these comma-separated URLs and re-register on a jittered cadence")
 		advertise = flag.String("advertise", "", "worker: base URL advertised on -join (default http://<addr>)")
 	)
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 
 	if *coordinator && *join != "" {
-		log.Fatalf("lggd: -join is a worker flag; a coordinator's fleet comes from -fleet and /v1/fleet/join")
+		log.Fatalf("lggd: -join is a worker flag; a coordinator's fleet comes from -fleet, -peers and /v1/fleet/join")
+	}
+	if *standby && !*coordinator {
+		log.Fatalf("lggd: -standby requires -coordinator")
+	}
+	if *standby && *primary == "" {
+		log.Fatalf("lggd: -standby requires -primary (the coordinator to tail)")
 	}
 
 	var (
@@ -95,27 +128,35 @@ func main() {
 		role    string
 	)
 	if *coordinator {
-		var fleet []string
-		for _, u := range strings.Split(*fleetArg, ",") {
-			if u = strings.TrimSpace(u); u != "" {
-				fleet = append(fleet, u)
-			}
-		}
 		coord, err := federation.New(federation.Config{
-			StateDir:     *state,
-			Workers:      fleet,
-			Jobs:         *jobs,
-			QueueDepth:   *queue,
-			TenantQuota:  *tenantQuota,
-			RangeRuns:    *rangeRuns,
-			Lease:        *lease,
-			KeepJournals: *keepJournals,
-			Logf:         log.Printf,
+			StateDir:      *state,
+			Workers:       splitURLs(*fleetArg),
+			Peers:         splitURLs(*peersArg),
+			Jobs:          *jobs,
+			QueueDepth:    *queue,
+			TenantQuota:   *tenantQuota,
+			RangeRuns:     *rangeRuns,
+			Lease:         *lease,
+			KeepJournals:  *keepJournals,
+			SuspectAfter:  *suspectAfter,
+			DeadAfter:     *deadAfter,
+			Standby:       *standby,
+			Primary:       *primary,
+			Heartbeat:     *heartbeat,
+			FailoverAfter: *failoverAfter,
+			Health: federation.HealthConfig{
+				BrownoutErrRate:  *brownoutErr,
+				BrownoutCooldown: *brownoutCool,
+			},
+			Logf: log.Printf,
 		})
 		if err != nil {
 			log.Fatalf("lggd: %v", err)
 		}
 		handler, drainFn, role = coord.Handler(), coord.Drain, "coordinator"
+		if *standby {
+			role = "standby coordinator"
+		}
 	} else {
 		srv, err := server.New(server.Config{
 			StateDir:     *state,
@@ -147,7 +188,9 @@ func main() {
 		if self == "" {
 			self = "http://" + ln.Addr().String()
 		}
-		go joinLoop(*join, self, stopJoin)
+		for _, coordURL := range splitURLs(*join) {
+			go joinLoop(coordURL, self, stopJoin)
+		}
 	}
 
 	sigc := make(chan os.Signal, 2)
@@ -181,10 +224,23 @@ func main() {
 	}
 }
 
-// joinLoop registers this worker with the coordinator, then re-registers
-// every 30s (joins are idempotent) so a restarted coordinator re-learns
-// the fleet without operator action. Failures are logged and retried on
-// a shorter cadence.
+// splitURLs parses a comma-separated URL list flag.
+func splitURLs(arg string) []string {
+	var urls []string
+	for _, u := range strings.Split(arg, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	return urls
+}
+
+// joinLoop registers this worker with one coordinator, then re-registers
+// (joins are idempotent) so a restarted coordinator re-learns the fleet
+// without operator action — every ~30s when joined, on a shorter cadence
+// after a failure. Both cadences are jittered across [d/2, 3d/2): a
+// fleet restarted together must not re-join in lockstep and thundering-
+// herd the coordinator every interval thereafter.
 func joinLoop(coordURL, self string, stop <-chan struct{}) {
 	body, _ := json.Marshal(struct {
 		URL string `json:"url"`
@@ -194,9 +250,10 @@ func joinLoop(coordURL, self string, stop <-chan struct{}) {
 		url = "http://" + url
 	}
 	url += "/v1/fleet/join"
+	httpc := &http.Client{Timeout: 10 * time.Second}
 	joined := false
 	for {
-		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		resp, err := httpc.Post(url, "application/json", bytes.NewReader(body))
 		ok := err == nil && resp.StatusCode == http.StatusOK
 		if resp != nil {
 			resp.Body.Close()
@@ -216,6 +273,7 @@ func joinLoop(coordURL, self string, stop <-chan struct{}) {
 		if !joined {
 			delay = 3 * time.Second
 		}
+		delay = delay/2 + time.Duration(rand.Float64()*float64(delay))
 		select {
 		case <-stop:
 			return

@@ -21,6 +21,20 @@
 // coordinator job and range, so a restarted coordinator re-attaches to
 // in-flight worker jobs instead of duplicating them.
 //
+// The coordinator itself is no longer a single point of failure. A
+// standby coordinator (Config.Standby) tails the primary's
+// /v1/coordinator/status heartbeat, mirroring its job ledger and fleet
+// view, and promotes itself after a missed-heartbeat window — re-queueing
+// every non-terminal job, whose merged output stays byte-identical to an
+// unfailed run because the worker-side idempotency keys are derived from
+// the job, not the coordinator. Fleet membership is gossip-maintained:
+// every worker contact refreshes a liveness age, coordinators anti-entropy
+// their views as age vectors (membership.go), and departed workers age
+// out through suspicion instead of holding leases. Dispatch is
+// health-aware: per-worker EWMA service rates drive adaptive straggler
+// leases, and a worker whose error share crosses a threshold is browned
+// out and drained instead of fed more ranges (health.go).
+//
 // On top, the coordinator adds the multi-tenant control the single
 // daemon deliberately lacks: per-tenant admission quotas and fair-share
 // dispatch (queue.go), and a compacting result store that distils
@@ -33,6 +47,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	mrand "math/rand"
+	"net/http"
 	"strconv"
 	"strings"
 	"sync"
@@ -52,7 +68,7 @@ type Config struct {
 	// matches a single daemon's state directory.
 	StateDir string
 	// Workers seeds the fleet with lggd base URLs; more join at runtime
-	// via POST /v1/fleet/join.
+	// via POST /v1/fleet/join or peer gossip.
 	Workers []string
 	// Jobs is the number of coordinator jobs sharded concurrently
 	// (default 2) — each one fans out to the whole fleet.
@@ -66,11 +82,17 @@ type Config struct {
 	// ranges steal and rebalance faster; larger ones amortise per-job
 	// HTTP overhead.
 	RangeRuns int
-	// Lease is how long a dispatched range may go unfinished before the
-	// coordinator re-leases it to another worker (default 60s).
+	// Lease is the straggler-lease ceiling and cold-start value
+	// (default 60s). Once a worker has observed throughput, its actual
+	// lease adapts: Health.LeaseFactor times the expected range
+	// duration at max(its own EWMA rate, the fleet mean), clamped to
+	// [Health.MinLease, Lease] — so a worker that falls behind the
+	// fleet is stolen from sooner, without any fixed -lease tuning.
 	Lease time.Duration
 	// StealMax caps concurrent attempts per range, the original lease
-	// included (default 2).
+	// included (default 2). Attempts stuck on suspect or browned-out
+	// workers don't count against the cap, so a dying worker can't pin
+	// a range to its own corpse.
 	StealMax int
 	// Poll is the worker job poll cadence (default 200ms).
 	Poll time.Duration
@@ -82,6 +104,48 @@ type Config struct {
 	// coordinator and its workers must resolve identically or range
 	// bounds will not line up.
 	FindGrid server.GridResolver
+
+	// Standby starts the coordinator as a warm standby: admission is
+	// refused (503 + Retry-After) and nothing is dispatched; instead the
+	// coordinator tails Primary's /v1/coordinator/status, mirroring its
+	// job ledger and fleet view. After FailoverAfter without a
+	// successful heartbeat it promotes itself, re-queues every
+	// non-terminal job and starts dispatching. Requires Primary.
+	Standby bool
+	// Primary is the primary coordinator's base URL (standby mode only).
+	Primary string
+	// Peers lists other coordinators to exchange fleet views with in
+	// jittered anti-entropy rounds every AntiEntropy, so coordinators
+	// converge on the same live-worker set without a shared seed list.
+	Peers []string
+	// Heartbeat is the standby's primary-poll cadence (default 1s).
+	Heartbeat time.Duration
+	// FailoverAfter is how long a standby tolerates failed heartbeats
+	// before assuming leadership (default 5s).
+	FailoverAfter time.Duration
+	// SuspectAfter marks a worker suspect after this long without
+	// contact (default 75s). Suspect workers are dispatched to only
+	// when no alive worker is eligible.
+	SuspectAfter time.Duration
+	// DeadAfter removes a worker unheard from for this long
+	// (default 2×SuspectAfter).
+	DeadAfter time.Duration
+	// AntiEntropy is the peer-gossip cadence (default 2s).
+	AntiEntropy time.Duration
+	// JoinPingTimeout bounds the liveness probe run against a joining
+	// worker before it is admitted to the fleet, so a hung peer cannot
+	// block the join handler (default 2s). Also bounds the periodic
+	// liveness probes of stale members and peer gossip fetches.
+	JoinPingTimeout time.Duration
+	// Health tunes worker health scoring (EWMA rates, adaptive leases,
+	// brown-out); zero values take HealthConfig defaults.
+	Health HealthConfig
+	// ReapAttempts / ReapBackoff shape the retry loop that cancels
+	// abandoned worker-side jobs after a steal won or a client
+	// cancelled (defaults 4 / 250ms, doubling).
+	ReapAttempts int
+	ReapBackoff  time.Duration
+
 	// Client tunes the per-worker HTTP clients; BaseURL is overwritten
 	// per worker.
 	Client client.Config
@@ -89,21 +153,33 @@ type Config struct {
 	Registry *metrics.Registry
 	// Logf, when set, receives operational log lines.
 	Logf func(format string, args ...any)
+	// Now and Rand are injectable for tests (defaults time.Now and
+	// math/rand.Float64). Rand jitters the gossip, heartbeat and
+	// membership cadences.
+	Now  func() time.Time
+	Rand func() float64
 }
 
 // Coordinator metric names.
 const (
-	MetricQueued         = "lggfed_queue_depth"
-	MetricInflight       = "lggfed_inflight_jobs"
-	MetricFleet          = "lggfed_fleet_size"
-	MetricShed           = "lggfed_jobs_shed_total"
-	MetricQuotaRefused   = "lggfed_jobs_quota_refused_total"
-	MetricJobsDone       = "lggfed_jobs_done_total"
-	MetricJobsFailed     = "lggfed_jobs_failed_total"
-	MetricRangesDone     = "lggfed_ranges_done_total"
-	MetricRangesStolen   = "lggfed_ranges_stolen_total"
-	MetricRangesRetried  = "lggfed_ranges_retried_total"
-	MetricCellsCompacted = "lggfed_cells_compacted_total"
+	MetricQueued           = "lggfed_queue_depth"
+	MetricInflight         = "lggfed_inflight_jobs"
+	MetricFleet            = "lggfed_fleet_size"
+	MetricShed             = "lggfed_jobs_shed_total"
+	MetricQuotaRefused     = "lggfed_jobs_quota_refused_total"
+	MetricJobsDone         = "lggfed_jobs_done_total"
+	MetricJobsFailed       = "lggfed_jobs_failed_total"
+	MetricRangesDone       = "lggfed_ranges_done_total"
+	MetricRangesStolen     = "lggfed_ranges_stolen_total"
+	MetricRangesRetried    = "lggfed_ranges_retried_total"
+	MetricCellsCompacted   = "lggfed_cells_compacted_total"
+	MetricEpoch            = "lggfed_epoch"
+	MetricStandby          = "lggfed_standby"
+	MetricFailovers        = "lggfed_failovers_total"
+	MetricHeartbeatsMissed = "lggfed_heartbeats_missed_total"
+	MetricMembersSuspect   = "lggfed_members_suspect"
+	MetricBrownedOut       = "lggfed_workers_browned_out"
+	MetricReapFailures     = "lggfed_reap_failures_total"
 )
 
 var (
@@ -132,7 +208,9 @@ func (j *cjob) terminal() bool {
 	return j.st.Status.Terminal()
 }
 
-// worker is one fleet member.
+// worker is one fleet member's client handle. Liveness lives in the
+// membership table, scheduling health in the health board — both keyed
+// by URL.
 type worker struct {
 	url string
 	cli *client.Client
@@ -141,37 +219,51 @@ type worker struct {
 // Coordinator shards sweep jobs across a fleet of lggd daemons.
 // Construct with New, serve its Handler, stop with Drain.
 type Coordinator struct {
-	cfg    Config
-	ledger *server.Ledger
-	reg    *metrics.Registry
-	rstore *resultStore
+	cfg     Config
+	ledger  *server.Ledger
+	reg     *metrics.Registry
+	rstore  *resultStore
+	members *membership
+	health  *healthBoard
 
-	mu       sync.Mutex
-	jobs     map[string]*cjob
-	order    []string
-	keys     map[string]string // idempotency key → job id
-	queue    *tenantQueue
-	fleet    []*worker
-	rrWorker int // round-robin cursor for range placement
-	nextID   int
-	draining bool
+	primaryCli *client.Client // standby mode: the primary being tailed
+
+	mu          sync.Mutex
+	jobs        map[string]*cjob
+	order       []string
+	keys        map[string]string // idempotency key → job id
+	queue       *tenantQueue
+	workers     map[string]*worker
+	probing     map[string]bool // urls with an in-flight liveness probe
+	rrWorker    int             // round-robin cursor for range placement
+	nextID      int
+	draining    bool
+	standby     bool
+	epoch       int64
+	mirrorEpoch int64 // primary's epoch as last mirrored by a standby
 
 	wake  chan struct{}
 	stopc chan struct{}
 	wg    sync.WaitGroup
 
-	gQueue, gInflight, gFleet          *metrics.Gauge
-	cShed, cQuota, cDone, cFailed      *metrics.Counter
-	cRanges, cStolen, cRetried, cCells *metrics.Counter
-	ewmaMu                             sync.Mutex
-	jobSecs                            float64
+	gQueue, gInflight, gFleet, gEpoch   *metrics.Gauge
+	gStandby, gSuspect, gBrowned        *metrics.Gauge
+	cShed, cQuota, cDone, cFailed       *metrics.Counter
+	cRanges, cStolen, cRetried, cCells  *metrics.Counter
+	cFailovers, cBeatsMissed, cReapFail *metrics.Counter
+	ewmaMu                              sync.Mutex
+	jobSecs                             float64
 }
 
 // New opens the state directory, replays the ledger (re-queueing
-// unfinished jobs), connects the seed fleet and starts the dispatchers.
+// unfinished jobs), connects the seed fleet and starts the dispatchers —
+// or, in standby mode, the primary-tailing follow loop.
 func New(cfg Config) (*Coordinator, error) {
 	if cfg.StateDir == "" {
 		return nil, fmt.Errorf("federation: Config.StateDir is required")
+	}
+	if cfg.Standby && cfg.Primary == "" {
+		return nil, fmt.Errorf("federation: standby mode requires Config.Primary")
 	}
 	if cfg.Jobs <= 0 {
 		cfg.Jobs = 2
@@ -194,6 +286,30 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.Poll <= 0 {
 		cfg.Poll = 200 * time.Millisecond
 	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = time.Second
+	}
+	if cfg.FailoverAfter <= 0 {
+		cfg.FailoverAfter = 5 * time.Second
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = 75 * time.Second
+	}
+	if cfg.DeadAfter <= 0 {
+		cfg.DeadAfter = 2 * cfg.SuspectAfter
+	}
+	if cfg.AntiEntropy <= 0 {
+		cfg.AntiEntropy = 2 * time.Second
+	}
+	if cfg.JoinPingTimeout <= 0 {
+		cfg.JoinPingTimeout = 2 * time.Second
+	}
+	if cfg.ReapAttempts <= 0 {
+		cfg.ReapAttempts = 4
+	}
+	if cfg.ReapBackoff <= 0 {
+		cfg.ReapBackoff = 250 * time.Millisecond
+	}
 	if cfg.FindGrid == nil {
 		cfg.FindGrid = experiments.FindGrid
 	}
@@ -202,6 +318,12 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Rand == nil {
+		cfg.Rand = mrand.Float64
 	}
 	ledger, replay, err := server.OpenLedger(cfg.StateDir)
 	if err != nil {
@@ -213,19 +335,27 @@ func New(cfg Config) (*Coordinator, error) {
 		return nil, err
 	}
 	c := &Coordinator{
-		cfg:    cfg,
-		ledger: ledger,
-		reg:    cfg.Registry,
-		rstore: rstore,
-		jobs:   make(map[string]*cjob),
-		keys:   make(map[string]string),
-		queue:  newTenantQueue(cfg.TenantQuota, cfg.QueueDepth),
-		wake:   make(chan struct{}, 1),
-		stopc:  make(chan struct{}),
+		cfg:     cfg,
+		ledger:  ledger,
+		reg:     cfg.Registry,
+		rstore:  rstore,
+		members: newMembership(cfg.SuspectAfter, cfg.DeadAfter, cfg.Now),
+		health:  newHealthBoard(cfg.Health, cfg.Lease, cfg.Now),
+		jobs:    make(map[string]*cjob),
+		keys:    make(map[string]string),
+		queue:   newTenantQueue(cfg.TenantQuota, cfg.QueueDepth),
+		workers: make(map[string]*worker),
+		probing: make(map[string]bool),
+		wake:    make(chan struct{}, 1),
+		stopc:   make(chan struct{}),
 	}
 	c.gQueue = c.reg.Gauge(MetricQueued, "Jobs waiting in the coordinator queue.")
 	c.gInflight = c.reg.Gauge(MetricInflight, "Coordinator jobs currently sharded across the fleet.")
 	c.gFleet = c.reg.Gauge(MetricFleet, "Workers in the fleet.")
+	c.gEpoch = c.reg.Gauge(MetricEpoch, "Leadership epoch (increments at every failover).")
+	c.gStandby = c.reg.Gauge(MetricStandby, "1 while this coordinator is a standby.")
+	c.gSuspect = c.reg.Gauge(MetricMembersSuspect, "Fleet members past the suspicion threshold.")
+	c.gBrowned = c.reg.Gauge(MetricBrownedOut, "Workers browned out by error rate.")
 	c.cShed = c.reg.Counter(MetricShed, "Submissions shed because the shared queue was full.")
 	c.cQuota = c.reg.Counter(MetricQuotaRefused, "Submissions refused by a tenant's quota.")
 	c.cDone = c.reg.Counter(MetricJobsDone, "Coordinator jobs merged to completion.")
@@ -234,6 +364,9 @@ func New(cfg Config) (*Coordinator, error) {
 	c.cStolen = c.reg.Counter(MetricRangesStolen, "Ranges re-leased past their straggler deadline.")
 	c.cRetried = c.reg.Counter(MetricRangesRetried, "Range attempts retried after a worker failure.")
 	c.cCells = c.reg.Counter(MetricCellsCompacted, "Per-cell summaries written to the result index.")
+	c.cFailovers = c.reg.Counter(MetricFailovers, "Standby promotions to primary.")
+	c.cBeatsMissed = c.reg.Counter(MetricHeartbeatsMissed, "Failed heartbeat polls of the primary.")
+	c.cReapFail = c.reg.Counter(MetricReapFailures, "Abandoned worker jobs the reaper gave up cancelling.")
 
 	for _, url := range cfg.Workers {
 		if err := c.addWorker(url, false); err != nil {
@@ -256,15 +389,63 @@ func New(cfg Config) (*Coordinator, error) {
 			close(jb.doneCh)
 			continue
 		}
+		if cfg.Standby {
+			// A restarted standby keeps mirrored jobs as recorded; the
+			// follow loop refreshes them from the primary (and a
+			// promotion re-queues whatever is still live).
+			continue
+		}
 		jb.st.Status = server.StatusQueued
 		c.queue.push(rec.Spec.Tenant, jb)
 		cfg.Logf("lggfed: resuming %s (%s, %d/%d runs merged)", rec.ID, rec.Spec.Grid, rec.Done, rec.Total)
 	}
+	// Replay rebuilt the tenant ring in first-submission order; re-seat
+	// the fair-share cursor past the tenant dispatched last before the
+	// restart so it is not served first again.
+	c.queue.alignAfter(ledger.LastDispatchedTenant())
 	c.gQueue.Set(int64(c.queue.pending()))
 
-	c.wg.Add(cfg.Jobs)
-	for i := 0; i < cfg.Jobs; i++ {
-		go c.dispatcher()
+	if cfg.Standby {
+		pcfg := cfg.Client
+		pcfg.BaseURL = cfg.Primary
+		pcfg.MaxAttempts = 1 // the follow loop is the retry policy
+		pcli, err := client.New(pcfg)
+		if err != nil {
+			rstore.close()
+			ledger.Close()
+			return nil, fmt.Errorf("federation: primary %s: %w", cfg.Primary, err)
+		}
+		c.primaryCli = pcli
+		c.standby = true
+		c.gStandby.Set(1)
+		c.wg.Add(1)
+		go c.followLoop()
+	} else {
+		c.epoch = 1
+		c.gEpoch.Set(1)
+		c.wg.Add(cfg.Jobs)
+		for i := 0; i < cfg.Jobs; i++ {
+			go c.dispatcher()
+		}
+	}
+	c.wg.Add(1)
+	go c.membershipLoop()
+	if len(cfg.Peers) > 0 {
+		peers := make([]*client.Client, 0, len(cfg.Peers))
+		for _, url := range cfg.Peers {
+			pcfg := cfg.Client
+			pcfg.BaseURL = url
+			pcfg.MaxAttempts = 1 // anti-entropy rounds are the retry policy
+			pcli, err := client.New(pcfg)
+			if err != nil {
+				rstore.close()
+				ledger.Close()
+				return nil, fmt.Errorf("federation: peer %s: %w", url, err)
+			}
+			peers = append(peers, pcli)
+		}
+		c.wg.Add(1)
+		go c.gossipLoop(peers)
 	}
 	return c, nil
 }
@@ -279,9 +460,17 @@ func jobIDNumber(id string) (int, bool) {
 	return n, err == nil
 }
 
-// addWorker connects a worker URL to the fleet. ping validates the
-// worker's liveness first (used by the join endpoint; seed workers are
-// added unpinged so the coordinator can start ahead of its fleet).
+// jitter spreads a cadence across [d/2, 3d/2) so restarted fleet
+// members desynchronise instead of thundering in lockstep.
+func (c *Coordinator) jitter(d time.Duration) time.Duration {
+	return d/2 + time.Duration(c.cfg.Rand()*float64(d))
+}
+
+// addWorker connects a worker URL to the fleet and refreshes its
+// membership age. ping validates the worker's liveness first — through
+// a single-attempt client bounded by JoinPingTimeout, so a hung peer
+// cannot block the join handler (seed workers are added unpinged so the
+// coordinator can start ahead of its fleet).
 func (c *Coordinator) addWorker(url string, ping bool) error {
 	ccfg := c.cfg.Client
 	ccfg.BaseURL = url
@@ -290,69 +479,141 @@ func (c *Coordinator) addWorker(url string, ping bool) error {
 		return fmt.Errorf("federation: worker %s: %w", url, err)
 	}
 	if ping {
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		pcfg := c.cfg.Client
+		pcfg.BaseURL = url
+		pcfg.MaxAttempts = 1
+		if pcfg.HTTP == nil {
+			pcfg.HTTP = &http.Client{Timeout: c.cfg.JoinPingTimeout}
+		}
+		pcli, err := client.New(pcfg)
+		if err != nil {
+			return fmt.Errorf("federation: worker %s: %w", url, err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.JoinPingTimeout)
 		defer cancel()
-		if err := cli.Ping(ctx); err != nil {
+		if err := pcli.Ping(ctx); err != nil {
 			return fmt.Errorf("federation: worker %s failed liveness: %w", url, err)
 		}
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, w := range c.fleet {
-		if w.url == url {
-			return nil // already joined; re-registration is a no-op
-		}
+	_, known := c.workers[url]
+	if !known {
+		c.workers[url] = &worker{url: url, cli: cli}
 	}
-	c.fleet = append(c.fleet, &worker{url: url, cli: cli})
-	c.gFleet.Set(int64(len(c.fleet)))
-	c.cfg.Logf("lggfed: worker %s joined (fleet size %d)", url, len(c.fleet))
+	c.mu.Unlock()
+	if c.members.observe(url) {
+		c.cfg.Logf("lggfed: worker %s joined (fleet size %d)", url, c.members.size())
+	}
+	c.gFleet.Set(int64(c.members.size()))
 	return nil
+}
+
+// ensureWorker builds a client handle for a gossip-learned URL without
+// refreshing its membership age (the caller already merged the peer's
+// age claim; claiming direct contact would forge freshness).
+func (c *Coordinator) ensureWorker(url string) {
+	ccfg := c.cfg.Client
+	ccfg.BaseURL = url
+	cli, err := client.New(ccfg)
+	if err != nil {
+		c.cfg.Logf("lggfed: gossip worker %s: %v", url, err)
+		return
+	}
+	c.mu.Lock()
+	if _, ok := c.workers[url]; !ok {
+		c.workers[url] = &worker{url: url, cli: cli}
+		c.cfg.Logf("lggfed: worker %s joined via gossip (fleet size %d)", url, c.members.size())
+	}
+	c.mu.Unlock()
+	c.gFleet.Set(int64(c.members.size()))
 }
 
 // Fleet lists the current worker URLs in join order.
 func (c *Coordinator) Fleet() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]string, len(c.fleet))
-	for i, w := range c.fleet {
-		out[i] = w.url
+	rows := c.members.view()
+	out := make([]string, len(rows))
+	for i, row := range rows {
+		out[i] = row.url
 	}
 	return out
 }
 
-// fleetSnapshot returns the workers and advances nothing.
-func (c *Coordinator) fleetSnapshot() []*worker {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return append([]*worker(nil), c.fleet...)
+// FleetMembers is the live-worker view served at GET /v1/fleet: each
+// member's liveness state, age since last contact, and scheduling
+// health.
+func (c *Coordinator) FleetMembers() []server.FleetMember {
+	rows := c.members.view()
+	out := make([]server.FleetMember, 0, len(rows))
+	for _, row := range rows {
+		out = append(out, server.FleetMember{
+			URL:    row.url,
+			State:  row.state,
+			AgeMS:  row.age.Milliseconds(),
+			Health: c.health.snapshot(row.url, c.cfg.RangeRuns),
+		})
+	}
+	return out
 }
 
-// nextWorker picks the next worker round-robin, preferring one whose
-// URL is not in exclude (a steal must land somewhere new when the fleet
-// allows it).
-func (c *Coordinator) nextWorker(exclude map[string]bool) *worker {
+// Status is the heartbeat payload served at GET /v1/coordinator/status.
+func (c *Coordinator) Status() server.CoordStatus {
+	c.mu.Lock()
+	epoch := c.epoch
+	standby := c.standby
+	c.mu.Unlock()
+	role := server.RolePrimary
+	if standby {
+		role = server.RoleStandby
+	}
+	return server.CoordStatus{Epoch: epoch, Role: role, Fleet: c.FleetMembers(), Jobs: c.Jobs()}
+}
+
+// Standby reports whether this coordinator is (still) a standby.
+func (c *Coordinator) Standby() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	n := len(c.fleet)
+	return c.standby
+}
+
+// nextWorker picks the next worker round-robin over the membership
+// view, preferring — in order — an alive, healthy worker not in exclude;
+// then any non-excluded worker; then anyone at all (a degraded fleet
+// still beats abandoning the range).
+func (c *Coordinator) nextWorker(exclude map[string]bool) *worker {
+	rows := c.members.view()
+	n := len(rows)
 	if n == 0 {
 		return nil
 	}
-	for i := 0; i < n; i++ {
-		w := c.fleet[(c.rrWorker+i)%n]
-		if !exclude[w.url] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < n; i++ {
+			row := rows[(c.rrWorker+i)%n]
+			w := c.workers[row.url]
+			if w == nil {
+				continue
+			}
+			if pass < 2 && exclude[row.url] {
+				continue
+			}
+			// health.available claims the half-open probe slot of a
+			// cooled-down brown-out, so it must run only on a worker we
+			// will actually use — it is the last check.
+			if pass == 0 && (row.state != stateAlive || !c.health.available(row.url)) {
+				continue
+			}
 			c.rrWorker = (c.rrWorker + i + 1) % n
 			return w
 		}
 	}
-	w := c.fleet[c.rrWorker%n]
-	c.rrWorker = (c.rrWorker + 1) % n
-	return w
+	return nil
 }
 
 // Admit validates and enqueues a job, mirroring the single daemon's
 // semantics plus the tenant layer: quota exhaustion and a full shared
-// queue both shed with Unavailable (HTTP 429 + Retry-After), drain
-// refuses with the 503 variant.
+// queue both shed with Unavailable (HTTP 429 + Retry-After); drain and
+// standby mode refuse with the 503 variant.
 func (c *Coordinator) Admit(spec server.JobSpec, key string) (server.JobState, bool, error) {
 	spec = spec.WithDefaults()
 	if key != "" {
@@ -369,6 +630,16 @@ func (c *Coordinator) Admit(spec server.JobSpec, key string) (server.JobState, b
 		ra := c.retryAfterLocked()
 		c.mu.Unlock()
 		return server.JobState{}, false, &server.Unavailable{Draining: true, RetryAfter: ra}
+	}
+	if c.standby {
+		// A standby owns no fleet leases; the client should submit to
+		// the primary — or retry here after a failover promotes us.
+		ra := int(c.cfg.FailoverAfter / time.Second)
+		if ra < 1 {
+			ra = 1
+		}
+		c.mu.Unlock()
+		return server.JobState{}, false, &server.Unavailable{Standby: true, RetryAfter: ra}
 	}
 	if spec.IdempotencyKey != "" {
 		if id, ok := c.keys[spec.IdempotencyKey]; ok {
@@ -655,15 +926,15 @@ func (c *Coordinator) executeJob(jb *cjob) {
 	}
 
 	// jobKey makes worker-side idempotency keys deterministic per
-	// coordinator job, so a restarted coordinator (same ledger, same
-	// job id) re-attaches to worker jobs it already submitted instead
-	// of re-running them.
+	// coordinator job, so a restarted (or freshly promoted) coordinator
+	// with the same job id re-attaches to worker jobs it — or its failed
+	// predecessor — already submitted instead of re-running them.
 	jobKey := id
 	if spec.IdempotencyKey != "" {
 		jobKey = spec.IdempotencyKey
 	}
 
-	width := len(c.fleetSnapshot())
+	width := c.members.size()
 	if width < 1 {
 		width = 1
 	}
@@ -756,19 +1027,22 @@ type rangeOutcome struct {
 	rs  []sweep.Result
 	err error
 	url string
+	dur time.Duration
 }
 
 // runRange executes one shard with straggler work-stealing: the first
-// attempt gets Lease to finish; each lease expiry launches another
-// attempt on a different worker (up to StealMax live attempts) and the
-// first success wins. Failed attempts relaunch immediately on the next
-// worker. The attempt budget is maxAttempts; exhausting it fails the
-// range (and hence the job).
+// attempt gets its worker's adaptive lease to finish; each lease expiry
+// launches another attempt on a different worker and the first success
+// wins. Failed attempts relaunch immediately on the next worker. The
+// live-attempt cap is StealMax, widened by any attempts stuck on
+// suspect or browned-out workers (a dying worker must not pin the range
+// to itself); the total attempt budget is maxAttempts, and exhausting
+// it fails the range (and hence the job).
 func (c *Coordinator) runRange(ctx context.Context, spec server.JobSpec, jobKey string, rg runRange) ([]sweep.Result, error) {
 	rctx, rcancel := context.WithCancel(ctx)
 	defer rcancel() // losers stop polling once a winner returns
 
-	fleetSize := len(c.fleetSnapshot())
+	fleetSize := c.members.size()
 	if fleetSize == 0 {
 		return nil, fmt.Errorf("federation: no workers in the fleet")
 	}
@@ -781,37 +1055,50 @@ func (c *Coordinator) runRange(ctx context.Context, spec server.JobSpec, jobKey 
 	// HTTP teardown.
 	outcome := make(chan rangeOutcome, maxAttempts)
 	tried := make(map[string]bool)
+	liveOn := make(map[string]int)
 	attempts, live := 0, 0
 	var lastErr error
 
-	launch := func() {
+	// launch starts one more attempt and returns the chosen worker's
+	// adaptive lease (0 when no worker was found).
+	launch := func() time.Duration {
 		w := c.nextWorker(tried)
 		if w == nil {
-			return
+			return 0
 		}
 		tried[w.url] = true
 		attempts++
 		live++
+		liveOn[w.url]++
 		go func() {
+			began := time.Now()
 			rs, err := c.attemptRange(rctx, w, spec, jobKey, rg)
-			outcome <- rangeOutcome{rs: rs, err: err, url: w.url}
+			outcome <- rangeOutcome{rs: rs, err: err, url: w.url, dur: time.Since(began)}
 		}()
+		return c.health.lease(w.url, rg.count)
 	}
-	launch()
-	lease := time.NewTimer(c.cfg.Lease)
+	leaseDur := launch()
+	if leaseDur <= 0 {
+		leaseDur = c.cfg.Lease
+	}
+	lease := time.NewTimer(leaseDur)
 	defer lease.Stop()
 
 	for {
 		select {
 		case o := <-outcome:
 			live--
+			liveOn[o.url]--
 			if o.err == nil {
+				c.health.success(o.url, rg.count, o.dur)
+				c.members.observe(o.url)
 				return o.rs, nil
 			}
 			lastErr = fmt.Errorf("range %d+%d on %s: %w", rg.start, rg.count, o.url, o.err)
 			if rctx.Err() != nil {
 				return nil, lastErr
 			}
+			c.health.failure(o.url)
 			c.cfg.Logf("lggfed: %v", lastErr)
 			if attempts >= maxAttempts {
 				if live == 0 {
@@ -820,25 +1107,46 @@ func (c *Coordinator) runRange(ctx context.Context, spec server.JobSpec, jobKey 
 				continue // a steal is still in flight; it may yet win
 			}
 			c.cRetried.Inc()
-			launch()
-		case <-lease.C:
-			if live < c.cfg.StealMax && attempts < maxAttempts {
-				c.cStolen.Inc()
-				c.cfg.Logf("lggfed: range %d+%d past its %v lease, re-leasing", rg.start, rg.count, c.cfg.Lease)
-				launch()
+			if d := launch(); d > 0 {
+				lease.Stop()
+				lease.Reset(d)
 			}
-			lease.Reset(c.cfg.Lease)
+		case <-lease.C:
+			next := c.cfg.Lease
+			if live < c.cfg.StealMax+c.stuckAttempts(liveOn) && attempts < maxAttempts {
+				c.cStolen.Inc()
+				c.cfg.Logf("lggfed: range %d+%d past its lease, re-leasing", rg.start, rg.count)
+				if d := launch(); d > 0 {
+					next = d
+				}
+			}
+			lease.Reset(next)
 		case <-rctx.Done():
 			return nil, rctx.Err()
 		}
 	}
 }
 
+// stuckAttempts counts live attempts held by workers that are currently
+// suspect or browned out; runRange widens the steal budget by this much
+// so a dying worker's lease cannot exclude healthy replacements.
+func (c *Coordinator) stuckAttempts(liveOn map[string]int) int {
+	extra := 0
+	for url, n := range liveOn {
+		if n > 0 && (c.members.suspected(url) || c.health.unhealthyNow(url)) {
+			extra += n
+		}
+	}
+	return extra
+}
+
 // attemptRange runs one shard on one worker: submit the range job
-// (deterministic idempotency key → retries and coordinator restarts
-// re-attach, never duplicate), poll to terminal, fetch and sanity-check
-// the results. A context cancelled mid-wait (a steal won, or the job
-// was cancelled) reaps the worker-side job best-effort.
+// (deterministic idempotency key → retries, coordinator restarts and
+// failovers re-attach, never duplicate), poll to terminal, fetch and
+// sanity-check the results. A context cancelled mid-wait (a steal won,
+// or the job was cancelled) hands the abandoned worker-side job to the
+// retrying reaper — except on drain, where worker jobs survive by
+// design so the next coordinator re-attaches to them.
 func (c *Coordinator) attemptRange(ctx context.Context, w *worker, spec server.JobSpec, jobKey string, rg runRange) ([]sweep.Result, error) {
 	spec.RunStart, spec.RunCount = rg.start, rg.count
 	spec.IdempotencyKey = fmt.Sprintf("%s/%d+%d", jobKey, rg.start, rg.count)
@@ -849,10 +1157,8 @@ func (c *Coordinator) attemptRange(ctx context.Context, w *worker, spec server.J
 	workerJob := st.ID
 	st, err = w.cli.Wait(ctx, workerJob, c.cfg.Poll)
 	if err != nil {
-		if ctx.Err() != nil {
-			reap, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-			_, _ = w.cli.Cancel(reap, workerJob)
-			cancel()
+		if ctx.Err() != nil && !errors.Is(context.Cause(ctx), errDrain) {
+			go c.reap(w, workerJob)
 		}
 		return nil, fmt.Errorf("wait: %w", err)
 	}
@@ -872,6 +1178,179 @@ func (c *Coordinator) attemptRange(ctx context.Context, w *worker, spec server.J
 		}
 	}
 	return rs, nil
+}
+
+// reap cancels an abandoned worker-side job (its attempt lost a steal
+// race or the client cancelled the coordinator job) with retries and
+// doubling backoff; a job the reaper finally gives up on is surfaced on
+// lggfed_reap_failures_total instead of silently leaking worker
+// capacity. A coordinator drain aborts the loop: worker jobs survive a
+// drain on purpose, so the restarted coordinator re-attaches to them by
+// idempotency key.
+func (c *Coordinator) reap(w *worker, workerJob string) {
+	backoff := c.cfg.ReapBackoff
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.ReapAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-c.stopc:
+				return
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		_, err := w.cli.Cancel(ctx, workerJob)
+		cancel()
+		if err == nil {
+			return
+		}
+		var se *client.StatusError
+		if errors.As(err, &se) && se.Code == http.StatusNotFound {
+			return // already gone — reaped is reaped
+		}
+		lastErr = err
+	}
+	c.cReapFail.Inc()
+	c.cfg.Logf("lggfed: reap of worker job %s on %s failed after %d attempts: %v",
+		workerJob, w.url, c.cfg.ReapAttempts, lastErr)
+}
+
+// membershipLoop ages the fleet: stale members get an active liveness
+// probe (statically seeded workers never re-join, so without probing a
+// healthy fleet would silently age out), members past DeadAfter are
+// removed, and the fleet gauges — including the per-worker health
+// export — are refreshed.
+func (c *Coordinator) membershipLoop() {
+	defer c.wg.Done()
+	tick := c.cfg.SuspectAfter / 8
+	if tick < 50*time.Millisecond {
+		tick = 50 * time.Millisecond
+	}
+	if tick > 10*time.Second {
+		tick = 10 * time.Second
+	}
+	for {
+		select {
+		case <-c.stopc:
+			return
+		case <-time.After(c.jitter(tick)):
+		}
+		c.membershipRound()
+	}
+}
+
+func (c *Coordinator) membershipRound() {
+	for _, url := range c.members.stale(c.cfg.SuspectAfter / 2) {
+		c.mu.Lock()
+		w := c.workers[url]
+		busy := c.probing[url]
+		if w != nil && !busy {
+			c.probing[url] = true
+		}
+		c.mu.Unlock()
+		if w == nil || busy {
+			continue
+		}
+		go func(url string, w *worker) {
+			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.JoinPingTimeout)
+			err := w.cli.Ping(ctx)
+			cancel()
+			if err == nil {
+				c.members.observe(url)
+			}
+			c.mu.Lock()
+			delete(c.probing, url)
+			c.mu.Unlock()
+		}(url, w)
+	}
+	for _, url := range c.members.sweepDead() {
+		c.mu.Lock()
+		delete(c.workers, url)
+		c.mu.Unlock()
+		c.health.forget(url)
+		c.cfg.Logf("lggfed: worker %s unheard from for %v, aged out of the fleet", url, c.cfg.DeadAfter)
+	}
+	c.updateFleetMetrics()
+}
+
+// gossipLoop anti-entropies fleet views with peer coordinators: each
+// jittered round fetches every peer's /v1/fleet and merges it (ages
+// only ever advance freshness, and peer-dead members are not
+// resurrected), so coordinators converge on the same worker set without
+// a shared seed list.
+func (c *Coordinator) gossipLoop(peers []*client.Client) {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.stopc:
+			return
+		case <-time.After(c.jitter(c.cfg.AntiEntropy)):
+		}
+		for _, p := range peers {
+			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.JoinPingTimeout)
+			ms, err := p.Fleet(ctx)
+			cancel()
+			if err != nil {
+				continue // peer down or not yet up; next round
+			}
+			for _, url := range c.members.merge(ms) {
+				c.ensureWorker(url)
+			}
+		}
+		c.updateFleetMetrics()
+	}
+}
+
+// updateFleetMetrics refreshes the fleet gauges, including one gauge
+// set per worker (suffixed with the sanitised worker address) so
+// brown-outs and adaptive leases are observable per worker.
+func (c *Coordinator) updateFleetMetrics() {
+	rows := c.members.view()
+	c.gFleet.Set(int64(len(rows)))
+	suspect := 0
+	for _, row := range rows {
+		if row.state == stateSuspect {
+			suspect++
+		}
+		h := c.health.snapshot(row.url, c.cfg.RangeRuns)
+		sfx := metricSuffix(row.url)
+		state := int64(1)
+		if row.state != stateAlive {
+			state = 0
+		}
+		c.reg.Gauge("lggfed_worker_state_"+sfx, "Worker liveness (1 alive, 0 suspect).").Set(state)
+		brown := int64(0)
+		if h.BrownedOut {
+			brown = 1
+		}
+		c.reg.Gauge("lggfed_worker_browned_out_"+sfx, "Worker brown-out (1 browned out).").Set(brown)
+		c.reg.Gauge("lggfed_worker_milli_runs_per_sec_"+sfx, "EWMA service rate in milli-runs per second.").Set(int64(h.EWMARunsPerSec * 1000))
+		c.reg.Gauge("lggfed_worker_failures_"+sfx, "Failed range attempts on this worker.").Set(h.Failures)
+		c.reg.Gauge("lggfed_worker_lease_ms_"+sfx, "Adaptive straggler lease in milliseconds.").Set(h.LeaseMS)
+	}
+	c.gSuspect.Set(int64(suspect))
+	c.gBrowned.Set(int64(c.health.brownedOut()))
+}
+
+// metricSuffix folds a worker URL into the Prometheus name charset:
+// the scheme is dropped and every rune outside [a-zA-Z0-9_:] maps
+// to '_'.
+func metricSuffix(url string) string {
+	if i := strings.Index(url, "://"); i >= 0 {
+		url = url[i+3:]
+	}
+	var b strings.Builder
+	for _, r := range url {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteRune('_')
+		}
+	}
+	return b.String()
 }
 
 // compact distils a finished job into per-cell summaries in the result
@@ -898,7 +1377,8 @@ func (c *Coordinator) Draining() bool {
 // queued jobs stay durably queued, in-flight jobs get until ctx's
 // deadline before being checkpointed mid-merge (their journals keep the
 // merged prefix; worker-side range jobs keep running and are re-attached
-// by idempotency key on the next start).
+// by idempotency key on the next start). A standby's follow loop stops
+// the same way.
 func (c *Coordinator) Drain(ctx context.Context) error {
 	c.mu.Lock()
 	if c.draining {

@@ -441,12 +441,15 @@ func TestFleetJoinValidatesWorker(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var fleet []string
+	var fleet []server.FleetMember
 	if err := json.NewDecoder(resp.Body).Decode(&fleet); err != nil {
 		t.Fatal(err)
 	}
-	if len(fleet) != 1 || fleet[0] != url {
-		t.Fatalf("fleet %v, want exactly [%s]", fleet, url)
+	if len(fleet) != 1 || fleet[0].URL != url {
+		t.Fatalf("fleet %+v, want exactly one member %s", fleet, url)
+	}
+	if fleet[0].State != stateAlive {
+		t.Fatalf("freshly joined worker is %q, want %q", fleet[0].State, stateAlive)
 	}
 }
 

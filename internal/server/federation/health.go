@@ -1,0 +1,264 @@
+package federation
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Worker health scoring. The coordinator keeps, per worker, an EWMA of
+// the observed service rate (runs per second across completed ranges)
+// and of the attempt error share. Two scheduling decisions ride on it:
+//
+//   - Adaptive leases. Instead of a fixed -lease, a worker's straggler
+//     lease is LeaseFactor times the time the fleet should need for the
+//     range: lease = LeaseFactor · runs / max(workerRate, fleetMean).
+//     Using the fleet mean as a floor matters — a slow worker scored by
+//     its own rate would earn a LONGER lease, exactly backwards; the
+//     floor means a worker materially slower than its peers gets stolen
+//     from sooner. With no observations yet the configured Lease acts
+//     as the cold-start ceiling, so the old fixed behaviour is the
+//     degenerate case.
+//
+//   - Brown-out. When a worker's error share crosses
+//     BrownoutErrRate (with at least BrownoutMinEvents observations),
+//     the coordinator stops dispatching to it. In-flight ranges drain
+//     normally — idempotent re-attach makes their completions free.
+//     After BrownoutCooldown one half-open probe range is allowed
+//     through; success restores the worker, failure re-browns it.
+//
+// Like membership, time is injectable for virtual-clock tests.
+
+// HealthConfig tunes the health board. Zero values take defaults.
+type HealthConfig struct {
+	// Alpha is the EWMA smoothing factor in (0,1]; default 0.3.
+	Alpha float64
+	// BrownoutErrRate is the smoothed error share that browns a worker
+	// out; default 0.5.
+	BrownoutErrRate float64
+	// BrownoutMinEvents is the observation floor before brown-out can
+	// trigger (one flaky first attempt must not bench a worker);
+	// default 3.
+	BrownoutMinEvents int
+	// BrownoutCooldown is how long a browned-out worker sits before a
+	// half-open probe; default 20s.
+	BrownoutCooldown time.Duration
+	// LeaseFactor multiplies the expected range duration into a lease;
+	// default 3.
+	LeaseFactor float64
+	// MinLease floors the adaptive lease; default 1s.
+	MinLease time.Duration
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.3
+	}
+	if c.BrownoutErrRate <= 0 {
+		c.BrownoutErrRate = 0.5
+	}
+	if c.BrownoutMinEvents <= 0 {
+		c.BrownoutMinEvents = 3
+	}
+	if c.BrownoutCooldown <= 0 {
+		c.BrownoutCooldown = 20 * time.Second
+	}
+	if c.LeaseFactor <= 0 {
+		c.LeaseFactor = 3
+	}
+	if c.MinLease <= 0 {
+		c.MinLease = time.Second
+	}
+	return c
+}
+
+// workerHealth is one worker's running score.
+type workerHealth struct {
+	rate      float64 // EWMA runs/sec, 0 until first success
+	errShare  float64 // EWMA of attempt failures in [0,1]
+	events    int     // total observations
+	successes int64
+	failures  int64
+
+	brownedUntil time.Time // zero = not browned out
+	probing      bool      // half-open probe in flight
+}
+
+// healthBoard scores every worker the coordinator knows.
+type healthBoard struct {
+	cfg      HealthConfig
+	maxLease time.Duration // configured Lease: cold-start value and ceiling
+	now      func() time.Time
+
+	mu sync.Mutex
+	w  map[string]*workerHealth
+}
+
+func newHealthBoard(cfg HealthConfig, maxLease time.Duration, now func() time.Time) *healthBoard {
+	if now == nil {
+		now = time.Now
+	}
+	return &healthBoard{
+		cfg:      cfg.withDefaults(),
+		maxLease: maxLease,
+		now:      now,
+		w:        make(map[string]*workerHealth),
+	}
+}
+
+func (h *healthBoard) get(url string) *workerHealth {
+	wh, ok := h.w[url]
+	if !ok {
+		wh = &workerHealth{}
+		h.w[url] = wh
+	}
+	return wh
+}
+
+// success records a completed range of runs taking dur. It clears any
+// brown-out: the worker just proved itself.
+func (h *healthBoard) success(url string, runs int, dur time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	wh := h.get(url)
+	a := h.cfg.Alpha
+	if secs := dur.Seconds(); secs > 0 && runs > 0 {
+		obs := float64(runs) / secs
+		if wh.rate == 0 {
+			wh.rate = obs
+		} else {
+			wh.rate = (1-a)*wh.rate + a*obs
+		}
+	}
+	wh.errShare = (1 - a) * wh.errShare
+	wh.events++
+	wh.successes++
+	wh.brownedUntil = time.Time{}
+	wh.probing = false
+}
+
+// failure records a failed attempt and browns the worker out if its
+// smoothed error share crosses the threshold (or if it failed its
+// half-open probe).
+func (h *healthBoard) failure(url string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	wh := h.get(url)
+	a := h.cfg.Alpha
+	wh.errShare = (1-a)*wh.errShare + a
+	wh.events++
+	wh.failures++
+	failedProbe := wh.probing
+	wh.probing = false
+	if failedProbe ||
+		(wh.events >= h.cfg.BrownoutMinEvents && wh.errShare >= h.cfg.BrownoutErrRate) {
+		wh.brownedUntil = h.now().Add(h.cfg.BrownoutCooldown)
+	}
+}
+
+// available reports whether url may be dispatched to. A browned-out
+// worker whose cooldown elapsed gets exactly one half-open probe: the
+// first caller claims it, concurrent callers are refused until the
+// probe resolves.
+func (h *healthBoard) available(url string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	wh, ok := h.w[url]
+	if !ok || wh.brownedUntil.IsZero() {
+		return true
+	}
+	if h.now().Before(wh.brownedUntil) {
+		return false
+	}
+	if wh.probing {
+		return false
+	}
+	wh.probing = true
+	return true
+}
+
+// unhealthyNow reports whether url is browned out right now, without
+// claiming the half-open probe slot the way available does — for
+// callers that only want to look (the steal-budget widening).
+func (h *healthBoard) unhealthyNow(url string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	wh, ok := h.w[url]
+	return ok && !wh.brownedUntil.IsZero() && h.now().Before(wh.brownedUntil)
+}
+
+// lease is the adaptive straggler lease for a range of runs on url.
+func (h *healthBoard) lease(url string, runs int) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	rate := 0.0
+	if wh, ok := h.w[url]; ok {
+		rate = wh.rate
+	}
+	// Floor a slow worker's rate at the fleet mean so falling behind the
+	// fleet SHRINKS the lease rather than inflating it.
+	var sum float64
+	var n int
+	for _, wh := range h.w {
+		if wh.rate > 0 {
+			sum += wh.rate
+			n++
+		}
+	}
+	if n > 0 {
+		if mean := sum / float64(n); mean > rate {
+			rate = mean
+		}
+	}
+	if rate <= 0 || runs <= 0 {
+		return h.maxLease // cold start: the configured lease is the ceiling
+	}
+	lease := time.Duration(h.cfg.LeaseFactor * float64(runs) / rate * float64(time.Second))
+	if lease < h.cfg.MinLease {
+		lease = h.cfg.MinLease
+	}
+	if lease > h.maxLease {
+		lease = h.maxLease
+	}
+	return lease
+}
+
+// snapshot exports url's health in wire form; rangeRuns sizes the
+// advertised lease.
+func (h *healthBoard) snapshot(url string, rangeRuns int) server.WorkerHealth {
+	lease := h.lease(url, rangeRuns)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := server.WorkerHealth{LeaseMS: lease.Milliseconds()}
+	wh, ok := h.w[url]
+	if !ok {
+		return out
+	}
+	out.EWMARunsPerSec = wh.rate
+	out.ErrShare = wh.errShare
+	out.Successes = wh.successes
+	out.Failures = wh.failures
+	out.BrownedOut = !wh.brownedUntil.IsZero() && h.now().Before(wh.brownedUntil)
+	return out
+}
+
+// forget drops url's score (the member aged out of the fleet).
+func (h *healthBoard) forget(url string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.w, url)
+}
+
+// brownedOut counts currently browned-out workers.
+func (h *healthBoard) brownedOut() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, wh := range h.w {
+		if !wh.brownedUntil.IsZero() && h.now().Before(wh.brownedUntil) {
+			n++
+		}
+	}
+	return n
+}

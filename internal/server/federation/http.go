@@ -18,11 +18,22 @@ import (
 // any lggd client — including cmd/lggsweep -remote — can point at a
 // coordinator unchanged. On top:
 //
-//	POST /v1/fleet/join  a worker registers itself ({"url": ...}); the
-//	                     coordinator liveness-checks it before admission
-//	GET  /v1/fleet       the current fleet, join order
-//	GET  /v1/results     compacted per-cell summaries of finished jobs,
-//	                     filterable by ?job=&tenant=&grid=&network=&router=
+//	POST /v1/fleet/join          a worker registers itself ({"url": ...});
+//	                             the coordinator liveness-checks it (with a
+//	                             bounded timeout) before admission
+//	GET  /v1/fleet               the current fleet in join order, each
+//	                             member with liveness state, age and
+//	                             scheduling health ([]server.FleetMember)
+//	GET  /v1/coordinator/status  the heartbeat payload: epoch, role, fleet
+//	                             and full job list (server.CoordStatus);
+//	                             standbys poll it to mirror the primary
+//	GET  /v1/results             compacted per-cell summaries of finished
+//	                             jobs, filterable by
+//	                             ?job=&tenant=&grid=&network=&router=
+//
+// A standby coordinator serves the same surface read-only: submissions
+// are refused with 503 + Retry-After until a failover promotes it, and
+// /readyz reports unready.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
@@ -48,7 +59,10 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/results", c.handleResults)
 	mux.HandleFunc("POST /v1/fleet/join", c.handleJoin)
 	mux.HandleFunc("GET /v1/fleet", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, c.Fleet())
+		writeJSON(w, http.StatusOK, c.FleetMembers())
+	})
+	mux.HandleFunc("GET /v1/coordinator/status", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, c.Status())
 	})
 	mux.HandleFunc("GET /v1/results", c.handleSummaries)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -57,12 +71,16 @@ func (c *Coordinator) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if c.Draining() {
+		switch {
+		case c.Draining():
 			w.WriteHeader(http.StatusServiceUnavailable)
 			fmt.Fprintln(w, "draining")
-			return
+		case c.Standby():
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "standby")
+		default:
+			fmt.Fprintln(w, "ready")
 		}
-		fmt.Fprintln(w, "ready")
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -108,7 +126,7 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if errors.As(err, &u) {
 			w.Header().Set("Retry-After", strconv.Itoa(u.RetryAfter))
 			code := http.StatusTooManyRequests
-			if u.Draining {
+			if u.Draining || u.Standby {
 				code = http.StatusServiceUnavailable
 			}
 			writeError(w, code, "%s", u.Error())

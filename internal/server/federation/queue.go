@@ -110,5 +110,24 @@ func (q *tenantQueue) release(tenant string) {
 	}
 }
 
+// setQuota changes the per-tenant live-job cap. Lowering it below a
+// tenant's current live count evicts nothing — the tenant simply admits
+// no new jobs until completions bring it back under the cap.
+func (q *tenantQueue) setQuota(quota int) { q.quota = quota }
+
+// alignAfter re-seats the round-robin scan to start just past tenant.
+// A restarted coordinator rebuilds the ring from its ledger replay and
+// calls this with the last tenant dispatched before the crash, so the
+// tenant served last is not served first again. An unknown (or empty)
+// tenant leaves the cursor alone.
+func (q *tenantQueue) alignAfter(tenant string) {
+	for i, name := range q.rr {
+		if name == tenant {
+			q.rrNext = (i + 1) % len(q.rr)
+			return
+		}
+	}
+}
+
 // pending reports the total queued jobs.
 func (q *tenantQueue) pending() int { return q.queued }

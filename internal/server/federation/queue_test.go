@@ -1,0 +1,146 @@
+package federation
+
+import (
+	"testing"
+
+	"repro/internal/server"
+)
+
+// TestTenantQueueFairShareUnderChurn exercises the round-robin ring
+// while tenants join and leave mid-dispatch: a newcomer slots into the
+// scan immediately, departures leave the survivors' ordering intact.
+func TestTenantQueueFairShareUnderChurn(t *testing.T) {
+	q := newTenantQueue(4, 16)
+	ja1, ja2, ja3 := &cjob{}, &cjob{}, &cjob{}
+	jb1, jc1 := &cjob{}, &cjob{}
+
+	q.push("a", ja1)
+	q.push("a", ja2)
+	q.push("b", jb1)
+	if got := q.pop(); got != ja1 {
+		t.Fatal("first pop should serve tenant a's first job")
+	}
+	// Tenant c joins mid-dispatch: the scan reaches it this round,
+	// after b but before a comes around again.
+	q.push("c", jc1)
+	if got := q.pop(); got != jb1 {
+		t.Fatal("second pop should serve b")
+	}
+	if got := q.pop(); got != jc1 {
+		t.Fatal("third pop should serve the newly joined c")
+	}
+	if got := q.pop(); got != ja2 {
+		t.Fatal("fourth pop should wrap back to a's backlog")
+	}
+
+	// b and c finish everything and leave; a's quota accounting and ring
+	// position survive the churn.
+	q.release("b")
+	q.release("c")
+	q.release("a")
+	q.release("a")
+	q.push("a", ja3)
+	if got := q.pop(); got != ja3 {
+		t.Fatal("post-churn pop should serve a's new job")
+	}
+	if got := q.pop(); got != nil {
+		t.Fatal("empty queue popped a job")
+	}
+}
+
+// TestTenantQueueQuotaLoweredBelowLive: shrinking the quota under a
+// tenant's live count evicts nothing — admission is simply refused
+// until completions bring the tenant back under the new cap.
+func TestTenantQueueQuotaLoweredBelowLive(t *testing.T) {
+	q := newTenantQueue(4, 16)
+	for i := 0; i < 3; i++ {
+		q.push("a", &cjob{})
+	}
+	if q.pop() == nil || q.pop() == nil {
+		t.Fatal("setup pops failed")
+	}
+	// live = 3 (1 queued + 2 running); the cap drops to 1.
+	q.setQuota(1)
+	if over, _ := q.admissible("a"); !over {
+		t.Fatal("tenant above the lowered quota was admissible")
+	}
+	// The already-queued job still dispatches: lowering the quota does
+	// not evict.
+	if q.pop() == nil {
+		t.Fatal("queued job was evicted by the quota change")
+	}
+	q.release("a") // live 2
+	if over, _ := q.admissible("a"); !over {
+		t.Fatal("tenant still above quota was admissible")
+	}
+	q.release("a") // live 1 == quota: still refused
+	if over, _ := q.admissible("a"); !over {
+		t.Fatal("tenant at quota was admissible")
+	}
+	q.release("a") // live 0
+	if over, _ := q.admissible("a"); over {
+		t.Fatal("tenant under quota was refused")
+	}
+}
+
+// TestRoundRobinAlignsAcrossRestart replays a ledger whose last
+// dispatch went to tenant a, rebuilds the queue the way the coordinator
+// does on restart, and checks the round-robin cursor resumes one past a
+// — the tenant served last before the crash is not served first again.
+func TestRoundRobinAlignsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	ledger, _, err := server.OpenLedger(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := func(id, tenant string, status server.JobStatus) server.JobState {
+		return server.JobState{ID: id, Spec: server.JobSpec{Tenant: tenant}, Status: status}
+	}
+	for _, js := range []server.JobState{
+		job("job-00000000", "a", server.StatusQueued),
+		job("job-00000001", "b", server.StatusQueued),
+		job("job-00000002", "a", server.StatusQueued),
+		job("job-00000000", "a", server.StatusRunning), // the pre-crash dispatch
+	} {
+		if err := ledger.Append(js); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ledger.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, replay, err := server.OpenLedger(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if got := reopened.LastDispatchedTenant(); got != "a" {
+		t.Fatalf("LastDispatchedTenant = %q, want a", got)
+	}
+
+	// Rebuild the queue exactly as the coordinator's replay does: every
+	// non-terminal job re-queued in ledger order, then the cursor
+	// re-seated past the last dispatched tenant.
+	q := newTenantQueue(4, 16)
+	for _, js := range replay {
+		if !js.Status.Terminal() {
+			q.push(js.Spec.Tenant, &cjob{st: js})
+		}
+	}
+	q.alignAfter(reopened.LastDispatchedTenant())
+
+	var order []string
+	for jb := q.pop(); jb != nil; jb = q.pop() {
+		order = append(order, jb.st.ID)
+	}
+	want := []string{"job-00000001", "job-00000000", "job-00000002"}
+	if len(order) != len(want) {
+		t.Fatalf("popped %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("restart dispatch order %v, want %v (b first: a was served last before the crash)", order, want)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package federation
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/server"
+)
+
+// TestReapFailureIsRetriedAndCounted rigs a worker whose DELETE
+// endpoint always 500s: when a client cancel abandons the in-flight
+// worker job, the reaper must retry with backoff and — once it gives up
+// — surface the leak on lggfed_reap_failures_total instead of silently
+// dropping it.
+func TestReapFailureIsRetriedAndCounted(t *testing.T) {
+	reg := metrics.NewRegistry()
+	_, workerURL := newWorker(t, func() { time.Sleep(20 * time.Millisecond) })
+	target, err := url.Parse(workerURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := httputil.NewSingleHostReverseProxy(target)
+	var polls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodDelete {
+			http.Error(w, `{"error":"no deletes today"}`, http.StatusInternalServerError)
+			return
+		}
+		if r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/jobs/") {
+			polls.Add(1)
+		}
+		proxy.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+
+	c, _ := newCoordinator(t, Config{
+		Registry:     reg,
+		RangeRuns:    4,
+		ReapAttempts: 2,
+		ReapBackoff:  5 * time.Millisecond,
+	}, ts.URL)
+
+	st, created, err := c.Admit(testSpec(8), "")
+	if err != nil || !created {
+		t.Fatalf("admit: created=%v err=%v", created, err)
+	}
+
+	// Cancel only once the coordinator is demonstrably polling the
+	// worker-side job — a cancel racing the submit response would find
+	// no job handle to reap. The first status poll through the proxy
+	// proves the attempt holds one.
+	deadline := time.Now().Add(10 * time.Second)
+	for polls.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("coordinator never polled the range job")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, ok := c.Cancel(st.ID); !ok {
+		t.Fatal("cancel: job vanished")
+	}
+	final := waitTerminal(t, c, st.ID, 20*time.Second)
+	if final.Status != server.StatusCancelled {
+		t.Fatalf("job ended %s, want cancelled", final.Status)
+	}
+
+	ctr := reg.Counter(MetricReapFailures, "")
+	deadline = time.Now().Add(10 * time.Second)
+	for ctr.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s stayed 0: the failed reap was never surfaced", MetricReapFailures)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,162 @@
+package federation
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Standby mode: a second coordinator that tails the primary and takes
+// over when it dies.
+//
+// The follow loop polls the primary's /v1/coordinator/status at a
+// jittered Heartbeat cadence. Every successful poll mirrors the
+// primary's job list into the standby's own fsynced ledger (so a
+// promotion — or a standby restart — starts from a durable copy) and
+// merges the primary's fleet view into the standby's membership table.
+// After FailoverAfter without a successful poll the standby promotes
+// itself: every non-terminal job is re-queued and dispatched as if the
+// standby had just restarted with the primary's ledger.
+//
+// Promotion preserves the byte-identity contract without copying any
+// journal bytes. The standby re-merges each resumed job from its own
+// (empty) journal prefix, re-submitting every range with the same
+// deterministic idempotency keys the primary used — `jobKey/start+count`
+// with the same job IDs, mirrored from the primary. Ranges the fleet
+// already finished for the dead primary return their recorded results
+// instantly via idempotent re-attach; ranges still running are joined,
+// not duplicated; ranges never submitted run fresh. The k-way merge by
+// global run index then reconstitutes exactly the byte stream an
+// unfailed run would have produced.
+
+// followLoop is the standby's main loop: poll, mirror, and promote when
+// the primary goes quiet. Runs until promotion or drain.
+func (c *Coordinator) followLoop() {
+	defer c.wg.Done()
+	lastBeat := c.cfg.Now()
+	for {
+		select {
+		case <-c.stopc:
+			return
+		case <-time.After(c.jitter(c.cfg.Heartbeat)):
+		}
+		// A poll outstanding longer than the failover window is a miss
+		// by definition, so the window doubles as the request timeout.
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.FailoverAfter)
+		st, err := c.primaryCli.CoordinatorStatus(ctx)
+		cancel()
+		if err != nil {
+			c.cBeatsMissed.Inc()
+			if c.cfg.Now().Sub(lastBeat) >= c.cfg.FailoverAfter {
+				c.promote()
+				return
+			}
+			continue
+		}
+		lastBeat = c.cfg.Now()
+		c.mirror(st)
+	}
+}
+
+// mirror folds one primary heartbeat into the standby: the fleet view
+// into membership (ensuring client handles for new workers) and every
+// job into the standby's own ledger. In-memory state tracks every
+// change; the ledger is appended only on Status/Error/Total
+// transitions — not per-run Done increments — so mirroring a busy
+// primary does not fsync per result line.
+func (c *Coordinator) mirror(st server.CoordStatus) {
+	for _, url := range c.members.merge(st.Fleet) {
+		c.ensureWorker(url)
+	}
+	c.mu.Lock()
+	c.mirrorEpoch = st.Epoch
+	c.mu.Unlock()
+	for _, js := range st.Jobs {
+		c.mirrorJob(js)
+	}
+}
+
+func (c *Coordinator) mirrorJob(js server.JobState) {
+	c.mu.Lock()
+	jb, known := c.jobs[js.ID]
+	if !known {
+		jb = &cjob{st: js, doneCh: make(chan struct{})}
+		if js.Status.Terminal() {
+			close(jb.doneCh)
+		}
+		if n, ok := jobIDNumber(js.ID); ok && n >= c.nextID {
+			c.nextID = n + 1
+		}
+		if js.Spec.IdempotencyKey != "" {
+			c.keys[js.Spec.IdempotencyKey] = js.ID
+		}
+		c.jobs[js.ID] = jb
+		c.order = append(c.order, js.ID)
+		c.mu.Unlock()
+		c.persist(js)
+		return
+	}
+	c.mu.Unlock()
+	jb.mu.Lock()
+	transition := jb.st.Status != js.Status || jb.st.Error != js.Error || jb.st.Total != js.Total
+	wasTerminal := jb.st.Status.Terminal()
+	changed := transition || jb.st.Done != js.Done ||
+		jb.st.Recovered != js.Recovered || jb.st.Degraded != js.Degraded ||
+		jb.st.Indeterminate != js.Indeterminate
+	if changed {
+		jb.st = js
+	}
+	if !wasTerminal && js.Status.Terminal() {
+		close(jb.doneCh)
+	}
+	jb.mu.Unlock()
+	if transition {
+		c.persist(js)
+	}
+}
+
+// promote flips a standby into the primary role: the epoch advances
+// past the last one mirrored, every non-terminal job is re-queued, and
+// the dispatchers start. Draining or already-promoted coordinators
+// ignore the call.
+func (c *Coordinator) promote() {
+	c.mu.Lock()
+	if c.draining || !c.standby {
+		c.mu.Unlock()
+		return
+	}
+	c.standby = false
+	c.epoch = c.mirrorEpoch + 1
+	epoch := c.epoch
+	var requeued []server.JobState
+	for _, id := range c.order {
+		jb := c.jobs[id]
+		jb.mu.Lock()
+		if !jb.st.Status.Terminal() {
+			jb.st.Status = server.StatusQueued
+			c.queue.push(jb.st.Spec.Tenant, jb)
+			requeued = append(requeued, jb.st)
+		}
+		jb.mu.Unlock()
+	}
+	c.gQueue.Set(int64(c.queue.pending()))
+	c.mu.Unlock()
+
+	for _, st := range requeued {
+		c.persist(st)
+	}
+	c.gEpoch.Set(epoch)
+	c.gStandby.Set(0)
+	c.cFailovers.Inc()
+	c.wg.Add(c.cfg.Jobs)
+	for i := 0; i < c.cfg.Jobs; i++ {
+		go c.dispatcher()
+	}
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+	c.cfg.Logf("lggfed: primary %s unresponsive for %v; assuming leadership at epoch %d (%d jobs resumed)",
+		c.cfg.Primary, c.cfg.FailoverAfter, epoch, len(requeued))
+}

@@ -100,7 +100,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if errors.As(err, &u) {
 			w.Header().Set("Retry-After", strconv.Itoa(u.RetryAfter))
 			code := http.StatusTooManyRequests
-			if u.Draining {
+			if u.Draining || u.Standby {
 				code = http.StatusServiceUnavailable
 			}
 			writeError(w, code, "%s", u.Error())

@@ -283,18 +283,27 @@ func (s *Server) Admit(spec JobSpec, key string) (JobState, bool, error) {
 	return jb.state(), true, nil
 }
 
-// Unavailable is the shed/drain admission refusal; RetryAfter is the
-// server's backoff hint in seconds.
+// Unavailable is the shed/drain/standby admission refusal; RetryAfter
+// is the server's backoff hint in seconds.
 type Unavailable struct {
-	Draining   bool
+	Draining bool
+	// Standby marks a federation coordinator that is mirroring a live
+	// primary: it refuses admission (503 + Retry-After) until a missed
+	// heartbeat window promotes it. A client that keeps retrying against
+	// a standby is therefore admitted the moment failover completes.
+	Standby    bool
 	RetryAfter int
 }
 
 func (u *Unavailable) Error() string {
-	if u.Draining {
+	switch {
+	case u.Draining:
 		return "server draining, not admitting jobs"
+	case u.Standby:
+		return "coordinator is a standby; submit to the primary (or retry after failover)"
+	default:
+		return "admission queue full, job shed"
 	}
-	return "admission queue full, job shed"
 }
 
 // retryAfterLocked derives the Retry-After hint from the queue depth and

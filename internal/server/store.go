@@ -32,6 +32,12 @@ type storeHeader struct {
 // store owns the state directory.
 type store struct {
 	dir string
+	// lastDispatched is the tenant of the most recent queued→running
+	// transition found while replaying the ledger. The federation
+	// coordinator uses it to re-seat its round-robin fair-share cursor
+	// after a restart, so the tenant that was served last does not get
+	// served first again.
+	lastDispatched string
 
 	mu  sync.Mutex
 	f   *os.File
@@ -81,6 +87,7 @@ func openStore(dir string) (*store, []JobState, error) {
 
 	latest := make(map[string]*JobState)
 	var order []string
+	lastDispatched := ""
 	for {
 		line, err := br.ReadBytes('\n')
 		if err != nil {
@@ -92,6 +99,9 @@ func openStore(dir string) (*store, []JobState, error) {
 		}
 		if _, seen := latest[js.ID]; !seen {
 			order = append(order, js.ID)
+		}
+		if js.Status == StatusRunning {
+			lastDispatched = js.Spec.Tenant
 		}
 		latest[js.ID] = &js
 		offset += int64(len(line))
@@ -108,7 +118,7 @@ func openStore(dir string) (*store, []JobState, error) {
 	for _, id := range order {
 		jobs = append(jobs, *latest[id])
 	}
-	return &store{dir: dir, f: f, enc: json.NewEncoder(f)}, jobs, nil
+	return &store{dir: dir, lastDispatched: lastDispatched, f: f, enc: json.NewEncoder(f)}, jobs, nil
 }
 
 // append durably records a job snapshot: one whole-line write, then
@@ -165,6 +175,13 @@ func (l *Ledger) JournalPath(id string) string { return l.s.journalPath(id) }
 
 // RemoveJournal deletes a job's sweep journal, ignoring absence.
 func (l *Ledger) RemoveJournal(id string) { l.s.removeJournal(id) }
+
+// LastDispatchedTenant reports the tenant of the most recent
+// queued→running transition in the replayed ledger (empty if none).
+// The federation coordinator re-seats its round-robin fair-share cursor
+// just past this tenant on restart, preserving dispatch fairness across
+// a crash or failover.
+func (l *Ledger) LastDispatchedTenant() string { return l.s.lastDispatched }
 
 // Close flushes and closes the ledger.
 func (l *Ledger) Close() error { return l.s.close() }
