@@ -39,18 +39,35 @@
 // -failover-after without a successful heartbeat promotes itself —
 // re-queueing every in-flight job, whose output stays byte-identical to
 // an unfailed run because worker-side idempotency keys re-attach the
-// surviving range jobs.
+// surviving range jobs. Standbys stack into a rank order: -rank fixes a
+// coordinator's place in the failover chain and -watch lists the
+// better-ranked coordinators it must also monitor, so rank 2 defers to
+// a live rank 1 even with the primary dead, and an acting primary that
+// sees a watched coordinator claim leadership with a higher epoch (or
+// an equal epoch and lower rank, after a healed partition) demotes
+// itself instead of split-brain dispatching.
+//
+// -chaos arms a deterministic fault injector over every outbound HTTP
+// call the process makes (worker dispatch, heartbeat polls, gossip,
+// fleet joins): a seeded schedule of latency spikes, connection resets,
+// blackholes, 5xx bursts, slow-loris stalls and asymmetric partitions,
+// replayed byte-identically from -chaos-seed. -chaos-transcript writes
+// the injected-event log on clean exit. See internal/chaos.
 //
 // Usage:
 //
 //	lggd [-addr 127.0.0.1:8321] [-state lggd-state] [-jobs 2] [-queue 16]
 //	     [-sweep-workers 0] [-retries 0] [-drain-grace 30s]
 //	     [-join http://coord:8321,http://coord2:8321] [-advertise http://me:8321]
+//	     [-capacity 12.5]
 //	lggd -coordinator [-fleet url1,url2] [-peers http://coord2:8321]
 //	     [-range-runs 8] [-lease 60s] [-tenant-quota 4] [-keep-journals 0]
-//	     [-suspect-after 75s] [-dead-after 150s] [...]
-//	lggd -coordinator -standby -primary http://coord:8321
-//	     [-heartbeat 1s] [-failover-after 5s] [...]
+//	     [-suspect-after 75s] [-dead-after 150s] [-retry-budget 0] [...]
+//	lggd -coordinator -standby -primary http://coord:8321 [-rank 1]
+//	     [-watch http://rank1:8321] [-heartbeat 1s] [-failover-after 5s] [...]
+//	lggd ... -chaos 'reset@0-8:p=0.5;latency@0-64:ms=5' -chaos-seed 42
+//	     [-chaos-name rank1] [-chaos-endpoints primary=127.0.0.1:8450]
+//	     [-chaos-transcript chaos.log]
 //
 // API: POST /v1/jobs, GET /v1/jobs[/{id}[/results]], DELETE /v1/jobs/{id},
 // GET /healthz, /readyz, /metrics; coordinator adds POST /v1/fleet/join,
@@ -75,7 +92,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/server"
+	"repro/internal/server/client"
 	"repro/internal/server/federation"
 )
 
@@ -103,11 +122,21 @@ func main() {
 
 		standby       = flag.Bool("standby", false, "coordinator: run as a warm standby that tails -primary and takes over on missed heartbeats")
 		primary       = flag.String("primary", "", "standby: the primary coordinator's base URL")
-		heartbeat     = flag.Duration("heartbeat", time.Second, "standby: primary status-poll cadence")
-		failoverAfter = flag.Duration("failover-after", 5*time.Second, "standby: promote after this long without a successful heartbeat")
+		rank          = flag.Int("rank", 0, "coordinator: fixed failover rank (0 = primary; standbys default to 1)")
+		watchArg      = flag.String("watch", "", "coordinator: comma-separated URLs of other coordinators in the failover chain to monitor (a standby watches better-ranked standbys; an acting primary demotes itself to a higher-authority claimant here)")
+		heartbeat     = flag.Duration("heartbeat", time.Second, "standby: upstream status-poll cadence")
+		failoverAfter = flag.Duration("failover-after", 5*time.Second, "standby: promote after this long with the whole upstream chain silent")
+		retryBudget   = flag.Duration("retry-budget", 0, "coordinator: deadline cap on one logical worker request across all its retries (0 = attempts-only)")
 
 		join      = flag.String("join", "", "worker: register with the federation coordinator(s) at these comma-separated URLs and re-register on a jittered cadence")
 		advertise = flag.String("advertise", "", "worker: base URL advertised on -join (default http://<addr>)")
+		capacity  = flag.Float64("capacity", 0, "worker: declared service rate in runs/sec advertised on -join (0 = undeclared); dispatch weights by max(declared, observed)")
+
+		chaosArg        = flag.String("chaos", "", "inject deterministic faults into this process's outbound HTTP: a chaos schedule (text or JSON, @file to load), e.g. 'reset@0-8:p=0.5;latency@0-64:ms=5'")
+		chaosSeed       = flag.Uint64("chaos-seed", 1, "chaos: RNG seed; same schedule+seed replays the same injected-event transcript")
+		chaosName       = flag.String("chaos-name", "lggd", "chaos: this process's endpoint name (the src side of r=src>dst routes)")
+		chaosEndpoints  = flag.String("chaos-endpoints", "", "chaos: comma-separated name=host:port pairs naming remote endpoints for route matching")
+		chaosTranscript = flag.String("chaos-transcript", "", "chaos: write the injected-event transcript to this file on clean exit")
 	)
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
@@ -121,6 +150,40 @@ func main() {
 	if *standby && *primary == "" {
 		log.Fatalf("lggd: -standby requires -primary (the coordinator to tail)")
 	}
+	if (*rank != 0 || *watchArg != "" || *retryBudget != 0) && !*coordinator {
+		log.Fatalf("lggd: -rank, -watch and -retry-budget are coordinator flags")
+	}
+	if *capacity < 0 {
+		log.Fatalf("lggd: -capacity must be non-negative")
+	}
+
+	// The chaos injector, when configured, owns every outbound HTTP call
+	// this process makes — a coordinator's worker dispatch, a standby's
+	// heartbeat polls, peer gossip, and a worker's fleet joins all share
+	// it, so one seeded schedule is one reproducible adversary for the
+	// whole process. A nil injector leaves every path untouched.
+	var injector *chaos.Injector
+	if *chaosArg != "" {
+		sched, err := chaos.Load(*chaosArg)
+		if err != nil {
+			log.Fatalf("lggd: -chaos: %v", err)
+		}
+		injector, err = chaos.NewInjector(sched, *chaosSeed)
+		if err != nil {
+			log.Fatalf("lggd: -chaos: %v", err)
+		}
+		for _, pair := range strings.Split(*chaosEndpoints, ",") {
+			if pair = strings.TrimSpace(pair); pair == "" {
+				continue
+			}
+			name, hostport, ok := strings.Cut(pair, "=")
+			if !ok || name == "" || hostport == "" {
+				log.Fatalf("lggd: -chaos-endpoints: %q is not name=host:port", pair)
+			}
+			injector.Register(name, stripScheme(hostport))
+		}
+		log.Printf("lggd: chaos schedule armed (seed %d): %s", *chaosSeed, chaos.FormatText(sched))
+	}
 
 	var (
 		handler http.Handler
@@ -128,6 +191,10 @@ func main() {
 		role    string
 	)
 	if *coordinator {
+		ccfg := client.Config{RetryBudget: *retryBudget}
+		if injector != nil {
+			ccfg.HTTP = &http.Client{Transport: injector.Transport(*chaosName, nil)}
+		}
 		coord, err := federation.New(federation.Config{
 			StateDir:      *state,
 			Workers:       splitURLs(*fleetArg),
@@ -142,8 +209,11 @@ func main() {
 			DeadAfter:     *deadAfter,
 			Standby:       *standby,
 			Primary:       *primary,
+			Rank:          *rank,
+			Watch:         splitURLs(*watchArg),
 			Heartbeat:     *heartbeat,
 			FailoverAfter: *failoverAfter,
+			Client:        ccfg,
 			Health: federation.HealthConfig{
 				BrownoutErrRate:  *brownoutErr,
 				BrownoutCooldown: *brownoutCool,
@@ -188,8 +258,12 @@ func main() {
 		if self == "" {
 			self = "http://" + ln.Addr().String()
 		}
+		httpc := &http.Client{Timeout: 10 * time.Second}
+		if injector != nil {
+			httpc.Transport = injector.Transport(*chaosName, nil)
+		}
 		for _, coordURL := range splitURLs(*join) {
-			go joinLoop(coordURL, self, stopJoin)
+			go joinLoop(httpc, coordURL, self, *capacity, stopJoin)
 		}
 	}
 
@@ -220,8 +294,39 @@ func main() {
 		if err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			log.Fatalf("lggd: shutdown: %v", err)
 		}
+		if injector != nil && *chaosTranscript != "" {
+			if err := writeTranscript(injector, *chaosTranscript); err != nil {
+				log.Fatalf("lggd: chaos transcript: %v", err)
+			}
+			log.Printf("lggd: chaos transcript (%d injected events) written to %s",
+				len(injector.Transcript()), *chaosTranscript)
+		}
 		log.Printf("lggd: drained cleanly")
 	}
+}
+
+// writeTranscript dumps the injector's injected-event log — sorted by
+// (route, slot), so byte-comparable across runs of the same
+// schedule+seed and workload.
+func writeTranscript(in *chaos.Injector, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := in.WriteTranscript(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// stripScheme reduces a URL-ish endpoint argument to host:port, the form
+// chaos route matching uses.
+func stripScheme(s string) string {
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	return strings.TrimSuffix(s, "/")
 }
 
 // splitURLs parses a comma-separated URL list flag.
@@ -241,16 +346,19 @@ func splitURLs(arg string) []string {
 // after a failure. Both cadences are jittered across [d/2, 3d/2): a
 // fleet restarted together must not re-join in lockstep and thundering-
 // herd the coordinator every interval thereafter.
-func joinLoop(coordURL, self string, stop <-chan struct{}) {
+// Each join re-POST doubles as a heartbeat carrying the worker's
+// declared capacity hint, so a re-tuned worker propagates its new rate
+// within one cadence.
+func joinLoop(httpc *http.Client, coordURL, self string, capacity float64, stop <-chan struct{}) {
 	body, _ := json.Marshal(struct {
-		URL string `json:"url"`
-	}{self})
+		URL      string  `json:"url"`
+		Capacity float64 `json:"capacity_runs_per_sec,omitempty"`
+	}{self, capacity})
 	url := strings.TrimRight(coordURL, "/")
 	if !strings.Contains(url, "://") {
 		url = "http://" + url
 	}
 	url += "/v1/fleet/join"
-	httpc := &http.Client{Timeout: 10 * time.Second}
 	joined := false
 	for {
 		resp, err := httpc.Post(url, "application/json", bytes.NewReader(body))

@@ -1,0 +1,239 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The codec mirrors internal/faults: a compact single-line text form
+// for CLI flags and a JSON form for schedule files. Text grammar,
+// events joined by ';':
+//
+//	kind@from-to[:param,param,...]
+//
+// with per-kind params:
+//
+//	latency@0-64:ms=5,jitter=10[,r=*>worker1]   delay + jitter window
+//	reset@0-8:p=0.5                             probabilistic resets
+//	drop@3-6:r=client>coordinator               blackhole a route
+//	err@0-4:code=503[,p=1]                      synthesized 5xx burst
+//	stall@4-8:ms=200                            slow-loris first byte
+//	cut@0-10:r=rank1>primary                    asymmetric partition
+//
+// Windows count per-route request slots, not time. 'r=src>dst' scopes
+// an event to one route ('*' wildcards either side; omitting r means
+// every route). JSON is either {"events":[...]} or a bare event array;
+// Parse auto-detects the form, Load additionally resolves '@path'.
+
+// FormatText renders s in the canonical text form: events sorted by
+// (From, To, Kind, Src, Dst), floats in shortest-exact notation, only
+// the fields the event's kind uses. Parse(FormatText(s)) reproduces s
+// up to event order and normalization.
+func FormatText(s Schedule) string {
+	var b strings.Builder
+	for i, ev := range s.sortedCopy() {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "%s@%d-%d", ev.Kind, ev.From, ev.To)
+		var ps []string
+		switch ev.Kind {
+		case Latency:
+			ps = append(ps, "ms="+strconv.FormatInt(ev.MS, 10))
+			if ev.Jitter > 0 {
+				ps = append(ps, "jitter="+strconv.FormatInt(ev.Jitter, 10))
+			}
+		case Stall:
+			ps = append(ps, "ms="+strconv.FormatInt(ev.MS, 10))
+		case Err:
+			ps = append(ps, "code="+strconv.Itoa(ev.Code))
+		}
+		if ev.P > 0 && ev.P < 1 {
+			ps = append(ps, "p="+strconv.FormatFloat(ev.P, 'g', -1, 64))
+		}
+		if ev.Src != "*" || ev.Dst != "*" {
+			ps = append(ps, "r="+ev.Src+">"+ev.Dst)
+		}
+		if len(ps) > 0 {
+			b.WriteByte(':')
+			b.WriteString(strings.Join(ps, ","))
+		}
+	}
+	return b.String()
+}
+
+// FormatJSON renders s as indented JSON ({"events":[...]}).
+func FormatJSON(s Schedule) string {
+	s.Events = s.sortedCopy()
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil { // Schedule holds only marshalable fields
+		panic(err)
+	}
+	return string(out)
+}
+
+// Parse decodes a schedule from either form: inputs starting with '{'
+// or '[' are JSON, everything else is the text grammar. The result is
+// validated and normalized (fields a kind does not use are zeroed,
+// wildcards and defaults made explicit, so parse→format→parse is the
+// identity).
+func Parse(input string) (Schedule, error) {
+	input = strings.TrimSpace(input)
+	if input == "" {
+		return Schedule{}, nil
+	}
+	if input[0] == '{' || input[0] == '[' {
+		return parseJSON(input)
+	}
+	return ParseText(input)
+}
+
+// Load is Parse plus '@path' indirection: an argument of the form
+// "@schedule.json" reads the schedule from that file.
+func Load(arg string) (Schedule, error) {
+	if strings.HasPrefix(arg, "@") {
+		data, err := os.ReadFile(strings.TrimPrefix(arg, "@"))
+		if err != nil {
+			return Schedule{}, fmt.Errorf("chaos: %w", err)
+		}
+		return Parse(string(data))
+	}
+	return Parse(arg)
+}
+
+func parseJSON(input string) (Schedule, error) {
+	var s Schedule
+	if input[0] == '[' {
+		if err := json.Unmarshal([]byte(input), &s.Events); err != nil {
+			return Schedule{}, fmt.Errorf("chaos: bad JSON schedule: %w", err)
+		}
+	} else if err := json.Unmarshal([]byte(input), &s); err != nil {
+		return Schedule{}, fmt.Errorf("chaos: bad JSON schedule: %w", err)
+	}
+	return finish(s)
+}
+
+// ParseText decodes the text grammar.
+func ParseText(input string) (Schedule, error) {
+	var s Schedule
+	for _, seg := range strings.Split(input, ";") {
+		seg = strings.TrimSpace(seg)
+		if seg == "" {
+			continue
+		}
+		ev, err := parseEvent(seg)
+		if err != nil {
+			return Schedule{}, err
+		}
+		s.Events = append(s.Events, ev)
+	}
+	return finish(s)
+}
+
+func finish(s Schedule) (Schedule, error) {
+	for i := range s.Events {
+		s.Events[i] = normalizeEvent(s.Events[i])
+	}
+	if err := s.Validate(); err != nil {
+		return Schedule{}, err
+	}
+	return s, nil
+}
+
+func parseEvent(seg string) (Event, error) {
+	head, params, hasParams := strings.Cut(seg, ":")
+	kind, win, ok := strings.Cut(head, "@")
+	if !ok {
+		return Event{}, fmt.Errorf("chaos: event %q: want kind@from-to", seg)
+	}
+	fromS, toS, ok := strings.Cut(win, "-")
+	if !ok {
+		return Event{}, fmt.Errorf("chaos: event %q: want kind@from-to", seg)
+	}
+	from, err1 := strconv.ParseInt(fromS, 10, 64)
+	to, err2 := strconv.ParseInt(toS, 10, 64)
+	if err1 != nil || err2 != nil || from < 0 || to < 0 {
+		return Event{}, fmt.Errorf("chaos: event %q: bad window %q", seg, win)
+	}
+	ev := Event{Kind: Kind(strings.TrimSpace(kind)), From: from, To: to}
+	if !hasParams {
+		return ev, nil
+	}
+	for _, p := range strings.Split(params, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(p, "=")
+		if !ok {
+			return Event{}, fmt.Errorf("chaos: event %q: bad param %q", seg, p)
+		}
+		switch key {
+		case "r":
+			src, dst, ok := strings.Cut(val, ">")
+			if !ok || src == "" || dst == "" {
+				return Event{}, fmt.Errorf("chaos: event %q: route %q: want src>dst", seg, val)
+			}
+			ev.Src, ev.Dst = src, dst
+		case "p":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Event{}, fmt.Errorf("chaos: event %q: bad p=%q", seg, val)
+			}
+			ev.P = f
+		case "ms":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Event{}, fmt.Errorf("chaos: event %q: bad ms=%q", seg, val)
+			}
+			ev.MS = n
+		case "jitter":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Event{}, fmt.Errorf("chaos: event %q: bad jitter=%q", seg, val)
+			}
+			ev.Jitter = n
+		case "code":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return Event{}, fmt.Errorf("chaos: event %q: bad code=%q", seg, val)
+			}
+			ev.Code = n
+		default:
+			return Event{}, fmt.Errorf("chaos: event %q: unknown param %q", seg, key)
+		}
+	}
+	return ev, nil
+}
+
+// normalizeEvent zeroes every field the event's kind does not use and
+// makes defaults explicit (P=1, Err code 503, '*' route wildcards), so
+// schedules arriving via permissive JSON format identically to their
+// text-parsed equivalents.
+func normalizeEvent(ev Event) Event {
+	n := Event{Kind: ev.Kind, From: ev.From, To: ev.To, Src: ev.Src, Dst: ev.Dst, P: ev.P}
+	if n.Src == "" {
+		n.Src = "*"
+	}
+	if n.Dst == "" {
+		n.Dst = "*"
+	}
+	if n.P == 0 {
+		n.P = 1
+	}
+	switch ev.Kind {
+	case Latency:
+		n.MS, n.Jitter = ev.MS, ev.Jitter
+	case Stall:
+		n.MS = ev.MS
+	case Err:
+		n.Code = ev.Code
+		if n.Code == 0 {
+			n.Code = 503
+		}
+	}
+	return n
+}

@@ -1,0 +1,127 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTextRoundTrip(t *testing.T) {
+	cases := []string{
+		"cut@0-4:r=rank1>primary",
+		"drop@3-6:r=client>coordinator",
+		"err@0-4:code=503",
+		"err@0-4:code=502,p=0.25",
+		"latency@0-64:ms=5,jitter=10",
+		"latency@0-64:ms=5,jitter=10,r=*>worker1",
+		"reset@0-8:p=0.5",
+		"stall@4-8:ms=200",
+	}
+	for _, in := range cases {
+		s, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		if got := FormatText(s); got != in {
+			t.Errorf("Parse(%q) formats as %q", in, got)
+		}
+	}
+}
+
+func TestParseDefaultsNormalized(t *testing.T) {
+	s, err := Parse("err@0-4;reset@0-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range s.Events {
+		if ev.Src != "*" || ev.Dst != "*" {
+			t.Errorf("%s: route not wildcarded: %q>%q", ev.Kind, ev.Src, ev.Dst)
+		}
+		if ev.P != 1 {
+			t.Errorf("%s: P=%v, want default 1", ev.Kind, ev.P)
+		}
+	}
+	if s.Events[0].Code != 503 {
+		t.Errorf("err default code = %d, want 503", s.Events[0].Code)
+	}
+	// Defaults made explicit must not leak back into the text form.
+	if got := FormatText(s); got != "reset@0-2;err@0-4:code=503" {
+		t.Errorf("FormatText = %q", got)
+	}
+}
+
+func TestParseJSONBothForms(t *testing.T) {
+	want, err := Parse("stall@4-8:ms=200;err@0-4:code=503")
+	if err != nil {
+		t.Fatal(err)
+	}
+	asObj := FormatJSON(want)
+	asArr := strings.TrimSpace(asObj)
+	asArr = asArr[strings.Index(asArr, "["):]
+	asArr = asArr[:strings.LastIndex(asArr, "]")+1]
+	for _, in := range []string{asObj, asArr} {
+		got, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(JSON): %v\n%s", err, in)
+		}
+		if FormatText(got) != FormatText(want) {
+			t.Errorf("JSON round trip: got %q want %q", FormatText(got), FormatText(want))
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"latency@0-4",            // needs ms or jitter
+		"stall@0-4",              // needs ms
+		"stall@0-4:ms=0",         // needs ms>0
+		"bogus@0-4",              // unknown kind
+		"reset@4-2",              // inverted window
+		"reset@0-4:p=1.5",        // p out of range
+		"err@0-4:code=99",        // bad status
+		"cut@0-4:r=oneword",      // route without '>'
+		"reset@0-4:unknown=1",    // unknown param
+		"reset@x-4",              // bad window
+		"latency@0-4:ms=-3,p=.5", // negative delay
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", in)
+		}
+	}
+}
+
+func TestShippedSchedulesValid(t *testing.T) {
+	shipped := Shipped()
+	for _, name := range []string{"burst-5xx-stall", "reset-storm", "partition-each-rank"} {
+		s, ok := shipped[name]
+		if !ok {
+			t.Fatalf("shipped schedule %q missing", name)
+		}
+		if s.Empty() {
+			t.Errorf("shipped schedule %q is empty", name)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("shipped schedule %q: %v", name, err)
+		}
+	}
+}
+
+func FuzzChaosScheduleRoundTrip(f *testing.F) {
+	f.Add("err@0-4:code=503;latency@0-64:ms=5,jitter=10")
+	f.Add("cut@0-4:r=rank1>primary")
+	f.Add("reset@0-8:p=0.5;stall@4-8:ms=200")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := Parse(input)
+		if err != nil {
+			return
+		}
+		text := FormatText(s)
+		s2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q): %v", text, input, err)
+		}
+		if got := FormatText(s2); got != text {
+			t.Fatalf("format not a fixed point: %q -> %q", text, got)
+		}
+	})
+}

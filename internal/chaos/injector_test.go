@@ -1,0 +1,147 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mustParse(t testing.TB, text string) Schedule {
+	t.Helper()
+	s, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", text, err)
+	}
+	return s
+}
+
+func noSleep(context.Context, time.Duration) error { return nil }
+
+func TestWindowsCountRouteSlots(t *testing.T) {
+	in := MustInjector(mustParse(t, "err@2-4:code=503,r=a>b"), 1)
+	in.Sleep = noSleep
+	for slot := 0; slot < 6; slot++ {
+		_, act := in.take("a>b", "GET", "/x")
+		if want := slot >= 2 && slot < 4; (act.kind != "") != want {
+			t.Errorf("slot %d: injected=%v, want %v", slot, act.kind != "", want)
+		}
+	}
+	// Another route has its own slot counter and never matches a>b.
+	if _, act := in.take("a>c", "GET", "/x"); act.kind != "" {
+		t.Errorf("route a>c hit an a>b-scoped event")
+	}
+}
+
+func TestWildcardRoutes(t *testing.T) {
+	in := MustInjector(mustParse(t, "reset@0-1:r=*>primary"), 1)
+	if _, act := in.take("rank1>primary", "GET", "/x"); act.kind != Reset {
+		t.Errorf("rank1>primary slot 0: got %q, want reset", act.kind)
+	}
+	if _, act := in.take("rank1>worker", "GET", "/x"); act.kind != "" {
+		t.Errorf("rank1>worker matched *>primary")
+	}
+}
+
+func TestProbabilisticDecisionsDependOnlyOnSeedRouteSlot(t *testing.T) {
+	const text = "reset@0-1000:p=0.5"
+	a := MustInjector(mustParse(t, text), 7)
+	b := MustInjector(mustParse(t, text), 7)
+	c := MustInjector(mustParse(t, text), 8)
+	var fires, diff int
+	for slot := 0; slot < 1000; slot++ {
+		_, actA := a.take("x>y", "GET", "/")
+		_, actB := b.take("x>y", "GET", "/")
+		_, actC := c.take("x>y", "GET", "/")
+		if actA.kind != actB.kind {
+			t.Fatalf("slot %d: same seed diverged", slot)
+		}
+		if actA.kind != actC.kind {
+			diff++
+		}
+		if actA.kind == Reset {
+			fires++
+		}
+	}
+	if fires < 400 || fires > 600 {
+		t.Errorf("p=0.5 fired %d/1000 times", fires)
+	}
+	if diff == 0 {
+		t.Errorf("seeds 7 and 8 produced identical decision streams")
+	}
+}
+
+func TestFirstMatchingEventWins(t *testing.T) {
+	// Canonical order sorts by From: the err event (From 0) precedes
+	// the reset event (From 0, kind "err" < "reset" lexically).
+	in := MustInjector(mustParse(t, "reset@0-4;err@0-4:code=502"), 1)
+	_, act := in.take("a>b", "GET", "/")
+	if act.kind != Err || act.code != 502 {
+		t.Errorf("got %q code=%d, want err 502", act.kind, act.code)
+	}
+}
+
+// TestTranscriptDeterministicAcrossParallelism is the acceptance
+// criterion: the same schedule + seed must produce a byte-identical
+// injected-event transcript at any parallelism. Each goroutine owns a
+// distinct set of routes (the workload's per-route request order is
+// deterministic); cross-route interleaving varies freely with the
+// scheduler and must not leak into the transcript.
+func TestTranscriptDeterministicAcrossParallelism(t *testing.T) {
+	const (
+		routes   = 32
+		perRoute = 50
+		schedule = "reset@0-20:p=0.3;err@20-35:code=503,p=0.5;latency@35-50:ms=1,jitter=9"
+	)
+	run := func(workers int) []byte {
+		in := MustInjector(mustParse(t, schedule), 42)
+		in.Sleep = noSleep
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for r := w; r < routes; r += workers {
+					route := fmt.Sprintf("src%d>dst%d", r, r)
+					for s := 0; s < perRoute; s++ {
+						in.take(route, "GET", "/v1/jobs")
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		var buf bytes.Buffer
+		if err := in.WriteTranscript(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	ref := run(1)
+	if len(ref) == 0 {
+		t.Fatal("transcript empty: schedule injected nothing")
+	}
+	for _, workers := range []int{2, 8, 16} {
+		if got := run(workers); !bytes.Equal(got, ref) {
+			t.Errorf("transcript at %d workers differs from serial transcript", workers)
+		}
+	}
+}
+
+func TestTallyCountsByMethodAndPathClass(t *testing.T) {
+	in := MustInjector(Schedule{}, 1)
+	in.take("c>p", "POST", "/v1/jobs")
+	in.take("c>p", "POST", "/v1/jobs")
+	in.take("c>p", "GET", "/v1/jobs/abc123/results")
+	in.take("c>p", "GET", "/v1/jobs/zzz999/results")
+	if got := in.RequestsMatching("POST /v1/jobs"); got != 2 {
+		t.Errorf("POST /v1/jobs tally = %d, want 2", got)
+	}
+	if got := in.RequestsMatching("GET /v1/jobs"); got != 2 {
+		t.Errorf("GET /v1/jobs tally = %d, want 2 (path class should fold job IDs)", got)
+	}
+	if got := in.Requests(); got != 4 {
+		t.Errorf("Requests() = %d, want 4", got)
+	}
+}

@@ -1,0 +1,137 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The invariant checker states what "stability under adversarial
+// injection" means for the serving plane, mirroring the paper's
+// argument for the simulated network. Under every shipped schedule:
+//
+//  1. ByteIdentical — the merged output equals an unfaulted run's,
+//     byte for byte. Chaos may slow the system, never change results.
+//  2. CompleteOnce — every run index appears exactly once in the
+//     merged output: nothing lost, nothing double-executed with
+//     effects. (Work stealing may *attempt* an index twice; the merge
+//     layer must let at most one attempt take effect.)
+//  3. NoJobLost — every admitted job reaches a terminal state on the
+//     surviving coordinator, across any number of promotions.
+//  4. BoundedRetries — total attempts stay within k·runs: retries are
+//     a constant amplification, never a storm.
+//
+// Each check returns a descriptive error or nil; Report aggregates
+// them for a whole scenario.
+
+// Report collects invariant violations for one chaos scenario.
+type Report struct {
+	violations []string
+}
+
+// Check records err as a violation when non-nil.
+func (r *Report) Check(err error) {
+	if err != nil {
+		r.violations = append(r.violations, err.Error())
+	}
+}
+
+// Violationf records a formatted violation directly.
+func (r *Report) Violationf(format string, args ...any) {
+	r.violations = append(r.violations, fmt.Sprintf(format, args...))
+}
+
+// Violations returns the recorded violations in order.
+func (r *Report) Violations() []string { return r.violations }
+
+// Err returns nil when every invariant held, else one error joining
+// all violations.
+func (r *Report) Err() error {
+	if len(r.violations) == 0 {
+		return nil
+	}
+	return errors.New("chaos invariants violated:\n  " + strings.Join(r.violations, "\n  "))
+}
+
+// ByteIdentical asserts got == want byte for byte; name labels the
+// artifact in the error (e.g. "merged journal").
+func ByteIdentical(name string, got, want []byte) error {
+	if bytes.Equal(got, want) {
+		return nil
+	}
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	at := n
+	for i := 0; i < n; i++ {
+		if got[i] != want[i] {
+			at = i
+			break
+		}
+	}
+	return fmt.Errorf("%s differs from unfaulted run: first divergence at byte %d (got %d bytes, want %d)",
+		name, at, len(got), len(want))
+}
+
+// CompleteOnce asserts indices is exactly {0, …, total-1}, each once:
+// no run lost, no run executed twice with effects.
+func CompleteOnce(indices []int, total int) error {
+	seen := make(map[int]int, len(indices))
+	for _, idx := range indices {
+		seen[idx]++
+	}
+	var dup, missing, alien []int
+	for idx, n := range seen {
+		if idx < 0 || idx >= total {
+			alien = append(alien, idx)
+		} else if n > 1 {
+			dup = append(dup, idx)
+		}
+	}
+	for idx := 0; idx < total; idx++ {
+		if seen[idx] == 0 {
+			missing = append(missing, idx)
+		}
+	}
+	if len(dup) == 0 && len(missing) == 0 && len(alien) == 0 {
+		return nil
+	}
+	sort.Ints(dup)
+	sort.Ints(missing)
+	sort.Ints(alien)
+	return fmt.Errorf("run-index ledger broken: duplicated=%v missing=%v out-of-range=%v (total %d)",
+		dup, missing, alien, total)
+}
+
+// NoJobLost asserts every admitted job ID resolves to a terminal state.
+// lookup returns the job's status and whether the coordinator knows it;
+// terminal reports whether that status is final.
+func NoJobLost(admitted []string, lookup func(id string) (status string, ok bool), terminal func(status string) bool) error {
+	var lost []string
+	for _, id := range admitted {
+		st, ok := lookup(id)
+		if !ok {
+			lost = append(lost, id+" (unknown)")
+		} else if !terminal(st) {
+			lost = append(lost, id+" (stuck "+st+")")
+		}
+	}
+	if len(lost) == 0 {
+		return nil
+	}
+	return fmt.Errorf("admitted jobs lost across promotions: %s", strings.Join(lost, ", "))
+}
+
+// BoundedRetries asserts attempts ≤ k·runs — retry amplification is
+// bounded by a constant factor of the useful work.
+func BoundedRetries(attempts int64, runs int, k float64) error {
+	limit := k * float64(runs)
+	if float64(attempts) <= limit {
+		return nil
+	}
+	return fmt.Errorf("retry amplification unbounded: %d attempts for %d runs exceeds k·runs = %.0f (k=%g)",
+		attempts, runs, limit, k)
+}

@@ -1,0 +1,80 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestByteIdentical(t *testing.T) {
+	if err := ByteIdentical("x", []byte("abc"), []byte("abc")); err != nil {
+		t.Errorf("equal bytes flagged: %v", err)
+	}
+	err := ByteIdentical("journal", []byte("abXc"), []byte("abYc"))
+	if err == nil || !strings.Contains(err.Error(), "byte 2") {
+		t.Errorf("divergence error = %v, want first divergence at byte 2", err)
+	}
+	if err := ByteIdentical("journal", []byte("ab"), []byte("abc")); err == nil {
+		t.Error("length mismatch not flagged")
+	}
+}
+
+func TestCompleteOnce(t *testing.T) {
+	if err := CompleteOnce([]int{2, 0, 1}, 3); err != nil {
+		t.Errorf("complete set flagged: %v", err)
+	}
+	for _, tc := range []struct {
+		name    string
+		indices []int
+		total   int
+		want    string
+	}{
+		{"duplicate", []int{0, 1, 1, 2}, 3, "duplicated=[1]"},
+		{"missing", []int{0, 2}, 3, "missing=[1]"},
+		{"alien", []int{0, 1, 2, 9}, 3, "out-of-range=[9]"},
+	} {
+		err := CompleteOnce(tc.indices, tc.total)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err=%v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestNoJobLost(t *testing.T) {
+	states := map[string]string{"a": "done", "b": "running"}
+	lookup := func(id string) (string, bool) { st, ok := states[id]; return st, ok }
+	terminal := func(st string) bool { return st == "done" || st == "failed" || st == "cancelled" }
+	if err := NoJobLost([]string{"a"}, lookup, terminal); err != nil {
+		t.Errorf("terminal job flagged: %v", err)
+	}
+	err := NoJobLost([]string{"a", "b", "c"}, lookup, terminal)
+	if err == nil || !strings.Contains(err.Error(), "b (stuck running)") || !strings.Contains(err.Error(), "c (unknown)") {
+		t.Errorf("err=%v, want stuck b and unknown c", err)
+	}
+}
+
+func TestBoundedRetries(t *testing.T) {
+	if err := BoundedRetries(40, 10, 4); err != nil {
+		t.Errorf("attempts at the bound flagged: %v", err)
+	}
+	if err := BoundedRetries(41, 10, 4); err == nil {
+		t.Error("retry storm not flagged")
+	}
+}
+
+func TestReportAggregates(t *testing.T) {
+	var r Report
+	r.Check(nil)
+	if err := r.Err(); err != nil {
+		t.Errorf("clean report errs: %v", err)
+	}
+	r.Check(BoundedRetries(100, 1, 1))
+	r.Violationf("custom %s", "violation")
+	err := r.Err()
+	if err == nil || !strings.Contains(err.Error(), "custom violation") ||
+		!strings.Contains(err.Error(), "retry amplification") {
+		t.Errorf("aggregate err = %v", err)
+	}
+	if len(r.Violations()) != 2 {
+		t.Errorf("violations = %v, want 2", r.Violations())
+	}
+}

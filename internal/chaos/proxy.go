@@ -1,0 +1,137 @@
+package chaos
+
+import (
+	"context"
+	"io"
+	"net"
+	"sync"
+)
+
+// Proxy is the TCP-level face of the injector: a listener that forwards
+// byte streams to Target, applying the schedule per accepted
+// connection. It exists for faults the RoundTripper cannot express —
+// resets that kill an established stream, blackholes that hold a raw
+// socket open — and for injecting between processes that cannot share
+// an in-process transport.
+//
+// Per-connection decisions use the same (schedule, seed, route, slot)
+// function as the HTTP transport, with the connection's accept sequence
+// as the slot. Kinds map to stream semantics: Latency delays the first
+// forwarded bytes, Reset closes the client connection immediately, Drop
+// and Cut hold it open unanswered until the hold cap, Stall delays the
+// target→client direction, and Err (which cannot forge an HTTP
+// response at this level) degrades to Reset.
+type Proxy struct {
+	Injector *Injector
+	// From and To name the route; Target is the host:port dialed for
+	// each accepted connection.
+	From, To string
+	Target   string
+
+	mu     sync.Mutex
+	ln     net.Listener
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// Start listens on addr ("127.0.0.1:0" for an ephemeral port) and
+// serves until Close. It returns the bound address.
+func (p *Proxy) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p.mu.Lock()
+	p.ln = ln
+	p.cancel = cancel
+	p.mu.Unlock()
+	p.wg.Add(1)
+	go p.serve(ctx, ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and tears down every live connection.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	ln, cancel := p.ln, p.cancel
+	p.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) serve(ctx context.Context, ln net.Listener) {
+	defer p.wg.Done()
+	route := Route(p.From, p.To)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		_, act := p.Injector.take(route, "TCP", "/")
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer conn.Close()
+			p.handle(ctx, conn, act)
+		}()
+	}
+}
+
+func (p *Proxy) handle(ctx context.Context, conn net.Conn, act action) {
+	in := p.Injector
+	switch act.kind {
+	case Reset, Err:
+		return // immediate close: RST-like from the client's view
+	case Drop, Cut:
+		in.Sleep(ctx, in.Hold) // hold unanswered, then close
+		return
+	case Latency:
+		if in.Sleep(ctx, act.delay) != nil {
+			return
+		}
+	}
+	up, err := net.Dial("tcp", p.Target)
+	if err != nil {
+		return
+	}
+	defer up.Close()
+	// Close both sides when the proxy shuts down mid-stream.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+			up.Close()
+		case <-done:
+		}
+	}()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		io.Copy(up, conn) // client -> target
+		if tc, ok := up.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+	}()
+	if act.kind == Stall && in.Sleep(ctx, act.delay) != nil {
+		conn.Close()
+		up.Close()
+		wg.Wait()
+		return
+	}
+	io.Copy(conn, up) // target -> client
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,134 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sentinel errors for injected transport failures. They unwrap from the
+// url.Error the http.Client reports, so tests can assert on the exact
+// fault that fired.
+var (
+	// ErrReset is the injected connection-reset failure.
+	ErrReset = errors.New("chaos: connection reset by peer")
+	// ErrBlackhole is the injected drop: the request was held until
+	// its context (or the injector's hold cap) expired.
+	ErrBlackhole = errors.New("chaos: request blackholed")
+	// ErrCut is the injected partition: the destination is unreachable
+	// from this source for the window.
+	ErrCut = errors.New("chaos: route cut")
+)
+
+// Transport returns an http.RoundTripper that injects the schedule into
+// requests sent by the named source endpoint. base nil means
+// http.DefaultTransport. A nil *Injector returns base unchanged, so
+// callers can thread the hook unconditionally with zero prod-path cost.
+func (in *Injector) Transport(from string, base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if in == nil {
+		return base
+	}
+	return &roundTripper{in: in, from: from, base: base}
+}
+
+type roundTripper struct {
+	in   *Injector
+	from string
+	base http.RoundTripper
+}
+
+func (rt *roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	in := rt.in
+	route := Route(rt.from, in.endpoint(req.URL.Host))
+	_, act := in.take(route, req.Method, req.URL.Path)
+	switch act.kind {
+	case "":
+		return rt.base.RoundTrip(req)
+	case Latency:
+		if err := in.Sleep(req.Context(), act.delay); err != nil {
+			discard(req)
+			return nil, err
+		}
+		return rt.base.RoundTrip(req)
+	case Reset:
+		discard(req)
+		return nil, fmt.Errorf("%s: %w", route, ErrReset)
+	case Cut:
+		discard(req)
+		return nil, fmt.Errorf("%s: %w", route, ErrCut)
+	case Drop:
+		discard(req)
+		if err := in.Sleep(req.Context(), in.Hold); err != nil {
+			return nil, fmt.Errorf("%s: %w: %w", route, ErrBlackhole, err)
+		}
+		return nil, fmt.Errorf("%s: %w", route, ErrBlackhole)
+	case Err:
+		discard(req)
+		return synthesize(req, act.code), nil
+	case Stall:
+		resp, err := rt.base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &stallBody{rc: resp.Body, req: req, in: in, delay: act.delay}
+		return resp, nil
+	}
+	return rt.base.RoundTrip(req)
+}
+
+// discard consumes and closes the request body, as RoundTrippers must
+// when they do not forward the request.
+func discard(req *http.Request) {
+	if req.Body != nil {
+		io.Copy(io.Discard, req.Body)
+		req.Body.Close()
+	}
+}
+
+// synthesize forges an HTTP error response without contacting the
+// destination, the way a proxy or overloaded front-end would.
+func synthesize(req *http.Request, code int) *http.Response {
+	body := fmt.Sprintf("chaos: injected %d\n", code)
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", code, http.StatusText(code)),
+		StatusCode:    code,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": {"text/plain; charset=utf-8"}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// stallBody delays the first byte of the response — a slow-loris read.
+// The delay honors the request context so a deadlined caller is not
+// held hostage.
+type stallBody struct {
+	rc    io.ReadCloser
+	req   *http.Request
+	in    *Injector
+	delay time.Duration
+	once  sync.Once
+	err   error
+}
+
+func (s *stallBody) Read(p []byte) (int, error) {
+	s.once.Do(func() {
+		s.err = s.in.Sleep(s.req.Context(), s.delay)
+	})
+	if s.err != nil {
+		return 0, s.err
+	}
+	return s.rc.Read(p)
+}
+
+func (s *stallBody) Close() error { return s.rc.Close() }

@@ -1,0 +1,171 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		io.WriteString(w, "ok")
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, cli *http.Client, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cli.Do(req)
+}
+
+func TestTransportPassThroughAndNilInjector(t *testing.T) {
+	ts := testServer(t)
+	var nilIn *Injector
+	cli := &http.Client{Transport: nilIn.Transport("c", nil)}
+	resp, err := get(t, cli, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if b, _ := io.ReadAll(resp.Body); string(b) != "ok" {
+		t.Errorf("nil injector altered the response: %q", b)
+	}
+
+	in := MustInjector(Schedule{}, 1)
+	cli = &http.Client{Transport: in.Transport("c", nil)}
+	resp, err = get(t, cli, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if b, _ := io.ReadAll(resp.Body); string(b) != "ok" {
+		t.Errorf("empty schedule altered the response: %q", b)
+	}
+	if len(in.Transcript()) != 0 {
+		t.Errorf("empty schedule produced transcript entries: %v", in.Transcript())
+	}
+}
+
+func TestTransportSynthesizes5xx(t *testing.T) {
+	hits := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { hits++ }))
+	defer ts.Close()
+	in := MustInjector(mustParse(t, "err@0-2:code=503"), 1)
+	cli := &http.Client{Transport: in.Transport("c", nil)}
+	for i := 0; i < 2; i++ {
+		resp, err := get(t, cli, ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 503 {
+			t.Errorf("attempt %d: status %d, want injected 503", i, resp.StatusCode)
+		}
+	}
+	if hits != 0 {
+		t.Errorf("server saw %d requests during the 5xx window, want 0", hits)
+	}
+	resp, err := get(t, cli, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 || hits != 1 {
+		t.Errorf("after window: status=%d server hits=%d, want 200/1", resp.StatusCode, hits)
+	}
+}
+
+func TestTransportResetAndCutErrors(t *testing.T) {
+	ts := testServer(t)
+	in := MustInjector(mustParse(t, "reset@0-1;cut@1-2"), 1)
+	cli := &http.Client{Transport: in.Transport("c", nil)}
+	if _, err := get(t, cli, ts.URL); !errors.Is(err, ErrReset) {
+		t.Errorf("slot 0: err=%v, want ErrReset", err)
+	}
+	if _, err := get(t, cli, ts.URL); !errors.Is(err, ErrCut) {
+		t.Errorf("slot 1: err=%v, want ErrCut", err)
+	}
+	if _, err := get(t, cli, ts.URL); err != nil {
+		t.Errorf("slot 2 (healed): %v", err)
+	}
+}
+
+func TestTransportBlackholeHonorsContext(t *testing.T) {
+	ts := testServer(t)
+	in := MustInjector(mustParse(t, "drop@0-1"), 1)
+	cli := &http.Client{Transport: in.Transport("c", nil)}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	start := time.Now()
+	_, err := cli.Do(req)
+	if err == nil {
+		t.Fatal("blackholed request succeeded")
+	}
+	if !errors.Is(err, ErrBlackhole) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err=%v, want blackhole/deadline", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("blackhole ignored the context deadline (%v)", d)
+	}
+}
+
+func TestTransportLatencyAndStallUseSleepHook(t *testing.T) {
+	ts := testServer(t)
+	var slept []time.Duration
+	in := MustInjector(mustParse(t, "latency@0-1:ms=40;stall@1-2:ms=70"), 1)
+	in.Sleep = func(_ context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+	cli := &http.Client{Transport: in.Transport("c", nil)}
+	for i := 0; i < 2; i++ {
+		resp, err := get(t, cli, ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b, _ := io.ReadAll(resp.Body); string(b) != "ok" {
+			t.Errorf("attempt %d: body %q", i, b)
+		}
+		resp.Body.Close()
+	}
+	if len(slept) != 2 || slept[0] != 40*time.Millisecond || slept[1] != 70*time.Millisecond {
+		t.Errorf("sleep calls = %v, want [40ms 70ms]", slept)
+	}
+	tr := in.Transcript()
+	if len(tr) != 2 || tr[0].Kind != Latency || tr[1].Kind != Stall {
+		t.Errorf("transcript = %v", tr)
+	}
+}
+
+func TestTransportRegisteredEndpointNames(t *testing.T) {
+	ts := testServer(t)
+	u, _ := url.Parse(ts.URL)
+	in := MustInjector(mustParse(t, "reset@0-9:r=client>primary"), 1)
+	in.Register("primary", u.Host)
+	cli := &http.Client{Transport: in.Transport("client", nil)}
+	if _, err := get(t, cli, ts.URL); !errors.Is(err, ErrReset) {
+		t.Errorf("named route miss: err=%v, want ErrReset", err)
+	}
+	tr := in.Transcript()
+	if len(tr) != 1 || tr[0].Route != "client>primary" {
+		t.Errorf("transcript route = %v, want client>primary", tr)
+	}
+	if !strings.Contains(tr[0].String(), "client>primary 0 reset") {
+		t.Errorf("entry string = %q", tr[0].String())
+	}
+}

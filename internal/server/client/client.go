@@ -33,6 +33,10 @@ import (
 // breaker cools down after too many consecutive failures.
 var ErrCircuitOpen = errors.New("client: circuit open, daemon failing")
 
+// ErrRetryBudget is returned when a logical request gives up because
+// its next retry would overrun the configured RetryBudget.
+var ErrRetryBudget = errors.New("client: retry budget exhausted")
+
 // StatusError is a non-retryable HTTP error response (4xx other than
 // 429).
 type StatusError struct {
@@ -66,6 +70,14 @@ type Config struct {
 	// which one trial request half-opens it. Defaults 5 / 10s.
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	// RetryBudget, when positive, deadline-caps each logical request:
+	// all attempts and backoff sleeps of one call must fit inside the
+	// budget, and a retry whose sleep would overrun it is not made
+	// (ErrRetryBudget instead). MaxAttempts bounds the count; the
+	// budget bounds the wall clock, so a browned-out server answering
+	// every attempt with a long Retry-After costs at most RetryBudget,
+	// not MaxAttempts·MaxRetryAfter. Zero disables the cap.
+	RetryBudget time.Duration
 
 	// Test hooks: virtual time and deterministic jitter. Production
 	// leaves them nil.
@@ -185,6 +197,10 @@ func (c *Client) backoff(attempt, retryAfter int) time.Duration {
 // per attempt. On success the response body bytes are returned.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, hdr http.Header) ([]byte, error) {
 	var lastErr error
+	var budgetEnd time.Time // zero = no budget
+	if c.cfg.RetryBudget > 0 {
+		budgetEnd = c.cfg.Now().Add(c.cfg.RetryBudget)
+	}
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		// The breaker gates the attempt BEFORE any backoff sleep: a
 		// circuit opened by the previous attempt (or a concurrent
@@ -202,7 +218,15 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, hdr h
 			if errors.As(lastErr, &bp) {
 				retryAfter = bp.retryAfter
 			}
-			if err := c.cfg.Sleep(ctx, c.backoff(attempt-1, retryAfter)); err != nil {
+			d := c.backoff(attempt-1, retryAfter)
+			// Deadline-aware budget: a retry that cannot complete its
+			// sleep before the budget ends is not worth starting — give
+			// up now instead of sleeping into an overrun.
+			if !budgetEnd.IsZero() && c.cfg.Now().Add(d).After(budgetEnd) {
+				return nil, fmt.Errorf("client: %s %s: %w after %d attempts in %v (last attempt: %w)",
+					method, path, ErrRetryBudget, attempt, c.cfg.RetryBudget, lastErr)
+			}
+			if err := c.cfg.Sleep(ctx, d); err != nil {
 				return nil, fmt.Errorf("client: %s %s: %w (last attempt: %w)", method, path, err, lastErr)
 			}
 		}

@@ -422,3 +422,61 @@ func TestEndToEndAgainstRealServer(t *testing.T) {
 		t.Fatalf("only %d/%d results carry a recovery verdict", verdicts, len(rs))
 	}
 }
+
+func TestRetryBudgetCapsBrownedOutPolling(t *testing.T) {
+	// A browned-out coordinator answers every request with a 30s
+	// Retry-After. Per-call backoff alone would burn
+	// MaxAttempts×30s = 150s per logical request; the deadline-aware
+	// budget must stop after the attempts that fit in 45s.
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		w.Header().Set("Retry-After", "30")
+		http.Error(w, `{"error":"browned out"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	clk := newClock()
+	c := newTestClient(t, ts.URL, clk, func(cfg *Config) {
+		cfg.RetryBudget = 45 * time.Second
+	})
+
+	start := clk.Now()
+	_, err := c.Job(context.Background(), "job-00000000")
+	if !errors.Is(err, ErrRetryBudget) {
+		t.Fatalf("err = %v, want ErrRetryBudget", err)
+	}
+	// Attempt 1 at t=0, sleep 30s, attempt 2 at t=30s; the next 30s
+	// sleep would end at t=60s > 45s, so exactly 2 attempts are made
+	// and only the first sleep happens.
+	if calls != 2 {
+		t.Fatalf("server saw %d attempts, want 2 within the 45s budget", calls)
+	}
+	if got := clk.Sleeps(); len(got) != 1 || got[0] != 30*time.Second {
+		t.Fatalf("sleeps %v, want exactly one 30s Retry-After sleep", got)
+	}
+	if elapsed := clk.Now().Sub(start); elapsed > 45*time.Second {
+		t.Fatalf("logical request consumed %v, beyond its 45s budget", elapsed)
+	}
+}
+
+func TestRetryBudgetZeroMeansUnbounded(t *testing.T) {
+	// Without a budget the old contract holds: MaxAttempts bounds the
+	// retries even when each one sleeps a long Retry-After.
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		w.Header().Set("Retry-After", "30")
+		http.Error(w, `{"error":"browned out"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	clk := newClock()
+	c := newTestClient(t, ts.URL, clk, func(cfg *Config) { cfg.MaxAttempts = 3 })
+
+	_, err := c.Job(context.Background(), "job-00000000")
+	if err == nil || errors.Is(err, ErrRetryBudget) {
+		t.Fatalf("err = %v, want attempts-exhausted error", err)
+	}
+	if calls != 3 {
+		t.Fatalf("server saw %d attempts, want MaxAttempts=3", calls)
+	}
+}

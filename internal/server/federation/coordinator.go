@@ -49,6 +49,7 @@ import (
 	"math"
 	mrand "math/rand"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -114,6 +115,25 @@ type Config struct {
 	Standby bool
 	// Primary is the primary coordinator's base URL (standby mode only).
 	Primary string
+	// Rank is this coordinator's fixed position in the failover order:
+	// 0 for the configured primary, 1 for the first standby, 2 for the
+	// second, and so on (defaults to 1 in standby mode). Rank is
+	// identity, not state — it never changes at runtime. It orders
+	// promotions (a standby waits until EVERY better-ranked coordinator
+	// has been silent for FailoverAfter, so rank 2 defers to a live
+	// rank 1 even with the primary dead) and breaks the epoch tie two
+	// coordinators can reach across a healed partition: equal epochs,
+	// lower rank wins.
+	Rank int
+	// Watch lists the other coordinators in the failover chain this one
+	// must monitor, besides Primary. A standby ranked r watches Primary
+	// plus the standbys ranked 1..r-1; promotion requires them ALL
+	// silent for FailoverAfter. An acting primary with a non-empty
+	// watch set runs a guard loop over it: a watched coordinator
+	// claiming the primary role with a higher epoch — or the same epoch
+	// and a lower rank — demotes this one back to standby (no
+	// consensus; the rank order is the arbiter).
+	Watch []string
 	// Peers lists other coordinators to exchange fleet views with in
 	// jittered anti-entropy rounds every AntiEntropy, so coordinators
 	// converge on the same live-worker set without a shared seed list.
@@ -175,7 +195,9 @@ const (
 	MetricCellsCompacted   = "lggfed_cells_compacted_total"
 	MetricEpoch            = "lggfed_epoch"
 	MetricStandby          = "lggfed_standby"
+	MetricRank             = "lggfed_rank"
 	MetricFailovers        = "lggfed_failovers_total"
+	MetricDemotions        = "lggfed_demotions_total"
 	MetricHeartbeatsMissed = "lggfed_heartbeats_missed_total"
 	MetricMembersSuspect   = "lggfed_members_suspect"
 	MetricBrownedOut       = "lggfed_workers_browned_out"
@@ -184,6 +206,7 @@ const (
 
 var (
 	errDrain        = errors.New("federation: draining")
+	errDemote       = errors.New("federation: demoted to standby")
 	errClientCancel = errors.New("federation: cancelled by client")
 )
 
@@ -226,33 +249,47 @@ type Coordinator struct {
 	members *membership
 	health  *healthBoard
 
-	primaryCli *client.Client // standby mode: the primary being tailed
+	upstreams []*upstream // the failover chain this coordinator monitors
 
-	mu          sync.Mutex
-	jobs        map[string]*cjob
-	order       []string
-	keys        map[string]string // idempotency key → job id
-	queue       *tenantQueue
-	workers     map[string]*worker
-	probing     map[string]bool // urls with an in-flight liveness probe
-	rrWorker    int             // round-robin cursor for range placement
-	nextID      int
-	draining    bool
-	standby     bool
-	epoch       int64
-	mirrorEpoch int64 // primary's epoch as last mirrored by a standby
+	mu           sync.Mutex
+	jobs         map[string]*cjob
+	order        []string
+	keys         map[string]string // idempotency key → job id
+	queue        *tenantQueue
+	workers      map[string]*worker
+	outstanding  map[string]int  // live range attempts per worker URL
+	probing      map[string]bool // urls with an in-flight liveness probe
+	rrWorker     int             // round-robin cursor for range placement
+	nextID       int
+	draining     bool
+	standby      bool
+	epoch        int64
+	mirrorEpoch  int64         // primary's epoch as last mirrored by a standby
+	maxSeenEpoch int64         // highest epoch observed from any coordinator
+	reignc       chan struct{} // closed when this primary's reign ends (demotion)
 
 	wake  chan struct{}
 	stopc chan struct{}
 	wg    sync.WaitGroup
 
 	gQueue, gInflight, gFleet, gEpoch   *metrics.Gauge
-	gStandby, gSuspect, gBrowned        *metrics.Gauge
+	gStandby, gRank, gSuspect, gBrowned *metrics.Gauge
 	cShed, cQuota, cDone, cFailed       *metrics.Counter
 	cRanges, cStolen, cRetried, cCells  *metrics.Counter
-	cFailovers, cBeatsMissed, cReapFail *metrics.Counter
+	cFailovers, cDemotions              *metrics.Counter
+	cBeatsMissed, cReapFail             *metrics.Counter
 	ewmaMu                              sync.Mutex
 	jobSecs                             float64
+}
+
+// upstream is one coordinator in the failover chain that this one
+// monitors: the primary and every better-ranked standby for a follower,
+// or the configured watch set for an acting primary's guard loop. The
+// client is single-attempt — the follow and guard loops are the retry
+// policy.
+type upstream struct {
+	url string
+	cli *client.Client
 }
 
 // New opens the state directory, replays the ledger (re-queueing
@@ -264,6 +301,12 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	if cfg.Standby && cfg.Primary == "" {
 		return nil, fmt.Errorf("federation: standby mode requires Config.Primary")
+	}
+	if cfg.Rank < 0 {
+		return nil, fmt.Errorf("federation: Config.Rank must be non-negative")
+	}
+	if cfg.Standby && cfg.Rank == 0 {
+		cfg.Rank = 1
 	}
 	if cfg.Jobs <= 0 {
 		cfg.Jobs = 2
@@ -335,25 +378,27 @@ func New(cfg Config) (*Coordinator, error) {
 		return nil, err
 	}
 	c := &Coordinator{
-		cfg:     cfg,
-		ledger:  ledger,
-		reg:     cfg.Registry,
-		rstore:  rstore,
-		members: newMembership(cfg.SuspectAfter, cfg.DeadAfter, cfg.Now),
-		health:  newHealthBoard(cfg.Health, cfg.Lease, cfg.Now),
-		jobs:    make(map[string]*cjob),
-		keys:    make(map[string]string),
-		queue:   newTenantQueue(cfg.TenantQuota, cfg.QueueDepth),
-		workers: make(map[string]*worker),
-		probing: make(map[string]bool),
-		wake:    make(chan struct{}, 1),
-		stopc:   make(chan struct{}),
+		cfg:         cfg,
+		ledger:      ledger,
+		reg:         cfg.Registry,
+		rstore:      rstore,
+		members:     newMembership(cfg.SuspectAfter, cfg.DeadAfter, cfg.Now),
+		health:      newHealthBoard(cfg.Health, cfg.Lease, cfg.Now),
+		jobs:        make(map[string]*cjob),
+		keys:        make(map[string]string),
+		queue:       newTenantQueue(cfg.TenantQuota, cfg.QueueDepth),
+		workers:     make(map[string]*worker),
+		outstanding: make(map[string]int),
+		probing:     make(map[string]bool),
+		wake:        make(chan struct{}, 1),
+		stopc:       make(chan struct{}),
 	}
 	c.gQueue = c.reg.Gauge(MetricQueued, "Jobs waiting in the coordinator queue.")
 	c.gInflight = c.reg.Gauge(MetricInflight, "Coordinator jobs currently sharded across the fleet.")
 	c.gFleet = c.reg.Gauge(MetricFleet, "Workers in the fleet.")
 	c.gEpoch = c.reg.Gauge(MetricEpoch, "Leadership epoch (increments at every failover).")
 	c.gStandby = c.reg.Gauge(MetricStandby, "1 while this coordinator is a standby.")
+	c.gRank = c.reg.Gauge(MetricRank, "This coordinator's fixed failover rank (0 = configured primary).")
 	c.gSuspect = c.reg.Gauge(MetricMembersSuspect, "Fleet members past the suspicion threshold.")
 	c.gBrowned = c.reg.Gauge(MetricBrownedOut, "Workers browned out by error rate.")
 	c.cShed = c.reg.Counter(MetricShed, "Submissions shed because the shared queue was full.")
@@ -365,6 +410,7 @@ func New(cfg Config) (*Coordinator, error) {
 	c.cRetried = c.reg.Counter(MetricRangesRetried, "Range attempts retried after a worker failure.")
 	c.cCells = c.reg.Counter(MetricCellsCompacted, "Per-cell summaries written to the result index.")
 	c.cFailovers = c.reg.Counter(MetricFailovers, "Standby promotions to primary.")
+	c.cDemotions = c.reg.Counter(MetricDemotions, "Acting primaries that stepped back down to standby.")
 	c.cBeatsMissed = c.reg.Counter(MetricHeartbeatsMissed, "Failed heartbeat polls of the primary.")
 	c.cReapFail = c.reg.Counter(MetricReapFailures, "Abandoned worker jobs the reaper gave up cancelling.")
 
@@ -405,17 +451,27 @@ func New(cfg Config) (*Coordinator, error) {
 	c.queue.alignAfter(ledger.LastDispatchedTenant())
 	c.gQueue.Set(int64(c.queue.pending()))
 
+	// The failover chain: a standby monitors the primary plus every
+	// better-ranked standby; an acting primary guards against the URLs
+	// in its watch set.
+	chain := cfg.Watch
 	if cfg.Standby {
-		pcfg := cfg.Client
-		pcfg.BaseURL = cfg.Primary
-		pcfg.MaxAttempts = 1 // the follow loop is the retry policy
-		pcli, err := client.New(pcfg)
+		chain = append([]string{cfg.Primary}, cfg.Watch...)
+	}
+	for _, url := range chain {
+		ucfg := cfg.Client
+		ucfg.BaseURL = url
+		ucfg.MaxAttempts = 1 // the follow/guard loop is the retry policy
+		ucli, err := client.New(ucfg)
 		if err != nil {
 			rstore.close()
 			ledger.Close()
-			return nil, fmt.Errorf("federation: primary %s: %w", cfg.Primary, err)
+			return nil, fmt.Errorf("federation: upstream %s: %w", url, err)
 		}
-		c.primaryCli = pcli
+		c.upstreams = append(c.upstreams, &upstream{url: url, cli: ucli})
+	}
+	c.gRank.Set(int64(cfg.Rank))
+	if cfg.Standby {
 		c.standby = true
 		c.gStandby.Set(1)
 		c.wg.Add(1)
@@ -423,9 +479,14 @@ func New(cfg Config) (*Coordinator, error) {
 	} else {
 		c.epoch = 1
 		c.gEpoch.Set(1)
+		c.reignc = make(chan struct{})
 		c.wg.Add(cfg.Jobs)
 		for i := 0; i < cfg.Jobs; i++ {
 			go c.dispatcher()
+		}
+		if len(c.upstreams) > 0 {
+			c.wg.Add(1)
+			go c.guardLoop()
 		}
 	}
 	c.wg.Add(1)
@@ -565,7 +626,7 @@ func (c *Coordinator) Status() server.CoordStatus {
 	if standby {
 		role = server.RoleStandby
 	}
-	return server.CoordStatus{Epoch: epoch, Role: role, Fleet: c.FleetMembers(), Jobs: c.Jobs()}
+	return server.CoordStatus{Epoch: epoch, Role: role, Rank: c.cfg.Rank, Fleet: c.FleetMembers(), Jobs: c.Jobs()}
 }
 
 // Standby reports whether this coordinator is (still) a standby.
@@ -575,10 +636,18 @@ func (c *Coordinator) Standby() bool {
 	return c.standby
 }
 
-// nextWorker picks the next worker round-robin over the membership
-// view, preferring — in order — an alive, healthy worker not in exclude;
-// then any non-excluded worker; then anyone at all (a degraded fleet
-// still beats abandoning the range).
+// nextWorker picks a worker for one range attempt, preferring — in
+// order — an alive, healthy worker not in exclude; then any non-excluded
+// worker; then anyone at all (a degraded fleet still beats abandoning
+// the range). Among the healthy (first-pass) candidates placement is
+// capacity-weighted least-loaded: each candidate is scored by its live
+// attempt count divided by its effective service rate
+// (max of declared capacity and observed EWMA), so a worker that
+// declares — or demonstrates — twice the throughput absorbs twice the
+// outstanding ranges before a peer is preferred. Rate-less fleets
+// degenerate to the plain least-loaded round-robin. The chosen worker's
+// outstanding count is incremented here; the caller releases it via
+// releaseWorker when the attempt resolves.
 func (c *Coordinator) nextWorker(exclude map[string]bool) *worker {
 	rows := c.members.view()
 	n := len(rows)
@@ -587,7 +656,44 @@ func (c *Coordinator) nextWorker(exclude map[string]bool) *worker {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for pass := 0; pass < 3; pass++ {
+	// Pass 0: alive, non-excluded workers ordered by load per unit of
+	// capacity (round-robin position breaks ties, preserving rotation).
+	type candidate struct {
+		w    *worker
+		url  string
+		load float64
+		ord  int
+	}
+	var cands []candidate
+	for i := 0; i < n; i++ {
+		row := rows[(c.rrWorker+i)%n]
+		w := c.workers[row.url]
+		if w == nil || exclude[row.url] || row.state != stateAlive {
+			continue
+		}
+		weight := c.health.effectiveRate(row.url)
+		if weight <= 0 {
+			weight = 1
+		}
+		cands = append(cands, candidate{w: w, url: row.url, load: float64(c.outstanding[row.url]) / weight, ord: i})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].load != cands[b].load {
+			return cands[a].load < cands[b].load
+		}
+		return cands[a].ord < cands[b].ord
+	})
+	for _, cd := range cands {
+		// health.available claims the half-open probe slot of a
+		// cooled-down brown-out, so it must run only on a worker we
+		// will actually use — it is the last check.
+		if c.health.available(cd.url) {
+			c.rrWorker = (c.rrWorker + cd.ord + 1) % n
+			c.outstanding[cd.url]++
+			return cd.w
+		}
+	}
+	for pass := 1; pass < 3; pass++ {
 		for i := 0; i < n; i++ {
 			row := rows[(c.rrWorker+i)%n]
 			w := c.workers[row.url]
@@ -597,17 +703,24 @@ func (c *Coordinator) nextWorker(exclude map[string]bool) *worker {
 			if pass < 2 && exclude[row.url] {
 				continue
 			}
-			// health.available claims the half-open probe slot of a
-			// cooled-down brown-out, so it must run only on a worker we
-			// will actually use — it is the last check.
-			if pass == 0 && (row.state != stateAlive || !c.health.available(row.url)) {
-				continue
-			}
 			c.rrWorker = (c.rrWorker + i + 1) % n
+			c.outstanding[row.url]++
 			return w
 		}
 	}
 	return nil
+}
+
+// releaseWorker retires one live range attempt from url's outstanding
+// count (the capacity-weighted dispatch denominator).
+func (c *Coordinator) releaseWorker(url string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.outstanding[url] <= 1 {
+		delete(c.outstanding, url)
+	} else {
+		c.outstanding[url]--
+	}
 }
 
 // Admit validates and enqueues a job, mirroring the single daemon's
@@ -801,10 +914,13 @@ func (c *Coordinator) dispatcher() {
 func (c *Coordinator) pop() *cjob {
 	for {
 		c.mu.Lock()
-		if c.draining {
+		if c.draining || c.standby {
+			// A demoted coordinator's dispatchers retire; a later
+			// promotion starts fresh ones.
 			c.mu.Unlock()
 			return nil
 		}
+		reign := c.reignc
 		if jb := c.queue.pop(); jb != nil {
 			c.gQueue.Set(int64(c.queue.pending()))
 			c.mu.Unlock()
@@ -813,6 +929,8 @@ func (c *Coordinator) pop() *cjob {
 		c.mu.Unlock()
 		select {
 		case <-c.wake:
+		case <-reign:
+			return nil
 		case <-c.stopc:
 			return nil
 		}
@@ -1005,6 +1123,18 @@ func (c *Coordinator) executeJob(jb *cjob) {
 		jb.mu.Unlock()
 		c.persist(st)
 		c.cfg.Logf("lggfed: %s checkpointed at %d/%d runs for drain", id, st.Done, st.Total)
+	case errors.Is(cause, errDemote):
+		// Demotion checkpoint: like a drain, the merged prefix stays
+		// durable and worker-side range jobs keep running — the winning
+		// primary (which mirrored this job's state) re-attaches to them
+		// by idempotency key, and so do we if a later failover promotes
+		// us again.
+		jb.mu.Lock()
+		jb.st.Status = server.StatusQueued
+		st := jb.st
+		jb.mu.Unlock()
+		c.persist(st)
+		c.cfg.Logf("lggfed: %s checkpointed at %d/%d runs for demotion", id, st.Done, st.Total)
 	default:
 		c.finish(jb, server.StatusFailed, runErr.Error())
 	}
@@ -1073,6 +1203,10 @@ func (c *Coordinator) runRange(ctx context.Context, spec server.JobSpec, jobKey 
 		go func() {
 			began := time.Now()
 			rs, err := c.attemptRange(rctx, w, spec, jobKey, rg)
+			// Released here, not in the channel reader: an abandoned
+			// attempt's goroutine outlives the range, and its slot must
+			// count against the worker's capacity until it resolves.
+			c.releaseWorker(w.url)
 			outcome <- rangeOutcome{rs: rs, err: err, url: w.url, dur: time.Since(began)}
 		}()
 		return c.health.lease(w.url, rg.count)

@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"math"
 	"sync"
 	"time"
 
@@ -76,6 +77,7 @@ func (c HealthConfig) withDefaults() HealthConfig {
 // workerHealth is one worker's running score.
 type workerHealth struct {
 	rate      float64 // EWMA runs/sec, 0 until first success
+	declared  float64 // self-reported capacity hint (runs/sec), 0 = none
 	errShare  float64 // EWMA of attempt failures in [0,1]
 	events    int     // total observations
 	successes int64
@@ -138,6 +140,33 @@ func (h *healthBoard) success(url string, runs int, dur time.Duration) {
 	wh.probing = false
 }
 
+// declare records a worker's self-reported capacity hint (runs per
+// second), refreshed on every join/heartbeat POST. Declared capacity
+// never replaces observation — effectiveRate takes the max of the two —
+// so an optimistic worker is corrected by its own EWMA, while a declared
+// capacity shapes dispatch before the first range completes.
+func (h *healthBoard) declare(url string, runsPerSec float64) {
+	if runsPerSec <= 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.get(url).declared = runsPerSec
+}
+
+// effectiveRate is the service rate dispatch should weight url by:
+// max(declared capacity, observed EWMA). 0 means the worker has neither
+// declared nor demonstrated anything yet.
+func (h *healthBoard) effectiveRate(url string) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	wh, ok := h.w[url]
+	if !ok {
+		return 0
+	}
+	return math.Max(wh.declared, wh.rate)
+}
+
 // failure records a failed attempt and browns the worker out if its
 // smoothed error share crosses the threshold (or if it failed its
 // half-open probe).
@@ -194,15 +223,15 @@ func (h *healthBoard) lease(url string, runs int) time.Duration {
 	defer h.mu.Unlock()
 	rate := 0.0
 	if wh, ok := h.w[url]; ok {
-		rate = wh.rate
+		rate = math.Max(wh.rate, wh.declared)
 	}
 	// Floor a slow worker's rate at the fleet mean so falling behind the
 	// fleet SHRINKS the lease rather than inflating it.
 	var sum float64
 	var n int
 	for _, wh := range h.w {
-		if wh.rate > 0 {
-			sum += wh.rate
+		if r := math.Max(wh.rate, wh.declared); r > 0 {
+			sum += r
 			n++
 		}
 	}
@@ -236,6 +265,7 @@ func (h *healthBoard) snapshot(url string, rangeRuns int) server.WorkerHealth {
 		return out
 	}
 	out.EWMARunsPerSec = wh.rate
+	out.DeclaredRunsPerSec = wh.declared
 	out.ErrShare = wh.errShare
 	out.Successes = wh.successes
 	out.Failures = wh.failures

@@ -18,9 +18,10 @@ import (
 // any lggd client — including cmd/lggsweep -remote — can point at a
 // coordinator unchanged. On top:
 //
-//	POST /v1/fleet/join          a worker registers itself ({"url": ...});
-//	                             the coordinator liveness-checks it (with a
-//	                             bounded timeout) before admission
+//	POST /v1/fleet/join          a worker registers itself ({"url": ...},
+//	                             optionally with a capacity_runs_per_sec
+//	                             hint); the coordinator liveness-checks it
+//	                             (with a bounded timeout) before admission
 //	GET  /v1/fleet               the current fleet in join order, each
 //	                             member with liveness state, age and
 //	                             scheduling health ([]server.FleetMember)
@@ -159,9 +160,17 @@ func (c *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
 	server.StreamJournal(w, r, c.ledger.JournalPath(id), jb.terminal, jb.doneCh, c.stopc)
 }
 
-// joinRequest is the body of POST /v1/fleet/join.
+// joinRequest is the body of POST /v1/fleet/join. Workers re-POST it
+// periodically as a heartbeat, so a capacity hint refreshes on every
+// beat.
 type joinRequest struct {
 	URL string `json:"url"`
+	// Capacity is the worker's self-declared service rate in runs per
+	// second (optional; 0 = undeclared). Dispatch weights the worker by
+	// max(declared, observed EWMA), so the hint shapes placement before
+	// the first range completes but never overrides observation
+	// downward.
+	Capacity float64 `json:"capacity_runs_per_sec,omitempty"`
 }
 
 func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
@@ -178,10 +187,15 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "coordinator draining")
 		return
 	}
+	if req.Capacity < 0 {
+		writeError(w, http.StatusBadRequest, "join: capacity_runs_per_sec must be non-negative")
+		return
+	}
 	if err := c.addWorker(req.URL, true); err != nil {
 		writeError(w, http.StatusBadGateway, "%v", err)
 		return
 	}
+	c.health.declare(req.URL, req.Capacity)
 	writeJSON(w, http.StatusOK, struct {
 		Workers int `json:"workers"`
 	}{len(c.Fleet())})

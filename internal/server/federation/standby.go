@@ -2,22 +2,27 @@ package federation
 
 import (
 	"context"
+	"sync"
 	"time"
 
 	"repro/internal/server"
 )
 
-// Standby mode: a second coordinator that tails the primary and takes
-// over when it dies.
+// Standby mode: warm coordinators that tail the primary and take over —
+// in a fixed rank order — when it dies.
 //
-// The follow loop polls the primary's /v1/coordinator/status at a
-// jittered Heartbeat cadence. Every successful poll mirrors the
-// primary's job list into the standby's own fsynced ledger (so a
-// promotion — or a standby restart — starts from a durable copy) and
-// merges the primary's fleet view into the standby's membership table.
-// After FailoverAfter without a successful poll the standby promotes
-// itself: every non-terminal job is re-queued and dispatched as if the
-// standby had just restarted with the primary's ledger.
+// Every coordinator has a fixed Rank (0 = the configured primary) and a
+// standby monitors its whole upstream chain: the primary plus every
+// standby ranked ahead of it. The follow loop polls each upstream's
+// /v1/coordinator/status at a jittered Heartbeat cadence. Any upstream
+// currently claiming the primary role is mirrored: its job list folds
+// into the standby's own fsynced ledger (so a promotion — or a standby
+// restart — starts from a durable copy) and its fleet view merges into
+// the standby's membership table. A standby promotes itself only when
+// EVERY upstream has been silent for FailoverAfter — so with the
+// primary dead but rank 1 alive, rank 2 keeps following (and starts
+// mirroring rank 1 the moment it claims the role) instead of racing it
+// for leadership. No consensus protocol: the rank order is the arbiter.
 //
 // Promotion preserves the byte-identity contract without copying any
 // journal bytes. The standby re-merges each resumed job from its own
@@ -29,34 +34,92 @@ import (
 // not duplicated; ranges never submitted run fresh. The k-way merge by
 // global run index then reconstitutes exactly the byte stream an
 // unfailed run would have produced.
+//
+// A healed partition can leave two coordinators acting primary. The
+// guard loop resolves it: an acting primary keeps polling its upstream
+// chain, and on seeing another coordinator claim the role with a higher
+// epoch — or the same epoch and a lower rank — it demotes itself back
+// to standby (demote), checkpointing running jobs exactly as a drain
+// would and re-entering the follow loop. Worker-side range jobs keep
+// running through the demotion; the surviving primary re-attaches to
+// them by idempotency key, so no admitted work is lost and the merged
+// bytes stay identical.
 
-// followLoop is the standby's main loop: poll, mirror, and promote when
-// the primary goes quiet. Runs until promotion or drain.
+// followLoop is a standby's main loop: poll every upstream, mirror the
+// live primary claimant, and promote only when the whole upstream chain
+// has gone quiet. Runs until promotion or drain.
 func (c *Coordinator) followLoop() {
 	defer c.wg.Done()
-	lastBeat := c.cfg.Now()
+	last := make([]time.Time, len(c.upstreams))
+	now := c.cfg.Now()
+	for i := range last {
+		last[i] = now
+	}
+	type beat struct {
+		st server.CoordStatus
+		ok bool
+	}
 	for {
 		select {
 		case <-c.stopc:
 			return
 		case <-time.After(c.jitter(c.cfg.Heartbeat)):
 		}
-		// A poll outstanding longer than the failover window is a miss
-		// by definition, so the window doubles as the request timeout.
-		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.FailoverAfter)
-		st, err := c.primaryCli.CoordinatorStatus(ctx)
-		cancel()
-		if err != nil {
-			c.cBeatsMissed.Inc()
-			if c.cfg.Now().Sub(lastBeat) >= c.cfg.FailoverAfter {
-				c.promote()
-				return
-			}
-			continue
+		// Upstreams are polled concurrently — a chain of hung
+		// coordinators must cost one failover window, not one per rank.
+		// A poll outstanding longer than the window is a miss by
+		// definition, so the window doubles as the request timeout.
+		beats := make([]beat, len(c.upstreams))
+		var wg sync.WaitGroup
+		for i, up := range c.upstreams {
+			wg.Add(1)
+			go func(i int, up *upstream) {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), c.cfg.FailoverAfter)
+				st, err := up.cli.CoordinatorStatus(ctx)
+				cancel()
+				beats[i] = beat{st: st, ok: err == nil}
+			}(i, up)
 		}
-		lastBeat = c.cfg.Now()
-		c.mirror(st)
+		wg.Wait()
+
+		mirrored := false
+		allSilent := true
+		for i := range beats {
+			if !beats[i].ok {
+				c.cBeatsMissed.Inc()
+				if c.cfg.Now().Sub(last[i]) < c.cfg.FailoverAfter {
+					allSilent = false
+				}
+				continue
+			}
+			last[i] = c.cfg.Now()
+			allSilent = false
+			c.noteEpoch(beats[i].st.Epoch)
+			// Mirror the best-ranked upstream currently claiming the
+			// primary role; a live upstream still in standby proves
+			// liveness but carries no ledger of record.
+			if !mirrored && beats[i].st.Role == server.RolePrimary {
+				c.mirror(beats[i].st)
+				mirrored = true
+			}
+		}
+		if allSilent {
+			c.promote()
+			return
+		}
 	}
+}
+
+// noteEpoch tracks the highest leadership epoch observed anywhere in
+// the chain, so a promotion always advances past every reign this
+// coordinator has ever seen — not just the one it last mirrored.
+func (c *Coordinator) noteEpoch(epoch int64) {
+	c.mu.Lock()
+	if epoch > c.maxSeenEpoch {
+		c.maxSeenEpoch = epoch
+	}
+	c.mu.Unlock()
 }
 
 // mirror folds one primary heartbeat into the standby: the fleet view
@@ -117,9 +180,11 @@ func (c *Coordinator) mirrorJob(js server.JobState) {
 }
 
 // promote flips a standby into the primary role: the epoch advances
-// past the last one mirrored, every non-terminal job is re-queued, and
-// the dispatchers start. Draining or already-promoted coordinators
-// ignore the call.
+// past every one this coordinator has seen (mirrored or merely
+// observed), every non-terminal job is re-queued, the dispatchers
+// start, and — when there is an upstream chain to defer to — so does
+// the guard loop that will demote us if a better claimant reappears.
+// Draining or already-promoted coordinators ignore the call.
 func (c *Coordinator) promote() {
 	c.mu.Lock()
 	if c.draining || !c.standby {
@@ -127,8 +192,13 @@ func (c *Coordinator) promote() {
 		return
 	}
 	c.standby = false
-	c.epoch = c.mirrorEpoch + 1
+	base := c.mirrorEpoch
+	if c.maxSeenEpoch > base {
+		base = c.maxSeenEpoch
+	}
+	c.epoch = base + 1
 	epoch := c.epoch
+	c.reignc = make(chan struct{})
 	var requeued []server.JobState
 	for _, id := range c.order {
 		jb := c.jobs[id]
@@ -153,10 +223,102 @@ func (c *Coordinator) promote() {
 	for i := 0; i < c.cfg.Jobs; i++ {
 		go c.dispatcher()
 	}
+	if len(c.upstreams) > 0 {
+		c.wg.Add(1)
+		go c.guardLoop()
+	}
 	select {
 	case c.wake <- struct{}{}:
 	default:
 	}
-	c.cfg.Logf("lggfed: primary %s unresponsive for %v; assuming leadership at epoch %d (%d jobs resumed)",
-		c.cfg.Primary, c.cfg.FailoverAfter, epoch, len(requeued))
+	c.cfg.Logf("lggfed: upstream chain unresponsive for %v; rank %d assuming leadership at epoch %d (%d jobs resumed)",
+		c.cfg.FailoverAfter, c.cfg.Rank, epoch, len(requeued))
+}
+
+// guardLoop runs while this coordinator is acting primary, polling the
+// upstream chain for a better claimant. Another coordinator reporting
+// the primary role with a strictly higher epoch — or the same epoch and
+// a lower rank (the tie two sides of a healed partition can reach) —
+// wins, and this coordinator demotes itself. The loop exits on drain or
+// after one demotion (demote restarts the follow loop, and a later
+// promotion starts a fresh guard).
+func (c *Coordinator) guardLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.stopc:
+			return
+		case <-time.After(c.jitter(c.cfg.Heartbeat)):
+		}
+		if c.Standby() {
+			return
+		}
+		for _, up := range c.upstreams {
+			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.JoinPingTimeout)
+			st, err := up.cli.CoordinatorStatus(ctx)
+			cancel()
+			if err != nil {
+				continue
+			}
+			c.noteEpoch(st.Epoch)
+			if st.Role != server.RolePrimary {
+				continue
+			}
+			c.mu.Lock()
+			mine := c.epoch
+			c.mu.Unlock()
+			if st.Epoch > mine || (st.Epoch == mine && st.Rank < c.cfg.Rank) {
+				c.demote(up.url, st)
+				return
+			}
+		}
+	}
+}
+
+// demote steps an acting primary back down to standby after the guard
+// loop found a better claimant: admission flips to the standby refusal,
+// the dispatchers retire (reignc), the dispatch queue is rebuilt empty,
+// and every running job is checkpointed with errDemote — journals keep
+// their merged prefix and worker-side range jobs keep running, to be
+// re-attached by idempotency key (by the winner now, by us if we are
+// ever promoted again). The follow loop restarts, mirroring the winner.
+func (c *Coordinator) demote(winner string, st server.CoordStatus) {
+	c.mu.Lock()
+	if c.draining || c.standby {
+		c.mu.Unlock()
+		return
+	}
+	c.standby = true
+	if st.Epoch > c.maxSeenEpoch {
+		c.maxSeenEpoch = st.Epoch
+	}
+	myEpoch := c.epoch
+	close(c.reignc)
+	// A fresh queue, not a drained one: every queued job's state is
+	// already durable and mirrored by the winner; local dispatch simply
+	// stops claiming it. release() guards against underflow, so quota
+	// refunds from still-finishing jobs stay safe against the rebuild.
+	c.queue = newTenantQueue(c.cfg.TenantQuota, c.cfg.QueueDepth)
+	c.gQueue.Set(0)
+	running := make([]*cjob, 0, len(c.order))
+	for _, id := range c.order {
+		running = append(running, c.jobs[id])
+	}
+	c.mu.Unlock()
+
+	for _, jb := range running {
+		jb.mu.Lock()
+		cancel := jb.cancel
+		active := jb.st.Status == server.StatusRunning
+		jb.mu.Unlock()
+		if active && cancel != nil {
+			cancel(errDemote)
+		}
+	}
+	c.gStandby.Set(1)
+	c.cDemotions.Inc()
+	c.cfg.Logf("lggfed: %s claims primary at epoch %d rank %d, ahead of our epoch %d rank %d; stepping down to standby",
+		winner, st.Epoch, st.Rank, myEpoch, c.cfg.Rank)
+	c.wg.Add(1)
+	go c.followLoop()
 }

@@ -20,6 +20,11 @@ type WorkerHealth struct {
 	EWMARunsPerSec float64 `json:"ewma_runs_per_sec"`
 	// ErrShare is the smoothed share of attempts that failed (0..1).
 	ErrShare float64 `json:"err_share"`
+	// DeclaredRunsPerSec is the capacity hint the worker self-reported
+	// when joining the fleet (0 when none was declared). Dispatch weights
+	// a worker by max(declared, observed EWMA), so a declared capacity
+	// shapes placement before the first range completes.
+	DeclaredRunsPerSec float64 `json:"declared_runs_per_sec,omitempty"`
 	// Successes / Failures count completed and failed range attempts.
 	Successes int64 `json:"successes"`
 	Failures  int64 `json:"failures"`
@@ -57,6 +62,12 @@ type CoordStatus struct {
 	Epoch int64 `json:"epoch"`
 	// Role is "primary" (dispatching) or "standby" (mirroring).
 	Role string `json:"role"`
+	// Rank is the coordinator's fixed position in the failover order:
+	// 0 for the configured primary, 1 for the first standby, and so on.
+	// Rank never changes at runtime — it breaks ties when two
+	// coordinators claim the same epoch after a healed partition (the
+	// lower rank wins and the higher demotes itself).
+	Rank int `json:"rank"`
 	// Fleet is the live-worker view (same payload as GET /v1/fleet).
 	Fleet []FleetMember `json:"fleet"`
 	// Jobs lists every known job in submission order.

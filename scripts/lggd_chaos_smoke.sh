@@ -1,0 +1,157 @@
+#!/usr/bin/env bash
+# Chaos smoke for the lggd serving plane — the CI gate for the
+# fault-injection determinism contract (internal/chaos):
+#
+#   1. faulted fidelity: a coordinator runs with -chaos arming a seeded
+#      schedule (injected 5xx bursts, response stalls, added latency)
+#      over its entire worker-facing HTTP plane, and the merged sweep it
+#      serves is still byte-identical (cmp) to the same sweep run
+#      in-process — the retry/steal/merge machinery absorbs every
+#      injected fault without corrupting a byte;
+#   2. replayability: the injector logs a non-empty transcript of the
+#      events it fired, written on clean drain, so any failure here can
+#      be replayed exactly from the seed;
+#   3. rank-ordered failover under chaos: a primary + rank 1 + rank 2
+#      chain runs with connection resets and latency injected into the
+#      rank 1 standby; the primary is SIGKILLed mid-sweep, rank 1
+#      promotes (rank 2 defers to it and stays standby), and the job
+#      finishes on rank 1 byte-identical to the in-process run.
+. "$(dirname "$0")/lib.sh"
+
+coord=127.0.0.1:8450
+wa1=127.0.0.1:8451
+wa2=127.0.0.1:8452
+primary=127.0.0.1:8453
+rank1=127.0.0.1:8454
+rank2=127.0.0.1:8455
+wb1=127.0.0.1:8456
+wb2=127.0.0.1:8457
+
+go build -o "$dir/lggd" ./cmd/lggd
+go build -o "$dir/lggsweep" ./cmd/lggsweep
+
+spec='-grid faults -quick -seeds 2 -horizon 150000'
+# shellcheck disable=SC2086
+"$dir/lggsweep" $spec -quiet -faults 'down@40-80:e=1' -out "$dir/local.jsonl"
+
+# --- 1+2. chaos-armed coordinator still merges byte-identically -------
+"$dir/lggd" -addr "$wa1" -state "$dir/wa1" -jobs 2 -sweep-workers 1 >"$dir/wa1.log" 2>&1 &
+pids+=($!)
+"$dir/lggd" -addr "$wa2" -state "$dir/wa2" -jobs 2 -sweep-workers 1 >"$dir/wa2.log" 2>&1 &
+pids+=($!)
+wait_healthy "$wa1" "worker a1"
+wait_healthy "$wa2" "worker a2"
+
+# The first two requests on each worker route are answered with a
+# synthetic 503, the next three stall 100ms mid-body, and the first 32
+# carry seeded jittered latency — all deterministic from -chaos-seed.
+"$dir/lggd" -coordinator -addr "$coord" -state "$dir/coord" \
+  -fleet "http://$wa1,http://$wa2" -range-runs 3 -lease 3s \
+  -chaos 'err@0-2:code=503;stall@2-5:ms=100;latency@0-32:ms=2,jitter=5' \
+  -chaos-seed 42 -chaos-name coordinator \
+  -chaos-endpoints "worker1=$wa1,worker2=$wa2" \
+  -chaos-transcript "$dir/chaos.transcript" \
+  >"$dir/coord.log" 2>&1 &
+coord_pid=$!
+pids+=($coord_pid)
+wait_healthy "$coord" "chaos coordinator"
+grep -q 'chaos schedule armed (seed 42)' "$dir/coord.log" || fail "coordinator did not arm the chaos schedule"
+
+# shellcheck disable=SC2086
+"$dir/lggsweep" -remote "$coord" $spec -quiet \
+  -faults 'down@40-80:e=1' -out "$dir/chaos.jsonl" >"$dir/sweep.log" 2>&1 \
+  || { cat "$dir/sweep.log" >&2; fail "sweep through the chaos coordinator failed"; }
+cmp "$dir/local.jsonl" "$dir/chaos.jsonl" || fail "chaos-coordinator JSONL differs from the in-process JSONL"
+say "merged output byte-identical under injected 5xx/stall/latency ($(wc -l <"$dir/local.jsonl") lines) ✓"
+
+kill -TERM "$coord_pid"
+wait "$coord_pid" || fail "chaos coordinator drain exited non-zero"
+[ -s "$dir/chaos.transcript" ] || fail "chaos transcript is empty — the schedule injected nothing"
+grep -q 'chaos transcript' "$dir/coord.log" || fail "clean drain did not report the transcript write"
+say "injected-event transcript written on drain ($(wc -l <"$dir/chaos.transcript") events) ✓"
+
+# --- 3. rank-ordered failover with chaos on the promoted standby ------
+"$dir/lggd" -addr "$wb1" -state "$dir/wb1" -jobs 2 -sweep-workers 1 >"$dir/wb1.log" 2>&1 &
+pids+=($!)
+"$dir/lggd" -addr "$wb2" -state "$dir/wb2" -jobs 2 -sweep-workers 1 >"$dir/wb2.log" 2>&1 &
+pids+=($!)
+wait_healthy "$wb1" "worker b1"
+wait_healthy "$wb2" "worker b2"
+
+"$dir/lggd" -coordinator -addr "$primary" -state "$dir/primary" \
+  -fleet "http://$wb1,http://$wb2" -range-runs 3 -lease 3s \
+  >"$dir/primary.log" 2>&1 &
+primary_pid=$!
+pids+=($primary_pid)
+wait_healthy "$primary" "chain primary"
+
+# Rank 1 runs with chaos: its first two requests on EVERY route (primary
+# heartbeats now, worker dispatch after promotion) are reset, and early
+# requests carry seeded latency. The failover must absorb all of it.
+"$dir/lggd" -coordinator -standby -primary "http://$primary" -rank 1 \
+  -addr "$rank1" -state "$dir/rank1" -range-runs 3 -lease 3s \
+  -heartbeat 300ms -failover-after 2s \
+  -chaos 'reset@0-2;latency@0-48:ms=2,jitter=6' -chaos-seed 7 \
+  -chaos-name rank1 \
+  -chaos-endpoints "primary=$primary,worker1=$wb1,worker2=$wb2" \
+  >"$dir/rank1.log" 2>&1 &
+pids+=($!)
+wait_healthy "$rank1" "rank 1 standby"
+
+# Rank 2 watches BOTH the primary and rank 1: it may only promote once
+# every better-ranked coordinator has gone silent.
+"$dir/lggd" -coordinator -standby -primary "http://$primary" -rank 2 \
+  -watch "http://$rank1" \
+  -addr "$rank2" -state "$dir/rank2" -range-runs 3 -lease 3s \
+  -heartbeat 300ms -failover-after 2s \
+  >"$dir/rank2.log" 2>&1 &
+pids+=($!)
+wait_healthy "$rank2" "rank 2 standby"
+
+job=$(curl -sf -X POST "http://$primary/v1/jobs" -H 'Content-Type: application/json' \
+  -d '{"grid":"faults","quick":true,"seeds":2,"horizon":150000,"faults":"down@40-80:e=1"}' \
+  | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+[ -n "$job" ] || fail "chain primary refused the job submission"
+
+for i in $(seq 1 200); do
+  done_runs=$(curl -s "http://$primary/v1/jobs/$job" | sed -n 's/.*"done": \([0-9]*\).*/\1/p')
+  mirrored=$(curl -s "http://$rank1/v1/jobs/$job" | sed -n 's/.*"status": "\([a-z]*\)".*/\1/p')
+  [ -n "$done_runs" ] && [ "$done_runs" -gt 0 ] && [ "$mirrored" = running ] && break
+  [ "$i" = 200 ] && fail "rank 1 never mirrored the running job (done=$done_runs mirrored=$mirrored)"
+  sleep 0.05
+done
+kill -9 "$primary_pid" 2>/dev/null || true
+say "chain primary SIGKILLed at $done_runs finished runs"
+
+for i in $(seq 1 200); do
+  role=$(curl -s "http://$rank1/v1/coordinator/status" | sed -n 's/.*"role": "\([a-z]*\)".*/\1/p')
+  [ "$role" = primary ] && break
+  [ "$i" = 200 ] && fail "rank 1 never promoted itself (role=$role)"
+  sleep 0.1
+done
+curl -s "http://$rank1/v1/coordinator/status" | grep -q '"rank": 1' \
+  || fail "promoted rank 1 does not report its rank"
+say "rank 1 promoted under chaos ✓"
+
+# Rank 2 must keep deferring to the live rank 1 it watches.
+sleep 3
+r2ready=$(curl -s -o /dev/null -w '%{http_code}' "http://$rank2/readyz")
+[ "$r2ready" = 503 ] || fail "rank 2 readyz answered $r2ready, want 503 (must defer to live rank 1)"
+r2role=$(curl -s "http://$rank2/v1/coordinator/status" | sed -n 's/.*"role": "\([a-z]*\)".*/\1/p')
+[ "$r2role" = standby ] || fail "rank 2 promoted over a live rank 1 (role=$r2role)"
+say "rank 2 defers to the live rank 1 ✓"
+
+for i in $(seq 1 600); do
+  status=$(curl -s "http://$rank1/v1/jobs/$job" | sed -n 's/.*"status": "\([a-z]*\)".*/\1/p')
+  [ "$status" = done ] && break
+  case "$status" in failed|cancelled) fail "resumed job ended $status";; esac
+  [ "$i" = 600 ] && fail "resumed job never finished on rank 1 (status=$status)"
+  sleep 0.1
+done
+
+curl -sf "http://$rank1/v1/jobs/$job/results" -o "$dir/chain.jsonl" \
+  || fail "fetching merged results from promoted rank 1 failed"
+cmp "$dir/local.jsonl" "$dir/chain.jsonl" || fail "post-failover chaos JSONL differs from the in-process JSONL"
+say "post-failover output byte-identical under chaos ($(wc -l <"$dir/local.jsonl") lines) ✓"
+
+say "all checks passed"

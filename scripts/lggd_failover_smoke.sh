@@ -14,45 +14,12 @@
 #      idempotency keys re-attach the surviving worker-side range jobs;
 #   4. observability: the standby's metrics record exactly one failover
 #      and export per-worker health gauges.
-set -euo pipefail
-
-dir=$(mktemp -d)
-pids=()
-# On any exit, TERM every daemon (KILL stragglers) and reap them so a
-# failed run can never leave a stray process holding a port for the next
-# CI attempt. The original exit status is preserved across cleanup.
-cleanup() {
-  status=$?
-  trap - EXIT INT TERM
-  for pid in "${pids[@]}"; do
-    kill -TERM "$pid" 2>/dev/null || true
-  done
-  for pid in "${pids[@]}"; do
-    for _ in $(seq 1 50); do
-      kill -0 "$pid" 2>/dev/null || break
-      sleep 0.1
-    done
-    kill -9 "$pid" 2>/dev/null || true
-    wait "$pid" 2>/dev/null || true
-  done
-  rm -rf "$dir"
-  exit "$status"
-}
-trap cleanup EXIT INT TERM
+. "$(dirname "$0")/lib.sh"
 
 primary=127.0.0.1:8440
 standby=127.0.0.1:8441
 w1=127.0.0.1:8442
 w2=127.0.0.1:8443
-fail() { echo "lggd_failover_smoke: $*" >&2; for f in "$dir"/*.log; do echo "--- $f" >&2; tail -15 "$f" >&2; done; exit 1; }
-
-wait_healthy() {
-  for i in $(seq 1 100); do
-    curl -sf "http://$1/healthz" >/dev/null 2>&1 && return 0
-    sleep 0.1
-  done
-  fail "$2 never became healthy"
-}
 
 go build -o "$dir/lggd" ./cmd/lggd
 go build -o "$dir/lggsweep" ./cmd/lggsweep
@@ -91,7 +58,7 @@ for i in $(seq 1 100); do
   [ "$i" = 100 ] && fail "standby never mirrored the 2-worker fleet (have $n)"
   sleep 0.1
 done
-echo "lggd_failover_smoke: standby tailing primary, fleet mirrored (2 workers) ✓"
+say "standby tailing primary, fleet mirrored (2 workers) ✓"
 
 # --- 2+3. SIGKILL the primary mid-sweep; standby finishes the job -----
 spec='-grid faults -quick -seeds 2 -horizon 150000'
@@ -115,7 +82,7 @@ for i in $(seq 1 200); do
   sleep 0.05
 done
 kill -9 "$primary_pid" 2>/dev/null || true
-echo "lggd_failover_smoke: primary SIGKILLed at $done_runs finished runs"
+say "primary SIGKILLed at $done_runs finished runs"
 
 for i in $(seq 1 200); do
   role=$(curl -s "http://$standby/v1/coordinator/status" | sed -n 's/.*"role": "\([a-z]*\)".*/\1/p')
@@ -125,7 +92,7 @@ for i in $(seq 1 200); do
 done
 ready=$(curl -s -o /dev/null -w '%{http_code}' "http://$standby/readyz")
 [ "$ready" = 200 ] || fail "promoted standby readyz answered $ready, want 200"
-echo "lggd_failover_smoke: standby promoted to primary ✓"
+say "standby promoted to primary ✓"
 
 for i in $(seq 1 600); do
   status=$(curl -s "http://$standby/v1/jobs/$job" | sed -n 's/.*"status": "\([a-z]*\)".*/\1/p')
@@ -138,13 +105,13 @@ done
 curl -sf "http://$standby/v1/jobs/$job/results" -o "$dir/failover.jsonl" \
   || fail "fetching merged results from the promoted standby failed"
 cmp "$dir/local.jsonl" "$dir/failover.jsonl" || fail "post-failover merged JSONL differs from the in-process JSONL"
-echo "lggd_failover_smoke: post-failover output byte-identical to in-process run ($(wc -l <"$dir/local.jsonl") lines) ✓"
+say "post-failover output byte-identical to in-process run ($(wc -l <"$dir/local.jsonl") lines) ✓"
 
 # --- 4. the failover and worker health are observable -----------------
 curl -s "http://$standby/metrics" >"$dir/metrics.out"
 grep -q '^lggfed_failovers_total 1$' "$dir/metrics.out" || fail "metrics do not record exactly one failover"
 grep -q '^lggfed_standby 0$' "$dir/metrics.out" || fail "promoted standby still exports lggfed_standby 1"
 grep -q '^lggfed_worker_lease_ms_' "$dir/metrics.out" || fail "per-worker health gauges missing"
-echo "lggd_failover_smoke: failover + worker health visible in /metrics ✓"
+say "failover + worker health visible in /metrics ✓"
 
-echo "lggd_failover_smoke: all checks passed"
+say "all checks passed"

@@ -12,45 +12,12 @@
 #      the k-way merge;
 #   4. compaction: the finished job is queryable as per-cell summaries
 #      at GET /v1/results, filtered by the tenant it was submitted as.
-set -euo pipefail
-
-dir=$(mktemp -d)
-pids=()
-# On any exit, TERM every daemon (KILL stragglers) and reap them so a
-# failed run can never leave a stray process holding a port for the next
-# CI attempt. The original exit status is preserved across cleanup.
-cleanup() {
-  status=$?
-  trap - EXIT INT TERM
-  for pid in "${pids[@]}"; do
-    kill -TERM "$pid" 2>/dev/null || true
-  done
-  for pid in "${pids[@]}"; do
-    for _ in $(seq 1 50); do
-      kill -0 "$pid" 2>/dev/null || break
-      sleep 0.1
-    done
-    kill -9 "$pid" 2>/dev/null || true
-    wait "$pid" 2>/dev/null || true
-  done
-  rm -rf "$dir"
-  exit "$status"
-}
-trap cleanup EXIT INT TERM
+. "$(dirname "$0")/lib.sh"
 
 coord=127.0.0.1:8430
 w1=127.0.0.1:8431
 w2=127.0.0.1:8432
 w3=127.0.0.1:8433
-fail() { echo "lggd_fleet_smoke: $*" >&2; for f in "$dir"/*.log; do echo "--- $f" >&2; tail -15 "$f" >&2; done; exit 1; }
-
-wait_healthy() {
-  for i in $(seq 1 100); do
-    curl -sf "http://$1/healthz" >/dev/null 2>&1 && return 0
-    sleep 0.1
-  done
-  fail "$2 never became healthy"
-}
 
 go build -o "$dir/lggd" ./cmd/lggd
 go build -o "$dir/lggsweep" ./cmd/lggsweep
@@ -80,7 +47,7 @@ for i in $(seq 1 100); do
   [ "$i" = 100 ] && fail "fleet never reached 3 workers (have $n)"
   sleep 0.1
 done
-echo "lggd_fleet_smoke: fleet of 3 formed (1 via -join) ✓"
+say "fleet of 3 formed (1 via -join) ✓"
 
 # --- 2+3. kill a worker mid-sweep; merged bytes match in-process ------
 spec='-grid faults -quick -seeds 2 -horizon 150000'
@@ -101,14 +68,14 @@ for i in $(seq 1 200); do
   sleep 0.05
 done
 kill -9 "$w2pid" 2>/dev/null || true
-echo "lggd_fleet_smoke: worker 2 SIGKILLed at $done_runs finished runs"
+say "worker 2 SIGKILLed at $done_runs finished runs"
 
 if ! wait "$sweep_pid"; then
   cat "$dir/sweep.log" >&2
   fail "fleet sweep failed after the worker was killed"
 fi
 cmp "$dir/local.jsonl" "$dir/fleet.jsonl" || fail "merged fleet JSONL differs from the in-process JSONL"
-echo "lggd_fleet_smoke: merged output byte-identical to in-process run ($(wc -l <"$dir/local.jsonl") lines) ✓"
+say "merged output byte-identical to in-process run ($(wc -l <"$dir/local.jsonl") lines) ✓"
 
 # --- 4. finished job compacts into queryable summaries ----------------
 cells=$(curl -s "http://$coord/v1/results?tenant=acme" | grep -c '"job": "job-00000000"' || true)
@@ -116,6 +83,6 @@ cells=$(curl -s "http://$coord/v1/results?tenant=acme" | grep -c '"job": "job-00
 [ "$cells" = 12 ] || fail "tenant query returned $cells cells, want 12"
 none=$(curl -s "http://$coord/v1/results?tenant=nosuch")
 [ "$none" = "[]" ] || fail "filter miss returned $none, want []"
-echo "lggd_fleet_smoke: compacted summaries queryable per tenant (12 cells) ✓"
+say "compacted summaries queryable per tenant (12 cells) ✓"
 
-echo "lggd_fleet_smoke: all checks passed"
+say "all checks passed"

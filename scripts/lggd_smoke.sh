@@ -10,44 +10,17 @@
 #      interrupted jobs (which are then cancelled over the API);
 #   4. fidelity: a sweep submitted through `lggsweep -remote` produces
 #      byte-identical JSONL to the same sweep run in-process.
-set -euo pipefail
-
-dir=$(mktemp -d)
-pid=""
-# On any exit — success, failure, or signal — drain the daemon (TERM first
-# so it can checkpoint, KILL only if it hangs) and reap it with wait, so a
-# failed run can never leave a stray lggd holding the port for the next CI
-# attempt. The original exit status is preserved across cleanup.
-cleanup() {
-  status=$?
-  trap - EXIT INT TERM
-  if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
-    kill -TERM "$pid" 2>/dev/null || true
-    for _ in $(seq 1 50); do
-      kill -0 "$pid" 2>/dev/null || break
-      sleep 0.1
-    done
-    kill -9 "$pid" 2>/dev/null || true
-    wait "$pid" 2>/dev/null || true
-  fi
-  rm -rf "$dir"
-  exit "$status"
-}
-trap cleanup EXIT INT TERM
+. "$(dirname "$0")/lib.sh"
 
 addr=127.0.0.1:8411
-fail() { echo "lggd_smoke: $*" >&2; [ -f "$dir/lggd.log" ] && tail -20 "$dir/lggd.log" >&2; exit 1; }
 
 go build -o "$dir/lggd" ./cmd/lggd
 go build -o "$dir/lggsweep" ./cmd/lggsweep
 
 "$dir/lggd" -addr "$addr" -state "$dir/state" -jobs 1 -queue 1 -drain-grace 2s >"$dir/lggd.log" 2>&1 &
 pid=$!
-for i in $(seq 1 100); do
-  curl -sf "http://$addr/healthz" >/dev/null 2>&1 && break
-  [ "$i" = 100 ] && fail "daemon never became healthy"
-  sleep 0.1
-done
+pids+=($pid)
+wait_healthy "$addr" "daemon"
 curl -sf "http://$addr/readyz" >/dev/null || fail "readyz not 200 on a fresh daemon"
 
 # --- 1. overload sheds with 429 + Retry-After -------------------------
@@ -63,23 +36,20 @@ hdrs=$(curl -s -D - -o /dev/null -X POST "http://$addr/v1/jobs" \
 echo "$hdrs" | head -1 | grep -q 429 || fail "overload answered $(echo "$hdrs" | head -1), want 429"
 echo "$hdrs" | grep -qi '^retry-after: [0-9]' || fail "429 carries no Retry-After header"
 curl -s "http://$addr/metrics" | grep -q '^lggd_jobs_shed_total 1$' || fail "shed not counted in /metrics"
-echo "lggd_smoke: overload shed with 429 + Retry-After ✓"
+say "overload shed with 429 + Retry-After ✓"
 
 # --- 2. SIGTERM drains cleanly ----------------------------------------
 kill -TERM "$pid"
 if ! wait "$pid"; then fail "drain exited non-zero"; fi
 grep -q 'checkpointed' "$dir/lggd.log" || fail "no checkpoint logged during drain"
 grep -q 'drained cleanly' "$dir/lggd.log" || fail "daemon did not report a clean drain"
-echo "lggd_smoke: SIGTERM drain exited 0 with a checkpoint ✓"
+say "SIGTERM drain exited 0 with a checkpoint ✓"
 
 # --- 3. restart resumes the interrupted jobs --------------------------
 "$dir/lggd" -addr "$addr" -state "$dir/state" -jobs 1 -drain-grace 2s >>"$dir/lggd.log" 2>&1 &
 pid=$!
-for i in $(seq 1 100); do
-  curl -sf "http://$addr/healthz" >/dev/null 2>&1 && break
-  [ "$i" = 100 ] && fail "daemon never came back after restart"
-  sleep 0.1
-done
+pids+=($pid)
+wait_healthy "$addr" "restarted daemon"
 resumed=$(curl -s "http://$addr/metrics" | awk '/^lggd_jobs_resumed_total /{print $2}')
 [ "$resumed" = 2 ] || fail "resumed $resumed jobs after restart, want 2"
 for id in job-00000000 job-00000001; do
@@ -91,7 +61,7 @@ for i in $(seq 1 100); do
   [ "$i" = 100 ] && fail "resumed job never cancelled"
   sleep 0.1
 done
-echo "lggd_smoke: restart resumed 2 jobs, API cancel works ✓"
+say "restart resumed 2 jobs, API cancel works ✓"
 
 # --- 4. remote sweep is byte-identical to local -----------------------
 "$dir/lggsweep" -grid faults -quick -seeds 2 -horizon 300 -quiet \
@@ -99,9 +69,8 @@ echo "lggd_smoke: restart resumed 2 jobs, API cancel works ✓"
 "$dir/lggsweep" -remote "$addr" -grid faults -quick -seeds 2 -horizon 300 -quiet \
   -faults 'down@40-80:e=1' -out "$dir/remote.jsonl"
 cmp "$dir/local.jsonl" "$dir/remote.jsonl" || fail "remote JSONL differs from local JSONL"
-echo "lggd_smoke: remote sweep byte-identical to local ($(wc -l <"$dir/local.jsonl") lines) ✓"
+say "remote sweep byte-identical to local ($(wc -l <"$dir/local.jsonl") lines) ✓"
 
 kill -TERM "$pid"
 wait "$pid" || fail "final drain exited non-zero"
-pid=""
-echo "lggd_smoke: all checks passed"
+say "all checks passed"

@@ -1,0 +1,68 @@
+# shellcheck shell=bash
+# Shared harness for the lggd smoke scripts (scripts/lggd_*_smoke.sh).
+# Source it first thing:
+#
+#	. "$(dirname "$0")/lib.sh"
+#
+# It sets strict mode and provides:
+#
+#   $smoke       the script's name ("lggd_fleet_smoke"), used to prefix
+#                every message;
+#   $dir         a scratch directory, removed on exit;
+#   $pids        an array of daemon PIDs to reap — append with
+#                `pids+=($!)` after every background daemon. On ANY exit
+#                (success, failure, or signal) every listed process is
+#                TERMed first so it can checkpoint, KILLed only if it
+#                hangs past 5s, and reaped with wait, so a failed run can
+#                never leave a stray process holding a port for the next
+#                CI attempt. The original exit status is preserved;
+#   fail MSG     print "$smoke: MSG", tail every *.log in $dir, exit 1;
+#   wait_healthy HOST:PORT NAME
+#                poll http://HOST:PORT/healthz for up to 10s, fail() if
+#                it never answers;
+#   say MSG      print "$smoke: MSG" on stdout (progress markers).
+
+set -euo pipefail
+
+smoke=$(basename "$0" .sh)
+dir=$(mktemp -d)
+pids=()
+
+cleanup() {
+  status=$?
+  trap - EXIT INT TERM
+  for pid in "${pids[@]}"; do
+    kill -TERM "$pid" 2>/dev/null || true
+  done
+  for pid in "${pids[@]}"; do
+    for _ in $(seq 1 50); do
+      kill -0 "$pid" 2>/dev/null || break
+      sleep 0.1
+    done
+    kill -9 "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+  done
+  rm -rf "$dir"
+  exit "$status"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+  echo "$smoke: $*" >&2
+  for f in "$dir"/*.log; do
+    [ -f "$f" ] || continue
+    echo "--- $f" >&2
+    tail -15 "$f" >&2
+  done
+  exit 1
+}
+
+wait_healthy() {
+  for _ in $(seq 1 100); do
+    curl -sf "http://$1/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  fail "$2 never became healthy"
+}
+
+say() { echo "$smoke: $*"; }
